@@ -1,0 +1,59 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! the cost of the reduction factor (scale-down depth), profiling overhead
+//! versus plain execution, and optimization-level compile cost.
+
+use bsg_compiler::{compile, CompileOptions, OptLevel, TargetIsa};
+use bsg_profile::{profile_program, ProfileConfig};
+use bsg_synth::{synthesize, SynthesisConfig};
+use bsg_uarch::exec;
+use bsg_workloads::{suite, InputSize};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ablation_reduction_factor(c: &mut Criterion) {
+    let w = suite(InputSize::Small).remove(0); // adpcm/small
+    let compiled = compile(&w.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
+    let profile = profile_program(&compiled.program, "adpcm", &ProfileConfig::default());
+    let mut group = c.benchmark_group("ablation_reduction_factor");
+    group.sample_size(10);
+    for r in [1u64, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                let clone = synthesize(&profile, &SynthesisConfig::with_reduction(r));
+                let p = compile(&clone.hll, &CompileOptions::portable(OptLevel::O0)).unwrap();
+                exec::run(&p.program).dynamic_instructions
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_profiling_overhead(c: &mut Criterion) {
+    let w = suite(InputSize::Small).remove(2); // bitcount/small
+    let compiled = compile(&w.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
+    let mut group = c.benchmark_group("ablation_profiling_overhead");
+    group.sample_size(10);
+    group.bench_function("plain_execution", |b| b.iter(|| exec::run(&compiled.program)));
+    group.bench_function("profiled_execution", |b| {
+        b.iter(|| profile_program(&compiled.program, "bitcount", &ProfileConfig::default()))
+    });
+    group.finish();
+}
+
+fn ablation_compile_levels(c: &mut Criterion) {
+    let w = suite(InputSize::Small).remove(10); // sha/small
+    let mut group = c.benchmark_group("ablation_compile_cost");
+    group.sample_size(10);
+    for level in OptLevel::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            b.iter(|| compile(&w.program, &CompileOptions::new(level, TargetIsa::Ia64)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_reduction_factor, ablation_profiling_overhead, ablation_compile_levels
+}
+criterion_main!(benches);

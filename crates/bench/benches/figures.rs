@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the framework components behind each experiment:
+//! profiling (Figures 4-9 all start with a profile), synthesis (all figures),
+//! the cache sweep (Figures 7/8/10), the pipeline model (Figure 10), the
+//! machine models (Figure 11) and the plagiarism detectors (§V-E).
+
+use bsg_bench::{target_isa_for, SYNTH_TARGET_INSTRUCTIONS};
+use bsg_compiler::{compile, CompileOptions, OptLevel};
+use bsg_profile::{profile_program, ProfileConfig};
+use bsg_similarity::SimilarityReport;
+use bsg_synth::{synthesize, synthesize_with_target, SynthesisConfig};
+use bsg_uarch::cache::{CacheConfig, CacheObserver};
+use bsg_uarch::exec::{execute, ExecConfig};
+use bsg_uarch::machine::MachineConfig;
+use bsg_uarch::pipeline::{simulate, PipelineConfig};
+use bsg_workloads::{suite, InputSize};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_profile_and_synthesize(c: &mut Criterion) {
+    let w = suite(InputSize::Small).remove(3); // crc32/small
+    let compiled = compile(&w.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
+    c.bench_function("fig04_profile_crc32_small", |b| {
+        b.iter(|| profile_program(&compiled.program, "crc32", &ProfileConfig::default()))
+    });
+    let profile = profile_program(&compiled.program, "crc32", &ProfileConfig::default());
+    c.bench_function("fig04_synthesize_crc32_R20", |b| {
+        b.iter(|| synthesize(&profile, &SynthesisConfig::with_reduction(20)))
+    });
+    c.bench_function("fig04_reduction_factor_search", |b| {
+        b.iter(|| synthesize_with_target(&profile, &SynthesisConfig::default(), SYNTH_TARGET_INSTRUCTIONS))
+    });
+}
+
+fn bench_cache_and_pipeline(c: &mut Criterion) {
+    let w = suite(InputSize::Small).remove(4); // dijkstra/small
+    let compiled = compile(&w.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
+    c.bench_function("fig07_cache_sweep_dijkstra", |b| {
+        b.iter(|| {
+            let mut obs = CacheObserver::new([1u64, 2, 4, 8, 16, 32].map(CacheConfig::kb));
+            execute(&compiled.program, &mut obs, &ExecConfig::default());
+            obs.sweep.results()
+        })
+    });
+    c.bench_function("fig10_cpi_2wide_16kb_dijkstra", |b| {
+        b.iter(|| simulate(&compiled.program, PipelineConfig::ptlsim_2wide(16)))
+    });
+    let machines = MachineConfig::table3();
+    let itanium = machines.iter().find(|m| m.name == "Itanium 2").unwrap();
+    let ia64 = compile(&w.program, &CompileOptions::new(OptLevel::O2, target_isa_for(itanium.isa))).unwrap();
+    c.bench_function("fig11_itanium_machine_model_dijkstra", |b| {
+        b.iter(|| itanium.run(&ia64.program))
+    });
+}
+
+fn bench_obfuscation(c: &mut Criterion) {
+    let w = suite(InputSize::Small).remove(10); // sha/small
+    let original = bsg_ir::cemit::emit_c(&w.program);
+    let compiled = compile(&w.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
+    let profile = profile_program(&compiled.program, "sha", &ProfileConfig::default());
+    let clone = synthesize(&profile, &SynthesisConfig::with_reduction(20));
+    c.bench_function("obfuscation_moss_jplag_sha", |b| {
+        b.iter(|| SimilarityReport::compare(&original, &clone.c_source))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_profile_and_synthesize, bench_cache_and_pipeline, bench_obfuscation
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Runs every table and figure in sequence (small-input suite), printing a
+//! combined report.  `cargo run -p bsg-bench --release --bin all_experiments`.
+use bsg_bench::*;
+use bsg_compiler::OptLevel;
+use bsg_workloads::InputSize;
+
+fn main() {
+    println!("{}", table1());
+    println!("{}", table3());
+    println!("{}", fig02());
+    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
+    println!("{}", fig04(&artifacts));
+    println!("{}", fig05(&artifacts));
+    println!("{}", fig06(&artifacts, OptLevel::O0));
+    println!("{}", fig06(&artifacts, OptLevel::O2));
+    println!("{}", fig07_08(&artifacts, OptLevel::O0));
+    println!("{}", fig07_08(&artifacts, OptLevel::O2));
+    println!("{}", fig09(&artifacts));
+    println!("{}", fig10(&artifacts));
+    println!("{}", fig11(&artifacts));
+    println!("{}", obfuscation(&artifacts));
+}

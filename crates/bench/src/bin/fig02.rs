@@ -1,0 +1,4 @@
+//! Regenerates Figure 2 (SFGL scale-down example).
+fn main() {
+    print!("{}", bsg_bench::fig02());
+}

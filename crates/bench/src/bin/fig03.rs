@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 (fibonacci kernel and its synthetic clone).
+fn main() {
+    print!("{}", bsg_bench::fig03());
+}

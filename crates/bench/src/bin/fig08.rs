@@ -1,0 +1,9 @@
+//! Regenerates Figure 8 (data-cache hit rates at -O2, 1-32 KB).
+use bsg_bench::{fig07_08, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
+use bsg_compiler::OptLevel;
+use bsg_workloads::InputSize;
+
+fn main() {
+    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
+    print!("{}", fig07_08(&artifacts, OptLevel::O2));
+}

@@ -1,0 +1,8 @@
+//! Regenerates fig10 of the paper over the small-input suite.
+use bsg_bench::{fig10, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
+use bsg_workloads::InputSize;
+
+fn main() {
+    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
+    print!("{}", fig10(&artifacts));
+}

@@ -1,0 +1,8 @@
+//! Regenerates fig11 of the paper over the small-input suite.
+use bsg_bench::{fig11, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
+use bsg_workloads::InputSize;
+
+fn main() {
+    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
+    print!("{}", fig11(&artifacts));
+}

@@ -1,0 +1,8 @@
+//! Regenerates obfuscation of the paper over the small-input suite.
+use bsg_bench::{obfuscation, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
+use bsg_workloads::InputSize;
+
+fn main() {
+    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
+    print!("{}", obfuscation(&artifacts));
+}

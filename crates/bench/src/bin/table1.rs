@@ -1,0 +1,4 @@
+//! Regenerates Table I (miss-rate classes and strides).
+fn main() {
+    print!("{}", bsg_bench::table1());
+}

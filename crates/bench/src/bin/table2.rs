@@ -1,0 +1,4 @@
+//! Regenerates Table II (statement templates) plus per-benchmark coverage.
+fn main() {
+    print!("{}", bsg_bench::table2(bsg_workloads::InputSize::Small));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table III (machines under study).
+fn main() {
+    print!("{}", bsg_bench::table3());
+}

@@ -1,0 +1,471 @@
+//! # bsg-bench — experiment harness for the IISWC 2010 reproduction
+//!
+//! One function per table / figure of the paper's evaluation section; the
+//! `src/bin/*` binaries are thin wrappers that print the returned text.
+//! Run e.g. `cargo run -p bsg-bench --release --bin fig04`.
+//!
+//! The harness runs on the workspace's simulated substrate, so absolute
+//! numbers differ from the paper's hardware measurements; what is reproduced
+//! is the *shape* of each result (who wins, by roughly how much, and how the
+//! trend moves with cache size, optimization level, ISA and machine).
+//! `EXPERIMENTS.md` records paper-reported versus measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bsg_compiler::{compile, CompileOptions, OptLevel, TargetIsa};
+use bsg_ir::cemit;
+use bsg_ir::hll::HllProgram;
+use bsg_ir::Program;
+use bsg_profile::{profile_program, MixObserver, NodeKey, ProfileConfig, Sfgl, SfglLoop, StatisticalProfile};
+use bsg_similarity::SimilarityReport;
+use bsg_synth::{scale_down, synthesize_with_target, SynthesisConfig, TargetedSynthesis};
+use bsg_uarch::branch::{Hybrid, PredictorObserver};
+use bsg_uarch::cache::{CacheConfig, CacheObserver};
+use bsg_uarch::exec::{execute, ExecConfig};
+use bsg_uarch::machine::{MachineConfig, MachineIsa};
+use bsg_uarch::pipeline::{simulate, PipelineConfig};
+use bsg_workloads::{fibonacci_workload, suite, InputSize, Workload};
+use std::fmt::Write as _;
+
+/// Dynamic-instruction target for synthetic clones.  The paper targets ~10 M
+/// instructions on real hardware; the reproduction runs on an interpreter, so
+/// the default is scaled down (the reduction-factor *ratios* are what the
+/// figures compare).
+pub const SYNTH_TARGET_INSTRUCTIONS: u64 = 40_000;
+
+/// Everything the experiments need for one workload: its profile and its
+/// synthetic clone.
+pub struct WorkloadArtifacts {
+    /// The original workload.
+    pub workload: Workload,
+    /// Statistical profile of the `-O0` original.
+    pub profile: StatisticalProfile,
+    /// Result of target-driven synthesis.
+    pub synthesis: TargetedSynthesis,
+}
+
+impl WorkloadArtifacts {
+    /// Profiles `workload` and synthesizes its clone.
+    pub fn prepare(workload: Workload, target_instructions: u64) -> Self {
+        let compiled = compile(&workload.program, &CompileOptions::portable(OptLevel::O0))
+            .expect("workload compiles at -O0");
+        let profile = profile_program(&compiled.program, &workload.name, &ProfileConfig::default());
+        let synthesis = synthesize_with_target(&profile, &SynthesisConfig::default(), target_instructions);
+        WorkloadArtifacts { workload, profile, synthesis }
+    }
+
+    /// Compiles the original and the clone with the same options.
+    pub fn compile_pair(&self, options: &CompileOptions) -> (Program, Program) {
+        let original = compile(&self.workload.program, options).expect("original compiles").program;
+        let synthetic =
+            compile(&self.synthesis.benchmark.hll, options).expect("synthetic compiles").program;
+        (original, synthetic)
+    }
+}
+
+/// Prepares artifacts for the whole suite at one input size.
+pub fn prepare_suite(input: InputSize, target_instructions: u64) -> Vec<WorkloadArtifacts> {
+    suite(input)
+        .into_iter()
+        .map(|w| WorkloadArtifacts::prepare(w, target_instructions))
+        .collect()
+}
+
+/// Maps a machine's ISA to the compiler's target ISA.
+pub fn target_isa_for(machine: MachineIsa) -> TargetIsa {
+    match machine {
+        MachineIsa::X86 => TargetIsa::X86,
+        MachineIsa::X86_64 => TargetIsa::X86_64,
+        MachineIsa::Ia64 => TargetIsa::Ia64,
+    }
+}
+
+fn dynamic_instructions(p: &Program) -> u64 {
+    bsg_uarch::exec::run(p).dynamic_instructions
+}
+
+fn mix_of(p: &Program) -> bsg_profile::InstructionMix {
+    let mut obs = MixObserver::default();
+    execute(p, &mut obs, &ExecConfig::default());
+    obs.mix
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+/// Table I: miss-rate classes, their strides, and the miss rate each stride
+/// actually produces on the profiling cache when regenerated.
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table I — memory access strides per miss-rate class (32-byte line)");
+    let _ = writeln!(out, "{:<6} {:<18} {:<14} {:<16}", "class", "miss-rate range", "stride (bytes)", "measured miss");
+    for row in bsg_synth::table1() {
+        // Measure: stream through memory with this stride and run the 8 KB
+        // profiling cache over the addresses.
+        let mut cache = bsg_uarch::cache::Cache::new(CacheConfig::kb(8));
+        let mut addr = 0u64;
+        let mut misses = 0u64;
+        let accesses = 20_000u64;
+        for _ in 0..accesses {
+            if !cache.access(0x10000 + addr) {
+                misses += 1;
+            }
+            addr = (addr + row.stride_bytes) % (1 << 20);
+        }
+        let measured = misses as f64 / accesses as f64;
+        let _ = writeln!(
+            out,
+            "{:<6} {:>5.2}% - {:>6.2}%   {:<14} {:>6.2}%",
+            row.class,
+            row.miss_rate_low * 100.0,
+            row.miss_rate_high * 100.0,
+            row.stride_bytes,
+            measured * 100.0
+        );
+    }
+    out
+}
+
+/// Table II: the instruction-pattern → C statement templates, plus the
+/// dynamic pattern coverage achieved for each benchmark.
+pub fn table2(input: InputSize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table II — statement templates and per-benchmark pattern coverage");
+    for p in bsg_synth::table2() {
+        let _ = writeln!(out, "  {:?}: loads={} stores={} ops={}", p.kind, p.loads, p.stores, p.ops);
+    }
+    let _ = writeln!(out, "\n{:<24} {:>10}", "benchmark", "coverage");
+    let mut total = 0.0;
+    let mut n = 0;
+    for w in suite(input) {
+        let art = WorkloadArtifacts::prepare(w, SYNTH_TARGET_INSTRUCTIONS);
+        let c = art.synthesis.benchmark.stats.pattern_coverage;
+        let _ = writeln!(out, "{:<24} {:>9.1}%", art.workload.name, c * 100.0);
+        total += c;
+        n += 1;
+    }
+    let _ = writeln!(out, "{:<24} {:>9.1}%", "average", total / n as f64 * 100.0);
+    out
+}
+
+/// Table III: the machines used in the study.
+pub fn table3() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table III — machines used in this study");
+    let _ = writeln!(out, "{:<20} {:<8} {:<40}", "machine", "ISA", "description");
+    for m in MachineConfig::table3() {
+        let _ = writeln!(out, "{:<20} {:<8} {:<40}", m.name, m.isa.to_string(), m.description);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+/// The example SFGL of Figure 2(a).
+pub fn figure2_example_sfgl() -> Sfgl {
+    let key = |b: u32| NodeKey { func: 0, block: b };
+    let mut s = Sfgl::default();
+    let names = ["A", "B", "C", "D", "E", "F", "G", "H", "I"];
+    let counts = [500u64, 420, 80, 500, 5000, 1000, 4000, 5000, 500];
+    for (i, c) in counts.iter().enumerate() {
+        s.nodes.insert(key(i as u32), *c);
+    }
+    let edges: &[((u32, u32), u64)] = &[
+        ((0, 1), 420), ((0, 2), 80), ((1, 3), 420), ((2, 3), 80), ((3, 4), 500),
+        ((4, 5), 1000), ((4, 6), 4000), ((5, 7), 1000), ((6, 7), 4000), ((7, 4), 4500), ((7, 8), 500),
+    ];
+    for ((a, b), c) in edges {
+        s.edges.insert((key(*a), key(*b)), *c);
+    }
+    s.loops.push(SfglLoop {
+        header: key(4),
+        blocks: [4u32, 5, 6, 7].iter().map(|b| key(*b)).collect(),
+        entries: 500,
+        iterations: 4500,
+        depth: 1,
+        parent: None,
+    });
+    let _ = names;
+    s
+}
+
+/// Figure 2: the example SFGL and its scaled-down version (R = 100).
+pub fn fig02() -> String {
+    let sfgl = figure2_example_sfgl();
+    let scaled = scale_down(&sfgl, 100);
+    let names = ["A", "B", "C", "D", "E", "F", "G", "H", "I"];
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 2 — SFGL scale-down with R = 100");
+    let _ = writeln!(out, "{:<6} {:>10} {:>12}", "block", "original", "scaled");
+    for (i, name) in names.iter().enumerate() {
+        let key = NodeKey { func: 0, block: i as u32 };
+        let orig = sfgl.count(key);
+        let after = scaled.sfgl.count(key);
+        let shown = if after == 0 { "removed".to_string() } else { after.to_string() };
+        let _ = writeln!(out, "{:<6} {:>10} {:>12}", name, orig, shown);
+    }
+    let l = &scaled.sfgl.loops[0];
+    let _ = writeln!(out, "loop at E: entries={} iterations={} (trip count preserved)", l.entries, l.iterations);
+    out
+}
+
+/// Figure 3: the fibonacci kernel and its synthetic clone, side by side.
+pub fn fig03() -> String {
+    let original = fibonacci_workload(20);
+    let art = WorkloadArtifacts::prepare(original, 2_000);
+    let original_c = cemit::emit_c(&art.workload.program);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 3(a) — original fibonacci kernel\n");
+    out.push_str(&original_c);
+    let _ = writeln!(out, "\nFigure 3(b) — synthetic clone (R = {})\n", art.synthesis.reduction_factor);
+    out.push_str(&art.synthesis.benchmark.c_source);
+    let report = SimilarityReport::compare(&original_c, &art.synthesis.benchmark.c_source);
+    let _ = writeln!(out, "\nMoss similarity: {:.1}%  JPlag similarity: {:.1}%", report.moss * 100.0, report.jplag * 100.0);
+    out
+}
+
+/// Figure 4: reduction in dynamic instruction count per benchmark.
+pub fn fig04(artifacts: &[WorkloadArtifacts]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 4 — dynamic instruction count of the original relative to the synthetic");
+    let _ = writeln!(out, "{:<24} {:>14} {:>14} {:>10} {:>6}", "benchmark", "original", "synthetic", "reduction", "R");
+    let mut reductions = Vec::new();
+    for a in artifacts {
+        let red = a.synthesis.instruction_reduction();
+        reductions.push(red);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>14} {:>14} {:>9.1}x {:>6}",
+            a.workload.name,
+            a.synthesis.original_instructions,
+            a.synthesis.synthetic_instructions,
+            red,
+            a.synthesis.reduction_factor
+        );
+    }
+    let avg = reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
+    let _ = writeln!(out, "{:<24} {:>14} {:>14} {:>9.1}x", "AVERAGE", "", "", avg);
+    out
+}
+
+/// Figure 5: normalized dynamic instruction count across optimization levels
+/// (average over the suite), original versus synthetic.
+pub fn fig05(artifacts: &[WorkloadArtifacts]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 5 — normalized dynamic instruction count vs optimization level");
+    let _ = writeln!(out, "{:<8} {:>12} {:>12}", "level", "original", "synthetic");
+    let mut base: Option<(f64, f64)> = None;
+    for level in OptLevel::ALL {
+        let mut org = 0.0;
+        let mut syn = 0.0;
+        for a in artifacts {
+            let (o, s) = a.compile_pair(&CompileOptions::new(level, TargetIsa::X86));
+            org += dynamic_instructions(&o) as f64;
+            syn += dynamic_instructions(&s) as f64;
+        }
+        let (org_base, syn_base) = *base.get_or_insert((org, syn));
+        let _ = writeln!(out, "{:<8} {:>11.1}% {:>11.1}%", level.to_string(), org / org_base * 100.0, syn / syn_base * 100.0);
+    }
+    out
+}
+
+/// Figure 6: instruction mix (loads / stores / branches / others) at the given
+/// optimization level, original versus synthetic, per benchmark and average.
+pub fn fig06(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
+    use bsg_ir::visa::MixCategory;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 6 — instruction mix at {level} (ORG = original, SYN = synthetic)");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>7} {:>7} {:>7} {:>7}   {:>7} {:>7} {:>7} {:>7}",
+        "benchmark", "ld", "st", "br", "other", "ld", "st", "br", "other"
+    );
+    let mut avg_org = [0.0f64; 4];
+    let mut avg_syn = [0.0f64; 4];
+    for a in artifacts {
+        let (o, s) = a.compile_pair(&CompileOptions::new(level, TargetIsa::X86));
+        let om = mix_of(&o).category_fractions();
+        let sm = mix_of(&s).category_fractions();
+        let get = |m: &std::collections::BTreeMap<MixCategory, f64>, c: MixCategory| m.get(&c).copied().unwrap_or(0.0);
+        let row_o = [get(&om, MixCategory::Load), get(&om, MixCategory::Store), get(&om, MixCategory::Branch), get(&om, MixCategory::Other)];
+        let row_s = [get(&sm, MixCategory::Load), get(&sm, MixCategory::Store), get(&sm, MixCategory::Branch), get(&sm, MixCategory::Other)];
+        for i in 0..4 {
+            avg_org[i] += row_o[i] / artifacts.len() as f64;
+            avg_syn[i] += row_s[i] / artifacts.len() as f64;
+        }
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%   {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            a.workload.name,
+            row_o[0] * 100.0, row_o[1] * 100.0, row_o[2] * 100.0, row_o[3] * 100.0,
+            row_s[0] * 100.0, row_s[1] * 100.0, row_s[2] * 100.0, row_s[3] * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%   {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+        "average",
+        avg_org[0] * 100.0, avg_org[1] * 100.0, avg_org[2] * 100.0, avg_org[3] * 100.0,
+        avg_syn[0] * 100.0, avg_syn[1] * 100.0, avg_syn[2] * 100.0, avg_syn[3] * 100.0
+    );
+    out
+}
+
+/// Figures 7 and 8: data-cache hit rates from 1 KB to 32 KB at the given
+/// optimization level, original versus synthetic.
+pub fn fig07_08(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
+    let sizes = [1u64, 2, 4, 8, 16, 32];
+    let mut out = String::new();
+    let _ = writeln!(out, "Figures 7/8 — data cache hit rates at {level} (original | synthetic)");
+    let header: Vec<String> = sizes.iter().map(|s| format!("{s}KB")).collect();
+    let _ = writeln!(out, "{:<24} {}  |  {}", "benchmark", header.join("  "), header.join("  "));
+    for a in artifacts {
+        let (o, s) = a.compile_pair(&CompileOptions::new(level, TargetIsa::X86));
+        let rates = |p: &Program| -> Vec<f64> {
+            let mut obs = CacheObserver::new(sizes.map(CacheConfig::kb));
+            execute(p, &mut obs, &ExecConfig::default());
+            obs.sweep.results().iter().map(|(_, st)| st.hit_rate()).collect()
+        };
+        let ro = rates(&o);
+        let rs = rates(&s);
+        let fmt = |v: &[f64]| v.iter().map(|r| format!("{:>4.1}", r * 100.0)).collect::<Vec<_>>().join("  ");
+        let _ = writeln!(out, "{:<24} {}  |  {}", a.workload.name, fmt(&ro), fmt(&rs));
+    }
+    out
+}
+
+/// Figure 9: branch prediction accuracy with the hybrid predictor, original
+/// and synthetic, at -O0 and -O2.
+pub fn fig09(artifacts: &[WorkloadArtifacts]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9 — hybrid branch predictor accuracy");
+    let _ = writeln!(out, "{:<24} {:>9} {:>9} {:>9} {:>9}", "benchmark", "org-O0", "org-O2", "syn-O0", "syn-O2");
+    for a in artifacts {
+        let acc = |p: &Program| {
+            let mut obs = PredictorObserver::new(Hybrid::default_config());
+            execute(p, &mut obs, &ExecConfig::default());
+            obs.stats.accuracy() * 100.0
+        };
+        let (o0, s0) = a.compile_pair(&CompileOptions::new(OptLevel::O0, TargetIsa::X86));
+        let (o2, s2) = a.compile_pair(&CompileOptions::new(OptLevel::O2, TargetIsa::X86));
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            a.workload.name, acc(&o0), acc(&o2), acc(&s0), acc(&s2)
+        );
+    }
+    out
+}
+
+/// Figure 10: CPI on a 2-wide out-of-order processor with 8/16/32 KB data
+/// caches, original versus synthetic.
+pub fn fig10(artifacts: &[WorkloadArtifacts]) -> String {
+    let sizes = [8u64, 16, 32];
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 10 — CPI on a 2-wide out-of-order processor (original | synthetic)");
+    let _ = writeln!(out, "{:<24} {:>6} {:>6} {:>6}  |  {:>6} {:>6} {:>6}", "benchmark", "8KB", "16KB", "32KB", "8KB", "16KB", "32KB");
+    for a in artifacts {
+        let (o, s) = a.compile_pair(&CompileOptions::new(OptLevel::O0, TargetIsa::X86));
+        let cpis = |p: &Program| -> Vec<f64> {
+            sizes.iter().map(|kb| simulate(p, PipelineConfig::ptlsim_2wide(*kb)).cpi()).collect()
+        };
+        let co = cpis(&o);
+        let cs = cpis(&s);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6.2} {:>6.2} {:>6.2}  |  {:>6.2} {:>6.2} {:>6.2}",
+            a.workload.name, co[0], co[1], co[2], cs[0], cs[1], cs[2]
+        );
+    }
+    out
+}
+
+/// Figure 11: normalized execution time across the five Table III machines
+/// and four optimization levels, original versus synthetic (benchmark
+/// consolidation over the suite, as in the paper).
+pub fn fig11(artifacts: &[WorkloadArtifacts]) -> String {
+    let machines = MachineConfig::table3();
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 11 — normalized execution time (to Pentium 4 3GHz at -O0)");
+    let _ = writeln!(out, "{:<20} {:<6} {:>12} {:>12}", "machine", "level", "original", "synthetic");
+
+    // Consolidate the whole suite into a single profile and clone.
+    let profiles: Vec<StatisticalProfile> = artifacts.iter().map(|a| a.profile.clone()).collect();
+    let merged = bsg_synth::consolidate(&profiles);
+    let consolidated =
+        synthesize_with_target(&merged, &SynthesisConfig::default(), SYNTH_TARGET_INSTRUCTIONS * 2);
+
+    let mut baseline: Option<(f64, f64)> = None;
+    for m in &machines {
+        for level in OptLevel::ALL {
+            let options = CompileOptions::new(level, target_isa_for(m.isa));
+            let mut org_time = 0.0;
+            for a in artifacts {
+                let o = compile(&a.workload.program, &options).expect("original compiles").program;
+                org_time += m.run(&o).time_ns;
+            }
+            let syn_prog = compile(&consolidated.benchmark.hll, &options).expect("clone compiles").program;
+            let syn_time = m.run(&syn_prog).time_ns;
+            let (ob, sb) = *baseline.get_or_insert((org_time, syn_time));
+            let _ = writeln!(
+                out,
+                "{:<20} {:<6} {:>12.3} {:>12.3}",
+                m.name,
+                level.to_string(),
+                org_time / ob,
+                syn_time / sb
+            );
+        }
+    }
+    out
+}
+
+/// §V-E: Moss / JPlag similarity between each original and its clone.
+pub fn obfuscation(artifacts: &[WorkloadArtifacts]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Benchmark obfuscation — plagiarism-detector similarity (lower is better)");
+    let _ = writeln!(out, "{:<24} {:>8} {:>8} {:>8}", "benchmark", "moss", "jplag", "hidden?");
+    for a in artifacts {
+        let original_c = cemit::emit_c(&a.workload.program);
+        let report = SimilarityReport::compare(&original_c, &a.synthesis.benchmark.c_source);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>7.1}% {:>7.1}% {:>8}",
+            a.workload.name,
+            report.moss * 100.0,
+            report.jplag * 100.0,
+            if report.hides_proprietary_information(0.5) { "yes" } else { "NO" }
+        );
+    }
+    out
+}
+
+/// Emits a complete HLL program's C text (helper for examples / binaries).
+pub fn c_source_of(program: &HllProgram) -> String {
+    cemit::emit_c(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_generators_produce_output() {
+        assert!(table1().contains("class"));
+        assert!(table3().contains("Itanium 2"));
+        assert!(fig02().contains("removed"));
+    }
+
+    #[test]
+    fn end_to_end_artifacts_for_one_workload() {
+        let w = suite(InputSize::Small).remove(3); // crc32/small
+        let art = WorkloadArtifacts::prepare(w, 20_000);
+        assert!(art.synthesis.instruction_reduction() > 1.0);
+        let text = fig04(&[art]);
+        assert!(text.contains("crc32"));
+    }
+}

@@ -1,0 +1,170 @@
+//! ISA-specific code generation.
+//!
+//! Three target-dependent effects are modeled, each of which the paper's
+//! cross-ISA experiments (Figures 6 and 11) depend on:
+//!
+//! 1. **Memory-operand folding** (x86 / x86-64): an adjacent load whose only
+//!    consumer is the next ALU instruction is folded into that instruction as
+//!    a CISC memory operand.  The memory access still happens (the cache
+//!    simulator sees it), but the dynamic instruction count drops.
+//! 2. **Register-file size** (all ISAs): values live across basic blocks that
+//!    do not fit in the allocatable register file are spilled
+//!    (see [`crate::regalloc`]), adding loads and stores.  x86 has the
+//!    smallest file, IA-64 the largest.
+//! 3. **Static scheduling** (IA-64 only, `-O2` and above): blocks are
+//!    list-scheduled again after spill code insertion, modeling the EPIC
+//!    compiler's responsibility for latency hiding.  In-order execution of
+//!    *unscheduled* IA-64 code is what makes Itanium so sensitive to the
+//!    optimization level in Figure 11.
+
+use crate::passes::schedule;
+use crate::{CompileOptions, CompileStats, OptLevel};
+use bsg_ir::types::Reg;
+use bsg_ir::visa::{Inst, Operand};
+use bsg_ir::Program;
+use std::collections::HashMap;
+
+/// Applies ISA-specific code generation in place.
+pub fn generate(program: &mut Program, options: &CompileOptions, stats: &mut CompileStats) {
+    if options.isa.has_memory_operands() && options.opt_level >= OptLevel::O1 {
+        stats.loads_folded += fold_memory_operands(program);
+    }
+    stats.spill_insts_inserted += crate::regalloc::allocate(program, options.isa.allocatable_regs());
+    if options.isa.is_epic() && options.opt_level >= OptLevel::O2 {
+        stats.insts_scheduled += schedule::schedule_blocks(program);
+    }
+}
+
+/// Folds `load r, [addr]; op ..., r, ...` pairs into a single instruction with
+/// a memory operand when `r` has no other use.  Returns the number of loads
+/// folded away.
+pub fn fold_memory_operands(program: &mut Program) -> usize {
+    let mut folded = 0;
+    for f in &mut program.functions {
+        // Count every use and def of each register across the function.
+        let mut uses: HashMap<Reg, usize> = HashMap::new();
+        let mut defs: HashMap<Reg, usize> = HashMap::new();
+        for block in &f.blocks {
+            for inst in &block.insts {
+                for u in inst.uses() {
+                    *uses.entry(u).or_insert(0) += 1;
+                }
+                if let Some(d) = inst.def() {
+                    *defs.entry(d).or_insert(0) += 1;
+                }
+            }
+            for u in block.term.uses() {
+                *uses.entry(u).or_insert(0) += 1;
+            }
+        }
+
+        for block in &mut f.blocks {
+            let mut i = 0;
+            while i + 1 < block.insts.len() {
+                let foldable = match (&block.insts[i], &block.insts[i + 1]) {
+                    (Inst::Load { dst, addr, .. }, Inst::Bin { lhs, rhs, .. }) => {
+                        let single_use = uses.get(dst).copied().unwrap_or(0) == 1
+                            && defs.get(dst).copied().unwrap_or(0) == 1;
+                        let consumed_here =
+                            lhs.as_reg() == Some(*dst) || rhs.as_reg() == Some(*dst);
+                        // Never create an instruction with two memory operands.
+                        let has_mem = lhs.is_mem() || rhs.is_mem();
+                        if single_use && consumed_here && !has_mem {
+                            Some((*dst, *addr))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some((dst, addr)) = foldable {
+                    if let Inst::Bin { lhs, rhs, .. } = &mut block.insts[i + 1] {
+                        if lhs.as_reg() == Some(dst) {
+                            *lhs = Operand::Mem(addr);
+                        } else {
+                            *rhs = Operand::Mem(addr);
+                        }
+                    }
+                    block.insts.remove(i);
+                    folded += 1;
+                    // Do not advance: the instruction now at `i` may itself be a load.
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions, OptLevel, TargetIsa};
+    use bsg_ir::build::FunctionBuilder;
+    use bsg_ir::hll::{Expr, HllGlobal, HllProgram};
+    use bsg_ir::program::{Function, Global};
+    use bsg_ir::types::{GlobalId, Ty};
+    use bsg_ir::visa::{Address, BinOp, Terminator};
+
+    #[test]
+    fn folds_single_use_adjacent_loads_only() {
+        let mut p = Program::new();
+        p.add_global(Global::zeroed("g", 8));
+        let mut f = Function::new("main");
+        let a = f.fresh_reg();
+        let b = f.fresh_reg();
+        let c = f.fresh_reg();
+        let d = f.fresh_reg();
+        f.blocks[0].insts = vec![
+            // foldable: a is only used by the add
+            Inst::Load { dst: a, addr: Address::global(GlobalId(0), 0), ty: Ty::Int },
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: c, lhs: a.into(), rhs: Operand::ImmInt(1) },
+            // not foldable: b is used twice
+            Inst::Load { dst: b, addr: Address::global(GlobalId(0), 1), ty: Ty::Int },
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: d, lhs: b.into(), rhs: b.into() },
+        ];
+        f.blocks[0].term = Terminator::Return(Some(d.into()));
+        p.add_function(f);
+        assert_eq!(fold_memory_operands(&mut p), 1);
+        let insts = &p.functions[0].blocks[0].insts;
+        assert_eq!(insts.len(), 3);
+        assert!(matches!(insts[0], Inst::Bin { lhs: Operand::Mem(_), .. }));
+        assert!(p.validate().is_empty());
+    }
+
+    fn looped_program() -> HllProgram {
+        let mut p = HllProgram::new();
+        p.add_global(HllGlobal::zeroed("data", 256));
+        let mut f = FunctionBuilder::new("main");
+        f.for_loop("i", Expr::int(0), Expr::int(64), |b| {
+            b.assign_var(
+                "acc",
+                Expr::add(Expr::var("acc"), Expr::index("data", Expr::var("i"))),
+            );
+        });
+        f.ret(Some(Expr::var("acc")));
+        p.add_function(f.finish());
+        p
+    }
+
+    #[test]
+    fn x86_codegen_folds_loads_but_ia64_does_not() {
+        let hll = looped_program();
+        let x86 = compile(&hll, &CompileOptions::new(OptLevel::O2, TargetIsa::X86)).unwrap();
+        let ia64 = compile(&hll, &CompileOptions::new(OptLevel::O2, TargetIsa::Ia64)).unwrap();
+        assert!(x86.stats.loads_folded > 0);
+        assert_eq!(ia64.stats.loads_folded, 0);
+    }
+
+    #[test]
+    fn epic_schedules_at_o2_but_not_o0() {
+        let hll = looped_program();
+        let o2 = compile(&hll, &CompileOptions::new(OptLevel::O2, TargetIsa::Ia64)).unwrap();
+        let o0 = compile(&hll, &CompileOptions::new(OptLevel::O0, TargetIsa::Ia64)).unwrap();
+        assert_eq!(o0.stats.insts_scheduled, 0);
+        // Scheduling may or may not move instructions in this tiny kernel, but
+        // the pass must at least have run without breaking the program.
+        assert!(o2.program.validate().is_empty());
+    }
+}

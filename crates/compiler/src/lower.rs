@@ -1,0 +1,639 @@
+//! Lowering from the HLL AST to the virtual ISA.
+//!
+//! Two lowering modes model the two ends of the compiler spectrum the paper
+//! relies on:
+//!
+//! * [`LowerMode::StackScalars`] (used for `-O0`): every scalar variable
+//!   lives in the function's stack frame.  Each read issues a load and each
+//!   write issues a store, exactly like unoptimized GCC output.  This is the
+//!   form workloads are *profiled* in (§II-A).
+//! * [`LowerMode::RegisterScalars`] (used for `-O1` and above): scalars are
+//!   promoted to virtual registers, removing the great majority of loads and
+//!   stores — the dominant effect behind the paper's Figure 5 and Figure 6
+//!   optimization-level trends.
+
+use crate::CompileError;
+use bsg_ir::hll::{Expr, HllFunction, HllProgram, LValue, Stmt};
+use bsg_ir::program::{Function, Global, GlobalInit, Program};
+use bsg_ir::types::{BlockId, FuncId, GlobalId, Reg, Ty};
+use bsg_ir::visa::{Address, BinOp, Inst, Operand, Terminator, UnOp};
+use std::collections::HashMap;
+
+/// How scalar variables are materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LowerMode {
+    /// Scalars live in the stack frame (GCC `-O0` behaviour).
+    StackScalars,
+    /// Scalars are promoted to virtual registers (`-O1` and above).
+    RegisterScalars,
+}
+
+/// Lowers a whole HLL program.
+///
+/// # Errors
+///
+/// See [`CompileError`]; lowering validates name resolution, call arity and
+/// loop-control placement.
+pub fn lower(hll: &HllProgram, mode: LowerMode) -> Result<Program, CompileError> {
+    let mut program = Program::new();
+
+    // Globals keep their declaration order so `GlobalId(i)` == i-th HLL global.
+    let mut global_map: HashMap<String, (GlobalId, Ty)> = HashMap::new();
+    for g in &hll.globals {
+        let init = if g.iota {
+            GlobalInit::Iota
+        } else if g.init.is_empty() {
+            GlobalInit::Zero
+        } else {
+            GlobalInit::Values(g.init.clone())
+        };
+        let id = program.add_global(Global { name: g.name.clone(), elems: g.elems, ty: g.ty, init });
+        global_map.insert(g.name.clone(), (id, g.ty));
+    }
+
+    // Function signature table (name -> id, arity) in declaration order.
+    let mut func_map: HashMap<String, (FuncId, usize)> = HashMap::new();
+    for (i, f) in hll.functions.iter().enumerate() {
+        func_map.insert(f.name.clone(), (FuncId(i as u32), f.params.len()));
+    }
+    let Some(&(entry, _)) = func_map.get(&hll.entry) else {
+        return Err(CompileError::MissingEntry(hll.entry.clone()));
+    };
+
+    for f in &hll.functions {
+        let lowered = FuncLowerer::new(f, mode, &global_map, &func_map).lower()?;
+        program.add_function(lowered);
+    }
+    program.entry = entry;
+    Ok(program)
+}
+
+/// Where a scalar variable lives.
+#[derive(Debug, Clone, Copy)]
+enum VarPlace {
+    Frame(i64),
+    Register(Reg),
+}
+
+struct FuncLowerer<'a> {
+    src: &'a HllFunction,
+    mode: LowerMode,
+    globals: &'a HashMap<String, (GlobalId, Ty)>,
+    funcs: &'a HashMap<String, (FuncId, usize)>,
+    func: Function,
+    vars: HashMap<String, VarPlace>,
+    var_types: HashMap<String, Ty>,
+    cur: BlockId,
+    /// (continue target, break target) for each enclosing loop.
+    loop_stack: Vec<(BlockId, BlockId)>,
+}
+
+impl<'a> FuncLowerer<'a> {
+    fn new(
+        src: &'a HllFunction,
+        mode: LowerMode,
+        globals: &'a HashMap<String, (GlobalId, Ty)>,
+        funcs: &'a HashMap<String, (FuncId, usize)>,
+    ) -> Self {
+        FuncLowerer {
+            src,
+            mode,
+            globals,
+            funcs,
+            func: Function::new(src.name.clone()),
+            vars: HashMap::new(),
+            var_types: HashMap::new(),
+            cur: BlockId(0),
+            loop_stack: Vec::new(),
+        }
+    }
+
+    fn lower(mut self) -> Result<Function, CompileError> {
+        // Record declared float variables.
+        for v in &self.src.float_vars {
+            self.var_types.insert(v.clone(), Ty::Float);
+        }
+        // Parameters arrive in fresh registers; in stack mode they are
+        // immediately spilled to their frame slot (like GCC -O0 prologues).
+        let param_regs: Vec<Reg> = self.src.params.iter().map(|_| self.func.fresh_reg()).collect();
+        self.func.params = param_regs.clone();
+        for (name, reg) in self.src.params.iter().zip(param_regs) {
+            match self.mode {
+                LowerMode::StackScalars => {
+                    let slot = self.func.fresh_frame_slot();
+                    self.vars.insert(name.clone(), VarPlace::Frame(slot));
+                    let ty = self.var_ty(name);
+                    self.emit(Inst::Store { src: reg.into(), addr: Address::frame(slot), ty });
+                }
+                LowerMode::RegisterScalars => {
+                    self.vars.insert(name.clone(), VarPlace::Register(reg));
+                }
+            }
+        }
+        let body = self.src.body.clone();
+        self.lower_stmts(&body)?;
+        // Fall-through return.  (Blocks created by `add_block` already end in
+        // `Return(None)`, so only the current block needs checking.)
+        if !matches!(self.func.block(self.cur).term, Terminator::Return(_)) {
+            self.func.block_mut(self.cur).term = Terminator::Return(None);
+        }
+        Ok(self.func)
+    }
+
+    // ---- helpers -----------------------------------------------------------
+
+    fn emit(&mut self, inst: Inst) {
+        self.func.block_mut(self.cur).insts.push(inst);
+    }
+
+    fn set_term(&mut self, term: Terminator) {
+        self.func.block_mut(self.cur).term = term;
+    }
+
+    fn start_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    fn var_ty(&self, name: &str) -> Ty {
+        self.var_types.get(name).copied().unwrap_or(Ty::Int)
+    }
+
+    fn var_place(&mut self, name: &str) -> VarPlace {
+        if let Some(p) = self.vars.get(name) {
+            return *p;
+        }
+        let place = match self.mode {
+            LowerMode::StackScalars => VarPlace::Frame(self.func.fresh_frame_slot()),
+            LowerMode::RegisterScalars => VarPlace::Register(self.func.fresh_reg()),
+        };
+        self.vars.insert(name.to_string(), place);
+        place
+    }
+
+    /// Materializes an operand into a register (needed for branch conditions
+    /// and address index registers).
+    fn into_reg(&mut self, op: Operand) -> Reg {
+        match op {
+            Operand::Reg(r) => r,
+            other => {
+                let r = self.func.fresh_reg();
+                self.emit(Inst::Mov { dst: r, src: other });
+                r
+            }
+        }
+    }
+
+    fn read_var(&mut self, name: &str) -> (Operand, Ty) {
+        let ty = self.var_ty(name);
+        match self.var_place(name) {
+            VarPlace::Frame(slot) => {
+                let dst = self.func.fresh_reg();
+                self.emit(Inst::Load { dst, addr: Address::frame(slot), ty });
+                (dst.into(), ty)
+            }
+            VarPlace::Register(r) => (r.into(), ty),
+        }
+    }
+
+    fn write_var(&mut self, name: &str, value: Operand, value_ty: Ty) {
+        // Declared float variables keep their float type; otherwise adopt the
+        // type of the first assigned value.
+        self.var_types.entry(name.to_string()).or_insert(value_ty);
+        let ty = self.var_ty(name);
+        match self.var_place(name) {
+            VarPlace::Frame(slot) => {
+                self.emit(Inst::Store { src: value, addr: Address::frame(slot), ty });
+            }
+            VarPlace::Register(r) => {
+                self.emit(Inst::Mov { dst: r, src: value });
+            }
+        }
+    }
+
+    fn global(&self, name: &str) -> Result<(GlobalId, Ty), CompileError> {
+        self.globals.get(name).copied().ok_or_else(|| CompileError::UnknownGlobal(name.to_string()))
+    }
+
+    fn global_address(&mut self, name: &str, index: &Expr) -> Result<(Address, Ty), CompileError> {
+        let (gid, ty) = self.global(name)?;
+        let addr = match self.lower_expr(index)? {
+            (Operand::ImmInt(i), _) => Address::global(gid, i),
+            (op, _) => {
+                let r = self.into_reg(op);
+                Address::global_indexed(gid, 0, r, 1)
+            }
+        };
+        Ok((addr, ty))
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.lower_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Assign { target, value } => {
+                let (v, vty) = self.lower_expr(value)?;
+                self.store_lvalue(target, v, vty)?;
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let (c, _) = self.lower_expr(cond)?;
+                let cond_reg = self.into_reg(c);
+                let then_bb = self.start_block();
+                let merge_bb = self.start_block();
+                let else_bb = if else_branch.is_empty() { merge_bb } else { self.start_block() };
+                self.set_term(Terminator::Branch { cond: cond_reg, taken: then_bb, not_taken: else_bb });
+
+                self.switch_to(then_bb);
+                self.lower_stmts(then_branch)?;
+                self.finish_branch_into(merge_bb);
+
+                if !else_branch.is_empty() {
+                    self.switch_to(else_bb);
+                    self.lower_stmts(else_branch)?;
+                    self.finish_branch_into(merge_bb);
+                }
+                self.switch_to(merge_bb);
+            }
+            Stmt::While { cond, body } => {
+                let header = self.start_block();
+                let body_bb = self.start_block();
+                let exit = self.start_block();
+                self.set_term(Terminator::Jump(header));
+
+                self.switch_to(header);
+                let (c, _) = self.lower_expr(cond)?;
+                let cond_reg = self.into_reg(c);
+                self.set_term(Terminator::Branch { cond: cond_reg, taken: body_bb, not_taken: exit });
+
+                self.loop_stack.push((header, exit));
+                self.switch_to(body_bb);
+                self.lower_stmts(body)?;
+                self.finish_branch_into(header);
+                self.loop_stack.pop();
+
+                self.switch_to(exit);
+            }
+            Stmt::For { var, init, limit, step, body } => {
+                // var = init;
+                let (init_op, init_ty) = self.lower_expr(init)?;
+                self.write_var(var, init_op, init_ty);
+
+                let header = self.start_block();
+                let body_bb = self.start_block();
+                let latch = self.start_block();
+                let exit = self.start_block();
+                self.set_term(Terminator::Jump(header));
+
+                // header: if (var < limit) goto body else exit
+                self.switch_to(header);
+                let (v, vty) = self.read_var(var);
+                let (l, lty) = self.lower_expr(limit)?;
+                let cmp_ty = if vty == Ty::Float || lty == Ty::Float { Ty::Float } else { Ty::Int };
+                let cond = self.func.fresh_reg();
+                self.emit(Inst::Bin { op: BinOp::Lt, ty: cmp_ty, dst: cond, lhs: v, rhs: l });
+                self.set_term(Terminator::Branch { cond, taken: body_bb, not_taken: exit });
+
+                // body
+                self.loop_stack.push((latch, exit));
+                self.switch_to(body_bb);
+                self.lower_stmts(body)?;
+                self.finish_branch_into(latch);
+                self.loop_stack.pop();
+
+                // latch: var = var + step; goto header
+                self.switch_to(latch);
+                let (v2, v2ty) = self.read_var(var);
+                let (s, sty) = self.lower_expr(step)?;
+                let add_ty = if v2ty == Ty::Float || sty == Ty::Float { Ty::Float } else { Ty::Int };
+                let next = self.func.fresh_reg();
+                self.emit(Inst::Bin { op: BinOp::Add, ty: add_ty, dst: next, lhs: v2, rhs: s });
+                self.write_var(var, next.into(), add_ty);
+                self.set_term(Terminator::Jump(header));
+
+                self.switch_to(exit);
+            }
+            Stmt::Call { name, args, dst } => {
+                let ret = self.lower_call(name, args, dst.is_some())?;
+                if let (Some(d), Some(r)) = (dst, ret) {
+                    self.store_lvalue(d, r.into(), Ty::Int)?;
+                }
+            }
+            Stmt::Return(v) => {
+                let op = match v {
+                    Some(e) => Some(self.lower_expr(e)?.0),
+                    None => None,
+                };
+                self.set_term(Terminator::Return(op));
+                let dead = self.start_block();
+                self.switch_to(dead);
+            }
+            Stmt::Print(e) => {
+                let (op, _) = self.lower_expr(e)?;
+                self.emit(Inst::Print { src: op });
+            }
+            Stmt::Break => {
+                let Some(&(_, exit)) = self.loop_stack.last() else {
+                    return Err(CompileError::StrayLoopControl("break"));
+                };
+                self.set_term(Terminator::Jump(exit));
+                let dead = self.start_block();
+                self.switch_to(dead);
+            }
+            Stmt::Continue => {
+                let Some(&(cont, _)) = self.loop_stack.last() else {
+                    return Err(CompileError::StrayLoopControl("continue"));
+                };
+                self.set_term(Terminator::Jump(cont));
+                let dead = self.start_block();
+                self.switch_to(dead);
+            }
+        }
+        Ok(())
+    }
+
+    /// Ends the current block with a jump to `target` unless it already has an
+    /// explicit terminator (e.g. the branch body ended with `return`/`break`).
+    fn finish_branch_into(&mut self, target: BlockId) {
+        if matches!(self.func.block(self.cur).term, Terminator::Return(None))
+            && !self.block_explicitly_returns(self.cur)
+        {
+            self.set_term(Terminator::Jump(target));
+        }
+    }
+
+    /// A `Return(None)` terminator is ambiguous: it is both the default
+    /// placeholder of a freshly created block and an explicit `return;`.
+    /// Lowering always follows an explicit return with a fresh dead block and
+    /// switches to it, so the *current* block at `finish_branch_into` time can
+    /// only carry a placeholder.  This helper documents that invariant.
+    fn block_explicitly_returns(&self, _b: BlockId) -> bool {
+        false
+    }
+
+    fn store_lvalue(&mut self, target: &LValue, value: Operand, vty: Ty) -> Result<(), CompileError> {
+        match target {
+            LValue::Var(name) => {
+                self.write_var(name, value, vty);
+                Ok(())
+            }
+            LValue::Index(array, idx) => {
+                let (addr, gty) = self.global_address(array, idx)?;
+                self.emit(Inst::Store { src: value, addr, ty: gty });
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        want_result: bool,
+    ) -> Result<Option<Reg>, CompileError> {
+        let Some(&(fid, arity)) = self.funcs.get(name) else {
+            return Err(CompileError::UnknownFunction(name.to_string()));
+        };
+        if args.len() != arity {
+            return Err(CompileError::ArityMismatch {
+                function: name.to_string(),
+                supplied: args.len(),
+                expected: arity,
+            });
+        }
+        let mut arg_ops = Vec::with_capacity(args.len());
+        for a in args {
+            arg_ops.push(self.lower_expr(a)?.0);
+        }
+        let dst = if want_result { Some(self.func.fresh_reg()) } else { None };
+        self.emit(Inst::Call { func: fid, args: arg_ops, dst });
+        Ok(dst)
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<(Operand, Ty), CompileError> {
+        match e {
+            Expr::Int(v) => Ok((Operand::ImmInt(*v), Ty::Int)),
+            Expr::Float(v) => Ok((Operand::ImmFloat(*v), Ty::Float)),
+            Expr::Var(name) => Ok(self.read_var(name)),
+            Expr::Index(array, idx) => {
+                let (addr, gty) = self.global_address(array, idx)?;
+                let dst = self.func.fresh_reg();
+                self.emit(Inst::Load { dst, addr, ty: gty });
+                Ok((dst.into(), gty))
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let (l, lty) = self.lower_expr(lhs)?;
+                let (r, rty) = self.lower_expr(rhs)?;
+                let ty = if lty == Ty::Float || rty == Ty::Float { Ty::Float } else { Ty::Int };
+                let dst = self.func.fresh_reg();
+                self.emit(Inst::Bin { op: *op, ty, dst, lhs: l, rhs: r });
+                let result_ty = if op.is_comparison() { Ty::Int } else { ty };
+                Ok((dst.into(), result_ty))
+            }
+            Expr::Un(op, inner) => {
+                let (v, vty) = self.lower_expr(inner)?;
+                let (inst_ty, result_ty) = match op {
+                    UnOp::ToFloat => (Ty::Float, Ty::Float),
+                    UnOp::ToInt => (Ty::Int, Ty::Int),
+                    UnOp::Sqrt | UnOp::Sin | UnOp::Cos | UnOp::Log => (Ty::Float, Ty::Float),
+                    UnOp::Not | UnOp::LogicalNot => (Ty::Int, Ty::Int),
+                    UnOp::Neg | UnOp::Abs => (vty, vty),
+                };
+                let dst = self.func.fresh_reg();
+                self.emit(Inst::Un { op: *op, ty: inst_ty, dst, src: v });
+                Ok((dst.into(), result_ty))
+            }
+            Expr::Call(name, args) => {
+                let reg = self.lower_call(name, args, true)?.expect("call with result");
+                Ok((reg.into(), Ty::Int))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_ir::build::FunctionBuilder;
+    use bsg_ir::hll::HllGlobal;
+    use bsg_ir::visa::InstClass;
+
+    fn lower_main(build: impl FnOnce(&mut FunctionBuilder), mode: LowerMode) -> Program {
+        let mut f = FunctionBuilder::new("main");
+        build(&mut f);
+        let mut p = HllProgram::new();
+        p.add_global(HllGlobal::zeroed("buf", 32));
+        p.add_function(f.finish());
+        lower(&p, mode).expect("lowering succeeds")
+    }
+
+    fn count_class(p: &Program, class: InstClass) -> usize {
+        p.functions
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| i.class() == class)
+            .count()
+    }
+
+    #[test]
+    fn stack_mode_emits_loads_and_stores_for_scalars() {
+        let build = |f: &mut FunctionBuilder| {
+            f.assign_var("x", Expr::int(1));
+            f.assign_var("y", Expr::add(Expr::var("x"), Expr::var("x")));
+            f.ret(Some(Expr::var("y")));
+        };
+        let stack = lower_main(build, LowerMode::StackScalars);
+        let reg = lower_main(build, LowerMode::RegisterScalars);
+        assert!(count_class(&stack, InstClass::Load) >= 3);
+        assert!(count_class(&stack, InstClass::Store) >= 2);
+        assert_eq!(count_class(&reg, InstClass::Load), 0);
+        assert_eq!(count_class(&reg, InstClass::Store), 0);
+    }
+
+    #[test]
+    fn for_loop_structure_has_header_body_latch_exit() {
+        let p = lower_main(
+            |f| {
+                f.for_loop("i", Expr::int(0), Expr::int(4), |b| {
+                    b.assign_index("buf", Expr::var("i"), Expr::var("i"));
+                });
+                f.ret(None);
+            },
+            LowerMode::RegisterScalars,
+        );
+        let main = &p.functions[0];
+        // entry + header + body + latch + exit = at least 5 blocks
+        assert!(main.blocks.len() >= 5);
+        let forest = bsg_ir::cfg::LoopForest::compute(main);
+        assert_eq!(forest.loops.len(), 1);
+        assert!(p.validate().is_empty());
+    }
+
+    #[test]
+    fn break_and_continue_target_the_right_blocks() {
+        let p = lower_main(
+            |f| {
+                f.for_loop("i", Expr::int(0), Expr::int(10), |b| {
+                    b.if_then(Expr::eq(Expr::var("i"), Expr::int(3)), |t| {
+                        t.brk();
+                    });
+                    b.if_then(Expr::eq(Expr::var("i"), Expr::int(1)), |t| {
+                        t.cont();
+                    });
+                    b.assign_index("buf", Expr::var("i"), Expr::int(7));
+                });
+                f.ret(None);
+            },
+            LowerMode::RegisterScalars,
+        );
+        assert!(p.validate().is_empty(), "{:?}", p.validate());
+        let forest = bsg_ir::cfg::LoopForest::compute(&p.functions[0]);
+        assert_eq!(forest.loops.len(), 1);
+    }
+
+    #[test]
+    fn stray_break_is_an_error() {
+        let mut f = FunctionBuilder::new("main");
+        f.body().brk();
+        let p = HllProgram::with_main(f.finish());
+        assert_eq!(lower(&p, LowerMode::RegisterScalars), Err(CompileError::StrayLoopControl("break")));
+    }
+
+    #[test]
+    fn unknown_function_and_arity_errors() {
+        let mut f = FunctionBuilder::new("main");
+        f.call("nope", vec![]);
+        let p = HllProgram::with_main(f.finish());
+        assert!(matches!(
+            lower(&p, LowerMode::RegisterScalars),
+            Err(CompileError::UnknownFunction(_))
+        ));
+
+        let mut callee = FunctionBuilder::new("callee");
+        callee.param("a");
+        callee.ret(Some(Expr::var("a")));
+        let mut caller = FunctionBuilder::new("main");
+        caller.call("callee", vec![]);
+        let mut p2 = HllProgram::with_main(caller.finish());
+        p2.add_function(callee.finish());
+        assert!(matches!(
+            lower(&p2, LowerMode::RegisterScalars),
+            Err(CompileError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let mut p = HllProgram::new();
+        p.entry = "main".to_string();
+        p.add_function(HllFunction::new("helper"));
+        assert!(matches!(lower(&p, LowerMode::StackScalars), Err(CompileError::MissingEntry(_))));
+    }
+
+    #[test]
+    fn params_are_spilled_at_o0_but_not_at_o1() {
+        let mut callee = FunctionBuilder::new("callee");
+        callee.param("a");
+        callee.ret(Some(Expr::add(Expr::var("a"), Expr::int(1))));
+        let mut main = FunctionBuilder::new("main");
+        main.call_assign("r", "callee", vec![Expr::int(41)]);
+        main.ret(Some(Expr::var("r")));
+        let mut p = HllProgram::with_main(main.finish());
+        p.add_function(callee.finish());
+
+        let stack = lower(&p, LowerMode::StackScalars).unwrap();
+        let reg = lower(&p, LowerMode::RegisterScalars).unwrap();
+        let callee_stack = &stack.functions[stack.function_by_name("callee").unwrap().index()];
+        let callee_reg = &reg.functions[reg.function_by_name("callee").unwrap().index()];
+        assert!(callee_stack.frame_words >= 1);
+        assert_eq!(callee_reg.frame_words, 0);
+        assert!(stack.validate().is_empty());
+        assert!(reg.validate().is_empty());
+    }
+
+    #[test]
+    fn float_expressions_get_float_instruction_types() {
+        let p = lower_main(
+            |f| {
+                f.float_var("x");
+                f.assign_var("x", Expr::mul(Expr::float(1.5), Expr::float(2.0)));
+                f.assign_var("x", Expr::un(UnOp::Sqrt, Expr::var("x")));
+                f.ret(None);
+            },
+            LowerMode::RegisterScalars,
+        );
+        assert!(count_class(&p, InstClass::FpMul) >= 1);
+        assert!(count_class(&p, InstClass::FpDiv) >= 1, "sqrt classifies as long-latency fp");
+    }
+
+    #[test]
+    fn while_loop_and_print_lower() {
+        let p = lower_main(
+            |f| {
+                f.assign_var("i", Expr::int(0));
+                f.while_loop(Expr::lt(Expr::var("i"), Expr::int(3)), |b| {
+                    b.print(Expr::var("i"));
+                    b.assign_var("i", Expr::add(Expr::var("i"), Expr::int(1)));
+                });
+                f.ret(Some(Expr::var("i")));
+            },
+            LowerMode::StackScalars,
+        );
+        assert!(p.validate().is_empty());
+        assert!(count_class(&p, InstClass::Other) >= 1, "print lowers to an Other-class inst");
+        let forest = bsg_ir::cfg::LoopForest::compute(&p.functions[0]);
+        assert_eq!(forest.loops.len(), 1);
+    }
+}

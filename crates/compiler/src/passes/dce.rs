@@ -1,0 +1,206 @@
+//! Dead-code elimination based on global (whole-function) register liveness.
+
+use bsg_ir::cfg;
+use bsg_ir::program::Function;
+use bsg_ir::types::Reg;
+use bsg_ir::visa::Inst;
+use bsg_ir::Program;
+use std::collections::HashSet;
+
+/// Removes pure instructions whose results are never used.  Returns the
+/// number of instructions removed.
+pub fn eliminate_dead_code(program: &mut Program) -> usize {
+    let mut removed = 0;
+    for f in &mut program.functions {
+        loop {
+            let n = eliminate_in_function(f);
+            removed += n;
+            if n == 0 {
+                break;
+            }
+        }
+    }
+    removed
+}
+
+fn eliminate_in_function(f: &mut Function) -> usize {
+    let adj = cfg::adjacency(f);
+    let n = f.blocks.len();
+
+    // Per-block upward-exposed uses and defs.
+    let mut ue_var = vec![HashSet::<Reg>::new(); n];
+    let mut defs = vec![HashSet::<Reg>::new(); n];
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for inst in &block.insts {
+            for u in inst.uses() {
+                if !defs[bi].contains(&u) {
+                    ue_var[bi].insert(u);
+                }
+            }
+            if let Some(d) = inst.def() {
+                defs[bi].insert(d);
+            }
+        }
+        for u in block.term.uses() {
+            if !defs[bi].contains(&u) {
+                ue_var[bi].insert(u);
+            }
+        }
+    }
+
+    // Backward dataflow to a fixed point.
+    let mut live_in = vec![HashSet::<Reg>::new(); n];
+    let mut live_out = vec![HashSet::<Reg>::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..n).rev() {
+            let mut out = HashSet::new();
+            for s in &adj.succs[bi] {
+                out.extend(live_in[s.index()].iter().copied());
+            }
+            let mut inn = ue_var[bi].clone();
+            for r in &out {
+                if !defs[bi].contains(r) {
+                    inn.insert(*r);
+                }
+            }
+            if out != live_out[bi] || inn != live_in[bi] {
+                live_out[bi] = out;
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    // Backward sweep within each block.
+    let mut removed = 0;
+    for (bi, block) in f.blocks.iter_mut().enumerate() {
+        let mut live = live_out[bi].clone();
+        for u in block.term.uses() {
+            live.insert(u);
+        }
+        let mut keep = vec![true; block.insts.len()];
+        for (ii, inst) in block.insts.iter().enumerate().rev() {
+            let dead_def = match inst.def() {
+                Some(d) => !live.contains(&d),
+                None => false,
+            };
+            let useless_self_move = matches!(inst, Inst::Mov { dst, src } if src.as_reg() == Some(*dst));
+            if (dead_def && !inst.has_side_effect()) || useless_self_move {
+                keep[ii] = false;
+                removed += 1;
+                continue;
+            }
+            if let Some(d) = inst.def() {
+                live.remove(&d);
+            }
+            for u in inst.uses() {
+                live.insert(u);
+            }
+        }
+        let mut idx = 0;
+        block.insts.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_ir::program::{Function, Global, Program};
+    use bsg_ir::types::{BlockId, GlobalId, Ty};
+    use bsg_ir::visa::{Address, BinOp, Operand, Terminator};
+
+    #[test]
+    fn removes_unused_pure_instructions_but_keeps_side_effects() {
+        let mut p = Program::new();
+        p.add_global(Global::zeroed("g", 8));
+        let mut f = Function::new("main");
+        let r0 = f.fresh_reg();
+        let r1 = f.fresh_reg();
+        let r2 = f.fresh_reg();
+        f.blocks[0].insts = vec![
+            Inst::Mov { dst: r0, src: Operand::ImmInt(1) },
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r1, lhs: r0.into(), rhs: Operand::ImmInt(2) }, // dead
+            Inst::Store { src: r0.into(), addr: Address::global(GlobalId(0), 0), ty: Ty::Int },
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r2, lhs: r0.into(), rhs: Operand::ImmInt(3) },
+            Inst::Mov { dst: r2, src: r2.into() }, // self move
+        ];
+        f.blocks[0].term = Terminator::Return(Some(r2.into()));
+        p.add_function(f);
+        let removed = eliminate_dead_code(&mut p);
+        assert_eq!(removed, 2);
+        assert_eq!(p.functions[0].blocks[0].insts.len(), 3);
+        let _ = r1;
+    }
+
+    #[test]
+    fn liveness_crosses_block_boundaries() {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let r0 = f.fresh_reg();
+        let r1 = f.fresh_reg();
+        let b1 = f.add_block();
+        f.blocks[0].insts = vec![
+            Inst::Mov { dst: r0, src: Operand::ImmInt(5) },
+            Inst::Mov { dst: r1, src: Operand::ImmInt(9) },
+        ];
+        f.blocks[0].term = Terminator::Jump(b1);
+        f.blocks[b1.index()].term = Terminator::Return(Some(r0.into()));
+        p.add_function(f);
+        let removed = eliminate_dead_code(&mut p);
+        assert_eq!(removed, 1, "r1 is dead across blocks, r0 is live");
+        assert_eq!(p.functions[0].blocks[0].insts.len(), 1);
+        assert!(matches!(p.functions[0].blocks[0].insts[0], Inst::Mov { dst, .. } if dst == r0));
+        let _ = BlockId(0);
+    }
+
+    #[test]
+    fn cascading_dead_chains_are_fully_removed() {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let r0 = f.fresh_reg();
+        let r1 = f.fresh_reg();
+        let r2 = f.fresh_reg();
+        f.blocks[0].insts = vec![
+            Inst::Mov { dst: r0, src: Operand::ImmInt(1) },
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r1, lhs: r0.into(), rhs: Operand::ImmInt(1) },
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r2, lhs: r1.into(), rhs: Operand::ImmInt(1) },
+        ];
+        f.blocks[0].term = Terminator::Return(None);
+        p.add_function(f);
+        let removed = eliminate_dead_code(&mut p);
+        assert_eq!(removed, 3, "the whole chain is dead");
+        assert!(p.functions[0].blocks[0].insts.is_empty());
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        // bb0: r0 = 0; jump bb1
+        // bb1: r0 = r0 + 1; branch r0 ? bb1 : bb2
+        // bb2: return r0
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let r0 = f.fresh_reg();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        f.blocks[0].insts = vec![Inst::Mov { dst: r0, src: Operand::ImmInt(0) }];
+        f.blocks[0].term = Terminator::Jump(b1);
+        f.blocks[b1.index()].insts = vec![Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::Int,
+            dst: r0,
+            lhs: r0.into(),
+            rhs: Operand::ImmInt(1),
+        }];
+        f.blocks[b1.index()].term = Terminator::Branch { cond: r0, taken: b1, not_taken: b2 };
+        f.blocks[b2.index()].term = Terminator::Return(Some(r0.into()));
+        p.add_function(f);
+        assert_eq!(eliminate_dead_code(&mut p), 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Loop-invariant code motion.
+//!
+//! Because every VISA operation is total (division by zero yields zero, see
+//! [`bsg_ir::eval`]), hoisting a pure instruction out of a loop can never
+//! introduce a trap; the only correctness obligations are data-flow ones,
+//! which are enforced by the `hoistable` conditions below.
+
+use bsg_ir::cfg::{Dominators, LoopForest};
+use bsg_ir::program::{Block, Function};
+use bsg_ir::types::{BlockId, Reg};
+use bsg_ir::visa::{Inst, Terminator};
+use bsg_ir::Program;
+use std::collections::{HashMap, HashSet};
+
+/// Hoists loop-invariant pure instructions into freshly created preheaders.
+/// Returns the number of instructions hoisted.
+pub fn hoist_loop_invariants(program: &mut Program) -> usize {
+    let mut hoisted = 0;
+    for f in &mut program.functions {
+        hoisted += hoist_in_function(f);
+    }
+    hoisted
+}
+
+fn hoist_in_function(f: &mut Function) -> usize {
+    let forest = LoopForest::compute(f);
+    if forest.loops.is_empty() {
+        return 0;
+    }
+    let mut total = 0;
+    // Process innermost loops first so their preheaders land inside the outer
+    // loop (outer-loop hoisting of the same instruction can then happen on a
+    // later optimization round).
+    let mut order: Vec<usize> = (0..forest.loops.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(forest.loops[i].depth));
+    for li in order {
+        let l = &forest.loops[li];
+        // Iterate loop blocks in a deterministic (sorted) order so that the
+        // order of independent hoisted instructions — and therefore the
+        // compiled program — is reproducible run to run.
+        let blocks: Vec<BlockId> = l.blocks.iter().copied().collect();
+        total += hoist_one_loop(f, l.header, &blocks, &l.latches);
+    }
+    total
+}
+
+fn hoist_one_loop(
+    f: &mut Function,
+    header: BlockId,
+    loop_blocks: &[BlockId],
+    latches: &[BlockId],
+) -> usize {
+    // The loop must not contain stores, calls or prints if we want to hoist
+    // loads; for simplicity (and conservatively) any such instruction also
+    // blocks hoisting of loads only.
+    let loop_has_memory_writes = loop_blocks.iter().any(|b| {
+        f.block(*b)
+            .insts
+            .iter()
+            .any(|i| i.writes_memory() || matches!(i, Inst::Call { .. } | Inst::Print { .. }))
+    });
+
+    // Def counts and positions for the whole function.
+    let mut def_count: HashMap<Reg, usize> = HashMap::new();
+    let mut def_site: HashMap<Reg, (BlockId, usize)> = HashMap::new();
+    let mut use_sites: HashMap<Reg, Vec<(BlockId, usize)>> = HashMap::new();
+    for (bid, block) in f.iter_blocks() {
+        for (ii, inst) in block.insts.iter().enumerate() {
+            if let Some(d) = inst.def() {
+                *def_count.entry(d).or_insert(0) += 1;
+                def_site.insert(d, (bid, ii));
+            }
+            for u in inst.uses() {
+                use_sites.entry(u).or_default().push((bid, ii));
+            }
+        }
+        for u in block.term.uses() {
+            use_sites.entry(u).or_default().push((bid, usize::MAX));
+        }
+    }
+    let doms = Dominators::compute(f);
+
+    // Registers defined anywhere inside the loop.
+    let defined_in_loop: HashSet<Reg> = loop_blocks
+        .iter()
+        .flat_map(|b| f.block(*b).insts.iter().filter_map(Inst::def))
+        .collect();
+
+    let mut hoisted_regs: HashSet<Reg> = HashSet::new();
+    let mut hoisted_insts: Vec<Inst> = Vec::new();
+    let mut removed: HashSet<(BlockId, usize)> = HashSet::new();
+
+    // Iterate to a fixed point so chains of invariant instructions hoist.
+    loop {
+        let mut progress = false;
+        for &bid in loop_blocks {
+            for (ii, inst) in f.block(bid).insts.iter().enumerate() {
+                if removed.contains(&(bid, ii)) {
+                    continue;
+                }
+                if !is_candidate(inst, loop_has_memory_writes) {
+                    continue;
+                }
+                let Some(dst) = inst.def() else { continue };
+                if def_count.get(&dst).copied().unwrap_or(0) != 1 {
+                    continue;
+                }
+                // Every register the instruction reads must be invariant:
+                // either never defined inside the loop, or already hoisted.
+                let invariant_inputs = inst
+                    .uses()
+                    .iter()
+                    .all(|u| !defined_in_loop.contains(u) || hoisted_regs.contains(u));
+                if !invariant_inputs {
+                    continue;
+                }
+                // The single def must dominate every use (so no path observes
+                // the old — undefined/stale — value of the register).
+                let dominates_uses = use_sites.get(&dst).map(|uses| {
+                    uses.iter().all(|&(ub, ui)| {
+                        if ub == bid {
+                            ui > ii
+                        } else {
+                            doms.dominates(bid, ub)
+                        }
+                    })
+                });
+                if dominates_uses != Some(true) && use_sites.contains_key(&dst) {
+                    continue;
+                }
+                hoisted_regs.insert(dst);
+                hoisted_insts.push(inst.clone());
+                removed.insert((bid, ii));
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+
+    if hoisted_insts.is_empty() {
+        return 0;
+    }
+
+    // Physically remove the hoisted instructions.
+    for &bid in loop_blocks {
+        let to_remove: Vec<usize> = removed
+            .iter()
+            .filter(|(b, _)| *b == bid)
+            .map(|&(_, i)| i)
+            .collect();
+        if to_remove.is_empty() {
+            continue;
+        }
+        let block = f.block_mut(bid);
+        let mut idx = 0;
+        block.insts.retain(|_| {
+            let keep = !to_remove.contains(&idx);
+            idx += 1;
+            keep
+        });
+    }
+
+    // Create the preheader and redirect non-back edges into the header.
+    let count = hoisted_insts.len();
+    let preheader = f.add_block();
+    f.blocks[preheader.index()] = Block { insts: hoisted_insts, term: Terminator::Jump(header) };
+    let latch_set: HashSet<BlockId> = latches.iter().copied().collect();
+    let block_count = f.blocks.len();
+    for bi in 0..block_count {
+        let bid = BlockId(bi as u32);
+        if bid == preheader || latch_set.contains(&bid) {
+            continue;
+        }
+        f.blocks[bi].term.map_targets(|t| if t == header { preheader } else { t });
+    }
+    if f.entry == header {
+        f.entry = preheader;
+    }
+    count
+}
+
+fn is_candidate(inst: &Inst, loop_has_memory_writes: bool) -> bool {
+    match inst {
+        Inst::Bin { .. } | Inst::Un { .. } | Inst::Mov { .. } => !inst.reads_memory(),
+        Inst::Load { .. } => !loop_has_memory_writes,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_ir::program::{Global, Program};
+    use bsg_ir::types::{GlobalId, Ty};
+    use bsg_ir::visa::{Address, BinOp, Operand};
+
+    /// Builds:
+    /// ```text
+    /// bb0: r0 = 0; r1 = 100; jump bb1
+    /// bb1(header): r2 = r1 * 3        <- invariant
+    ///              r3 = load g[2]     <- invariant (no stores in loop)
+    ///              r0 = r0 + r2
+    ///              r4 = r0 < r1
+    ///              branch r4 ? bb1 : bb2
+    /// bb2: return r0
+    /// ```
+    fn loop_program(with_store: bool) -> Program {
+        let mut p = Program::new();
+        p.add_global(Global::zeroed("g", 16));
+        let mut f = Function::new("main");
+        let r0 = f.fresh_reg();
+        let r1 = f.fresh_reg();
+        let r2 = f.fresh_reg();
+        let r3 = f.fresh_reg();
+        let r4 = f.fresh_reg();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        f.blocks[0].insts = vec![
+            Inst::Mov { dst: r0, src: Operand::ImmInt(0) },
+            Inst::Mov { dst: r1, src: Operand::ImmInt(100) },
+        ];
+        f.blocks[0].term = Terminator::Jump(b1);
+        let mut body = vec![
+            Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: r2, lhs: r1.into(), rhs: Operand::ImmInt(3) },
+            Inst::Load { dst: r3, addr: Address::global(GlobalId(0), 2), ty: Ty::Int },
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r0, lhs: r0.into(), rhs: r2.into() },
+            Inst::Bin { op: BinOp::Lt, ty: Ty::Int, dst: r4, lhs: r0.into(), rhs: r1.into() },
+        ];
+        if with_store {
+            body.push(Inst::Store { src: r0.into(), addr: Address::global(GlobalId(0), 3), ty: Ty::Int });
+        }
+        f.blocks[b1.index()].insts = body;
+        f.blocks[b1.index()].term = Terminator::Branch { cond: r4, taken: b1, not_taken: b2 };
+        f.blocks[b2.index()].term = Terminator::Return(Some(r0.into()));
+        p.add_function(f);
+        p
+    }
+
+    #[test]
+    fn hoists_invariant_computation_and_load() {
+        let mut p = loop_program(false);
+        let hoisted = hoist_loop_invariants(&mut p);
+        assert_eq!(hoisted, 2, "the multiply and the load are invariant");
+        assert!(p.validate().is_empty(), "{:?}", p.validate());
+        // The preheader is the new block and must jump to the old header.
+        let f = &p.functions[0];
+        let pre = &f.blocks[3];
+        assert_eq!(pre.insts.len(), 2);
+        assert_eq!(pre.term, Terminator::Jump(BlockId(1)));
+        // The entry now reaches the header through the preheader.
+        assert_eq!(f.blocks[0].term, Terminator::Jump(BlockId(3)));
+        // The back edge still points at the header.
+        assert!(matches!(f.blocks[1].term, Terminator::Branch { taken: BlockId(1), .. }));
+    }
+
+    #[test]
+    fn stores_in_the_loop_block_load_hoisting_but_not_arithmetic() {
+        let mut p = loop_program(true);
+        let hoisted = hoist_loop_invariants(&mut p);
+        assert_eq!(hoisted, 1, "only the multiply may move past the store");
+        assert!(p.validate().is_empty());
+    }
+
+    #[test]
+    fn variant_computation_is_not_hoisted() {
+        let mut p = loop_program(false);
+        // Make r2 depend on r0 (loop-variant).
+        if let Inst::Bin { lhs, .. } = &mut p.functions[0].blocks[1].insts[0] {
+            *lhs = Operand::Reg(Reg(0));
+        }
+        let hoisted = hoist_loop_invariants(&mut p);
+        assert_eq!(hoisted, 1, "only the load remains invariant");
+    }
+
+    #[test]
+    fn function_without_loops_is_untouched() {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let r = f.fresh_reg();
+        f.blocks[0].insts = vec![Inst::Mov { dst: r, src: Operand::ImmInt(1) }];
+        f.blocks[0].term = Terminator::Return(Some(r.into()));
+        p.add_function(f);
+        let before = p.clone();
+        assert_eq!(hoist_loop_invariants(&mut p), 0);
+        assert_eq!(p, before);
+    }
+}

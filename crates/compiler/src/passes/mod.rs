@@ -1,0 +1,114 @@
+//! Machine-independent optimization passes and the per-level pass pipeline.
+//!
+//! | level | passes |
+//! |-------|--------|
+//! | `O0`  | none (scalars stay in memory; this is the profiling form)        |
+//! | `O1`  | copy propagation, constant folding, strength reduction, DCE      |
+//! | `O2`  | `O1` + local CSE / redundant-load elimination, LICM, scheduling  |
+//! | `O3`  | `O2` + function inlining                                          |
+//!
+//! Every pass preserves observable behaviour (the value returned by the entry
+//! function and the sequence of printed values); the property-based tests in
+//! this crate and in the workspace-level `tests/` directory check exactly
+//! that by running random programs before and after optimization.
+
+pub mod dce;
+pub mod inline;
+pub mod licm;
+pub mod local;
+pub mod schedule;
+
+use crate::{CompileStats, OptLevel};
+use bsg_ir::Program;
+
+/// Runs the pass pipeline for `level` on `program`, accumulating statistics.
+pub fn run_pipeline(program: &mut Program, level: OptLevel, stats: &mut CompileStats) {
+    if level == OptLevel::O0 {
+        return;
+    }
+
+    if level >= OptLevel::O3 {
+        stats.calls_inlined += inline::inline_small_functions(program);
+    }
+
+    // A couple of rounds lets copy propagation feed constant folding feed DCE.
+    for _ in 0..2 {
+        stats.copies_propagated += local::propagate_copies(program);
+        stats.constants_folded += local::fold_constants(program);
+        stats.strength_reduced += local::reduce_strength(program);
+        if level >= OptLevel::O2 {
+            stats.cse_removed += local::eliminate_common_subexpressions(program);
+        }
+        stats.dead_insts_removed += dce::eliminate_dead_code(program);
+    }
+
+    if level >= OptLevel::O2 {
+        stats.licm_hoisted += licm::hoist_loop_invariants(program);
+        // LICM can expose more copies / dead code.
+        stats.copies_propagated += local::propagate_copies(program);
+        stats.dead_insts_removed += dce::eliminate_dead_code(program);
+        stats.insts_scheduled += schedule::schedule_blocks(program);
+    }
+}
+
+/// Counts dynamic-free static instructions; convenience shared by pass tests.
+#[cfg(test)]
+pub(crate) fn static_insts(p: &Program) -> usize {
+    p.static_inst_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_ir::build::FunctionBuilder;
+    use bsg_ir::hll::{Expr, HllGlobal, HllProgram};
+
+    fn lowered() -> Program {
+        let mut p = HllProgram::new();
+        p.add_global(HllGlobal::zeroed("buf", 128));
+        let mut f = FunctionBuilder::new("main");
+        f.assign_var("a", Expr::int(10));
+        f.assign_var("b", Expr::mul(Expr::var("a"), Expr::int(4)));
+        f.for_loop("i", Expr::int(0), Expr::int(32), |b| {
+            b.assign_index("buf", Expr::var("i"), Expr::add(Expr::var("b"), Expr::var("i")));
+            // The repeated `b + i` sub-expression is what local CSE removes.
+            b.assign_var(
+                "c",
+                Expr::add(
+                    Expr::add(Expr::var("b"), Expr::var("i")),
+                    Expr::add(Expr::var("b"), Expr::var("i")),
+                ),
+            );
+            b.assign_var("acc", Expr::add(Expr::var("acc"), Expr::var("c")));
+        });
+        f.ret(Some(Expr::var("acc")));
+        p.add_function(f.finish());
+        crate::lower::lower(&p, crate::lower::LowerMode::RegisterScalars).unwrap()
+    }
+
+    #[test]
+    fn pipeline_reduces_static_instruction_count_monotonically_enough() {
+        let base = lowered();
+        let mut o1 = base.clone();
+        let mut o2 = base.clone();
+        let mut s1 = CompileStats::default();
+        let mut s2 = CompileStats::default();
+        run_pipeline(&mut o1, OptLevel::O1, &mut s1);
+        run_pipeline(&mut o2, OptLevel::O2, &mut s2);
+        assert!(static_insts(&o1) <= static_insts(&base));
+        assert!(static_insts(&o2) <= static_insts(&o1) + 2, "scheduling must not add instructions");
+        assert!(o1.validate().is_empty());
+        assert!(o2.validate().is_empty());
+        assert!(s2.cse_removed + s2.licm_hoisted > 0, "O2-only passes should fire: {s2:?}");
+    }
+
+    #[test]
+    fn o0_pipeline_is_identity() {
+        let base = lowered();
+        let mut p = base.clone();
+        let mut stats = CompileStats::default();
+        run_pipeline(&mut p, OptLevel::O0, &mut stats);
+        assert_eq!(p, base);
+        assert_eq!(stats, CompileStats::default());
+    }
+}

@@ -1,0 +1,279 @@
+//! Local instruction scheduling (list scheduling within basic blocks).
+//!
+//! Reordering independent instructions does not change what a block computes,
+//! but it does change the distance between dependent instructions.  Out-of-
+//! order machines are largely insensitive to that distance; the in-order EPIC
+//! model of `bsg-uarch` is very sensitive to it — which is exactly the
+//! Itanium-vs-x86 compiler-sensitivity effect in Figure 11 of the paper.
+
+use bsg_ir::visa::{Inst, InstClass};
+use bsg_ir::Program;
+use std::collections::HashMap;
+
+/// Schedules every block of every function; returns the number of
+/// instructions whose position changed.
+pub fn schedule_blocks(program: &mut Program) -> usize {
+    let mut moved = 0;
+    for f in &mut program.functions {
+        for block in &mut f.blocks {
+            let order = schedule_order(&block.insts);
+            let changed = order.iter().enumerate().filter(|(i, &o)| *i != o).count();
+            if changed > 0 {
+                let new_insts: Vec<Inst> = order.iter().map(|&i| block.insts[i].clone()).collect();
+                block.insts = new_insts;
+                moved += changed;
+            }
+        }
+    }
+    moved
+}
+
+/// Issue latency used as the scheduling priority (critical-path height).
+fn latency(class: InstClass) -> u32 {
+    match class {
+        InstClass::Load => 3,
+        InstClass::IntMul => 3,
+        InstClass::IntDiv => 12,
+        InstClass::FpAdd => 3,
+        InstClass::FpMul => 4,
+        InstClass::FpDiv => 12,
+        _ => 1,
+    }
+}
+
+/// Computes a dependence-respecting order of the block's instructions.
+fn schedule_order(insts: &[Inst]) -> Vec<usize> {
+    let n = insts.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+
+    // Build dependence edges i -> j (i must precede j).
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let add_edge = |from: usize, to: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
+        if !preds[to].contains(&from) {
+            preds[to].push(from);
+            succs[from].push(to);
+        }
+    };
+
+    let is_barrier = |i: &Inst| matches!(i, Inst::Call { .. } | Inst::Print { .. });
+
+    let mut last_def: HashMap<u32, usize> = HashMap::new();
+    let mut last_uses: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut last_store: Option<usize> = None;
+    let mut loads_since_store: Vec<usize> = Vec::new();
+    let mut last_barrier: Option<usize> = None;
+    let mut since_barrier: Vec<usize> = Vec::new();
+
+    for (j, inst) in insts.iter().enumerate() {
+        // Register dependences.
+        for u in inst.uses() {
+            if let Some(&d) = last_def.get(&u.0) {
+                add_edge(d, j, &mut preds, &mut succs); // RAW
+            }
+        }
+        if let Some(d) = inst.def() {
+            if let Some(&prev) = last_def.get(&d.0) {
+                add_edge(prev, j, &mut preds, &mut succs); // WAW
+            }
+            if let Some(users) = last_uses.get(&d.0) {
+                for &u in users {
+                    if u != j {
+                        add_edge(u, j, &mut preds, &mut succs); // WAR
+                    }
+                }
+            }
+        }
+        // Memory dependences: stores order with all memory ops; loads only with stores.
+        let reads = inst.reads_memory();
+        let writes = inst.writes_memory();
+        if reads || writes {
+            if let Some(s) = last_store {
+                add_edge(s, j, &mut preds, &mut succs);
+            }
+        }
+        if writes {
+            for &l in &loads_since_store {
+                add_edge(l, j, &mut preds, &mut succs);
+            }
+        }
+        // Barriers (calls, prints) order with everything around them.
+        if let Some(b) = last_barrier {
+            add_edge(b, j, &mut preds, &mut succs);
+        }
+        if is_barrier(inst) {
+            for &k in &since_barrier {
+                add_edge(k, j, &mut preds, &mut succs);
+            }
+        }
+
+        // Update trackers.
+        for u in inst.uses() {
+            last_uses.entry(u.0).or_default().push(j);
+        }
+        if let Some(d) = inst.def() {
+            last_def.insert(d.0, j);
+            last_uses.insert(d.0, vec![]);
+        }
+        if writes {
+            last_store = Some(j);
+            loads_since_store.clear();
+        }
+        if reads && !writes {
+            loads_since_store.push(j);
+        }
+        if is_barrier(inst) {
+            last_barrier = Some(j);
+            since_barrier.clear();
+        } else {
+            since_barrier.push(j);
+        }
+    }
+
+    // Critical-path height of each node.
+    let mut height = vec![0u32; n];
+    for i in (0..n).rev() {
+        let own = latency(insts[i].class());
+        let max_succ = succs[i].iter().map(|&s| height[s]).max().unwrap_or(0);
+        height[i] = own + max_succ;
+    }
+
+    // Greedy list scheduling: among ready instructions pick the one with the
+    // greatest height (ties broken by original position for determinism).
+    let mut remaining_preds: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut scheduled = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if scheduled[i] || remaining_preds[i] != 0 {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) if height[i] > height[b] => Some(i),
+                other => other,
+            };
+        }
+        let pick = best.expect("dependence graph is acyclic");
+        scheduled[pick] = true;
+        order.push(pick);
+        for &s in &succs[pick] {
+            remaining_preds[s] -= 1;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_ir::program::{Function, Global, Program};
+    use bsg_ir::types::{GlobalId, Ty};
+    use bsg_ir::visa::{Address, BinOp, Operand, Terminator};
+
+    fn program_with_block(insts: Vec<Inst>, num_regs: u32) -> Program {
+        let mut p = Program::new();
+        p.add_global(Global::zeroed("g", 64));
+        let mut f = Function::new("main");
+        f.num_regs = num_regs;
+        f.blocks[0].insts = insts;
+        f.blocks[0].term = Terminator::Return(None);
+        p.add_function(f);
+        p
+    }
+
+    #[test]
+    fn hoists_long_latency_producers_ahead_of_independent_work() {
+        use bsg_ir::types::Reg;
+        let g = GlobalId(0);
+        // r0 = load g[0]; r1 = 1; r2 = 2; r3 = r0 + 1   (load should stay first,
+        // and the adds that do not depend on it cannot move above their defs)
+        let insts = vec![
+            Inst::Mov { dst: Reg(1), src: Operand::ImmInt(1) },
+            Inst::Mov { dst: Reg(2), src: Operand::ImmInt(2) },
+            Inst::Load { dst: Reg(0), addr: Address::global(g, 0), ty: Ty::Int },
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: Reg(3), lhs: Reg(0).into(), rhs: Operand::ImmInt(1) },
+        ];
+        let mut p = program_with_block(insts, 4);
+        schedule_blocks(&mut p);
+        let b = &p.functions[0].blocks[0];
+        // The load has the tallest critical path, so it is scheduled first.
+        assert!(matches!(b.insts[0], Inst::Load { .. }));
+        // Its dependent add is still after it.
+        let load_pos = b.insts.iter().position(|i| matches!(i, Inst::Load { .. })).unwrap();
+        let add_pos = b
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Bin { dst: Reg(3), .. }))
+            .unwrap();
+        assert!(add_pos > load_pos);
+        assert_eq!(b.insts.len(), 4);
+    }
+
+    #[test]
+    fn stores_and_loads_do_not_reorder_across_each_other() {
+        use bsg_ir::types::Reg;
+        let g = GlobalId(0);
+        let insts = vec![
+            Inst::Store { src: Operand::ImmInt(7), addr: Address::global(g, 0), ty: Ty::Int },
+            Inst::Load { dst: Reg(0), addr: Address::global(g, 0), ty: Ty::Int },
+            Inst::Store { src: Reg(0).into(), addr: Address::global(g, 1), ty: Ty::Int },
+        ];
+        let mut p = program_with_block(insts.clone(), 1);
+        schedule_blocks(&mut p);
+        assert_eq!(p.functions[0].blocks[0].insts, insts, "memory order must be preserved");
+    }
+
+    #[test]
+    fn prints_are_barriers() {
+        use bsg_ir::types::Reg;
+        let insts = vec![
+            Inst::Mov { dst: Reg(0), src: Operand::ImmInt(1) },
+            Inst::Print { src: Reg(0).into() },
+            Inst::Mov { dst: Reg(1), src: Operand::ImmInt(2) },
+            Inst::Print { src: Reg(1).into() },
+        ];
+        let mut p = program_with_block(insts.clone(), 2);
+        schedule_blocks(&mut p);
+        assert_eq!(p.functions[0].blocks[0].insts, insts);
+    }
+
+    #[test]
+    fn war_and_waw_hazards_are_respected() {
+        use bsg_ir::types::Reg;
+        let insts = vec![
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: Reg(1), lhs: Reg(0).into(), rhs: Operand::ImmInt(1) },
+            Inst::Mov { dst: Reg(0), src: Operand::ImmInt(5) }, // WAR with the read of r0 above
+            Inst::Mov { dst: Reg(1), src: Operand::ImmInt(9) }, // WAW with the first def
+            Inst::Print { src: Reg(1).into() },
+        ];
+        let mut p = program_with_block(insts, 2);
+        schedule_blocks(&mut p);
+        let b = &p.functions[0].blocks[0];
+        let first_def = b.insts.iter().position(|i| matches!(i, Inst::Bin { .. })).unwrap();
+        let redefine_r0 = b
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Mov { dst: Reg(0), .. }))
+            .unwrap();
+        let redefine_r1 = b
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Mov { dst: Reg(1), src: Operand::ImmInt(9) }))
+            .unwrap();
+        assert!(redefine_r0 > first_def);
+        assert!(redefine_r1 > first_def);
+    }
+
+    #[test]
+    fn tiny_blocks_are_left_alone() {
+        use bsg_ir::types::Reg;
+        let insts = vec![Inst::Mov { dst: Reg(0), src: Operand::ImmInt(1) }];
+        let mut p = program_with_block(insts.clone(), 1);
+        assert_eq!(schedule_blocks(&mut p), 0);
+        assert_eq!(p.functions[0].blocks[0].insts, insts);
+    }
+}

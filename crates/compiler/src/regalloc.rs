@@ -1,0 +1,302 @@
+//! Register allocation, modeled as spill-slot assignment.
+//!
+//! The executor places no limit on virtual registers, so "allocation" here
+//! serves a single purpose: reproducing the *memory traffic* a real register
+//! allocator generates when a function's live values exceed the target ISA's
+//! register file (x86's 6 allocatable registers versus x86-64's 14 versus
+//! IA-64's large file — Table III machines).  Virtual registers selected for
+//! spilling are rewritten so every definition is followed by a store to a
+//! dedicated frame slot and every use is preceded by a reload.  The program
+//! is unchanged semantically; only its load/store mix changes, which is
+//! exactly the ISA effect visible in the paper's instruction-mix and
+//! execution-time figures.
+
+use bsg_ir::cfg;
+use bsg_ir::program::Function;
+use bsg_ir::types::Reg;
+use bsg_ir::visa::{Address, Inst};
+use bsg_ir::Program;
+use std::collections::{HashMap, HashSet};
+
+/// Spills enough registers in every function that the number of values live
+/// across block boundaries fits in `allocatable_regs`.  Returns the number of
+/// spill loads/stores inserted.
+pub fn allocate(program: &mut Program, allocatable_regs: usize) -> usize {
+    let mut inserted = 0;
+    for f in &mut program.functions {
+        inserted += allocate_function(f, allocatable_regs);
+    }
+    inserted
+}
+
+fn allocate_function(f: &mut Function, k: usize) -> usize {
+    let globals = cross_block_live_registers(f);
+    if globals.len() <= k {
+        return 0;
+    }
+    // Keep the most frequently used values in registers; spill the rest.
+    let mut use_counts: HashMap<Reg, usize> = HashMap::new();
+    for block in &f.blocks {
+        for inst in &block.insts {
+            for u in inst.uses() {
+                *use_counts.entry(u).or_insert(0) += 1;
+            }
+            if let Some(d) = inst.def() {
+                *use_counts.entry(d).or_insert(0) += 1;
+            }
+        }
+        for u in block.term.uses() {
+            *use_counts.entry(u).or_insert(0) += 1;
+        }
+    }
+    let mut candidates: Vec<Reg> = globals.iter().copied().collect();
+    candidates.sort_by_key(|r| (use_counts.get(r).copied().unwrap_or(0), r.0));
+    let spill_count = globals.len() - k;
+    let spilled: Vec<Reg> = candidates.into_iter().take(spill_count).collect();
+    spill_registers(f, &spilled)
+}
+
+/// Registers that are live on entry to at least one block (i.e. live ranges
+/// crossing a block boundary).  Block-local temporaries are never spilled.
+fn cross_block_live_registers(f: &Function) -> HashSet<Reg> {
+    let adj = cfg::adjacency(f);
+    let n = f.blocks.len();
+    let mut ue_var = vec![HashSet::<Reg>::new(); n];
+    let mut defs = vec![HashSet::<Reg>::new(); n];
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for inst in &block.insts {
+            for u in inst.uses() {
+                if !defs[bi].contains(&u) {
+                    ue_var[bi].insert(u);
+                }
+            }
+            if let Some(d) = inst.def() {
+                defs[bi].insert(d);
+            }
+        }
+        for u in block.term.uses() {
+            if !defs[bi].contains(&u) {
+                ue_var[bi].insert(u);
+            }
+        }
+    }
+    let mut live_in = vec![HashSet::<Reg>::new(); n];
+    let mut live_out = vec![HashSet::<Reg>::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..n).rev() {
+            let mut out = HashSet::new();
+            for s in &adj.succs[bi] {
+                out.extend(live_in[s.index()].iter().copied());
+            }
+            let mut inn = ue_var[bi].clone();
+            for r in &out {
+                if !defs[bi].contains(r) {
+                    inn.insert(*r);
+                }
+            }
+            if out != live_out[bi] || inn != live_in[bi] {
+                live_out[bi] = out;
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+    let mut cross = HashSet::new();
+    for li in &live_in {
+        cross.extend(li.iter().copied());
+    }
+    // Parameters are live on entry by definition.
+    cross.extend(f.params.iter().copied());
+    cross
+}
+
+/// Rewrites the function so each register in `spilled` is stored to its frame
+/// slot after every definition and reloaded before every use.  Returns the
+/// number of loads/stores inserted.
+fn spill_registers(f: &mut Function, spilled: &[Reg]) -> usize {
+    if spilled.is_empty() {
+        return 0;
+    }
+    let mut slots: HashMap<Reg, i64> = HashMap::new();
+    for &r in spilled {
+        slots.insert(r, f.fresh_frame_slot());
+    }
+    let mut inserted = 0;
+
+    // Parameters that are spilled must be stored on entry.
+    let entry = f.entry;
+    let mut entry_stores = Vec::new();
+    for &p in &f.params {
+        if let Some(&slot) = slots.get(&p) {
+            entry_stores.push(Inst::Store {
+                src: p.into(),
+                addr: Address::frame(slot),
+                ty: bsg_ir::types::Ty::Int,
+            });
+            inserted += 1;
+        }
+    }
+
+    for (bi, block) in f.blocks.iter_mut().enumerate() {
+        let mut new_insts: Vec<Inst> = Vec::with_capacity(block.insts.len() * 2);
+        if bi == entry.index() {
+            new_insts.extend(entry_stores.iter().cloned());
+        }
+        for inst in block.insts.drain(..) {
+            // Reload every spilled register this instruction reads.
+            let mut reloaded = HashSet::new();
+            for u in inst.uses() {
+                if let Some(&slot) = slots.get(&u) {
+                    if reloaded.insert(u) {
+                        new_insts.push(Inst::Load {
+                            dst: u,
+                            addr: Address::frame(slot),
+                            ty: bsg_ir::types::Ty::Int,
+                        });
+                        inserted += 1;
+                    }
+                }
+            }
+            let def = inst.def();
+            new_insts.push(inst);
+            // Store every spilled register this instruction writes.
+            if let Some(d) = def {
+                if let Some(&slot) = slots.get(&d) {
+                    new_insts.push(Inst::Store {
+                        src: d.into(),
+                        addr: Address::frame(slot),
+                        ty: bsg_ir::types::Ty::Int,
+                    });
+                    inserted += 1;
+                }
+            }
+        }
+        // Terminator uses need reloads at the end of the block.
+        for u in block.term.uses() {
+            if let Some(&slot) = slots.get(&u) {
+                new_insts.push(Inst::Load {
+                    dst: u,
+                    addr: Address::frame(slot),
+                    ty: bsg_ir::types::Ty::Int,
+                });
+                inserted += 1;
+            }
+        }
+        block.insts = new_insts;
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_ir::program::{Function, Program};
+    use bsg_ir::types::Ty;
+    use bsg_ir::visa::{BinOp, Operand, Terminator};
+
+    /// A function with `n` values live across a loop boundary.
+    fn pressure_function(n: u32) -> Program {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let regs: Vec<Reg> = (0..n).map(|_| f.fresh_reg()).collect();
+        let acc = f.fresh_reg();
+        let cond = f.fresh_reg();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        for (i, &r) in regs.iter().enumerate() {
+            f.blocks[0].insts.push(Inst::Mov { dst: r, src: Operand::ImmInt(i as i64) });
+        }
+        f.blocks[0].insts.push(Inst::Mov { dst: acc, src: Operand::ImmInt(0) });
+        f.blocks[0].term = Terminator::Jump(b1);
+        for &r in &regs {
+            f.blocks[b1.index()].insts.push(Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: acc,
+                lhs: acc.into(),
+                rhs: r.into(),
+            });
+        }
+        f.blocks[b1.index()].insts.push(Inst::Bin {
+            op: BinOp::Lt,
+            ty: Ty::Int,
+            dst: cond,
+            lhs: acc.into(),
+            rhs: Operand::ImmInt(1000),
+        });
+        f.blocks[b1.index()].term = Terminator::Branch { cond, taken: b1, not_taken: b2 };
+        f.blocks[b2.index()].term = Terminator::Return(Some(acc.into()));
+        p.add_function(f);
+        p
+    }
+
+    #[test]
+    fn no_spills_when_pressure_fits() {
+        let mut p = pressure_function(4);
+        assert_eq!(allocate(&mut p, 14), 0);
+    }
+
+    #[test]
+    fn spills_scale_with_register_pressure_and_stay_valid() {
+        let mut p6 = pressure_function(20);
+        let mut p14 = pressure_function(20);
+        let spills_x86 = allocate(&mut p6, 6);
+        let spills_x86_64 = allocate(&mut p14, 14);
+        assert!(spills_x86 > spills_x86_64, "{spills_x86} vs {spills_x86_64}");
+        assert!(spills_x86_64 > 0);
+        assert!(p6.validate().is_empty());
+        assert!(p14.validate().is_empty());
+        // Frame slots were allocated for the spilled values.
+        assert!(p6.functions[0].frame_words >= 14);
+    }
+
+    #[test]
+    fn hot_registers_are_kept_in_registers() {
+        // `acc` has by far the most uses; it must not be among the spilled
+        // registers, i.e. the loop must not reload it on every add.
+        let mut p = pressure_function(20);
+        allocate(&mut p, 6);
+        let f = &p.functions[0];
+        let acc = Reg(20);
+        let loop_block = &f.blocks[1];
+        let reloads_of_acc = loop_block
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Load { dst, .. } if *dst == acc))
+            .count();
+        assert_eq!(reloads_of_acc, 0, "the hottest value should stay in a register");
+    }
+
+    #[test]
+    fn spilled_parameters_are_stored_on_entry() {
+        let mut p = Program::new();
+        let mut f = Function::new("f");
+        let params: Vec<Reg> = (0..10).map(|_| f.fresh_reg()).collect();
+        f.params = params.clone();
+        let b1 = f.add_block();
+        f.blocks[0].term = Terminator::Jump(b1);
+        let acc = f.fresh_reg();
+        for &r in &params {
+            f.blocks[b1.index()].insts.push(Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: acc,
+                lhs: acc.into(),
+                rhs: r.into(),
+            });
+        }
+        f.blocks[b1.index()].term = Terminator::Return(Some(acc.into()));
+        p.add_function(f);
+        let inserted = allocate(&mut p, 4);
+        assert!(inserted > 0);
+        assert!(p.validate().is_empty());
+        let entry_stores = p.functions[0].blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Store { .. }))
+            .count();
+        assert!(entry_stores >= 1, "spilled parameters are stored in the prologue");
+    }
+}

@@ -1,0 +1,390 @@
+//! Ergonomic builders for constructing [`HllFunction`]s.
+//!
+//! The MiBench-like workloads in `bsg-workloads` and the synthetic benchmark
+//! generator in `bsg-synth` both construct HLL programs through these
+//! builders rather than assembling [`Stmt`] trees by hand.
+//!
+//! # Example
+//!
+//! ```
+//! use bsg_ir::build::FunctionBuilder;
+//! use bsg_ir::hll::{BinOp, Expr};
+//!
+//! let mut f = FunctionBuilder::new("sum");
+//! f.param("n");
+//! f.assign_var("s", Expr::int(0));
+//! f.for_loop("i", Expr::int(0), Expr::var("n"), |b| {
+//!     b.assign_var("s", Expr::bin(BinOp::Add, Expr::var("s"), Expr::var("i")));
+//! });
+//! f.ret(Some(Expr::var("s")));
+//! let func = f.finish();
+//! assert_eq!(func.params, vec!["n".to_string()]);
+//! ```
+
+use crate::hll::{Expr, HllFunction, LValue, Stmt};
+
+/// Builds a list of statements; handed to closures for nested scopes
+/// (loop bodies, `if` branches).
+#[derive(Debug, Default, Clone)]
+pub struct StmtBuilder {
+    stmts: Vec<Stmt>,
+}
+
+impl StmtBuilder {
+    /// Creates an empty statement list builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an arbitrary statement.
+    pub fn push(&mut self, stmt: Stmt) -> &mut Self {
+        self.stmts.push(stmt);
+        self
+    }
+
+    /// `name = value;`
+    pub fn assign_var(&mut self, name: impl Into<String>, value: Expr) -> &mut Self {
+        self.push(Stmt::assign_var(name, value))
+    }
+
+    /// `array[index] = value;`
+    pub fn assign_index(
+        &mut self,
+        array: impl Into<String>,
+        index: Expr,
+        value: Expr,
+    ) -> &mut Self {
+        self.push(Stmt::assign(LValue::index(array, index), value))
+    }
+
+    /// `target = value;` with an arbitrary l-value.
+    pub fn assign(&mut self, target: LValue, value: Expr) -> &mut Self {
+        self.push(Stmt::assign(target, value))
+    }
+
+    /// `for (var = init; var < limit; var = var + 1) { ... }`
+    pub fn for_loop(
+        &mut self,
+        var: impl Into<String>,
+        init: Expr,
+        limit: Expr,
+        body: impl FnOnce(&mut StmtBuilder),
+    ) -> &mut Self {
+        self.for_loop_step(var, init, limit, Expr::int(1), body)
+    }
+
+    /// `for (var = init; var < limit; var = var + step) { ... }`
+    pub fn for_loop_step(
+        &mut self,
+        var: impl Into<String>,
+        init: Expr,
+        limit: Expr,
+        step: Expr,
+        body: impl FnOnce(&mut StmtBuilder),
+    ) -> &mut Self {
+        let mut inner = StmtBuilder::new();
+        body(&mut inner);
+        self.push(Stmt::For { var: var.into(), init, limit, step, body: inner.finish() })
+    }
+
+    /// `while (cond) { ... }`
+    pub fn while_loop(&mut self, cond: Expr, body: impl FnOnce(&mut StmtBuilder)) -> &mut Self {
+        let mut inner = StmtBuilder::new();
+        body(&mut inner);
+        self.push(Stmt::While { cond, body: inner.finish() })
+    }
+
+    /// `if (cond) { ... }`
+    pub fn if_then(&mut self, cond: Expr, then_branch: impl FnOnce(&mut StmtBuilder)) -> &mut Self {
+        let mut inner = StmtBuilder::new();
+        then_branch(&mut inner);
+        self.push(Stmt::If { cond, then_branch: inner.finish(), else_branch: Vec::new() })
+    }
+
+    /// `if (cond) { ... } else { ... }`
+    pub fn if_then_else(
+        &mut self,
+        cond: Expr,
+        then_branch: impl FnOnce(&mut StmtBuilder),
+        else_branch: impl FnOnce(&mut StmtBuilder),
+    ) -> &mut Self {
+        let mut t = StmtBuilder::new();
+        then_branch(&mut t);
+        let mut e = StmtBuilder::new();
+        else_branch(&mut e);
+        self.push(Stmt::If { cond, then_branch: t.finish(), else_branch: e.finish() })
+    }
+
+    /// `name(args...);` discarding any return value.
+    pub fn call(&mut self, name: impl Into<String>, args: Vec<Expr>) -> &mut Self {
+        self.push(Stmt::Call { name: name.into(), args, dst: None })
+    }
+
+    /// `dst = name(args...);`
+    pub fn call_assign(
+        &mut self,
+        dst: impl Into<String>,
+        name: impl Into<String>,
+        args: Vec<Expr>,
+    ) -> &mut Self {
+        self.push(Stmt::Call { name: name.into(), args, dst: Some(LValue::var(dst)) })
+    }
+
+    /// `printf("%d", value);`
+    pub fn print(&mut self, value: Expr) -> &mut Self {
+        self.push(Stmt::Print(value))
+    }
+
+    /// `return value;` / `return;`
+    pub fn ret(&mut self, value: Option<Expr>) -> &mut Self {
+        self.push(Stmt::Return(value))
+    }
+
+    /// `break;`
+    pub fn brk(&mut self) -> &mut Self {
+        self.push(Stmt::Break)
+    }
+
+    /// `continue;`
+    pub fn cont(&mut self) -> &mut Self {
+        self.push(Stmt::Continue)
+    }
+
+    /// Consumes the builder, returning the statement list.
+    pub fn finish(self) -> Vec<Stmt> {
+        self.stmts
+    }
+
+    /// Number of statements appended so far (top level only).
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Returns `true` if no statements have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+/// Builds an [`HllFunction`].
+#[derive(Debug, Clone)]
+pub struct FunctionBuilder {
+    name: String,
+    params: Vec<String>,
+    float_vars: Vec<String>,
+    body: StmtBuilder,
+}
+
+impl FunctionBuilder {
+    /// Starts a new function with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            float_vars: Vec::new(),
+            body: StmtBuilder::new(),
+        }
+    }
+
+    /// Declares an integer parameter.
+    pub fn param(&mut self, name: impl Into<String>) -> &mut Self {
+        self.params.push(name.into());
+        self
+    }
+
+    /// Marks a variable (local or parameter) as floating-point.
+    pub fn float_var(&mut self, name: impl Into<String>) -> &mut Self {
+        self.float_vars.push(name.into());
+        self
+    }
+
+    /// Access to the body builder for statement kinds without a delegating helper.
+    pub fn body(&mut self) -> &mut StmtBuilder {
+        &mut self.body
+    }
+
+    /// Consumes the builder, producing the function.
+    pub fn finish(self) -> HllFunction {
+        HllFunction {
+            name: self.name,
+            params: self.params,
+            float_vars: self.float_vars,
+            body: self.body.finish(),
+        }
+    }
+
+    // ---- delegating statement helpers -------------------------------------
+
+    /// `name = value;`
+    pub fn assign_var(&mut self, name: impl Into<String>, value: Expr) -> &mut Self {
+        self.body.assign_var(name, value);
+        self
+    }
+
+    /// `array[index] = value;`
+    pub fn assign_index(
+        &mut self,
+        array: impl Into<String>,
+        index: Expr,
+        value: Expr,
+    ) -> &mut Self {
+        self.body.assign_index(array, index, value);
+        self
+    }
+
+    /// `for (var = init; var < limit; var = var + 1) { ... }`
+    pub fn for_loop(
+        &mut self,
+        var: impl Into<String>,
+        init: Expr,
+        limit: Expr,
+        body: impl FnOnce(&mut StmtBuilder),
+    ) -> &mut Self {
+        self.body.for_loop(var, init, limit, body);
+        self
+    }
+
+    /// `for (var = init; var < limit; var = var + step) { ... }`
+    pub fn for_loop_step(
+        &mut self,
+        var: impl Into<String>,
+        init: Expr,
+        limit: Expr,
+        step: Expr,
+        body: impl FnOnce(&mut StmtBuilder),
+    ) -> &mut Self {
+        self.body.for_loop_step(var, init, limit, step, body);
+        self
+    }
+
+    /// `while (cond) { ... }`
+    pub fn while_loop(&mut self, cond: Expr, body: impl FnOnce(&mut StmtBuilder)) -> &mut Self {
+        self.body.while_loop(cond, body);
+        self
+    }
+
+    /// `if (cond) { ... }`
+    pub fn if_then(&mut self, cond: Expr, then_branch: impl FnOnce(&mut StmtBuilder)) -> &mut Self {
+        self.body.if_then(cond, then_branch);
+        self
+    }
+
+    /// `if (cond) { ... } else { ... }`
+    pub fn if_then_else(
+        &mut self,
+        cond: Expr,
+        then_branch: impl FnOnce(&mut StmtBuilder),
+        else_branch: impl FnOnce(&mut StmtBuilder),
+    ) -> &mut Self {
+        self.body.if_then_else(cond, then_branch, else_branch);
+        self
+    }
+
+    /// `name(args...);`
+    pub fn call(&mut self, name: impl Into<String>, args: Vec<Expr>) -> &mut Self {
+        self.body.call(name, args);
+        self
+    }
+
+    /// `dst = name(args...);`
+    pub fn call_assign(
+        &mut self,
+        dst: impl Into<String>,
+        name: impl Into<String>,
+        args: Vec<Expr>,
+    ) -> &mut Self {
+        self.body.call_assign(dst, name, args);
+        self
+    }
+
+    /// `printf("%d", value);`
+    pub fn print(&mut self, value: Expr) -> &mut Self {
+        self.body.print(value);
+        self
+    }
+
+    /// `return value;` / `return;`
+    pub fn ret(&mut self, value: Option<Expr>) -> &mut Self {
+        self.body.ret(value);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hll::{BinOp, Stmt};
+
+    #[test]
+    fn builds_nested_control_flow() {
+        let mut f = FunctionBuilder::new("kernel");
+        f.param("n");
+        f.assign_var("acc", Expr::int(0));
+        f.for_loop("i", Expr::int(0), Expr::var("n"), |b| {
+            b.if_then_else(
+                Expr::lt(Expr::var("i"), Expr::int(5)),
+                |t| {
+                    t.assign_var("acc", Expr::add(Expr::var("acc"), Expr::var("i")));
+                },
+                |e| {
+                    e.print(Expr::var("acc"));
+                },
+            );
+            b.while_loop(Expr::lt(Expr::var("acc"), Expr::int(3)), |w| {
+                w.assign_var("acc", Expr::add(Expr::var("acc"), Expr::int(1)));
+                w.brk();
+            });
+        });
+        f.ret(Some(Expr::var("acc")));
+        let func = f.finish();
+        assert_eq!(func.name, "kernel");
+        assert_eq!(func.params, vec!["n".to_string()]);
+        assert_eq!(func.body.len(), 3);
+        match &func.body[1] {
+            Stmt::For { body, .. } => {
+                assert_eq!(body.len(), 2);
+                assert!(matches!(body[0], Stmt::If { .. }));
+                assert!(matches!(body[1], Stmt::While { .. }));
+            }
+            other => panic!("expected for loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stmt_builder_state() {
+        let mut b = StmtBuilder::new();
+        assert!(b.is_empty());
+        b.assign_var("x", Expr::int(1));
+        b.call("helper", vec![Expr::var("x")]);
+        b.call_assign("y", "helper", vec![Expr::var("x")]);
+        b.cont();
+        assert_eq!(b.len(), 4);
+        let stmts = b.finish();
+        assert!(matches!(&stmts[2], Stmt::Call { dst: Some(_), .. }));
+    }
+
+    #[test]
+    fn float_vars_are_recorded() {
+        let mut f = FunctionBuilder::new("f");
+        f.float_var("x");
+        f.assign_var("x", Expr::bin(BinOp::Mul, Expr::float(2.0), Expr::float(3.0)));
+        let func = f.finish();
+        assert_eq!(func.float_vars, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn assign_index_and_step_loops() {
+        let mut f = FunctionBuilder::new("f");
+        f.for_loop_step("i", Expr::int(0), Expr::int(64), Expr::int(8), |b| {
+            b.assign_index("buf", Expr::var("i"), Expr::int(0));
+        });
+        let func = f.finish();
+        match &func.body[0] {
+            Stmt::For { step, body, .. } => {
+                assert_eq!(*step, Expr::int(8));
+                assert!(matches!(&body[0], Stmt::Assign { .. }));
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+}

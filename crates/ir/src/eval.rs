@@ -1,0 +1,162 @@
+//! Scalar evaluation semantics for VISA operations.
+//!
+//! These functions are the *single* definition of what each [`BinOp`] /
+//! [`UnOp`] computes.  Both the functional executor (`bsg-uarch`) and the
+//! compiler's constant folder (`bsg-compiler`) call into them, which is what
+//! makes "optimization preserves observable behaviour" a testable property:
+//! there is no second, slightly different arithmetic to drift out of sync.
+//!
+//! Division and remainder by zero yield zero (rather than trapping); shifts
+//! mask their amount; integer overflow wraps.  All operations are total, so
+//! the optimizer may freely speculate (hoist) them.
+
+use crate::types::{Ty, Value};
+use crate::visa::{BinOp, UnOp};
+
+/// Evaluates a binary operation on two values with the given operation type.
+pub fn eval_bin(op: BinOp, ty: Ty, lhs: Value, rhs: Value) -> Value {
+    match ty {
+        Ty::Int => {
+            let a = lhs.as_int();
+            let b = rhs.as_int();
+            let v = match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.wrapping_div(b)
+                    }
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.wrapping_rem(b)
+                    }
+                }
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+                BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+                BinOp::Lt => (a < b) as i64,
+                BinOp::Le => (a <= b) as i64,
+                BinOp::Gt => (a > b) as i64,
+                BinOp::Ge => (a >= b) as i64,
+                BinOp::Eq => (a == b) as i64,
+                BinOp::Ne => (a != b) as i64,
+            };
+            Value::Int(v)
+        }
+        Ty::Float => {
+            let a = lhs.as_float();
+            let b = rhs.as_float();
+            match op {
+                BinOp::Add => Value::Float(a + b),
+                BinOp::Sub => Value::Float(a - b),
+                BinOp::Mul => Value::Float(a * b),
+                BinOp::Div => Value::Float(if b == 0.0 { 0.0 } else { a / b }),
+                BinOp::Rem => Value::Float(if b == 0.0 { 0.0 } else { a % b }),
+                // Bitwise operations on floats operate on the truncated integers.
+                BinOp::And => Value::Int(lhs.as_int() & rhs.as_int()),
+                BinOp::Or => Value::Int(lhs.as_int() | rhs.as_int()),
+                BinOp::Xor => Value::Int(lhs.as_int() ^ rhs.as_int()),
+                BinOp::Shl => Value::Int(lhs.as_int().wrapping_shl((rhs.as_int() & 63) as u32)),
+                BinOp::Shr => Value::Int(lhs.as_int().wrapping_shr((rhs.as_int() & 63) as u32)),
+                BinOp::Lt => Value::Int((a < b) as i64),
+                BinOp::Le => Value::Int((a <= b) as i64),
+                BinOp::Gt => Value::Int((a > b) as i64),
+                BinOp::Ge => Value::Int((a >= b) as i64),
+                BinOp::Eq => Value::Int((a == b) as i64),
+                BinOp::Ne => Value::Int((a != b) as i64),
+            }
+        }
+    }
+}
+
+/// Evaluates a unary operation.
+pub fn eval_un(op: UnOp, ty: Ty, v: Value) -> Value {
+    match op {
+        UnOp::Neg => match ty {
+            Ty::Int => Value::Int(v.as_int().wrapping_neg()),
+            Ty::Float => Value::Float(-v.as_float()),
+        },
+        UnOp::Not => Value::Int(!v.as_int()),
+        UnOp::LogicalNot => Value::Int(!v.is_true() as i64),
+        UnOp::ToFloat => Value::Float(v.as_float()),
+        UnOp::ToInt => Value::Int(v.as_int()),
+        UnOp::Sqrt => {
+            let x = v.as_float();
+            Value::Float(if x < 0.0 { 0.0 } else { x.sqrt() })
+        }
+        UnOp::Sin => Value::Float(v.as_float().sin()),
+        UnOp::Cos => Value::Float(v.as_float().cos()),
+        UnOp::Log => {
+            let x = v.as_float();
+            Value::Float(if x <= 0.0 { 0.0 } else { x.ln() })
+        }
+        UnOp::Abs => match ty {
+            Ty::Int => Value::Int(v.as_int().wrapping_abs()),
+            Ty::Float => Value::Float(v.as_float().abs()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic_wraps_and_division_by_zero_is_zero() {
+        assert_eq!(eval_bin(BinOp::Add, Ty::Int, Value::Int(i64::MAX), Value::Int(1)), Value::Int(i64::MIN));
+        assert_eq!(eval_bin(BinOp::Div, Ty::Int, Value::Int(10), Value::Int(0)), Value::Int(0));
+        assert_eq!(eval_bin(BinOp::Rem, Ty::Int, Value::Int(10), Value::Int(0)), Value::Int(0));
+        assert_eq!(eval_bin(BinOp::Div, Ty::Int, Value::Int(10), Value::Int(3)), Value::Int(3));
+        assert_eq!(eval_bin(BinOp::Shl, Ty::Int, Value::Int(1), Value::Int(65)), Value::Int(2));
+    }
+
+    #[test]
+    fn comparisons_yield_zero_or_one() {
+        assert_eq!(eval_bin(BinOp::Lt, Ty::Int, Value::Int(1), Value::Int(2)), Value::Int(1));
+        assert_eq!(eval_bin(BinOp::Ge, Ty::Int, Value::Int(1), Value::Int(2)), Value::Int(0));
+        assert_eq!(eval_bin(BinOp::Eq, Ty::Float, Value::Float(1.5), Value::Float(1.5)), Value::Int(1));
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        assert_eq!(eval_bin(BinOp::Mul, Ty::Float, Value::Float(2.0), Value::Float(4.0)), Value::Float(8.0));
+        assert_eq!(eval_bin(BinOp::Div, Ty::Float, Value::Float(1.0), Value::Float(0.0)), Value::Float(0.0));
+        assert_eq!(eval_bin(BinOp::Add, Ty::Float, Value::Int(1), Value::Float(0.5)), Value::Float(1.5));
+    }
+
+    #[test]
+    fn shift_equivalence_with_multiplication() {
+        // Strength reduction (x * 2^k  ->  x << k) relies on this equivalence.
+        for x in [-7i64, -1, 0, 1, 5, 1 << 40, i64::MAX] {
+            for k in [0u32, 1, 3, 7] {
+                let mul = eval_bin(BinOp::Mul, Ty::Int, Value::Int(x), Value::Int(1 << k));
+                let shl = eval_bin(BinOp::Shl, Ty::Int, Value::Int(x), Value::Int(k as i64));
+                assert_eq!(mul, shl, "x={x} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_operations() {
+        assert_eq!(eval_un(UnOp::Neg, Ty::Int, Value::Int(5)), Value::Int(-5));
+        assert_eq!(eval_un(UnOp::Neg, Ty::Float, Value::Float(2.0)), Value::Float(-2.0));
+        assert_eq!(eval_un(UnOp::Not, Ty::Int, Value::Int(0)), Value::Int(-1));
+        assert_eq!(eval_un(UnOp::LogicalNot, Ty::Int, Value::Int(0)), Value::Int(1));
+        assert_eq!(eval_un(UnOp::LogicalNot, Ty::Int, Value::Int(7)), Value::Int(0));
+        assert_eq!(eval_un(UnOp::ToFloat, Ty::Float, Value::Int(3)), Value::Float(3.0));
+        assert_eq!(eval_un(UnOp::ToInt, Ty::Int, Value::Float(3.9)), Value::Int(3));
+        assert_eq!(eval_un(UnOp::Sqrt, Ty::Float, Value::Float(9.0)), Value::Float(3.0));
+        assert_eq!(eval_un(UnOp::Sqrt, Ty::Float, Value::Float(-1.0)), Value::Float(0.0));
+        assert_eq!(eval_un(UnOp::Log, Ty::Float, Value::Float(0.0)), Value::Float(0.0));
+        assert_eq!(eval_un(UnOp::Abs, Ty::Int, Value::Int(-4)), Value::Int(4));
+        assert_eq!(eval_un(UnOp::Abs, Ty::Float, Value::Float(-4.5)), Value::Float(4.5));
+    }
+}

@@ -1,0 +1,647 @@
+//! Functional execution of VISA programs with instrumentation hooks.
+//!
+//! The executor plays the role Pin plays in the paper (§III-A): it runs the
+//! compiled workload and exposes every dynamic event — instruction executed,
+//! basic block entered, control-flow edge traversed, conditional branch
+//! outcome, memory address touched — to an [`Observer`].  The SFGL profiler,
+//! the cache simulator, the branch predictors and the pipeline timing models
+//! are all observers of the same execution.
+
+use bsg_ir::eval::{eval_bin, eval_un};
+use bsg_ir::program::MemoryLayout;
+use bsg_ir::types::{BlockId, FuncId, GlobalId, Reg, Value, WORD_BYTES};
+use bsg_ir::visa::{Address, Inst, InstClass, MemBase, Operand, Terminator};
+use bsg_ir::Program;
+
+/// Identifies a static instruction (profiling key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstSite {
+    /// Enclosing function.
+    pub func: FuncId,
+    /// Enclosing block.
+    pub block: BlockId,
+    /// Index within the block (`usize::MAX` for the terminator).
+    pub index: usize,
+}
+
+/// A dynamic instruction event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstEvent {
+    /// Static location of the instruction.
+    pub site: InstSite,
+    /// Classification (load/store/branch/ALU/...).
+    pub class: InstClass,
+    /// Byte address read, if the instruction reads memory.
+    pub mem_read: Option<u64>,
+    /// Byte address written, if the instruction writes memory.
+    pub mem_write: Option<u64>,
+}
+
+/// Observer of a program execution.  All methods have empty default bodies so
+/// implementations only override what they need.
+pub trait Observer {
+    /// Called for every dynamic instruction.
+    fn on_inst(&mut self, event: &InstEvent) {
+        let _ = event;
+    }
+    /// Called when a basic block is entered.
+    fn on_block(&mut self, func: FuncId, block: BlockId) {
+        let _ = (func, block);
+    }
+    /// Called for every intra-function control-flow edge.
+    fn on_edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+        let _ = (func, from, to);
+    }
+    /// Called for every executed conditional branch.
+    fn on_branch(&mut self, site: InstSite, taken: bool) {
+        let _ = (site, taken);
+    }
+    /// Called when a function is entered via a call (not for the entry function).
+    fn on_call(&mut self, caller: FuncId, callee: FuncId) {
+        let _ = (caller, callee);
+    }
+}
+
+/// The no-op observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Stop after this many dynamic instructions (the run is then marked as
+    /// not completed).  Defaults to `u64::MAX`.
+    pub max_instructions: u64,
+    /// Maximum call depth before the run is aborted.
+    pub max_call_depth: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { max_instructions: u64::MAX, max_call_depth: 256 }
+    }
+}
+
+/// The observable outcome of an execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Values printed by `Print` instructions, in order.
+    pub printed: Vec<Value>,
+    /// Value returned by the entry function.
+    pub return_value: Option<Value>,
+    /// Number of dynamic instructions executed.
+    pub dynamic_instructions: u64,
+    /// `false` if the instruction budget or call-depth limit was hit.
+    pub completed: bool,
+}
+
+impl ExecOutcome {
+    /// The observable behaviour of the run: return value plus print stream.
+    /// Compiler correctness tests compare this across optimization levels.
+    pub fn observable(&self) -> (Option<Value>, &[Value]) {
+        (self.return_value, &self.printed)
+    }
+}
+
+/// Executes `program` with the default configuration and no observer.
+pub fn run(program: &Program) -> ExecOutcome {
+    execute(program, &mut NullObserver, &ExecConfig::default())
+}
+
+/// Executes `program`, reporting every dynamic event to `observer`.
+pub fn execute(program: &Program, observer: &mut dyn Observer, config: &ExecConfig) -> ExecOutcome {
+    let mut machine = Machine::new(program, config);
+    let ret = machine.call(program.entry, &[], observer, 0);
+    ExecOutcome {
+        printed: machine.printed,
+        return_value: ret,
+        dynamic_instructions: machine.instructions,
+        completed: !machine.halted,
+    }
+}
+
+/// Executes a program and also runs a secondary observer (convenience for the
+/// experiment harness, which frequently pairs a profiler with a cache model).
+pub fn execute_pair(
+    program: &Program,
+    first: &mut dyn Observer,
+    second: &mut dyn Observer,
+    config: &ExecConfig,
+) -> ExecOutcome {
+    let mut both = PairObserver { first, second };
+    execute(program, &mut both, config)
+}
+
+/// Fans every event out to two observers.
+pub struct PairObserver<'a> {
+    /// First observer.
+    pub first: &'a mut dyn Observer,
+    /// Second observer.
+    pub second: &'a mut dyn Observer,
+}
+
+impl Observer for PairObserver<'_> {
+    fn on_inst(&mut self, event: &InstEvent) {
+        self.first.on_inst(event);
+        self.second.on_inst(event);
+    }
+    fn on_block(&mut self, func: FuncId, block: BlockId) {
+        self.first.on_block(func, block);
+        self.second.on_block(func, block);
+    }
+    fn on_edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+        self.first.on_edge(func, from, to);
+        self.second.on_edge(func, from, to);
+    }
+    fn on_branch(&mut self, site: InstSite, taken: bool) {
+        self.first.on_branch(site, taken);
+        self.second.on_branch(site, taken);
+    }
+    fn on_call(&mut self, caller: FuncId, callee: FuncId) {
+        self.first.on_call(caller, callee);
+        self.second.on_call(caller, callee);
+    }
+}
+
+struct Machine<'a> {
+    program: &'a Program,
+    layout: MemoryLayout,
+    globals: Vec<Vec<Value>>,
+    printed: Vec<Value>,
+    instructions: u64,
+    halted: bool,
+    config: ExecConfig,
+}
+
+struct Frame {
+    regs: Vec<Value>,
+    slots: Vec<Value>,
+    depth: usize,
+}
+
+impl<'a> Machine<'a> {
+    fn new(program: &'a Program, config: &ExecConfig) -> Self {
+        Machine {
+            program,
+            layout: program.memory_layout(),
+            globals: program.globals.iter().map(|g| g.initial_values()).collect(),
+            printed: Vec::new(),
+            instructions: 0,
+            halted: false,
+            config: *config,
+        }
+    }
+
+    fn count_inst(&mut self) {
+        self.instructions += 1;
+        if self.instructions >= self.config.max_instructions {
+            self.halted = true;
+        }
+    }
+
+    fn call(
+        &mut self,
+        func_id: FuncId,
+        args: &[Value],
+        observer: &mut dyn Observer,
+        depth: usize,
+    ) -> Option<Value> {
+        if depth >= self.config.max_call_depth {
+            self.halted = true;
+            return None;
+        }
+        let func = self.program.function(func_id);
+        let mut frame = Frame {
+            regs: vec![Value::default(); func.num_regs.max(1) as usize],
+            slots: vec![Value::default(); (func.frame_words.max(1)) as usize],
+            depth,
+        };
+        for (reg, value) in func.params.iter().zip(args) {
+            frame.regs[reg.0 as usize] = *value;
+        }
+
+        let mut block_id = func.entry;
+        observer.on_block(func_id, block_id);
+        loop {
+            if self.halted {
+                return None;
+            }
+            let block = func.block(block_id);
+            for (index, inst) in block.insts.iter().enumerate() {
+                if self.halted {
+                    return None;
+                }
+                let site = InstSite { func: func_id, block: block_id, index };
+                self.step(inst, site, &mut frame, observer, func_id, depth);
+            }
+            // Terminator.
+            let term_site = InstSite { func: func_id, block: block_id, index: usize::MAX };
+            match &block.term {
+                Terminator::Jump(next) => {
+                    observer.on_edge(func_id, block_id, *next);
+                    block_id = *next;
+                    observer.on_block(func_id, block_id);
+                }
+                Terminator::Branch { cond, taken, not_taken } => {
+                    self.count_inst();
+                    let t = frame.regs[cond.0 as usize].is_true();
+                    observer.on_inst(&InstEvent {
+                        site: term_site,
+                        class: InstClass::Branch,
+                        mem_read: None,
+                        mem_write: None,
+                    });
+                    observer.on_branch(term_site, t);
+                    let next = if t { *taken } else { *not_taken };
+                    observer.on_edge(func_id, block_id, next);
+                    block_id = next;
+                    observer.on_block(func_id, block_id);
+                }
+                Terminator::Return(v) => {
+                    self.count_inst();
+                    observer.on_inst(&InstEvent {
+                        site: term_site,
+                        class: InstClass::Branch,
+                        mem_read: None,
+                        mem_write: None,
+                    });
+                    let value = v.as_ref().map(|op| self.operand(op, &mut frame, None));
+                    return value;
+                }
+            }
+        }
+    }
+
+    fn step(
+        &mut self,
+        inst: &Inst,
+        site: InstSite,
+        frame: &mut Frame,
+        observer: &mut dyn Observer,
+        func_id: FuncId,
+        depth: usize,
+    ) {
+        self.count_inst();
+        let mut mem_read: Option<u64> = None;
+        let mut mem_write: Option<u64> = None;
+        match inst {
+            Inst::Bin { op, ty, dst, lhs, rhs } => {
+                let a = self.operand(lhs, frame, Some(&mut mem_read));
+                let b = self.operand(rhs, frame, Some(&mut mem_read));
+                frame.regs[dst.0 as usize] = eval_bin(*op, *ty, a, b);
+            }
+            Inst::Un { op, ty, dst, src } => {
+                let v = self.operand(src, frame, Some(&mut mem_read));
+                frame.regs[dst.0 as usize] = eval_un(*op, *ty, v);
+            }
+            Inst::Mov { dst, src } => {
+                let v = self.operand(src, frame, Some(&mut mem_read));
+                frame.regs[dst.0 as usize] = v;
+            }
+            Inst::Load { dst, addr, .. } => {
+                let (value, byte_addr) = self.read_memory(addr, frame);
+                mem_read = Some(byte_addr);
+                frame.regs[dst.0 as usize] = value;
+            }
+            Inst::Store { src, addr, .. } => {
+                let v = self.operand(src, frame, Some(&mut mem_read));
+                let byte_addr = self.write_memory(addr, frame, v);
+                mem_write = Some(byte_addr);
+            }
+            Inst::Call { func, args, dst } => {
+                let arg_values: Vec<Value> =
+                    args.iter().map(|a| self.operand(a, frame, Some(&mut mem_read))).collect();
+                observer.on_inst(&InstEvent {
+                    site,
+                    class: InstClass::Call,
+                    mem_read,
+                    mem_write: None,
+                });
+                observer.on_call(func_id, *func);
+                let ret = self.call(*func, &arg_values, observer, depth + 1);
+                if let (Some(d), Some(v)) = (dst, ret) {
+                    frame.regs[d.0 as usize] = v;
+                }
+                return; // the event was already emitted
+            }
+            Inst::Print { src } => {
+                let v = self.operand(src, frame, Some(&mut mem_read));
+                self.printed.push(v);
+            }
+            Inst::Nop => {}
+        }
+        observer.on_inst(&InstEvent { site, class: inst.class(), mem_read, mem_write });
+    }
+
+    fn operand(&mut self, op: &Operand, frame: &mut Frame, mem_read: Option<&mut Option<u64>>) -> Value {
+        match op {
+            Operand::Reg(r) => frame.regs[r.0 as usize],
+            Operand::ImmInt(v) => Value::Int(*v),
+            Operand::ImmFloat(v) => Value::Float(*v),
+            Operand::Mem(addr) => {
+                let (value, byte_addr) = self.read_memory(addr, frame);
+                if let Some(slot) = mem_read {
+                    *slot = Some(byte_addr);
+                }
+                value
+            }
+        }
+    }
+
+    fn element_index(addr: &Address, frame: &Frame) -> i64 {
+        let idx = addr.index.map(|r: Reg| frame.regs[r.0 as usize].as_int()).unwrap_or(0);
+        addr.offset + idx * addr.scale
+    }
+
+    fn read_memory(&mut self, addr: &Address, frame: &Frame) -> (Value, u64) {
+        let elem = Self::element_index(addr, frame);
+        match addr.base {
+            MemBase::Global(g) => {
+                let byte = self.layout.global_addr(g, elem);
+                (self.global_get(g, elem), byte)
+            }
+            MemBase::Frame => {
+                let byte = self.layout.frame_addr(frame.depth, elem);
+                let n = frame.slots.len() as i64;
+                let i = elem.rem_euclid(n) as usize;
+                (frame.slots[i], byte)
+            }
+        }
+    }
+
+    fn write_memory(&mut self, addr: &Address, frame: &mut Frame, value: Value) -> u64 {
+        let elem = Self::element_index(addr, frame);
+        match addr.base {
+            MemBase::Global(g) => {
+                let byte = self.layout.global_addr(g, elem);
+                self.global_set(g, elem, value);
+                byte
+            }
+            MemBase::Frame => {
+                let byte = self.layout.frame_addr(frame.depth, elem);
+                let n = frame.slots.len() as i64;
+                let i = elem.rem_euclid(n) as usize;
+                frame.slots[i] = value;
+                byte
+            }
+        }
+    }
+
+    fn global_get(&self, g: GlobalId, elem: i64) -> Value {
+        let arr = &self.globals[g.index()];
+        let n = arr.len() as i64;
+        arr[elem.rem_euclid(n.max(1)) as usize]
+    }
+
+    fn global_set(&mut self, g: GlobalId, elem: i64, value: Value) {
+        let arr = &mut self.globals[g.index()];
+        let n = arr.len() as i64;
+        let i = elem.rem_euclid(n.max(1)) as usize;
+        arr[i] = value;
+    }
+}
+
+/// Convenience: the dynamic instruction count of a full run.
+pub fn dynamic_instruction_count(program: &Program) -> u64 {
+    run(program).dynamic_instructions
+}
+
+/// An observer that simply counts events; useful as a cheap smoke check and
+/// in tests.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CountingObserver {
+    /// Dynamic instructions seen.
+    pub instructions: u64,
+    /// Loads seen.
+    pub loads: u64,
+    /// Stores seen.
+    pub stores: u64,
+    /// Conditional branches seen.
+    pub branches: u64,
+    /// Taken conditional branches seen.
+    pub taken_branches: u64,
+    /// Blocks entered.
+    pub blocks: u64,
+    /// Calls observed.
+    pub calls: u64,
+}
+
+impl Observer for CountingObserver {
+    fn on_inst(&mut self, event: &InstEvent) {
+        self.instructions += 1;
+        if event.mem_read.is_some() {
+            self.loads += 1;
+        }
+        if event.mem_write.is_some() {
+            self.stores += 1;
+        }
+    }
+    fn on_block(&mut self, _func: FuncId, _block: BlockId) {
+        self.blocks += 1;
+    }
+    fn on_branch(&mut self, _site: InstSite, taken: bool) {
+        self.branches += 1;
+        if taken {
+            self.taken_branches += 1;
+        }
+    }
+    fn on_call(&mut self, _caller: FuncId, _callee: FuncId) {
+        self.calls += 1;
+    }
+}
+
+// Keep WORD_BYTES referenced so the layout convention is visible here.
+const _: () = assert!(WORD_BYTES == 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_ir::program::{Function, Global, Program};
+    use bsg_ir::types::Ty;
+    use bsg_ir::visa::BinOp;
+
+    /// main: g[0]=5; g[1]=g[0]+2; print g[1]; return g[1]*2
+    fn simple_program() -> Program {
+        let mut p = Program::new();
+        let g = p.add_global(Global::zeroed("g", 8));
+        let mut f = Function::new("main");
+        let r0 = f.fresh_reg();
+        let r1 = f.fresh_reg();
+        f.blocks[0].insts = vec![
+            Inst::Store { src: Operand::ImmInt(5), addr: Address::global(g, 0), ty: Ty::Int },
+            Inst::Load { dst: r0, addr: Address::global(g, 0), ty: Ty::Int },
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r0, lhs: r0.into(), rhs: Operand::ImmInt(2) },
+            Inst::Store { src: r0.into(), addr: Address::global(g, 1), ty: Ty::Int },
+            Inst::Print { src: r0.into() },
+            Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: r1, lhs: r0.into(), rhs: Operand::ImmInt(2) },
+        ];
+        f.blocks[0].term = Terminator::Return(Some(r1.into()));
+        p.add_function(f);
+        p
+    }
+
+    #[test]
+    fn executes_straight_line_code() {
+        let p = simple_program();
+        let out = run(&p);
+        assert!(out.completed);
+        assert_eq!(out.return_value, Some(Value::Int(14)));
+        assert_eq!(out.printed, vec![Value::Int(7)]);
+        assert_eq!(out.dynamic_instructions, 7, "6 instructions + return");
+    }
+
+    #[test]
+    fn counting_observer_sees_memory_and_blocks() {
+        let p = simple_program();
+        let mut counter = CountingObserver::default();
+        let out = execute(&p, &mut counter, &ExecConfig::default());
+        assert_eq!(counter.instructions, out.dynamic_instructions);
+        assert_eq!(counter.loads, 1);
+        assert_eq!(counter.stores, 2);
+        assert_eq!(counter.blocks, 1);
+        assert_eq!(counter.branches, 0);
+    }
+
+    /// main: s=0; for(i=0;i<10;i++) s+=i; return s  — built directly in VISA.
+    fn loop_program() -> Program {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let s = f.fresh_reg();
+        let i = f.fresh_reg();
+        let c = f.fresh_reg();
+        let header = f.add_block();
+        let body = f.add_block();
+        let exit = f.add_block();
+        f.blocks[0].insts = vec![
+            Inst::Mov { dst: s, src: Operand::ImmInt(0) },
+            Inst::Mov { dst: i, src: Operand::ImmInt(0) },
+        ];
+        f.blocks[0].term = Terminator::Jump(header);
+        f.blocks[header.index()].insts = vec![Inst::Bin {
+            op: BinOp::Lt,
+            ty: Ty::Int,
+            dst: c,
+            lhs: i.into(),
+            rhs: Operand::ImmInt(10),
+        }];
+        f.blocks[header.index()].term = Terminator::Branch { cond: c, taken: body, not_taken: exit };
+        f.blocks[body.index()].insts = vec![
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: s, lhs: s.into(), rhs: i.into() },
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: i, lhs: i.into(), rhs: Operand::ImmInt(1) },
+        ];
+        f.blocks[body.index()].term = Terminator::Jump(header);
+        f.blocks[exit.index()].term = Terminator::Return(Some(s.into()));
+        p.add_function(f);
+        p
+    }
+
+    #[test]
+    fn loops_and_branch_events() {
+        let p = loop_program();
+        let mut counter = CountingObserver::default();
+        let out = execute(&p, &mut counter, &ExecConfig::default());
+        assert_eq!(out.return_value, Some(Value::Int(45)));
+        assert_eq!(counter.branches, 11, "10 taken + 1 not-taken header branches");
+        assert_eq!(counter.taken_branches, 10);
+    }
+
+    #[test]
+    fn instruction_budget_halts_execution() {
+        let p = loop_program();
+        let out = execute(&p, &mut NullObserver, &ExecConfig { max_instructions: 20, max_call_depth: 8 });
+        assert!(!out.completed);
+        assert!(out.dynamic_instructions <= 21);
+        assert_eq!(out.return_value, None);
+    }
+
+    #[test]
+    fn function_calls_pass_arguments_and_return_values() {
+        // add3(a, b, c) { return a + b + c; }  main { return add3(1, 2, 3); }
+        let mut p = Program::new();
+        let mut callee = Function::new("add3");
+        let (a, b, c) = (callee.fresh_reg(), callee.fresh_reg(), callee.fresh_reg());
+        let t = callee.fresh_reg();
+        callee.params = vec![a, b, c];
+        callee.blocks[0].insts = vec![
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: t, lhs: a.into(), rhs: b.into() },
+            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: t, lhs: t.into(), rhs: c.into() },
+        ];
+        callee.blocks[0].term = Terminator::Return(Some(t.into()));
+
+        let mut main = Function::new("main");
+        let r = main.fresh_reg();
+        main.blocks[0].insts = vec![Inst::Call {
+            func: FuncId(1),
+            args: vec![Operand::ImmInt(1), Operand::ImmInt(2), Operand::ImmInt(3)],
+            dst: Some(r),
+        }];
+        main.blocks[0].term = Terminator::Return(Some(r.into()));
+        p.add_function(main);
+        p.add_function(callee);
+
+        let mut counter = CountingObserver::default();
+        let out = execute(&p, &mut counter, &ExecConfig::default());
+        assert_eq!(out.return_value, Some(Value::Int(6)));
+        assert_eq!(counter.calls, 1);
+    }
+
+    #[test]
+    fn call_depth_limit_aborts() {
+        // f() { return f(); } — infinite recursion must be cut off.
+        let mut p = Program::new();
+        let mut f = Function::new("f");
+        let r = f.fresh_reg();
+        f.blocks[0].insts = vec![Inst::Call { func: FuncId(0), args: vec![], dst: Some(r) }];
+        f.blocks[0].term = Terminator::Return(Some(r.into()));
+        p.add_function(f);
+        let out = execute(&p, &mut NullObserver, &ExecConfig { max_instructions: 1_000_000, max_call_depth: 32 });
+        assert!(!out.completed);
+    }
+
+    #[test]
+    fn out_of_bounds_accesses_wrap_instead_of_panicking() {
+        let mut p = Program::new();
+        let g = p.add_global(Global::zeroed("g", 4));
+        let mut f = Function::new("main");
+        let r = f.fresh_reg();
+        f.blocks[0].insts = vec![
+            Inst::Store { src: Operand::ImmInt(9), addr: Address::global(g, 6), ty: Ty::Int },
+            Inst::Load { dst: r, addr: Address::global(g, 2), ty: Ty::Int },
+        ];
+        f.blocks[0].term = Terminator::Return(Some(r.into()));
+        p.add_function(f);
+        let out = run(&p);
+        assert_eq!(out.return_value, Some(Value::Int(9)), "index 6 wraps to 2 in a 4-element array");
+    }
+
+    #[test]
+    fn folded_memory_operands_read_memory() {
+        let mut p = Program::new();
+        let g = p.add_global(Global {
+            name: "g".into(),
+            elems: 4,
+            ty: Ty::Int,
+            init: bsg_ir::program::GlobalInit::Values(vec![Value::Int(10), Value::Int(32)]),
+        });
+        let mut f = Function::new("main");
+        let r = f.fresh_reg();
+        f.blocks[0].insts = vec![
+            Inst::Load { dst: r, addr: Address::global(g, 0), ty: Ty::Int },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: r,
+                lhs: r.into(),
+                rhs: Operand::Mem(Address::global(g, 1)),
+            },
+        ];
+        f.blocks[0].term = Terminator::Return(Some(r.into()));
+        p.add_function(f);
+        let mut counter = CountingObserver::default();
+        let out = execute(&p, &mut counter, &ExecConfig::default());
+        assert_eq!(out.return_value, Some(Value::Int(42)));
+        assert_eq!(counter.loads, 2, "the folded operand still counts as a memory read");
+    }
+}

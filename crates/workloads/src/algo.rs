@@ -1,0 +1,376 @@
+//! Integer / pointer-style kernels: `bitcount`, `dijkstra`, `patricia`,
+//! `qsort` and `stringsearch`.
+//!
+//! These are the control-flow- and memory-intensive half of the suite:
+//! `bitcount` is pure integer ALU work with short data-dependent loops,
+//! `dijkstra` walks an adjacency matrix, `patricia` performs bit-tested
+//! lookups in a sorted key table (a trie proxy with the same data-dependent
+//! branch behaviour), `qsort` is an iterative quicksort with an explicit
+//! stack, and `stringsearch` scans a text buffer for short patterns.
+
+use crate::InputSize;
+use bsg_ir::build::FunctionBuilder;
+use bsg_ir::hll::{BinOp, Expr, HllGlobal, HllProgram};
+
+/// The `bitcount` workload: count set bits with two different methods
+/// (Kernighan's loop and a nibble table), as the MiBench kernel does.
+pub fn bitcount(input: InputSize) -> HllProgram {
+    let values = input.scale(4_000, 40_000);
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::with_values(
+        "nibble_counts",
+        vec![0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4],
+    ));
+
+    let mut kernighan = FunctionBuilder::new("count_kernighan");
+    kernighan.param("x");
+    kernighan.assign_var("n", Expr::int(0));
+    kernighan.while_loop(Expr::bin(BinOp::Ne, Expr::var("x"), Expr::int(0)), |b| {
+        b.assign_var("x", Expr::bin(BinOp::And, Expr::var("x"), Expr::sub(Expr::var("x"), Expr::int(1))));
+        b.assign_var("n", Expr::add(Expr::var("n"), Expr::int(1)));
+    });
+    kernighan.ret(Some(Expr::var("n")));
+
+    let mut table = FunctionBuilder::new("count_table");
+    table.param("x");
+    table.assign_var("n", Expr::int(0));
+    table.for_loop("shift", Expr::int(0), Expr::int(8), |b| {
+        b.assign_var(
+            "n",
+            Expr::add(
+                Expr::var("n"),
+                Expr::index(
+                    "nibble_counts",
+                    Expr::bin(
+                        BinOp::And,
+                        Expr::bin(BinOp::Shr, Expr::var("x"), Expr::mul(Expr::var("shift"), Expr::int(4))),
+                        Expr::int(15),
+                    ),
+                ),
+            ),
+        );
+    });
+    table.ret(Some(Expr::var("n")));
+
+    let mut main = FunctionBuilder::new("main");
+    main.for_loop("i", Expr::int(0), Expr::int(values), |b| {
+        b.assign_var(
+            "v",
+            Expr::bin(BinOp::And, Expr::mul(Expr::var("i"), Expr::int(2654435761)), Expr::int(0xffff_ffff)),
+        );
+        b.call_assign("a", "count_kernighan", vec![Expr::var("v")]);
+        b.call_assign("c", "count_table", vec![Expr::var("v")]);
+        b.assign_var("total", Expr::add(Expr::var("total"), Expr::add(Expr::var("a"), Expr::var("c"))));
+    });
+    main.print(Expr::var("total"));
+    main.ret(Some(Expr::var("total")));
+
+    let mut p_out = p;
+    p_out.add_function(main.finish());
+    p_out.add_function(kernighan.finish());
+    p_out.add_function(table.finish());
+    p_out
+}
+
+/// The `dijkstra` workload: single-source shortest paths over a dense
+/// adjacency matrix, repeated for several sources.
+pub fn dijkstra(input: InputSize) -> HllProgram {
+    let nodes = input.scale(20, 48);
+    let sources = input.scale(3, 10);
+    let mut p = HllProgram::new();
+    // Deterministic dense weighted graph (64 x 64 capacity).
+    p.add_global(HllGlobal::with_values(
+        "adj",
+        (0..(64 * 64)).map(|i| (i * 73 + 19) % 100 + 1).collect(),
+    ));
+    p.add_global(HllGlobal::zeroed("dist", 64));
+    p.add_global(HllGlobal::zeroed("visited", 64));
+
+    let mut main = FunctionBuilder::new("main");
+    main.for_loop("src", Expr::int(0), Expr::int(sources), |s| {
+        // Initialize.
+        s.for_loop("i", Expr::int(0), Expr::int(nodes), |b| {
+            b.assign_index("dist", Expr::var("i"), Expr::int(1_000_000));
+            b.assign_index("visited", Expr::var("i"), Expr::int(0));
+        });
+        s.assign_index("dist", Expr::var("src"), Expr::int(0));
+        // Main relaxation loop.
+        s.for_loop("iter", Expr::int(0), Expr::int(nodes), |it| {
+            // Select the unvisited node with the smallest distance.
+            it.assign_var("best", Expr::int(-1));
+            it.assign_var("bestd", Expr::int(2_000_000));
+            it.for_loop("i", Expr::int(0), Expr::int(nodes), |b| {
+                b.if_then(
+                    Expr::bin(
+                        BinOp::And,
+                        Expr::eq(Expr::index("visited", Expr::var("i")), Expr::int(0)),
+                        Expr::lt(Expr::index("dist", Expr::var("i")), Expr::var("bestd")),
+                    ),
+                    |t| {
+                        t.assign_var("best", Expr::var("i"));
+                        t.assign_var("bestd", Expr::index("dist", Expr::var("i")));
+                    },
+                );
+            });
+            it.if_then(Expr::bin(BinOp::Ge, Expr::var("best"), Expr::int(0)), |t| {
+                t.assign_index("visited", Expr::var("best"), Expr::int(1));
+                // Relax every neighbour.
+                t.for_loop("j", Expr::int(0), Expr::int(nodes), |b| {
+                    b.assign_var(
+                        "cand",
+                        Expr::add(
+                            Expr::var("bestd"),
+                            Expr::index(
+                                "adj",
+                                Expr::add(Expr::mul(Expr::var("best"), Expr::int(64)), Expr::var("j")),
+                            ),
+                        ),
+                    );
+                    b.if_then(Expr::lt(Expr::var("cand"), Expr::index("dist", Expr::var("j"))), |u| {
+                        u.assign_index("dist", Expr::var("j"), Expr::var("cand"));
+                    });
+                });
+            });
+        });
+        s.for_loop("i", Expr::int(0), Expr::int(nodes), |b| {
+            b.assign_var("sum", Expr::add(Expr::var("sum"), Expr::index("dist", Expr::var("i"))));
+        });
+    });
+    main.print(Expr::var("sum"));
+    main.ret(Some(Expr::var("sum")));
+    p.add_function(main.finish());
+    p
+}
+
+/// The `patricia` workload: bit-tested lookups in a sorted key table — a
+/// proxy for Patricia-trie routing-table lookups with the same data-dependent
+/// branch and pointer-chasing-like load behaviour.
+pub fn patricia(input: InputSize) -> HllProgram {
+    let keys = 1024i64;
+    let lookups = input.scale(1_500, 15_000);
+    let mut p = HllProgram::new();
+    // Sorted key table (strictly increasing) standing in for trie nodes.
+    p.add_global(HllGlobal::with_values("keys", (0..keys).map(|i| i * 37 + (i % 7)).collect()));
+    p.add_global(HllGlobal::zeroed("hits", 64));
+
+    let mut lookup = FunctionBuilder::new("lookup");
+    lookup.param("needle");
+    lookup.assign_var("lo", Expr::int(0));
+    lookup.assign_var("hi", Expr::int(keys - 1));
+    lookup.assign_var("steps", Expr::int(0));
+    lookup.while_loop(Expr::lt(Expr::var("lo"), Expr::var("hi")), |b| {
+        b.assign_var(
+            "mid",
+            Expr::bin(BinOp::Shr, Expr::add(Expr::var("lo"), Expr::var("hi")), Expr::int(1)),
+        );
+        b.if_then_else(
+            Expr::lt(Expr::index("keys", Expr::var("mid")), Expr::var("needle")),
+            |t| {
+                t.assign_var("lo", Expr::add(Expr::var("mid"), Expr::int(1)));
+            },
+            |e| {
+                e.assign_var("hi", Expr::var("mid"));
+            },
+        );
+        b.assign_var("steps", Expr::add(Expr::var("steps"), Expr::int(1)));
+    });
+    lookup.ret(Some(Expr::var("lo")));
+
+    let mut main = FunctionBuilder::new("main");
+    main.for_loop("i", Expr::int(0), Expr::int(lookups), |b| {
+        b.assign_var(
+            "needle",
+            Expr::bin(BinOp::Rem, Expr::mul(Expr::var("i"), Expr::int(104729)), Expr::int(keys * 37)),
+        );
+        b.call_assign("pos", "lookup", vec![Expr::var("needle")]);
+        b.assign_index(
+            "hits",
+            Expr::bin(BinOp::And, Expr::var("pos"), Expr::int(63)),
+            Expr::add(Expr::index("hits", Expr::bin(BinOp::And, Expr::var("pos"), Expr::int(63))), Expr::int(1)),
+        );
+        b.assign_var("total", Expr::add(Expr::var("total"), Expr::var("pos")));
+    });
+    main.print(Expr::var("total"));
+    main.ret(Some(Expr::var("total")));
+    p.add_function(main.finish());
+    p.add_function(lookup.finish());
+    p
+}
+
+/// The `qsort` workload: iterative quicksort (explicit stack) over a
+/// pseudo-random integer array, repeated over several shuffles.
+pub fn qsort(input: InputSize) -> HllProgram {
+    let n = input.scale(400, 2_500);
+    let rounds = input.scale(2, 4);
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::zeroed("arr", 4096));
+    p.add_global(HllGlobal::zeroed("stack_lo", 128));
+    p.add_global(HllGlobal::zeroed("stack_hi", 128));
+
+    let mut main = FunctionBuilder::new("main");
+    main.for_loop("round", Expr::int(0), Expr::int(rounds), |r| {
+        // Refill the array with a deterministic pseudo-random permutation.
+        r.for_loop("i", Expr::int(0), Expr::int(n), |b| {
+            b.assign_index(
+                "arr",
+                Expr::var("i"),
+                Expr::bin(
+                    BinOp::Rem,
+                    Expr::add(Expr::mul(Expr::var("i"), Expr::int(48271)), Expr::mul(Expr::var("round"), Expr::int(123))),
+                    Expr::int(100_000),
+                ),
+            );
+        });
+        // Iterative quicksort.
+        r.assign_var("sp", Expr::int(1));
+        r.assign_index("stack_lo", Expr::int(0), Expr::int(0));
+        r.assign_index("stack_hi", Expr::int(0), Expr::int(n - 1));
+        r.while_loop(Expr::bin(BinOp::Gt, Expr::var("sp"), Expr::int(0)), |w| {
+            w.assign_var("sp", Expr::sub(Expr::var("sp"), Expr::int(1)));
+            w.assign_var("lo", Expr::index("stack_lo", Expr::var("sp")));
+            w.assign_var("hi", Expr::index("stack_hi", Expr::var("sp")));
+            w.if_then(Expr::lt(Expr::var("lo"), Expr::var("hi")), |part| {
+                // Lomuto partition around arr[hi].
+                part.assign_var("pivot", Expr::index("arr", Expr::var("hi")));
+                part.assign_var("store", Expr::var("lo"));
+                part.for_loop_step("k", Expr::var("lo"), Expr::var("hi"), Expr::int(1), |inner| {
+                    inner.if_then(
+                        Expr::lt(Expr::index("arr", Expr::var("k")), Expr::var("pivot")),
+                        |t| {
+                            t.assign_var("tmp", Expr::index("arr", Expr::var("store")));
+                            t.assign_index("arr", Expr::var("store"), Expr::index("arr", Expr::var("k")));
+                            t.assign_index("arr", Expr::var("k"), Expr::var("tmp"));
+                            t.assign_var("store", Expr::add(Expr::var("store"), Expr::int(1)));
+                        },
+                    );
+                });
+                part.assign_var("tmp", Expr::index("arr", Expr::var("store")));
+                part.assign_index("arr", Expr::var("store"), Expr::index("arr", Expr::var("hi")));
+                part.assign_index("arr", Expr::var("hi"), Expr::var("tmp"));
+                // Push the two halves (bounded stack: 128 entries is plenty).
+                part.assign_index("stack_lo", Expr::var("sp"), Expr::var("lo"));
+                part.assign_index("stack_hi", Expr::var("sp"), Expr::sub(Expr::var("store"), Expr::int(1)));
+                part.assign_var("sp", Expr::add(Expr::var("sp"), Expr::int(1)));
+                part.assign_index("stack_lo", Expr::var("sp"), Expr::add(Expr::var("store"), Expr::int(1)));
+                part.assign_index("stack_hi", Expr::var("sp"), Expr::var("hi"));
+                part.assign_var("sp", Expr::add(Expr::var("sp"), Expr::int(1)));
+            });
+        });
+        r.assign_var(
+            "checksum",
+            Expr::add(
+                Expr::var("checksum"),
+                Expr::add(Expr::index("arr", Expr::int(0)), Expr::index("arr", Expr::int(n - 1))),
+            ),
+        );
+    });
+    main.print(Expr::var("checksum"));
+    main.ret(Some(Expr::var("checksum")));
+    p.add_function(main.finish());
+    p
+}
+
+/// The `stringsearch` workload: scan a synthetic text for several short
+/// patterns with a naive early-exit matcher.
+pub fn stringsearch(input: InputSize) -> HllProgram {
+    let text_len = input.scale(3_000, 30_000);
+    let patterns = 6i64;
+    let mut p = HllProgram::new();
+    // Text over a small alphabet so partial matches happen regularly.
+    p.add_global(HllGlobal::with_values(
+        "text",
+        (0..32_768).map(|i| (i * 31 + (i / 7)) % 8).collect(),
+    ));
+    // Patterns are taken verbatim from the text at staggered offsets, so each
+    // one occurs at least once (more often for the periodic early offsets).
+    let text: Vec<i64> = (0..32_768i64).map(|i| (i * 31 + (i / 7)) % 8).collect();
+    let needles: Vec<i64> =
+        (0..patterns).flat_map(|n| text[(n * 211) as usize..(n * 211 + 8) as usize].to_vec()).collect();
+    p.add_global(HllGlobal::with_values("needles", needles));
+
+    let mut main = FunctionBuilder::new("main");
+    main.for_loop("pi", Expr::int(0), Expr::int(patterns), |pp| {
+        pp.assign_var("plen", Expr::int(8));
+        pp.assign_var("pbase", Expr::mul(Expr::var("pi"), Expr::int(8)));
+        pp.for_loop("pos", Expr::int(0), Expr::int(text_len - 8), |b| {
+            b.assign_var("j", Expr::int(0));
+            b.assign_var("matching", Expr::int(1));
+            b.while_loop(
+                Expr::bin(
+                    BinOp::And,
+                    Expr::lt(Expr::var("j"), Expr::var("plen")),
+                    Expr::bin(BinOp::Ne, Expr::var("matching"), Expr::int(0)),
+                ),
+                |w| {
+                    w.if_then(
+                        Expr::bin(
+                            BinOp::Ne,
+                            Expr::index("text", Expr::add(Expr::var("pos"), Expr::var("j"))),
+                            Expr::index("needles", Expr::add(Expr::var("pbase"), Expr::var("j"))),
+                        ),
+                        |t| {
+                            t.assign_var("matching", Expr::int(0));
+                        },
+                    );
+                    w.assign_var("j", Expr::add(Expr::var("j"), Expr::int(1)));
+                },
+            );
+            b.if_then(Expr::bin(BinOp::Ne, Expr::var("matching"), Expr::int(0)), |t| {
+                t.assign_var("found", Expr::add(Expr::var("found"), Expr::int(1)));
+            });
+        });
+    });
+    main.print(Expr::var("found"));
+    main.ret(Some(Expr::var("found")));
+    p.add_function(main.finish());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_compiler::{compile, CompileOptions, OptLevel, TargetIsa};
+
+    fn run_level(p: &HllProgram, level: OptLevel) -> i64 {
+        let c = compile(p, &CompileOptions::new(level, TargetIsa::X86_64)).unwrap();
+        bsg_uarch::exec::run(&c.program).return_value.unwrap().as_int()
+    }
+
+    #[test]
+    fn bitcount_totals_are_consistent_across_levels() {
+        let p = bitcount(InputSize::Small);
+        assert_eq!(run_level(&p, OptLevel::O0), run_level(&p, OptLevel::O3));
+        assert!(run_level(&p, OptLevel::O0) > 0);
+    }
+
+    #[test]
+    fn dijkstra_distances_are_finite_and_stable() {
+        let p = dijkstra(InputSize::Small);
+        let sum = run_level(&p, OptLevel::O2);
+        assert!(sum > 0);
+        assert!(sum < 1_000_000 * 64, "no unreachable nodes in a dense graph");
+        assert_eq!(sum, run_level(&p, OptLevel::O0));
+    }
+
+    #[test]
+    fn qsort_sorts_the_array() {
+        // The checksum is min + max-ish sample; more importantly the program
+        // must terminate and be optimization-invariant.
+        let p = qsort(InputSize::Small);
+        assert_eq!(run_level(&p, OptLevel::O0), run_level(&p, OptLevel::O3));
+    }
+
+    #[test]
+    fn stringsearch_finds_some_matches() {
+        let p = stringsearch(InputSize::Small);
+        let found = run_level(&p, OptLevel::O1);
+        assert!(found > 0, "the periodic text must contain matches");
+    }
+
+    #[test]
+    fn patricia_lookup_counts_are_positive_and_stable() {
+        let p = patricia(InputSize::Small);
+        assert!(run_level(&p, OptLevel::O0) > 0);
+        assert_eq!(run_level(&p, OptLevel::O0), run_level(&p, OptLevel::O2));
+    }
+}

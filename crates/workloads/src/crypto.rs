@@ -1,0 +1,216 @@
+//! Checksum / hash kernels: `crc32` and `sha`.
+//!
+//! Both MiBench kernels stream over a byte buffer applying shift/xor/add
+//! mixing; `crc32` is table-driven (one load per byte), `sha` expands each
+//! block into a message schedule and runs 80 mixing rounds.  The
+//! reproductions use a 32-bit mask (`0xffffffff`) to mimic the original
+//! word size on the workspace's 64-bit integer values.
+
+use crate::InputSize;
+use bsg_ir::build::FunctionBuilder;
+use bsg_ir::hll::{BinOp, Expr, HllGlobal, HllProgram};
+
+const MASK32: i64 = 0xffff_ffff;
+
+fn mask32(e: Expr) -> Expr {
+    Expr::bin(BinOp::And, e, Expr::int(MASK32))
+}
+
+/// The CRC-32 lookup table (standard reflected polynomial 0xEDB88320).
+fn crc_table() -> Vec<i64> {
+    (0..256u32)
+        .map(|i| {
+            let mut c = i;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            c as i64
+        })
+        .collect()
+}
+
+/// The `crc32` workload: a table-driven CRC over a synthetic byte stream.
+pub fn crc32(input: InputSize) -> HllProgram {
+    let len = input.scale(6_000, 60_000);
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::with_values("crc_table", crc_table()));
+    p.add_global(HllGlobal::with_values(
+        "message",
+        (0..4096).map(|i| (i * 131 + 89) % 256).collect(),
+    ));
+
+    let mut main = FunctionBuilder::new("main");
+    main.assign_var("crc", Expr::int(MASK32));
+    main.for_loop("i", Expr::int(0), Expr::int(len), |b| {
+        b.assign_var("byte", Expr::index("message", Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(4096))));
+        b.assign_var(
+            "idx",
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Xor, Expr::var("crc"), Expr::var("byte")),
+                Expr::int(0xff),
+            ),
+        );
+        b.assign_var(
+            "crc",
+            mask32(Expr::bin(
+                BinOp::Xor,
+                Expr::bin(BinOp::Shr, Expr::var("crc"), Expr::int(8)),
+                Expr::index("crc_table", Expr::var("idx")),
+            )),
+        );
+    });
+    main.assign_var("crc", mask32(Expr::bin(BinOp::Xor, Expr::var("crc"), Expr::int(MASK32))));
+    main.print(Expr::var("crc"));
+    main.ret(Some(Expr::var("crc")));
+    p.add_function(main.finish());
+    p
+}
+
+/// The `sha` workload: SHA-1-style message-schedule expansion and 80 mixing
+/// rounds per block over a synthetic message.
+pub fn sha(input: InputSize) -> HllProgram {
+    let blocks = input.scale(25, 250);
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::with_values(
+        "msg",
+        (0..2048).map(|i| ((i * 2654435761i64 + 12345) & MASK32) % 65536).collect(),
+    ));
+    p.add_global(HllGlobal::zeroed("w", 80));
+    p.add_global(HllGlobal::with_values(
+        "h",
+        vec![0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+    ));
+
+    let rotl = |e: Expr, k: i64| {
+        mask32(Expr::bin(
+            BinOp::Or,
+            Expr::bin(BinOp::Shl, e.clone(), Expr::int(k)),
+            Expr::bin(BinOp::Shr, e, Expr::int(32 - k)),
+        ))
+    };
+
+    let mut block_fn = FunctionBuilder::new("sha_block");
+    block_fn.param("base");
+    // Message schedule: w[0..16] from the message, w[16..80] expanded.
+    block_fn.for_loop("t", Expr::int(0), Expr::int(16), |b| {
+        b.assign_index(
+            "w",
+            Expr::var("t"),
+            Expr::index(
+                "msg",
+                Expr::bin(BinOp::Rem, Expr::add(Expr::var("base"), Expr::var("t")), Expr::int(2048)),
+            ),
+        );
+    });
+    block_fn.for_loop("t", Expr::int(16), Expr::int(80), |b| {
+        b.assign_var(
+            "x",
+            Expr::bin(
+                BinOp::Xor,
+                Expr::bin(
+                    BinOp::Xor,
+                    Expr::index("w", Expr::sub(Expr::var("t"), Expr::int(3))),
+                    Expr::index("w", Expr::sub(Expr::var("t"), Expr::int(8))),
+                ),
+                Expr::bin(
+                    BinOp::Xor,
+                    Expr::index("w", Expr::sub(Expr::var("t"), Expr::int(14))),
+                    Expr::index("w", Expr::sub(Expr::var("t"), Expr::int(16))),
+                ),
+            ),
+        );
+        b.assign_index("w", Expr::var("t"), rotl(Expr::var("x"), 1));
+    });
+    // Working variables and 80 rounds.
+    for (v, i) in [("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4)] {
+        block_fn.assign_var(v, Expr::index("h", Expr::int(i)));
+    }
+    block_fn.for_loop("t", Expr::int(0), Expr::int(80), |b| {
+        b.if_then_else(
+            Expr::lt(Expr::var("t"), Expr::int(20)),
+            |t| {
+                t.assign_var(
+                    "f",
+                    Expr::bin(
+                        BinOp::Or,
+                        Expr::bin(BinOp::And, Expr::var("b"), Expr::var("c")),
+                        Expr::bin(
+                            BinOp::And,
+                            Expr::bin(BinOp::Xor, Expr::var("b"), Expr::int(MASK32)),
+                            Expr::var("d"),
+                        ),
+                    ),
+                );
+                t.assign_var("k", Expr::int(0x5A82_7999));
+            },
+            |e| {
+                e.assign_var(
+                    "f",
+                    Expr::bin(BinOp::Xor, Expr::bin(BinOp::Xor, Expr::var("b"), Expr::var("c")), Expr::var("d")),
+                );
+                e.assign_var("k", Expr::int(0x6ED9_EBA1));
+            },
+        );
+        b.assign_var(
+            "temp",
+            mask32(Expr::add(
+                Expr::add(
+                    Expr::add(rotl(Expr::var("a"), 5), Expr::var("f")),
+                    Expr::add(Expr::var("e"), Expr::var("k")),
+                ),
+                Expr::index("w", Expr::var("t")),
+            )),
+        );
+        b.assign_var("e", Expr::var("d"));
+        b.assign_var("d", Expr::var("c"));
+        b.assign_var("c", rotl(Expr::var("b"), 30));
+        b.assign_var("b", Expr::var("a"));
+        b.assign_var("a", Expr::var("temp"));
+    });
+    for (v, i) in [("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4)] {
+        block_fn.assign_index("h", Expr::int(i), mask32(Expr::add(Expr::index("h", Expr::int(i)), Expr::var(v))));
+    }
+    block_fn.ret(Some(Expr::index("h", Expr::int(0))));
+
+    let mut main = FunctionBuilder::new("main");
+    main.for_loop("blk", Expr::int(0), Expr::int(blocks), |b| {
+        b.call_assign("digest", "sha_block", vec![Expr::mul(Expr::var("blk"), Expr::int(16))]);
+    });
+    main.print(Expr::var("digest"));
+    main.ret(Some(Expr::var("digest")));
+    p.add_function(main.finish());
+    p.add_function(block_fn.finish());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_compiler::{compile, CompileOptions, OptLevel, TargetIsa};
+
+    #[test]
+    fn crc32_produces_a_stable_checksum() {
+        let p = crc32(InputSize::Small);
+        let o0 = compile(&p, &CompileOptions::portable(OptLevel::O0)).unwrap();
+        let o3 = compile(&p, &CompileOptions::new(OptLevel::O3, TargetIsa::X86_64)).unwrap();
+        let a = bsg_uarch::exec::run(&o0.program);
+        let b = bsg_uarch::exec::run(&o3.program);
+        assert_eq!(a.return_value, b.return_value);
+        let crc = a.return_value.unwrap().as_int();
+        assert!(crc > 0 && crc <= MASK32, "CRC stays within 32 bits: {crc:#x}");
+    }
+
+    #[test]
+    fn sha_digest_is_within_32_bits_and_input_dependent() {
+        let small = sha(InputSize::Small);
+        let c = compile(&small, &CompileOptions::portable(OptLevel::O1)).unwrap();
+        let out = bsg_uarch::exec::run(&c.program);
+        let digest = out.return_value.unwrap().as_int();
+        assert!(digest >= 0 && digest <= MASK32);
+        // More blocks -> different digest.
+        let large = sha(InputSize::Large);
+        let c2 = compile(&large, &CompileOptions::portable(OptLevel::O1)).unwrap();
+        assert_ne!(bsg_uarch::exec::run(&c2.program).return_value.unwrap().as_int(), digest);
+    }
+}

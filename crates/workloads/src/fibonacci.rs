@@ -1,0 +1,78 @@
+//! The fibonacci kernel used in Figure 3 of the paper to illustrate what a
+//! synthetic clone looks like next to its original.
+
+use bsg_ir::build::FunctionBuilder;
+use bsg_ir::hll::{BinOp, Expr, HllProgram};
+
+/// Builds the paper's fibonacci kernel:
+///
+/// ```c
+/// int fib(int n) {
+///   int a = 0, b = 1, i, sum = 0;
+///   for (i = 0; i < n; i++) {
+///     sum = a + b;
+///     if (sum < 0) { printf("overflow"); break; }
+///     a = b;
+///     b = sum;
+///   }
+///   return sum;
+/// }
+/// ```
+pub fn fibonacci(n: i64) -> HllProgram {
+    let mut fib = FunctionBuilder::new("fib");
+    fib.param("n");
+    fib.assign_var("a", Expr::int(0));
+    fib.assign_var("b", Expr::int(1));
+    fib.assign_var("sum", Expr::int(0));
+    fib.for_loop("i", Expr::int(0), Expr::var("n"), |body| {
+        body.assign_var("sum", Expr::add(Expr::var("a"), Expr::var("b")));
+        body.if_then(Expr::lt(Expr::var("sum"), Expr::int(0)), |t| {
+            t.print(Expr::var("sum"));
+            t.brk();
+        });
+        body.assign_var("a", Expr::var("b"));
+        body.assign_var("b", Expr::var("sum"));
+    });
+    fib.ret(Some(Expr::var("sum")));
+
+    let mut main = FunctionBuilder::new("main");
+    main.call_assign("result", "fib", vec![Expr::int(n)]);
+    // Keep the result observable (and exercise a non-loop branch).
+    main.if_then(
+        Expr::bin(BinOp::Gt, Expr::var("result"), Expr::int(0)),
+        |t| {
+            t.print(Expr::var("result"));
+        },
+    );
+    main.ret(Some(Expr::var("result")));
+
+    let mut p = HllProgram::new();
+    p.add_function(main.finish());
+    p.add_function(fib.finish());
+    p.entry = "main".to_string();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_compiler::{compile, CompileOptions, OptLevel};
+
+    #[test]
+    fn fib_values_are_correct() {
+        for (n, expected) in [(1, 1i64), (2, 2), (5, 8), (10, 89), (20, 10946)] {
+            let c = compile(&fibonacci(n), &CompileOptions::portable(OptLevel::O0)).unwrap();
+            let out = bsg_uarch::exec::run(&c.program);
+            assert_eq!(out.return_value.map(|v| v.as_int()), Some(expected), "fib n={n}");
+            assert_eq!(out.printed.len(), 1, "the positive result is printed once");
+        }
+    }
+
+    #[test]
+    fn zero_iterations_return_zero() {
+        let c = compile(&fibonacci(0), &CompileOptions::portable(OptLevel::O2)).unwrap();
+        let out = bsg_uarch::exec::run(&c.program);
+        assert_eq!(out.return_value.map(|v| v.as_int()), Some(0));
+        assert!(out.printed.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Floating-point kernels: `basicmath` and `fft`.
+//!
+//! In MiBench, `basicmath` solves cubic equations and converts angles, and
+//! `fft` runs a Fourier transform; both are dominated by floating-point
+//! arithmetic with library math calls.  The reproductions keep that
+//! character: long loops of `sqrt`/`sin`/`cos`/multiply-add work over small
+//! arrays, with `fft` implemented as a direct O(N²) discrete Fourier
+//! transform (the butterfly structure is irrelevant to the paper's metrics;
+//! the FP-heavy instruction mix and the N² loop nest are what matter).
+
+use crate::InputSize;
+use bsg_ir::build::FunctionBuilder;
+use bsg_ir::hll::{BinOp, Expr, HllGlobal, HllProgram, UnOp};
+
+/// The `basicmath` workload: square roots, trigonometry and integer
+/// degree/radian conversions over a synthetic sequence of values.
+pub fn basicmath(input: InputSize) -> HllProgram {
+    let n = input.scale(400, 4000);
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::float_zeroed("results", 512));
+
+    let mut solve = FunctionBuilder::new("solve_one");
+    solve.param("k");
+    solve.float_var("x");
+    solve.float_var("r");
+    solve.float_var("s");
+    solve.float_var("c");
+    solve.float_var("v");
+    solve.assign_var(
+        "x",
+        Expr::add(
+            Expr::mul(Expr::un(UnOp::ToFloat, Expr::var("k")), Expr::float(0.37)),
+            Expr::float(1.0),
+        ),
+    );
+    solve.assign_var("r", Expr::un(UnOp::Sqrt, Expr::var("x")));
+    solve.assign_var("s", Expr::un(UnOp::Sin, Expr::var("x")));
+    solve.assign_var("c", Expr::un(UnOp::Cos, Expr::var("x")));
+    solve.assign_var(
+        "v",
+        Expr::add(Expr::mul(Expr::var("r"), Expr::var("s")), Expr::mul(Expr::var("c"), Expr::var("c"))),
+    );
+    solve.assign_index(
+        "results",
+        Expr::bin(BinOp::Rem, Expr::var("k"), Expr::int(512)),
+        Expr::var("v"),
+    );
+    solve.ret(Some(Expr::un(UnOp::ToInt, Expr::mul(Expr::var("v"), Expr::float(1000.0)))));
+
+    let mut main = FunctionBuilder::new("main");
+    main.assign_var("acc", Expr::int(0));
+    main.for_loop("i", Expr::int(0), Expr::int(n), |b| {
+        b.call_assign("t", "solve_one", vec![Expr::var("i")]);
+        b.assign_var("acc", Expr::add(Expr::var("acc"), Expr::var("t")));
+        // Integer degree -> radian conversion (the MiBench angle loop).
+        b.assign_var(
+            "deg",
+            Expr::bin(BinOp::Rem, Expr::mul(Expr::var("i"), Expr::int(7)), Expr::int(360)),
+        );
+        b.assign_var(
+            "acc",
+            Expr::add(Expr::var("acc"), Expr::bin(BinOp::Div, Expr::mul(Expr::var("deg"), Expr::int(314)), Expr::int(180))),
+        );
+    });
+    main.print(Expr::var("acc"));
+    main.ret(Some(Expr::var("acc")));
+
+    p.add_function(main.finish());
+    p.add_function(solve.finish());
+    p
+}
+
+/// The `fft` workload: a direct discrete Fourier transform of a synthetic
+/// signal, dominated by floating-point multiply/add and `sin`/`cos`.
+pub fn fft(input: InputSize) -> HllProgram {
+    let n = input.scale(24, 72);
+    let mut p = HllProgram::new();
+    // Deterministic synthetic signal.
+    let signal: Vec<f64> =
+        (0..256).map(|i| ((i * 37 % 97) as f64 / 13.0) - 3.5).collect();
+    p.add_global(HllGlobal::with_float_values("sig_re", signal.clone()));
+    p.add_global(HllGlobal::with_float_values("sig_im", signal.iter().map(|x| x * 0.5).collect()));
+    p.add_global(HllGlobal::float_zeroed("out_re", 256));
+    p.add_global(HllGlobal::float_zeroed("out_im", 256));
+
+    let mut main = FunctionBuilder::new("main");
+    main.float_var("ang");
+    main.float_var("cr");
+    main.float_var("ci");
+    main.float_var("sum_re");
+    main.float_var("sum_im");
+    main.float_var("mag");
+    main.assign_var("acc", Expr::int(0));
+    main.for_loop("k", Expr::int(0), Expr::int(n), |outer| {
+        outer.assign_var("sum_re", Expr::float(0.0));
+        outer.assign_var("sum_im", Expr::float(0.0));
+        outer.for_loop("t", Expr::int(0), Expr::int(n), |inner| {
+            inner.assign_var(
+                "ang",
+                Expr::mul(
+                    Expr::float(-6.283185307179586),
+                    Expr::bin(
+                        BinOp::Div,
+                        Expr::un(UnOp::ToFloat, Expr::mul(Expr::var("k"), Expr::var("t"))),
+                        Expr::un(UnOp::ToFloat, Expr::int(n)),
+                    ),
+                ),
+            );
+            inner.assign_var("cr", Expr::un(UnOp::Cos, Expr::var("ang")));
+            inner.assign_var("ci", Expr::un(UnOp::Sin, Expr::var("ang")));
+            inner.assign_var(
+                "sum_re",
+                Expr::add(
+                    Expr::var("sum_re"),
+                    Expr::sub(
+                        Expr::mul(Expr::index("sig_re", Expr::var("t")), Expr::var("cr")),
+                        Expr::mul(Expr::index("sig_im", Expr::var("t")), Expr::var("ci")),
+                    ),
+                ),
+            );
+            inner.assign_var(
+                "sum_im",
+                Expr::add(
+                    Expr::var("sum_im"),
+                    Expr::add(
+                        Expr::mul(Expr::index("sig_re", Expr::var("t")), Expr::var("ci")),
+                        Expr::mul(Expr::index("sig_im", Expr::var("t")), Expr::var("cr")),
+                    ),
+                ),
+            );
+        });
+        outer.assign_index("out_re", Expr::var("k"), Expr::var("sum_re"));
+        outer.assign_index("out_im", Expr::var("k"), Expr::var("sum_im"));
+        outer.assign_var(
+            "mag",
+            Expr::add(
+                Expr::mul(Expr::var("sum_re"), Expr::var("sum_re")),
+                Expr::mul(Expr::var("sum_im"), Expr::var("sum_im")),
+            ),
+        );
+        outer.assign_var(
+            "acc",
+            Expr::add(Expr::var("acc"), Expr::un(UnOp::ToInt, Expr::un(UnOp::Sqrt, Expr::var("mag")))),
+        );
+    });
+    main.print(Expr::var("acc"));
+    main.ret(Some(Expr::var("acc")));
+    p.add_function(main.finish());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSize;
+    use bsg_compiler::{compile, CompileOptions, OptLevel};
+    use bsg_profile::{profile_program, ProfileConfig};
+
+    #[test]
+    fn basicmath_is_deterministic_across_opt_levels() {
+        let p = basicmath(InputSize::Small);
+        let o0 = compile(&p, &CompileOptions::portable(OptLevel::O0)).unwrap();
+        let o2 = compile(&p, &CompileOptions::portable(OptLevel::O2)).unwrap();
+        let a = bsg_uarch::exec::run(&o0.program);
+        let b = bsg_uarch::exec::run(&o2.program);
+        assert_eq!(a.observable(), b.observable());
+        assert!(a.return_value.unwrap().as_int() != 0);
+    }
+
+    #[test]
+    fn fft_is_floating_point_heavy() {
+        let p = fft(InputSize::Small);
+        let compiled = compile(&p, &CompileOptions::portable(OptLevel::O0)).unwrap();
+        let profile = profile_program(&compiled.program, "fft", &ProfileConfig::default());
+        assert!(
+            profile.mix.fp_fraction() > 0.1,
+            "fft should have a large FP fraction, got {}",
+            profile.mix.fp_fraction()
+        );
+        assert!(profile.sfgl.loops.len() >= 2, "nested DFT loops");
+    }
+}

@@ -1,0 +1,359 @@
+//! Media/DSP kernels: `adpcm`, `gsm`, `jpeg` and `susan`.
+//!
+//! * `adpcm` — ADPCM speech encoding: per-sample delta encoding with a step
+//!   table and saturation logic (branch heavy, integer only).
+//! * `gsm` — the multiply-accumulate filter core of GSM full-rate speech
+//!   coding (integer MAC heavy).
+//! * `jpeg` — 8×8 block DCT with quantization, the compute core of JPEG
+//!   encoding (integer multiply + table loads).
+//! * `susan` — 3×3 neighbourhood smoothing with a brightness threshold, the
+//!   core of the SUSAN image-processing benchmark (2-D array walks with
+//!   data-dependent branches).
+
+use crate::InputSize;
+use bsg_ir::build::FunctionBuilder;
+use bsg_ir::hll::{BinOp, Expr, HllGlobal, HllProgram};
+
+/// ADPCM step-size table (the standard IMA ADPCM table, 89 entries).
+fn step_table() -> Vec<i64> {
+    vec![
+        7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60,
+        66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371,
+        408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707,
+        1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
+        7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623,
+        27086, 29794, 32767,
+    ]
+}
+
+/// The `adpcm` workload (encoder direction).
+pub fn adpcm(input: InputSize) -> HllProgram {
+    let samples = input.scale(3_000, 30_000);
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::with_values("steps", step_table()));
+    p.add_global(HllGlobal::with_values("index_adjust", vec![-1, -1, -1, -1, 2, 4, 6, 8]));
+    p.add_global(HllGlobal::zeroed("encoded", 4096));
+
+    let mut main = FunctionBuilder::new("main");
+    main.assign_var("valpred", Expr::int(0));
+    main.assign_var("index", Expr::int(0));
+    main.for_loop("i", Expr::int(0), Expr::int(samples), |b| {
+        // Synthetic triangular-ish waveform sample in [-2048, 2048).
+        b.assign_var(
+            "sample",
+            Expr::sub(
+                Expr::bin(BinOp::Rem, Expr::mul(Expr::var("i"), Expr::int(37)), Expr::int(4096)),
+                Expr::int(2048),
+            ),
+        );
+        b.assign_var("step", Expr::index("steps", Expr::var("index")));
+        b.assign_var("diff", Expr::sub(Expr::var("sample"), Expr::var("valpred")));
+        b.assign_var("code", Expr::int(0));
+        b.if_then(Expr::lt(Expr::var("diff"), Expr::int(0)), |t| {
+            t.assign_var("code", Expr::int(8));
+            t.assign_var("diff", Expr::sub(Expr::int(0), Expr::var("diff")));
+        });
+        b.if_then(Expr::bin(BinOp::Ge, Expr::var("diff"), Expr::var("step")), |t| {
+            t.assign_var("code", Expr::add(Expr::var("code"), Expr::int(4)));
+            t.assign_var("diff", Expr::sub(Expr::var("diff"), Expr::var("step")));
+        });
+        b.assign_var("halfstep", Expr::bin(BinOp::Shr, Expr::var("step"), Expr::int(1)));
+        b.if_then(Expr::bin(BinOp::Ge, Expr::var("diff"), Expr::var("halfstep")), |t| {
+            t.assign_var("code", Expr::add(Expr::var("code"), Expr::int(2)));
+            t.assign_var("diff", Expr::sub(Expr::var("diff"), Expr::var("halfstep")));
+        });
+        // Reconstruct predictor and clamp.
+        b.assign_var(
+            "vpdiff",
+            Expr::add(Expr::bin(BinOp::Shr, Expr::var("step"), Expr::int(3)), Expr::var("halfstep")),
+        );
+        b.if_then_else(
+            Expr::bin(BinOp::Ge, Expr::var("code"), Expr::int(8)),
+            |t| {
+                t.assign_var("valpred", Expr::sub(Expr::var("valpred"), Expr::var("vpdiff")));
+            },
+            |e| {
+                e.assign_var("valpred", Expr::add(Expr::var("valpred"), Expr::var("vpdiff")));
+            },
+        );
+        b.if_then(Expr::bin(BinOp::Gt, Expr::var("valpred"), Expr::int(32767)), |t| {
+            t.assign_var("valpred", Expr::int(32767));
+        });
+        b.if_then(Expr::lt(Expr::var("valpred"), Expr::int(-32768)), |t| {
+            t.assign_var("valpred", Expr::int(-32768));
+        });
+        // Index update with clamping.
+        b.assign_var(
+            "index",
+            Expr::add(
+                Expr::var("index"),
+                Expr::index("index_adjust", Expr::bin(BinOp::And, Expr::var("code"), Expr::int(7))),
+            ),
+        );
+        b.if_then(Expr::lt(Expr::var("index"), Expr::int(0)), |t| {
+            t.assign_var("index", Expr::int(0));
+        });
+        b.if_then(Expr::bin(BinOp::Gt, Expr::var("index"), Expr::int(88)), |t| {
+            t.assign_var("index", Expr::int(88));
+        });
+        b.assign_index(
+            "encoded",
+            Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(4096)),
+            Expr::var("code"),
+        );
+        b.assign_var("checksum", Expr::add(Expr::var("checksum"), Expr::var("code")));
+    });
+    main.print(Expr::var("checksum"));
+    main.ret(Some(Expr::var("checksum")));
+    p.add_function(main.finish());
+    p
+}
+
+/// The `gsm` workload: the long-term-prediction multiply-accumulate core.
+pub fn gsm(input: InputSize) -> HllProgram {
+    let frames = input.scale(30, 300);
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::with_values(
+        "window",
+        (0..320).map(|i| ((i * 97 + 11) % 8192) - 4096).collect(),
+    ));
+    p.add_global(HllGlobal::with_values("coef", vec![8192, 5741, 4096, 2922, 2048, 1453, 1024, 724]));
+    p.add_global(HllGlobal::zeroed("filtered", 256));
+
+    let mut main = FunctionBuilder::new("main");
+    main.for_loop("frame", Expr::int(0), Expr::int(frames), |f| {
+        f.for_loop("i", Expr::int(0), Expr::int(160), |b| {
+            b.assign_var("acc", Expr::int(0));
+            b.for_loop("j", Expr::int(0), Expr::int(8), |inner| {
+                inner.assign_var(
+                    "acc",
+                    Expr::add(
+                        Expr::var("acc"),
+                        Expr::mul(
+                            Expr::index(
+                                "window",
+                                Expr::bin(BinOp::Rem, Expr::add(Expr::var("i"), Expr::var("j")), Expr::int(320)),
+                            ),
+                            Expr::index("coef", Expr::var("j")),
+                        ),
+                    ),
+                );
+            });
+            b.assign_index(
+                "filtered",
+                Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(256)),
+                Expr::bin(BinOp::Shr, Expr::var("acc"), Expr::int(13)),
+            );
+            b.assign_var("total", Expr::add(Expr::var("total"), Expr::bin(BinOp::Shr, Expr::var("acc"), Expr::int(13))));
+        });
+    });
+    main.print(Expr::var("total"));
+    main.ret(Some(Expr::var("total")));
+    p.add_function(main.finish());
+    p
+}
+
+/// The `jpeg` workload: 8×8 forward DCT (integer approximation) plus
+/// quantization over a stream of blocks.
+pub fn jpeg(input: InputSize) -> HllProgram {
+    let blocks = input.scale(10, 100);
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::with_values(
+        "pixels",
+        (0..4096).map(|i| (i * 53 + 7) % 256).collect(),
+    ));
+    // Scaled integer cosine table: round(cos((2x+1)u*pi/16) * 1024).
+    let costab: Vec<i64> = (0..64)
+        .map(|i| {
+            let u = (i / 8) as f64;
+            let x = (i % 8) as f64;
+            (((2.0 * x + 1.0) * u * std::f64::consts::PI / 16.0).cos() * 1024.0).round() as i64
+        })
+        .collect();
+    p.add_global(HllGlobal::with_values("costab", costab));
+    p.add_global(HllGlobal::with_values(
+        "quant",
+        vec![
+            16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40,
+            57, 69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35,
+            55, 64, 81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112,
+            100, 103, 99,
+        ],
+    ));
+    p.add_global(HllGlobal::zeroed("coeffs", 64));
+
+    let mut dct = FunctionBuilder::new("dct_block");
+    dct.param("base");
+    dct.for_loop("u", Expr::int(0), Expr::int(8), |bu| {
+        bu.for_loop("v", Expr::int(0), Expr::int(8), |bv| {
+            bv.assign_var("sum", Expr::int(0));
+            bv.for_loop("x", Expr::int(0), Expr::int(8), |bx| {
+                bx.for_loop("y", Expr::int(0), Expr::int(8), |by| {
+                    by.assign_var(
+                        "pix",
+                        Expr::index(
+                            "pixels",
+                            Expr::bin(
+                                BinOp::Rem,
+                                Expr::add(
+                                    Expr::var("base"),
+                                    Expr::add(Expr::mul(Expr::var("x"), Expr::int(8)), Expr::var("y")),
+                                ),
+                                Expr::int(4096),
+                            ),
+                        ),
+                    );
+                    by.assign_var(
+                        "sum",
+                        Expr::add(
+                            Expr::var("sum"),
+                            Expr::mul(
+                                Expr::var("pix"),
+                                Expr::bin(
+                                    BinOp::Shr,
+                                    Expr::mul(
+                                        Expr::index("costab", Expr::add(Expr::mul(Expr::var("u"), Expr::int(8)), Expr::var("x"))),
+                                        Expr::index("costab", Expr::add(Expr::mul(Expr::var("v"), Expr::int(8)), Expr::var("y"))),
+                                    ),
+                                    Expr::int(10),
+                                ),
+                            ),
+                        ),
+                    );
+                });
+            });
+            bv.assign_var("qidx", Expr::add(Expr::mul(Expr::var("u"), Expr::int(8)), Expr::var("v")));
+            bv.assign_index(
+                "coeffs",
+                Expr::var("qidx"),
+                Expr::bin(
+                    BinOp::Div,
+                    Expr::bin(BinOp::Shr, Expr::var("sum"), Expr::int(10)),
+                    Expr::index("quant", Expr::var("qidx")),
+                ),
+            );
+        });
+    });
+    dct.ret(Some(Expr::index("coeffs", Expr::int(0))));
+
+    let mut main = FunctionBuilder::new("main");
+    main.for_loop("b", Expr::int(0), Expr::int(blocks), |body| {
+        body.call_assign("dc", "dct_block", vec![Expr::mul(Expr::var("b"), Expr::int(64))]);
+        body.assign_var("energy", Expr::add(Expr::var("energy"), Expr::var("dc")));
+    });
+    main.print(Expr::var("energy"));
+    main.ret(Some(Expr::var("energy")));
+    p.add_function(main.finish());
+    p.add_function(dct.finish());
+    p
+}
+
+/// The `susan` workload: brightness-thresholded 3×3 smoothing over an image.
+pub fn susan(input: InputSize) -> HllProgram {
+    let dim = input.scale(28, 72);
+    let passes = input.scale(2, 4);
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::with_values(
+        "image",
+        (0..(96 * 96)).map(|i| (i * 41 + 17) % 256).collect(),
+    ));
+    p.add_global(HllGlobal::zeroed("smoothed", 96 * 96));
+
+    let mut main = FunctionBuilder::new("main");
+    main.for_loop("pass", Expr::int(0), Expr::int(passes), |pp| {
+        pp.for_loop("y", Expr::int(1), Expr::int(dim - 1), |py| {
+            py.for_loop("x", Expr::int(1), Expr::int(dim - 1), |px| {
+                px.assign_var(
+                    "center",
+                    Expr::index(
+                        "image",
+                        Expr::add(Expr::mul(Expr::var("y"), Expr::int(96)), Expr::var("x")),
+                    ),
+                );
+                px.assign_var("sum", Expr::int(0));
+                px.assign_var("count", Expr::int(0));
+                px.for_loop("dy", Expr::int(0), Expr::int(3), |pdy| {
+                    pdy.for_loop("dx", Expr::int(0), Expr::int(3), |pdx| {
+                        pdx.assign_var(
+                            "pix",
+                            Expr::index(
+                                "image",
+                                Expr::add(
+                                    Expr::mul(
+                                        Expr::sub(Expr::add(Expr::var("y"), Expr::var("dy")), Expr::int(1)),
+                                        Expr::int(96),
+                                    ),
+                                    Expr::sub(Expr::add(Expr::var("x"), Expr::var("dx")), Expr::int(1)),
+                                ),
+                            ),
+                        );
+                        pdx.assign_var(
+                            "delta",
+                            Expr::un(bsg_ir::hll::UnOp::Abs, Expr::sub(Expr::var("pix"), Expr::var("center"))),
+                        );
+                        // The USAN criterion: only similar pixels contribute.
+                        pdx.if_then(Expr::lt(Expr::var("delta"), Expr::int(27)), |t| {
+                            t.assign_var("sum", Expr::add(Expr::var("sum"), Expr::var("pix")));
+                            t.assign_var("count", Expr::add(Expr::var("count"), Expr::int(1)));
+                        });
+                    });
+                });
+                px.assign_index(
+                    "smoothed",
+                    Expr::add(Expr::mul(Expr::var("y"), Expr::int(96)), Expr::var("x")),
+                    Expr::bin(BinOp::Div, Expr::var("sum"), Expr::var("count")),
+                );
+                px.assign_var(
+                    "total",
+                    Expr::add(Expr::var("total"), Expr::bin(BinOp::Div, Expr::var("sum"), Expr::var("count"))),
+                );
+            });
+        });
+    });
+    main.print(Expr::var("total"));
+    main.ret(Some(Expr::var("total")));
+    p.add_function(main.finish());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_compiler::{compile, CompileOptions, OptLevel};
+    use bsg_profile::{profile_program, ProfileConfig};
+    use bsg_ir::visa::MixCategory;
+
+    fn profile(p: &HllProgram, name: &str) -> bsg_profile::StatisticalProfile {
+        let c = compile(p, &CompileOptions::portable(OptLevel::O0)).unwrap();
+        profile_program(&c.program, name, &ProfileConfig::default())
+    }
+
+    #[test]
+    fn adpcm_is_branch_heavy() {
+        let prof = profile(&adpcm(InputSize::Small), "adpcm");
+        let branches = prof.mix.category_fractions()[&MixCategory::Branch];
+        assert!(branches > 0.05, "adpcm should be branchy, got {branches}");
+        assert!(prof.branches.values().filter(|b| !b.is_loop_back).count() >= 5);
+    }
+
+    #[test]
+    fn gsm_and_jpeg_are_multiply_heavy() {
+        for (p, name) in [(gsm(InputSize::Small), "gsm"), (jpeg(InputSize::Small), "jpeg")] {
+            let prof = profile(&p, name);
+            let mul = prof.mix.fraction(bsg_ir::visa::InstClass::IntMul);
+            assert!(mul > 0.01, "{name} should multiply, got {mul}");
+            assert!(prof.sfgl.loops.len() >= 2, "{name} has nested loops");
+        }
+    }
+
+    #[test]
+    fn susan_has_data_dependent_branches() {
+        let prof = profile(&susan(InputSize::Small), "susan");
+        let hard = prof
+            .branches
+            .values()
+            .filter(|b| !b.is_loop_back && !b.is_easy_to_predict() && b.executed > 100)
+            .count();
+        assert!(hard >= 1, "the USAN threshold branch is data dependent");
+    }
+}

@@ -1,0 +1,38 @@
+//! Using synthetic clones for compiler exploration — only possible because
+//! the clones are generated in a high-level language (the paper's key claim
+//! versus binary-level benchmark synthesis).
+//!
+//! ```text
+//! cargo run --release --example compiler_exploration
+//! ```
+
+use benchsynth::compiler::{compile, CompileOptions, OptLevel, TargetIsa};
+use benchsynth::profile::{profile_program, ProfileConfig};
+use benchsynth::synth::{synthesize_with_target, SynthesisConfig};
+use benchsynth::uarch::exec;
+use benchsynth::workloads::{suite, InputSize};
+
+fn main() {
+    let workload = suite(InputSize::Small).remove(10); // sha/small
+    let o0 = compile(&workload.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
+    let profile = profile_program(&o0.program, &workload.name, &ProfileConfig::default());
+    let clone = synthesize_with_target(&profile, &SynthesisConfig::default(), 25_000).benchmark;
+
+    println!("dynamic instruction count by optimization level and ISA ({}):", workload.name);
+    println!("{:<10} {:<8} {:>14} {:>14}", "ISA", "level", "original", "synthetic");
+    for isa in TargetIsa::ALL {
+        for level in OptLevel::ALL {
+            let options = CompileOptions::new(level, isa);
+            let original = compile(&workload.program, &options).unwrap();
+            let synthetic = compile(&clone.hll, &options).unwrap();
+            println!(
+                "{:<10} {:<8} {:>14} {:>14}",
+                isa.to_string(),
+                level.to_string(),
+                exec::run(&original.program).dynamic_instructions,
+                exec::run(&synthetic.program).dynamic_instructions
+            );
+        }
+    }
+    println!("\nBoth columns shrink the same way from -O0 to -O3: the clone is usable for compiler studies.");
+}

@@ -1,0 +1,37 @@
+//! Benchmark consolidation (§II-B.e of the paper): merge the profiles of
+//! several workloads and generate one synthetic benchmark representative of
+//! the whole set.
+//!
+//! ```text
+//! cargo run --release --example consolidation
+//! ```
+
+use benchsynth::compiler::{compile, CompileOptions, OptLevel};
+use benchsynth::profile::{profile_program, ProfileConfig, StatisticalProfile};
+use benchsynth::synth::{consolidate, synthesize_with_target, SynthesisConfig};
+use benchsynth::uarch::exec;
+use benchsynth::workloads::{suite, InputSize};
+
+fn main() {
+    let selected = ["adpcm/small", "crc32/small", "stringsearch/small"];
+    let mut profiles: Vec<StatisticalProfile> = Vec::new();
+    let mut total_original = 0u64;
+    for w in suite(InputSize::Small) {
+        if !selected.contains(&w.name.as_str()) {
+            continue;
+        }
+        let o0 = compile(&w.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
+        let p = profile_program(&o0.program, &w.name, &ProfileConfig::default());
+        println!("{:<20} {:>12} instructions", w.name, p.dynamic_instructions);
+        total_original += p.dynamic_instructions;
+        profiles.push(p);
+    }
+
+    let merged = consolidate(&profiles);
+    let clone = synthesize_with_target(&merged, &SynthesisConfig::default(), 40_000);
+    println!("\nconsolidated profile: {} instructions across {} workloads", total_original, profiles.len());
+    println!("consolidated clone:   {} instructions (R = {})", clone.synthetic_instructions, clone.reduction_factor);
+    let compiled = compile(&clone.benchmark.hll, &CompileOptions::portable(OptLevel::O2)).unwrap();
+    println!("clone at -O2:         {} instructions", exec::run(&compiled.program).dynamic_instructions);
+    println!("\nOne distributable benchmark now stands in for all three workloads.");
+}

@@ -1,0 +1,46 @@
+//! # benchsynth — benchmark synthesis for architecture and compiler exploration
+//!
+//! A Rust reproduction of *Van Ertvelde & Eeckhout, "Benchmark Synthesis for
+//! Architecture and Compiler Exploration" (IISWC 2010)*: generate small,
+//! representative synthetic benchmark clones in a high-level language from
+//! the statistical profile of a (possibly proprietary) workload, and evaluate
+//! them across compilers, ISAs and microarchitectures.
+//!
+//! This crate is a facade that re-exports the workspace crates under one
+//! name; see the README for the architecture overview:
+//!
+//! * [`ir`] — HLL AST, virtual ISA, CFG analyses, C emission
+//! * [`compiler`] — `-O0`…`-O3` optimization and per-ISA code generation
+//! * [`uarch`] — executor, caches, branch predictors, pipeline & machine models
+//! * [`profile`] — SFGL and the rest of the statistical profile
+//! * [`synth`] — the benchmark synthesizer (the paper's contribution)
+//! * [`workloads`] — MiBench-like kernels with small/large inputs
+//! * [`similarity`] — Moss/JPlag-style plagiarism detection
+//!
+//! # Quickstart
+//!
+//! ```
+//! use benchsynth::compiler::{compile, CompileOptions, OptLevel};
+//! use benchsynth::profile::{profile_program, ProfileConfig};
+//! use benchsynth::synth::{synthesize, SynthesisConfig};
+//! use benchsynth::workloads::{suite, InputSize};
+//!
+//! // Pick a workload, profile it at -O0, synthesize a 10x-shorter clone.
+//! let workload = suite(InputSize::Small).remove(3); // crc32/small
+//! let compiled = compile(&workload.program, &CompileOptions::portable(OptLevel::O0))?;
+//! let profile = profile_program(&compiled.program, &workload.name, &ProfileConfig::default());
+//! let clone = synthesize(&profile, &SynthesisConfig::with_reduction(10));
+//! assert!(clone.c_source.contains("mStream"));
+//! # Ok::<(), benchsynth::compiler::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bsg_compiler as compiler;
+pub use bsg_ir as ir;
+pub use bsg_profile as profile;
+pub use bsg_similarity as similarity;
+pub use bsg_synth as synth;
+pub use bsg_uarch as uarch;
+pub use bsg_workloads as workloads;

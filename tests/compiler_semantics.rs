@@ -1,0 +1,91 @@
+//! Property-based tests: the optimizing compiler preserves observable
+//! behaviour for randomly generated programs, across optimization levels and
+//! target ISAs.
+
+use benchsynth::compiler::{compile, CompileOptions, OptLevel, TargetIsa};
+use benchsynth::ir::build::FunctionBuilder;
+use benchsynth::ir::hll::{BinOp, Expr, HllGlobal, HllProgram};
+use benchsynth::uarch::exec::{execute, ExecConfig, NullObserver};
+use proptest::prelude::*;
+
+/// A tiny random-program generator: straight-line arithmetic, array traffic,
+/// a counted loop and a data-dependent branch, all parameterized by the
+/// proptest inputs.
+fn build_program(seed_values: &[i64], loop_trip: i64, branch_mod: i64) -> HllProgram {
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::zeroed("buf", 128));
+    let mut f = FunctionBuilder::new("main");
+    for (i, v) in seed_values.iter().enumerate() {
+        f.assign_var(format!("v{i}"), Expr::int(*v));
+    }
+    f.assign_var("acc", Expr::int(0));
+    f.for_loop("i", Expr::int(0), Expr::int(loop_trip), |b| {
+        b.assign_index(
+            "buf",
+            Expr::bin(BinOp::And, Expr::var("i"), Expr::int(127)),
+            Expr::add(Expr::var("v0"), Expr::mul(Expr::var("i"), Expr::var("v1"))),
+        );
+        b.if_then_else(
+            Expr::eq(Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(branch_mod)), Expr::int(0)),
+            |t| {
+                t.assign_var("acc", Expr::add(Expr::var("acc"), Expr::index("buf", Expr::bin(BinOp::And, Expr::var("i"), Expr::int(127)))));
+            },
+            |e| {
+                e.assign_var("acc", Expr::sub(Expr::var("acc"), Expr::var("v2")));
+                e.print(Expr::var("acc"));
+            },
+        );
+        b.assign_var("acc", Expr::bin(BinOp::Xor, Expr::var("acc"), Expr::bin(BinOp::Shr, Expr::var("v3"), Expr::int(1))));
+    });
+    f.assign_var("acc", Expr::bin(BinOp::Mul, Expr::var("acc"), Expr::int(2)));
+    f.ret(Some(Expr::var("acc")));
+    p.add_function(f.finish());
+    p
+}
+
+fn observable(p: &HllProgram, options: &CompileOptions) -> (Option<i64>, Vec<i64>) {
+    let compiled = compile(p, options).expect("compiles");
+    let out = execute(&compiled.program, &mut NullObserver, &ExecConfig { max_instructions: 2_000_000, max_call_depth: 64 });
+    assert!(out.completed);
+    (
+        out.return_value.map(|v| v.as_int()),
+        out.printed.iter().map(|v| v.as_int()).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn optimization_preserves_observable_behaviour(
+        values in proptest::collection::vec(-1000i64..1000, 4),
+        trip in 1i64..40,
+        branch_mod in 1i64..6,
+    ) {
+        let program = build_program(&values, trip, branch_mod);
+        let reference = observable(&program, &CompileOptions::portable(OptLevel::O0));
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            for isa in TargetIsa::ALL {
+                let got = observable(&program, &CompileOptions::new(level, isa));
+                prop_assert_eq!(&got, &reference, "level {} isa {}", level, isa);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_optimization_never_increases_dynamic_instructions_much(
+        values in proptest::collection::vec(-50i64..50, 4),
+        trip in 5i64..30,
+    ) {
+        let program = build_program(&values, trip, 3);
+        let count = |level| {
+            let compiled = compile(&program, &CompileOptions::portable(level)).unwrap();
+            benchsynth::uarch::exec::run(&compiled.program).dynamic_instructions
+        };
+        let o0 = count(OptLevel::O0);
+        let o2 = count(OptLevel::O2);
+        // O2 code may differ slightly but must not blow up; in practice it is
+        // considerably smaller because scalars leave memory.
+        prop_assert!(o2 <= o0, "O2 ({o2}) larger than O0 ({o0})");
+    }
+}

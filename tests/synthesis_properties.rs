@@ -1,0 +1,84 @@
+//! Property-based tests of the synthesis pipeline itself: SFGL consistency,
+//! scale-down monotonicity, and clone validity across reduction factors and
+//! seeds.
+
+use benchsynth::compiler::{compile, CompileOptions, OptLevel};
+use benchsynth::ir::build::FunctionBuilder;
+use benchsynth::ir::hll::{BinOp, Expr, HllGlobal, HllProgram};
+use benchsynth::profile::{profile_program, ProfileConfig, StatisticalProfile};
+use benchsynth::synth::{scale_down, synthesize, SynthesisConfig};
+use proptest::prelude::*;
+
+fn profile_of(outer: i64, inner: i64, stride: i64) -> StatisticalProfile {
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::zeroed("data", 2048));
+    let mut f = FunctionBuilder::new("main");
+    f.for_loop("i", Expr::int(0), Expr::int(outer), |b| {
+        b.for_loop("j", Expr::int(0), Expr::int(inner), |inner_b| {
+            inner_b.assign_index(
+                "data",
+                Expr::bin(
+                    BinOp::Rem,
+                    Expr::mul(Expr::add(Expr::var("i"), Expr::var("j")), Expr::int(stride)),
+                    Expr::int(2048),
+                ),
+                Expr::var("j"),
+            );
+            inner_b.assign_var("s", Expr::add(Expr::var("s"), Expr::index("data", Expr::var("j"))));
+        });
+    });
+    f.ret(Some(Expr::var("s")));
+    p.add_function(f.finish());
+    let compiled = compile(&p, &CompileOptions::portable(OptLevel::O0)).unwrap();
+    profile_program(&compiled.program, "prop", &ProfileConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn profiles_are_internally_consistent(outer in 2i64..12, inner in 2i64..20, stride in 1i64..9) {
+        let profile = profile_of(outer, inner, stride);
+        prop_assert!(profile.sfgl.validate().is_empty(), "{:?}", profile.sfgl.validate());
+        prop_assert!(profile.mix.total() == profile.dynamic_instructions);
+        prop_assert_eq!(profile.sfgl.loops.len(), 2);
+    }
+
+    #[test]
+    fn scale_down_is_monotone_in_r(outer in 2i64..10, inner in 2i64..16, r1 in 1u64..20, r2 in 20u64..400) {
+        let profile = profile_of(outer, inner, 3);
+        let small_r = scale_down(&profile.sfgl, r1);
+        let big_r = scale_down(&profile.sfgl, r2);
+        for (node, count) in &big_r.sfgl.nodes {
+            prop_assert!(*count <= small_r.sfgl.count(*node) || small_r.sfgl.count(*node) == 0);
+        }
+        let total_small: u64 = small_r.sfgl.nodes.values().sum();
+        let total_big: u64 = big_r.sfgl.nodes.values().sum();
+        prop_assert!(total_big <= total_small);
+    }
+
+    #[test]
+    fn synthesized_clones_always_compile_and_terminate(
+        outer in 2i64..10,
+        inner in 2i64..16,
+        r in 1u64..64,
+        seed in 0u64..1000,
+    ) {
+        let profile = profile_of(outer, inner, 5);
+        let mut config = SynthesisConfig::with_reduction(r);
+        config.seed = seed;
+        let clone = synthesize(&profile, &config);
+        for level in [OptLevel::O0, OptLevel::O3] {
+            let compiled = compile(&clone.hll, &CompileOptions::portable(level));
+            prop_assert!(compiled.is_ok(), "clone failed to compile at {level}");
+            let program = compiled.unwrap().program;
+            prop_assert!(program.validate().is_empty());
+            let out = benchsynth::uarch::exec::execute(
+                &program,
+                &mut benchsynth::uarch::exec::NullObserver,
+                &benchsynth::uarch::exec::ExecConfig { max_instructions: 5_000_000, max_call_depth: 64 },
+            );
+            prop_assert!(out.completed, "clone did not terminate (r={r}, seed={seed})");
+        }
+    }
+}
