@@ -32,7 +32,9 @@ fn ablation_profiling_overhead(c: &mut Criterion) {
     let compiled = compile(&w.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
     let mut group = c.benchmark_group("ablation_profiling_overhead");
     group.sample_size(10);
-    group.bench_function("plain_execution", |b| b.iter(|| exec::run(&compiled.program)));
+    group.bench_function("plain_execution", |b| {
+        b.iter(|| exec::run(&compiled.program))
+    });
     group.bench_function("profiled_execution", |b| {
         b.iter(|| profile_program(&compiled.program, "bitcount", &ProfileConfig::default()))
     });

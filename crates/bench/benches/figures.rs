@@ -26,7 +26,13 @@ fn bench_profile_and_synthesize(c: &mut Criterion) {
         b.iter(|| synthesize(&profile, &SynthesisConfig::with_reduction(20)))
     });
     c.bench_function("fig04_reduction_factor_search", |b| {
-        b.iter(|| synthesize_with_target(&profile, &SynthesisConfig::default(), SYNTH_TARGET_INSTRUCTIONS))
+        b.iter(|| {
+            synthesize_with_target(
+                &profile,
+                &SynthesisConfig::default(),
+                SYNTH_TARGET_INSTRUCTIONS,
+            )
+        })
     });
 }
 
@@ -45,7 +51,11 @@ fn bench_cache_and_pipeline(c: &mut Criterion) {
     });
     let machines = MachineConfig::table3();
     let itanium = machines.iter().find(|m| m.name == "Itanium 2").unwrap();
-    let ia64 = compile(&w.program, &CompileOptions::new(OptLevel::O2, target_isa_for(itanium.isa))).unwrap();
+    let ia64 = compile(
+        &w.program,
+        &CompileOptions::new(OptLevel::O2, target_isa_for(itanium.isa)),
+    )
+    .unwrap();
     c.bench_function("fig11_itanium_machine_model_dijkstra", |b| {
         b.iter(|| itanium.run(&ia64.program))
     });

@@ -1,0 +1,295 @@
+//! Interpreter-throughput benchmark: times the predecoded engine against the
+//! legacy `dyn`-dispatch tree-walking interpreter under three observer loads
+//! (none, pipeline timing model, full statistical profiler), over the
+//! strided-loop microbenchmark plus the whole small-input workload suite.
+//!
+//! Writes `BENCH_interp.json` (instructions/sec per configuration and the
+//! derived speedups) so the performance trajectory is tracked from PR to PR,
+//! and prints a human-readable summary.
+//!
+//! Run with `cargo run -p bsg-bench --release --bin interp_bench`.
+
+use bsg_compiler::{compile, CompileOptions, OptLevel};
+use bsg_ir::program::{Function, Global, Program};
+use bsg_ir::types::Ty;
+use bsg_ir::visa::{Address, BinOp, Inst, Operand, Terminator};
+use bsg_profile::{profile_program, profile_program_reference, ProfileConfig};
+use bsg_uarch::exec::{execute_image, execute_legacy, ExecConfig, NullObserver};
+use bsg_uarch::image::ExecImage;
+use bsg_uarch::pipeline::{PipelineConfig, PipelineSim, ReferencePipelineSim};
+use bsg_workloads::{suite, InputSize};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The strided-loop microbenchmark from the pipeline tests: a load / add /
+/// store / induction chain, the executor's classic worst case for per-
+/// instruction overhead.
+fn strided_loop(elems: i64, stride: i64, iters: i64) -> Program {
+    let mut p = Program::new();
+    let g = p.add_global(Global::zeroed("data", elems as usize));
+    let mut f = Function::new("main");
+    let i = f.fresh_reg();
+    let idx = f.fresh_reg();
+    let v = f.fresh_reg();
+    let acc = f.fresh_reg();
+    let c = f.fresh_reg();
+    let header = f.add_block();
+    let body = f.add_block();
+    let exit = f.add_block();
+    f.blocks[0].insts = vec![
+        Inst::Mov {
+            dst: i,
+            src: Operand::ImmInt(0),
+        },
+        Inst::Mov {
+            dst: acc,
+            src: Operand::ImmInt(0),
+        },
+    ];
+    f.blocks[0].term = Terminator::Jump(header);
+    f.blocks[header.index()].insts = vec![Inst::Bin {
+        op: BinOp::Lt,
+        ty: Ty::Int,
+        dst: c,
+        lhs: i.into(),
+        rhs: Operand::ImmInt(iters),
+    }];
+    f.blocks[header.index()].term = Terminator::Branch {
+        cond: c,
+        taken: body,
+        not_taken: exit,
+    };
+    f.blocks[body.index()].insts = vec![
+        Inst::Bin {
+            op: BinOp::Mul,
+            ty: Ty::Int,
+            dst: idx,
+            lhs: i.into(),
+            rhs: Operand::ImmInt(stride),
+        },
+        Inst::Load {
+            dst: v,
+            addr: Address::global_indexed(g, 0, idx, 1),
+            ty: Ty::Int,
+        },
+        Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::Int,
+            dst: acc,
+            lhs: acc.into(),
+            rhs: v.into(),
+        },
+        Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::Int,
+            dst: i,
+            lhs: i.into(),
+            rhs: Operand::ImmInt(1),
+        },
+    ];
+    f.blocks[body.index()].term = Terminator::Jump(header);
+    f.blocks[exit.index()].term = Terminator::Return(Some(acc.into()));
+    p.add_function(f);
+    p
+}
+
+struct Measurement {
+    config: &'static str,
+    instructions: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn ips(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.instructions as f64 / self.seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Times `body` over `passes` passes and keeps the fastest (noise floor).
+fn best_of<F: FnMut() -> u64>(passes: u32, mut body: F) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut instructions = 0;
+    for _ in 0..passes {
+        let start = Instant::now();
+        instructions = body();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (instructions, best)
+}
+
+fn main() {
+    let limit = ExecConfig {
+        max_instructions: 30_000_000,
+        max_call_depth: 128,
+    };
+    let passes = 3;
+
+    // Programs under measurement: the microbenchmark + the compiled suite.
+    let mut programs: Vec<(String, Program)> = vec![(
+        "strided_loop".to_string(),
+        strided_loop(1 << 14, 3, 400_000),
+    )];
+    for w in suite(InputSize::Small) {
+        let compiled =
+            compile(&w.program, &CompileOptions::portable(OptLevel::O0)).expect("compiles");
+        programs.push((w.name, compiled.program));
+    }
+    let images: Vec<ExecImage> = programs.iter().map(|(_, p)| ExecImage::new(p)).collect();
+
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut push = |config: &'static str, measured: Vec<(u64, f64)>| {
+        let instructions = measured.iter().map(|(i, _)| i).sum();
+        let seconds = measured.iter().map(|(_, s)| s).sum();
+        results.push(Measurement {
+            config,
+            instructions,
+            seconds,
+        });
+    };
+
+    // --- No observer: raw interpreted instructions/sec. -------------------
+    push(
+        "null/predecoded",
+        images
+            .iter()
+            .map(|image| {
+                best_of(passes, || {
+                    execute_image(image, &mut NullObserver, &limit).dynamic_instructions
+                })
+            })
+            .collect(),
+    );
+    push(
+        "null/legacy",
+        programs
+            .iter()
+            .map(|(_, p)| {
+                best_of(passes, || {
+                    execute_legacy(p, &mut NullObserver, &limit).dynamic_instructions
+                })
+            })
+            .collect(),
+    );
+
+    // --- Pipeline timing model as the observer. ---------------------------
+    let pipe = PipelineConfig::ptlsim_2wide(16);
+    push(
+        "pipeline/predecoded",
+        images
+            .iter()
+            .map(|image| {
+                best_of(passes, || {
+                    let mut sim = PipelineSim::from_image(pipe, image);
+                    execute_image(image, &mut sim, &limit);
+                    sim.result().instructions
+                })
+            })
+            .collect(),
+    );
+    push(
+        "pipeline/legacy",
+        programs
+            .iter()
+            .map(|(_, p)| {
+                best_of(passes, || {
+                    let mut sim = ReferencePipelineSim::new(pipe, p);
+                    execute_legacy(p, &mut sim, &limit);
+                    sim.result().instructions
+                })
+            })
+            .collect(),
+    );
+
+    // --- Full statistical profiler as the observer. -----------------------
+    let prof_cfg = ProfileConfig::default();
+    push(
+        "profile/predecoded",
+        programs
+            .iter()
+            .map(|(name, p)| {
+                best_of(passes, || {
+                    profile_program(p, name, &prof_cfg).dynamic_instructions
+                })
+            })
+            .collect(),
+    );
+    push(
+        "profile/legacy",
+        programs
+            .iter()
+            .map(|(name, p)| {
+                best_of(passes, || {
+                    profile_program_reference(p, name, &prof_cfg).dynamic_instructions
+                })
+            })
+            .collect(),
+    );
+
+    // --- Report. ----------------------------------------------------------
+    let ips_of = |config: &str| {
+        results
+            .iter()
+            .find(|m| m.config == config)
+            .map(Measurement::ips)
+            .unwrap_or(0.0)
+    };
+    let speedup = |kind: &str| {
+        let new = ips_of(&format!("{kind}/predecoded"));
+        let old = ips_of(&format!("{kind}/legacy"));
+        if old > 0.0 {
+            new / old
+        } else {
+            0.0
+        }
+    };
+    let (null_x, pipe_x, prof_x) = (speedup("null"), speedup("pipeline"), speedup("profile"));
+
+    println!(
+        "interpreter throughput over {} programs ({} total dynamic instructions)",
+        programs.len(),
+        results[0].instructions
+    );
+    println!("{:<22} {:>16} {:>10}", "config", "inst/sec", "seconds");
+    for m in &results {
+        println!("{:<22} {:>16.0} {:>10.3}", m.config, m.ips(), m.seconds);
+    }
+    println!("speedup predecoded vs legacy: null {null_x:.2}x, pipeline {pipe_x:.2}x, profile {prof_x:.2}x");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"interp_bench\",");
+    let _ = writeln!(json, "  \"programs\": {},", programs.len());
+    let _ = writeln!(json, "  \"passes_per_measurement\": {passes},");
+    let _ = writeln!(json, "  \"workloads\": [{}],", {
+        programs
+            .iter()
+            .map(|(n, _)| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    });
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, m) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"instructions\": {}, \"seconds\": {:.6}, \"instructions_per_second\": {:.0}}}{}",
+            m.config,
+            m.instructions,
+            m.seconds,
+            m.ips(),
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_predecoded_vs_legacy\": {{");
+    let _ = writeln!(json, "    \"null_observer\": {null_x:.3},");
+    let _ = writeln!(json, "    \"pipeline_sim\": {pipe_x:.3},");
+    let _ = writeln!(json, "    \"full_profiler\": {prof_x:.3}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_interp.json", json).expect("write BENCH_interp.json");
+    println!("wrote BENCH_interp.json");
+}

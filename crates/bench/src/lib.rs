@@ -17,16 +17,79 @@ use bsg_compiler::{compile, CompileOptions, OptLevel, TargetIsa};
 use bsg_ir::cemit;
 use bsg_ir::hll::HllProgram;
 use bsg_ir::Program;
-use bsg_profile::{profile_program, MixObserver, NodeKey, ProfileConfig, Sfgl, SfglLoop, StatisticalProfile};
+use bsg_profile::{
+    profile_program, MixObserver, NodeKey, ProfileConfig, Sfgl, SfglLoop, StatisticalProfile,
+};
 use bsg_similarity::SimilarityReport;
 use bsg_synth::{scale_down, synthesize_with_target, SynthesisConfig, TargetedSynthesis};
 use bsg_uarch::branch::{Hybrid, PredictorObserver};
 use bsg_uarch::cache::{CacheConfig, CacheObserver};
 use bsg_uarch::exec::{execute, ExecConfig};
 use bsg_uarch::machine::{MachineConfig, MachineIsa};
-use bsg_uarch::pipeline::{simulate, PipelineConfig};
+use bsg_uarch::pipeline::PipelineConfig;
 use bsg_workloads::{fibonacci_workload, suite, InputSize, Workload};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `items` through `f` on scoped worker threads, preserving input order
+/// in the result.
+///
+/// Every per-workload unit of the experiment harness (profile + synthesis,
+/// per-benchmark figure rows) is independent, so the harness fans them out
+/// across `available_parallelism` threads.  Work is claimed from an atomic
+/// counter, so long-running items (e.g. `susan`) don't leave threads idle
+/// behind a static partition.  Falls back to sequential execution for a
+/// single item or a single-core machine.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(len);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let f = &f;
+    let slots = &slots;
+    let next = &next;
+    let mut results: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        let item = slots[i].lock().unwrap().take().expect("item claimed once");
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for (i, r) in collected.into_iter().flatten() {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index produced"))
+        .collect()
+}
 
 /// Dynamic-instruction target for synthetic clones.  The paper targets ~10 M
 /// instructions on real hardware; the reproduction runs on an interpreter, so
@@ -51,25 +114,33 @@ impl WorkloadArtifacts {
         let compiled = compile(&workload.program, &CompileOptions::portable(OptLevel::O0))
             .expect("workload compiles at -O0");
         let profile = profile_program(&compiled.program, &workload.name, &ProfileConfig::default());
-        let synthesis = synthesize_with_target(&profile, &SynthesisConfig::default(), target_instructions);
-        WorkloadArtifacts { workload, profile, synthesis }
+        let synthesis =
+            synthesize_with_target(&profile, &SynthesisConfig::default(), target_instructions);
+        WorkloadArtifacts {
+            workload,
+            profile,
+            synthesis,
+        }
     }
 
     /// Compiles the original and the clone with the same options.
     pub fn compile_pair(&self, options: &CompileOptions) -> (Program, Program) {
-        let original = compile(&self.workload.program, options).expect("original compiles").program;
-        let synthetic =
-            compile(&self.synthesis.benchmark.hll, options).expect("synthetic compiles").program;
+        let original = compile(&self.workload.program, options)
+            .expect("original compiles")
+            .program;
+        let synthetic = compile(&self.synthesis.benchmark.hll, options)
+            .expect("synthetic compiles")
+            .program;
         (original, synthetic)
     }
 }
 
-/// Prepares artifacts for the whole suite at one input size.
+/// Prepares artifacts for the whole suite at one input size, one workload
+/// per worker thread (profiling and synthesis are independent per workload).
 pub fn prepare_suite(input: InputSize, target_instructions: u64) -> Vec<WorkloadArtifacts> {
-    suite(input)
-        .into_iter()
-        .map(|w| WorkloadArtifacts::prepare(w, target_instructions))
-        .collect()
+    parallel_map(suite(input), |w| {
+        WorkloadArtifacts::prepare(w, target_instructions)
+    })
 }
 
 /// Maps a machine's ISA to the compiler's target ISA.
@@ -88,7 +159,7 @@ fn dynamic_instructions(p: &Program) -> u64 {
 fn mix_of(p: &Program) -> bsg_profile::InstructionMix {
     let mut obs = MixObserver::default();
     execute(p, &mut obs, &ExecConfig::default());
-    obs.mix
+    obs.mix()
 }
 
 // ---------------------------------------------------------------------------
@@ -99,8 +170,15 @@ fn mix_of(p: &Program) -> bsg_profile::InstructionMix {
 /// actually produces on the profiling cache when regenerated.
 pub fn table1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table I — memory access strides per miss-rate class (32-byte line)");
-    let _ = writeln!(out, "{:<6} {:<18} {:<14} {:<16}", "class", "miss-rate range", "stride (bytes)", "measured miss");
+    let _ = writeln!(
+        out,
+        "Table I — memory access strides per miss-rate class (32-byte line)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<18} {:<14} {:<16}",
+        "class", "miss-rate range", "stride (bytes)", "measured miss"
+    );
     for row in bsg_synth::table1() {
         // Measure: stream through memory with this stride and run the 8 KB
         // profiling cache over the addresses.
@@ -132,17 +210,29 @@ pub fn table1() -> String {
 /// dynamic pattern coverage achieved for each benchmark.
 pub fn table2(input: InputSize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table II — statement templates and per-benchmark pattern coverage");
+    let _ = writeln!(
+        out,
+        "Table II — statement templates and per-benchmark pattern coverage"
+    );
     for p in bsg_synth::table2() {
-        let _ = writeln!(out, "  {:?}: loads={} stores={} ops={}", p.kind, p.loads, p.stores, p.ops);
+        let _ = writeln!(
+            out,
+            "  {:?}: loads={} stores={} ops={}",
+            p.kind, p.loads, p.stores, p.ops
+        );
     }
     let _ = writeln!(out, "\n{:<24} {:>10}", "benchmark", "coverage");
     let mut total = 0.0;
     let mut n = 0;
-    for w in suite(input) {
+    let rows = parallel_map(suite(input), |w| {
         let art = WorkloadArtifacts::prepare(w, SYNTH_TARGET_INSTRUCTIONS);
-        let c = art.synthesis.benchmark.stats.pattern_coverage;
-        let _ = writeln!(out, "{:<24} {:>9.1}%", art.workload.name, c * 100.0);
+        (
+            art.workload.name.clone(),
+            art.synthesis.benchmark.stats.pattern_coverage,
+        )
+    });
+    for (name, c) in rows {
+        let _ = writeln!(out, "{:<24} {:>9.1}%", name, c * 100.0);
         total += c;
         n += 1;
     }
@@ -156,7 +246,13 @@ pub fn table3() -> String {
     let _ = writeln!(out, "Table III — machines used in this study");
     let _ = writeln!(out, "{:<20} {:<8} {:<40}", "machine", "ISA", "description");
     for m in MachineConfig::table3() {
-        let _ = writeln!(out, "{:<20} {:<8} {:<40}", m.name, m.isa.to_string(), m.description);
+        let _ = writeln!(
+            out,
+            "{:<20} {:<8} {:<40}",
+            m.name,
+            m.isa.to_string(),
+            m.description
+        );
     }
     out
 }
@@ -175,8 +271,17 @@ pub fn figure2_example_sfgl() -> Sfgl {
         s.nodes.insert(key(i as u32), *c);
     }
     let edges: &[((u32, u32), u64)] = &[
-        ((0, 1), 420), ((0, 2), 80), ((1, 3), 420), ((2, 3), 80), ((3, 4), 500),
-        ((4, 5), 1000), ((4, 6), 4000), ((5, 7), 1000), ((6, 7), 4000), ((7, 4), 4500), ((7, 8), 500),
+        ((0, 1), 420),
+        ((0, 2), 80),
+        ((1, 3), 420),
+        ((2, 3), 80),
+        ((3, 4), 500),
+        ((4, 5), 1000),
+        ((4, 6), 4000),
+        ((5, 7), 1000),
+        ((6, 7), 4000),
+        ((7, 4), 4500),
+        ((7, 8), 500),
     ];
     for ((a, b), c) in edges {
         s.edges.insert((key(*a), key(*b)), *c);
@@ -202,14 +307,25 @@ pub fn fig02() -> String {
     let _ = writeln!(out, "Figure 2 — SFGL scale-down with R = 100");
     let _ = writeln!(out, "{:<6} {:>10} {:>12}", "block", "original", "scaled");
     for (i, name) in names.iter().enumerate() {
-        let key = NodeKey { func: 0, block: i as u32 };
+        let key = NodeKey {
+            func: 0,
+            block: i as u32,
+        };
         let orig = sfgl.count(key);
         let after = scaled.sfgl.count(key);
-        let shown = if after == 0 { "removed".to_string() } else { after.to_string() };
+        let shown = if after == 0 {
+            "removed".to_string()
+        } else {
+            after.to_string()
+        };
         let _ = writeln!(out, "{:<6} {:>10} {:>12}", name, orig, shown);
     }
     let l = &scaled.sfgl.loops[0];
-    let _ = writeln!(out, "loop at E: entries={} iterations={} (trip count preserved)", l.entries, l.iterations);
+    let _ = writeln!(
+        out,
+        "loop at E: entries={} iterations={} (trip count preserved)",
+        l.entries, l.iterations
+    );
     out
 }
 
@@ -221,18 +337,34 @@ pub fn fig03() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 3(a) — original fibonacci kernel\n");
     out.push_str(&original_c);
-    let _ = writeln!(out, "\nFigure 3(b) — synthetic clone (R = {})\n", art.synthesis.reduction_factor);
+    let _ = writeln!(
+        out,
+        "\nFigure 3(b) — synthetic clone (R = {})\n",
+        art.synthesis.reduction_factor
+    );
     out.push_str(&art.synthesis.benchmark.c_source);
     let report = SimilarityReport::compare(&original_c, &art.synthesis.benchmark.c_source);
-    let _ = writeln!(out, "\nMoss similarity: {:.1}%  JPlag similarity: {:.1}%", report.moss * 100.0, report.jplag * 100.0);
+    let _ = writeln!(
+        out,
+        "\nMoss similarity: {:.1}%  JPlag similarity: {:.1}%",
+        report.moss * 100.0,
+        report.jplag * 100.0
+    );
     out
 }
 
 /// Figure 4: reduction in dynamic instruction count per benchmark.
 pub fn fig04(artifacts: &[WorkloadArtifacts]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 4 — dynamic instruction count of the original relative to the synthetic");
-    let _ = writeln!(out, "{:<24} {:>14} {:>14} {:>10} {:>6}", "benchmark", "original", "synthetic", "reduction", "R");
+    let _ = writeln!(
+        out,
+        "Figure 4 — dynamic instruction count of the original relative to the synthetic"
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>14} {:>14} {:>10} {:>6}",
+        "benchmark", "original", "synthetic", "reduction", "R"
+    );
     let mut reductions = Vec::new();
     for a in artifacts {
         let red = a.synthesis.instruction_reduction();
@@ -256,19 +388,35 @@ pub fn fig04(artifacts: &[WorkloadArtifacts]) -> String {
 /// (average over the suite), original versus synthetic.
 pub fn fig05(artifacts: &[WorkloadArtifacts]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 5 — normalized dynamic instruction count vs optimization level");
+    let _ = writeln!(
+        out,
+        "Figure 5 — normalized dynamic instruction count vs optimization level"
+    );
     let _ = writeln!(out, "{:<8} {:>12} {:>12}", "level", "original", "synthetic");
     let mut base: Option<(f64, f64)> = None;
-    for level in OptLevel::ALL {
-        let mut org = 0.0;
-        let mut syn = 0.0;
-        for a in artifacts {
-            let (o, s) = a.compile_pair(&CompileOptions::new(level, TargetIsa::X86));
-            org += dynamic_instructions(&o) as f64;
-            syn += dynamic_instructions(&s) as f64;
-        }
+    let units: Vec<(OptLevel, &WorkloadArtifacts)> = OptLevel::ALL
+        .into_iter()
+        .flat_map(|level| artifacts.iter().map(move |a| (level, a)))
+        .collect();
+    let counts = parallel_map(units, |(level, a)| {
+        let (o, s) = a.compile_pair(&CompileOptions::new(level, TargetIsa::X86));
+        (
+            dynamic_instructions(&o) as f64,
+            dynamic_instructions(&s) as f64,
+        )
+    });
+    for (li, level) in OptLevel::ALL.into_iter().enumerate() {
+        let per_level = &counts[li * artifacts.len()..(li + 1) * artifacts.len()];
+        let org: f64 = per_level.iter().map(|(o, _)| o).sum();
+        let syn: f64 = per_level.iter().map(|(_, s)| s).sum();
         let (org_base, syn_base) = *base.get_or_insert((org, syn));
-        let _ = writeln!(out, "{:<8} {:>11.1}% {:>11.1}%", level.to_string(), org / org_base * 100.0, syn / syn_base * 100.0);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>11.1}% {:>11.1}%",
+            level.to_string(),
+            org / org_base * 100.0,
+            syn / syn_base * 100.0
+        );
     }
     out
 }
@@ -278,7 +426,10 @@ pub fn fig05(artifacts: &[WorkloadArtifacts]) -> String {
 pub fn fig06(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
     use bsg_ir::visa::MixCategory;
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 6 — instruction mix at {level} (ORG = original, SYN = synthetic)");
+    let _ = writeln!(
+        out,
+        "Figure 6 — instruction mix at {level} (ORG = original, SYN = synthetic)"
+    );
     let _ = writeln!(
         out,
         "{:<24} {:>7} {:>7} {:>7} {:>7}   {:>7} {:>7} {:>7} {:>7}",
@@ -286,13 +437,28 @@ pub fn fig06(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
     );
     let mut avg_org = [0.0f64; 4];
     let mut avg_syn = [0.0f64; 4];
-    for a in artifacts {
+    let rows = parallel_map(artifacts.iter().collect::<Vec<_>>(), |a| {
         let (o, s) = a.compile_pair(&CompileOptions::new(level, TargetIsa::X86));
         let om = mix_of(&o).category_fractions();
         let sm = mix_of(&s).category_fractions();
-        let get = |m: &std::collections::BTreeMap<MixCategory, f64>, c: MixCategory| m.get(&c).copied().unwrap_or(0.0);
-        let row_o = [get(&om, MixCategory::Load), get(&om, MixCategory::Store), get(&om, MixCategory::Branch), get(&om, MixCategory::Other)];
-        let row_s = [get(&sm, MixCategory::Load), get(&sm, MixCategory::Store), get(&sm, MixCategory::Branch), get(&sm, MixCategory::Other)];
+        let get = |m: &std::collections::BTreeMap<MixCategory, f64>, c: MixCategory| {
+            m.get(&c).copied().unwrap_or(0.0)
+        };
+        let row_o = [
+            get(&om, MixCategory::Load),
+            get(&om, MixCategory::Store),
+            get(&om, MixCategory::Branch),
+            get(&om, MixCategory::Other),
+        ];
+        let row_s = [
+            get(&sm, MixCategory::Load),
+            get(&sm, MixCategory::Store),
+            get(&sm, MixCategory::Branch),
+            get(&sm, MixCategory::Other),
+        ];
+        (a.workload.name.clone(), row_o, row_s)
+    });
+    for (name, row_o, row_s) in rows {
         for i in 0..4 {
             avg_org[i] += row_o[i] / artifacts.len() as f64;
             avg_syn[i] += row_s[i] / artifacts.len() as f64;
@@ -300,17 +466,29 @@ pub fn fig06(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
         let _ = writeln!(
             out,
             "{:<24} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%   {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
-            a.workload.name,
-            row_o[0] * 100.0, row_o[1] * 100.0, row_o[2] * 100.0, row_o[3] * 100.0,
-            row_s[0] * 100.0, row_s[1] * 100.0, row_s[2] * 100.0, row_s[3] * 100.0
+            name,
+            row_o[0] * 100.0,
+            row_o[1] * 100.0,
+            row_o[2] * 100.0,
+            row_o[3] * 100.0,
+            row_s[0] * 100.0,
+            row_s[1] * 100.0,
+            row_s[2] * 100.0,
+            row_s[3] * 100.0
         );
     }
     let _ = writeln!(
         out,
         "{:<24} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%   {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
         "average",
-        avg_org[0] * 100.0, avg_org[1] * 100.0, avg_org[2] * 100.0, avg_org[3] * 100.0,
-        avg_syn[0] * 100.0, avg_syn[1] * 100.0, avg_syn[2] * 100.0, avg_syn[3] * 100.0
+        avg_org[0] * 100.0,
+        avg_org[1] * 100.0,
+        avg_org[2] * 100.0,
+        avg_org[3] * 100.0,
+        avg_syn[0] * 100.0,
+        avg_syn[1] * 100.0,
+        avg_syn[2] * 100.0,
+        avg_syn[3] * 100.0
     );
     out
 }
@@ -320,20 +498,39 @@ pub fn fig06(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
 pub fn fig07_08(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
     let sizes = [1u64, 2, 4, 8, 16, 32];
     let mut out = String::new();
-    let _ = writeln!(out, "Figures 7/8 — data cache hit rates at {level} (original | synthetic)");
+    let _ = writeln!(
+        out,
+        "Figures 7/8 — data cache hit rates at {level} (original | synthetic)"
+    );
     let header: Vec<String> = sizes.iter().map(|s| format!("{s}KB")).collect();
-    let _ = writeln!(out, "{:<24} {}  |  {}", "benchmark", header.join("  "), header.join("  "));
-    for a in artifacts {
+    let _ = writeln!(
+        out,
+        "{:<24} {}  |  {}",
+        "benchmark",
+        header.join("  "),
+        header.join("  ")
+    );
+    let rows = parallel_map(artifacts.iter().collect::<Vec<_>>(), |a| {
         let (o, s) = a.compile_pair(&CompileOptions::new(level, TargetIsa::X86));
         let rates = |p: &Program| -> Vec<f64> {
             let mut obs = CacheObserver::new(sizes.map(CacheConfig::kb));
             execute(p, &mut obs, &ExecConfig::default());
-            obs.sweep.results().iter().map(|(_, st)| st.hit_rate()).collect()
+            obs.sweep
+                .results()
+                .iter()
+                .map(|(_, st)| st.hit_rate())
+                .collect()
         };
-        let ro = rates(&o);
-        let rs = rates(&s);
-        let fmt = |v: &[f64]| v.iter().map(|r| format!("{:>4.1}", r * 100.0)).collect::<Vec<_>>().join("  ");
-        let _ = writeln!(out, "{:<24} {}  |  {}", a.workload.name, fmt(&ro), fmt(&rs));
+        (a.workload.name.clone(), rates(&o), rates(&s))
+    });
+    for (name, ro, rs) in rows {
+        let fmt = |v: &[f64]| {
+            v.iter()
+                .map(|r| format!("{:>4.1}", r * 100.0))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{:<24} {}  |  {}", name, fmt(&ro), fmt(&rs));
     }
     out
 }
@@ -343,8 +540,12 @@ pub fn fig07_08(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
 pub fn fig09(artifacts: &[WorkloadArtifacts]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 9 — hybrid branch predictor accuracy");
-    let _ = writeln!(out, "{:<24} {:>9} {:>9} {:>9} {:>9}", "benchmark", "org-O0", "org-O2", "syn-O0", "syn-O2");
-    for a in artifacts {
+    let _ = writeln!(
+        out,
+        "{:<24} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "org-O0", "org-O2", "syn-O0", "syn-O2"
+    );
+    let rows = parallel_map(artifacts.iter().collect::<Vec<_>>(), |a| {
         let acc = |p: &Program| {
             let mut obs = PredictorObserver::new(Hybrid::default_config());
             execute(p, &mut obs, &ExecConfig::default());
@@ -352,10 +553,16 @@ pub fn fig09(artifacts: &[WorkloadArtifacts]) -> String {
         };
         let (o0, s0) = a.compile_pair(&CompileOptions::new(OptLevel::O0, TargetIsa::X86));
         let (o2, s2) = a.compile_pair(&CompileOptions::new(OptLevel::O2, TargetIsa::X86));
+        (
+            a.workload.name.clone(),
+            [acc(&o0), acc(&o2), acc(&s0), acc(&s2)],
+        )
+    });
+    for (name, accs) in rows {
         let _ = writeln!(
             out,
             "{:<24} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
-            a.workload.name, acc(&o0), acc(&o2), acc(&s0), acc(&s2)
+            name, accs[0], accs[1], accs[2], accs[3]
         );
     }
     out
@@ -366,19 +573,35 @@ pub fn fig09(artifacts: &[WorkloadArtifacts]) -> String {
 pub fn fig10(artifacts: &[WorkloadArtifacts]) -> String {
     let sizes = [8u64, 16, 32];
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 10 — CPI on a 2-wide out-of-order processor (original | synthetic)");
-    let _ = writeln!(out, "{:<24} {:>6} {:>6} {:>6}  |  {:>6} {:>6} {:>6}", "benchmark", "8KB", "16KB", "32KB", "8KB", "16KB", "32KB");
-    for a in artifacts {
+    let _ = writeln!(
+        out,
+        "Figure 10 — CPI on a 2-wide out-of-order processor (original | synthetic)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6} {:>6} {:>6}  |  {:>6} {:>6} {:>6}",
+        "benchmark", "8KB", "16KB", "32KB", "8KB", "16KB", "32KB"
+    );
+    let rows = parallel_map(artifacts.iter().collect::<Vec<_>>(), |a| {
         let (o, s) = a.compile_pair(&CompileOptions::new(OptLevel::O0, TargetIsa::X86));
+        // One predecoded image per program serves the whole cache-size sweep.
         let cpis = |p: &Program| -> Vec<f64> {
-            sizes.iter().map(|kb| simulate(p, PipelineConfig::ptlsim_2wide(*kb)).cpi()).collect()
+            let image = bsg_uarch::image::ExecImage::new(p);
+            sizes
+                .iter()
+                .map(|kb| {
+                    bsg_uarch::pipeline::simulate_image(&image, PipelineConfig::ptlsim_2wide(*kb))
+                        .cpi()
+                })
+                .collect()
         };
-        let co = cpis(&o);
-        let cs = cpis(&s);
+        (a.workload.name.clone(), cpis(&o), cpis(&s))
+    });
+    for (name, co, cs) in rows {
         let _ = writeln!(
             out,
             "{:<24} {:>6.2} {:>6.2} {:>6.2}  |  {:>6.2} {:>6.2} {:>6.2}",
-            a.workload.name, co[0], co[1], co[2], cs[0], cs[1], cs[2]
+            name, co[0], co[1], co[2], cs[0], cs[1], cs[2]
         );
     }
     out
@@ -390,55 +613,102 @@ pub fn fig10(artifacts: &[WorkloadArtifacts]) -> String {
 pub fn fig11(artifacts: &[WorkloadArtifacts]) -> String {
     let machines = MachineConfig::table3();
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 11 — normalized execution time (to Pentium 4 3GHz at -O0)");
-    let _ = writeln!(out, "{:<20} {:<6} {:>12} {:>12}", "machine", "level", "original", "synthetic");
+    let _ = writeln!(
+        out,
+        "Figure 11 — normalized execution time (to Pentium 4 3GHz at -O0)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:<6} {:>12} {:>12}",
+        "machine", "level", "original", "synthetic"
+    );
 
     // Consolidate the whole suite into a single profile and clone.
     let profiles: Vec<StatisticalProfile> = artifacts.iter().map(|a| a.profile.clone()).collect();
     let merged = bsg_synth::consolidate(&profiles);
-    let consolidated =
-        synthesize_with_target(&merged, &SynthesisConfig::default(), SYNTH_TARGET_INSTRUCTIONS * 2);
+    let consolidated = synthesize_with_target(
+        &merged,
+        &SynthesisConfig::default(),
+        SYNTH_TARGET_INSTRUCTIONS * 2,
+    );
 
     let mut baseline: Option<(f64, f64)> = None;
-    for m in &machines {
-        for level in OptLevel::ALL {
-            let options = CompileOptions::new(level, target_isa_for(m.isa));
-            let mut org_time = 0.0;
-            for a in artifacts {
-                let o = compile(&a.workload.program, &options).expect("original compiles").program;
-                org_time += m.run(&o).time_ns;
-            }
-            let syn_prog = compile(&consolidated.benchmark.hll, &options).expect("clone compiles").program;
-            let syn_time = m.run(&syn_prog).time_ns;
-            let (ob, sb) = *baseline.get_or_insert((org_time, syn_time));
-            let _ = writeln!(
-                out,
-                "{:<20} {:<6} {:>12.3} {:>12.3}",
-                m.name,
-                level.to_string(),
-                org_time / ob,
-                syn_time / sb
-            );
-        }
+    let units: Vec<(&MachineConfig, OptLevel)> = machines
+        .iter()
+        .flat_map(|m| OptLevel::ALL.into_iter().map(move |level| (m, level)))
+        .collect();
+    let consolidated = &consolidated;
+    let times = parallel_map(units, |(m, level)| {
+        let options = CompileOptions::new(level, target_isa_for(m.isa));
+        let org_time: f64 = artifacts
+            .iter()
+            .map(|a| {
+                let o = compile(&a.workload.program, &options)
+                    .expect("original compiles")
+                    .program;
+                m.run(&o).time_ns
+            })
+            .sum();
+        let syn_prog = compile(&consolidated.benchmark.hll, &options)
+            .expect("clone compiles")
+            .program;
+        (org_time, m.run(&syn_prog).time_ns)
+    });
+    for ((m, level), (org_time, syn_time)) in units_labels(&machines).into_iter().zip(times) {
+        let (ob, sb) = *baseline.get_or_insert((org_time, syn_time));
+        let _ = writeln!(
+            out,
+            "{:<20} {:<6} {:>12.3} {:>12.3}",
+            m,
+            level.to_string(),
+            org_time / ob,
+            syn_time / sb
+        );
     }
     out
+}
+
+/// `(machine name, level)` labels in the same order [`fig11`] computes rows.
+fn units_labels(machines: &[MachineConfig]) -> Vec<(String, OptLevel)> {
+    machines
+        .iter()
+        .flat_map(|m| {
+            OptLevel::ALL
+                .into_iter()
+                .map(move |level| (m.name.clone(), level))
+        })
+        .collect()
 }
 
 /// §V-E: Moss / JPlag similarity between each original and its clone.
 pub fn obfuscation(artifacts: &[WorkloadArtifacts]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Benchmark obfuscation — plagiarism-detector similarity (lower is better)");
-    let _ = writeln!(out, "{:<24} {:>8} {:>8} {:>8}", "benchmark", "moss", "jplag", "hidden?");
-    for a in artifacts {
+    let _ = writeln!(
+        out,
+        "Benchmark obfuscation — plagiarism-detector similarity (lower is better)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>8} {:>8}",
+        "benchmark", "moss", "jplag", "hidden?"
+    );
+    let rows = parallel_map(artifacts.iter().collect::<Vec<_>>(), |a| {
         let original_c = cemit::emit_c(&a.workload.program);
         let report = SimilarityReport::compare(&original_c, &a.synthesis.benchmark.c_source);
+        (a.workload.name.clone(), report)
+    });
+    for (name, report) in rows {
         let _ = writeln!(
             out,
             "{:<24} {:>7.1}% {:>7.1}% {:>8}",
-            a.workload.name,
+            name,
             report.moss * 100.0,
             report.jplag * 100.0,
-            if report.hides_proprietary_information(0.5) { "yes" } else { "NO" }
+            if report.hides_proprietary_information(0.5) {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     out

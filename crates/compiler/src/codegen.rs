@@ -29,7 +29,8 @@ pub fn generate(program: &mut Program, options: &CompileOptions, stats: &mut Com
     if options.isa.has_memory_operands() && options.opt_level >= OptLevel::O1 {
         stats.loads_folded += fold_memory_operands(program);
     }
-    stats.spill_insts_inserted += crate::regalloc::allocate(program, options.isa.allocatable_regs());
+    stats.spill_insts_inserted +=
+        crate::regalloc::allocate(program, options.isa.allocatable_regs());
     if options.isa.is_epic() && options.opt_level >= OptLevel::O2 {
         stats.insts_scheduled += schedule::schedule_blocks(program);
     }
@@ -118,18 +119,44 @@ mod tests {
         let d = f.fresh_reg();
         f.blocks[0].insts = vec![
             // foldable: a is only used by the add
-            Inst::Load { dst: a, addr: Address::global(GlobalId(0), 0), ty: Ty::Int },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: c, lhs: a.into(), rhs: Operand::ImmInt(1) },
+            Inst::Load {
+                dst: a,
+                addr: Address::global(GlobalId(0), 0),
+                ty: Ty::Int,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: c,
+                lhs: a.into(),
+                rhs: Operand::ImmInt(1),
+            },
             // not foldable: b is used twice
-            Inst::Load { dst: b, addr: Address::global(GlobalId(0), 1), ty: Ty::Int },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: d, lhs: b.into(), rhs: b.into() },
+            Inst::Load {
+                dst: b,
+                addr: Address::global(GlobalId(0), 1),
+                ty: Ty::Int,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: d,
+                lhs: b.into(),
+                rhs: b.into(),
+            },
         ];
         f.blocks[0].term = Terminator::Return(Some(d.into()));
         p.add_function(f);
         assert_eq!(fold_memory_operands(&mut p), 1);
         let insts = &p.functions[0].blocks[0].insts;
         assert_eq!(insts.len(), 3);
-        assert!(matches!(insts[0], Inst::Bin { lhs: Operand::Mem(_), .. }));
+        assert!(matches!(
+            insts[0],
+            Inst::Bin {
+                lhs: Operand::Mem(_),
+                ..
+            }
+        ));
         assert!(p.validate().is_empty());
     }
 

@@ -156,12 +156,20 @@ pub struct CompileOptions {
 impl CompileOptions {
     /// Options with codegen enabled for the given level and ISA.
     pub fn new(opt_level: OptLevel, isa: TargetIsa) -> Self {
-        CompileOptions { opt_level, isa, codegen: true }
+        CompileOptions {
+            opt_level,
+            isa,
+            codegen: true,
+        }
     }
 
     /// Portable compilation (no ISA-specific codegen).
     pub fn portable(opt_level: OptLevel) -> Self {
-        CompileOptions { opt_level, isa: TargetIsa::X86, codegen: false }
+        CompileOptions {
+            opt_level,
+            isa: TargetIsa::X86,
+            codegen: false,
+        }
     }
 }
 
@@ -200,14 +208,22 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::UnknownFunction(n) => write!(f, "call to unknown function `{n}`"),
             CompileError::UnknownGlobal(n) => write!(f, "reference to unknown global array `{n}`"),
-            CompileError::ArityMismatch { function, supplied, expected } => write!(
+            CompileError::ArityMismatch {
+                function,
+                supplied,
+                expected,
+            } => write!(
                 f,
                 "call to `{function}` with {supplied} arguments, expected {expected}"
             ),
             CompileError::StrayLoopControl(kw) => write!(f, "`{kw}` outside of a loop"),
             CompileError::MissingEntry(n) => write!(f, "entry function `{n}` is not defined"),
             CompileError::Invalid(errors) => {
-                write!(f, "lowered program failed validation: {}", errors.join("; "))
+                write!(
+                    f,
+                    "lowered program failed validation: {}",
+                    errors.join("; ")
+                )
             }
         }
     }
@@ -275,7 +291,10 @@ pub struct CompiledProgram {
 /// Returns a [`CompileError`] if the program references unknown functions or
 /// globals, calls a function with the wrong arity, uses `break`/`continue`
 /// outside a loop, or lacks the entry function.
-pub fn compile(hll: &HllProgram, options: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+pub fn compile(
+    hll: &HllProgram,
+    options: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
     let mut stats = CompileStats::default();
     // 1. Lowering.  O0 keeps scalars in memory; O1+ promotes them to registers.
     let mode = if options.opt_level == OptLevel::O0 {
@@ -297,7 +316,11 @@ pub fn compile(hll: &HllProgram, options: &CompileOptions) -> Result<CompiledPro
     if !errors.is_empty() {
         return Err(CompileError::Invalid(errors));
     }
-    Ok(CompiledProgram { program, options: *options, stats })
+    Ok(CompiledProgram {
+        program,
+        options: *options,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -312,8 +335,15 @@ mod tests {
         let mut f = FunctionBuilder::new("main");
         f.assign_var("acc", Expr::int(0));
         f.for_loop("i", Expr::int(0), Expr::int(16), |b| {
-            b.assign_index("buf", Expr::var("i"), Expr::mul(Expr::var("i"), Expr::int(2)));
-            b.assign_var("acc", Expr::add(Expr::var("acc"), Expr::index("buf", Expr::var("i"))));
+            b.assign_index(
+                "buf",
+                Expr::var("i"),
+                Expr::mul(Expr::var("i"), Expr::int(2)),
+            );
+            b.assign_var(
+                "acc",
+                Expr::add(Expr::var("acc"), Expr::index("buf", Expr::var("i"))),
+            );
         });
         f.ret(Some(Expr::var("acc")));
         p.add_function(f.finish());

@@ -47,7 +47,12 @@ pub fn lower(hll: &HllProgram, mode: LowerMode) -> Result<Program, CompileError>
         } else {
             GlobalInit::Values(g.init.clone())
         };
-        let id = program.add_global(Global { name: g.name.clone(), elems: g.elems, ty: g.ty, init });
+        let id = program.add_global(Global {
+            name: g.name.clone(),
+            elems: g.elems,
+            ty: g.ty,
+            init,
+        });
         global_map.insert(g.name.clone(), (id, g.ty));
     }
 
@@ -115,7 +120,12 @@ impl<'a> FuncLowerer<'a> {
         }
         // Parameters arrive in fresh registers; in stack mode they are
         // immediately spilled to their frame slot (like GCC -O0 prologues).
-        let param_regs: Vec<Reg> = self.src.params.iter().map(|_| self.func.fresh_reg()).collect();
+        let param_regs: Vec<Reg> = self
+            .src
+            .params
+            .iter()
+            .map(|_| self.func.fresh_reg())
+            .collect();
         self.func.params = param_regs.clone();
         for (name, reg) in self.src.params.iter().zip(param_regs) {
             match self.mode {
@@ -123,7 +133,11 @@ impl<'a> FuncLowerer<'a> {
                     let slot = self.func.fresh_frame_slot();
                     self.vars.insert(name.clone(), VarPlace::Frame(slot));
                     let ty = self.var_ty(name);
-                    self.emit(Inst::Store { src: reg.into(), addr: Address::frame(slot), ty });
+                    self.emit(Inst::Store {
+                        src: reg.into(),
+                        addr: Address::frame(slot),
+                        ty,
+                    });
                 }
                 LowerMode::RegisterScalars => {
                     self.vars.insert(name.clone(), VarPlace::Register(reg));
@@ -176,6 +190,7 @@ impl<'a> FuncLowerer<'a> {
 
     /// Materializes an operand into a register (needed for branch conditions
     /// and address index registers).
+    #[allow(clippy::wrong_self_convention)] // consumes the operand, not self
     fn into_reg(&mut self, op: Operand) -> Reg {
         match op {
             Operand::Reg(r) => r,
@@ -192,7 +207,11 @@ impl<'a> FuncLowerer<'a> {
         match self.var_place(name) {
             VarPlace::Frame(slot) => {
                 let dst = self.func.fresh_reg();
-                self.emit(Inst::Load { dst, addr: Address::frame(slot), ty });
+                self.emit(Inst::Load {
+                    dst,
+                    addr: Address::frame(slot),
+                    ty,
+                });
                 (dst.into(), ty)
             }
             VarPlace::Register(r) => (r.into(), ty),
@@ -206,7 +225,11 @@ impl<'a> FuncLowerer<'a> {
         let ty = self.var_ty(name);
         match self.var_place(name) {
             VarPlace::Frame(slot) => {
-                self.emit(Inst::Store { src: value, addr: Address::frame(slot), ty });
+                self.emit(Inst::Store {
+                    src: value,
+                    addr: Address::frame(slot),
+                    ty,
+                });
             }
             VarPlace::Register(r) => {
                 self.emit(Inst::Mov { dst: r, src: value });
@@ -215,7 +238,10 @@ impl<'a> FuncLowerer<'a> {
     }
 
     fn global(&self, name: &str) -> Result<(GlobalId, Ty), CompileError> {
-        self.globals.get(name).copied().ok_or_else(|| CompileError::UnknownGlobal(name.to_string()))
+        self.globals
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError::UnknownGlobal(name.to_string()))
     }
 
     fn global_address(&mut self, name: &str, index: &Expr) -> Result<(Address, Ty), CompileError> {
@@ -245,13 +271,25 @@ impl<'a> FuncLowerer<'a> {
                 let (v, vty) = self.lower_expr(value)?;
                 self.store_lvalue(target, v, vty)?;
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let (c, _) = self.lower_expr(cond)?;
                 let cond_reg = self.into_reg(c);
                 let then_bb = self.start_block();
                 let merge_bb = self.start_block();
-                let else_bb = if else_branch.is_empty() { merge_bb } else { self.start_block() };
-                self.set_term(Terminator::Branch { cond: cond_reg, taken: then_bb, not_taken: else_bb });
+                let else_bb = if else_branch.is_empty() {
+                    merge_bb
+                } else {
+                    self.start_block()
+                };
+                self.set_term(Terminator::Branch {
+                    cond: cond_reg,
+                    taken: then_bb,
+                    not_taken: else_bb,
+                });
 
                 self.switch_to(then_bb);
                 self.lower_stmts(then_branch)?;
@@ -273,7 +311,11 @@ impl<'a> FuncLowerer<'a> {
                 self.switch_to(header);
                 let (c, _) = self.lower_expr(cond)?;
                 let cond_reg = self.into_reg(c);
-                self.set_term(Terminator::Branch { cond: cond_reg, taken: body_bb, not_taken: exit });
+                self.set_term(Terminator::Branch {
+                    cond: cond_reg,
+                    taken: body_bb,
+                    not_taken: exit,
+                });
 
                 self.loop_stack.push((header, exit));
                 self.switch_to(body_bb);
@@ -283,7 +325,13 @@ impl<'a> FuncLowerer<'a> {
 
                 self.switch_to(exit);
             }
-            Stmt::For { var, init, limit, step, body } => {
+            Stmt::For {
+                var,
+                init,
+                limit,
+                step,
+                body,
+            } => {
                 // var = init;
                 let (init_op, init_ty) = self.lower_expr(init)?;
                 self.write_var(var, init_op, init_ty);
@@ -298,10 +346,24 @@ impl<'a> FuncLowerer<'a> {
                 self.switch_to(header);
                 let (v, vty) = self.read_var(var);
                 let (l, lty) = self.lower_expr(limit)?;
-                let cmp_ty = if vty == Ty::Float || lty == Ty::Float { Ty::Float } else { Ty::Int };
+                let cmp_ty = if vty == Ty::Float || lty == Ty::Float {
+                    Ty::Float
+                } else {
+                    Ty::Int
+                };
                 let cond = self.func.fresh_reg();
-                self.emit(Inst::Bin { op: BinOp::Lt, ty: cmp_ty, dst: cond, lhs: v, rhs: l });
-                self.set_term(Terminator::Branch { cond, taken: body_bb, not_taken: exit });
+                self.emit(Inst::Bin {
+                    op: BinOp::Lt,
+                    ty: cmp_ty,
+                    dst: cond,
+                    lhs: v,
+                    rhs: l,
+                });
+                self.set_term(Terminator::Branch {
+                    cond,
+                    taken: body_bb,
+                    not_taken: exit,
+                });
 
                 // body
                 self.loop_stack.push((latch, exit));
@@ -314,9 +376,19 @@ impl<'a> FuncLowerer<'a> {
                 self.switch_to(latch);
                 let (v2, v2ty) = self.read_var(var);
                 let (s, sty) = self.lower_expr(step)?;
-                let add_ty = if v2ty == Ty::Float || sty == Ty::Float { Ty::Float } else { Ty::Int };
+                let add_ty = if v2ty == Ty::Float || sty == Ty::Float {
+                    Ty::Float
+                } else {
+                    Ty::Int
+                };
                 let next = self.func.fresh_reg();
-                self.emit(Inst::Bin { op: BinOp::Add, ty: add_ty, dst: next, lhs: v2, rhs: s });
+                self.emit(Inst::Bin {
+                    op: BinOp::Add,
+                    ty: add_ty,
+                    dst: next,
+                    lhs: v2,
+                    rhs: s,
+                });
                 self.write_var(var, next.into(), add_ty);
                 self.set_term(Terminator::Jump(header));
 
@@ -380,7 +452,12 @@ impl<'a> FuncLowerer<'a> {
         false
     }
 
-    fn store_lvalue(&mut self, target: &LValue, value: Operand, vty: Ty) -> Result<(), CompileError> {
+    fn store_lvalue(
+        &mut self,
+        target: &LValue,
+        value: Operand,
+        vty: Ty,
+    ) -> Result<(), CompileError> {
         match target {
             LValue::Var(name) => {
                 self.write_var(name, value, vty);
@@ -388,7 +465,11 @@ impl<'a> FuncLowerer<'a> {
             }
             LValue::Index(array, idx) => {
                 let (addr, gty) = self.global_address(array, idx)?;
-                self.emit(Inst::Store { src: value, addr, ty: gty });
+                self.emit(Inst::Store {
+                    src: value,
+                    addr,
+                    ty: gty,
+                });
                 Ok(())
             }
         }
@@ -414,8 +495,16 @@ impl<'a> FuncLowerer<'a> {
         for a in args {
             arg_ops.push(self.lower_expr(a)?.0);
         }
-        let dst = if want_result { Some(self.func.fresh_reg()) } else { None };
-        self.emit(Inst::Call { func: fid, args: arg_ops, dst });
+        let dst = if want_result {
+            Some(self.func.fresh_reg())
+        } else {
+            None
+        };
+        self.emit(Inst::Call {
+            func: fid,
+            args: arg_ops,
+            dst,
+        });
         Ok(dst)
     }
 
@@ -435,9 +524,19 @@ impl<'a> FuncLowerer<'a> {
             Expr::Bin(op, lhs, rhs) => {
                 let (l, lty) = self.lower_expr(lhs)?;
                 let (r, rty) = self.lower_expr(rhs)?;
-                let ty = if lty == Ty::Float || rty == Ty::Float { Ty::Float } else { Ty::Int };
+                let ty = if lty == Ty::Float || rty == Ty::Float {
+                    Ty::Float
+                } else {
+                    Ty::Int
+                };
                 let dst = self.func.fresh_reg();
-                self.emit(Inst::Bin { op: *op, ty, dst, lhs: l, rhs: r });
+                self.emit(Inst::Bin {
+                    op: *op,
+                    ty,
+                    dst,
+                    lhs: l,
+                    rhs: r,
+                });
                 let result_ty = if op.is_comparison() { Ty::Int } else { ty };
                 Ok((dst.into(), result_ty))
             }
@@ -451,11 +550,18 @@ impl<'a> FuncLowerer<'a> {
                     UnOp::Neg | UnOp::Abs => (vty, vty),
                 };
                 let dst = self.func.fresh_reg();
-                self.emit(Inst::Un { op: *op, ty: inst_ty, dst, src: v });
+                self.emit(Inst::Un {
+                    op: *op,
+                    ty: inst_ty,
+                    dst,
+                    src: v,
+                });
                 Ok((dst.into(), result_ty))
             }
             Expr::Call(name, args) => {
-                let reg = self.lower_call(name, args, true)?.expect("call with result");
+                let reg = self
+                    .lower_call(name, args, true)?
+                    .expect("call with result");
                 Ok((reg.into(), Ty::Int))
             }
         }
@@ -548,7 +654,10 @@ mod tests {
         let mut f = FunctionBuilder::new("main");
         f.body().brk();
         let p = HllProgram::with_main(f.finish());
-        assert_eq!(lower(&p, LowerMode::RegisterScalars), Err(CompileError::StrayLoopControl("break")));
+        assert_eq!(
+            lower(&p, LowerMode::RegisterScalars),
+            Err(CompileError::StrayLoopControl("break"))
+        );
     }
 
     #[test]
@@ -579,7 +688,10 @@ mod tests {
         let mut p = HllProgram::new();
         p.entry = "main".to_string();
         p.add_function(HllFunction::new("helper"));
-        assert!(matches!(lower(&p, LowerMode::StackScalars), Err(CompileError::MissingEntry(_))));
+        assert!(matches!(
+            lower(&p, LowerMode::StackScalars),
+            Err(CompileError::MissingEntry(_))
+        ));
     }
 
     #[test]
@@ -615,7 +727,10 @@ mod tests {
             LowerMode::RegisterScalars,
         );
         assert!(count_class(&p, InstClass::FpMul) >= 1);
-        assert!(count_class(&p, InstClass::FpDiv) >= 1, "sqrt classifies as long-latency fp");
+        assert!(
+            count_class(&p, InstClass::FpDiv) >= 1,
+            "sqrt classifies as long-latency fp"
+        );
     }
 
     #[test]
@@ -632,7 +747,10 @@ mod tests {
             LowerMode::StackScalars,
         );
         assert!(p.validate().is_empty());
-        assert!(count_class(&p, InstClass::Other) >= 1, "print lowers to an Other-class inst");
+        assert!(
+            count_class(&p, InstClass::Other) >= 1,
+            "print lowers to an Other-class inst"
+        );
         let forest = bsg_ir::cfg::LoopForest::compute(&p.functions[0]);
         assert_eq!(forest.loops.len(), 1);
     }

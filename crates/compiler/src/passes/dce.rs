@@ -86,7 +86,8 @@ fn eliminate_in_function(f: &mut Function) -> usize {
                 Some(d) => !live.contains(&d),
                 None => false,
             };
-            let useless_self_move = matches!(inst, Inst::Mov { dst, src } if src.as_reg() == Some(*dst));
+            let useless_self_move =
+                matches!(inst, Inst::Mov { dst, src } if src.as_reg() == Some(*dst));
             if (dead_def && !inst.has_side_effect()) || useless_self_move {
                 keep[ii] = false;
                 removed += 1;
@@ -125,11 +126,33 @@ mod tests {
         let r1 = f.fresh_reg();
         let r2 = f.fresh_reg();
         f.blocks[0].insts = vec![
-            Inst::Mov { dst: r0, src: Operand::ImmInt(1) },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r1, lhs: r0.into(), rhs: Operand::ImmInt(2) }, // dead
-            Inst::Store { src: r0.into(), addr: Address::global(GlobalId(0), 0), ty: Ty::Int },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r2, lhs: r0.into(), rhs: Operand::ImmInt(3) },
-            Inst::Mov { dst: r2, src: r2.into() }, // self move
+            Inst::Mov {
+                dst: r0,
+                src: Operand::ImmInt(1),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: r1,
+                lhs: r0.into(),
+                rhs: Operand::ImmInt(2),
+            }, // dead
+            Inst::Store {
+                src: r0.into(),
+                addr: Address::global(GlobalId(0), 0),
+                ty: Ty::Int,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: r2,
+                lhs: r0.into(),
+                rhs: Operand::ImmInt(3),
+            },
+            Inst::Mov {
+                dst: r2,
+                src: r2.into(),
+            }, // self move
         ];
         f.blocks[0].term = Terminator::Return(Some(r2.into()));
         p.add_function(f);
@@ -147,8 +170,14 @@ mod tests {
         let r1 = f.fresh_reg();
         let b1 = f.add_block();
         f.blocks[0].insts = vec![
-            Inst::Mov { dst: r0, src: Operand::ImmInt(5) },
-            Inst::Mov { dst: r1, src: Operand::ImmInt(9) },
+            Inst::Mov {
+                dst: r0,
+                src: Operand::ImmInt(5),
+            },
+            Inst::Mov {
+                dst: r1,
+                src: Operand::ImmInt(9),
+            },
         ];
         f.blocks[0].term = Terminator::Jump(b1);
         f.blocks[b1.index()].term = Terminator::Return(Some(r0.into()));
@@ -168,9 +197,24 @@ mod tests {
         let r1 = f.fresh_reg();
         let r2 = f.fresh_reg();
         f.blocks[0].insts = vec![
-            Inst::Mov { dst: r0, src: Operand::ImmInt(1) },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r1, lhs: r0.into(), rhs: Operand::ImmInt(1) },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r2, lhs: r1.into(), rhs: Operand::ImmInt(1) },
+            Inst::Mov {
+                dst: r0,
+                src: Operand::ImmInt(1),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: r1,
+                lhs: r0.into(),
+                rhs: Operand::ImmInt(1),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: r2,
+                lhs: r1.into(),
+                rhs: Operand::ImmInt(1),
+            },
         ];
         f.blocks[0].term = Terminator::Return(None);
         p.add_function(f);
@@ -189,7 +233,10 @@ mod tests {
         let r0 = f.fresh_reg();
         let b1 = f.add_block();
         let b2 = f.add_block();
-        f.blocks[0].insts = vec![Inst::Mov { dst: r0, src: Operand::ImmInt(0) }];
+        f.blocks[0].insts = vec![Inst::Mov {
+            dst: r0,
+            src: Operand::ImmInt(0),
+        }];
         f.blocks[0].term = Terminator::Jump(b1);
         f.blocks[b1.index()].insts = vec![Inst::Bin {
             op: BinOp::Add,
@@ -198,7 +245,11 @@ mod tests {
             lhs: r0.into(),
             rhs: Operand::ImmInt(1),
         }];
-        f.blocks[b1.index()].term = Terminator::Branch { cond: r0, taken: b1, not_taken: b2 };
+        f.blocks[b1.index()].term = Terminator::Branch {
+            cond: r0,
+            taken: b1,
+            not_taken: b2,
+        };
         f.blocks[b2.index()].term = Terminator::Return(Some(r0.into()));
         p.add_function(f);
         assert_eq!(eliminate_dead_code(&mut p), 0);

@@ -18,12 +18,8 @@ pub fn inline_small_functions(program: &mut Program) -> usize {
     let mut inlined = 0;
     let num_functions = program.functions.len();
     for caller_idx in 0..num_functions {
-        loop {
-            let Some((block_idx, inst_idx, callee_id)) =
-                find_inlinable_call(program, caller_idx)
-            else {
-                break;
-            };
+        while let Some((block_idx, inst_idx, callee_id)) = find_inlinable_call(program, caller_idx)
+        {
             splice(program, caller_idx, block_idx, inst_idx, callee_id);
             inlined += 1;
         }
@@ -40,7 +36,10 @@ fn eligible(program: &Program, callee: FuncId, caller_idx: usize) -> bool {
     f.blocks.len() == 1
         && f.blocks[0].insts.len() <= MAX_INLINE_INSTS
         && matches!(f.blocks[0].term, Terminator::Return(_))
-        && f.blocks[0].insts.iter().all(|i| !matches!(i, Inst::Call { .. }))
+        && f.blocks[0]
+            .insts
+            .iter()
+            .all(|i| !matches!(i, Inst::Call { .. }))
 }
 
 fn find_inlinable_call(program: &Program, caller_idx: usize) -> Option<(usize, usize, FuncId)> {
@@ -57,7 +56,13 @@ fn find_inlinable_call(program: &Program, caller_idx: usize) -> Option<(usize, u
     None
 }
 
-fn splice(program: &mut Program, caller_idx: usize, block_idx: usize, inst_idx: usize, callee_id: FuncId) {
+fn splice(
+    program: &mut Program,
+    caller_idx: usize,
+    block_idx: usize,
+    inst_idx: usize,
+    callee_id: FuncId,
+) {
     let callee = program.function(callee_id).clone();
     let caller = &mut program.functions[caller_idx];
 
@@ -69,7 +74,11 @@ fn splice(program: &mut Program, caller_idx: usize, block_idx: usize, inst_idx: 
     let rename_reg = |r: Reg| Reg(r.0 + reg_base);
     let rename_addr = |a: Address| Address {
         base: a.base,
-        offset: if a.base == MemBase::Frame { a.offset + frame_base } else { a.offset },
+        offset: if a.base == MemBase::Frame {
+            a.offset + frame_base
+        } else {
+            a.offset
+        },
         index: a.index.map(rename_reg),
         scale: a.scale,
     };
@@ -80,29 +89,47 @@ fn splice(program: &mut Program, caller_idx: usize, block_idx: usize, inst_idx: 
     };
     let rename_inst = |inst: &Inst| -> Inst {
         match inst {
-            Inst::Bin { op, ty, dst, lhs, rhs } => Inst::Bin {
+            Inst::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => Inst::Bin {
                 op: *op,
                 ty: *ty,
                 dst: rename_reg(*dst),
                 lhs: rename_operand(*lhs),
                 rhs: rename_operand(*rhs),
             },
-            Inst::Un { op, ty, dst, src } => {
-                Inst::Un { op: *op, ty: *ty, dst: rename_reg(*dst), src: rename_operand(*src) }
-            }
-            Inst::Mov { dst, src } => Inst::Mov { dst: rename_reg(*dst), src: rename_operand(*src) },
-            Inst::Load { dst, addr, ty } => {
-                Inst::Load { dst: rename_reg(*dst), addr: rename_addr(*addr), ty: *ty }
-            }
-            Inst::Store { src, addr, ty } => {
-                Inst::Store { src: rename_operand(*src), addr: rename_addr(*addr), ty: *ty }
-            }
+            Inst::Un { op, ty, dst, src } => Inst::Un {
+                op: *op,
+                ty: *ty,
+                dst: rename_reg(*dst),
+                src: rename_operand(*src),
+            },
+            Inst::Mov { dst, src } => Inst::Mov {
+                dst: rename_reg(*dst),
+                src: rename_operand(*src),
+            },
+            Inst::Load { dst, addr, ty } => Inst::Load {
+                dst: rename_reg(*dst),
+                addr: rename_addr(*addr),
+                ty: *ty,
+            },
+            Inst::Store { src, addr, ty } => Inst::Store {
+                src: rename_operand(*src),
+                addr: rename_addr(*addr),
+                ty: *ty,
+            },
             Inst::Call { func, args, dst } => Inst::Call {
                 func: *func,
                 args: args.iter().map(|a| rename_operand(*a)).collect(),
                 dst: dst.map(rename_reg),
             },
-            Inst::Print { src } => Inst::Print { src: rename_operand(*src) },
+            Inst::Print { src } => Inst::Print {
+                src: rename_operand(*src),
+            },
             Inst::Nop => Inst::Nop,
         }
     };
@@ -110,11 +137,16 @@ fn splice(program: &mut Program, caller_idx: usize, block_idx: usize, inst_idx: 
     // Build the replacement sequence: parameter copies, renamed body, result copy.
     let block = &mut caller.blocks[block_idx];
     let call = block.insts[inst_idx].clone();
-    let Inst::Call { args, dst, .. } = call else { unreachable!("find_inlinable_call found a call") };
+    let Inst::Call { args, dst, .. } = call else {
+        unreachable!("find_inlinable_call found a call")
+    };
 
     let mut seq = Vec::new();
     for (param, arg) in callee.params.iter().zip(&args) {
-        seq.push(Inst::Mov { dst: rename_reg(*param), src: *arg });
+        seq.push(Inst::Mov {
+            dst: rename_reg(*param),
+            src: *arg,
+        });
     }
     for inst in &callee.blocks[0].insts {
         seq.push(rename_inst(inst));
@@ -145,8 +177,20 @@ mod tests {
         let t1 = f.fresh_reg();
         f.params = vec![a];
         f.blocks[0].insts = vec![
-            Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: t0, lhs: a.into(), rhs: Operand::ImmInt(2) },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: t1, lhs: t0.into(), rhs: Operand::ImmInt(1) },
+            Inst::Bin {
+                op: BinOp::Mul,
+                ty: Ty::Int,
+                dst: t0,
+                lhs: a.into(),
+                rhs: Operand::ImmInt(2),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: t1,
+                lhs: t0.into(),
+                rhs: Operand::ImmInt(1),
+            },
         ];
         f.blocks[0].term = Terminator::Return(Some(t1.into()));
         f
@@ -156,7 +200,11 @@ mod tests {
         let mut p = Program::new();
         let mut main = Function::new("main");
         let r = main.fresh_reg();
-        main.blocks[0].insts = vec![Inst::Call { func: FuncId(1), args: vec![Operand::ImmInt(20)], dst: Some(r) }];
+        main.blocks[0].insts = vec![Inst::Call {
+            func: FuncId(1),
+            args: vec![Operand::ImmInt(20)],
+            dst: Some(r),
+        }];
         main.blocks[0].term = Terminator::Return(Some(r.into()));
         p.add_function(main);
         p.add_function(callee);
@@ -171,7 +219,10 @@ mod tests {
         assert!(p.validate().is_empty(), "{:?}", p.validate());
         let main = &p.functions[0];
         assert!(
-            main.blocks[0].insts.iter().all(|i| !matches!(i, Inst::Call { .. })),
+            main.blocks[0]
+                .insts
+                .iter()
+                .all(|i| !matches!(i, Inst::Call { .. })),
             "the call must be gone"
         );
         // param mov + 2 body insts + result mov
@@ -192,7 +243,11 @@ mod tests {
         let mut p = Program::new();
         let mut f = Function::new("main");
         let r = f.fresh_reg();
-        f.blocks[0].insts = vec![Inst::Call { func: FuncId(0), args: vec![], dst: Some(r) }];
+        f.blocks[0].insts = vec![Inst::Call {
+            func: FuncId(0),
+            args: vec![],
+            dst: Some(r),
+        }];
         f.blocks[0].term = Terminator::Return(Some(r.into()));
         p.add_function(f);
         assert_eq!(inline_small_functions(&mut p), 0);
@@ -228,8 +283,16 @@ mod tests {
         callee.params = vec![a];
         let slot = callee.fresh_frame_slot();
         callee.blocks[0].insts = vec![
-            Inst::Store { src: a.into(), addr: Address::frame(slot), ty: Ty::Int },
-            Inst::Load { dst: t, addr: Address::frame(slot), ty: Ty::Int },
+            Inst::Store {
+                src: a.into(),
+                addr: Address::frame(slot),
+                ty: Ty::Int,
+            },
+            Inst::Load {
+                dst: t,
+                addr: Address::frame(slot),
+                ty: Ty::Int,
+            },
         ];
         callee.blocks[0].term = Terminator::Return(Some(t.into()));
 
@@ -239,7 +302,11 @@ mod tests {
         inline_small_functions(&mut p);
         let main = &p.functions[0];
         assert_eq!(main.frame_words, 4);
-        let store = main.blocks[0].insts.iter().find(|i| matches!(i, Inst::Store { .. })).unwrap();
+        let store = main.blocks[0]
+            .insts
+            .iter()
+            .find(|i| matches!(i, Inst::Store { .. }))
+            .unwrap();
         if let Inst::Store { addr, .. } = store {
             assert_eq!(addr.offset, 3, "callee slot 0 becomes caller slot 3");
         }

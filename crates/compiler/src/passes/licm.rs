@@ -109,8 +109,7 @@ fn hoist_one_loop(
                 // either never defined inside the loop, or already hoisted.
                 let invariant_inputs = inst
                     .uses()
-                    .iter()
-                    .all(|u| !defined_in_loop.contains(u) || hoisted_regs.contains(u));
+                    .all(|u| !defined_in_loop.contains(&u) || hoisted_regs.contains(&u));
                 if !invariant_inputs {
                     continue;
                 }
@@ -165,7 +164,10 @@ fn hoist_one_loop(
     // Create the preheader and redirect non-back edges into the header.
     let count = hoisted_insts.len();
     let preheader = f.add_block();
-    f.blocks[preheader.index()] = Block { insts: hoisted_insts, term: Terminator::Jump(header) };
+    f.blocks[preheader.index()] = Block {
+        insts: hoisted_insts,
+        term: Terminator::Jump(header),
+    };
     let latch_set: HashSet<BlockId> = latches.iter().copied().collect();
     let block_count = f.blocks.len();
     for bi in 0..block_count {
@@ -173,7 +175,9 @@ fn hoist_one_loop(
         if bid == preheader || latch_set.contains(&bid) {
             continue;
         }
-        f.blocks[bi].term.map_targets(|t| if t == header { preheader } else { t });
+        f.blocks[bi]
+            .term
+            .map_targets(|t| if t == header { preheader } else { t });
     }
     if f.entry == header {
         f.entry = preheader;
@@ -218,21 +222,57 @@ mod tests {
         let b1 = f.add_block();
         let b2 = f.add_block();
         f.blocks[0].insts = vec![
-            Inst::Mov { dst: r0, src: Operand::ImmInt(0) },
-            Inst::Mov { dst: r1, src: Operand::ImmInt(100) },
+            Inst::Mov {
+                dst: r0,
+                src: Operand::ImmInt(0),
+            },
+            Inst::Mov {
+                dst: r1,
+                src: Operand::ImmInt(100),
+            },
         ];
         f.blocks[0].term = Terminator::Jump(b1);
         let mut body = vec![
-            Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: r2, lhs: r1.into(), rhs: Operand::ImmInt(3) },
-            Inst::Load { dst: r3, addr: Address::global(GlobalId(0), 2), ty: Ty::Int },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r0, lhs: r0.into(), rhs: r2.into() },
-            Inst::Bin { op: BinOp::Lt, ty: Ty::Int, dst: r4, lhs: r0.into(), rhs: r1.into() },
+            Inst::Bin {
+                op: BinOp::Mul,
+                ty: Ty::Int,
+                dst: r2,
+                lhs: r1.into(),
+                rhs: Operand::ImmInt(3),
+            },
+            Inst::Load {
+                dst: r3,
+                addr: Address::global(GlobalId(0), 2),
+                ty: Ty::Int,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: r0,
+                lhs: r0.into(),
+                rhs: r2.into(),
+            },
+            Inst::Bin {
+                op: BinOp::Lt,
+                ty: Ty::Int,
+                dst: r4,
+                lhs: r0.into(),
+                rhs: r1.into(),
+            },
         ];
         if with_store {
-            body.push(Inst::Store { src: r0.into(), addr: Address::global(GlobalId(0), 3), ty: Ty::Int });
+            body.push(Inst::Store {
+                src: r0.into(),
+                addr: Address::global(GlobalId(0), 3),
+                ty: Ty::Int,
+            });
         }
         f.blocks[b1.index()].insts = body;
-        f.blocks[b1.index()].term = Terminator::Branch { cond: r4, taken: b1, not_taken: b2 };
+        f.blocks[b1.index()].term = Terminator::Branch {
+            cond: r4,
+            taken: b1,
+            not_taken: b2,
+        };
         f.blocks[b2.index()].term = Terminator::Return(Some(r0.into()));
         p.add_function(f);
         p
@@ -252,7 +292,13 @@ mod tests {
         // The entry now reaches the header through the preheader.
         assert_eq!(f.blocks[0].term, Terminator::Jump(BlockId(3)));
         // The back edge still points at the header.
-        assert!(matches!(f.blocks[1].term, Terminator::Branch { taken: BlockId(1), .. }));
+        assert!(matches!(
+            f.blocks[1].term,
+            Terminator::Branch {
+                taken: BlockId(1),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -279,7 +325,10 @@ mod tests {
         let mut p = Program::new();
         let mut f = Function::new("main");
         let r = f.fresh_reg();
-        f.blocks[0].insts = vec![Inst::Mov { dst: r, src: Operand::ImmInt(1) }];
+        f.blocks[0].insts = vec![Inst::Mov {
+            dst: r,
+            src: Operand::ImmInt(1),
+        }];
         f.blocks[0].term = Terminator::Return(Some(r.into()));
         p.add_function(f);
         let before = p.clone();

@@ -22,8 +22,8 @@ pub fn propagate_copies(program: &mut Program) -> usize {
             // reg -> operand it is currently a copy of
             let mut copies: HashMap<Reg, Operand> = HashMap::new();
 
-            let resolve = |copies: &HashMap<Reg, Operand>, op: &mut Operand, count: &mut usize| {
-                match op {
+            let resolve =
+                |copies: &HashMap<Reg, Operand>, op: &mut Operand, count: &mut usize| match op {
                     Operand::Reg(r) => {
                         if let Some(replacement) = copies.get(r) {
                             *op = *replacement;
@@ -47,24 +47,24 @@ pub fn propagate_copies(program: &mut Program) -> usize {
                         }
                     }
                     _ => {}
-                }
-            };
-            let resolve_addr = |copies: &HashMap<Reg, Operand>, addr: &mut Address, count: &mut usize| {
-                if let Some(idx) = addr.index {
-                    match copies.get(&idx) {
-                        Some(Operand::Reg(r2)) => {
-                            addr.index = Some(*r2);
-                            *count += 1;
+                };
+            let resolve_addr =
+                |copies: &HashMap<Reg, Operand>, addr: &mut Address, count: &mut usize| {
+                    if let Some(idx) = addr.index {
+                        match copies.get(&idx) {
+                            Some(Operand::Reg(r2)) => {
+                                addr.index = Some(*r2);
+                                *count += 1;
+                            }
+                            Some(Operand::ImmInt(c)) => {
+                                addr.offset += *c * addr.scale;
+                                addr.index = None;
+                                *count += 1;
+                            }
+                            _ => {}
                         }
-                        Some(Operand::ImmInt(c)) => {
-                            addr.offset += *c * addr.scale;
-                            addr.index = None;
-                            *count += 1;
-                        }
-                        _ => {}
                     }
-                }
-            };
+                };
             let invalidate = |copies: &mut HashMap<Reg, Operand>, def: Reg| {
                 copies.remove(&def);
                 copies.retain(|_, v| v.as_reg() != Some(def));
@@ -104,14 +104,23 @@ pub fn propagate_copies(program: &mut Program) -> usize {
             }
 
             // Branch folding / condition rewriting with the end-of-block facts.
-            if let Terminator::Branch { cond, taken, not_taken } = block.term.clone() {
+            if let Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } = block.term.clone()
+            {
                 match copies.get(&cond) {
                     Some(Operand::ImmInt(v)) => {
                         block.term = Terminator::Jump(if *v != 0 { taken } else { not_taken });
                         rewritten += 1;
                     }
                     Some(Operand::Reg(r)) => {
-                        block.term = Terminator::Branch { cond: *r, taken, not_taken };
+                        block.term = Terminator::Branch {
+                            cond: *r,
+                            taken,
+                            not_taken,
+                        };
                         rewritten += 1;
                     }
                     _ => {}
@@ -136,14 +145,19 @@ pub fn fold_constants(program: &mut Program) -> usize {
         for block in &mut f.blocks {
             for inst in &mut block.insts {
                 let replacement = match inst {
-                    Inst::Bin { op, ty, dst, lhs, rhs } => {
-                        match (operand_value(lhs), operand_value(rhs)) {
-                            (Some(a), Some(b)) => {
-                                Some(Inst::Mov { dst: *dst, src: value_operand(eval_bin(*op, *ty, a, b)) })
-                            }
-                            _ => algebraic_identity(*op, *ty, *dst, lhs, rhs),
-                        }
-                    }
+                    Inst::Bin {
+                        op,
+                        ty,
+                        dst,
+                        lhs,
+                        rhs,
+                    } => match (operand_value(lhs), operand_value(rhs)) {
+                        (Some(a), Some(b)) => Some(Inst::Mov {
+                            dst: *dst,
+                            src: value_operand(eval_bin(*op, *ty, a, b)),
+                        }),
+                        _ => algebraic_identity(*op, *ty, *dst, lhs, rhs),
+                    },
                     Inst::Un { op, ty, dst, src } => operand_value(src).map(|v| Inst::Mov {
                         dst: *dst,
                         src: value_operand(eval_un(*op, *ty, v)),
@@ -167,7 +181,14 @@ pub fn reduce_strength(program: &mut Program) -> usize {
     for f in &mut program.functions {
         for block in &mut f.blocks {
             for inst in &mut block.insts {
-                if let Inst::Bin { op: op @ BinOp::Mul, ty: Ty::Int, lhs, rhs, .. } = inst {
+                if let Inst::Bin {
+                    op: op @ BinOp::Mul,
+                    ty: Ty::Int,
+                    lhs,
+                    rhs,
+                    ..
+                } = inst
+                {
                     // Normalize the constant to the right-hand side.
                     if matches!(lhs, Operand::ImmInt(_)) && !matches!(rhs, Operand::ImmInt(_)) {
                         std::mem::swap(lhs, rhs);
@@ -218,7 +239,12 @@ pub fn eliminate_common_subexpressions(program: &mut Program) -> usize {
         }
     }
     fn mem_key(a: &Address) -> MemKey {
-        MemKey { base: a.base, offset: a.offset, index: a.index.map(|r| r.0), scale: a.scale }
+        MemKey {
+            base: a.base,
+            offset: a.offset,
+            index: a.index.map(|r| r.0),
+            scale: a.scale,
+        }
     }
     fn key_mentions(key: &Key, reg: Reg) -> bool {
         let opk = OperandKey::Reg(reg.0);
@@ -236,7 +262,9 @@ pub fn eliminate_common_subexpressions(program: &mut Program) -> usize {
             for inst in &mut block.insts {
                 // Compute this instruction's key before considering its def.
                 let key = match inst {
-                    Inst::Bin { op, ty, lhs, rhs, .. } => {
+                    Inst::Bin {
+                        op, ty, lhs, rhs, ..
+                    } => {
                         match (operand_key(lhs), operand_key(rhs)) {
                             (Some(mut a), Some(mut b)) => {
                                 if op.is_commutative() {
@@ -264,7 +292,10 @@ pub fn eliminate_common_subexpressions(program: &mut Program) -> usize {
                 if let (Some(k), Some(dst)) = (key, inst.def()) {
                     if let Some(&prev) = available.get(&k) {
                         if prev != dst {
-                            *inst = Inst::Mov { dst, src: prev.into() };
+                            *inst = Inst::Mov {
+                                dst,
+                                src: prev.into(),
+                            };
                             removed += 1;
                         }
                     } else {
@@ -333,9 +364,10 @@ fn algebraic_identity(op: BinOp, ty: Ty, dst: Reg, lhs: &Operand, rhs: &Operand)
         | (BinOp::Xor, None, Some(0)) => mov(*lhs),
         (BinOp::Mul, Some(1), None) => mov(*rhs),
         (BinOp::Mul, None, Some(1)) | (BinOp::Div, None, Some(1)) => mov(*lhs),
-        (BinOp::Mul, Some(0), None) | (BinOp::Mul, None, Some(0)) | (BinOp::And, None, Some(0)) | (BinOp::And, Some(0), None) => {
-            mov(Operand::ImmInt(0))
-        }
+        (BinOp::Mul, Some(0), None)
+        | (BinOp::Mul, None, Some(0))
+        | (BinOp::And, None, Some(0))
+        | (BinOp::And, Some(0), None) => mov(Operand::ImmInt(0)),
         _ => None,
     }
 }
@@ -364,9 +396,21 @@ mod tests {
             let r1 = f.fresh_reg();
             let r2 = f.fresh_reg();
             vec![
-                Inst::Mov { dst: r0, src: Operand::ImmInt(6) },
-                Inst::Mov { dst: r1, src: r0.into() },
-                Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: r2, lhs: r1.into(), rhs: Operand::ImmInt(7) },
+                Inst::Mov {
+                    dst: r0,
+                    src: Operand::ImmInt(6),
+                },
+                Inst::Mov {
+                    dst: r1,
+                    src: r0.into(),
+                },
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: Ty::Int,
+                    dst: r2,
+                    lhs: r1.into(),
+                    rhs: Operand::ImmInt(7),
+                },
                 Inst::Print { src: r2.into() },
             ]
         });
@@ -376,7 +420,10 @@ mod tests {
         assert_eq!(folded, 1);
         assert!(matches!(
             p.functions[0].blocks[0].insts[2],
-            Inst::Mov { src: Operand::ImmInt(42), .. }
+            Inst::Mov {
+                src: Operand::ImmInt(42),
+                ..
+            }
         ));
     }
 
@@ -384,12 +431,19 @@ mod tests {
     fn branch_on_constant_condition_is_folded_to_a_jump() {
         let mut p = single_block_program(|f| {
             let c = f.fresh_reg();
-            vec![Inst::Mov { dst: c, src: Operand::ImmInt(0) }]
+            vec![Inst::Mov {
+                dst: c,
+                src: Operand::ImmInt(0),
+            }]
         });
         let b1 = p.functions[0].add_block();
         let b2 = p.functions[0].add_block();
         let cond = Reg(0);
-        p.functions[0].blocks[0].term = Terminator::Branch { cond, taken: b1, not_taken: b2 };
+        p.functions[0].blocks[0].term = Terminator::Branch {
+            cond,
+            taken: b1,
+            not_taken: b2,
+        };
         propagate_copies(&mut p);
         assert_eq!(p.functions[0].blocks[0].term, Terminator::Jump(b2));
     }
@@ -402,21 +456,50 @@ mod tests {
             let r2 = f.fresh_reg();
             let r3 = f.fresh_reg();
             vec![
-                Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: r1, lhs: r0.into(), rhs: Operand::ImmInt(8) },
-                Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: r2, lhs: Operand::ImmInt(16), rhs: r0.into() },
-                Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: r3, lhs: r0.into(), rhs: Operand::ImmInt(6) },
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: Ty::Int,
+                    dst: r1,
+                    lhs: r0.into(),
+                    rhs: Operand::ImmInt(8),
+                },
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: Ty::Int,
+                    dst: r2,
+                    lhs: Operand::ImmInt(16),
+                    rhs: r0.into(),
+                },
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: Ty::Int,
+                    dst: r3,
+                    lhs: r0.into(),
+                    rhs: Operand::ImmInt(6),
+                },
             ]
         });
         assert_eq!(reduce_strength(&mut p), 2);
         assert!(matches!(
             p.functions[0].blocks[0].insts[0],
-            Inst::Bin { op: BinOp::Shl, rhs: Operand::ImmInt(3), .. }
+            Inst::Bin {
+                op: BinOp::Shl,
+                rhs: Operand::ImmInt(3),
+                ..
+            }
         ));
         assert!(matches!(
             p.functions[0].blocks[0].insts[1],
-            Inst::Bin { op: BinOp::Shl, rhs: Operand::ImmInt(4), .. }
+            Inst::Bin {
+                op: BinOp::Shl,
+                rhs: Operand::ImmInt(4),
+                ..
+            }
         ));
-        assert!(matches!(p.functions[0].blocks[0].insts[2], Inst::Bin { op: BinOp::Mul, .. }));
+        assert!(matches!(
+            p.functions[0].blocks[0].insts[2],
+            Inst::Bin { op: BinOp::Mul, .. }
+        ));
     }
 
     #[test]
@@ -426,9 +509,27 @@ mod tests {
             let r1 = f.fresh_reg();
             let r2 = f.fresh_reg();
             vec![
-                Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r1, lhs: r0.into(), rhs: Operand::ImmInt(0) },
-                Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: r2, lhs: r0.into(), rhs: Operand::ImmInt(0) },
-                Inst::Bin { op: BinOp::Add, ty: Ty::Float, dst: r2, lhs: r0.into(), rhs: Operand::ImmFloat(0.0) },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::Int,
+                    dst: r1,
+                    lhs: r0.into(),
+                    rhs: Operand::ImmInt(0),
+                },
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: Ty::Int,
+                    dst: r2,
+                    lhs: r0.into(),
+                    rhs: Operand::ImmInt(0),
+                },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::Float,
+                    dst: r2,
+                    lhs: r0.into(),
+                    rhs: Operand::ImmFloat(0.0),
+                },
             ]
         });
         assert_eq!(fold_constants(&mut p), 2, "float identity must not fold");
@@ -446,20 +547,57 @@ mod tests {
             let l2 = f.fresh_reg();
             let l3 = f.fresh_reg();
             vec![
-                Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: x, lhs: a.into(), rhs: b.into() },
-                Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: y, lhs: b.into(), rhs: a.into() },
-                Inst::Load { dst: l1, addr: Address::global(g, 3), ty: Ty::Int },
-                Inst::Load { dst: l2, addr: Address::global(g, 3), ty: Ty::Int },
-                Inst::Store { src: x.into(), addr: Address::global(g, 0), ty: Ty::Int },
-                Inst::Load { dst: l3, addr: Address::global(g, 3), ty: Ty::Int },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::Int,
+                    dst: x,
+                    lhs: a.into(),
+                    rhs: b.into(),
+                },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::Int,
+                    dst: y,
+                    lhs: b.into(),
+                    rhs: a.into(),
+                },
+                Inst::Load {
+                    dst: l1,
+                    addr: Address::global(g, 3),
+                    ty: Ty::Int,
+                },
+                Inst::Load {
+                    dst: l2,
+                    addr: Address::global(g, 3),
+                    ty: Ty::Int,
+                },
+                Inst::Store {
+                    src: x.into(),
+                    addr: Address::global(g, 0),
+                    ty: Ty::Int,
+                },
+                Inst::Load {
+                    dst: l3,
+                    addr: Address::global(g, 3),
+                    ty: Ty::Int,
+                },
             ]
         });
         let removed = eliminate_common_subexpressions(&mut p);
         assert_eq!(removed, 2, "commutative add and one redundant load");
-        assert!(matches!(p.functions[0].blocks[0].insts[1], Inst::Mov { .. }));
-        assert!(matches!(p.functions[0].blocks[0].insts[3], Inst::Mov { .. }));
+        assert!(matches!(
+            p.functions[0].blocks[0].insts[1],
+            Inst::Mov { .. }
+        ));
+        assert!(matches!(
+            p.functions[0].blocks[0].insts[3],
+            Inst::Mov { .. }
+        ));
         // The load after the store must NOT be removed.
-        assert!(matches!(p.functions[0].blocks[0].insts[5], Inst::Load { .. }));
+        assert!(matches!(
+            p.functions[0].blocks[0].insts[5],
+            Inst::Load { .. }
+        ));
     }
 
     #[test]
@@ -469,9 +607,27 @@ mod tests {
             let x = f.fresh_reg();
             let y = f.fresh_reg();
             vec![
-                Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: x, lhs: a.into(), rhs: Operand::ImmInt(1) },
-                Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: a, lhs: a.into(), rhs: Operand::ImmInt(5) },
-                Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: y, lhs: a.into(), rhs: Operand::ImmInt(1) },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::Int,
+                    dst: x,
+                    lhs: a.into(),
+                    rhs: Operand::ImmInt(1),
+                },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::Int,
+                    dst: a,
+                    lhs: a.into(),
+                    rhs: Operand::ImmInt(5),
+                },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::Int,
+                    dst: y,
+                    lhs: a.into(),
+                    rhs: Operand::ImmInt(1),
+                },
             ]
         });
         assert_eq!(eliminate_common_subexpressions(&mut p), 0);
@@ -482,12 +638,20 @@ mod tests {
     fn constant_unary_folds() {
         let mut p = single_block_program(|f| {
             let r = f.fresh_reg();
-            vec![Inst::Un { op: UnOp::Neg, ty: Ty::Int, dst: r, src: Operand::ImmInt(5) }]
+            vec![Inst::Un {
+                op: UnOp::Neg,
+                ty: Ty::Int,
+                dst: r,
+                src: Operand::ImmInt(5),
+            }]
         });
         assert_eq!(fold_constants(&mut p), 1);
         assert!(matches!(
             p.functions[0].blocks[0].insts[0],
-            Inst::Mov { src: Operand::ImmInt(-5), .. }
+            Inst::Mov {
+                src: Operand::ImmInt(-5),
+                ..
+            }
         ));
     }
 }

@@ -70,7 +70,11 @@ mod tests {
         f.assign_var("a", Expr::int(10));
         f.assign_var("b", Expr::mul(Expr::var("a"), Expr::int(4)));
         f.for_loop("i", Expr::int(0), Expr::int(32), |b| {
-            b.assign_index("buf", Expr::var("i"), Expr::add(Expr::var("b"), Expr::var("i")));
+            b.assign_index(
+                "buf",
+                Expr::var("i"),
+                Expr::add(Expr::var("b"), Expr::var("i")),
+            );
             // The repeated `b + i` sub-expression is what local CSE removes.
             b.assign_var(
                 "c",
@@ -96,10 +100,16 @@ mod tests {
         run_pipeline(&mut o1, OptLevel::O1, &mut s1);
         run_pipeline(&mut o2, OptLevel::O2, &mut s2);
         assert!(static_insts(&o1) <= static_insts(&base));
-        assert!(static_insts(&o2) <= static_insts(&o1) + 2, "scheduling must not add instructions");
+        assert!(
+            static_insts(&o2) <= static_insts(&o1) + 2,
+            "scheduling must not add instructions"
+        );
         assert!(o1.validate().is_empty());
         assert!(o2.validate().is_empty());
-        assert!(s2.cse_removed + s2.licm_hoisted > 0, "O2-only passes should fire: {s2:?}");
+        assert!(
+            s2.cse_removed + s2.licm_hoisted > 0,
+            "O2-only passes should fire: {s2:?}"
+        );
     }
 
     #[test]

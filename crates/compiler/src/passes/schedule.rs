@@ -51,12 +51,13 @@ fn schedule_order(insts: &[Inst]) -> Vec<usize> {
     // Build dependence edges i -> j (i must precede j).
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let add_edge = |from: usize, to: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
-        if !preds[to].contains(&from) {
-            preds[to].push(from);
-            succs[from].push(to);
-        }
-    };
+    let add_edge =
+        |from: usize, to: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
+            if !preds[to].contains(&from) {
+                preds[to].push(from);
+                succs[from].push(to);
+            }
+        };
 
     let is_barrier = |i: &Inst| matches!(i, Inst::Call { .. } | Inst::Print { .. });
 
@@ -192,10 +193,26 @@ mod tests {
         // r0 = load g[0]; r1 = 1; r2 = 2; r3 = r0 + 1   (load should stay first,
         // and the adds that do not depend on it cannot move above their defs)
         let insts = vec![
-            Inst::Mov { dst: Reg(1), src: Operand::ImmInt(1) },
-            Inst::Mov { dst: Reg(2), src: Operand::ImmInt(2) },
-            Inst::Load { dst: Reg(0), addr: Address::global(g, 0), ty: Ty::Int },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: Reg(3), lhs: Reg(0).into(), rhs: Operand::ImmInt(1) },
+            Inst::Mov {
+                dst: Reg(1),
+                src: Operand::ImmInt(1),
+            },
+            Inst::Mov {
+                dst: Reg(2),
+                src: Operand::ImmInt(2),
+            },
+            Inst::Load {
+                dst: Reg(0),
+                addr: Address::global(g, 0),
+                ty: Ty::Int,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: Reg(3),
+                lhs: Reg(0).into(),
+                rhs: Operand::ImmInt(1),
+            },
         ];
         let mut p = program_with_block(insts, 4);
         schedule_blocks(&mut p);
@@ -203,7 +220,11 @@ mod tests {
         // The load has the tallest critical path, so it is scheduled first.
         assert!(matches!(b.insts[0], Inst::Load { .. }));
         // Its dependent add is still after it.
-        let load_pos = b.insts.iter().position(|i| matches!(i, Inst::Load { .. })).unwrap();
+        let load_pos = b
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Load { .. }))
+            .unwrap();
         let add_pos = b
             .insts
             .iter()
@@ -218,22 +239,43 @@ mod tests {
         use bsg_ir::types::Reg;
         let g = GlobalId(0);
         let insts = vec![
-            Inst::Store { src: Operand::ImmInt(7), addr: Address::global(g, 0), ty: Ty::Int },
-            Inst::Load { dst: Reg(0), addr: Address::global(g, 0), ty: Ty::Int },
-            Inst::Store { src: Reg(0).into(), addr: Address::global(g, 1), ty: Ty::Int },
+            Inst::Store {
+                src: Operand::ImmInt(7),
+                addr: Address::global(g, 0),
+                ty: Ty::Int,
+            },
+            Inst::Load {
+                dst: Reg(0),
+                addr: Address::global(g, 0),
+                ty: Ty::Int,
+            },
+            Inst::Store {
+                src: Reg(0).into(),
+                addr: Address::global(g, 1),
+                ty: Ty::Int,
+            },
         ];
         let mut p = program_with_block(insts.clone(), 1);
         schedule_blocks(&mut p);
-        assert_eq!(p.functions[0].blocks[0].insts, insts, "memory order must be preserved");
+        assert_eq!(
+            p.functions[0].blocks[0].insts, insts,
+            "memory order must be preserved"
+        );
     }
 
     #[test]
     fn prints_are_barriers() {
         use bsg_ir::types::Reg;
         let insts = vec![
-            Inst::Mov { dst: Reg(0), src: Operand::ImmInt(1) },
+            Inst::Mov {
+                dst: Reg(0),
+                src: Operand::ImmInt(1),
+            },
             Inst::Print { src: Reg(0).into() },
-            Inst::Mov { dst: Reg(1), src: Operand::ImmInt(2) },
+            Inst::Mov {
+                dst: Reg(1),
+                src: Operand::ImmInt(2),
+            },
             Inst::Print { src: Reg(1).into() },
         ];
         let mut p = program_with_block(insts.clone(), 2);
@@ -245,15 +287,31 @@ mod tests {
     fn war_and_waw_hazards_are_respected() {
         use bsg_ir::types::Reg;
         let insts = vec![
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: Reg(1), lhs: Reg(0).into(), rhs: Operand::ImmInt(1) },
-            Inst::Mov { dst: Reg(0), src: Operand::ImmInt(5) }, // WAR with the read of r0 above
-            Inst::Mov { dst: Reg(1), src: Operand::ImmInt(9) }, // WAW with the first def
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: Reg(1),
+                lhs: Reg(0).into(),
+                rhs: Operand::ImmInt(1),
+            },
+            Inst::Mov {
+                dst: Reg(0),
+                src: Operand::ImmInt(5),
+            }, // WAR with the read of r0 above
+            Inst::Mov {
+                dst: Reg(1),
+                src: Operand::ImmInt(9),
+            }, // WAW with the first def
             Inst::Print { src: Reg(1).into() },
         ];
         let mut p = program_with_block(insts, 2);
         schedule_blocks(&mut p);
         let b = &p.functions[0].blocks[0];
-        let first_def = b.insts.iter().position(|i| matches!(i, Inst::Bin { .. })).unwrap();
+        let first_def = b
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Bin { .. }))
+            .unwrap();
         let redefine_r0 = b
             .insts
             .iter()
@@ -262,7 +320,15 @@ mod tests {
         let redefine_r1 = b
             .insts
             .iter()
-            .position(|i| matches!(i, Inst::Mov { dst: Reg(1), src: Operand::ImmInt(9) }))
+            .position(|i| {
+                matches!(
+                    i,
+                    Inst::Mov {
+                        dst: Reg(1),
+                        src: Operand::ImmInt(9)
+                    }
+                )
+            })
             .unwrap();
         assert!(redefine_r0 > first_def);
         assert!(redefine_r1 > first_def);
@@ -271,7 +337,10 @@ mod tests {
     #[test]
     fn tiny_blocks_are_left_alone() {
         use bsg_ir::types::Reg;
-        let insts = vec![Inst::Mov { dst: Reg(0), src: Operand::ImmInt(1) }];
+        let insts = vec![Inst::Mov {
+            dst: Reg(0),
+            src: Operand::ImmInt(1),
+        }];
         let mut p = program_with_block(insts.clone(), 1);
         assert_eq!(schedule_blocks(&mut p), 0);
         assert_eq!(p.functions[0].blocks[0].insts, insts);

@@ -206,9 +206,15 @@ mod tests {
         let b1 = f.add_block();
         let b2 = f.add_block();
         for (i, &r) in regs.iter().enumerate() {
-            f.blocks[0].insts.push(Inst::Mov { dst: r, src: Operand::ImmInt(i as i64) });
+            f.blocks[0].insts.push(Inst::Mov {
+                dst: r,
+                src: Operand::ImmInt(i as i64),
+            });
         }
-        f.blocks[0].insts.push(Inst::Mov { dst: acc, src: Operand::ImmInt(0) });
+        f.blocks[0].insts.push(Inst::Mov {
+            dst: acc,
+            src: Operand::ImmInt(0),
+        });
         f.blocks[0].term = Terminator::Jump(b1);
         for &r in &regs {
             f.blocks[b1.index()].insts.push(Inst::Bin {
@@ -226,7 +232,11 @@ mod tests {
             lhs: acc.into(),
             rhs: Operand::ImmInt(1000),
         });
-        f.blocks[b1.index()].term = Terminator::Branch { cond, taken: b1, not_taken: b2 };
+        f.blocks[b1.index()].term = Terminator::Branch {
+            cond,
+            taken: b1,
+            not_taken: b2,
+        };
         f.blocks[b2.index()].term = Terminator::Return(Some(acc.into()));
         p.add_function(f);
         p
@@ -244,7 +254,10 @@ mod tests {
         let mut p14 = pressure_function(20);
         let spills_x86 = allocate(&mut p6, 6);
         let spills_x86_64 = allocate(&mut p14, 14);
-        assert!(spills_x86 > spills_x86_64, "{spills_x86} vs {spills_x86_64}");
+        assert!(
+            spills_x86 > spills_x86_64,
+            "{spills_x86} vs {spills_x86_64}"
+        );
         assert!(spills_x86_64 > 0);
         assert!(p6.validate().is_empty());
         assert!(p14.validate().is_empty());
@@ -266,7 +279,10 @@ mod tests {
             .iter()
             .filter(|i| matches!(i, Inst::Load { dst, .. } if *dst == acc))
             .count();
-        assert_eq!(reloads_of_acc, 0, "the hottest value should stay in a register");
+        assert_eq!(
+            reloads_of_acc, 0,
+            "the hottest value should stay in a register"
+        );
     }
 
     #[test]
@@ -297,6 +313,9 @@ mod tests {
             .iter()
             .filter(|i| matches!(i, Inst::Store { .. }))
             .count();
-        assert!(entry_stores >= 1, "spilled parameters are stored in the prologue");
+        assert!(
+            entry_stores >= 1,
+            "spilled parameters are stored in the prologue"
+        );
     }
 }

@@ -62,7 +62,10 @@ impl Default for SynthesisConfig {
 impl SynthesisConfig {
     /// A configuration with the given reduction factor and defaults otherwise.
     pub fn with_reduction(reduction_factor: u64) -> Self {
-        SynthesisConfig { reduction_factor, ..Default::default() }
+        SynthesisConfig {
+            reduction_factor,
+            ..Default::default()
+        }
     }
 }
 
@@ -120,7 +123,11 @@ struct Generator<'a> {
 }
 
 impl<'a> Generator<'a> {
-    fn new(profile: &'a StatisticalProfile, scaled: &'a ScaledSfgl, config: &'a SynthesisConfig) -> Self {
+    fn new(
+        profile: &'a StatisticalProfile,
+        scaled: &'a ScaledSfgl,
+        config: &'a SynthesisConfig,
+    ) -> Self {
         Generator {
             profile,
             scaled,
@@ -171,7 +178,11 @@ impl<'a> Generator<'a> {
         };
         let mut buckets: Vec<Vec<Vec<Stmt>>> = vec![Vec::new(); func_count];
         for (i, seg) in segments.into_iter().enumerate() {
-            let b = if func_count > 1 { self.rng.gen_range(0..func_count) } else { 0 };
+            let b = if func_count > 1 {
+                self.rng.gen_range(0..func_count)
+            } else {
+                0
+            };
             buckets[(b + i) % func_count].push(seg);
         }
 
@@ -201,7 +212,10 @@ impl<'a> Generator<'a> {
             main.call(name, vec![]);
         }
         main.if_then(
-            Expr::eq(Expr::index(MemoryGenerator::stream_name(0), Expr::int(0)), Expr::int(0x99)),
+            Expr::eq(
+                Expr::index(MemoryGenerator::stream_name(0), Expr::int(0)),
+                Expr::int(0x99),
+            ),
             |t| {
                 t.print(Expr::index(MemoryGenerator::stream_name(0), Expr::int(1)));
             },
@@ -245,7 +259,11 @@ impl<'a> Generator<'a> {
             }
             target -= count;
         }
-        *self.remaining.keys().next().expect("remaining is non-empty")
+        *self
+            .remaining
+            .keys()
+            .next()
+            .expect("remaining is non-empty")
     }
 
     /// The outermost surviving loop containing `node`, if any.
@@ -292,8 +310,12 @@ impl<'a> Generator<'a> {
         let header_count = self.scaled.count(l.header).max(1);
 
         let mut body = StmtBuilder::new();
-        let own_blocks: Vec<NodeKey> =
-            l.blocks.iter().filter(|b| !nested_blocks.contains(b)).copied().collect();
+        let own_blocks: Vec<NodeKey> = l
+            .blocks
+            .iter()
+            .filter(|b| !nested_blocks.contains(b))
+            .copied()
+            .collect();
         for node in own_blocks {
             let stmts = self.generate_block_statements(node, Some(var.as_str()));
             let p = self.scaled.count(node) as f64 / header_count as f64;
@@ -321,7 +343,11 @@ impl<'a> Generator<'a> {
                 // Conditionally executed block: model the controlling branch.
                 let cond = self.branch_condition(node, &var, p);
                 self.stats.generated_ifs += 1;
-                body.push(Stmt::If { cond, then_branch: stmts, else_branch: Vec::new() });
+                body.push(Stmt::If {
+                    cond,
+                    then_branch: stmts,
+                    else_branch: Vec::new(),
+                });
             }
         }
         // Nested loops are generated inside, after this loop's own blocks.
@@ -337,13 +363,18 @@ impl<'a> Generator<'a> {
             let evar = format!("i{}", self.loop_counter);
             self.loop_counter += 1;
             self.stats.generated_loops += 1;
-            out.for_loop(evar.as_str(), Expr::int(0), Expr::int(entries as i64), |outer| {
-                outer.for_loop(var.as_str(), Expr::int(0), Expr::int(trip), |b| {
-                    for s in body.clone().finish() {
-                        b.push(s);
-                    }
-                });
-            });
+            out.for_loop(
+                evar.as_str(),
+                Expr::int(0),
+                Expr::int(entries as i64),
+                |outer| {
+                    outer.for_loop(var.as_str(), Expr::int(0), Expr::int(trip), |b| {
+                        for s in body.clone().finish() {
+                            b.push(s);
+                        }
+                    });
+                },
+            );
         } else {
             out.for_loop(var.as_str(), Expr::int(0), Expr::int(trip), |b| {
                 for s in body.finish() {
@@ -358,8 +389,16 @@ impl<'a> Generator<'a> {
     /// branches use a modulo of the loop iterator derived from the transition
     /// rate; easy branches use a coarser periodic test matching the taken rate.
     fn branch_condition(&mut self, node: NodeKey, loop_var: &str, participation: f64) -> Expr {
-        let branch = self.profile.terminator_branch(node).copied().unwrap_or_default();
-        let p = if branch.executed > 0 { branch.taken_rate() } else { participation };
+        let branch = self
+            .profile
+            .terminator_branch(node)
+            .copied()
+            .unwrap_or_default();
+        let p = if branch.executed > 0 {
+            branch.taken_rate()
+        } else {
+            participation
+        };
         let period = if p <= 0.0 {
             i64::MAX
         } else {
@@ -371,9 +410,15 @@ impl<'a> Generator<'a> {
             // the outcome flips frequently.
             let t = branch.transition_rate().clamp(0.05, 1.0);
             let k = ((2.0 / t).round() as i64).clamp(2, 16);
-            Expr::eq(Expr::bin(BinOp::Rem, Expr::var(loop_var), Expr::int(k)), Expr::int(0))
+            Expr::eq(
+                Expr::bin(BinOp::Rem, Expr::var(loop_var), Expr::int(k)),
+                Expr::int(0),
+            )
         } else {
-            Expr::lt(Expr::bin(BinOp::Rem, Expr::var(loop_var), Expr::int(period)), Expr::int(1))
+            Expr::lt(
+                Expr::bin(BinOp::Rem, Expr::var(loop_var), Expr::int(period)),
+                Expr::int(1),
+            )
         }
     }
 
@@ -383,7 +428,9 @@ impl<'a> Generator<'a> {
         let mut out = Vec::new();
         let mut node = start;
         for _ in 0..16 {
-            let Some(count) = self.remaining.get_mut(&node) else { break };
+            let Some(count) = self.remaining.get_mut(&node) else {
+                break;
+            };
             *count = count.saturating_sub(1);
             if *count == 0 {
                 self.remaining.remove(&node);
@@ -412,7 +459,12 @@ impl<'a> Generator<'a> {
     /// Populates one generated block with C statements via pattern
     /// recognition over the profiled instruction descriptors (§III-B.4).
     fn generate_block_statements(&mut self, node: NodeKey, loop_var: Option<&str>) -> Vec<Stmt> {
-        let descs = self.profile.block_code.get(&node).cloned().unwrap_or_default();
+        let descs = self
+            .profile
+            .block_code
+            .get(&node)
+            .cloned()
+            .unwrap_or_default();
         let mut budget = BlockBudget::from_descriptors(&descs);
         self.coverable += budget.coverable() as u64;
         let mem_classes: Vec<u8> = {
@@ -462,10 +514,7 @@ impl<'a> Generator<'a> {
             PatternKind::LoadStore => {
                 let (dst, di) = mem(self, cursor);
                 let (src, si) = mem(self, cursor);
-                Stmt::assign(
-                    bsg_ir::hll::LValue::index(dst, di),
-                    Expr::index(src, si),
-                )
+                Stmt::assign(bsg_ir::hll::LValue::index(dst, di), Expr::index(src, si))
             }
             PatternKind::LoadArithStore => {
                 let (dst, di) = mem(self, cursor);
@@ -505,7 +554,11 @@ impl<'a> Generator<'a> {
             }
             PatternKind::ScalarArith => Stmt::assign_var(
                 scalar.clone(),
-                Expr::bin(op, Expr::bin(self.pick_int_op(), Expr::var(scalar), Expr::var(scalar2)), cst),
+                Expr::bin(
+                    op,
+                    Expr::bin(self.pick_int_op(), Expr::var(scalar), Expr::var(scalar2)),
+                    cst,
+                ),
             ),
             PatternKind::FloatArith => Stmt::assign_var(
                 format!("fv{}", self.rng.gen_range(0..3)),
@@ -548,11 +601,21 @@ mod tests {
         let mut main = FunctionBuilder::new("main");
         main.assign_var("acc", Expr::int(0));
         main.for_loop("i", Expr::int(0), Expr::int(2000), |b| {
-            b.assign_index("data", Expr::var("i"), Expr::add(Expr::var("i"), Expr::int(3)));
+            b.assign_index(
+                "data",
+                Expr::var("i"),
+                Expr::add(Expr::var("i"), Expr::int(3)),
+            );
             b.if_then(
-                Expr::lt(Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(3)), Expr::int(1)),
+                Expr::lt(
+                    Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(3)),
+                    Expr::int(1),
+                ),
                 |t| {
-                    t.assign_var("acc", Expr::add(Expr::var("acc"), Expr::index("data", Expr::var("i"))));
+                    t.assign_var(
+                        "acc",
+                        Expr::add(Expr::var("acc"), Expr::index("data", Expr::var("i"))),
+                    );
                 },
             );
         });
@@ -573,7 +636,8 @@ mod tests {
         // The clone compiles and runs at every optimization level, and is much
         // shorter than the original.
         for level in OptLevel::ALL {
-            let compiled = compile(&synth.hll, &CompileOptions::portable(level)).expect("clone compiles");
+            let compiled =
+                compile(&synth.hll, &CompileOptions::portable(level)).expect("clone compiles");
             let out = bsg_uarch::exec::run(&compiled.program);
             assert!(out.completed);
             if level == OptLevel::O0 {
@@ -596,7 +660,10 @@ mod tests {
         let mut config = SynthesisConfig::with_reduction(10);
         config.seed = 999;
         let c = synthesize(&profile, &config);
-        assert_ne!(a.c_source, c.c_source, "a different seed gives a different clone");
+        assert_ne!(
+            a.c_source, c.c_source,
+            "a different seed gives a different clone"
+        );
     }
 
     #[test]
@@ -626,7 +693,13 @@ mod tests {
     fn clone_does_not_reuse_original_identifiers() {
         let profile = example_profile();
         let synth = synthesize(&profile, &SynthesisConfig::with_reduction(10));
-        assert!(!synth.c_source.contains("data"), "original array names must not leak");
-        assert!(!synth.c_source.contains("acc"), "original variable names must not leak");
+        assert!(
+            !synth.c_source.contains("data"),
+            "original array names must not leak"
+        );
+        assert!(
+            !synth.c_source.contains("acc"),
+            "original variable names must not leak"
+        );
     }
 }

@@ -38,7 +38,10 @@ pub fn table1() -> Vec<StrideClass> {
             } else if class == 8 {
                 (1.0 - width / 2.0, 1.0)
             } else {
-                (class as f64 * width - width / 2.0, class as f64 * width + width / 2.0)
+                (
+                    class as f64 * width - width / 2.0,
+                    class as f64 * width + width / 2.0,
+                )
             };
             StrideClass {
                 class,
@@ -66,7 +69,11 @@ impl MemoryGenerator {
     /// The default (16384 elements = 64 KB per stream) comfortably exceeds the
     /// cache sizes studied in the paper, so the per-class miss rates hold.
     pub fn new(elems: usize) -> Self {
-        MemoryGenerator { elems: elems.max(64), offsets: [0; 9], used: [false; 9] }
+        MemoryGenerator {
+            elems: elems.max(64),
+            offsets: [0; 9],
+            used: [false; 9],
+        }
     }
 
     /// The stream array name for a class.
@@ -136,7 +143,12 @@ mod tests {
         // The class boundaries agree with the classifier in bsg-profile.
         for row in &t {
             let mid = (row.miss_rate_low + row.miss_rate_high) / 2.0;
-            assert_eq!(miss_rate_class(mid), row.class, "midpoint of class {}", row.class);
+            assert_eq!(
+                miss_rate_class(mid),
+                row.class,
+                "midpoint of class {}",
+                row.class
+            );
         }
     }
 
@@ -146,7 +158,10 @@ mod tests {
         let (name, idx) = g.reference(4, Some("i"));
         assert_eq!(name, "mStream4");
         let text = format!("{idx:?}");
-        assert!(text.contains("Rem"), "strided reference uses a modulo index: {text}");
+        assert!(
+            text.contains("Rem"),
+            "strided reference uses a modulo index: {text}"
+        );
         let (name0, idx0) = g.reference(0, Some("i"));
         assert_eq!(name0, "mStream0");
         assert!(matches!(idx0, Expr::Int(_)), "class 0 uses a fixed element");

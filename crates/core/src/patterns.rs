@@ -10,8 +10,8 @@
 //! statements (§III-B.4).  Coverage is intentionally below 100%, which is one
 //! of the ways proprietary information is hidden.
 
-use bsg_profile::InstDescriptor;
 use bsg_ir::visa::InstClass;
+use bsg_profile::InstDescriptor;
 use serde::{Deserialize, Serialize};
 
 /// The statement templates of Table II.
@@ -54,14 +54,54 @@ pub struct PatternCost {
 /// The pattern table (Table II plus the scalar/float compensation templates).
 pub fn table2() -> Vec<PatternCost> {
     vec![
-        PatternCost { kind: PatternKind::LoadLoadArithLoadArithStore, loads: 3, stores: 1, ops: 2 },
-        PatternCost { kind: PatternKind::LoadLoadArithStore, loads: 2, stores: 1, ops: 1 },
-        PatternCost { kind: PatternKind::LoadArithStore, loads: 1, stores: 1, ops: 1 },
-        PatternCost { kind: PatternKind::LoadStore, loads: 1, stores: 1, ops: 0 },
-        PatternCost { kind: PatternKind::LoadCmpBranch, loads: 1, stores: 0, ops: 1 },
-        PatternCost { kind: PatternKind::Store, loads: 0, stores: 1, ops: 0 },
-        PatternCost { kind: PatternKind::ScalarArith, loads: 0, stores: 0, ops: 2 },
-        PatternCost { kind: PatternKind::FloatArith, loads: 0, stores: 0, ops: 2 },
+        PatternCost {
+            kind: PatternKind::LoadLoadArithLoadArithStore,
+            loads: 3,
+            stores: 1,
+            ops: 2,
+        },
+        PatternCost {
+            kind: PatternKind::LoadLoadArithStore,
+            loads: 2,
+            stores: 1,
+            ops: 1,
+        },
+        PatternCost {
+            kind: PatternKind::LoadArithStore,
+            loads: 1,
+            stores: 1,
+            ops: 1,
+        },
+        PatternCost {
+            kind: PatternKind::LoadStore,
+            loads: 1,
+            stores: 1,
+            ops: 0,
+        },
+        PatternCost {
+            kind: PatternKind::LoadCmpBranch,
+            loads: 1,
+            stores: 0,
+            ops: 1,
+        },
+        PatternCost {
+            kind: PatternKind::Store,
+            loads: 0,
+            stores: 1,
+            ops: 0,
+        },
+        PatternCost {
+            kind: PatternKind::ScalarArith,
+            loads: 0,
+            stores: 0,
+            ops: 2,
+        },
+        PatternCost {
+            kind: PatternKind::FloatArith,
+            loads: 0,
+            stores: 0,
+            ops: 2,
+        },
     ]
 }
 
@@ -144,7 +184,11 @@ impl BlockBudget {
             });
         }
         if self.loads > 0 {
-            return Some(if self.int_ops > 0 { PatternKind::LoadArithStore } else { PatternKind::LoadStore });
+            return Some(if self.int_ops > 0 {
+                PatternKind::LoadArithStore
+            } else {
+                PatternKind::LoadStore
+            });
         }
         if self.fp_ops > 0 {
             return Some(PatternKind::FloatArith);
@@ -158,7 +202,12 @@ impl BlockBudget {
         let cost = table2()
             .into_iter()
             .find(|p| p.kind == kind)
-            .unwrap_or(PatternCost { kind, loads: 0, stores: 0, ops: 1 });
+            .unwrap_or(PatternCost {
+                kind,
+                loads: 0,
+                stores: 0,
+                ops: 1,
+            });
         let loads = cost.loads.min(self.loads);
         let stores = cost.stores.min(self.stores);
         let (int_ops, fp_ops) = if kind == PatternKind::FloatArith {
@@ -180,15 +229,25 @@ mod tests {
     use bsg_ir::visa::OperandKind;
 
     fn desc(class: InstClass) -> InstDescriptor {
-        InstDescriptor { class, operands: vec![OperandKind::Register], is_float: class.is_float() }
+        InstDescriptor {
+            class,
+            operands: vec![OperandKind::Register],
+            is_float: class.is_float(),
+        }
     }
 
     #[test]
     fn table2_has_the_papers_memory_patterns() {
         let t = table2();
-        assert!(t.iter().any(|p| p.kind == PatternKind::LoadLoadArithLoadArithStore && p.loads == 3));
-        assert!(t.iter().any(|p| p.kind == PatternKind::LoadStore && p.loads == 1 && p.stores == 1));
-        assert!(t.iter().any(|p| p.kind == PatternKind::Store && p.loads == 0));
+        assert!(t
+            .iter()
+            .any(|p| p.kind == PatternKind::LoadLoadArithLoadArithStore && p.loads == 3));
+        assert!(t
+            .iter()
+            .any(|p| p.kind == PatternKind::LoadStore && p.loads == 1 && p.stores == 1));
+        assert!(t
+            .iter()
+            .any(|p| p.kind == PatternKind::Store && p.loads == 0));
         assert!(t.iter().any(|p| p.kind == PatternKind::LoadCmpBranch));
     }
 
@@ -218,23 +277,56 @@ mod tests {
     #[test]
     fn compensation_prefers_the_lagging_resource() {
         // Load-heavy block: the chooser picks the widest load pattern.
-        let b = BlockBudget { loads: 9, stores: 2, int_ops: 5, fp_ops: 0, uncovered: 0 };
-        assert_eq!(b.choose_pattern(), Some(PatternKind::LoadLoadArithLoadArithStore));
+        let b = BlockBudget {
+            loads: 9,
+            stores: 2,
+            int_ops: 5,
+            fp_ops: 0,
+            uncovered: 0,
+        };
+        assert_eq!(
+            b.choose_pattern(),
+            Some(PatternKind::LoadLoadArithLoadArithStore)
+        );
         // Store-heavy block: plain stores get emitted once loads run out.
-        let b = BlockBudget { loads: 0, stores: 3, int_ops: 0, fp_ops: 0, uncovered: 0 };
+        let b = BlockBudget {
+            loads: 0,
+            stores: 3,
+            int_ops: 0,
+            fp_ops: 0,
+            uncovered: 0,
+        };
         assert_eq!(b.choose_pattern(), Some(PatternKind::Store));
         // Arithmetic-only block.
-        let b = BlockBudget { loads: 0, stores: 0, int_ops: 4, fp_ops: 0, uncovered: 0 };
+        let b = BlockBudget {
+            loads: 0,
+            stores: 0,
+            int_ops: 4,
+            fp_ops: 0,
+            uncovered: 0,
+        };
         assert_eq!(b.choose_pattern(), Some(PatternKind::ScalarArith));
         // Floating point before plain scalars.
-        let b = BlockBudget { loads: 0, stores: 0, int_ops: 0, fp_ops: 2, uncovered: 0 };
+        let b = BlockBudget {
+            loads: 0,
+            stores: 0,
+            int_ops: 0,
+            fp_ops: 2,
+            uncovered: 0,
+        };
         assert_eq!(b.choose_pattern(), Some(PatternKind::FloatArith));
         assert_eq!(BlockBudget::default().choose_pattern(), None);
     }
 
     #[test]
     fn consuming_patterns_exhausts_the_budget() {
-        let mut b = BlockBudget { loads: 5, stores: 2, int_ops: 4, fp_ops: 2, uncovered: 1 };
+        let mut b = BlockBudget {
+            loads: 5,
+            stores: 2,
+            int_ops: 4,
+            fp_ops: 2,
+            uncovered: 1,
+        };
         let mut covered = 0;
         let mut statements = 0;
         while let Some(kind) = b.choose_pattern() {
@@ -243,6 +335,9 @@ mod tests {
             assert!(statements < 100, "budget must shrink every step");
         }
         assert!(b.is_exhausted());
-        assert_eq!(covered, 13, "every coverable instruction is eventually covered");
+        assert_eq!(
+            covered, 13,
+            "every coverable instruction is eventually covered"
+        );
     }
 }

@@ -41,10 +41,25 @@ impl TargetedSynthesis {
     }
 }
 
-/// Measures the `-O0` dynamic instruction count of a synthetic benchmark.
-fn measure(benchmark: &SyntheticBenchmark) -> u64 {
+/// Measures the `-O0` dynamic instruction count of a synthetic benchmark,
+/// bounded by `cap`.  A candidate clone at a too-small reduction factor can
+/// run for orders of magnitude longer than the target (loop-heavy profiles
+/// scale non-linearly), so an unbounded measurement can stall the whole
+/// harness; a capped run still tells the search everything it needs — "far
+/// too long" — and the next iteration raises the factor accordingly.
+fn measure(benchmark: &SyntheticBenchmark, cap: u64) -> u64 {
     match compile(&benchmark.hll, &CompileOptions::portable(OptLevel::O0)) {
-        Ok(compiled) => exec::run(&compiled.program).dynamic_instructions,
+        Ok(compiled) => {
+            let out = exec::execute(
+                &compiled.program,
+                &mut exec::NullObserver,
+                &exec::ExecConfig {
+                    max_instructions: cap,
+                    ..exec::ExecConfig::default()
+                },
+            );
+            out.dynamic_instructions
+        }
         Err(_) => 0,
     }
 }
@@ -59,6 +74,10 @@ pub fn synthesize_with_target(
     target_instructions: u64,
 ) -> TargetedSynthesis {
     let target = target_instructions.max(1);
+    // Cap candidate measurements well above the acceptance window so the
+    // search can distinguish "somewhat long" from "way too long" without ever
+    // running an exploded candidate to completion.
+    let cap = target.saturating_mul(64).max(1_000_000);
     let mut r = initial_reduction_factor(profile.dynamic_instructions, target);
     let mut best: Option<(u64, SyntheticBenchmark, u64)> = None;
 
@@ -66,7 +85,7 @@ pub fn synthesize_with_target(
         let mut config = base.clone();
         config.reduction_factor = r;
         let candidate = synthesize(profile, &config);
-        let measured = measure(&candidate).max(1);
+        let measured = measure(&candidate, cap).max(1);
         let error = measured.abs_diff(target);
         let is_better = best.as_ref().map(|(e, _, _)| error < *e).unwrap_or(true);
         if is_better {
@@ -97,7 +116,9 @@ pub fn synthesize_with_target(
 /// Merges several profiles into a single consolidated profile (§II-B.e).
 pub fn consolidate(profiles: &[StatisticalProfile]) -> StatisticalProfile {
     let mut iter = profiles.iter();
-    let Some(first) = iter.next() else { return StatisticalProfile::default() };
+    let Some(first) = iter.next() else {
+        return StatisticalProfile::default();
+    };
     let mut merged = first.clone();
     for p in iter {
         let offset = merged.function_span();
@@ -118,8 +139,15 @@ mod tests {
         p.add_global(HllGlobal::zeroed("buf", 4096));
         let mut main = FunctionBuilder::new("main");
         main.for_loop("i", Expr::int(0), Expr::int(iters), |b| {
-            b.assign_index("buf", Expr::var("i"), Expr::add(Expr::var("i"), Expr::int(1)));
-            b.assign_var("s", Expr::add(Expr::var("s"), Expr::index("buf", Expr::var("i"))));
+            b.assign_index(
+                "buf",
+                Expr::var("i"),
+                Expr::add(Expr::var("i"), Expr::int(1)),
+            );
+            b.assign_var(
+                "s",
+                Expr::add(Expr::var("s"), Expr::index("buf", Expr::var("i"))),
+            );
         });
         main.ret(Some(Expr::var("s")));
         p.add_function(main.finish());
@@ -131,8 +159,16 @@ mod tests {
     fn reduction_search_hits_the_target_window() {
         let profile = profile_of_loop(20_000, "big");
         let result = synthesize_with_target(&profile, &SynthesisConfig::default(), 10_000);
-        assert!(result.synthetic_instructions > 2_000, "{}", result.synthetic_instructions);
-        assert!(result.synthetic_instructions < 50_000, "{}", result.synthetic_instructions);
+        assert!(
+            result.synthetic_instructions > 2_000,
+            "{}",
+            result.synthetic_instructions
+        );
+        assert!(
+            result.synthetic_instructions < 50_000,
+            "{}",
+            result.synthetic_instructions
+        );
         assert!(result.instruction_reduction() > 5.0);
         assert!(result.reduction_factor >= 1);
     }
@@ -158,7 +194,10 @@ mod tests {
         assert!(merged.name.contains('+'));
         // A clone can be synthesized from the consolidated profile.
         let synth = synthesize(&merged, &SynthesisConfig::with_reduction(10));
-        assert!(synth.stats.generated_loops >= 2, "both originals' loops are represented");
+        assert!(
+            synth.stats.generated_loops >= 2,
+            "both originals' loops are represented"
+        );
     }
 
     #[test]

@@ -117,7 +117,10 @@ pub fn scale_down(sfgl: &Sfgl, r: u64) -> ScaledSfgl {
     }
     scaled.loops = loops;
 
-    ScaledSfgl { sfgl: scaled, reduction_factor: r }
+    ScaledSfgl {
+        sfgl: scaled,
+        reduction_factor: r,
+    }
 }
 
 /// Chooses the reduction factor that brings `dynamic_instructions` down to
@@ -214,7 +217,11 @@ mod tests {
         let l = &scaled.sfgl.loops[0];
         assert_eq!(l.entries, 5);
         assert_eq!(l.iterations, 45);
-        assert_eq!(scaled.trip_count(l), 9, "the average trip count is preserved");
+        assert_eq!(
+            scaled.trip_count(l),
+            9,
+            "the average trip count is preserved"
+        );
     }
 
     #[test]

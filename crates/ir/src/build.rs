@@ -84,21 +84,34 @@ impl StmtBuilder {
     ) -> &mut Self {
         let mut inner = StmtBuilder::new();
         body(&mut inner);
-        self.push(Stmt::For { var: var.into(), init, limit, step, body: inner.finish() })
+        self.push(Stmt::For {
+            var: var.into(),
+            init,
+            limit,
+            step,
+            body: inner.finish(),
+        })
     }
 
     /// `while (cond) { ... }`
     pub fn while_loop(&mut self, cond: Expr, body: impl FnOnce(&mut StmtBuilder)) -> &mut Self {
         let mut inner = StmtBuilder::new();
         body(&mut inner);
-        self.push(Stmt::While { cond, body: inner.finish() })
+        self.push(Stmt::While {
+            cond,
+            body: inner.finish(),
+        })
     }
 
     /// `if (cond) { ... }`
     pub fn if_then(&mut self, cond: Expr, then_branch: impl FnOnce(&mut StmtBuilder)) -> &mut Self {
         let mut inner = StmtBuilder::new();
         then_branch(&mut inner);
-        self.push(Stmt::If { cond, then_branch: inner.finish(), else_branch: Vec::new() })
+        self.push(Stmt::If {
+            cond,
+            then_branch: inner.finish(),
+            else_branch: Vec::new(),
+        })
     }
 
     /// `if (cond) { ... } else { ... }`
@@ -112,12 +125,20 @@ impl StmtBuilder {
         then_branch(&mut t);
         let mut e = StmtBuilder::new();
         else_branch(&mut e);
-        self.push(Stmt::If { cond, then_branch: t.finish(), else_branch: e.finish() })
+        self.push(Stmt::If {
+            cond,
+            then_branch: t.finish(),
+            else_branch: e.finish(),
+        })
     }
 
     /// `name(args...);` discarding any return value.
     pub fn call(&mut self, name: impl Into<String>, args: Vec<Expr>) -> &mut Self {
-        self.push(Stmt::Call { name: name.into(), args, dst: None })
+        self.push(Stmt::Call {
+            name: name.into(),
+            args,
+            dst: None,
+        })
     }
 
     /// `dst = name(args...);`
@@ -127,7 +148,11 @@ impl StmtBuilder {
         name: impl Into<String>,
         args: Vec<Expr>,
     ) -> &mut Self {
-        self.push(Stmt::Call { name: name.into(), args, dst: Some(LValue::var(dst)) })
+        self.push(Stmt::Call {
+            name: name.into(),
+            args,
+            dst: Some(LValue::var(dst)),
+        })
     }
 
     /// `printf("%d", value);`
@@ -367,7 +392,10 @@ mod tests {
     fn float_vars_are_recorded() {
         let mut f = FunctionBuilder::new("f");
         f.float_var("x");
-        f.assign_var("x", Expr::bin(BinOp::Mul, Expr::float(2.0), Expr::float(3.0)));
+        f.assign_var(
+            "x",
+            Expr::bin(BinOp::Mul, Expr::float(2.0), Expr::float(3.0)),
+        );
         let func = f.finish();
         assert_eq!(func.float_vars, vec!["x".to_string()]);
     }

@@ -35,7 +35,13 @@ pub fn emit_c(program: &HllProgram) -> String {
                     })
                     .collect()
             };
-            let _ = writeln!(out, "{ty} {}[{}] = {{{}}};", g.name, g.elems, values.join(", "));
+            let _ = writeln!(
+                out,
+                "{ty} {}[{}] = {{{}}};",
+                g.name,
+                g.elems,
+                values.join(", ")
+            );
         } else {
             let _ = writeln!(out, "{ty} {}[{}];", g.name, g.elems);
         }
@@ -70,7 +76,11 @@ fn signature(f: &HllFunction) -> String {
         f.params
             .iter()
             .map(|p| {
-                let ty = if f.float_vars.contains(p) { "double" } else { "int" };
+                let ty = if f.float_vars.contains(p) {
+                    "double"
+                } else {
+                    "int"
+                };
                 format!("{ty} {p}")
             })
             .collect::<Vec<_>>()
@@ -85,7 +95,11 @@ fn emit_function(out: &mut String, f: &HllFunction) {
     let mut locals = Vec::new();
     collect_locals(&f.body, &f.params, &mut locals);
     for l in &locals {
-        let ty = if f.float_vars.contains(l) { "double" } else { "int" };
+        let ty = if f.float_vars.contains(l) {
+            "double"
+        } else {
+            "int"
+        };
         let _ = writeln!(out, "  {ty} {l} = 0;");
     }
     for s in &f.body {
@@ -107,9 +121,16 @@ fn collect_locals(stmts: &[Stmt], params: &[String], out: &mut Vec<String>) {
     };
     for s in stmts {
         match s {
-            Stmt::Assign { target: LValue::Var(v), .. } => add(v, out),
+            Stmt::Assign {
+                target: LValue::Var(v),
+                ..
+            } => add(v, out),
             Stmt::Assign { .. } => {}
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 collect_locals(then_branch, params, out);
                 collect_locals(else_branch, params, out);
             }
@@ -118,7 +139,10 @@ fn collect_locals(stmts: &[Stmt], params: &[String], out: &mut Vec<String>) {
                 add(var, out);
                 collect_locals(body, params, out);
             }
-            Stmt::Call { dst: Some(LValue::Var(v)), .. } => add(v, out),
+            Stmt::Call {
+                dst: Some(LValue::Var(v)),
+                ..
+            } => add(v, out),
             _ => {}
         }
     }
@@ -136,7 +160,11 @@ fn emit_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
             indent(out, depth);
             let _ = writeln!(out, "{} = {};", lvalue(target), expr(value));
         }
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             indent(out, depth);
             let _ = writeln!(out, "if ({}) {{", expr(cond));
             for s in then_branch {
@@ -164,7 +192,13 @@ fn emit_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
             indent(out, depth);
             out.push_str("}\n");
         }
-        Stmt::For { var, init, limit, step, body } => {
+        Stmt::For {
+            var,
+            init,
+            limit,
+            step,
+            body,
+        } => {
             indent(out, depth);
             let step_text = match step {
                 Expr::Int(1) => format!("{var}++"),
@@ -184,7 +218,10 @@ fn emit_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
         }
         Stmt::Call { name, args, dst } => {
             indent(out, depth);
-            let call = format!("{name}({})", args.iter().map(expr).collect::<Vec<_>>().join(", "));
+            let call = format!(
+                "{name}({})",
+                args.iter().map(expr).collect::<Vec<_>>().join(", ")
+            );
             match dst {
                 Some(d) => {
                     let _ = writeln!(out, "{} = {call};", lvalue(d));
@@ -251,7 +288,10 @@ fn expr(e: &Expr) -> String {
             UnOp::Abs => format!("abs({})", expr(inner)),
         },
         Expr::Call(name, args) => {
-            format!("{name}({})", args.iter().map(expr).collect::<Vec<_>>().join(", "))
+            format!(
+                "{name}({})",
+                args.iter().map(expr).collect::<Vec<_>>().join(", ")
+            )
         }
     }
 }
@@ -272,12 +312,21 @@ mod tests {
             b.assign_index(
                 "mStream0",
                 Expr::int(4),
-                Expr::add(Expr::index("mStream0", Expr::int(7)), Expr::index("mStream0", Expr::int(2))),
+                Expr::add(
+                    Expr::index("mStream0", Expr::int(7)),
+                    Expr::index("mStream0", Expr::int(2)),
+                ),
             );
-            b.if_then(Expr::eq(Expr::index("mStream0", Expr::int(0)), Expr::int(0x99)), |t| {
-                t.print(Expr::var("sum"));
-            });
-            b.assign_var("sum", Expr::bin(BinOp::Add, Expr::var("sum"), Expr::var("i")));
+            b.if_then(
+                Expr::eq(Expr::index("mStream0", Expr::int(0)), Expr::int(0x99)),
+                |t| {
+                    t.print(Expr::var("sum"));
+                },
+            );
+            b.assign_var(
+                "sum",
+                Expr::bin(BinOp::Add, Expr::var("sum"), Expr::var("i")),
+            );
         });
         f.ret(Some(Expr::var("sum")));
         p.add_function(f.finish());
@@ -320,7 +369,10 @@ mod tests {
         f.param("x");
         f.float_var("x");
         f.float_var("y");
-        f.assign_var("y", Expr::un(UnOp::Sqrt, Expr::mul(Expr::var("x"), Expr::var("x"))));
+        f.assign_var(
+            "y",
+            Expr::un(UnOp::Sqrt, Expr::mul(Expr::var("x"), Expr::var("x"))),
+        );
         f.ret(Some(Expr::var("y")));
         let p = HllProgram::with_main(f.finish());
         let c = emit_c(&p);

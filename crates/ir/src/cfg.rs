@@ -41,8 +41,7 @@ pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
     // Iterative DFS with an explicit stack of (block, next-successor-index).
     let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
     visited[f.entry.index()] = true;
-    loop {
-        let Some(&(b, next)) = stack.last() else { break };
+    while let Some(&(b, next)) = stack.last() {
         let succs = f.block(b).term.successors();
         if next < succs.len() {
             stack.last_mut().expect("stack is non-empty").1 += 1;
@@ -104,7 +103,9 @@ impl Dominators {
                     .copied()
                     .filter(|p| idom.contains_key(p))
                     .collect();
-                let Some(&first) = preds.first() else { continue };
+                let Some(&first) = preds.first() else {
+                    continue;
+                };
                 let mut new_idom = first;
                 for &p in preds.iter().skip(1) {
                     new_idom = Self::intersect(&idom, &rpo_index, p, new_idom);
@@ -237,10 +238,21 @@ impl LoopForest {
             }
             let mut latches = latches;
             latches.sort();
-            loops.push(NaturalLoop { header, latches, blocks, depth: 1, parent: None });
+            loops.push(NaturalLoop {
+                header,
+                latches,
+                blocks,
+                depth: 1,
+                parent: None,
+            });
         }
         // Sort outer loops first (larger body first; ties by header id for determinism).
-        loops.sort_by(|a, b| b.blocks.len().cmp(&a.blocks.len()).then(a.header.cmp(&b.header)));
+        loops.sort_by(|a, b| {
+            b.blocks
+                .len()
+                .cmp(&a.blocks.len())
+                .then(a.header.cmp(&b.header))
+        });
         // Compute nesting: a loop's parent is the smallest strictly-larger loop containing its header.
         let snapshot = loops.clone();
         for i in 0..loops.len() {
@@ -292,12 +304,16 @@ impl LoopForest {
 
     /// Returns `true` if the edge `from -> to` is a back edge of some loop.
     pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
-        self.loops.iter().any(|l| l.header == to && l.latches.contains(&from))
+        self.loops
+            .iter()
+            .any(|l| l.header == to && l.latches.contains(&from))
     }
 
     /// Loop-nesting depth of a block (0 when not in any loop).
     pub fn depth_of(&self, b: BlockId) -> usize {
-        self.innermost_containing(b).map(|i| self.loops[i].depth).unwrap_or(0)
+        self.innermost_containing(b)
+            .map(|i| self.loops[i].depth)
+            .unwrap_or(0)
     }
 }
 
@@ -314,8 +330,15 @@ mod tests {
         let b1 = f.add_block();
         let b2 = f.add_block();
         let b3 = f.add_block();
-        f.blocks[0].insts.push(Inst::Mov { dst: cond, src: Operand::ImmInt(1) });
-        f.blocks[0].term = Terminator::Branch { cond, taken: b1, not_taken: b2 };
+        f.blocks[0].insts.push(Inst::Mov {
+            dst: cond,
+            src: Operand::ImmInt(1),
+        });
+        f.blocks[0].term = Terminator::Branch {
+            cond,
+            taken: b1,
+            not_taken: b2,
+        };
         f.blocks[b1.index()] = Block::jump_to(b3);
         f.blocks[b2.index()] = Block::jump_to(b3);
         f.blocks[b3.index()].term = Terminator::Return(None);
@@ -332,10 +355,21 @@ mod tests {
         let inner = f.add_block(); // 2
         let latch = f.add_block(); // 3
         let exit = f.add_block(); // 4
-        f.blocks[0].insts.push(Inst::Mov { dst: c, src: Operand::ImmInt(1) });
+        f.blocks[0].insts.push(Inst::Mov {
+            dst: c,
+            src: Operand::ImmInt(1),
+        });
         f.blocks[0].term = Terminator::Jump(outer);
-        f.blocks[outer.index()].term = Terminator::Branch { cond: c, taken: inner, not_taken: exit };
-        f.blocks[inner.index()].term = Terminator::Branch { cond: c, taken: inner, not_taken: latch };
+        f.blocks[outer.index()].term = Terminator::Branch {
+            cond: c,
+            taken: inner,
+            not_taken: exit,
+        };
+        f.blocks[inner.index()].term = Terminator::Branch {
+            cond: c,
+            taken: inner,
+            not_taken: latch,
+        };
         f.blocks[latch.index()].term = Terminator::Jump(outer);
         f.blocks[exit.index()].term = Terminator::Return(None);
         f
@@ -389,7 +423,10 @@ mod tests {
         assert!(!lf.is_back_edge(BlockId(0), BlockId(1)));
         assert_eq!(lf.depth_of(BlockId(2)), 2);
         assert_eq!(lf.depth_of(BlockId(4)), 0);
-        assert_eq!(lf.innermost_containing(BlockId(3)), lf.loops.iter().position(|l| l.header == BlockId(1)));
+        assert_eq!(
+            lf.innermost_containing(BlockId(3)),
+            lf.loops.iter().position(|l| l.header == BlockId(1))
+        );
     }
 
     #[test]

@@ -111,25 +111,58 @@ mod tests {
 
     #[test]
     fn integer_arithmetic_wraps_and_division_by_zero_is_zero() {
-        assert_eq!(eval_bin(BinOp::Add, Ty::Int, Value::Int(i64::MAX), Value::Int(1)), Value::Int(i64::MIN));
-        assert_eq!(eval_bin(BinOp::Div, Ty::Int, Value::Int(10), Value::Int(0)), Value::Int(0));
-        assert_eq!(eval_bin(BinOp::Rem, Ty::Int, Value::Int(10), Value::Int(0)), Value::Int(0));
-        assert_eq!(eval_bin(BinOp::Div, Ty::Int, Value::Int(10), Value::Int(3)), Value::Int(3));
-        assert_eq!(eval_bin(BinOp::Shl, Ty::Int, Value::Int(1), Value::Int(65)), Value::Int(2));
+        assert_eq!(
+            eval_bin(BinOp::Add, Ty::Int, Value::Int(i64::MAX), Value::Int(1)),
+            Value::Int(i64::MIN)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Div, Ty::Int, Value::Int(10), Value::Int(0)),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Rem, Ty::Int, Value::Int(10), Value::Int(0)),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Div, Ty::Int, Value::Int(10), Value::Int(3)),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Shl, Ty::Int, Value::Int(1), Value::Int(65)),
+            Value::Int(2)
+        );
     }
 
     #[test]
     fn comparisons_yield_zero_or_one() {
-        assert_eq!(eval_bin(BinOp::Lt, Ty::Int, Value::Int(1), Value::Int(2)), Value::Int(1));
-        assert_eq!(eval_bin(BinOp::Ge, Ty::Int, Value::Int(1), Value::Int(2)), Value::Int(0));
-        assert_eq!(eval_bin(BinOp::Eq, Ty::Float, Value::Float(1.5), Value::Float(1.5)), Value::Int(1));
+        assert_eq!(
+            eval_bin(BinOp::Lt, Ty::Int, Value::Int(1), Value::Int(2)),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Ge, Ty::Int, Value::Int(1), Value::Int(2)),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Eq, Ty::Float, Value::Float(1.5), Value::Float(1.5)),
+            Value::Int(1)
+        );
     }
 
     #[test]
     fn float_arithmetic() {
-        assert_eq!(eval_bin(BinOp::Mul, Ty::Float, Value::Float(2.0), Value::Float(4.0)), Value::Float(8.0));
-        assert_eq!(eval_bin(BinOp::Div, Ty::Float, Value::Float(1.0), Value::Float(0.0)), Value::Float(0.0));
-        assert_eq!(eval_bin(BinOp::Add, Ty::Float, Value::Int(1), Value::Float(0.5)), Value::Float(1.5));
+        assert_eq!(
+            eval_bin(BinOp::Mul, Ty::Float, Value::Float(2.0), Value::Float(4.0)),
+            Value::Float(8.0)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Div, Ty::Float, Value::Float(1.0), Value::Float(0.0)),
+            Value::Float(0.0)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Add, Ty::Float, Value::Int(1), Value::Float(0.5)),
+            Value::Float(1.5)
+        );
     }
 
     #[test]
@@ -147,16 +180,43 @@ mod tests {
     #[test]
     fn unary_operations() {
         assert_eq!(eval_un(UnOp::Neg, Ty::Int, Value::Int(5)), Value::Int(-5));
-        assert_eq!(eval_un(UnOp::Neg, Ty::Float, Value::Float(2.0)), Value::Float(-2.0));
+        assert_eq!(
+            eval_un(UnOp::Neg, Ty::Float, Value::Float(2.0)),
+            Value::Float(-2.0)
+        );
         assert_eq!(eval_un(UnOp::Not, Ty::Int, Value::Int(0)), Value::Int(-1));
-        assert_eq!(eval_un(UnOp::LogicalNot, Ty::Int, Value::Int(0)), Value::Int(1));
-        assert_eq!(eval_un(UnOp::LogicalNot, Ty::Int, Value::Int(7)), Value::Int(0));
-        assert_eq!(eval_un(UnOp::ToFloat, Ty::Float, Value::Int(3)), Value::Float(3.0));
-        assert_eq!(eval_un(UnOp::ToInt, Ty::Int, Value::Float(3.9)), Value::Int(3));
-        assert_eq!(eval_un(UnOp::Sqrt, Ty::Float, Value::Float(9.0)), Value::Float(3.0));
-        assert_eq!(eval_un(UnOp::Sqrt, Ty::Float, Value::Float(-1.0)), Value::Float(0.0));
-        assert_eq!(eval_un(UnOp::Log, Ty::Float, Value::Float(0.0)), Value::Float(0.0));
+        assert_eq!(
+            eval_un(UnOp::LogicalNot, Ty::Int, Value::Int(0)),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_un(UnOp::LogicalNot, Ty::Int, Value::Int(7)),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_un(UnOp::ToFloat, Ty::Float, Value::Int(3)),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            eval_un(UnOp::ToInt, Ty::Int, Value::Float(3.9)),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_un(UnOp::Sqrt, Ty::Float, Value::Float(9.0)),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            eval_un(UnOp::Sqrt, Ty::Float, Value::Float(-1.0)),
+            Value::Float(0.0)
+        );
+        assert_eq!(
+            eval_un(UnOp::Log, Ty::Float, Value::Float(0.0)),
+            Value::Float(0.0)
+        );
         assert_eq!(eval_un(UnOp::Abs, Ty::Int, Value::Int(-4)), Value::Int(4));
-        assert_eq!(eval_un(UnOp::Abs, Ty::Float, Value::Float(-4.5)), Value::Float(4.5));
+        assert_eq!(
+            eval_un(UnOp::Abs, Ty::Float, Value::Float(-4.5)),
+            Value::Float(4.5)
+        );
     }
 }

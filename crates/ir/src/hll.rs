@@ -70,16 +70,19 @@ impl Expr {
     }
 
     /// Convenience: `lhs + rhs`.
+    #[allow(clippy::should_implement_trait)] // static constructor, not an operator impl
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Add, lhs, rhs)
     }
 
     /// Convenience: `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)] // static constructor, not an operator impl
     pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Sub, lhs, rhs)
     }
 
     /// Convenience: `lhs * rhs`.
+    #[allow(clippy::should_implement_trait)] // static constructor, not an operator impl
     pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Mul, lhs, rhs)
     }
@@ -219,15 +222,20 @@ impl Stmt {
 
     /// Assignment to a scalar variable.
     pub fn assign_var(name: impl Into<String>, value: Expr) -> Stmt {
-        Stmt::Assign { target: LValue::var(name), value }
+        Stmt::Assign {
+            target: LValue::var(name),
+            value,
+        }
     }
 
     /// Number of statements in this statement's subtree (including itself).
     pub fn size(&self) -> usize {
         match self {
-            Stmt::If { then_branch, else_branch, .. } => {
-                1 + stmts_size(then_branch) + stmts_size(else_branch)
-            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => 1 + stmts_size(then_branch) + stmts_size(else_branch),
             Stmt::While { body, .. } | Stmt::For { body, .. } => 1 + stmts_size(body),
             _ => 1,
         }
@@ -257,12 +265,24 @@ pub struct HllGlobal {
 impl HllGlobal {
     /// Zero-initialized integer array.
     pub fn zeroed(name: impl Into<String>, elems: usize) -> Self {
-        HllGlobal { name: name.into(), elems, ty: Ty::Int, init: Vec::new(), iota: false }
+        HllGlobal {
+            name: name.into(),
+            elems,
+            ty: Ty::Int,
+            init: Vec::new(),
+            iota: false,
+        }
     }
 
     /// Integer array initialized to `0, 1, 2, ...`.
     pub fn iota(name: impl Into<String>, elems: usize) -> Self {
-        HllGlobal { name: name.into(), elems, ty: Ty::Int, init: Vec::new(), iota: true }
+        HllGlobal {
+            name: name.into(),
+            elems,
+            ty: Ty::Int,
+            init: Vec::new(),
+            iota: true,
+        }
     }
 
     /// Integer array with explicit initial values.
@@ -289,7 +309,13 @@ impl HllGlobal {
 
     /// Zero-initialized floating-point array.
     pub fn float_zeroed(name: impl Into<String>, elems: usize) -> Self {
-        HllGlobal { name: name.into(), elems, ty: Ty::Float, init: Vec::new(), iota: false }
+        HllGlobal {
+            name: name.into(),
+            elems,
+            ty: Ty::Float,
+            init: Vec::new(),
+            iota: false,
+        }
     }
 }
 
@@ -310,7 +336,12 @@ pub struct HllFunction {
 impl HllFunction {
     /// Creates an empty function.
     pub fn new(name: impl Into<String>) -> Self {
-        HllFunction { name: name.into(), params: Vec::new(), float_vars: Vec::new(), body: Vec::new() }
+        HllFunction {
+            name: name.into(),
+            params: Vec::new(),
+            float_vars: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Total statement count (recursively).
@@ -333,13 +364,21 @@ pub struct HllProgram {
 impl HllProgram {
     /// Creates an empty program whose entry point is `main`.
     pub fn new() -> Self {
-        HllProgram { globals: Vec::new(), functions: Vec::new(), entry: "main".to_string() }
+        HllProgram {
+            globals: Vec::new(),
+            functions: Vec::new(),
+            entry: "main".to_string(),
+        }
     }
 
     /// Creates a program consisting of a single entry function.
     pub fn with_main(main: HllFunction) -> Self {
         let entry = main.name.clone();
-        HllProgram { globals: Vec::new(), functions: vec![main], entry }
+        HllProgram {
+            globals: Vec::new(),
+            functions: vec![main],
+            entry,
+        }
     }
 
     /// Adds a global array.
@@ -382,7 +421,10 @@ mod tests {
 
     #[test]
     fn expr_constructors_and_size() {
-        let e = Expr::add(Expr::var("a"), Expr::mul(Expr::int(2), Expr::index("g", Expr::var("i"))));
+        let e = Expr::add(
+            Expr::var("a"),
+            Expr::mul(Expr::int(2), Expr::index("g", Expr::var("i"))),
+        );
         assert_eq!(e.size(), 6);
         let mut vars = Vec::new();
         e.referenced_vars(&mut vars);

@@ -43,7 +43,13 @@ pub fn dump_function(f: &Function) -> String {
 /// Renders one instruction.
 pub fn dump_inst(inst: &Inst) -> String {
     match inst {
-        Inst::Bin { op, ty, dst, lhs, rhs } => format!("{dst} = {lhs} {op} {rhs} ({ty})"),
+        Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => format!("{dst} = {lhs} {op} {rhs} ({ty})"),
         Inst::Un { op, ty, dst, src } => format!("{dst} = {op} {src} ({ty})"),
         Inst::Mov { dst, src } => format!("{dst} = {src}"),
         Inst::Load { dst, addr, ty } => format!("{dst} = load {addr} ({ty})"),
@@ -64,7 +70,11 @@ pub fn dump_inst(inst: &Inst) -> String {
 pub fn dump_terminator(term: &Terminator) -> String {
     match term {
         Terminator::Jump(b) => format!("jump {b}"),
-        Terminator::Branch { cond, taken, not_taken } => {
+        Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        } => {
             format!("branch {cond} ? {taken} : {not_taken}")
         }
         Terminator::Return(Some(v)) => format!("return {v}"),
@@ -88,13 +98,34 @@ mod tests {
         let r0 = f.fresh_reg();
         let r1 = f.fresh_reg();
         f.blocks[0].insts = vec![
-            Inst::Mov { dst: r0, src: Operand::ImmInt(2) },
-            Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: r1, lhs: r0.into(), rhs: Operand::ImmInt(3) },
-            Inst::Load { dst: r0, addr: Address::global(GlobalId(0), 1), ty: Ty::Int },
-            Inst::Store { src: r1.into(), addr: Address::global(GlobalId(0), 0), ty: Ty::Int },
+            Inst::Mov {
+                dst: r0,
+                src: Operand::ImmInt(2),
+            },
+            Inst::Bin {
+                op: BinOp::Mul,
+                ty: Ty::Int,
+                dst: r1,
+                lhs: r0.into(),
+                rhs: Operand::ImmInt(3),
+            },
+            Inst::Load {
+                dst: r0,
+                addr: Address::global(GlobalId(0), 1),
+                ty: Ty::Int,
+            },
+            Inst::Store {
+                src: r1.into(),
+                addr: Address::global(GlobalId(0), 0),
+                ty: Ty::Int,
+            },
             Inst::Print { src: r1.into() },
             Inst::Nop,
-            Inst::Call { func: crate::FuncId(0), args: vec![], dst: Some(r0) },
+            Inst::Call {
+                func: crate::FuncId(0),
+                args: vec![],
+                dst: Some(r0),
+            },
         ];
         f.blocks[0].term = Terminator::Return(Some(r1.into()));
         p.add_function(f);
@@ -114,7 +145,10 @@ mod tests {
 
     #[test]
     fn terminator_rendering() {
-        assert_eq!(dump_terminator(&Terminator::Jump(crate::BlockId(3))), "jump bb3");
+        assert_eq!(
+            dump_terminator(&Terminator::Jump(crate::BlockId(3))),
+            "jump bb3"
+        );
         assert_eq!(dump_terminator(&Terminator::Return(None)), "return");
         let b = Terminator::Branch {
             cond: crate::Reg(1),

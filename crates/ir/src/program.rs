@@ -7,9 +7,10 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Initial contents of a global array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum GlobalInit {
     /// All elements zero.
+    #[default]
     Zero,
     /// Elements `0, 1, 2, ...` (useful for table-driven kernels).
     Iota,
@@ -23,12 +24,6 @@ pub enum GlobalInit {
         /// by `modulus` (floats).
         modulus: i64,
     },
-}
-
-impl Default for GlobalInit {
-    fn default() -> Self {
-        GlobalInit::Zero
-    }
 }
 
 /// A statically allocated global array of scalars.
@@ -47,7 +42,12 @@ pub struct Global {
 impl Global {
     /// Creates a zero-initialized integer array.
     pub fn zeroed(name: impl Into<String>, elems: usize) -> Self {
-        Global { name: name.into(), elems, ty: Ty::Int, init: GlobalInit::Zero }
+        Global {
+            name: name.into(),
+            elems,
+            ty: Ty::Int,
+            init: GlobalInit::Zero,
+        }
     }
 
     /// Materializes the initial contents as a vector of values.
@@ -77,8 +77,10 @@ impl Global {
                         state ^= state >> 27;
                         let v = state.wrapping_mul(2685821657736338717);
                         match self.ty {
-                            Ty::Int => Value::Int((v % m as u64 as u64) as i64),
-                            Ty::Float => Value::Float((v % 1_000_000) as f64 / 1_000_000.0 * m as f64),
+                            Ty::Int => Value::Int((v % m as u64) as i64),
+                            Ty::Float => {
+                                Value::Float((v % 1_000_000) as f64 / 1_000_000.0 * m as f64)
+                            }
                         }
                     })
                     .collect()
@@ -99,7 +101,10 @@ pub struct Block {
 impl Block {
     /// A block that just jumps to `target`.
     pub fn jump_to(target: BlockId) -> Self {
-        Block { insts: Vec::new(), term: Terminator::Jump(target) }
+        Block {
+            insts: Vec::new(),
+            term: Terminator::Jump(target),
+        }
     }
 }
 
@@ -126,7 +131,10 @@ impl Function {
     pub fn new(name: impl Into<String>) -> Self {
         Function {
             name: name.into(),
-            blocks: vec![Block { insts: Vec::new(), term: Terminator::Return(None) }],
+            blocks: vec![Block {
+                insts: Vec::new(),
+                term: Terminator::Return(None),
+            }],
             entry: BlockId(0),
             num_regs: 0,
             params: Vec::new(),
@@ -151,7 +159,10 @@ impl Function {
     /// Appends an empty block and returns its id.
     pub fn add_block(&mut self) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { insts: Vec::new(), term: Terminator::Return(None) });
+        self.blocks.push(Block {
+            insts: Vec::new(),
+            term: Terminator::Return(None),
+        });
         id
     }
 
@@ -175,7 +186,10 @@ impl Function {
 
     /// Iterator over `(BlockId, &Block)` pairs.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// Total number of static instructions (excluding terminators).
@@ -198,7 +212,11 @@ pub struct Program {
 impl Program {
     /// Creates an empty program with no functions.
     pub fn new() -> Self {
-        Program { functions: Vec::new(), globals: Vec::new(), entry: FuncId(0) }
+        Program {
+            functions: Vec::new(),
+            globals: Vec::new(),
+            entry: FuncId(0),
+        }
     }
 
     /// Adds a function, returning its id.
@@ -235,7 +253,10 @@ impl Program {
 
     /// Looks a function up by name.
     pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
-        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// Shared accessor for a global.
@@ -265,7 +286,11 @@ impl Program {
             let size = (g.elems as u64) * WORD_BYTES;
             next += size.div_ceil(64) * 64 + 64;
         }
-        MemoryLayout { global_bases: bases, frame_base: next.div_ceil(64) * 64 + 4096, frame_stride: 4096 }
+        MemoryLayout {
+            global_bases: bases,
+            frame_base: next.div_ceil(64) * 64 + 4096,
+            frame_stride: 4096,
+        }
     }
 
     /// Structural validation: every referenced block, register, function and
@@ -387,7 +412,9 @@ impl Program {
         }
         for (name, count) in seen {
             if count > 1 {
-                errors.push(format!("duplicate function name {name} ({count} definitions)"));
+                errors.push(format!(
+                    "duplicate function name {name} ({count} definitions)"
+                ));
             }
         }
         errors
@@ -444,9 +471,22 @@ mod tests {
         let r1 = f.fresh_reg();
         let g = GlobalId(0);
         f.blocks[0].insts = vec![
-            Inst::Mov { dst: r0, src: Operand::ImmInt(1) },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r1, lhs: r0.into(), rhs: Operand::ImmInt(2) },
-            Inst::Store { src: r1.into(), addr: crate::visa::Address::global(g, 0), ty: Ty::Int },
+            Inst::Mov {
+                dst: r0,
+                src: Operand::ImmInt(1),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: r1,
+                lhs: r0.into(),
+                rhs: Operand::ImmInt(2),
+            },
+            Inst::Store {
+                src: r1.into(),
+                addr: crate::visa::Address::global(g, 0),
+                ty: Ty::Int,
+            },
         ];
         f.blocks[0].term = Terminator::Return(Some(r1.into()));
         p.add_global(Global::zeroed("buf", 16));
@@ -466,7 +506,10 @@ mod tests {
     #[test]
     fn validation_catches_bad_register() {
         let mut p = tiny_program();
-        p.functions[0].blocks[0].insts.push(Inst::Mov { dst: Reg(99), src: Operand::ImmInt(0) });
+        p.functions[0].blocks[0].insts.push(Inst::Mov {
+            dst: Reg(99),
+            src: Operand::ImmInt(0),
+        });
         assert!(!p.validate().is_empty());
     }
 
@@ -485,9 +528,11 @@ mod tests {
         callee.params = vec![pr];
         callee.blocks[0].term = Terminator::Return(Some(pr.into()));
         let callee_id = p.add_function(callee);
-        p.functions[0].blocks[0]
-            .insts
-            .push(Inst::Call { func: callee_id, args: vec![], dst: None });
+        p.functions[0].blocks[0].insts.push(Inst::Call {
+            func: callee_id,
+            args: vec![],
+            dst: None,
+        });
         assert!(p.validate().iter().any(|e| e.contains("args")));
     }
 
@@ -504,10 +549,13 @@ mod tests {
         p.add_global(Global::zeroed("buf2", 100));
         let layout = p.memory_layout();
         assert_eq!(layout.global_bases.len(), 2);
-        assert!(layout.global_bases[0] % 64 == 0);
+        assert!(layout.global_bases[0].is_multiple_of(64));
         assert!(layout.global_bases[1] >= layout.global_bases[0] + 16 * WORD_BYTES);
         assert!(layout.frame_base > layout.global_bases[1]);
-        assert_eq!(layout.global_addr(GlobalId(0), 2), layout.global_bases[0] + 8);
+        assert_eq!(
+            layout.global_addr(GlobalId(0), 2),
+            layout.global_bases[0] + 8
+        );
         assert!(layout.frame_addr(1, 0) > layout.frame_addr(0, 0));
     }
 
@@ -515,18 +563,49 @@ mod tests {
     fn global_initializers() {
         let z = Global::zeroed("z", 4);
         assert_eq!(z.initial_values(), vec![Value::Int(0); 4]);
-        let iota = Global { name: "i".into(), elems: 3, ty: Ty::Int, init: GlobalInit::Iota };
-        assert_eq!(iota.initial_values(), vec![Value::Int(0), Value::Int(1), Value::Int(2)]);
+        let iota = Global {
+            name: "i".into(),
+            elems: 3,
+            ty: Ty::Int,
+            init: GlobalInit::Iota,
+        };
+        assert_eq!(
+            iota.initial_values(),
+            vec![Value::Int(0), Value::Int(1), Value::Int(2)]
+        );
         let vals = Global {
             name: "v".into(),
             elems: 3,
             ty: Ty::Int,
             init: GlobalInit::Values(vec![Value::Int(7)]),
         };
-        assert_eq!(vals.initial_values(), vec![Value::Int(7), Value::Int(0), Value::Int(0)]);
-        let r1 = Global { name: "r".into(), elems: 8, ty: Ty::Int, init: GlobalInit::Random { seed: 1, modulus: 100 } };
-        let r2 = Global { name: "r".into(), elems: 8, ty: Ty::Int, init: GlobalInit::Random { seed: 1, modulus: 100 } };
-        assert_eq!(r1.initial_values(), r2.initial_values(), "random init must be deterministic");
+        assert_eq!(
+            vals.initial_values(),
+            vec![Value::Int(7), Value::Int(0), Value::Int(0)]
+        );
+        let r1 = Global {
+            name: "r".into(),
+            elems: 8,
+            ty: Ty::Int,
+            init: GlobalInit::Random {
+                seed: 1,
+                modulus: 100,
+            },
+        };
+        let r2 = Global {
+            name: "r".into(),
+            elems: 8,
+            ty: Ty::Int,
+            init: GlobalInit::Random {
+                seed: 1,
+                modulus: 100,
+            },
+        };
+        assert_eq!(
+            r1.initial_values(),
+            r2.initial_values(),
+            "random init must be deterministic"
+        );
         for v in r1.initial_values() {
             let x = v.as_int();
             assert!((0..100).contains(&x));

@@ -196,17 +196,32 @@ pub struct Address {
 impl Address {
     /// An address at a constant word offset within a global array.
     pub fn global(id: GlobalId, offset: i64) -> Self {
-        Address { base: MemBase::Global(id), offset, index: None, scale: 1 }
+        Address {
+            base: MemBase::Global(id),
+            offset,
+            index: None,
+            scale: 1,
+        }
     }
 
     /// An address indexed by a register within a global array.
     pub fn global_indexed(id: GlobalId, offset: i64, index: Reg, scale: i64) -> Self {
-        Address { base: MemBase::Global(id), offset, index: Some(index), scale }
+        Address {
+            base: MemBase::Global(id),
+            offset,
+            index: Some(index),
+            scale,
+        }
     }
 
     /// A frame-slot address (O0 locals, spill slots).
     pub fn frame(offset: i64) -> Self {
-        Address { base: MemBase::Frame, offset, index: None, scale: 1 }
+        Address {
+            base: MemBase::Frame,
+            offset,
+            index: None,
+            scale: 1,
+        }
     }
 
     /// Returns `true` if the address uses an index register.
@@ -400,43 +415,35 @@ impl Inst {
         }
     }
 
-    /// All registers read by this instruction (including address index registers).
-    pub fn uses(&self) -> Vec<Reg> {
-        let mut out = Vec::new();
-        let mut push_op = |op: &Operand| match op {
-            Operand::Reg(r) => out.push(*r),
-            Operand::Mem(a) => {
-                if let Some(r) = a.index {
-                    out.push(r);
-                }
+    /// All registers read by this instruction (including address index
+    /// registers), in operand order.
+    ///
+    /// Non-call instructions read at most three registers, so the iterator is
+    /// backed by a fixed-size array; call arguments are walked in place.  No
+    /// allocation happens either way — this sits on the executor's and the
+    /// register allocator's hot paths.
+    pub fn uses(&self) -> impl Iterator<Item = Reg> + '_ {
+        fn op_reg(op: &Operand) -> Option<Reg> {
+            match op {
+                Operand::Reg(r) => Some(*r),
+                Operand::Mem(a) => a.index,
+                _ => None,
             }
-            _ => {}
-        };
-        match self {
-            Inst::Bin { lhs, rhs, .. } => {
-                push_op(lhs);
-                push_op(rhs);
-            }
-            Inst::Un { src, .. } | Inst::Mov { src, .. } | Inst::Print { src } => push_op(src),
-            Inst::Load { addr, .. } => {
-                if let Some(r) = addr.index {
-                    out.push(r);
-                }
-            }
-            Inst::Store { src, addr, .. } => {
-                push_op(src);
-                if let Some(r) = addr.index {
-                    out.push(r);
-                }
-            }
-            Inst::Call { args, .. } => {
-                for a in args {
-                    push_op(a);
-                }
-            }
-            Inst::Nop => {}
         }
-        out
+        let (fixed, args): ([Option<Reg>; 3], &[Operand]) = match self {
+            Inst::Bin { lhs, rhs, .. } => ([op_reg(lhs), op_reg(rhs), None], &[]),
+            Inst::Un { src, .. } | Inst::Mov { src, .. } | Inst::Print { src } => {
+                ([op_reg(src), None, None], &[])
+            }
+            Inst::Load { addr, .. } => ([addr.index, None, None], &[]),
+            Inst::Store { src, addr, .. } => ([op_reg(src), addr.index, None], &[]),
+            Inst::Call { args, .. } => ([None; 3], args.as_slice()),
+            Inst::Nop => ([None; 3], &[]),
+        };
+        fixed
+            .into_iter()
+            .flatten()
+            .chain(args.iter().filter_map(op_reg))
     }
 
     /// Returns `true` if the instruction reads memory (loads and folded memory operands).
@@ -459,7 +466,10 @@ impl Inst {
     /// Returns `true` if the instruction has a side effect beyond its register
     /// def (memory write, call, observable output).
     pub fn has_side_effect(&self) -> bool {
-        matches!(self, Inst::Store { .. } | Inst::Call { .. } | Inst::Print { .. })
+        matches!(
+            self,
+            Inst::Store { .. } | Inst::Call { .. } | Inst::Print { .. }
+        )
     }
 
     /// The coarse/fine classification of the instruction.
@@ -546,6 +556,24 @@ impl InstClass {
         InstClass::Other,
     ];
 
+    /// The position of this class in [`InstClass::ALL`], usable as a dense
+    /// histogram index (profilers count classes in flat arrays).
+    pub fn index(self) -> usize {
+        match self {
+            InstClass::Load => 0,
+            InstClass::Store => 1,
+            InstClass::Branch => 2,
+            InstClass::IntAlu => 3,
+            InstClass::IntMul => 4,
+            InstClass::IntDiv => 5,
+            InstClass::FpAdd => 6,
+            InstClass::FpMul => 7,
+            InstClass::FpDiv => 8,
+            InstClass::Call => 9,
+            InstClass::Other => 10,
+        }
+    }
+
     /// The coarse mix category the paper reports (loads / stores / branches / others).
     pub fn mix_category(self) -> MixCategory {
         match self {
@@ -596,8 +624,12 @@ pub enum MixCategory {
 
 impl MixCategory {
     /// All categories in reporting order.
-    pub const ALL: [MixCategory; 4] =
-        [MixCategory::Load, MixCategory::Store, MixCategory::Branch, MixCategory::Other];
+    pub const ALL: [MixCategory; 4] = [
+        MixCategory::Load,
+        MixCategory::Store,
+        MixCategory::Branch,
+        MixCategory::Other,
+    ];
 }
 
 impl fmt::Display for MixCategory {
@@ -635,7 +667,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(b) => vec![*b],
-            Terminator::Branch { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => vec![*taken, *not_taken],
             Terminator::Return(_) => Vec::new(),
         }
     }
@@ -645,14 +679,15 @@ impl Terminator {
         matches!(self, Terminator::Branch { .. })
     }
 
-    /// Registers read by the terminator.
-    pub fn uses(&self) -> Vec<Reg> {
+    /// Registers read by the terminator (at most one), without allocating.
+    pub fn uses(&self) -> std::option::IntoIter<Reg> {
         match self {
-            Terminator::Branch { cond, .. } => vec![*cond],
-            Terminator::Return(Some(Operand::Reg(r))) => vec![*r],
-            Terminator::Return(Some(Operand::Mem(a))) => a.index.into_iter().collect(),
-            _ => Vec::new(),
+            Terminator::Branch { cond, .. } => Some(*cond),
+            Terminator::Return(Some(Operand::Reg(r))) => Some(*r),
+            Terminator::Return(Some(Operand::Mem(a))) => a.index,
+            _ => None,
         }
+        .into_iter()
     }
 
     /// Rewrites successor block ids through `f` (used when removing or
@@ -660,7 +695,9 @@ impl Terminator {
     pub fn map_targets(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
         match self {
             Terminator::Jump(b) => *b = f(*b),
-            Terminator::Branch { taken, not_taken, .. } => {
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => {
                 *taken = f(*taken);
                 *not_taken = f(*not_taken);
             }
@@ -695,7 +732,7 @@ mod tests {
             rhs: Operand::ImmInt(5),
         };
         assert_eq!(i.def(), Some(Reg(0)));
-        assert_eq!(i.uses(), vec![Reg(1)]);
+        assert_eq!(i.uses().collect::<Vec<_>>(), vec![Reg(1)]);
         assert_eq!(i.class(), InstClass::IntAlu);
         assert!(!i.reads_memory());
 
@@ -705,7 +742,7 @@ mod tests {
             ty: Ty::Int,
         };
         assert_eq!(st.def(), None);
-        assert_eq!(st.uses(), vec![Reg(2), Reg(3)]);
+        assert_eq!(st.uses().collect::<Vec<_>>(), vec![Reg(2), Reg(3)]);
         assert!(st.writes_memory());
         assert!(st.has_side_effect());
         assert_eq!(st.class(), InstClass::Store);
@@ -721,7 +758,10 @@ mod tests {
             rhs: Operand::Mem(Address::global(GlobalId(0), 4)),
         };
         assert!(i.reads_memory());
-        assert_eq!(i.operand_kinds(), vec![OperandKind::Register, OperandKind::Memory]);
+        assert_eq!(
+            i.operand_kinds(),
+            vec![OperandKind::Register, OperandKind::Memory]
+        );
     }
 
     #[test]
@@ -750,10 +790,14 @@ mod tests {
 
     #[test]
     fn terminator_successors_and_targets() {
-        let mut t = Terminator::Branch { cond: Reg(0), taken: BlockId(1), not_taken: BlockId(2) };
+        let mut t = Terminator::Branch {
+            cond: Reg(0),
+            taken: BlockId(1),
+            not_taken: BlockId(2),
+        };
         assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(t.is_conditional());
-        assert_eq!(t.uses(), vec![Reg(0)]);
+        assert_eq!(t.uses().collect::<Vec<_>>(), vec![Reg(0)]);
         t.map_targets(|b| BlockId(b.0 + 10));
         assert_eq!(t.successors(), vec![BlockId(11), BlockId(12)]);
         assert!(Terminator::Return(None).successors().is_empty());

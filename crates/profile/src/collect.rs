@@ -10,7 +10,10 @@ use bsg_ir::types::{BlockId, FuncId};
 use bsg_ir::visa::{InstClass, MixCategory, OperandKind};
 use bsg_ir::Program;
 use bsg_uarch::cache::{Cache, CacheConfig};
-use bsg_uarch::exec::{execute, ExecConfig, InstEvent, InstSite, Observer};
+use bsg_uarch::exec::{
+    execute_image, execute_legacy, ExecConfig, ExecOutcome, InstEvent, InstSite, Observer,
+};
+use bsg_uarch::image::ExecImage;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -28,7 +31,11 @@ impl SiteKey {
     fn from_site(site: InstSite) -> Self {
         SiteKey {
             node: NodeKey::new(site.func, site.block),
-            index: if site.index == usize::MAX { u32::MAX } else { site.index as u32 },
+            index: if site.index == usize::MAX {
+                u32::MAX
+            } else {
+                site.index as u32
+            },
         }
     }
 }
@@ -153,7 +160,11 @@ impl InstructionMix {
 
     /// Fraction of floating-point instructions.
     pub fn fp_fraction(&self) -> f64 {
-        InstClass::ALL.iter().filter(|c| c.is_float()).map(|c| self.fraction(*c)).sum()
+        InstClass::ALL
+            .iter()
+            .filter(|c| c.is_float())
+            .map(|c| self.fraction(*c))
+            .sum()
     }
 
     /// Merges another mix into this one.
@@ -166,10 +177,24 @@ impl InstructionMix {
 
 /// A lightweight observer that only collects the instruction mix (used by the
 /// Figure 6 experiment, which measures the mix of already-compiled programs).
+/// Counts land in a flat per-class array; [`MixObserver::mix`] converts to an
+/// [`InstructionMix`] once the run is over.
 #[derive(Debug, Default, Clone)]
 pub struct MixObserver {
+    counts: [u64; InstClass::ALL.len()],
+}
+
+impl MixObserver {
     /// The accumulated mix.
-    pub mix: InstructionMix,
+    pub fn mix(&self) -> InstructionMix {
+        let mut mix = InstructionMix::default();
+        for (class, count) in InstClass::ALL.iter().zip(self.counts) {
+            if count > 0 {
+                mix.counts.insert(*class, count);
+            }
+        }
+        mix
+    }
 }
 
 impl Observer for MixObserver {
@@ -177,11 +202,12 @@ impl Observer for MixObserver {
         // A CISC instruction with a folded memory operand performs a load even
         // though its opcode class is arithmetic; count it as a load, matching
         // how a binary-level profiler would classify the micro-operation mix.
-        if event.mem_read.is_some() && event.class != InstClass::Load {
-            self.mix.record(InstClass::Load);
+        let class = if event.mem_read.is_some() && event.class != InstClass::Load {
+            InstClass::Load
         } else {
-            self.mix.record(event.class);
-        }
+            event.class
+        };
+        self.counts[class.index()] += 1;
     }
 }
 
@@ -230,25 +256,44 @@ impl StatisticalProfile {
 
     /// The branch profile of a block's terminator, if it is a conditional branch.
     pub fn terminator_branch(&self, node: NodeKey) -> Option<&BranchProfile> {
-        self.branches.get(&SiteKey { node, index: u32::MAX })
+        self.branches.get(&SiteKey {
+            node,
+            index: u32::MAX,
+        })
     }
 
     /// Merges another profile into this one (benchmark consolidation).  Node
     /// keys from `other` are shifted by `func_offset` so the two programs'
     /// functions never collide.
     pub fn merge_with_offset(&mut self, other: &StatisticalProfile, func_offset: u32) {
-        let shift_node = |n: NodeKey| NodeKey { func: n.func + func_offset, block: n.block };
-        let shift_site = |s: SiteKey| SiteKey { node: shift_node(s.node), index: s.index };
+        let shift_node = |n: NodeKey| NodeKey {
+            func: n.func + func_offset,
+            block: n.block,
+        };
+        let shift_site = |s: SiteKey| SiteKey {
+            node: shift_node(s.node),
+            index: s.index,
+        };
 
         let mut shifted = other.clone();
-        shifted.sfgl.nodes = other.sfgl.nodes.iter().map(|(k, v)| (shift_node(*k), *v)).collect();
+        shifted.sfgl.nodes = other
+            .sfgl
+            .nodes
+            .iter()
+            .map(|(k, v)| (shift_node(*k), *v))
+            .collect();
         shifted.sfgl.edges = other
             .sfgl
             .edges
             .iter()
             .map(|((a, b), v)| ((shift_node(*a), shift_node(*b)), *v))
             .collect();
-        shifted.sfgl.calls = other.sfgl.calls.iter().map(|(f, c)| (f + func_offset, *c)).collect();
+        shifted.sfgl.calls = other
+            .sfgl
+            .calls
+            .iter()
+            .map(|(f, c)| (f + func_offset, *c))
+            .collect();
         for l in &mut shifted.sfgl.loops {
             l.header = shift_node(l.header);
             l.blocks = l.blocks.iter().map(|b| shift_node(*b)).collect();
@@ -272,7 +317,12 @@ impl StatisticalProfile {
     /// Largest function index mentioned in the profile plus one (used when
     /// consolidating profiles to compute the next offset).
     pub fn function_span(&self) -> u32 {
-        self.sfgl.nodes.keys().map(|k| k.func + 1).max().unwrap_or(0)
+        self.sfgl
+            .nodes
+            .keys()
+            .map(|k| k.func + 1)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -288,22 +338,58 @@ pub struct ProfileConfig {
 
 impl Default for ProfileConfig {
     fn default() -> Self {
-        ProfileConfig { reference_cache: CacheConfig::kb(8), max_instructions: u64::MAX }
+        ProfileConfig {
+            reference_cache: CacheConfig::kb(8),
+            max_instructions: u64::MAX,
+        }
     }
 }
 
-/// Profiles a compiled workload: executes it and returns its statistical profile.
-pub fn profile_program(program: &Program, name: &str, config: &ProfileConfig) -> StatisticalProfile {
-    let mut collector = Collector::new(program, config);
-    let outcome = execute(
-        program,
+/// Profiles a compiled workload: executes it on the predecoded engine and
+/// returns its statistical profile.
+pub fn profile_program(
+    program: &Program,
+    name: &str,
+    config: &ProfileConfig,
+) -> StatisticalProfile {
+    let image = ExecImage::new(program);
+    let mut collector = Collector::new(program, &image, config);
+    let outcome = execute_image(
+        &image,
         &mut collector,
-        &ExecConfig { max_instructions: config.max_instructions, ..ExecConfig::default() },
+        &ExecConfig {
+            max_instructions: config.max_instructions,
+            ..ExecConfig::default()
+        },
     );
     collector.finish(program, name, outcome.dynamic_instructions)
 }
 
-struct Collector {
+/// Reference implementation of [`profile_program`]: the pre-predecode
+/// collection stack, verbatim — the legacy tree-walking executor feeding a
+/// collector that hashes `BTreeMap` keys on every dynamic event.  Exists so
+/// differential tests can prove the flat collector and predecoded engine
+/// leave profiles bit-identical, and as the measured baseline in
+/// `BENCH_interp.json`; measure-everything callers use [`profile_program`].
+pub fn profile_program_reference(
+    program: &Program,
+    name: &str,
+    config: &ProfileConfig,
+) -> StatisticalProfile {
+    let mut collector = ReferenceCollector::new(program, config);
+    let outcome: ExecOutcome = execute_legacy(
+        program,
+        &mut collector,
+        &ExecConfig {
+            max_instructions: config.max_instructions,
+            ..ExecConfig::default()
+        },
+    );
+    collector.finish(program, name, outcome.dynamic_instructions)
+}
+
+/// The pre-predecode profile collector (see [`profile_program_reference`]).
+struct ReferenceCollector {
     sfgl_nodes: BTreeMap<NodeKey, u64>,
     sfgl_edges: BTreeMap<(NodeKey, NodeKey), u64>,
     calls: BTreeMap<u32, u64>,
@@ -314,22 +400,25 @@ struct Collector {
     loop_control_blocks: std::collections::BTreeSet<NodeKey>,
 }
 
-impl Collector {
+impl ReferenceCollector {
     fn new(program: &Program, config: &ProfileConfig) -> Self {
-        // Precompute the blocks whose terminating branch controls a loop
-        // (loop headers and latches) so the branch profile can separate loop
-        // branches from ordinary if/else branches.
         let mut loop_control_blocks = std::collections::BTreeSet::new();
         for (fi, f) in program.functions.iter().enumerate() {
             let forest = LoopForest::compute(f);
             for l in &forest.loops {
-                loop_control_blocks.insert(NodeKey { func: fi as u32, block: l.header.0 });
+                loop_control_blocks.insert(NodeKey {
+                    func: fi as u32,
+                    block: l.header.0,
+                });
                 for latch in &l.latches {
-                    loop_control_blocks.insert(NodeKey { func: fi as u32, block: latch.0 });
+                    loop_control_blocks.insert(NodeKey {
+                        func: fi as u32,
+                        block: latch.0,
+                    });
                 }
             }
         }
-        Collector {
+        ReferenceCollector {
             sfgl_nodes: BTreeMap::new(),
             sfgl_edges: BTreeMap::new(),
             calls: BTreeMap::new(),
@@ -341,95 +430,30 @@ impl Collector {
         }
     }
 
-    fn finish(self, program: &Program, name: &str, dynamic_instructions: u64) -> StatisticalProfile {
-        // Loop annotations: combine the static loop structure with the
-        // observed edge counts.
-        let mut loops: Vec<SfglLoop> = Vec::new();
-        for (fi, f) in program.functions.iter().enumerate() {
-            let forest = LoopForest::compute(f);
-            // Map from forest-local loop index to index in the combined vector
-            // (loops that never executed are skipped, so parents are remapped).
-            let mut index_map: Vec<Option<usize>> = vec![None; forest.loops.len()];
-            for (fl_idx, l) in forest.loops.iter().enumerate() {
-                let header = NodeKey { func: fi as u32, block: l.header.0 };
-                let blocks: std::collections::BTreeSet<NodeKey> =
-                    l.blocks.iter().map(|b| NodeKey { func: fi as u32, block: b.0 }).collect();
-                let iterations: u64 = l
-                    .latches
-                    .iter()
-                    .map(|latch| {
-                        self.sfgl_edges
-                            .get(&(NodeKey { func: fi as u32, block: latch.0 }, header))
-                            .copied()
-                            .unwrap_or(0)
-                    })
-                    .sum();
-                let header_count = self.sfgl_nodes.get(&header).copied().unwrap_or(0);
-                let entries = header_count.saturating_sub(iterations);
-                if header_count == 0 {
-                    continue; // the loop never executed
-                }
-                // Remap the parent through the nearest executed ancestor.
-                let mut parent = l.parent;
-                let mapped_parent = loop {
-                    match parent {
-                        None => break None,
-                        Some(p) => match index_map[p] {
-                            Some(mapped) => break Some(mapped),
-                            None => parent = forest.loops[p].parent,
-                        },
-                    }
-                };
-                index_map[fl_idx] = Some(loops.len());
-                loops.push(SfglLoop {
-                    header,
-                    blocks,
-                    entries,
-                    iterations,
-                    depth: l.depth,
-                    parent: mapped_parent,
-                });
-            }
-        }
-
-        // Static per-block instruction descriptors (only for executed blocks).
-        let mut block_code = BTreeMap::new();
-        for (fi, f) in program.functions.iter().enumerate() {
-            for (bi, b) in f.blocks.iter().enumerate() {
-                let key = NodeKey { func: fi as u32, block: bi as u32 };
-                if !self.sfgl_nodes.contains_key(&key) {
-                    continue;
-                }
-                let descs: Vec<InstDescriptor> = b
-                    .insts
-                    .iter()
-                    .map(|i| InstDescriptor {
-                        class: i.class(),
-                        operands: i.operand_kinds(),
-                        is_float: i.class().is_float(),
-                    })
-                    .collect();
-                block_code.insert(key, descs);
-            }
-        }
-        StatisticalProfile {
-            name: name.to_string(),
-            sfgl: Sfgl {
-                nodes: self.sfgl_nodes,
-                edges: self.sfgl_edges,
-                loops,
-                calls: self.calls,
-            },
-            branches: self.branches.into_iter().map(|(k, (b, _))| (k, b)).collect(),
-            memory: self.memory,
-            mix: self.mix,
-            block_code,
+    fn finish(
+        self,
+        program: &Program,
+        name: &str,
+        dynamic_instructions: u64,
+    ) -> StatisticalProfile {
+        build_profile(
+            program,
+            name,
             dynamic_instructions,
-        }
+            self.sfgl_nodes,
+            self.sfgl_edges,
+            self.calls,
+            self.branches
+                .into_iter()
+                .map(|(k, (b, _))| (k, b))
+                .collect(),
+            self.memory,
+            self.mix,
+        )
     }
 }
 
-impl Observer for Collector {
+impl Observer for ReferenceCollector {
     fn on_inst(&mut self, event: &InstEvent) {
         if event.mem_read.is_some() && event.class != InstClass::Load {
             self.mix.record(InstClass::Load);
@@ -447,21 +471,27 @@ impl Observer for Collector {
         }
     }
 
-    fn on_block(&mut self, func: FuncId, block: BlockId) {
-        *self.sfgl_nodes.entry(NodeKey::new(func, block)).or_insert(0) += 1;
+    fn on_block(&mut self, func: FuncId, block: BlockId, _block_idx: u32) {
+        *self
+            .sfgl_nodes
+            .entry(NodeKey::new(func, block))
+            .or_insert(0) += 1;
     }
 
-    fn on_edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+    fn on_edge(&mut self, func: FuncId, from: BlockId, to: BlockId, _edge_idx: u32) {
         *self
             .sfgl_edges
             .entry((NodeKey::new(func, from), NodeKey::new(func, to)))
             .or_insert(0) += 1;
     }
 
-    fn on_branch(&mut self, site: InstSite, taken: bool) {
+    fn on_branch(&mut self, site: InstSite, _site_id: u32, taken: bool) {
         let key = SiteKey::from_site(site);
         let node = key.node;
-        let entry = self.branches.entry(key).or_insert((BranchProfile::default(), None));
+        let entry = self
+            .branches
+            .entry(key)
+            .or_insert((BranchProfile::default(), None));
         entry.0.executed += 1;
         if taken {
             entry.0.taken += 1;
@@ -485,6 +515,314 @@ impl Observer for Collector {
     }
 }
 
+/// Per-branch accumulator (flat, fixed size; see [`Collector`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct BranchAcc {
+    executed: u64,
+    taken: u64,
+    transitions: u64,
+    /// 0 = no previous outcome, 1 = not taken, 2 = taken.
+    prev: u8,
+}
+
+/// The profile collector.  All per-event state is held in flat vectors
+/// indexed by the image's dense site/block/edge indices — the collector does
+/// no hashing or tree searching per dynamic instruction.  The serializable
+/// `BTreeMap` keys of [`StatisticalProfile`] are produced once, in
+/// [`Collector::finish`].
+struct Collector<'a> {
+    image: &'a ExecImage,
+    node_counts: Vec<u64>,
+    edge_counts: Vec<u64>,
+    call_counts: Vec<u64>,
+    branch_acc: Vec<BranchAcc>,
+    memory_acc: Vec<MemoryProfile>,
+    mix_counts: [u64; InstClass::ALL.len()],
+    cache: Cache,
+    /// Per dense block index: does this block's terminator control a loop?
+    is_loop_control: Vec<bool>,
+}
+
+impl<'a> Collector<'a> {
+    fn new(program: &Program, image: &'a ExecImage, config: &ProfileConfig) -> Self {
+        // Precompute the blocks whose terminating branch controls a loop
+        // (loop headers and latches) so the branch profile can separate loop
+        // branches from ordinary if/else branches.
+        let mut is_loop_control = vec![false; image.num_blocks()];
+        for (fi, f) in program.functions.iter().enumerate() {
+            let forest = LoopForest::compute(f);
+            for l in &forest.loops {
+                is_loop_control
+                    [image.block_index(FuncId(fi as u32), BlockId(l.header.0)) as usize] = true;
+                for latch in &l.latches {
+                    is_loop_control
+                        [image.block_index(FuncId(fi as u32), BlockId(latch.0)) as usize] = true;
+                }
+            }
+        }
+        Collector {
+            image,
+            node_counts: vec![0; image.num_blocks()],
+            edge_counts: vec![0; image.num_edges()],
+            call_counts: vec![0; image.num_funcs()],
+            branch_acc: vec![BranchAcc::default(); image.num_sites()],
+            memory_acc: vec![MemoryProfile::default(); image.num_sites()],
+            mix_counts: [0; InstClass::ALL.len()],
+            cache: Cache::new(config.reference_cache),
+            is_loop_control,
+        }
+    }
+
+    fn finish(
+        self,
+        program: &Program,
+        name: &str,
+        dynamic_instructions: u64,
+    ) -> StatisticalProfile {
+        // Convert the flat per-index tables to the profile's serializable
+        // keyed maps (only entries that actually executed get a key).
+        let image = self.image;
+        let node_key = |idx: u32| {
+            let (f, b) = image.block_key(idx);
+            NodeKey::new(f, b)
+        };
+        let sfgl_nodes: BTreeMap<NodeKey, u64> = self
+            .node_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (node_key(i as u32), *c))
+            .collect();
+        let sfgl_edges: BTreeMap<(NodeKey, NodeKey), u64> = self
+            .edge_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                let (from, to) = image.edge_blocks(i as u32);
+                ((node_key(from), node_key(to)), *c)
+            })
+            .collect();
+        let calls: BTreeMap<u32, u64> = self
+            .call_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i as u32, *c))
+            .collect();
+        let branches: BTreeMap<SiteKey, BranchProfile> = self
+            .branch_acc
+            .iter()
+            .enumerate()
+            .filter(|(_, acc)| acc.executed > 0)
+            .map(|(id, acc)| {
+                let meta = image.site_meta(id as u32);
+                let block_idx = image.block_index(meta.site.func, meta.site.block);
+                (
+                    SiteKey::from_site(meta.site),
+                    BranchProfile {
+                        executed: acc.executed,
+                        taken: acc.taken,
+                        transitions: acc.transitions,
+                        is_loop_back: self.is_loop_control[block_idx as usize],
+                    },
+                )
+            })
+            .collect();
+        let memory: BTreeMap<SiteKey, MemoryProfile> = self
+            .memory_acc
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.accesses > 0)
+            .map(|(id, m)| (SiteKey::from_site(image.site_meta(id as u32).site), *m))
+            .collect();
+        let mut mix = InstructionMix::default();
+        for (class, count) in InstClass::ALL.iter().zip(self.mix_counts) {
+            if count > 0 {
+                mix.counts.insert(*class, count);
+            }
+        }
+        build_profile(
+            program,
+            name,
+            dynamic_instructions,
+            sfgl_nodes,
+            sfgl_edges,
+            calls,
+            branches,
+            memory,
+            mix,
+        )
+    }
+}
+
+/// Assembles a [`StatisticalProfile`] from collected counts: annotates loops
+/// by combining the static loop forest with observed edge counts, and
+/// records static per-block instruction descriptors for executed blocks.
+/// Shared by the flat collector and the map-based reference collector.
+#[allow(clippy::too_many_arguments)]
+fn build_profile(
+    program: &Program,
+    name: &str,
+    dynamic_instructions: u64,
+    sfgl_nodes: BTreeMap<NodeKey, u64>,
+    sfgl_edges: BTreeMap<(NodeKey, NodeKey), u64>,
+    calls: BTreeMap<u32, u64>,
+    branches: BTreeMap<SiteKey, BranchProfile>,
+    memory: BTreeMap<SiteKey, MemoryProfile>,
+    mix: InstructionMix,
+) -> StatisticalProfile {
+    // Loop annotations: combine the static loop structure with the
+    // observed edge counts.
+    let mut loops: Vec<SfglLoop> = Vec::new();
+    for (fi, f) in program.functions.iter().enumerate() {
+        let forest = LoopForest::compute(f);
+        // Map from forest-local loop index to index in the combined vector
+        // (loops that never executed are skipped, so parents are remapped).
+        let mut index_map: Vec<Option<usize>> = vec![None; forest.loops.len()];
+        for (fl_idx, l) in forest.loops.iter().enumerate() {
+            let header = NodeKey {
+                func: fi as u32,
+                block: l.header.0,
+            };
+            let blocks: std::collections::BTreeSet<NodeKey> = l
+                .blocks
+                .iter()
+                .map(|b| NodeKey {
+                    func: fi as u32,
+                    block: b.0,
+                })
+                .collect();
+            let iterations: u64 = l
+                .latches
+                .iter()
+                .map(|latch| {
+                    sfgl_edges
+                        .get(&(
+                            NodeKey {
+                                func: fi as u32,
+                                block: latch.0,
+                            },
+                            header,
+                        ))
+                        .copied()
+                        .unwrap_or(0)
+                })
+                .sum();
+            let header_count = sfgl_nodes.get(&header).copied().unwrap_or(0);
+            let entries = header_count.saturating_sub(iterations);
+            if header_count == 0 {
+                continue; // the loop never executed
+            }
+            // Remap the parent through the nearest executed ancestor.
+            let mut parent = l.parent;
+            let mapped_parent = loop {
+                match parent {
+                    None => break None,
+                    Some(p) => match index_map[p] {
+                        Some(mapped) => break Some(mapped),
+                        None => parent = forest.loops[p].parent,
+                    },
+                }
+            };
+            index_map[fl_idx] = Some(loops.len());
+            loops.push(SfglLoop {
+                header,
+                blocks,
+                entries,
+                iterations,
+                depth: l.depth,
+                parent: mapped_parent,
+            });
+        }
+    }
+
+    // Static per-block instruction descriptors (only for executed blocks).
+    let mut block_code = BTreeMap::new();
+    for (fi, f) in program.functions.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let key = NodeKey {
+                func: fi as u32,
+                block: bi as u32,
+            };
+            if !sfgl_nodes.contains_key(&key) {
+                continue;
+            }
+            let descs: Vec<InstDescriptor> = b
+                .insts
+                .iter()
+                .map(|i| InstDescriptor {
+                    class: i.class(),
+                    operands: i.operand_kinds(),
+                    is_float: i.class().is_float(),
+                })
+                .collect();
+            block_code.insert(key, descs);
+        }
+    }
+    StatisticalProfile {
+        name: name.to_string(),
+        sfgl: Sfgl {
+            nodes: sfgl_nodes,
+            edges: sfgl_edges,
+            loops,
+            calls,
+        },
+        branches,
+        memory,
+        mix,
+        block_code,
+        dynamic_instructions,
+    }
+}
+
+impl Observer for Collector<'_> {
+    fn on_inst(&mut self, event: &InstEvent) {
+        let class = if event.mem_read.is_some() && event.class != InstClass::Load {
+            InstClass::Load
+        } else {
+            event.class
+        };
+        self.mix_counts[class.index()] += 1;
+        for addr in [event.mem_read, event.mem_write].into_iter().flatten() {
+            let hit = self.cache.access(addr);
+            let entry = &mut self.memory_acc[event.site_id as usize];
+            entry.accesses += 1;
+            if !hit {
+                entry.misses += 1;
+            }
+        }
+    }
+
+    fn on_block(&mut self, _func: FuncId, _block: BlockId, block_idx: u32) {
+        self.node_counts[block_idx as usize] += 1;
+    }
+
+    fn on_edge(&mut self, _func: FuncId, _from: BlockId, _to: BlockId, edge_idx: u32) {
+        self.edge_counts[edge_idx as usize] += 1;
+    }
+
+    // Whether a conditional branch controls a loop (header/latch block) is
+    // static, so the `is_loop_back` flag is filled in at `finish` time; the
+    // per-event work is pure counting.
+    fn on_branch(&mut self, _site: InstSite, site_id: u32, taken: bool) {
+        let acc = &mut self.branch_acc[site_id as usize];
+        acc.executed += 1;
+        let outcome = if taken { 2 } else { 1 };
+        if taken {
+            acc.taken += 1;
+        }
+        if acc.prev != 0 && acc.prev != outcome {
+            acc.transitions += 1;
+        }
+        acc.prev = outcome;
+    }
+
+    fn on_call(&mut self, _caller: FuncId, callee: FuncId) {
+        self.call_counts[callee.0 as usize] += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,12 +841,18 @@ mod tests {
         main.assign_var("acc", Expr::int(0));
         main.for_loop("i", Expr::int(0), Expr::int(100), |b| {
             b.if_then_else(
-                Expr::lt(Expr::bin(bsg_ir::hll::BinOp::Rem, Expr::var("i"), Expr::int(4)), Expr::int(1)),
+                Expr::lt(
+                    Expr::bin(bsg_ir::hll::BinOp::Rem, Expr::var("i"), Expr::int(4)),
+                    Expr::int(1),
+                ),
                 |t| {
                     t.call("touch", vec![Expr::var("i")]);
                 },
                 |e| {
-                    e.assign_var("acc", Expr::add(Expr::var("acc"), Expr::index("data", Expr::var("i"))));
+                    e.assign_var(
+                        "acc",
+                        Expr::add(Expr::var("acc"), Expr::index("data", Expr::var("i"))),
+                    );
                 },
             );
         });
@@ -524,7 +868,11 @@ mod tests {
         let prof = profiled_loop_program();
         assert_eq!(prof.name, "loop-test");
         assert!(prof.dynamic_instructions > 1000);
-        assert!(prof.sfgl.validate().is_empty(), "{:?}", prof.sfgl.validate());
+        assert!(
+            prof.sfgl.validate().is_empty(),
+            "{:?}",
+            prof.sfgl.validate()
+        );
         assert_eq!(prof.sfgl.loops.len(), 1, "one executed loop");
         let l = &prof.sfgl.loops[0];
         assert_eq!(l.entries, 1);
@@ -542,7 +890,10 @@ mod tests {
         assert!(!loop_branches.is_empty());
         assert!(!cond_branches.is_empty());
         // The if condition (i % 4 < 1) has a periodic pattern -> transitions happen.
-        let hard = cond_branches.iter().find(|b| b.executed == 100).expect("the if branch");
+        let hard = cond_branches
+            .iter()
+            .find(|b| b.executed == 100)
+            .expect("the if branch");
         assert!(hard.transition_rate() > 0.2 && hard.transition_rate() < 0.8);
         assert!((hard.taken_rate() - 0.25).abs() < 0.05);
     }
@@ -601,7 +952,10 @@ mod tests {
     fn block_descriptors_cover_executed_blocks() {
         let prof = profiled_loop_program();
         for node in prof.sfgl.nodes.keys() {
-            assert!(prof.block_code.contains_key(node), "missing descriptors for {node:?}");
+            assert!(
+                prof.block_code.contains_key(node),
+                "missing descriptors for {node:?}"
+            );
         }
         let with_memory = prof
             .block_code

@@ -23,7 +23,10 @@ pub struct NodeKey {
 impl NodeKey {
     /// Builds a key from IR identifiers.
     pub fn new(func: FuncId, block: BlockId) -> Self {
-        NodeKey { func: func.0, block: block.0 }
+        NodeKey {
+            func: func.0,
+            block: block.0,
+        }
     }
 
     /// The function id.
@@ -152,7 +155,7 @@ impl Sfgl {
     /// Returns human-readable problems (empty when consistent).
     pub fn validate(&self) -> Vec<String> {
         let mut problems = Vec::new();
-        for ((from, to), _) in &self.edges {
+        for (from, to) in self.edges.keys() {
             if !self.nodes.contains_key(from) {
                 problems.push(format!("edge source {from:?} has no node entry"));
             }
@@ -175,7 +178,10 @@ impl Sfgl {
             if succ.is_empty() {
                 continue; // return blocks have no successors
             }
-            let p: f64 = succ.iter().map(|(to, _)| self.edge_probability(*node, *to)).sum();
+            let p: f64 = succ
+                .iter()
+                .map(|(to, _)| self.edge_probability(*node, *to))
+                .sum();
             if (p - 1.0).abs() > 1e-9 {
                 problems.push(format!("outgoing probabilities of {node:?} sum to {p}"));
             }

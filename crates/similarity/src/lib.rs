@@ -105,7 +105,19 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                 chars.next();
                 // Two-character operators stay together so `<=`, `==`, `++` count as one token.
                 if let Some(&n) = chars.peek() {
-                    if matches!((c, n), ('<', '=') | ('>', '=') | ('=', '=') | ('!', '=') | ('+', '+') | ('-', '-') | ('&', '&') | ('|', '|') | ('<', '<') | ('>', '>')) {
+                    if matches!(
+                        (c, n),
+                        ('<', '=')
+                            | ('>', '=')
+                            | ('=', '=')
+                            | ('!', '=')
+                            | ('+', '+')
+                            | ('-', '-')
+                            | ('&', '&')
+                            | ('|', '|')
+                            | ('<', '<')
+                            | ('>', '>')
+                    ) {
                         sym.push(n);
                         chars.next();
                     }
@@ -140,7 +152,11 @@ pub fn winnow_fingerprints(source: &str, k: usize, w: usize) -> HashSet<u64> {
     }
     let kgrams: Vec<u64> = hashes
         .windows(k)
-        .map(|win| win.iter().fold(0xcbf29ce484222325u64, |acc, h| (acc ^ h).wrapping_mul(0x100000001b3)))
+        .map(|win| {
+            win.iter().fold(0xcbf29ce484222325u64, |acc, h| {
+                (acc ^ h).wrapping_mul(0x100000001b3)
+            })
+        })
         .collect();
     let mut prints = HashSet::new();
     if kgrams.len() <= w {

@@ -10,6 +10,12 @@
 use crate::exec::{InstSite, Observer};
 use serde::{Deserialize, Serialize};
 
+/// A branch's identity as seen by the predictors: the dense site id assigned
+/// by the program's [`ExecImage`](crate::image::ExecImage).  Using the dense
+/// id (rather than the three-field [`InstSite`]) keeps table indexing to one
+/// multiply on the simulation hot path.
+pub type BranchSite = u32;
+
 /// A 2-bit saturating counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Counter2(u8);
@@ -38,22 +44,21 @@ impl Counter2 {
 /// A branch-direction predictor.
 pub trait Predictor {
     /// Predicts the direction of the branch at `site`.
-    fn predict(&self, site: InstSite) -> bool;
+    fn predict(&self, site: BranchSite) -> bool;
     /// Informs the predictor of the actual outcome.
-    fn update(&mut self, site: InstSite, taken: bool);
+    fn update(&mut self, site: BranchSite, taken: bool);
 
     /// Predicts, updates, and reports whether the prediction was correct.
-    fn predict_and_update(&mut self, site: InstSite, taken: bool) -> bool {
+    fn predict_and_update(&mut self, site: BranchSite, taken: bool) -> bool {
         let p = self.predict(site);
         self.update(site, taken);
         p == taken
     }
 }
 
-fn site_hash(site: InstSite) -> u64 {
+fn site_hash(site: BranchSite) -> u64 {
     // A cheap deterministic mix of the static branch location.
-    let x = (site.func.0 as u64) << 40 ^ (site.block.0 as u64) << 16 ^ site.index as u64;
-    x.wrapping_mul(0x9E3779B97F4A7C15)
+    u64::from(site).wrapping_mul(0x9E3779B97F4A7C15)
 }
 
 /// Bimodal predictor: a table of 2-bit counters indexed by the branch site.
@@ -65,19 +70,21 @@ pub struct Bimodal {
 impl Bimodal {
     /// Creates a predictor with `entries` counters (rounded up to a power of two).
     pub fn new(entries: usize) -> Self {
-        Bimodal { table: vec![Counter2::weakly_taken(); entries.next_power_of_two().max(16)] }
+        Bimodal {
+            table: vec![Counter2::weakly_taken(); entries.next_power_of_two().max(16)],
+        }
     }
 
-    fn index(&self, site: InstSite) -> usize {
+    fn index(&self, site: BranchSite) -> usize {
         (site_hash(site) as usize) & (self.table.len() - 1)
     }
 }
 
 impl Predictor for Bimodal {
-    fn predict(&self, site: InstSite) -> bool {
+    fn predict(&self, site: BranchSite) -> bool {
         self.table[self.index(site)].predict()
     }
-    fn update(&mut self, site: InstSite, taken: bool) {
+    fn update(&mut self, site: BranchSite, taken: bool) {
         let i = self.index(site);
         self.table[i].update(taken);
     }
@@ -101,17 +108,17 @@ impl GShare {
         }
     }
 
-    fn index(&self, site: InstSite) -> usize {
+    fn index(&self, site: BranchSite) -> usize {
         let mask = (1u64 << self.history_bits) - 1;
         ((site_hash(site) ^ (self.history & mask)) as usize) & (self.table.len() - 1)
     }
 }
 
 impl Predictor for GShare {
-    fn predict(&self, site: InstSite) -> bool {
+    fn predict(&self, site: BranchSite) -> bool {
         self.table[self.index(site)].predict()
     }
-    fn update(&mut self, site: InstSite, taken: bool) {
+    fn update(&mut self, site: BranchSite, taken: bool) {
         let i = self.index(site);
         self.table[i].update(taken);
         self.history = (self.history << 1) | taken as u64;
@@ -143,13 +150,13 @@ impl Hybrid {
         Hybrid::new(4096)
     }
 
-    fn meta_index(&self, site: InstSite) -> usize {
+    fn meta_index(&self, site: BranchSite) -> usize {
         (site_hash(site) as usize) & (self.meta.len() - 1)
     }
 }
 
 impl Predictor for Hybrid {
-    fn predict(&self, site: InstSite) -> bool {
+    fn predict(&self, site: BranchSite) -> bool {
         if self.meta[self.meta_index(site)].predict() {
             self.gshare.predict(site)
         } else {
@@ -157,7 +164,7 @@ impl Predictor for Hybrid {
         }
     }
 
-    fn update(&mut self, site: InstSite, taken: bool) {
+    fn update(&mut self, site: BranchSite, taken: bool) {
         let bp = self.bimodal.predict(site);
         let gp = self.gshare.predict(site);
         // Train the chooser toward whichever component was right (only when
@@ -168,6 +175,25 @@ impl Predictor for Hybrid {
         }
         self.bimodal.update(site, taken);
         self.gshare.update(site, taken);
+    }
+
+    /// Fused predict + update computing each component's table index once
+    /// (the default implementation recomputes them in `update`); this sits on
+    /// the pipeline model's per-branch hot path.
+    fn predict_and_update(&mut self, site: BranchSite, taken: bool) -> bool {
+        let bi = self.bimodal.index(site);
+        let gi = self.gshare.index(site);
+        let mi = self.meta_index(site);
+        let bp = self.bimodal.table[bi].predict();
+        let gp = self.gshare.table[gi].predict();
+        let p = if self.meta[mi].predict() { gp } else { bp };
+        if bp != gp {
+            self.meta[mi].update(gp == taken);
+        }
+        self.bimodal.table[bi].update(taken);
+        self.gshare.table[gi].update(taken);
+        self.gshare.history = (self.gshare.history << 1) | taken as u64;
+        p == taken
     }
 }
 
@@ -207,14 +233,17 @@ pub struct PredictorObserver<P> {
 impl<P: Predictor> PredictorObserver<P> {
     /// Wraps a predictor.
     pub fn new(predictor: P) -> Self {
-        PredictorObserver { predictor, stats: BranchStats::default() }
+        PredictorObserver {
+            predictor,
+            stats: BranchStats::default(),
+        }
     }
 }
 
 impl<P: Predictor> Observer for PredictorObserver<P> {
-    fn on_branch(&mut self, site: InstSite, taken: bool) {
+    fn on_branch(&mut self, _site: InstSite, site_id: u32, taken: bool) {
         self.stats.branches += 1;
-        if self.predictor.predict_and_update(site, taken) {
+        if self.predictor.predict_and_update(site_id, taken) {
             self.stats.correct += 1;
         }
     }
@@ -223,10 +252,9 @@ impl<P: Predictor> Observer for PredictorObserver<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bsg_ir::types::{BlockId, FuncId};
 
-    fn site(n: u32) -> InstSite {
-        InstSite { func: FuncId(0), block: BlockId(n), index: usize::MAX }
+    fn site(n: u32) -> BranchSite {
+        n
     }
 
     #[test]
@@ -238,7 +266,10 @@ mod tests {
         }
         assert!(c.predict());
         c.update(false);
-        assert!(c.predict(), "one not-taken does not flip a saturated counter");
+        assert!(
+            c.predict(),
+            "one not-taken does not flip a saturated counter"
+        );
         c.update(false);
         assert!(!c.predict());
     }
@@ -253,7 +284,10 @@ mod tests {
             }
             let _ = i;
         }
-        assert!(correct >= 990, "always-taken branch should be almost perfectly predicted");
+        assert!(
+            correct >= 990,
+            "always-taken branch should be almost perfectly predicted"
+        );
     }
 
     #[test]
@@ -265,7 +299,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct <= 600, "alternating branch defeats a bimodal predictor: {correct}");
+        assert!(
+            correct <= 600,
+            "alternating branch defeats a bimodal predictor: {correct}"
+        );
     }
 
     #[test]
@@ -293,7 +330,11 @@ mod tests {
         let mut b_ok = 0u64;
         for i in 0..6000u64 {
             // Branch 1: strongly biased. Branch 2: period 4 pattern.
-            let (s, taken) = if i % 2 == 0 { (site(10), true) } else { (site(11), (i / 2) % 4 == 0) };
+            let (s, taken) = if i % 2 == 0 {
+                (site(10), true)
+            } else {
+                (site(11), (i / 2) % 4 == 0)
+            };
             if hybrid.predict_and_update(s, taken) {
                 h_ok += 1;
             }
@@ -306,7 +347,10 @@ mod tests {
 
     #[test]
     fn stats_accuracy() {
-        let s = BranchStats { branches: 200, correct: 150 };
+        let s = BranchStats {
+            branches: 200,
+            correct: 150,
+        };
         assert!((s.accuracy() - 0.75).abs() < 1e-12);
         assert!((s.misprediction_rate() - 0.25).abs() < 1e-12);
         assert_eq!(BranchStats::default().accuracy(), 1.0);

@@ -24,7 +24,11 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A configuration with the paper's 32-byte lines and 4-way associativity.
     pub fn kb(size_kb: u64) -> Self {
-        CacheConfig { size_bytes: size_kb * 1024, line_bytes: 32, associativity: 4 }
+        CacheConfig {
+            size_bytes: size_kb * 1024,
+            line_bytes: 32,
+            associativity: 4,
+        }
     }
 
     /// Number of sets.
@@ -34,7 +38,10 @@ impl CacheConfig {
     /// Panics if the configuration is degenerate (zero line size or
     /// associativity, or capacity smaller than one way of lines).
     pub fn sets(&self) -> u64 {
-        assert!(self.line_bytes > 0 && self.associativity > 0, "degenerate cache configuration");
+        assert!(
+            self.line_bytes > 0 && self.associativity > 0,
+            "degenerate cache configuration"
+        );
         let sets = self.size_bytes / (self.line_bytes * self.associativity);
         assert!(sets > 0, "cache smaller than one way");
         sets.next_power_of_two()
@@ -85,13 +92,30 @@ pub struct Cache {
     /// `sets[set]` holds up to `associativity` tags, most recently used last.
     sets: Vec<Vec<u64>>,
     stats: CacheStats,
+    /// `log2(line_bytes)` when the line size is a power of two (it always is
+    /// for the paper's configurations); avoids a 64-bit division per access.
+    line_shift: Option<u32>,
+    /// `sets.len() - 1`; the set count is always a power of two.
+    set_mask: u64,
+    set_shift: u32,
 }
 
 impl Cache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
-        Cache { config, sets: vec![Vec::new(); sets as usize], stats: CacheStats::default() }
+        let line_shift = config
+            .line_bytes
+            .is_power_of_two()
+            .then(|| config.line_bytes.trailing_zeros());
+        Cache {
+            config,
+            sets: vec![Vec::new(); sets as usize],
+            stats: CacheStats::default(),
+            line_shift,
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
+        }
     }
 
     /// The configuration this cache was built with.
@@ -104,10 +128,12 @@ impl Cache {
     /// hit-rate purposes.
     pub fn access(&mut self, addr: u64) -> bool {
         self.stats.accesses += 1;
-        let line = addr / self.config.line_bytes;
-        let set_count = self.sets.len() as u64;
-        let set = (line % set_count) as usize;
-        let tag = line / set_count;
+        let line = match self.line_shift {
+            Some(shift) => addr >> shift,
+            None => addr / self.config.line_bytes,
+        };
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
         let ways = &mut self.sets[set];
         if let Some(pos) = ways.iter().position(|&t| t == tag) {
             ways.remove(pos);
@@ -146,7 +172,9 @@ pub struct CacheSweep {
 impl CacheSweep {
     /// Creates a sweep over the given configurations.
     pub fn new(configs: impl IntoIterator<Item = CacheConfig>) -> Self {
-        CacheSweep { caches: configs.into_iter().map(Cache::new).collect() }
+        CacheSweep {
+            caches: configs.into_iter().map(Cache::new).collect(),
+        }
     }
 
     /// The 1 KB – 32 KB sweep used in Figures 7 and 8 of the paper.
@@ -163,7 +191,10 @@ impl CacheSweep {
 
     /// `(config, stats)` for each simulated cache.
     pub fn results(&self) -> Vec<(CacheConfig, CacheStats)> {
-        self.caches.iter().map(|c| (c.config(), c.stats())).collect()
+        self.caches
+            .iter()
+            .map(|c| (c.config(), c.stats()))
+            .collect()
     }
 
     /// The caches themselves (e.g. to reset them).
@@ -183,12 +214,16 @@ pub struct CacheObserver {
 impl CacheObserver {
     /// Creates an observer over the given configurations.
     pub fn new(configs: impl IntoIterator<Item = CacheConfig>) -> Self {
-        CacheObserver { sweep: CacheSweep::new(configs) }
+        CacheObserver {
+            sweep: CacheSweep::new(configs),
+        }
     }
 
     /// Creates the 1–32 KB paper sweep observer.
     pub fn paper_sweep() -> Self {
-        CacheObserver { sweep: CacheSweep::paper_sweep() }
+        CacheObserver {
+            sweep: CacheSweep::paper_sweep(),
+        }
     }
 }
 
@@ -230,7 +265,11 @@ mod tests {
     #[test]
     fn lru_eviction_order() {
         // Direct-mapped-ish scenario: 1KB, 32B lines, 2-way => 16 sets.
-        let cfg = CacheConfig { size_bytes: 1024, line_bytes: 32, associativity: 2 };
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 32,
+            associativity: 2,
+        };
         let mut c = Cache::new(cfg);
         let set_stride = 32 * 16; // same set, different tags
         let a = 0;

@@ -6,11 +6,34 @@
 //! outcome, memory address touched — to an [`Observer`].  The SFGL profiler,
 //! the cache simulator, the branch predictors and the pipeline timing models
 //! are all observers of the same execution.
+//!
+//! # The predecoded engine
+//!
+//! Interpreter throughput bounds every experiment the harness can run, so the
+//! hot path is built around two ideas:
+//!
+//! 1. **Predecoding** ([`ExecImage`]): the program is flattened once into a
+//!    contiguous step array with resolved branch targets, and every static
+//!    instruction gets a dense `u32` site id that events carry.  Observers
+//!    index flat tables by site id instead of hashing `(func, block, index)`
+//!    triples per dynamic instruction.
+//! 2. **Monomorphization**: [`execute`] is generic over the observer type, so
+//!    observer callbacks inline into the dispatch loop; with [`NullObserver`]
+//!    the event plumbing compiles away entirely.  [`execute_dyn`] remains for
+//!    callers that only have a `&mut dyn Observer`.
+//!
+//! Call frames come from a frame pool and call arguments are written straight
+//! into the callee's registers, so steady-state execution does not allocate.
+//!
+//! The previous tree-walking interpreter is kept as [`execute_legacy`]; it
+//! produces a bit-identical event stream and outcome (differential tests
+//! enforce this) and serves as the measured baseline in `BENCH_interp.json`.
 
+use crate::image::{ExecImage, FrameMem, GlobalMem, Step};
 use bsg_ir::eval::{eval_bin, eval_un};
 use bsg_ir::program::MemoryLayout;
-use bsg_ir::types::{BlockId, FuncId, GlobalId, Reg, Value, WORD_BYTES};
-use bsg_ir::visa::{Address, Inst, InstClass, MemBase, Operand, Terminator};
+use bsg_ir::types::{BlockId, FuncId, GlobalId, Reg, Ty, Value, WORD_BYTES};
+use bsg_ir::visa::{Address, BinOp, Inst, InstClass, MemBase, Operand, Terminator};
 use bsg_ir::Program;
 
 /// Identifies a static instruction (profiling key).
@@ -29,6 +52,10 @@ pub struct InstSite {
 pub struct InstEvent {
     /// Static location of the instruction.
     pub site: InstSite,
+    /// Dense site id of the instruction (index into the program's
+    /// [`ExecImage`] site table).  Observers use this to index flat
+    /// per-site state without hashing.
+    pub site_id: u32,
     /// Classification (load/store/branch/ALU/...).
     pub class: InstClass,
     /// Byte address read, if the instruction reads memory.
@@ -39,26 +66,53 @@ pub struct InstEvent {
 
 /// Observer of a program execution.  All methods have empty default bodies so
 /// implementations only override what they need.
+///
+/// Alongside the IR-level identifiers, every callback carries the dense index
+/// assigned by the program's [`ExecImage`] (site id, block index, edge index)
+/// so observers can keep their per-site state in flat vectors.
 pub trait Observer {
     /// Called for every dynamic instruction.
     fn on_inst(&mut self, event: &InstEvent) {
         let _ = event;
     }
-    /// Called when a basic block is entered.
-    fn on_block(&mut self, func: FuncId, block: BlockId) {
-        let _ = (func, block);
+    /// Called when a basic block is entered; `block_idx` is the dense
+    /// program-wide block index.
+    fn on_block(&mut self, func: FuncId, block: BlockId, block_idx: u32) {
+        let _ = (func, block, block_idx);
     }
-    /// Called for every intra-function control-flow edge.
-    fn on_edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
-        let _ = (func, from, to);
+    /// Called for every intra-function control-flow edge; `edge_idx` is the
+    /// dense program-wide static-edge index.
+    fn on_edge(&mut self, func: FuncId, from: BlockId, to: BlockId, edge_idx: u32) {
+        let _ = (func, from, to, edge_idx);
     }
-    /// Called for every executed conditional branch.
-    fn on_branch(&mut self, site: InstSite, taken: bool) {
-        let _ = (site, taken);
+    /// Called for every executed conditional branch; `site_id` is the dense
+    /// site id of the branch terminator.
+    fn on_branch(&mut self, site: InstSite, site_id: u32, taken: bool) {
+        let _ = (site, site_id, taken);
     }
     /// Called when a function is entered via a call (not for the entry function).
     fn on_call(&mut self, caller: FuncId, callee: FuncId) {
         let _ = (caller, callee);
+    }
+}
+
+/// Forwarding impl so generic executors accept `&mut O` and `&mut dyn
+/// Observer` alike.
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_inst(&mut self, event: &InstEvent) {
+        (**self).on_inst(event);
+    }
+    fn on_block(&mut self, func: FuncId, block: BlockId, block_idx: u32) {
+        (**self).on_block(func, block, block_idx);
+    }
+    fn on_edge(&mut self, func: FuncId, from: BlockId, to: BlockId, edge_idx: u32) {
+        (**self).on_edge(func, from, to, edge_idx);
+    }
+    fn on_branch(&mut self, site: InstSite, site_id: u32, taken: bool) {
+        (**self).on_branch(site, site_id, taken);
+    }
+    fn on_call(&mut self, caller: FuncId, callee: FuncId) {
+        (**self).on_call(caller, callee);
     }
 }
 
@@ -80,7 +134,10 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { max_instructions: u64::MAX, max_call_depth: 256 }
+        ExecConfig {
+            max_instructions: u64::MAX,
+            max_call_depth: 256,
+        }
     }
 }
 
@@ -110,15 +167,60 @@ pub fn run(program: &Program) -> ExecOutcome {
     execute(program, &mut NullObserver, &ExecConfig::default())
 }
 
-/// Executes `program`, reporting every dynamic event to `observer`.
-pub fn execute(program: &Program, observer: &mut dyn Observer, config: &ExecConfig) -> ExecOutcome {
-    let mut machine = Machine::new(program, config);
-    let ret = machine.call(program.entry, &[], observer, 0);
+/// Executes `program` on the predecoded engine, reporting every dynamic event
+/// to `observer`.  Monomorphizes over the observer type; pass a concrete
+/// observer for the fast path.  Builds the [`ExecImage`] internally — use
+/// [`execute_image`] to amortize the build over repeated runs.
+pub fn execute<O: Observer + ?Sized>(
+    program: &Program,
+    observer: &mut O,
+    config: &ExecConfig,
+) -> ExecOutcome {
+    let image = ExecImage::new(program);
+    execute_image(&image, observer, config)
+}
+
+/// Thin `dyn`-dispatch wrapper over [`execute`] for callers that only have a
+/// trait object (kept for API compatibility with the pre-predecode executor).
+pub fn execute_dyn(
+    program: &Program,
+    observer: &mut dyn Observer,
+    config: &ExecConfig,
+) -> ExecOutcome {
+    execute(program, observer, config)
+}
+
+/// Executes a prebuilt [`ExecImage`] on the predecoded engine.
+pub fn execute_image<O: Observer + ?Sized>(
+    image: &ExecImage,
+    observer: &mut O,
+    config: &ExecConfig,
+) -> ExecOutcome {
+    let mut engine = Engine {
+        image,
+        globals: image.initial_globals.clone(),
+        printed: Vec::new(),
+        instructions: 0,
+        halted: false,
+        config: *config,
+        frame_pool: Vec::new(),
+    };
+    let ret = if engine.config.max_call_depth == 0 {
+        engine.halted = true;
+        None
+    } else {
+        let entry = image.entry;
+        let f = &image.funcs[entry as usize];
+        let mut frame = engine.acquire_frame(f.num_regs, f.frame_words);
+        let ret = engine.run_function(entry, &mut frame, 0, observer);
+        engine.frame_pool.push(frame);
+        ret
+    };
     ExecOutcome {
-        printed: machine.printed,
+        printed: engine.printed,
         return_value: ret,
-        dynamic_instructions: machine.instructions,
-        completed: !machine.halted,
+        dynamic_instructions: engine.instructions,
+        completed: !engine.halted,
     }
 }
 
@@ -147,17 +249,17 @@ impl Observer for PairObserver<'_> {
         self.first.on_inst(event);
         self.second.on_inst(event);
     }
-    fn on_block(&mut self, func: FuncId, block: BlockId) {
-        self.first.on_block(func, block);
-        self.second.on_block(func, block);
+    fn on_block(&mut self, func: FuncId, block: BlockId, block_idx: u32) {
+        self.first.on_block(func, block, block_idx);
+        self.second.on_block(func, block, block_idx);
     }
-    fn on_edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
-        self.first.on_edge(func, from, to);
-        self.second.on_edge(func, from, to);
+    fn on_edge(&mut self, func: FuncId, from: BlockId, to: BlockId, edge_idx: u32) {
+        self.first.on_edge(func, from, to, edge_idx);
+        self.second.on_edge(func, from, to, edge_idx);
     }
-    fn on_branch(&mut self, site: InstSite, taken: bool) {
-        self.first.on_branch(site, taken);
-        self.second.on_branch(site, taken);
+    fn on_branch(&mut self, site: InstSite, site_id: u32, taken: bool) {
+        self.first.on_branch(site, site_id, taken);
+        self.second.on_branch(site, site_id, taken);
     }
     fn on_call(&mut self, caller: FuncId, callee: FuncId) {
         self.first.on_call(caller, callee);
@@ -165,8 +267,479 @@ impl Observer for PairObserver<'_> {
     }
 }
 
-struct Machine<'a> {
+/// Integer binary-operation semantics, specialized so the predecoded
+/// engine's ALU path is a small inlinable match (the image splits `Bin` by
+/// type at decode time).  Must agree exactly with
+/// [`eval_bin`]`(op, Ty::Int, ..)` — a unit test and the engine differential
+/// tests enforce this.
+#[inline]
+fn int_bin(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+    }
+}
+
+/// A reusable call frame from the engine's frame pool.
+struct FrameBuf {
+    regs: Vec<Value>,
+    slots: Vec<Value>,
+}
+
+/// The predecoded execution engine (one run's mutable state).
+struct Engine<'a> {
+    image: &'a ExecImage,
+    /// Flattened global store (see `ExecImage::initial_globals`).
+    globals: Vec<Value>,
+    printed: Vec<Value>,
+    instructions: u64,
+    halted: bool,
+    config: ExecConfig,
+    frame_pool: Vec<FrameBuf>,
+}
+
+impl<'a> Engine<'a> {
+    fn acquire_frame(&mut self, num_regs: u32, frame_words: u32) -> FrameBuf {
+        let mut frame = self.frame_pool.pop().unwrap_or(FrameBuf {
+            regs: Vec::new(),
+            slots: Vec::new(),
+        });
+        frame.regs.clear();
+        frame
+            .regs
+            .resize(num_regs.max(1) as usize, Value::default());
+        frame.slots.clear();
+        frame
+            .slots
+            .resize(frame_words.max(1) as usize, Value::default());
+        frame
+    }
+
+    #[inline]
+    fn operand(
+        &self,
+        op: &Operand,
+        frame: &FrameBuf,
+        depth: usize,
+        mem_read: &mut Option<u64>,
+    ) -> Value {
+        match op {
+            Operand::Reg(r) => frame.regs[r.0 as usize],
+            Operand::ImmInt(v) => Value::Int(*v),
+            Operand::ImmFloat(v) => Value::Float(*v),
+            Operand::Mem(addr) => {
+                let (value, byte_addr) = self.read_memory(addr, frame, depth);
+                *mem_read = Some(byte_addr);
+                value
+            }
+        }
+    }
+
+    #[inline]
+    fn element_index(addr: &Address, frame: &FrameBuf) -> i64 {
+        let idx = addr
+            .index
+            .map(|r: Reg| frame.regs[r.0 as usize].as_int())
+            .unwrap_or(0);
+        addr.offset + idx * addr.scale
+    }
+
+    fn read_memory(&self, addr: &Address, frame: &FrameBuf, depth: usize) -> (Value, u64) {
+        let elem = Self::element_index(addr, frame);
+        match addr.base {
+            MemBase::Global(g) => {
+                let byte = self.image.layout.global_addr(g, elem);
+                let (start, len) = self.image.global_bounds[g.index()];
+                let i = elem.rem_euclid(i64::from(len).max(1)) as usize;
+                (self.globals[start as usize + i], byte)
+            }
+            MemBase::Frame => {
+                let byte = self.image.layout.frame_addr(depth, elem);
+                let n = frame.slots.len() as i64;
+                (frame.slots[elem.rem_euclid(n) as usize], byte)
+            }
+        }
+    }
+
+    /// Element index of a predecoded global/frame reference.
+    #[inline]
+    fn mem_elem(offset: i64, index: u32, scale: i64, frame: &FrameBuf) -> i64 {
+        if index == u32::MAX {
+            offset
+        } else {
+            offset + frame.regs[index as usize].as_int() * scale
+        }
+    }
+
+    /// In-array element for `elem` under the executor's wrapping semantics.
+    /// Fast path: the overwhelmingly common in-bounds access avoids the
+    /// `rem_euclid` division entirely (for `0 <= elem < len`, `elem
+    /// rem_euclid len == elem`).
+    #[inline]
+    fn wrap(elem: i64, len: usize) -> usize {
+        if (elem as u64) < len as u64 {
+            elem as usize
+        } else {
+            elem.rem_euclid((len as i64).max(1)) as usize
+        }
+    }
+
+    #[inline]
+    fn global_index(mem: &GlobalMem, elem: i64, len: usize) -> usize {
+        if mem.mask != u64::MAX {
+            (elem as u64 & mem.mask) as usize
+        } else {
+            Self::wrap(elem, len)
+        }
+    }
+
+    #[inline]
+    fn load_global(&self, mem: &GlobalMem, frame: &FrameBuf) -> (Value, u64) {
+        let elem = Self::mem_elem(mem.offset, mem.index, mem.scale, frame);
+        let byte = mem
+            .base_byte
+            .wrapping_add((elem as u64).wrapping_mul(WORD_BYTES));
+        let i = Self::global_index(mem, elem, mem.len as usize);
+        (self.globals[mem.start as usize + i], byte)
+    }
+
+    #[inline]
+    fn store_global(&mut self, mem: &GlobalMem, frame: &FrameBuf, value: Value) -> u64 {
+        let elem = Self::mem_elem(mem.offset, mem.index, mem.scale, frame);
+        let byte = mem
+            .base_byte
+            .wrapping_add((elem as u64).wrapping_mul(WORD_BYTES));
+        let i = Self::global_index(mem, elem, mem.len as usize);
+        self.globals[mem.start as usize + i] = value;
+        byte
+    }
+
+    #[inline]
+    fn frame_slot(mem: &FrameMem, frame: &FrameBuf) -> (usize, i64) {
+        let elem = Self::mem_elem(mem.offset, mem.index, mem.scale, frame);
+        (Self::wrap(elem, frame.slots.len()), elem)
+    }
+
+    /// Runs one function activation.  `frame` is already sized and (for
+    /// calls) parameter registers are already filled by the caller.
+    ///
+    /// The instruction counter and halt flag live in locals for the duration
+    /// of the dispatch loop (synced back to the engine around calls and
+    /// returns), and the step/meta tables are indexed through slices whose
+    /// equal length is established once, so the per-instruction overhead is
+    /// one bounds check and no memory traffic to engine state.
+    fn run_function<O: Observer + ?Sized>(
+        &mut self,
+        func_idx: u32,
+        frame: &mut FrameBuf,
+        depth: usize,
+        observer: &mut O,
+    ) -> Option<Value> {
+        let image = self.image;
+        let steps: &[Step] = &image.steps;
+        let metas: &[crate::image::SiteMeta] = image.site_metas();
+        assert_eq!(steps.len(), metas.len(), "image tables are parallel");
+        let max_instructions = self.config.max_instructions;
+        let mut instructions = self.instructions;
+        let mut halted = self.halted;
+        macro_rules! sync_out {
+            () => {
+                self.instructions = instructions;
+                self.halted = halted;
+            };
+        }
+        let func_id = FuncId(func_idx);
+        let f = &image.funcs[func_idx as usize];
+        let mut pc = f.entry_pc as usize;
+        observer.on_block(func_id, f.entry_block, f.entry_block_idx);
+        if halted {
+            sync_out!();
+            return None;
+        }
+        loop {
+            match &steps[pc] {
+                Step::Jump(t) => {
+                    let from = metas[pc].site.block;
+                    observer.on_edge(func_id, from, t.block, t.edge_idx);
+                    observer.on_block(func_id, t.block, t.block_idx);
+                    pc = t.pc as usize;
+                    if halted {
+                        sync_out!();
+                        return None;
+                    }
+                }
+                Step::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    instructions += 1;
+                    if instructions >= max_instructions {
+                        halted = true;
+                    }
+                    let site = metas[pc].site;
+                    let t = frame.regs[*cond as usize].is_true();
+                    observer.on_inst(&InstEvent {
+                        site,
+                        site_id: pc as u32,
+                        class: InstClass::Branch,
+                        mem_read: None,
+                        mem_write: None,
+                    });
+                    observer.on_branch(site, pc as u32, t);
+                    let target = if t { taken } else { not_taken };
+                    observer.on_edge(func_id, site.block, target.block, target.edge_idx);
+                    observer.on_block(func_id, target.block, target.block_idx);
+                    pc = target.pc as usize;
+                    if halted {
+                        sync_out!();
+                        return None;
+                    }
+                }
+                Step::Return { value } => {
+                    instructions += 1;
+                    if instructions >= max_instructions {
+                        halted = true;
+                    }
+                    let site = metas[pc].site;
+                    observer.on_inst(&InstEvent {
+                        site,
+                        site_id: pc as u32,
+                        class: InstClass::Branch,
+                        mem_read: None,
+                        mem_write: None,
+                    });
+                    sync_out!();
+                    let mut sink = None;
+                    return value
+                        .as_ref()
+                        .map(|op| self.operand(op, frame, depth, &mut sink));
+                }
+                step => {
+                    if halted {
+                        sync_out!();
+                        return None;
+                    }
+                    instructions += 1;
+                    if instructions >= max_instructions {
+                        halted = true;
+                    }
+                    let mut mem_read: Option<u64> = None;
+                    let mut mem_write: Option<u64> = None;
+                    match step {
+                        Step::AddRR { dst, lhs, rhs } => {
+                            let a = frame.regs[*lhs as usize].as_int();
+                            let b = frame.regs[*rhs as usize].as_int();
+                            frame.regs[*dst as usize] = Value::Int(a.wrapping_add(b));
+                        }
+                        Step::AddRI { dst, lhs, imm } => {
+                            let a = frame.regs[*lhs as usize].as_int();
+                            frame.regs[*dst as usize] = Value::Int(a.wrapping_add(*imm));
+                        }
+                        Step::MulRI { dst, lhs, imm } => {
+                            let a = frame.regs[*lhs as usize].as_int();
+                            frame.regs[*dst as usize] = Value::Int(a.wrapping_mul(*imm));
+                        }
+                        Step::LtRI { dst, lhs, imm } => {
+                            let a = frame.regs[*lhs as usize].as_int();
+                            frame.regs[*dst as usize] = Value::Int((a < *imm) as i64);
+                        }
+                        Step::IntBinRR { op, dst, lhs, rhs } => {
+                            let a = frame.regs[*lhs as usize].as_int();
+                            let b = frame.regs[*rhs as usize].as_int();
+                            frame.regs[*dst as usize] = Value::Int(int_bin(*op, a, b));
+                        }
+                        Step::IntBinRI { op, dst, lhs, imm } => {
+                            let a = frame.regs[*lhs as usize].as_int();
+                            frame.regs[*dst as usize] = Value::Int(int_bin(*op, a, *imm));
+                        }
+                        Step::IntBin { op, dst, lhs, rhs } => {
+                            let a = self.operand(lhs, frame, depth, &mut mem_read);
+                            let b = self.operand(rhs, frame, depth, &mut mem_read);
+                            frame.regs[*dst as usize] =
+                                Value::Int(int_bin(*op, a.as_int(), b.as_int()));
+                        }
+                        Step::FloatBin { op, dst, lhs, rhs } => {
+                            let a = self.operand(lhs, frame, depth, &mut mem_read);
+                            let b = self.operand(rhs, frame, depth, &mut mem_read);
+                            frame.regs[*dst as usize] = eval_bin(*op, Ty::Float, a, b);
+                        }
+                        Step::Un { op, ty, dst, src } => {
+                            let v = self.operand(src, frame, depth, &mut mem_read);
+                            frame.regs[*dst as usize] = eval_un(*op, *ty, v);
+                        }
+                        Step::MovImm { dst, value } => {
+                            frame.regs[*dst as usize] = *value;
+                        }
+                        Step::MovReg { dst, src } => {
+                            frame.regs[*dst as usize] = frame.regs[*src as usize];
+                        }
+                        Step::Mov { dst, src } => {
+                            frame.regs[*dst as usize] =
+                                self.operand(src, frame, depth, &mut mem_read);
+                        }
+                        Step::LoadGlobal { dst, mem } => {
+                            let (value, byte_addr) = self.load_global(mem, frame);
+                            mem_read = Some(byte_addr);
+                            frame.regs[*dst as usize] = value;
+                        }
+                        Step::LoadFrame { dst, mem } => {
+                            let (slot, elem) = Self::frame_slot(mem, frame);
+                            mem_read = Some(self.image.layout.frame_addr(depth, elem));
+                            frame.regs[*dst as usize] = frame.slots[slot];
+                        }
+                        Step::StoreGlobal { src, mem } => {
+                            let v = self.operand(src, frame, depth, &mut mem_read);
+                            mem_write = Some(self.store_global(mem, frame, v));
+                        }
+                        Step::StoreFrame { src, mem } => {
+                            let v = self.operand(src, frame, depth, &mut mem_read);
+                            let (slot, elem) = Self::frame_slot(mem, frame);
+                            frame.slots[slot] = v;
+                            mem_write = Some(self.image.layout.frame_addr(depth, elem));
+                        }
+                        Step::Call {
+                            func,
+                            args_start,
+                            args_len,
+                            dst,
+                        } => {
+                            let callee_idx = *func;
+                            let callee = &image.funcs[callee_idx as usize];
+                            let mut callee_frame =
+                                self.acquire_frame(callee.num_regs, callee.frame_words);
+                            let args = &image.call_args
+                                [*args_start as usize..(*args_start + *args_len) as usize];
+                            for (i, a) in args.iter().enumerate() {
+                                let v = self.operand(a, frame, depth, &mut mem_read);
+                                if let Some(p) = callee.params.get(i) {
+                                    callee_frame.regs[p.0 as usize] = v;
+                                }
+                            }
+                            let site = image.site_meta(pc as u32).site;
+                            observer.on_inst(&InstEvent {
+                                site,
+                                site_id: pc as u32,
+                                class: InstClass::Call,
+                                mem_read,
+                                mem_write: None,
+                            });
+                            observer.on_call(func_id, FuncId(callee_idx));
+                            let ret = if depth + 1 >= self.config.max_call_depth {
+                                halted = true;
+                                None
+                            } else {
+                                sync_out!();
+                                let ret = self.run_function(
+                                    callee_idx,
+                                    &mut callee_frame,
+                                    depth + 1,
+                                    observer,
+                                );
+                                instructions = self.instructions;
+                                halted = self.halted;
+                                ret
+                            };
+                            self.frame_pool.push(callee_frame);
+                            if *dst != u32::MAX {
+                                if let Some(v) = ret {
+                                    frame.regs[*dst as usize] = v;
+                                }
+                            }
+                            pc += 1;
+                            continue; // the event was already emitted
+                        }
+                        Step::Print { src } => {
+                            let v = self.operand(src, frame, depth, &mut mem_read);
+                            self.printed.push(v);
+                        }
+                        Step::Nop => {}
+                        Step::Jump(_) | Step::Branch { .. } | Step::Return { .. } => {
+                            unreachable!("terminators handled above")
+                        }
+                    }
+                    let meta = &metas[pc];
+                    observer.on_inst(&InstEvent {
+                        site: meta.site,
+                        site_id: pc as u32,
+                        class: meta.class,
+                        mem_read,
+                        mem_write,
+                    });
+                    pc += 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy tree-walking interpreter
+// ---------------------------------------------------------------------------
+
+/// Executes `program` on the pre-predecode tree-walking interpreter.
+///
+/// This walks the nested `Program` representation and dispatches every event
+/// through `dyn Observer`, exactly as the executor did before the predecoded
+/// engine landed.  It exists for two reasons: differential tests prove the
+/// predecoded engine produces a bit-identical event stream and outcome, and
+/// `interp_bench` measures the speedup against it.  (Dense event indices are
+/// computed from an [`ExecImage`] by table lookup so both engines share the
+/// [`Observer`] trait.)
+pub fn execute_legacy(
+    program: &Program,
+    observer: &mut dyn Observer,
+    config: &ExecConfig,
+) -> ExecOutcome {
+    let image = ExecImage::new(program);
+    let mut machine = LegacyMachine {
+        program,
+        image: &image,
+        layout: program.memory_layout(),
+        globals: program.globals.iter().map(|g| g.initial_values()).collect(),
+        printed: Vec::new(),
+        instructions: 0,
+        halted: false,
+        config: *config,
+    };
+    let ret = machine.call(program.entry, &[], observer, 0);
+    ExecOutcome {
+        printed: machine.printed,
+        return_value: ret,
+        dynamic_instructions: machine.instructions,
+        completed: !machine.halted,
+    }
+}
+
+struct LegacyMachine<'a> {
     program: &'a Program,
+    image: &'a ExecImage,
     layout: MemoryLayout,
     globals: Vec<Vec<Value>>,
     printed: Vec<Value>,
@@ -175,25 +748,13 @@ struct Machine<'a> {
     config: ExecConfig,
 }
 
-struct Frame {
+struct LegacyFrame {
     regs: Vec<Value>,
     slots: Vec<Value>,
     depth: usize,
 }
 
-impl<'a> Machine<'a> {
-    fn new(program: &'a Program, config: &ExecConfig) -> Self {
-        Machine {
-            program,
-            layout: program.memory_layout(),
-            globals: program.globals.iter().map(|g| g.initial_values()).collect(),
-            printed: Vec::new(),
-            instructions: 0,
-            halted: false,
-            config: *config,
-        }
-    }
-
+impl<'a> LegacyMachine<'a> {
     fn count_inst(&mut self) {
         self.instructions += 1;
         if self.instructions >= self.config.max_instructions {
@@ -213,7 +774,7 @@ impl<'a> Machine<'a> {
             return None;
         }
         let func = self.program.function(func_id);
-        let mut frame = Frame {
+        let mut frame = LegacyFrame {
             regs: vec![Value::default(); func.num_regs.max(1) as usize],
             slots: vec![Value::default(); (func.frame_words.max(1)) as usize],
             depth,
@@ -223,7 +784,7 @@ impl<'a> Machine<'a> {
         }
 
         let mut block_id = func.entry;
-        observer.on_block(func_id, block_id);
+        observer.on_block(func_id, block_id, self.image.block_index(func_id, block_id));
         loop {
             if self.halted {
                 return None;
@@ -233,36 +794,59 @@ impl<'a> Machine<'a> {
                 if self.halted {
                     return None;
                 }
-                let site = InstSite { func: func_id, block: block_id, index };
+                let site = InstSite {
+                    func: func_id,
+                    block: block_id,
+                    index,
+                };
                 self.step(inst, site, &mut frame, observer, func_id, depth);
             }
             // Terminator.
-            let term_site = InstSite { func: func_id, block: block_id, index: usize::MAX };
+            let term_site = InstSite {
+                func: func_id,
+                block: block_id,
+                index: usize::MAX,
+            };
+            let term_id = self.image.site_id(func_id, block_id, usize::MAX);
             match &block.term {
                 Terminator::Jump(next) => {
-                    observer.on_edge(func_id, block_id, *next);
+                    let edge = self
+                        .image
+                        .edge_index(func_id, block_id, *next)
+                        .expect("static edge");
+                    observer.on_edge(func_id, block_id, *next, edge);
                     block_id = *next;
-                    observer.on_block(func_id, block_id);
+                    observer.on_block(func_id, block_id, self.image.block_index(func_id, block_id));
                 }
-                Terminator::Branch { cond, taken, not_taken } => {
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
                     self.count_inst();
                     let t = frame.regs[cond.0 as usize].is_true();
                     observer.on_inst(&InstEvent {
                         site: term_site,
+                        site_id: term_id,
                         class: InstClass::Branch,
                         mem_read: None,
                         mem_write: None,
                     });
-                    observer.on_branch(term_site, t);
+                    observer.on_branch(term_site, term_id, t);
                     let next = if t { *taken } else { *not_taken };
-                    observer.on_edge(func_id, block_id, next);
+                    let edge = self
+                        .image
+                        .edge_index(func_id, block_id, next)
+                        .expect("static edge");
+                    observer.on_edge(func_id, block_id, next, edge);
                     block_id = next;
-                    observer.on_block(func_id, block_id);
+                    observer.on_block(func_id, block_id, self.image.block_index(func_id, block_id));
                 }
                 Terminator::Return(v) => {
                     self.count_inst();
                     observer.on_inst(&InstEvent {
                         site: term_site,
+                        site_id: term_id,
                         class: InstClass::Branch,
                         mem_read: None,
                         mem_write: None,
@@ -278,16 +862,23 @@ impl<'a> Machine<'a> {
         &mut self,
         inst: &Inst,
         site: InstSite,
-        frame: &mut Frame,
+        frame: &mut LegacyFrame,
         observer: &mut dyn Observer,
         func_id: FuncId,
         depth: usize,
     ) {
         self.count_inst();
+        let site_id = self.image.site_id(site.func, site.block, site.index);
         let mut mem_read: Option<u64> = None;
         let mut mem_write: Option<u64> = None;
         match inst {
-            Inst::Bin { op, ty, dst, lhs, rhs } => {
+            Inst::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let a = self.operand(lhs, frame, Some(&mut mem_read));
                 let b = self.operand(rhs, frame, Some(&mut mem_read));
                 frame.regs[dst.0 as usize] = eval_bin(*op, *ty, a, b);
@@ -311,10 +902,13 @@ impl<'a> Machine<'a> {
                 mem_write = Some(byte_addr);
             }
             Inst::Call { func, args, dst } => {
-                let arg_values: Vec<Value> =
-                    args.iter().map(|a| self.operand(a, frame, Some(&mut mem_read))).collect();
+                let arg_values: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.operand(a, frame, Some(&mut mem_read)))
+                    .collect();
                 observer.on_inst(&InstEvent {
                     site,
+                    site_id,
                     class: InstClass::Call,
                     mem_read,
                     mem_write: None,
@@ -332,10 +926,21 @@ impl<'a> Machine<'a> {
             }
             Inst::Nop => {}
         }
-        observer.on_inst(&InstEvent { site, class: inst.class(), mem_read, mem_write });
+        observer.on_inst(&InstEvent {
+            site,
+            site_id,
+            class: inst.class(),
+            mem_read,
+            mem_write,
+        });
     }
 
-    fn operand(&mut self, op: &Operand, frame: &mut Frame, mem_read: Option<&mut Option<u64>>) -> Value {
+    fn operand(
+        &mut self,
+        op: &Operand,
+        frame: &mut LegacyFrame,
+        mem_read: Option<&mut Option<u64>>,
+    ) -> Value {
         match op {
             Operand::Reg(r) => frame.regs[r.0 as usize],
             Operand::ImmInt(v) => Value::Int(*v),
@@ -350,12 +955,15 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn element_index(addr: &Address, frame: &Frame) -> i64 {
-        let idx = addr.index.map(|r: Reg| frame.regs[r.0 as usize].as_int()).unwrap_or(0);
+    fn element_index(addr: &Address, frame: &LegacyFrame) -> i64 {
+        let idx = addr
+            .index
+            .map(|r: Reg| frame.regs[r.0 as usize].as_int())
+            .unwrap_or(0);
         addr.offset + idx * addr.scale
     }
 
-    fn read_memory(&mut self, addr: &Address, frame: &Frame) -> (Value, u64) {
+    fn read_memory(&mut self, addr: &Address, frame: &LegacyFrame) -> (Value, u64) {
         let elem = Self::element_index(addr, frame);
         match addr.base {
             MemBase::Global(g) => {
@@ -371,7 +979,7 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn write_memory(&mut self, addr: &Address, frame: &mut Frame, value: Value) -> u64 {
+    fn write_memory(&mut self, addr: &Address, frame: &mut LegacyFrame, value: Value) -> u64 {
         let elem = Self::element_index(addr, frame);
         match addr.base {
             MemBase::Global(g) => {
@@ -438,10 +1046,10 @@ impl Observer for CountingObserver {
             self.stores += 1;
         }
     }
-    fn on_block(&mut self, _func: FuncId, _block: BlockId) {
+    fn on_block(&mut self, _func: FuncId, _block: BlockId, _block_idx: u32) {
         self.blocks += 1;
     }
-    fn on_branch(&mut self, _site: InstSite, taken: bool) {
+    fn on_branch(&mut self, _site: InstSite, _site_id: u32, taken: bool) {
         self.branches += 1;
         if taken {
             self.taken_branches += 1;
@@ -470,12 +1078,36 @@ mod tests {
         let r0 = f.fresh_reg();
         let r1 = f.fresh_reg();
         f.blocks[0].insts = vec![
-            Inst::Store { src: Operand::ImmInt(5), addr: Address::global(g, 0), ty: Ty::Int },
-            Inst::Load { dst: r0, addr: Address::global(g, 0), ty: Ty::Int },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: r0, lhs: r0.into(), rhs: Operand::ImmInt(2) },
-            Inst::Store { src: r0.into(), addr: Address::global(g, 1), ty: Ty::Int },
+            Inst::Store {
+                src: Operand::ImmInt(5),
+                addr: Address::global(g, 0),
+                ty: Ty::Int,
+            },
+            Inst::Load {
+                dst: r0,
+                addr: Address::global(g, 0),
+                ty: Ty::Int,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: r0,
+                lhs: r0.into(),
+                rhs: Operand::ImmInt(2),
+            },
+            Inst::Store {
+                src: r0.into(),
+                addr: Address::global(g, 1),
+                ty: Ty::Int,
+            },
             Inst::Print { src: r0.into() },
-            Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: r1, lhs: r0.into(), rhs: Operand::ImmInt(2) },
+            Inst::Bin {
+                op: BinOp::Mul,
+                ty: Ty::Int,
+                dst: r1,
+                lhs: r0.into(),
+                rhs: Operand::ImmInt(2),
+            },
         ];
         f.blocks[0].term = Terminator::Return(Some(r1.into()));
         p.add_function(f);
@@ -515,8 +1147,14 @@ mod tests {
         let body = f.add_block();
         let exit = f.add_block();
         f.blocks[0].insts = vec![
-            Inst::Mov { dst: s, src: Operand::ImmInt(0) },
-            Inst::Mov { dst: i, src: Operand::ImmInt(0) },
+            Inst::Mov {
+                dst: s,
+                src: Operand::ImmInt(0),
+            },
+            Inst::Mov {
+                dst: i,
+                src: Operand::ImmInt(0),
+            },
         ];
         f.blocks[0].term = Terminator::Jump(header);
         f.blocks[header.index()].insts = vec![Inst::Bin {
@@ -526,10 +1164,26 @@ mod tests {
             lhs: i.into(),
             rhs: Operand::ImmInt(10),
         }];
-        f.blocks[header.index()].term = Terminator::Branch { cond: c, taken: body, not_taken: exit };
+        f.blocks[header.index()].term = Terminator::Branch {
+            cond: c,
+            taken: body,
+            not_taken: exit,
+        };
         f.blocks[body.index()].insts = vec![
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: s, lhs: s.into(), rhs: i.into() },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: i, lhs: i.into(), rhs: Operand::ImmInt(1) },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: s,
+                lhs: s.into(),
+                rhs: i.into(),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: i,
+                lhs: i.into(),
+                rhs: Operand::ImmInt(1),
+            },
         ];
         f.blocks[body.index()].term = Terminator::Jump(header);
         f.blocks[exit.index()].term = Terminator::Return(Some(s.into()));
@@ -543,14 +1197,24 @@ mod tests {
         let mut counter = CountingObserver::default();
         let out = execute(&p, &mut counter, &ExecConfig::default());
         assert_eq!(out.return_value, Some(Value::Int(45)));
-        assert_eq!(counter.branches, 11, "10 taken + 1 not-taken header branches");
+        assert_eq!(
+            counter.branches, 11,
+            "10 taken + 1 not-taken header branches"
+        );
         assert_eq!(counter.taken_branches, 10);
     }
 
     #[test]
     fn instruction_budget_halts_execution() {
         let p = loop_program();
-        let out = execute(&p, &mut NullObserver, &ExecConfig { max_instructions: 20, max_call_depth: 8 });
+        let out = execute(
+            &p,
+            &mut NullObserver,
+            &ExecConfig {
+                max_instructions: 20,
+                max_call_depth: 8,
+            },
+        );
         assert!(!out.completed);
         assert!(out.dynamic_instructions <= 21);
         assert_eq!(out.return_value, None);
@@ -565,8 +1229,20 @@ mod tests {
         let t = callee.fresh_reg();
         callee.params = vec![a, b, c];
         callee.blocks[0].insts = vec![
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: t, lhs: a.into(), rhs: b.into() },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: t, lhs: t.into(), rhs: c.into() },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: t,
+                lhs: a.into(),
+                rhs: b.into(),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: t,
+                lhs: t.into(),
+                rhs: c.into(),
+            },
         ];
         callee.blocks[0].term = Terminator::Return(Some(t.into()));
 
@@ -593,10 +1269,21 @@ mod tests {
         let mut p = Program::new();
         let mut f = Function::new("f");
         let r = f.fresh_reg();
-        f.blocks[0].insts = vec![Inst::Call { func: FuncId(0), args: vec![], dst: Some(r) }];
+        f.blocks[0].insts = vec![Inst::Call {
+            func: FuncId(0),
+            args: vec![],
+            dst: Some(r),
+        }];
         f.blocks[0].term = Terminator::Return(Some(r.into()));
         p.add_function(f);
-        let out = execute(&p, &mut NullObserver, &ExecConfig { max_instructions: 1_000_000, max_call_depth: 32 });
+        let out = execute(
+            &p,
+            &mut NullObserver,
+            &ExecConfig {
+                max_instructions: 1_000_000,
+                max_call_depth: 32,
+            },
+        );
         assert!(!out.completed);
     }
 
@@ -607,13 +1294,25 @@ mod tests {
         let mut f = Function::new("main");
         let r = f.fresh_reg();
         f.blocks[0].insts = vec![
-            Inst::Store { src: Operand::ImmInt(9), addr: Address::global(g, 6), ty: Ty::Int },
-            Inst::Load { dst: r, addr: Address::global(g, 2), ty: Ty::Int },
+            Inst::Store {
+                src: Operand::ImmInt(9),
+                addr: Address::global(g, 6),
+                ty: Ty::Int,
+            },
+            Inst::Load {
+                dst: r,
+                addr: Address::global(g, 2),
+                ty: Ty::Int,
+            },
         ];
         f.blocks[0].term = Terminator::Return(Some(r.into()));
         p.add_function(f);
         let out = run(&p);
-        assert_eq!(out.return_value, Some(Value::Int(9)), "index 6 wraps to 2 in a 4-element array");
+        assert_eq!(
+            out.return_value,
+            Some(Value::Int(9)),
+            "index 6 wraps to 2 in a 4-element array"
+        );
     }
 
     #[test]
@@ -628,7 +1327,11 @@ mod tests {
         let mut f = Function::new("main");
         let r = f.fresh_reg();
         f.blocks[0].insts = vec![
-            Inst::Load { dst: r, addr: Address::global(g, 0), ty: Ty::Int },
+            Inst::Load {
+                dst: r,
+                addr: Address::global(g, 0),
+                ty: Ty::Int,
+            },
             Inst::Bin {
                 op: BinOp::Add,
                 ty: Ty::Int,
@@ -642,6 +1345,71 @@ mod tests {
         let mut counter = CountingObserver::default();
         let out = execute(&p, &mut counter, &ExecConfig::default());
         assert_eq!(out.return_value, Some(Value::Int(42)));
-        assert_eq!(counter.loads, 2, "the folded operand still counts as a memory read");
+        assert_eq!(
+            counter.loads, 2,
+            "the folded operand still counts as a memory read"
+        );
+    }
+
+    #[test]
+    fn int_bin_matches_eval_bin_for_every_op() {
+        let samples = [i64::MIN, -17, -1, 0, 1, 2, 3, 63, 64, 65, 1 << 40, i64::MAX];
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::Shr,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Eq,
+            BinOp::Ne,
+        ] {
+            for a in samples {
+                for b in samples {
+                    assert_eq!(
+                        Value::Int(int_bin(op, a, b)),
+                        eval_bin(op, Ty::Int, Value::Int(a), Value::Int(b)),
+                        "op {op:?} a {a} b {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_and_predecoded_agree_on_outcome() {
+        for p in [simple_program(), loop_program()] {
+            let new = execute(&p, &mut NullObserver, &ExecConfig::default());
+            let old = execute_legacy(&p, &mut NullObserver, &ExecConfig::default());
+            assert_eq!(new, old);
+        }
+    }
+
+    #[test]
+    fn dyn_wrapper_matches_generic_path() {
+        let p = loop_program();
+        let mut a = CountingObserver::default();
+        let mut b = CountingObserver::default();
+        let out_a = execute(&p, &mut a, &ExecConfig::default());
+        let out_b = execute_dyn(&p, &mut b, &ExecConfig::default());
+        assert_eq!(out_a, out_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prebuilt_image_reruns_from_clean_state() {
+        let p = simple_program();
+        let image = ExecImage::new(&p);
+        let first = execute_image(&image, &mut NullObserver, &ExecConfig::default());
+        let second = execute_image(&image, &mut NullObserver, &ExecConfig::default());
+        assert_eq!(first, second, "global state must reset between runs");
     }
 }

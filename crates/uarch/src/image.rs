@@ -1,0 +1,684 @@
+//! The predecoded execution image.
+//!
+//! [`ExecImage`] flattens a [`Program`] into contiguous arrays once, so the
+//! executor and every observer work with dense integer indices instead of
+//! chasing the nested `Program -> Function -> Block -> Inst` representation
+//! and hashing `(FuncId, BlockId, index)` triples on the hot path:
+//!
+//! * every static instruction *and* terminator becomes one [`Step`] in a flat
+//!   array; the array index is the instruction's **dense site id** (a `u32`),
+//!   which the executor passes to observers in every event;
+//! * a parallel [`SiteMeta`] table predecodes what observers would otherwise
+//!   re-derive per dynamic instruction: the [`InstClass`], the destination
+//!   register and up to three source registers (fixed arity — no `Vec` from
+//!   [`Inst::uses`]), plus the original [`InstSite`] for converting results
+//!   back to serializable keys;
+//! * basic blocks and static CFG edges get dense program-wide indices too, so
+//!   profile collectors can count block executions and edge traversals in
+//!   flat vectors;
+//! * control-flow targets are resolved to step indices (program counters) at
+//!   build time, so taken branches are a single integer assignment.
+//!
+//! Building the image costs one pass over the program and is reused across
+//! runs: initial global values and the memory layout are captured so repeated
+//! executions (cache sweeps, pipeline sweeps, differential tests) skip all
+//! per-run setup except copying the initial memory.
+
+use crate::exec::InstSite;
+use bsg_ir::program::MemoryLayout;
+use bsg_ir::types::{BlockId, FuncId, Reg, Ty, Value};
+use bsg_ir::visa::{BinOp, Inst, InstClass, MemBase, Operand, Terminator, UnOp};
+use bsg_ir::Program;
+
+/// A resolved control-flow target: where execution continues and which dense
+/// indices to report to observers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EdgeTarget {
+    /// Step index execution continues at (first step of the target block).
+    pub pc: u32,
+    /// Target block id (for observer callbacks).
+    pub block: BlockId,
+    /// Dense program-wide index of the target block.
+    pub block_idx: u32,
+    /// Dense program-wide index of this static CFG edge.
+    pub edge_idx: u32,
+}
+
+/// A predecoded reference to a global-array location: the base byte address
+/// and array length are resolved at image-build time, so the executor does a
+/// bounds branch instead of an `i64` division (`rem_euclid`) on the
+/// overwhelmingly common in-bounds access.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GlobalMem {
+    /// First element of this array within the image's flattened global store.
+    pub start: u32,
+    /// Array length in elements.
+    pub len: u32,
+    /// `len - 1` when the array length is a power of two, else `u64::MAX`.
+    /// For power-of-two lengths, masking a two's-complement element index is
+    /// exactly `rem_euclid` for every `i64` input, so the wrap costs one
+    /// `and` instead of a division.
+    pub mask: u64,
+    /// Base byte address from the program's memory layout.
+    pub base_byte: u64,
+    /// Constant word offset.
+    pub offset: i64,
+    /// Index register, `u32::MAX` when absent.
+    pub index: u32,
+    /// Scale applied to the index register.
+    pub scale: i64,
+}
+
+/// A predecoded reference to a frame-slot location.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FrameMem {
+    /// Constant word offset.
+    pub offset: i64,
+    /// Index register, `u32::MAX` when absent.
+    pub index: u32,
+    /// Scale applied to the index register.
+    pub scale: i64,
+}
+
+/// One predecoded instruction or terminator.
+///
+/// Predecoding resolves every dispatch that is static: binary operations are
+/// split by operand type (so the integer ALU path is a small inlinable
+/// match), loads/stores are split by memory base with bounds and base
+/// addresses precomputed, and control-flow targets are step indices.
+#[derive(Debug, Clone)]
+pub(crate) enum Step {
+    /// `dst = regs[lhs] + regs[rhs]` (fully quickened: the opcode dispatch
+    /// is folded into the step so executing it costs one indirect branch).
+    AddRR { dst: u32, lhs: u32, rhs: u32 },
+    /// `dst = regs[lhs] + imm`.
+    AddRI { dst: u32, lhs: u32, imm: i64 },
+    /// `dst = regs[lhs] * imm`.
+    MulRI { dst: u32, lhs: u32, imm: i64 },
+    /// `dst = (regs[lhs] < imm) as int`.
+    LtRI { dst: u32, lhs: u32, imm: i64 },
+    /// `dst = regs[lhs] op regs[rhs]` on integers (quickened common shape).
+    IntBinRR {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    /// `dst = regs[lhs] op imm` on integers (quickened common shape).
+    IntBinRI {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        imm: i64,
+    },
+    /// `dst = lhs op rhs` on integers, general operand shapes.
+    IntBin {
+        op: BinOp,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `dst = lhs op rhs` on floats.
+    FloatBin {
+        op: BinOp,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `dst = op src`.
+    Un {
+        op: UnOp,
+        ty: Ty,
+        dst: u32,
+        src: Operand,
+    },
+    /// `dst = value` (quickened immediate move).
+    MovImm { dst: u32, value: Value },
+    /// `dst = regs[src]` (quickened register move).
+    MovReg { dst: u32, src: u32 },
+    /// `dst = src`, general operand shapes.
+    Mov { dst: u32, src: Operand },
+    /// `dst = global[elem]`.
+    LoadGlobal { dst: u32, mem: GlobalMem },
+    /// `dst = frame[elem]`.
+    LoadFrame { dst: u32, mem: FrameMem },
+    /// `global[elem] = src`.
+    StoreGlobal { src: Operand, mem: GlobalMem },
+    /// `frame[elem] = src`.
+    StoreFrame { src: Operand, mem: FrameMem },
+    /// Call `func`; arguments live in the image's argument pool at
+    /// `args_start..args_start + args_len`; `dst == u32::MAX` means the
+    /// return value is discarded.
+    Call {
+        func: u32,
+        args_start: u32,
+        args_len: u32,
+        dst: u32,
+    },
+    /// Emit `src` to the output stream.
+    Print { src: Operand },
+    /// No operation.
+    Nop,
+    /// Unconditional transfer.
+    Jump(EdgeTarget),
+    /// Conditional transfer on `cond` being non-zero.
+    Branch {
+        cond: u32,
+        taken: EdgeTarget,
+        not_taken: EdgeTarget,
+    },
+    /// Return, optionally with a value.
+    Return { value: Option<Operand> },
+}
+
+/// Predecoded per-site metadata: everything observers need that is static.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteMeta {
+    /// Instruction classification (terminators classify as
+    /// [`InstClass::Branch`], matching the executor's event stream).
+    pub class: InstClass,
+    /// Destination register, if any.
+    pub def: Option<Reg>,
+    /// Source registers, fixed arity.  Non-call instructions read at most
+    /// three registers (the fourth-and-later arguments of calls are not
+    /// tracked here; the timing models never needed them).
+    pub uses: [Option<Reg>; 3],
+    /// The original static location, for converting dense ids back to
+    /// serializable profile keys.
+    pub site: InstSite,
+}
+
+/// Per-function slice of the image.
+#[derive(Debug, Clone)]
+pub(crate) struct FuncImage {
+    /// Step index of the entry block's first step.
+    pub entry_pc: u32,
+    /// Entry block id.
+    pub entry_block: BlockId,
+    /// Dense index of the entry block.
+    pub entry_block_idx: u32,
+    /// Dense block index of block 0 of this function (block `b` of the
+    /// function has dense index `block_idx_base + b`).
+    pub block_idx_base: u32,
+    /// First step index of every block.
+    pub block_pc: Vec<u32>,
+    /// Terminator step index of every block.
+    pub term_pc: Vec<u32>,
+    /// Number of virtual registers.
+    pub num_regs: u32,
+    /// Stack-frame size in words.
+    pub frame_words: u32,
+    /// Registers receiving arguments.
+    pub params: Vec<Reg>,
+}
+
+/// A program flattened for execution (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ExecImage {
+    pub(crate) steps: Vec<Step>,
+    pub(crate) funcs: Vec<FuncImage>,
+    pub(crate) call_args: Vec<Operand>,
+    sites: Vec<SiteMeta>,
+    /// Dense block index -> (function, block).
+    block_keys: Vec<(FuncId, BlockId)>,
+    /// Dense edge index -> (from, to) dense block indices.
+    edge_blocks: Vec<(u32, u32)>,
+    pub(crate) entry: u32,
+    pub(crate) layout: MemoryLayout,
+    /// All global arrays flattened into one backing store (copied once per
+    /// run); `global_bounds[g]` is the `(start, len)` slice of global `g`.
+    pub(crate) initial_globals: Vec<Value>,
+    pub(crate) global_bounds: Vec<(u32, u32)>,
+    max_regs: u32,
+}
+
+fn site_meta(inst: &Inst, site: InstSite) -> SiteMeta {
+    let mut uses = [None; 3];
+    for (slot, reg) in uses.iter_mut().zip(inst.uses()) {
+        *slot = Some(reg);
+    }
+    SiteMeta {
+        class: inst.class(),
+        def: inst.def(),
+        uses,
+        site,
+    }
+}
+
+impl ExecImage {
+    /// Flattens `program` into an execution image.  Call targets, block
+    /// targets and global layout are resolved here, once.
+    pub fn new(program: &Program) -> Self {
+        // Pass 1: assign pcs and dense block indices.
+        let mut funcs = Vec::with_capacity(program.functions.len());
+        let mut next_pc: u32 = 0;
+        let mut next_block: u32 = 0;
+        let mut max_regs: u32 = 1;
+        let mut block_keys = Vec::new();
+        for (fi, f) in program.functions.iter().enumerate() {
+            let mut block_pc = Vec::with_capacity(f.blocks.len());
+            let mut term_pc = Vec::with_capacity(f.blocks.len());
+            for (bi, b) in f.blocks.iter().enumerate() {
+                block_pc.push(next_pc);
+                term_pc.push(next_pc + b.insts.len() as u32);
+                next_pc += b.insts.len() as u32 + 1;
+                block_keys.push((FuncId(fi as u32), BlockId(bi as u32)));
+            }
+            max_regs = max_regs.max(f.num_regs);
+            funcs.push(FuncImage {
+                entry_pc: block_pc[f.entry.index()],
+                entry_block: f.entry,
+                entry_block_idx: next_block + f.entry.0,
+                block_idx_base: next_block,
+                block_pc,
+                term_pc,
+                num_regs: f.num_regs,
+                frame_words: f.frame_words,
+                params: f.params.clone(),
+            });
+            next_block += f.blocks.len() as u32;
+        }
+
+        // Pass 2: decode steps, resolving targets through the pc tables.
+        let layout = program.memory_layout();
+        let mut initial_globals = Vec::new();
+        let mut global_bounds = Vec::with_capacity(program.globals.len());
+        for g in &program.globals {
+            let start = initial_globals.len() as u32;
+            initial_globals.extend(g.initial_values());
+            global_bounds.push((start, g.elems as u32));
+        }
+        let global_bounds_ref = &global_bounds;
+        let decode_mem = move |addr: &bsg_ir::visa::Address| -> Result<GlobalMem, FrameMem> {
+            let index = addr.index.map_or(u32::MAX, |r| r.0);
+            match addr.base {
+                MemBase::Global(g) => {
+                    let (start, len) = global_bounds_ref[g.index()];
+                    Ok(GlobalMem {
+                        start,
+                        len,
+                        mask: if u64::from(len).is_power_of_two() {
+                            u64::from(len) - 1
+                        } else {
+                            u64::MAX
+                        },
+                        base_byte: layout.global_bases[g.index()],
+                        offset: addr.offset,
+                        index,
+                        scale: addr.scale,
+                    })
+                }
+                MemBase::Frame => Err(FrameMem {
+                    offset: addr.offset,
+                    index,
+                    scale: addr.scale,
+                }),
+            }
+        };
+        let mut steps = Vec::with_capacity(next_pc as usize);
+        let mut sites = Vec::with_capacity(next_pc as usize);
+        let mut call_args = Vec::new();
+        let mut edge_blocks = Vec::new();
+        for (fi, f) in program.functions.iter().enumerate() {
+            let fimg = &funcs[fi];
+            for (bi, b) in f.blocks.iter().enumerate() {
+                for (ii, inst) in b.insts.iter().enumerate() {
+                    let site = InstSite {
+                        func: FuncId(fi as u32),
+                        block: BlockId(bi as u32),
+                        index: ii,
+                    };
+                    sites.push(site_meta(inst, site));
+                    steps.push(match inst {
+                        Inst::Bin {
+                            op,
+                            ty,
+                            dst,
+                            lhs,
+                            rhs,
+                        } => match (ty, lhs, rhs) {
+                            (Ty::Int, Operand::Reg(a), Operand::Reg(b)) => match op {
+                                BinOp::Add => Step::AddRR {
+                                    dst: dst.0,
+                                    lhs: a.0,
+                                    rhs: b.0,
+                                },
+                                _ => Step::IntBinRR {
+                                    op: *op,
+                                    dst: dst.0,
+                                    lhs: a.0,
+                                    rhs: b.0,
+                                },
+                            },
+                            (Ty::Int, Operand::Reg(a), Operand::ImmInt(v)) => match op {
+                                BinOp::Add => Step::AddRI {
+                                    dst: dst.0,
+                                    lhs: a.0,
+                                    imm: *v,
+                                },
+                                BinOp::Mul => Step::MulRI {
+                                    dst: dst.0,
+                                    lhs: a.0,
+                                    imm: *v,
+                                },
+                                BinOp::Lt => Step::LtRI {
+                                    dst: dst.0,
+                                    lhs: a.0,
+                                    imm: *v,
+                                },
+                                _ => Step::IntBinRI {
+                                    op: *op,
+                                    dst: dst.0,
+                                    lhs: a.0,
+                                    imm: *v,
+                                },
+                            },
+                            (Ty::Int, _, _) => Step::IntBin {
+                                op: *op,
+                                dst: dst.0,
+                                lhs: *lhs,
+                                rhs: *rhs,
+                            },
+                            (Ty::Float, _, _) => Step::FloatBin {
+                                op: *op,
+                                dst: dst.0,
+                                lhs: *lhs,
+                                rhs: *rhs,
+                            },
+                        },
+                        Inst::Un { op, ty, dst, src } => Step::Un {
+                            op: *op,
+                            ty: *ty,
+                            dst: dst.0,
+                            src: *src,
+                        },
+                        Inst::Mov { dst, src } => match src {
+                            Operand::Reg(r) => Step::MovReg {
+                                dst: dst.0,
+                                src: r.0,
+                            },
+                            Operand::ImmInt(v) => Step::MovImm {
+                                dst: dst.0,
+                                value: Value::Int(*v),
+                            },
+                            Operand::ImmFloat(v) => Step::MovImm {
+                                dst: dst.0,
+                                value: Value::Float(*v),
+                            },
+                            Operand::Mem(_) => Step::Mov {
+                                dst: dst.0,
+                                src: *src,
+                            },
+                        },
+                        Inst::Load { dst, addr, .. } => match decode_mem(addr) {
+                            Ok(mem) => Step::LoadGlobal { dst: dst.0, mem },
+                            Err(mem) => Step::LoadFrame { dst: dst.0, mem },
+                        },
+                        Inst::Store { src, addr, .. } => match decode_mem(addr) {
+                            Ok(mem) => Step::StoreGlobal { src: *src, mem },
+                            Err(mem) => Step::StoreFrame { src: *src, mem },
+                        },
+                        Inst::Call { func, args, dst } => {
+                            let args_start = call_args.len() as u32;
+                            call_args.extend(args.iter().copied());
+                            Step::Call {
+                                func: func.0,
+                                args_start,
+                                args_len: args.len() as u32,
+                                dst: dst.map_or(u32::MAX, |r| r.0),
+                            }
+                        }
+                        Inst::Print { src } => Step::Print { src: *src },
+                        Inst::Nop => Step::Nop,
+                    });
+                }
+                let term_site = InstSite {
+                    func: FuncId(fi as u32),
+                    block: BlockId(bi as u32),
+                    index: usize::MAX,
+                };
+                let from_idx = fimg.block_idx_base + bi as u32;
+                let target = |to: BlockId, edge_blocks: &mut Vec<(u32, u32)>| {
+                    let to_idx = fimg.block_idx_base + to.0;
+                    let edge_idx = edge_blocks.len() as u32;
+                    edge_blocks.push((from_idx, to_idx));
+                    EdgeTarget {
+                        pc: fimg.block_pc[to.index()],
+                        block: to,
+                        block_idx: to_idx,
+                        edge_idx,
+                    }
+                };
+                match &b.term {
+                    Terminator::Jump(to) => {
+                        sites.push(SiteMeta {
+                            class: InstClass::Branch,
+                            def: None,
+                            uses: [None; 3],
+                            site: term_site,
+                        });
+                        steps.push(Step::Jump(target(*to, &mut edge_blocks)));
+                    }
+                    Terminator::Branch {
+                        cond,
+                        taken,
+                        not_taken,
+                    } => {
+                        sites.push(SiteMeta {
+                            class: InstClass::Branch,
+                            def: None,
+                            uses: [Some(*cond), None, None],
+                            site: term_site,
+                        });
+                        let t = target(*taken, &mut edge_blocks);
+                        let nt = target(*not_taken, &mut edge_blocks);
+                        steps.push(Step::Branch {
+                            cond: cond.0,
+                            taken: t,
+                            not_taken: nt,
+                        });
+                    }
+                    Terminator::Return(v) => {
+                        sites.push(SiteMeta {
+                            class: InstClass::Branch,
+                            def: None,
+                            uses: [None; 3],
+                            site: term_site,
+                        });
+                        steps.push(Step::Return { value: *v });
+                    }
+                }
+            }
+        }
+
+        ExecImage {
+            steps,
+            funcs,
+            call_args,
+            sites,
+            block_keys,
+            edge_blocks,
+            entry: program.entry.0,
+            layout: program.memory_layout(),
+            initial_globals,
+            global_bounds,
+            max_regs,
+        }
+    }
+
+    /// Number of dense instruction sites (instructions plus terminators).
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of basic blocks across the program.
+    pub fn num_blocks(&self) -> usize {
+        self.block_keys.len()
+    }
+
+    /// Number of static CFG edges across the program.
+    pub fn num_edges(&self) -> usize {
+        self.edge_blocks.len()
+    }
+
+    /// Number of functions.
+    pub fn num_funcs(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// The largest register file any function uses (at least 1).
+    pub fn max_regs(&self) -> u32 {
+        self.max_regs
+    }
+
+    /// Predecoded metadata of one site.
+    pub fn site_meta(&self, site_id: u32) -> &SiteMeta {
+        &self.sites[site_id as usize]
+    }
+
+    /// The whole site table (index = dense site id).
+    pub fn site_metas(&self) -> &[SiteMeta] {
+        &self.sites
+    }
+
+    /// `(function, block)` of a dense block index.
+    pub fn block_key(&self, block_idx: u32) -> (FuncId, BlockId) {
+        self.block_keys[block_idx as usize]
+    }
+
+    /// `(from, to)` dense block indices of a dense edge index.
+    pub fn edge_blocks(&self, edge_idx: u32) -> (u32, u32) {
+        self.edge_blocks[edge_idx as usize]
+    }
+
+    /// Dense site id of a static location (`index == usize::MAX` selects the
+    /// block's terminator), the inverse of [`SiteMeta::site`].
+    pub fn site_id(&self, func: FuncId, block: BlockId, index: usize) -> u32 {
+        let f = &self.funcs[func.index()];
+        if index == usize::MAX {
+            f.term_pc[block.index()]
+        } else {
+            f.block_pc[block.index()] + index as u32
+        }
+    }
+
+    /// Dense index of a block.
+    pub fn block_index(&self, func: FuncId, block: BlockId) -> u32 {
+        self.funcs[func.index()].block_idx_base + block.0
+    }
+
+    /// Dense index of the static edge `from -> to` (which must exist).
+    ///
+    /// Only used off the hot path (result conversion); edges of a block are
+    /// found through its terminator step.
+    pub fn edge_index(&self, func: FuncId, from: BlockId, to: BlockId) -> Option<u32> {
+        match &self.steps[self.funcs[func.index()].term_pc[from.index()] as usize] {
+            Step::Jump(t) if t.block == to => Some(t.edge_idx),
+            Step::Branch {
+                taken, not_taken, ..
+            } => {
+                if taken.block == to {
+                    Some(taken.edge_idx)
+                } else if not_taken.block == to {
+                    Some(not_taken.edge_idx)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_ir::program::Function;
+
+    /// Two functions; f0: two blocks (jump + return), f1: branch diamond.
+    fn program() -> Program {
+        let mut p = Program::new();
+        let mut f0 = Function::new("main");
+        let r = f0.fresh_reg();
+        let b1 = f0.add_block();
+        f0.blocks[0].insts = vec![Inst::Mov {
+            dst: r,
+            src: Operand::ImmInt(1),
+        }];
+        f0.blocks[0].term = Terminator::Jump(b1);
+        f0.blocks[b1.index()].term = Terminator::Return(Some(r.into()));
+        p.add_function(f0);
+
+        let mut f1 = Function::new("helper");
+        let c = f1.fresh_reg();
+        let t = f1.add_block();
+        let e = f1.add_block();
+        f1.blocks[0].term = Terminator::Branch {
+            cond: c,
+            taken: t,
+            not_taken: e,
+        };
+        f1.blocks[t.index()].term = Terminator::Return(None);
+        f1.blocks[e.index()].term = Terminator::Return(None);
+        p.add_function(f1);
+        p
+    }
+
+    #[test]
+    fn sites_cover_instructions_and_terminators() {
+        let p = program();
+        let img = ExecImage::new(&p);
+        // f0: 1 inst + 2 terms; f1: 3 terms.
+        assert_eq!(img.num_sites(), 6);
+        assert_eq!(img.num_blocks(), 5);
+        // f0: jump (1 edge); f1: branch (2 edges).
+        assert_eq!(img.num_edges(), 3);
+        assert_eq!(img.num_funcs(), 2);
+    }
+
+    #[test]
+    fn site_ids_round_trip_through_site_meta() {
+        let p = program();
+        let img = ExecImage::new(&p);
+        for id in 0..img.num_sites() as u32 {
+            let meta = img.site_meta(id);
+            assert_eq!(
+                img.site_id(meta.site.func, meta.site.block, meta.site.index),
+                id
+            );
+        }
+    }
+
+    #[test]
+    fn block_indices_round_trip() {
+        let p = program();
+        let img = ExecImage::new(&p);
+        for idx in 0..img.num_blocks() as u32 {
+            let (f, b) = img.block_key(idx);
+            assert_eq!(img.block_index(f, b), idx);
+        }
+    }
+
+    #[test]
+    fn branch_terminator_predecodes_its_condition_register() {
+        let p = program();
+        let img = ExecImage::new(&p);
+        let id = img.site_id(FuncId(1), BlockId(0), usize::MAX);
+        let meta = img.site_meta(id);
+        assert_eq!(meta.class, InstClass::Branch);
+        assert_eq!(meta.uses[0], Some(Reg(0)));
+        assert_eq!(meta.def, None);
+    }
+
+    #[test]
+    fn edge_indices_match_terminator_targets() {
+        let p = program();
+        let img = ExecImage::new(&p);
+        let jump_edge = img.edge_index(FuncId(0), BlockId(0), BlockId(1)).unwrap();
+        assert_eq!(img.edge_blocks(jump_edge), (0, 1));
+        let taken = img.edge_index(FuncId(1), BlockId(0), BlockId(1)).unwrap();
+        let not_taken = img.edge_index(FuncId(1), BlockId(0), BlockId(2)).unwrap();
+        assert_ne!(taken, not_taken);
+        assert!(img.edge_index(FuncId(1), BlockId(0), BlockId(0)).is_none());
+    }
+}

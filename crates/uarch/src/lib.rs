@@ -50,11 +50,18 @@
 pub mod branch;
 pub mod cache;
 pub mod exec;
+pub mod image;
 pub mod machine;
 pub mod pipeline;
 
 pub use branch::{Bimodal, BranchStats, GShare, Hybrid, Predictor};
 pub use cache::{Cache, CacheConfig, CacheStats, CacheSweep};
-pub use exec::{execute, run, ExecConfig, ExecOutcome, InstEvent, InstSite, Observer};
+pub use exec::{
+    execute, execute_dyn, execute_image, execute_legacy, run, ExecConfig, ExecOutcome, InstEvent,
+    InstSite, Observer,
+};
+pub use image::{ExecImage, SiteMeta};
 pub use machine::{MachineConfig, MachineIsa, MachineResult};
-pub use pipeline::{simulate, PipelineConfig, PipelineResult, PipelineSim};
+pub use pipeline::{
+    simulate, simulate_image, PipelineConfig, PipelineResult, PipelineSim, ReferencePipelineSim,
+};

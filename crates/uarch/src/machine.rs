@@ -134,7 +134,10 @@ mod tests {
         let header = f.add_block();
         let body = f.add_block();
         let exit = f.add_block();
-        f.blocks[0].insts = vec![Inst::Mov { dst: i, src: Operand::ImmInt(0) }];
+        f.blocks[0].insts = vec![Inst::Mov {
+            dst: i,
+            src: Operand::ImmInt(0),
+        }];
         f.blocks[0].term = Terminator::Jump(header);
         f.blocks[header.index()].insts = vec![Inst::Bin {
             op: BinOp::Lt,
@@ -143,12 +146,36 @@ mod tests {
             lhs: i.into(),
             rhs: Operand::ImmInt(4000),
         }];
-        f.blocks[header.index()].term = Terminator::Branch { cond: c, taken: body, not_taken: exit };
+        f.blocks[header.index()].term = Terminator::Branch {
+            cond: c,
+            taken: body,
+            not_taken: exit,
+        };
         f.blocks[body.index()].insts = vec![
-            Inst::Load { dst: v, addr: Address::global_indexed(g, 0, i, 1), ty: Ty::Int },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: v, lhs: v.into(), rhs: i.into() },
-            Inst::Store { src: v.into(), addr: Address::global_indexed(g, 0, i, 1), ty: Ty::Int },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: i, lhs: i.into(), rhs: Operand::ImmInt(1) },
+            Inst::Load {
+                dst: v,
+                addr: Address::global_indexed(g, 0, i, 1),
+                ty: Ty::Int,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: v,
+                lhs: v.into(),
+                rhs: i.into(),
+            },
+            Inst::Store {
+                src: v.into(),
+                addr: Address::global_indexed(g, 0, i, 1),
+                ty: Ty::Int,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: i,
+                lhs: i.into(),
+                rhs: Operand::ImmInt(1),
+            },
         ];
         f.blocks[body.index()].term = Terminator::Jump(header);
         f.blocks[exit.index()].term = Terminator::Return(Some(i.into()));
@@ -165,14 +192,23 @@ mod tests {
         assert!(machines.iter().any(|m| m.name.contains("Itanium")));
         assert!(machines.iter().any(|m| m.name.contains("Core i7")));
         let itanium = machines.iter().find(|m| m.isa == MachineIsa::Ia64).unwrap();
-        assert!(itanium.pipeline.in_order, "the Itanium model is in-order EPIC");
+        assert!(
+            itanium.pipeline.in_order,
+            "the Itanium model is in-order EPIC"
+        );
     }
 
     #[test]
     fn faster_clock_means_lower_time_for_the_same_microarchitecture() {
         let machines = MachineConfig::table3();
-        let p4_3 = machines.iter().find(|m| m.name == "Pentium 4, 3GHz").unwrap();
-        let p4_28 = machines.iter().find(|m| m.name == "Pentium 4, 2.8GHz").unwrap();
+        let p4_3 = machines
+            .iter()
+            .find(|m| m.name == "Pentium 4, 3GHz")
+            .unwrap();
+        let p4_28 = machines
+            .iter()
+            .find(|m| m.name == "Pentium 4, 2.8GHz")
+            .unwrap();
         let prog = small_loop();
         let t3 = p4_3.run(&prog);
         let t28 = p4_28.run(&prog);

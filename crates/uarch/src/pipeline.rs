@@ -12,6 +12,7 @@
 use crate::branch::{BranchStats, Hybrid, Predictor};
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::exec::{InstEvent, InstSite, Observer};
+use crate::image::ExecImage;
 use bsg_ir::types::{FuncId, Reg};
 use bsg_ir::visa::{Inst, InstClass, Terminator};
 use bsg_ir::Program;
@@ -60,7 +61,13 @@ impl PipelineConfig {
     }
 
     /// A generic out-of-order configuration used by the Table III machines.
-    pub fn out_of_order(width: u32, rob_size: usize, l1_kb: u64, l2_kb: u64, mispredict_penalty: u64) -> Self {
+    pub fn out_of_order(
+        width: u32,
+        rob_size: usize,
+        l1_kb: u64,
+        l2_kb: u64,
+        mispredict_penalty: u64,
+    ) -> Self {
         PipelineConfig {
             width,
             in_order: false,
@@ -125,28 +132,21 @@ impl PipelineResult {
     }
 }
 
-/// Per-static-instruction register information, precomputed so the timing
-/// model does not allocate on every dynamic instruction.
+/// Per-static-instruction register information, predecoded by the
+/// [`ExecImage`] so the timing model does one array index per dynamic
+/// instruction (no hashing, no allocation).
 #[derive(Debug, Clone, Copy, Default)]
 struct SiteInfo {
     def: Option<Reg>,
     uses: [Option<Reg>; 3],
 }
 
-fn site_info(inst: &Inst) -> SiteInfo {
-    let mut info = SiteInfo { def: inst.def(), uses: [None; 3] };
-    for (i, u) in inst.uses().into_iter().take(3).enumerate() {
-        info.uses[i] = Some(u);
-    }
-    info
-}
-
 /// The pipeline timing model; implement [`Observer`] and feed it to
 /// [`crate::exec::execute`].
 pub struct PipelineSim {
     config: PipelineConfig,
-    info: HashMap<FuncId, Vec<Vec<SiteInfo>>>,
-    term_uses: HashMap<FuncId, Vec<Option<Reg>>>,
+    /// Indexed by dense site id (the image's site table order).
+    info: Vec<SiteInfo>,
     l1: Cache,
     l2: Cache,
     predictor: Hybrid,
@@ -154,7 +154,10 @@ pub struct PipelineSim {
     reg_ready: Vec<u64>,
     cycle: u64,
     issued_in_cycle: u32,
-    rob: std::collections::VecDeque<u64>,
+    /// Completion cycles of in-flight instructions, as a fixed ring buffer of
+    /// capacity `rob_size` (`rob_pos` is the oldest entry once full).
+    rob: Vec<u64>,
+    rob_pos: usize,
     last_complete: u64,
     max_complete: u64,
     instructions: u64,
@@ -162,38 +165,35 @@ pub struct PipelineSim {
 
 impl PipelineSim {
     /// Creates a timing model for `program` (register/def–use information is
-    /// precomputed from the program).
+    /// precomputed from the program).  When an [`ExecImage`] is already at
+    /// hand, [`PipelineSim::from_image`] skips the predecode pass.
     pub fn new(config: PipelineConfig, program: &Program) -> Self {
-        let mut info = HashMap::new();
-        let mut term_uses = HashMap::new();
-        let mut max_regs = 1;
-        for (fi, f) in program.functions.iter().enumerate() {
-            max_regs = max_regs.max(f.num_regs as usize);
-            let blocks: Vec<Vec<SiteInfo>> =
-                f.blocks.iter().map(|b| b.insts.iter().map(site_info).collect()).collect();
-            info.insert(FuncId(fi as u32), blocks);
-            let terms: Vec<Option<Reg>> = f
-                .blocks
-                .iter()
-                .map(|b| match &b.term {
-                    Terminator::Branch { cond, .. } => Some(*cond),
-                    _ => None,
-                })
-                .collect();
-            term_uses.insert(FuncId(fi as u32), terms);
-        }
+        Self::from_image(config, &ExecImage::new(program))
+    }
+
+    /// Creates a timing model from a predecoded image, reusing its site
+    /// table for the per-instruction register information.
+    pub fn from_image(config: PipelineConfig, image: &ExecImage) -> Self {
+        let info = image
+            .site_metas()
+            .iter()
+            .map(|m| SiteInfo {
+                def: m.def,
+                uses: m.uses,
+            })
+            .collect();
         PipelineSim {
             config,
             info,
-            term_uses,
             l1: Cache::new(config.l1),
             l2: Cache::new(config.l2),
             predictor: Hybrid::default_config(),
             branch_stats: BranchStats::default(),
-            reg_ready: vec![0; max_regs],
+            reg_ready: vec![0; image.max_regs() as usize],
             cycle: 0,
             issued_in_cycle: 0,
-            rob: std::collections::VecDeque::new(),
+            rob: Vec::new(),
+            rob_pos: 0,
             last_complete: 0,
             max_complete: 0,
             instructions: 0,
@@ -223,24 +223,6 @@ impl PipelineSim {
         }
     }
 
-    fn lookup(&self, event: &InstEvent) -> SiteInfo {
-        if event.site.index == usize::MAX {
-            let cond = self
-                .term_uses
-                .get(&event.site.func)
-                .and_then(|v| v.get(event.site.block.index()))
-                .copied()
-                .flatten();
-            return SiteInfo { def: None, uses: [cond, None, None] };
-        }
-        self.info
-            .get(&event.site.func)
-            .and_then(|blocks| blocks.get(event.site.block.index()))
-            .and_then(|insts| insts.get(event.site.index))
-            .copied()
-            .unwrap_or_default()
-    }
-
     fn ready_cycle(&self, r: Reg) -> u64 {
         self.reg_ready.get(r.0 as usize).copied().unwrap_or(0)
     }
@@ -257,10 +239,11 @@ impl PipelineSim {
     }
 }
 
-impl Observer for PipelineSim {
-    fn on_inst(&mut self, event: &InstEvent) {
+impl PipelineSim {
+    /// Advances the timing model by one instruction with its predecoded
+    /// register information (shared by the dense and reference front ends).
+    fn step(&mut self, event: &InstEvent, info: SiteInfo) {
         self.instructions += 1;
-        let info = self.lookup(event);
 
         // Issue-width constraint.
         if self.issued_in_cycle >= self.config.width {
@@ -268,23 +251,24 @@ impl Observer for PipelineSim {
             self.issued_in_cycle = 0;
         }
         // Reorder-buffer constraint (out-of-order only): the oldest in-flight
-        // instruction must have completed before a new one can enter.
-        if !self.config.in_order && self.rob.len() >= self.config.rob_size {
-            if let Some(oldest) = self.rob.pop_front() {
-                if oldest > self.cycle {
-                    self.cycle = oldest;
-                    self.issued_in_cycle = 0;
-                }
+        // instruction must have completed before a new one can enter.  Once
+        // the ring is full the slot at `rob_pos` is always the oldest entry;
+        // it is retired here and overwritten by this instruction below.
+        // `rob_size == 0` behaves like 1 (the pre-ring `VecDeque` popped from
+        // empty harmlessly, which amounted to a one-entry buffer).
+        let rob_full = !self.config.in_order && self.rob.len() >= self.config.rob_size.max(1);
+        if rob_full {
+            let oldest = self.rob[self.rob_pos];
+            if oldest > self.cycle {
+                self.cycle = oldest;
+                self.issued_in_cycle = 0;
             }
         }
 
-        let src_ready = info
-            .uses
-            .iter()
-            .flatten()
-            .map(|r| self.ready_cycle(*r))
-            .max()
-            .unwrap_or(0);
+        let mut src_ready = 0;
+        for r in info.uses.iter().flatten() {
+            src_ready = src_ready.max(self.ready_cycle(*r));
+        }
 
         let issue = if self.config.in_order {
             // In-order issue stalls the whole pipeline until operands are ready.
@@ -313,16 +297,31 @@ impl Observer for PipelineSim {
             }
         }
         if !self.config.in_order {
-            self.rob.push_back(complete);
+            if rob_full {
+                self.rob[self.rob_pos] = complete;
+                self.rob_pos += 1;
+                if self.rob_pos >= self.rob.len() {
+                    self.rob_pos = 0;
+                }
+            } else {
+                self.rob.push(complete);
+            }
         }
         self.issued_in_cycle += 1;
         self.last_complete = complete;
         self.max_complete = self.max_complete.max(complete);
     }
+}
 
-    fn on_branch(&mut self, site: InstSite, taken: bool) {
+impl Observer for PipelineSim {
+    fn on_inst(&mut self, event: &InstEvent) {
+        let info = self.info[event.site_id as usize];
+        self.step(event, info);
+    }
+
+    fn on_branch(&mut self, _site: InstSite, site_id: u32, taken: bool) {
         self.branch_stats.branches += 1;
-        if self.predictor.predict_and_update(site, taken) {
+        if self.predictor.predict_and_update(site_id, taken) {
             self.branch_stats.correct += 1;
         } else {
             // Redirect: the front end restarts after the branch resolves.
@@ -335,9 +334,118 @@ impl Observer for PipelineSim {
 /// Runs a program through the functional executor under this timing model and
 /// returns the timing result.
 pub fn simulate(program: &Program, config: PipelineConfig) -> PipelineResult {
-    let mut sim = PipelineSim::new(config, program);
-    crate::exec::execute(program, &mut sim, &crate::exec::ExecConfig::default());
+    simulate_image(&ExecImage::new(program), config)
+}
+
+/// [`simulate`] over a prebuilt image (amortizes predecode across sweeps).
+pub fn simulate_image(image: &ExecImage, config: PipelineConfig) -> PipelineResult {
+    let mut sim = PipelineSim::from_image(config, image);
+    crate::exec::execute_image(image, &mut sim, &crate::exec::ExecConfig::default());
     sim.result()
+}
+
+/// The pre-predecode pipeline timing model, kept as the measured baseline
+/// and differential-test reference: per-site register information lives in
+/// nested `HashMap`s probed by `(func, block, index)` on every dynamic
+/// instruction, exactly as the model worked before dense site ids existed.
+/// (Branch-predictor tables are keyed by dense site id here too — see
+/// PERF.md — so both models produce bit-identical results.)
+pub struct ReferencePipelineSim {
+    info: HashMap<FuncId, Vec<Vec<ReferenceSiteInfo>>>,
+    term_uses: HashMap<FuncId, Vec<Option<Reg>>>,
+    inner: PipelineSim,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ReferenceSiteInfo {
+    def: Option<Reg>,
+    uses: [Option<Reg>; 3],
+}
+
+fn reference_site_info(inst: &Inst) -> ReferenceSiteInfo {
+    let mut info = ReferenceSiteInfo {
+        def: inst.def(),
+        uses: [None; 3],
+    };
+    for (i, u) in inst.uses().take(3).enumerate() {
+        info.uses[i] = Some(u);
+    }
+    info
+}
+
+impl ReferencePipelineSim {
+    /// Creates the reference model for `program`.
+    pub fn new(config: PipelineConfig, program: &Program) -> Self {
+        let mut info = HashMap::new();
+        let mut term_uses = HashMap::new();
+        let mut max_regs = 1;
+        for (fi, f) in program.functions.iter().enumerate() {
+            max_regs = max_regs.max(f.num_regs as usize);
+            let blocks: Vec<Vec<ReferenceSiteInfo>> = f
+                .blocks
+                .iter()
+                .map(|b| b.insts.iter().map(reference_site_info).collect())
+                .collect();
+            info.insert(FuncId(fi as u32), blocks);
+            let terms: Vec<Option<Reg>> = f
+                .blocks
+                .iter()
+                .map(|b| match &b.term {
+                    Terminator::Branch { cond, .. } => Some(*cond),
+                    _ => None,
+                })
+                .collect();
+            term_uses.insert(FuncId(fi as u32), terms);
+        }
+        let mut inner = PipelineSim::new(config, program);
+        inner.info.clear(); // the reference path supplies its own lookups
+        inner.reg_ready = vec![0; max_regs];
+        ReferencePipelineSim {
+            info,
+            term_uses,
+            inner,
+        }
+    }
+
+    fn lookup(&self, event: &InstEvent) -> SiteInfo {
+        if event.site.index == usize::MAX {
+            let cond = self
+                .term_uses
+                .get(&event.site.func)
+                .and_then(|v| v.get(event.site.block.index()))
+                .copied()
+                .flatten();
+            return SiteInfo {
+                def: None,
+                uses: [cond, None, None],
+            };
+        }
+        self.info
+            .get(&event.site.func)
+            .and_then(|blocks| blocks.get(event.site.block.index()))
+            .and_then(|insts| insts.get(event.site.index))
+            .map(|i| SiteInfo {
+                def: i.def,
+                uses: i.uses,
+            })
+            .unwrap_or_default()
+    }
+
+    /// The final timing result.
+    pub fn result(&self) -> PipelineResult {
+        self.inner.result()
+    }
+}
+
+impl Observer for ReferencePipelineSim {
+    fn on_inst(&mut self, event: &InstEvent) {
+        let info = self.lookup(event);
+        self.inner.step(event, info);
+    }
+
+    fn on_branch(&mut self, site: InstSite, site_id: u32, taken: bool) {
+        self.inner.on_branch(site, site_id, taken);
+    }
 }
 
 #[cfg(test)]
@@ -345,7 +453,7 @@ mod tests {
     use super::*;
     use bsg_ir::program::{Function, Global, Program};
     use bsg_ir::types::{GlobalId, Ty};
-    use bsg_ir::visa::{Address, BinOp, Operand};
+    use bsg_ir::visa::{Address, BinOp, Inst, Operand, Terminator};
 
     /// A loop striding through memory with a dependent add chain.
     fn strided_loop(elems: i64, stride: i64, iters: i64) -> Program {
@@ -361,8 +469,14 @@ mod tests {
         let body = f.add_block();
         let exit = f.add_block();
         f.blocks[0].insts = vec![
-            Inst::Mov { dst: i, src: Operand::ImmInt(0) },
-            Inst::Mov { dst: acc, src: Operand::ImmInt(0) },
+            Inst::Mov {
+                dst: i,
+                src: Operand::ImmInt(0),
+            },
+            Inst::Mov {
+                dst: acc,
+                src: Operand::ImmInt(0),
+            },
         ];
         f.blocks[0].term = Terminator::Jump(header);
         f.blocks[header.index()].insts = vec![Inst::Bin {
@@ -372,12 +486,38 @@ mod tests {
             lhs: i.into(),
             rhs: Operand::ImmInt(iters),
         }];
-        f.blocks[header.index()].term = Terminator::Branch { cond: c, taken: body, not_taken: exit };
+        f.blocks[header.index()].term = Terminator::Branch {
+            cond: c,
+            taken: body,
+            not_taken: exit,
+        };
         f.blocks[body.index()].insts = vec![
-            Inst::Bin { op: BinOp::Mul, ty: Ty::Int, dst: idx, lhs: i.into(), rhs: Operand::ImmInt(stride) },
-            Inst::Load { dst: v, addr: Address::global_indexed(g, 0, idx, 1), ty: Ty::Int },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: acc, lhs: acc.into(), rhs: v.into() },
-            Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: i, lhs: i.into(), rhs: Operand::ImmInt(1) },
+            Inst::Bin {
+                op: BinOp::Mul,
+                ty: Ty::Int,
+                dst: idx,
+                lhs: i.into(),
+                rhs: Operand::ImmInt(stride),
+            },
+            Inst::Load {
+                dst: v,
+                addr: Address::global_indexed(g, 0, idx, 1),
+                ty: Ty::Int,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: acc,
+                lhs: acc.into(),
+                rhs: v.into(),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: i,
+                lhs: i.into(),
+                rhs: Operand::ImmInt(1),
+            },
         ];
         f.blocks[body.index()].term = Terminator::Jump(header);
         f.blocks[exit.index()].term = Terminator::Return(Some(acc.into()));
@@ -390,15 +530,29 @@ mod tests {
         let p = strided_loop(1024, 0, 2000);
         let r = simulate(&p, PipelineConfig::ptlsim_2wide(16));
         assert!(r.instructions > 10_000);
-        assert!(r.cpi() >= 0.5, "a 2-wide machine cannot beat 0.5 CPI, got {}", r.cpi());
-        assert!(r.cpi() < 5.0, "zero-stride loop should not thrash, got {}", r.cpi());
+        assert!(
+            r.cpi() >= 0.5,
+            "a 2-wide machine cannot beat 0.5 CPI, got {}",
+            r.cpi()
+        );
+        assert!(
+            r.cpi() < 5.0,
+            "zero-stride loop should not thrash, got {}",
+            r.cpi()
+        );
     }
 
     #[test]
     fn cache_thrashing_raises_cpi() {
         // Stride of 64 words = 256 bytes over a large array defeats an 8KB L1.
-        let friendly = simulate(&strided_loop(1 << 16, 0, 3000), PipelineConfig::ptlsim_2wide(8));
-        let thrash = simulate(&strided_loop(1 << 16, 64, 3000), PipelineConfig::ptlsim_2wide(8));
+        let friendly = simulate(
+            &strided_loop(1 << 16, 0, 3000),
+            PipelineConfig::ptlsim_2wide(8),
+        );
+        let thrash = simulate(
+            &strided_loop(1 << 16, 64, 3000),
+            PipelineConfig::ptlsim_2wide(8),
+        );
         assert!(
             thrash.cpi() > friendly.cpi() * 1.5,
             "thrashing {} vs friendly {}",
@@ -414,7 +568,12 @@ mod tests {
         let p = strided_loop(4096, 1, 40_000);
         let small = simulate(&p, PipelineConfig::ptlsim_2wide(8));
         let large = simulate(&p, PipelineConfig::ptlsim_2wide(32));
-        assert!(large.cpi() <= small.cpi(), "32KB {} vs 8KB {}", large.cpi(), small.cpi());
+        assert!(
+            large.cpi() <= small.cpi(),
+            "32KB {} vs 8KB {}",
+            large.cpi(),
+            small.cpi()
+        );
         assert!(large.l1.hit_rate() >= small.l1.hit_rate());
     }
 
@@ -436,8 +595,19 @@ mod tests {
         let p = strided_loop(512, 1, 5000);
         let r = simulate(&p, PipelineConfig::ptlsim_2wide(16));
         assert!(r.branches.branches >= 5000);
-        assert!(r.branches.accuracy() > 0.9, "a counted loop is highly predictable");
+        assert!(
+            r.branches.accuracy() > 0.9,
+            "a counted loop is highly predictable"
+        );
         let _ = GlobalId(0);
+    }
+
+    #[test]
+    fn zero_sized_rob_does_not_panic() {
+        let p = strided_loop(1024, 1, 200);
+        let r = simulate(&p, PipelineConfig::out_of_order(2, 0, 8, 256, 10));
+        assert!(r.cycles > 0);
+        assert!(r.instructions > 0);
     }
 
     #[test]

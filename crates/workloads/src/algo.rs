@@ -26,7 +26,14 @@ pub fn bitcount(input: InputSize) -> HllProgram {
     kernighan.param("x");
     kernighan.assign_var("n", Expr::int(0));
     kernighan.while_loop(Expr::bin(BinOp::Ne, Expr::var("x"), Expr::int(0)), |b| {
-        b.assign_var("x", Expr::bin(BinOp::And, Expr::var("x"), Expr::sub(Expr::var("x"), Expr::int(1))));
+        b.assign_var(
+            "x",
+            Expr::bin(
+                BinOp::And,
+                Expr::var("x"),
+                Expr::sub(Expr::var("x"), Expr::int(1)),
+            ),
+        );
         b.assign_var("n", Expr::add(Expr::var("n"), Expr::int(1)));
     });
     kernighan.ret(Some(Expr::var("n")));
@@ -43,7 +50,11 @@ pub fn bitcount(input: InputSize) -> HllProgram {
                     "nibble_counts",
                     Expr::bin(
                         BinOp::And,
-                        Expr::bin(BinOp::Shr, Expr::var("x"), Expr::mul(Expr::var("shift"), Expr::int(4))),
+                        Expr::bin(
+                            BinOp::Shr,
+                            Expr::var("x"),
+                            Expr::mul(Expr::var("shift"), Expr::int(4)),
+                        ),
                         Expr::int(15),
                     ),
                 ),
@@ -56,11 +67,21 @@ pub fn bitcount(input: InputSize) -> HllProgram {
     main.for_loop("i", Expr::int(0), Expr::int(values), |b| {
         b.assign_var(
             "v",
-            Expr::bin(BinOp::And, Expr::mul(Expr::var("i"), Expr::int(2654435761)), Expr::int(0xffff_ffff)),
+            Expr::bin(
+                BinOp::And,
+                Expr::mul(Expr::var("i"), Expr::int(2654435761)),
+                Expr::int(0xffff_ffff),
+            ),
         );
         b.call_assign("a", "count_kernighan", vec![Expr::var("v")]);
         b.call_assign("c", "count_table", vec![Expr::var("v")]);
-        b.assign_var("total", Expr::add(Expr::var("total"), Expr::add(Expr::var("a"), Expr::var("c"))));
+        b.assign_var(
+            "total",
+            Expr::add(
+                Expr::var("total"),
+                Expr::add(Expr::var("a"), Expr::var("c")),
+            ),
+        );
     });
     main.print(Expr::var("total"));
     main.ret(Some(Expr::var("total")));
@@ -122,18 +143,27 @@ pub fn dijkstra(input: InputSize) -> HllProgram {
                             Expr::var("bestd"),
                             Expr::index(
                                 "adj",
-                                Expr::add(Expr::mul(Expr::var("best"), Expr::int(64)), Expr::var("j")),
+                                Expr::add(
+                                    Expr::mul(Expr::var("best"), Expr::int(64)),
+                                    Expr::var("j"),
+                                ),
                             ),
                         ),
                     );
-                    b.if_then(Expr::lt(Expr::var("cand"), Expr::index("dist", Expr::var("j"))), |u| {
-                        u.assign_index("dist", Expr::var("j"), Expr::var("cand"));
-                    });
+                    b.if_then(
+                        Expr::lt(Expr::var("cand"), Expr::index("dist", Expr::var("j"))),
+                        |u| {
+                            u.assign_index("dist", Expr::var("j"), Expr::var("cand"));
+                        },
+                    );
                 });
             });
         });
         s.for_loop("i", Expr::int(0), Expr::int(nodes), |b| {
-            b.assign_var("sum", Expr::add(Expr::var("sum"), Expr::index("dist", Expr::var("i"))));
+            b.assign_var(
+                "sum",
+                Expr::add(Expr::var("sum"), Expr::index("dist", Expr::var("i"))),
+            );
         });
     });
     main.print(Expr::var("sum"));
@@ -150,7 +180,10 @@ pub fn patricia(input: InputSize) -> HllProgram {
     let lookups = input.scale(1_500, 15_000);
     let mut p = HllProgram::new();
     // Sorted key table (strictly increasing) standing in for trie nodes.
-    p.add_global(HllGlobal::with_values("keys", (0..keys).map(|i| i * 37 + (i % 7)).collect()));
+    p.add_global(HllGlobal::with_values(
+        "keys",
+        (0..keys).map(|i| i * 37 + (i % 7)).collect(),
+    ));
     p.add_global(HllGlobal::zeroed("hits", 64));
 
     let mut lookup = FunctionBuilder::new("lookup");
@@ -161,7 +194,11 @@ pub fn patricia(input: InputSize) -> HllProgram {
     lookup.while_loop(Expr::lt(Expr::var("lo"), Expr::var("hi")), |b| {
         b.assign_var(
             "mid",
-            Expr::bin(BinOp::Shr, Expr::add(Expr::var("lo"), Expr::var("hi")), Expr::int(1)),
+            Expr::bin(
+                BinOp::Shr,
+                Expr::add(Expr::var("lo"), Expr::var("hi")),
+                Expr::int(1),
+            ),
         );
         b.if_then_else(
             Expr::lt(Expr::index("keys", Expr::var("mid")), Expr::var("needle")),
@@ -180,13 +217,23 @@ pub fn patricia(input: InputSize) -> HllProgram {
     main.for_loop("i", Expr::int(0), Expr::int(lookups), |b| {
         b.assign_var(
             "needle",
-            Expr::bin(BinOp::Rem, Expr::mul(Expr::var("i"), Expr::int(104729)), Expr::int(keys * 37)),
+            Expr::bin(
+                BinOp::Rem,
+                Expr::mul(Expr::var("i"), Expr::int(104729)),
+                Expr::int(keys * 37),
+            ),
         );
         b.call_assign("pos", "lookup", vec![Expr::var("needle")]);
         b.assign_index(
             "hits",
             Expr::bin(BinOp::And, Expr::var("pos"), Expr::int(63)),
-            Expr::add(Expr::index("hits", Expr::bin(BinOp::And, Expr::var("pos"), Expr::int(63))), Expr::int(1)),
+            Expr::add(
+                Expr::index(
+                    "hits",
+                    Expr::bin(BinOp::And, Expr::var("pos"), Expr::int(63)),
+                ),
+                Expr::int(1),
+            ),
         );
         b.assign_var("total", Expr::add(Expr::var("total"), Expr::var("pos")));
     });
@@ -216,7 +263,10 @@ pub fn qsort(input: InputSize) -> HllProgram {
                 Expr::var("i"),
                 Expr::bin(
                     BinOp::Rem,
-                    Expr::add(Expr::mul(Expr::var("i"), Expr::int(48271)), Expr::mul(Expr::var("round"), Expr::int(123))),
+                    Expr::add(
+                        Expr::mul(Expr::var("i"), Expr::int(48271)),
+                        Expr::mul(Expr::var("round"), Expr::int(123)),
+                    ),
                     Expr::int(100_000),
                 ),
             );
@@ -233,25 +283,47 @@ pub fn qsort(input: InputSize) -> HllProgram {
                 // Lomuto partition around arr[hi].
                 part.assign_var("pivot", Expr::index("arr", Expr::var("hi")));
                 part.assign_var("store", Expr::var("lo"));
-                part.for_loop_step("k", Expr::var("lo"), Expr::var("hi"), Expr::int(1), |inner| {
-                    inner.if_then(
-                        Expr::lt(Expr::index("arr", Expr::var("k")), Expr::var("pivot")),
-                        |t| {
-                            t.assign_var("tmp", Expr::index("arr", Expr::var("store")));
-                            t.assign_index("arr", Expr::var("store"), Expr::index("arr", Expr::var("k")));
-                            t.assign_index("arr", Expr::var("k"), Expr::var("tmp"));
-                            t.assign_var("store", Expr::add(Expr::var("store"), Expr::int(1)));
-                        },
-                    );
-                });
+                part.for_loop_step(
+                    "k",
+                    Expr::var("lo"),
+                    Expr::var("hi"),
+                    Expr::int(1),
+                    |inner| {
+                        inner.if_then(
+                            Expr::lt(Expr::index("arr", Expr::var("k")), Expr::var("pivot")),
+                            |t| {
+                                t.assign_var("tmp", Expr::index("arr", Expr::var("store")));
+                                t.assign_index(
+                                    "arr",
+                                    Expr::var("store"),
+                                    Expr::index("arr", Expr::var("k")),
+                                );
+                                t.assign_index("arr", Expr::var("k"), Expr::var("tmp"));
+                                t.assign_var("store", Expr::add(Expr::var("store"), Expr::int(1)));
+                            },
+                        );
+                    },
+                );
                 part.assign_var("tmp", Expr::index("arr", Expr::var("store")));
-                part.assign_index("arr", Expr::var("store"), Expr::index("arr", Expr::var("hi")));
+                part.assign_index(
+                    "arr",
+                    Expr::var("store"),
+                    Expr::index("arr", Expr::var("hi")),
+                );
                 part.assign_index("arr", Expr::var("hi"), Expr::var("tmp"));
                 // Push the two halves (bounded stack: 128 entries is plenty).
                 part.assign_index("stack_lo", Expr::var("sp"), Expr::var("lo"));
-                part.assign_index("stack_hi", Expr::var("sp"), Expr::sub(Expr::var("store"), Expr::int(1)));
+                part.assign_index(
+                    "stack_hi",
+                    Expr::var("sp"),
+                    Expr::sub(Expr::var("store"), Expr::int(1)),
+                );
                 part.assign_var("sp", Expr::add(Expr::var("sp"), Expr::int(1)));
-                part.assign_index("stack_lo", Expr::var("sp"), Expr::add(Expr::var("store"), Expr::int(1)));
+                part.assign_index(
+                    "stack_lo",
+                    Expr::var("sp"),
+                    Expr::add(Expr::var("store"), Expr::int(1)),
+                );
                 part.assign_index("stack_hi", Expr::var("sp"), Expr::var("hi"));
                 part.assign_var("sp", Expr::add(Expr::var("sp"), Expr::int(1)));
             });
@@ -260,7 +332,10 @@ pub fn qsort(input: InputSize) -> HllProgram {
             "checksum",
             Expr::add(
                 Expr::var("checksum"),
-                Expr::add(Expr::index("arr", Expr::int(0)), Expr::index("arr", Expr::int(n - 1))),
+                Expr::add(
+                    Expr::index("arr", Expr::int(0)),
+                    Expr::index("arr", Expr::int(n - 1)),
+                ),
             ),
         );
     });
@@ -284,8 +359,9 @@ pub fn stringsearch(input: InputSize) -> HllProgram {
     // Patterns are taken verbatim from the text at staggered offsets, so each
     // one occurs at least once (more often for the periodic early offsets).
     let text: Vec<i64> = (0..32_768i64).map(|i| (i * 31 + (i / 7)) % 8).collect();
-    let needles: Vec<i64> =
-        (0..patterns).flat_map(|n| text[(n * 211) as usize..(n * 211 + 8) as usize].to_vec()).collect();
+    let needles: Vec<i64> = (0..patterns)
+        .flat_map(|n| text[(n * 211) as usize..(n * 211 + 8) as usize].to_vec())
+        .collect();
     p.add_global(HllGlobal::with_values("needles", needles));
 
     let mut main = FunctionBuilder::new("main");
@@ -315,9 +391,12 @@ pub fn stringsearch(input: InputSize) -> HllProgram {
                     w.assign_var("j", Expr::add(Expr::var("j"), Expr::int(1)));
                 },
             );
-            b.if_then(Expr::bin(BinOp::Ne, Expr::var("matching"), Expr::int(0)), |t| {
-                t.assign_var("found", Expr::add(Expr::var("found"), Expr::int(1)));
-            });
+            b.if_then(
+                Expr::bin(BinOp::Ne, Expr::var("matching"), Expr::int(0)),
+                |t| {
+                    t.assign_var("found", Expr::add(Expr::var("found"), Expr::int(1)));
+                },
+            );
         });
     });
     main.print(Expr::var("found"));
@@ -333,7 +412,10 @@ mod tests {
 
     fn run_level(p: &HllProgram, level: OptLevel) -> i64 {
         let c = compile(p, &CompileOptions::new(level, TargetIsa::X86_64)).unwrap();
-        bsg_uarch::exec::run(&c.program).return_value.unwrap().as_int()
+        bsg_uarch::exec::run(&c.program)
+            .return_value
+            .unwrap()
+            .as_int()
     }
 
     #[test]
@@ -348,7 +430,10 @@ mod tests {
         let p = dijkstra(InputSize::Small);
         let sum = run_level(&p, OptLevel::O2);
         assert!(sum > 0);
-        assert!(sum < 1_000_000 * 64, "no unreachable nodes in a dense graph");
+        assert!(
+            sum < 1_000_000 * 64,
+            "no unreachable nodes in a dense graph"
+        );
         assert_eq!(sum, run_level(&p, OptLevel::O0));
     }
 

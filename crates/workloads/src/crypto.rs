@@ -22,7 +22,11 @@ fn crc_table() -> Vec<i64> {
         .map(|i| {
             let mut c = i;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             c as i64
         })
@@ -42,7 +46,13 @@ pub fn crc32(input: InputSize) -> HllProgram {
     let mut main = FunctionBuilder::new("main");
     main.assign_var("crc", Expr::int(MASK32));
     main.for_loop("i", Expr::int(0), Expr::int(len), |b| {
-        b.assign_var("byte", Expr::index("message", Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(4096))));
+        b.assign_var(
+            "byte",
+            Expr::index(
+                "message",
+                Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(4096)),
+            ),
+        );
         b.assign_var(
             "idx",
             Expr::bin(
@@ -60,7 +70,10 @@ pub fn crc32(input: InputSize) -> HllProgram {
             )),
         );
     });
-    main.assign_var("crc", mask32(Expr::bin(BinOp::Xor, Expr::var("crc"), Expr::int(MASK32))));
+    main.assign_var(
+        "crc",
+        mask32(Expr::bin(BinOp::Xor, Expr::var("crc"), Expr::int(MASK32))),
+    );
     main.print(Expr::var("crc"));
     main.ret(Some(Expr::var("crc")));
     p.add_function(main.finish());
@@ -74,12 +87,20 @@ pub fn sha(input: InputSize) -> HllProgram {
     let mut p = HllProgram::new();
     p.add_global(HllGlobal::with_values(
         "msg",
-        (0..2048).map(|i| ((i * 2654435761i64 + 12345) & MASK32) % 65536).collect(),
+        (0..2048)
+            .map(|i| ((i * 2654435761i64 + 12345) & MASK32) % 65536)
+            .collect(),
     ));
     p.add_global(HllGlobal::zeroed("w", 80));
     p.add_global(HllGlobal::with_values(
         "h",
-        vec![0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+        vec![
+            0x6745_2301,
+            0xEFCD_AB89,
+            0x98BA_DCFE,
+            0x1032_5476,
+            0xC3D2_E1F0,
+        ],
     ));
 
     let rotl = |e: Expr, k: i64| {
@@ -99,7 +120,11 @@ pub fn sha(input: InputSize) -> HllProgram {
             Expr::var("t"),
             Expr::index(
                 "msg",
-                Expr::bin(BinOp::Rem, Expr::add(Expr::var("base"), Expr::var("t")), Expr::int(2048)),
+                Expr::bin(
+                    BinOp::Rem,
+                    Expr::add(Expr::var("base"), Expr::var("t")),
+                    Expr::int(2048),
+                ),
             ),
         );
     });
@@ -147,7 +172,11 @@ pub fn sha(input: InputSize) -> HllProgram {
             |e| {
                 e.assign_var(
                     "f",
-                    Expr::bin(BinOp::Xor, Expr::bin(BinOp::Xor, Expr::var("b"), Expr::var("c")), Expr::var("d")),
+                    Expr::bin(
+                        BinOp::Xor,
+                        Expr::bin(BinOp::Xor, Expr::var("b"), Expr::var("c")),
+                        Expr::var("d"),
+                    ),
                 );
                 e.assign_var("k", Expr::int(0x6ED9_EBA1));
             },
@@ -169,13 +198,21 @@ pub fn sha(input: InputSize) -> HllProgram {
         b.assign_var("a", Expr::var("temp"));
     });
     for (v, i) in [("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4)] {
-        block_fn.assign_index("h", Expr::int(i), mask32(Expr::add(Expr::index("h", Expr::int(i)), Expr::var(v))));
+        block_fn.assign_index(
+            "h",
+            Expr::int(i),
+            mask32(Expr::add(Expr::index("h", Expr::int(i)), Expr::var(v))),
+        );
     }
     block_fn.ret(Some(Expr::index("h", Expr::int(0))));
 
     let mut main = FunctionBuilder::new("main");
     main.for_loop("blk", Expr::int(0), Expr::int(blocks), |b| {
-        b.call_assign("digest", "sha_block", vec![Expr::mul(Expr::var("blk"), Expr::int(16))]);
+        b.call_assign(
+            "digest",
+            "sha_block",
+            vec![Expr::mul(Expr::var("blk"), Expr::int(16))],
+        );
     });
     main.print(Expr::var("digest"));
     main.ret(Some(Expr::var("digest")));
@@ -198,7 +235,10 @@ mod tests {
         let b = bsg_uarch::exec::run(&o3.program);
         assert_eq!(a.return_value, b.return_value);
         let crc = a.return_value.unwrap().as_int();
-        assert!(crc > 0 && crc <= MASK32, "CRC stays within 32 bits: {crc:#x}");
+        assert!(
+            crc > 0 && crc <= MASK32,
+            "CRC stays within 32 bits: {crc:#x}"
+        );
     }
 
     #[test]
@@ -207,10 +247,16 @@ mod tests {
         let c = compile(&small, &CompileOptions::portable(OptLevel::O1)).unwrap();
         let out = bsg_uarch::exec::run(&c.program);
         let digest = out.return_value.unwrap().as_int();
-        assert!(digest >= 0 && digest <= MASK32);
+        assert!((0..=MASK32).contains(&digest));
         // More blocks -> different digest.
         let large = sha(InputSize::Large);
         let c2 = compile(&large, &CompileOptions::portable(OptLevel::O1)).unwrap();
-        assert_ne!(bsg_uarch::exec::run(&c2.program).return_value.unwrap().as_int(), digest);
+        assert_ne!(
+            bsg_uarch::exec::run(&c2.program)
+                .return_value
+                .unwrap()
+                .as_int(),
+            digest
+        );
     }
 }

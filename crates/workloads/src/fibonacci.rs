@@ -63,7 +63,11 @@ mod tests {
         for (n, expected) in [(1, 1i64), (2, 2), (5, 8), (10, 89), (20, 10946)] {
             let c = compile(&fibonacci(n), &CompileOptions::portable(OptLevel::O0)).unwrap();
             let out = bsg_uarch::exec::run(&c.program);
-            assert_eq!(out.return_value.map(|v| v.as_int()), Some(expected), "fib n={n}");
+            assert_eq!(
+                out.return_value.map(|v| v.as_int()),
+                Some(expected),
+                "fib n={n}"
+            );
             assert_eq!(out.printed.len(), 1, "the positive result is printed once");
         }
     }

@@ -136,8 +136,19 @@ mod tests {
         assert_eq!(full_suite().len(), 26);
         let names: Vec<&str> = small.iter().map(|w| w.kernel.as_str()).collect();
         for expected in [
-            "adpcm", "basicmath", "bitcount", "crc32", "dijkstra", "fft", "gsm", "jpeg",
-            "patricia", "qsort", "sha", "stringsearch", "susan",
+            "adpcm",
+            "basicmath",
+            "bitcount",
+            "crc32",
+            "dijkstra",
+            "fft",
+            "gsm",
+            "jpeg",
+            "patricia",
+            "qsort",
+            "sha",
+            "stringsearch",
+            "susan",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -146,16 +157,30 @@ mod tests {
     #[test]
     fn every_workload_compiles_and_terminates_at_o0_and_o2() {
         for w in suite(InputSize::Small) {
-            for (level, isa) in [(OptLevel::O0, TargetIsa::X86), (OptLevel::O2, TargetIsa::Ia64)] {
+            for (level, isa) in [
+                (OptLevel::O0, TargetIsa::X86),
+                (OptLevel::O2, TargetIsa::Ia64),
+            ] {
                 let compiled = compile(&w.program, &CompileOptions::new(level, isa))
                     .unwrap_or_else(|e| panic!("{} fails to compile at {level}: {e}", w.name));
                 let out = execute(
                     &compiled.program,
                     &mut NullObserver,
-                    &ExecConfig { max_instructions: 30_000_000, max_call_depth: 128 },
+                    &ExecConfig {
+                        max_instructions: 30_000_000,
+                        max_call_depth: 128,
+                    },
                 );
-                assert!(out.completed, "{} did not terminate at {level}/{isa}", w.name);
-                assert!(out.dynamic_instructions > 1_000, "{} is trivially small", w.name);
+                assert!(
+                    out.completed,
+                    "{} did not terminate at {level}/{isa}",
+                    w.name
+                );
+                assert!(
+                    out.dynamic_instructions > 1_000,
+                    "{} is trivially small",
+                    w.name
+                );
             }
         }
     }
@@ -164,8 +189,15 @@ mod tests {
     fn optimization_preserves_observable_behaviour_for_every_workload() {
         for w in suite(InputSize::Small) {
             let o0 = compile(&w.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
-            let o3 = compile(&w.program, &CompileOptions::new(OptLevel::O3, TargetIsa::X86)).unwrap();
-            let limit = ExecConfig { max_instructions: 30_000_000, max_call_depth: 128 };
+            let o3 = compile(
+                &w.program,
+                &CompileOptions::new(OptLevel::O3, TargetIsa::X86),
+            )
+            .unwrap();
+            let limit = ExecConfig {
+                max_instructions: 30_000_000,
+                max_call_depth: 128,
+            };
             let r0 = execute(&o0.program, &mut NullObserver, &limit);
             let r3 = execute(&o3.program, &mut NullObserver, &limit);
             assert_eq!(
@@ -183,7 +215,10 @@ mod tests {
             let c = compile(p, &CompileOptions::portable(OptLevel::O0)).unwrap();
             bsg_uarch::exec::run(&c.program).dynamic_instructions
         };
-        for (s, l) in suite(InputSize::Small).iter().zip(suite(InputSize::Large).iter()) {
+        for (s, l) in suite(InputSize::Small)
+            .iter()
+            .zip(suite(InputSize::Large).iter())
+        {
             assert!(
                 run(&l.program) > run(&s.program) * 2,
                 "{} large input should be at least 2x the small input",
@@ -197,6 +232,10 @@ mod tests {
         let w = fibonacci_workload(20);
         let c = compile(&w.program, &CompileOptions::portable(OptLevel::O1)).unwrap();
         let out = bsg_uarch::exec::run(&c.program);
-        assert_eq!(out.return_value.map(|v| v.as_int()), Some(10946), "fib(20) via 20 iterations");
+        assert_eq!(
+            out.return_value.map(|v| v.as_int()),
+            Some(10946),
+            "fib(20) via 20 iterations"
+        );
     }
 }

@@ -38,14 +38,20 @@ pub fn basicmath(input: InputSize) -> HllProgram {
     solve.assign_var("c", Expr::un(UnOp::Cos, Expr::var("x")));
     solve.assign_var(
         "v",
-        Expr::add(Expr::mul(Expr::var("r"), Expr::var("s")), Expr::mul(Expr::var("c"), Expr::var("c"))),
+        Expr::add(
+            Expr::mul(Expr::var("r"), Expr::var("s")),
+            Expr::mul(Expr::var("c"), Expr::var("c")),
+        ),
     );
     solve.assign_index(
         "results",
         Expr::bin(BinOp::Rem, Expr::var("k"), Expr::int(512)),
         Expr::var("v"),
     );
-    solve.ret(Some(Expr::un(UnOp::ToInt, Expr::mul(Expr::var("v"), Expr::float(1000.0)))));
+    solve.ret(Some(Expr::un(
+        UnOp::ToInt,
+        Expr::mul(Expr::var("v"), Expr::float(1000.0)),
+    )));
 
     let mut main = FunctionBuilder::new("main");
     main.assign_var("acc", Expr::int(0));
@@ -55,11 +61,22 @@ pub fn basicmath(input: InputSize) -> HllProgram {
         // Integer degree -> radian conversion (the MiBench angle loop).
         b.assign_var(
             "deg",
-            Expr::bin(BinOp::Rem, Expr::mul(Expr::var("i"), Expr::int(7)), Expr::int(360)),
+            Expr::bin(
+                BinOp::Rem,
+                Expr::mul(Expr::var("i"), Expr::int(7)),
+                Expr::int(360),
+            ),
         );
         b.assign_var(
             "acc",
-            Expr::add(Expr::var("acc"), Expr::bin(BinOp::Div, Expr::mul(Expr::var("deg"), Expr::int(314)), Expr::int(180))),
+            Expr::add(
+                Expr::var("acc"),
+                Expr::bin(
+                    BinOp::Div,
+                    Expr::mul(Expr::var("deg"), Expr::int(314)),
+                    Expr::int(180),
+                ),
+            ),
         );
     });
     main.print(Expr::var("acc"));
@@ -76,10 +93,14 @@ pub fn fft(input: InputSize) -> HllProgram {
     let n = input.scale(24, 72);
     let mut p = HllProgram::new();
     // Deterministic synthetic signal.
-    let signal: Vec<f64> =
-        (0..256).map(|i| ((i * 37 % 97) as f64 / 13.0) - 3.5).collect();
+    let signal: Vec<f64> = (0..256)
+        .map(|i| ((i * 37 % 97) as f64 / 13.0) - 3.5)
+        .collect();
     p.add_global(HllGlobal::with_float_values("sig_re", signal.clone()));
-    p.add_global(HllGlobal::with_float_values("sig_im", signal.iter().map(|x| x * 0.5).collect()));
+    p.add_global(HllGlobal::with_float_values(
+        "sig_im",
+        signal.iter().map(|x| x * 0.5).collect(),
+    ));
     p.add_global(HllGlobal::float_zeroed("out_re", 256));
     p.add_global(HllGlobal::float_zeroed("out_im", 256));
 
@@ -98,7 +119,7 @@ pub fn fft(input: InputSize) -> HllProgram {
             inner.assign_var(
                 "ang",
                 Expr::mul(
-                    Expr::float(-6.283185307179586),
+                    Expr::float(-std::f64::consts::TAU),
                     Expr::bin(
                         BinOp::Div,
                         Expr::un(UnOp::ToFloat, Expr::mul(Expr::var("k"), Expr::var("t"))),
@@ -140,7 +161,10 @@ pub fn fft(input: InputSize) -> HllProgram {
         );
         outer.assign_var(
             "acc",
-            Expr::add(Expr::var("acc"), Expr::un(UnOp::ToInt, Expr::un(UnOp::Sqrt, Expr::var("mag")))),
+            Expr::add(
+                Expr::var("acc"),
+                Expr::un(UnOp::ToInt, Expr::un(UnOp::Sqrt, Expr::var("mag"))),
+            ),
         );
     });
     main.print(Expr::var("acc"));

@@ -19,10 +19,10 @@ fn step_table() -> Vec<i64> {
     vec![
         7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60,
         66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371,
-        408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707,
-        1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
-        7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623,
-        27086, 29794, 32767,
+        408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878,
+        2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845,
+        8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086,
+        29794, 32767,
     ]
 }
 
@@ -31,7 +31,10 @@ pub fn adpcm(input: InputSize) -> HllProgram {
     let samples = input.scale(3_000, 30_000);
     let mut p = HllProgram::new();
     p.add_global(HllGlobal::with_values("steps", step_table()));
-    p.add_global(HllGlobal::with_values("index_adjust", vec![-1, -1, -1, -1, 2, 4, 6, 8]));
+    p.add_global(HllGlobal::with_values(
+        "index_adjust",
+        vec![-1, -1, -1, -1, 2, 4, 6, 8],
+    ));
     p.add_global(HllGlobal::zeroed("encoded", 4096));
 
     let mut main = FunctionBuilder::new("main");
@@ -42,7 +45,11 @@ pub fn adpcm(input: InputSize) -> HllProgram {
         b.assign_var(
             "sample",
             Expr::sub(
-                Expr::bin(BinOp::Rem, Expr::mul(Expr::var("i"), Expr::int(37)), Expr::int(4096)),
+                Expr::bin(
+                    BinOp::Rem,
+                    Expr::mul(Expr::var("i"), Expr::int(37)),
+                    Expr::int(4096),
+                ),
                 Expr::int(2048),
             ),
         );
@@ -53,32 +60,53 @@ pub fn adpcm(input: InputSize) -> HllProgram {
             t.assign_var("code", Expr::int(8));
             t.assign_var("diff", Expr::sub(Expr::int(0), Expr::var("diff")));
         });
-        b.if_then(Expr::bin(BinOp::Ge, Expr::var("diff"), Expr::var("step")), |t| {
-            t.assign_var("code", Expr::add(Expr::var("code"), Expr::int(4)));
-            t.assign_var("diff", Expr::sub(Expr::var("diff"), Expr::var("step")));
-        });
-        b.assign_var("halfstep", Expr::bin(BinOp::Shr, Expr::var("step"), Expr::int(1)));
-        b.if_then(Expr::bin(BinOp::Ge, Expr::var("diff"), Expr::var("halfstep")), |t| {
-            t.assign_var("code", Expr::add(Expr::var("code"), Expr::int(2)));
-            t.assign_var("diff", Expr::sub(Expr::var("diff"), Expr::var("halfstep")));
-        });
+        b.if_then(
+            Expr::bin(BinOp::Ge, Expr::var("diff"), Expr::var("step")),
+            |t| {
+                t.assign_var("code", Expr::add(Expr::var("code"), Expr::int(4)));
+                t.assign_var("diff", Expr::sub(Expr::var("diff"), Expr::var("step")));
+            },
+        );
+        b.assign_var(
+            "halfstep",
+            Expr::bin(BinOp::Shr, Expr::var("step"), Expr::int(1)),
+        );
+        b.if_then(
+            Expr::bin(BinOp::Ge, Expr::var("diff"), Expr::var("halfstep")),
+            |t| {
+                t.assign_var("code", Expr::add(Expr::var("code"), Expr::int(2)));
+                t.assign_var("diff", Expr::sub(Expr::var("diff"), Expr::var("halfstep")));
+            },
+        );
         // Reconstruct predictor and clamp.
         b.assign_var(
             "vpdiff",
-            Expr::add(Expr::bin(BinOp::Shr, Expr::var("step"), Expr::int(3)), Expr::var("halfstep")),
+            Expr::add(
+                Expr::bin(BinOp::Shr, Expr::var("step"), Expr::int(3)),
+                Expr::var("halfstep"),
+            ),
         );
         b.if_then_else(
             Expr::bin(BinOp::Ge, Expr::var("code"), Expr::int(8)),
             |t| {
-                t.assign_var("valpred", Expr::sub(Expr::var("valpred"), Expr::var("vpdiff")));
+                t.assign_var(
+                    "valpred",
+                    Expr::sub(Expr::var("valpred"), Expr::var("vpdiff")),
+                );
             },
             |e| {
-                e.assign_var("valpred", Expr::add(Expr::var("valpred"), Expr::var("vpdiff")));
+                e.assign_var(
+                    "valpred",
+                    Expr::add(Expr::var("valpred"), Expr::var("vpdiff")),
+                );
             },
         );
-        b.if_then(Expr::bin(BinOp::Gt, Expr::var("valpred"), Expr::int(32767)), |t| {
-            t.assign_var("valpred", Expr::int(32767));
-        });
+        b.if_then(
+            Expr::bin(BinOp::Gt, Expr::var("valpred"), Expr::int(32767)),
+            |t| {
+                t.assign_var("valpred", Expr::int(32767));
+            },
+        );
         b.if_then(Expr::lt(Expr::var("valpred"), Expr::int(-32768)), |t| {
             t.assign_var("valpred", Expr::int(-32768));
         });
@@ -87,21 +115,30 @@ pub fn adpcm(input: InputSize) -> HllProgram {
             "index",
             Expr::add(
                 Expr::var("index"),
-                Expr::index("index_adjust", Expr::bin(BinOp::And, Expr::var("code"), Expr::int(7))),
+                Expr::index(
+                    "index_adjust",
+                    Expr::bin(BinOp::And, Expr::var("code"), Expr::int(7)),
+                ),
             ),
         );
         b.if_then(Expr::lt(Expr::var("index"), Expr::int(0)), |t| {
             t.assign_var("index", Expr::int(0));
         });
-        b.if_then(Expr::bin(BinOp::Gt, Expr::var("index"), Expr::int(88)), |t| {
-            t.assign_var("index", Expr::int(88));
-        });
+        b.if_then(
+            Expr::bin(BinOp::Gt, Expr::var("index"), Expr::int(88)),
+            |t| {
+                t.assign_var("index", Expr::int(88));
+            },
+        );
         b.assign_index(
             "encoded",
             Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(4096)),
             Expr::var("code"),
         );
-        b.assign_var("checksum", Expr::add(Expr::var("checksum"), Expr::var("code")));
+        b.assign_var(
+            "checksum",
+            Expr::add(Expr::var("checksum"), Expr::var("code")),
+        );
     });
     main.print(Expr::var("checksum"));
     main.ret(Some(Expr::var("checksum")));
@@ -117,7 +154,10 @@ pub fn gsm(input: InputSize) -> HllProgram {
         "window",
         (0..320).map(|i| ((i * 97 + 11) % 8192) - 4096).collect(),
     ));
-    p.add_global(HllGlobal::with_values("coef", vec![8192, 5741, 4096, 2922, 2048, 1453, 1024, 724]));
+    p.add_global(HllGlobal::with_values(
+        "coef",
+        vec![8192, 5741, 4096, 2922, 2048, 1453, 1024, 724],
+    ));
     p.add_global(HllGlobal::zeroed("filtered", 256));
 
     let mut main = FunctionBuilder::new("main");
@@ -132,7 +172,11 @@ pub fn gsm(input: InputSize) -> HllProgram {
                         Expr::mul(
                             Expr::index(
                                 "window",
-                                Expr::bin(BinOp::Rem, Expr::add(Expr::var("i"), Expr::var("j")), Expr::int(320)),
+                                Expr::bin(
+                                    BinOp::Rem,
+                                    Expr::add(Expr::var("i"), Expr::var("j")),
+                                    Expr::int(320),
+                                ),
                             ),
                             Expr::index("coef", Expr::var("j")),
                         ),
@@ -144,7 +188,13 @@ pub fn gsm(input: InputSize) -> HllProgram {
                 Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(256)),
                 Expr::bin(BinOp::Shr, Expr::var("acc"), Expr::int(13)),
             );
-            b.assign_var("total", Expr::add(Expr::var("total"), Expr::bin(BinOp::Shr, Expr::var("acc"), Expr::int(13))));
+            b.assign_var(
+                "total",
+                Expr::add(
+                    Expr::var("total"),
+                    Expr::bin(BinOp::Shr, Expr::var("acc"), Expr::int(13)),
+                ),
+            );
         });
     });
     main.print(Expr::var("total"));
@@ -174,10 +224,10 @@ pub fn jpeg(input: InputSize) -> HllProgram {
     p.add_global(HllGlobal::with_values(
         "quant",
         vec![
-            16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40,
-            57, 69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35,
-            55, 64, 81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112,
-            100, 103, 99,
+            16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57,
+            69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55,
+            64, 81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100,
+            103, 99,
         ],
     ));
     p.add_global(HllGlobal::zeroed("coeffs", 64));
@@ -197,7 +247,10 @@ pub fn jpeg(input: InputSize) -> HllProgram {
                                 BinOp::Rem,
                                 Expr::add(
                                     Expr::var("base"),
-                                    Expr::add(Expr::mul(Expr::var("x"), Expr::int(8)), Expr::var("y")),
+                                    Expr::add(
+                                        Expr::mul(Expr::var("x"), Expr::int(8)),
+                                        Expr::var("y"),
+                                    ),
                                 ),
                                 Expr::int(4096),
                             ),
@@ -212,8 +265,20 @@ pub fn jpeg(input: InputSize) -> HllProgram {
                                 Expr::bin(
                                     BinOp::Shr,
                                     Expr::mul(
-                                        Expr::index("costab", Expr::add(Expr::mul(Expr::var("u"), Expr::int(8)), Expr::var("x"))),
-                                        Expr::index("costab", Expr::add(Expr::mul(Expr::var("v"), Expr::int(8)), Expr::var("y"))),
+                                        Expr::index(
+                                            "costab",
+                                            Expr::add(
+                                                Expr::mul(Expr::var("u"), Expr::int(8)),
+                                                Expr::var("x"),
+                                            ),
+                                        ),
+                                        Expr::index(
+                                            "costab",
+                                            Expr::add(
+                                                Expr::mul(Expr::var("v"), Expr::int(8)),
+                                                Expr::var("y"),
+                                            ),
+                                        ),
                                     ),
                                     Expr::int(10),
                                 ),
@@ -222,7 +287,10 @@ pub fn jpeg(input: InputSize) -> HllProgram {
                     );
                 });
             });
-            bv.assign_var("qidx", Expr::add(Expr::mul(Expr::var("u"), Expr::int(8)), Expr::var("v")));
+            bv.assign_var(
+                "qidx",
+                Expr::add(Expr::mul(Expr::var("u"), Expr::int(8)), Expr::var("v")),
+            );
             bv.assign_index(
                 "coeffs",
                 Expr::var("qidx"),
@@ -238,7 +306,11 @@ pub fn jpeg(input: InputSize) -> HllProgram {
 
     let mut main = FunctionBuilder::new("main");
     main.for_loop("b", Expr::int(0), Expr::int(blocks), |body| {
-        body.call_assign("dc", "dct_block", vec![Expr::mul(Expr::var("b"), Expr::int(64))]);
+        body.call_assign(
+            "dc",
+            "dct_block",
+            vec![Expr::mul(Expr::var("b"), Expr::int(64))],
+        );
         body.assign_var("energy", Expr::add(Expr::var("energy"), Expr::var("dc")));
     });
     main.print(Expr::var("energy"));
@@ -280,16 +352,25 @@ pub fn susan(input: InputSize) -> HllProgram {
                                 "image",
                                 Expr::add(
                                     Expr::mul(
-                                        Expr::sub(Expr::add(Expr::var("y"), Expr::var("dy")), Expr::int(1)),
+                                        Expr::sub(
+                                            Expr::add(Expr::var("y"), Expr::var("dy")),
+                                            Expr::int(1),
+                                        ),
                                         Expr::int(96),
                                     ),
-                                    Expr::sub(Expr::add(Expr::var("x"), Expr::var("dx")), Expr::int(1)),
+                                    Expr::sub(
+                                        Expr::add(Expr::var("x"), Expr::var("dx")),
+                                        Expr::int(1),
+                                    ),
                                 ),
                             ),
                         );
                         pdx.assign_var(
                             "delta",
-                            Expr::un(bsg_ir::hll::UnOp::Abs, Expr::sub(Expr::var("pix"), Expr::var("center"))),
+                            Expr::un(
+                                bsg_ir::hll::UnOp::Abs,
+                                Expr::sub(Expr::var("pix"), Expr::var("center")),
+                            ),
                         );
                         // The USAN criterion: only similar pixels contribute.
                         pdx.if_then(Expr::lt(Expr::var("delta"), Expr::int(27)), |t| {
@@ -305,7 +386,10 @@ pub fn susan(input: InputSize) -> HllProgram {
                 );
                 px.assign_var(
                     "total",
-                    Expr::add(Expr::var("total"), Expr::bin(BinOp::Div, Expr::var("sum"), Expr::var("count"))),
+                    Expr::add(
+                        Expr::var("total"),
+                        Expr::bin(BinOp::Div, Expr::var("sum"), Expr::var("count")),
+                    ),
                 );
             });
         });
@@ -320,8 +404,8 @@ pub fn susan(input: InputSize) -> HllProgram {
 mod tests {
     use super::*;
     use bsg_compiler::{compile, CompileOptions, OptLevel};
-    use bsg_profile::{profile_program, ProfileConfig};
     use bsg_ir::visa::MixCategory;
+    use bsg_profile::{profile_program, ProfileConfig};
 
     fn profile(p: &HllProgram, name: &str) -> bsg_profile::StatisticalProfile {
         let c = compile(p, &CompileOptions::portable(OptLevel::O0)).unwrap();
@@ -338,7 +422,10 @@ mod tests {
 
     #[test]
     fn gsm_and_jpeg_are_multiply_heavy() {
-        for (p, name) in [(gsm(InputSize::Small), "gsm"), (jpeg(InputSize::Small), "jpeg")] {
+        for (p, name) in [
+            (gsm(InputSize::Small), "gsm"),
+            (jpeg(InputSize::Small), "jpeg"),
+        ] {
             let prof = profile(&p, name);
             let mul = prof.mix.fraction(bsg_ir::visa::InstClass::IntMul);
             assert!(mul > 0.01, "{name} should multiply, got {mul}");

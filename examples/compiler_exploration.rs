@@ -18,8 +18,14 @@ fn main() {
     let profile = profile_program(&o0.program, &workload.name, &ProfileConfig::default());
     let clone = synthesize_with_target(&profile, &SynthesisConfig::default(), 25_000).benchmark;
 
-    println!("dynamic instruction count by optimization level and ISA ({}):", workload.name);
-    println!("{:<10} {:<8} {:>14} {:>14}", "ISA", "level", "original", "synthetic");
+    println!(
+        "dynamic instruction count by optimization level and ISA ({}):",
+        workload.name
+    );
+    println!(
+        "{:<10} {:<8} {:>14} {:>14}",
+        "ISA", "level", "original", "synthetic"
+    );
     for isa in TargetIsa::ALL {
         for level in OptLevel::ALL {
             let options = CompileOptions::new(level, isa);

@@ -29,9 +29,23 @@ fn main() {
 
     let merged = consolidate(&profiles);
     let clone = synthesize_with_target(&merged, &SynthesisConfig::default(), 40_000);
-    println!("\nconsolidated profile: {} instructions across {} workloads", total_original, profiles.len());
-    println!("consolidated clone:   {} instructions (R = {})", clone.synthetic_instructions, clone.reduction_factor);
-    let compiled = compile(&clone.benchmark.hll, &CompileOptions::portable(OptLevel::O2)).unwrap();
-    println!("clone at -O2:         {} instructions", exec::run(&compiled.program).dynamic_instructions);
+    println!(
+        "\nconsolidated profile: {} instructions across {} workloads",
+        total_original,
+        profiles.len()
+    );
+    println!(
+        "consolidated clone:   {} instructions (R = {})",
+        clone.synthetic_instructions, clone.reduction_factor
+    );
+    let compiled = compile(
+        &clone.benchmark.hll,
+        &CompileOptions::portable(OptLevel::O2),
+    )
+    .unwrap();
+    println!(
+        "clone at -O2:         {} instructions",
+        exec::run(&compiled.program).dynamic_instructions
+    );
     println!("\nOne distributable benchmark now stands in for all three workloads.");
 }

@@ -15,21 +15,34 @@ use benchsynth::workloads::{suite, InputSize};
 fn main() {
     // The "proprietary" application: dijkstra stands in for routing software.
     let workload = suite(InputSize::Small).remove(4);
-    println!("proprietary workload: {} (never leaves the company)", workload.name);
+    println!(
+        "proprietary workload: {} (never leaves the company)",
+        workload.name
+    );
 
     // The company profiles it in-house and ships only the clone.
     let o0 = compile(&workload.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
     let profile = profile_program(&o0.program, &workload.name, &ProfileConfig::default());
     let clone = synthesize_with_target(&profile, &SynthesisConfig::default(), 30_000);
-    println!("clone shipped to the vendor: {} C statements, R = {}", clone.benchmark.stats.statements, clone.reduction_factor);
+    println!(
+        "clone shipped to the vendor: {} C statements, R = {}",
+        clone.benchmark.stats.statements, clone.reduction_factor
+    );
 
     // The vendor explores L1 cache sizes using the clone, and the company
     // checks (internally) that the original would rank the designs the same.
-    println!("\n{:<10} {:>16} {:>16}", "L1 size", "CPI (original)", "CPI (clone)");
+    println!(
+        "\n{:<10} {:>16} {:>16}",
+        "L1 size", "CPI (original)", "CPI (clone)"
+    );
     for kb in [4u64, 8, 16, 32, 64] {
         let config = PipelineConfig::ptlsim_2wide(kb);
         let cpi_original = simulate(&o0.program, config).cpi();
-        let clone_prog = compile(&clone.benchmark.hll, &CompileOptions::portable(OptLevel::O0)).unwrap();
+        let clone_prog = compile(
+            &clone.benchmark.hll,
+            &CompileOptions::portable(OptLevel::O0),
+        )
+        .unwrap();
         let cpi_clone = simulate(&clone_prog.program, config).cpi();
         println!("{:>6} KB {:>16.3} {:>16.3}", kb, cpi_original, cpi_clone);
     }

@@ -19,25 +19,49 @@ fn main() {
     // 2. Compile it at a low optimization level and profile the execution.
     let o0 = compile(&workload.program, &CompileOptions::portable(OptLevel::O0)).expect("compiles");
     let profile = profile_program(&o0.program, &workload.name, &ProfileConfig::default());
-    println!("  dynamic instructions (original, -O0): {}", profile.dynamic_instructions);
-    println!("  basic blocks: {}, loops: {}", profile.sfgl.nodes.len(), profile.sfgl.loops.len());
+    println!(
+        "  dynamic instructions (original, -O0): {}",
+        profile.dynamic_instructions
+    );
+    println!(
+        "  basic blocks: {}, loops: {}",
+        profile.sfgl.nodes.len(),
+        profile.sfgl.loops.len()
+    );
 
     // 3. Synthesize a clone targeting ~20k instructions.
     let result = synthesize_with_target(&profile, &SynthesisConfig::default(), 20_000);
     println!("  reduction factor R = {}", result.reduction_factor);
-    println!("  dynamic instructions (synthetic, -O0): {}", result.synthetic_instructions);
+    println!(
+        "  dynamic instructions (synthetic, -O0): {}",
+        result.synthetic_instructions
+    );
     println!("  reduction: {:.1}x", result.instruction_reduction());
 
     // 4. The clone compiles and runs at any optimization level / ISA.
     for level in [OptLevel::O0, OptLevel::O2] {
-        let compiled = compile(&result.benchmark.hll, &CompileOptions::new(level, TargetIsa::X86_64)).unwrap();
+        let compiled = compile(
+            &result.benchmark.hll,
+            &CompileOptions::new(level, TargetIsa::X86_64),
+        )
+        .unwrap();
         let out = exec::run(&compiled.program);
-        println!("  synthetic at {level}: {} instructions", out.dynamic_instructions);
+        println!(
+            "  synthetic at {level}: {} instructions",
+            out.dynamic_instructions
+        );
     }
 
     // 5. And it does not resemble the original source.
     let original_c = benchsynth::ir::cemit::emit_c(&workload.program);
     let report = SimilarityReport::compare(&original_c, &result.benchmark.c_source);
-    println!("  Moss similarity: {:.1}%, JPlag similarity: {:.1}%", report.moss * 100.0, report.jplag * 100.0);
-    println!("\n--- synthetic clone (C source) ---\n{}", result.benchmark.c_source);
+    println!(
+        "  Moss similarity: {:.1}%, JPlag similarity: {:.1}%",
+        report.moss * 100.0,
+        report.jplag * 100.0
+    );
+    println!(
+        "\n--- synthetic clone (C source) ---\n{}",
+        result.benchmark.c_source
+    );
 }

@@ -26,16 +26,32 @@ fn build_program(seed_values: &[i64], loop_trip: i64, branch_mod: i64) -> HllPro
             Expr::add(Expr::var("v0"), Expr::mul(Expr::var("i"), Expr::var("v1"))),
         );
         b.if_then_else(
-            Expr::eq(Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(branch_mod)), Expr::int(0)),
+            Expr::eq(
+                Expr::bin(BinOp::Rem, Expr::var("i"), Expr::int(branch_mod)),
+                Expr::int(0),
+            ),
             |t| {
-                t.assign_var("acc", Expr::add(Expr::var("acc"), Expr::index("buf", Expr::bin(BinOp::And, Expr::var("i"), Expr::int(127)))));
+                t.assign_var(
+                    "acc",
+                    Expr::add(
+                        Expr::var("acc"),
+                        Expr::index("buf", Expr::bin(BinOp::And, Expr::var("i"), Expr::int(127))),
+                    ),
+                );
             },
             |e| {
                 e.assign_var("acc", Expr::sub(Expr::var("acc"), Expr::var("v2")));
                 e.print(Expr::var("acc"));
             },
         );
-        b.assign_var("acc", Expr::bin(BinOp::Xor, Expr::var("acc"), Expr::bin(BinOp::Shr, Expr::var("v3"), Expr::int(1))));
+        b.assign_var(
+            "acc",
+            Expr::bin(
+                BinOp::Xor,
+                Expr::var("acc"),
+                Expr::bin(BinOp::Shr, Expr::var("v3"), Expr::int(1)),
+            ),
+        );
     });
     f.assign_var("acc", Expr::bin(BinOp::Mul, Expr::var("acc"), Expr::int(2)));
     f.ret(Some(Expr::var("acc")));
@@ -45,7 +61,14 @@ fn build_program(seed_values: &[i64], loop_trip: i64, branch_mod: i64) -> HllPro
 
 fn observable(p: &HllProgram, options: &CompileOptions) -> (Option<i64>, Vec<i64>) {
     let compiled = compile(p, options).expect("compiles");
-    let out = execute(&compiled.program, &mut NullObserver, &ExecConfig { max_instructions: 2_000_000, max_call_depth: 64 });
+    let out = execute(
+        &compiled.program,
+        &mut NullObserver,
+        &ExecConfig {
+            max_instructions: 2_000_000,
+            max_call_depth: 64,
+        },
+    );
     assert!(out.completed);
     (
         out.return_value.map(|v| v.as_int()),

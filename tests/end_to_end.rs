@@ -14,7 +14,12 @@ use benchsynth::workloads::{suite, InputSize, Workload};
 
 const TARGET: u64 = 20_000;
 
-fn prepare(workload: &Workload) -> (benchsynth::profile::StatisticalProfile, benchsynth::synth::TargetedSynthesis) {
+fn prepare(
+    workload: &Workload,
+) -> (
+    benchsynth::profile::StatisticalProfile,
+    benchsynth::synth::TargetedSynthesis,
+) {
     let o0 = compile(&workload.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
     let profile = profile_program(&o0.program, &workload.name, &ProfileConfig::default());
     let synth = synthesize_with_target(&profile, &SynthesisConfig::default(), TARGET);
@@ -45,13 +50,20 @@ fn synthetic_clones_are_shorter_and_representative_for_the_instruction_mix() {
         }
         // Compare the -O0 instruction-mix categories between original and clone.
         let (o, s) = (
-            compile(&w.program, &CompileOptions::portable(OptLevel::O0)).unwrap().program,
-            compile(&synth.benchmark.hll, &CompileOptions::portable(OptLevel::O0)).unwrap().program,
+            compile(&w.program, &CompileOptions::portable(OptLevel::O0))
+                .unwrap()
+                .program,
+            compile(
+                &synth.benchmark.hll,
+                &CompileOptions::portable(OptLevel::O0),
+            )
+            .unwrap()
+            .program,
         );
         let mix = |p| {
             let mut obs = MixObserver::default();
             execute(p, &mut obs, &ExecConfig::default());
-            obs.mix.category_fractions()
+            obs.mix().category_fractions()
         };
         let om = mix(&o);
         let sm = mix(&s);
@@ -70,15 +82,29 @@ fn synthetic_clones_are_shorter_and_representative_for_the_instruction_mix() {
 fn clones_track_cache_and_branch_behaviour_directionally() {
     let w = suite(InputSize::Small).remove(4); // dijkstra: cache-sensitive per the paper
     let (_, synth) = prepare(&w);
-    let o = compile(&w.program, &CompileOptions::portable(OptLevel::O0)).unwrap().program;
-    let s = compile(&synth.benchmark.hll, &CompileOptions::portable(OptLevel::O0)).unwrap().program;
+    let o = compile(&w.program, &CompileOptions::portable(OptLevel::O0))
+        .unwrap()
+        .program;
+    let s = compile(
+        &synth.benchmark.hll,
+        &CompileOptions::portable(OptLevel::O0),
+    )
+    .unwrap()
+    .program;
     let hit_rates = |p| {
         let mut obs = CacheObserver::new([1u64, 8, 32].map(CacheConfig::kb));
         execute(p, &mut obs, &ExecConfig::default());
-        obs.sweep.results().iter().map(|(_, st)| st.hit_rate()).collect::<Vec<_>>()
+        obs.sweep
+            .results()
+            .iter()
+            .map(|(_, st)| st.hit_rate())
+            .collect::<Vec<_>>()
     };
     for rates in [hit_rates(&o), hit_rates(&s)] {
-        assert!(rates[2] >= rates[0] - 1e-9, "hit rate grows with cache size: {rates:?}");
+        assert!(
+            rates[2] >= rates[0] - 1e-9,
+            "hit rate grows with cache size: {rates:?}"
+        );
     }
     let accuracy = |p| {
         let mut obs = PredictorObserver::new(Hybrid::default_config());
@@ -94,7 +120,11 @@ fn clones_compile_and_run_on_every_isa_and_machine() {
     let w = suite(InputSize::Small).remove(0); // adpcm
     let (_, synth) = prepare(&w);
     for isa in TargetIsa::ALL {
-        let compiled = compile(&synth.benchmark.hll, &CompileOptions::new(OptLevel::O2, isa)).unwrap();
+        let compiled = compile(
+            &synth.benchmark.hll,
+            &CompileOptions::new(OptLevel::O2, isa),
+        )
+        .unwrap();
         let out = exec::run(&compiled.program);
         assert!(out.completed, "clone terminates on {isa}");
     }
@@ -104,7 +134,11 @@ fn clones_compile_and_run_on_every_isa_and_machine() {
             benchsynth::uarch::machine::MachineIsa::X86_64 => TargetIsa::X86_64,
             benchsynth::uarch::machine::MachineIsa::Ia64 => TargetIsa::Ia64,
         };
-        let compiled = compile(&synth.benchmark.hll, &CompileOptions::new(OptLevel::O2, isa)).unwrap();
+        let compiled = compile(
+            &synth.benchmark.hll,
+            &CompileOptions::new(OptLevel::O2, isa),
+        )
+        .unwrap();
         let result = machine.run(&compiled.program);
         assert!(result.time_ns > 0.0, "{} reports a time", machine.name);
     }
@@ -142,5 +176,8 @@ fn optimization_levels_reduce_instruction_counts_for_original_and_clone() {
     assert!(so2 < so0, "synthetic shrinks with optimization");
     let org_ratio = oo2 as f64 / oo0 as f64;
     let syn_ratio = so2 as f64 / so0 as f64;
-    assert!((org_ratio - syn_ratio).abs() < 0.35, "O0->O2 trends track: {org_ratio:.2} vs {syn_ratio:.2}");
+    assert!(
+        (org_ratio - syn_ratio).abs() < 0.35,
+        "O0->O2 trends track: {org_ratio:.2} vs {syn_ratio:.2}"
+    );
 }

@@ -24,7 +24,10 @@ fn profile_of(outer: i64, inner: i64, stride: i64) -> StatisticalProfile {
                 ),
                 Expr::var("j"),
             );
-            inner_b.assign_var("s", Expr::add(Expr::var("s"), Expr::index("data", Expr::var("j"))));
+            inner_b.assign_var(
+                "s",
+                Expr::add(Expr::var("s"), Expr::index("data", Expr::var("j"))),
+            );
         });
     });
     f.ret(Some(Expr::var("s")));

@@ -1,0 +1,141 @@
+//! Offline stand-in for `criterion` covering the API the workspace's bench
+//! targets use.  Instead of statistical sampling it runs each benchmark body
+//! `sample_size` times (minimum 1) and reports the mean wall-clock time — a
+//! smoke-level harness that keeps `cargo bench` useful without crates.io
+//! access.  Swapping the path dependency for the real criterion restores full
+//! statistics without changing any bench source.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each invocation.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters.max(1) {
+            std::hint::black_box(f());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+    }
+}
+
+/// A named benchmark parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a parameter's display form.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+fn run_one(label: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: samples,
+        total_nanos: 0,
+    };
+    f(&mut b);
+    let per_iter = b.total_nanos / u128::from(b.iters.max(1));
+    println!("{label:<48} {:>12.3} ms/iter", per_iter as f64 / 1e6);
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 3 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many times each body runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many times each body in this group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions sharing one `Criterion` config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),*);
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}

@@ -1,0 +1,236 @@
+//! Offline stand-in for `proptest` covering the API the workspace's
+//! property tests use: the `proptest!` macro with a `proptest_config` inner
+//! attribute, `prop_assert!`/`prop_assert_eq!`, integer-range strategies and
+//! `proptest::collection::vec`.
+//!
+//! Each test runs `cases` iterations with inputs drawn from a deterministic
+//! per-test RNG (seeded from the test's module path), so failures are
+//! reproducible run-to-run.  There is no shrinking; a failing case reports
+//! its inputs instead.  Swapping the path dependency for the real proptest
+//! restores shrinking without changing any test source.
+
+// Lets the crate's own tests spell paths the way downstream users do
+// (`proptest::collection::vec`).
+extern crate self as proptest;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A source of random test inputs.
+pub type TestRng = SmallRng;
+
+/// Builds the deterministic RNG for one test case.
+pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test path keeps unrelated tests decorrelated.
+    let mut seed: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x100000001b3);
+    }
+    SmallRng::seed_from_u64(seed ^ (u64::from(case) << 32))
+}
+
+/// Generates values of one input parameter.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i32, i64, u32, u64, usize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for fixed-length vectors of another strategy's values.
+    pub struct VecStrategy<S> {
+        element: S,
+        count: usize,
+    }
+
+    /// `count` values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, count: usize) -> VecStrategy<S> {
+        VecStrategy { element, count }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (0..self.count)
+                .map(|_| self.element.generate(rng))
+                .collect()
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Fails the enclosing property case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property case when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($lhs), stringify!($rhs), lhs, rhs,
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+), lhs, rhs,
+            ));
+        }
+    }};
+}
+
+/// Fails the enclosing property case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs == rhs {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs,
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn` runs `cases` times with fresh inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}  "),*) $(, $arg)*
+                );
+                let result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = result {
+                    panic!("property failed on case {case}: {message}\n  inputs: {inputs}");
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..9, y in 0u64..4, n in 1usize..5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 4, "y was {y}");
+            prop_assert_ne!(n, 0);
+        }
+
+        #[test]
+        fn vectors_have_the_requested_length(v in proptest::collection::vec(-10i64..10, 4)) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(v.iter().all(|e| (-10..10).contains(e)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            #[allow(unused)]
+            fn inner(x in 0i64..1) {
+                prop_assert!(x > 100);
+            }
+        }
+        inner();
+    }
+}

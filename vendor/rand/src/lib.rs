@@ -1,0 +1,147 @@
+//! Offline stand-in for `rand`, covering exactly the API surface the
+//! workspace uses: `SmallRng::seed_from_u64` and `Rng::gen_range` over
+//! half-open integer ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction the real `SmallRng` uses on 64-bit targets — so statistical
+//! quality is adequate for the synthesizer's code-generation choices.  It is
+//! deterministic for a given seed, which the synthesis pipeline relies on
+//! (same profile + same seed = same clone).
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a half-open range.  The sampled
+/// type is a trait parameter (mirroring `rand`'s `SampleRange<T>`) so the
+/// result type drives inference of untyped integer literals in the range.
+pub trait SampleRange<T> {
+    /// Draws one value using the provided 64-bit source.
+    fn sample(self, next: u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, next: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (next as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i32, i64, u32, u64, usize);
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Produces the next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range` (which must be non-empty).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let next = self.next_u64();
+        range.sample(next)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Small, fast RNGs.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small fast generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..6);
+            assert!(v < 6);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all bucket values should appear");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

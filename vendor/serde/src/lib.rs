@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives so the workspace's
+//! `#[derive(Serialize, Deserialize)]` annotations compile without network
+//! access.  No serde trait machinery exists here; nothing in the workspace
+//! serializes through serde at runtime.  Swapping this path dependency for
+//! the real crates.io `serde` restores full serialization support without
+//! touching any other file.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a stub: `#[derive(Serialize, Deserialize)]` expands to nothing.  The
+//! workspace never serializes through serde at runtime (reports are plain
+//! text and `BENCH_interp.json` is emitted by hand), so the derives only need
+//! to parse, not to generate code.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
