@@ -1,7 +1,11 @@
 //! Runs every table and figure in sequence (small-input suite), printing a
 //! combined report.  `cargo run -p bsg-bench --release --bin all_experiments`.
+//!
+//! The report text goes to stdout (byte-identical at any scheduler worker
+//! count); artifact-store and scheduler statistics go to stderr.
 use bsg_bench::*;
 use bsg_compiler::OptLevel;
+use bsg_runtime::{ArtifactStore, Runtime};
 use bsg_workloads::InputSize;
 
 fn main() {
@@ -19,4 +23,9 @@ fn main() {
     println!("{}", fig10(&artifacts));
     println!("{}", fig11(&artifacts));
     println!("{}", obfuscation(&artifacts));
+    eprintln!(
+        "[bsg-runtime] workers: {}; artifact store: {}",
+        Runtime::global().workers(),
+        ArtifactStore::global().stats()
+    );
 }

@@ -1,7 +1,15 @@
 //! Interpreter-throughput benchmark: times the predecoded engine against the
 //! legacy `dyn`-dispatch tree-walking interpreter under three observer loads
 //! (none, pipeline timing model, full statistical profiler), over the
-//! strided-loop microbenchmark plus the whole small-input workload suite.
+//! strided-loop microbenchmark plus the whole workload suite.
+//!
+//! Pass `--large` to run the large-input suite (feasible now that compiled
+//! programs and predecoded images come out of the artifact store).
+//!
+//! Preparation (compiling the suite and predecoding images) fans out through
+//! `bsg-runtime`'s scheduler and artifact store; the *measurement* loops stay
+//! sequential so per-configuration timings are not polluted by concurrent
+//! load on the same cores.
 //!
 //! Writes `BENCH_interp.json` (instructions/sec per configuration and the
 //! derived speedups) so the performance trajectory is tracked from PR to PR,
@@ -9,16 +17,18 @@
 //!
 //! Run with `cargo run -p bsg-bench --release --bin interp_bench`.
 
-use bsg_compiler::{compile, CompileOptions, OptLevel};
+use bsg_compiler::{CompileOptions, OptLevel};
 use bsg_ir::program::{Function, Global, Program};
 use bsg_ir::types::Ty;
 use bsg_ir::visa::{Address, BinOp, Inst, Operand, Terminator};
-use bsg_profile::{profile_program, profile_program_reference, ProfileConfig};
+use bsg_profile::{profile_image, profile_program_reference, ProfileConfig};
+use bsg_runtime::{ArtifactStore, CompiledArtifact, Runtime};
 use bsg_uarch::exec::{execute_image, execute_legacy, ExecConfig, NullObserver};
 use bsg_uarch::image::ExecImage;
 use bsg_uarch::pipeline::{PipelineConfig, PipelineSim, ReferencePipelineSim};
 use bsg_workloads::{suite, InputSize};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The strided-loop microbenchmark from the pipeline tests: a load / add /
@@ -122,23 +132,39 @@ fn best_of<F: FnMut() -> u64>(passes: u32, mut body: F) -> (u64, f64) {
 }
 
 fn main() {
+    let input = if std::env::args().any(|a| a == "--large") {
+        InputSize::Large
+    } else {
+        InputSize::Small
+    };
     let limit = ExecConfig {
         max_instructions: 30_000_000,
         max_call_depth: 128,
     };
     let passes = 3;
+    let wall_start = Instant::now();
 
     // Programs under measurement: the microbenchmark + the compiled suite.
-    let mut programs: Vec<(String, Program)> = vec![(
-        "strided_loop".to_string(),
-        strided_loop(1 << 14, 3, 400_000),
-    )];
-    for w in suite(InputSize::Small) {
-        let compiled =
-            compile(&w.program, &CompileOptions::portable(OptLevel::O0)).expect("compiles");
-        programs.push((w.name, compiled.program));
+    // The suite's compiles and predecoded images come out of the artifact
+    // store, fanned out on the work-stealing scheduler; the VISA-level
+    // microbenchmark has no HLL source, so its image is built directly.
+    let micro = strided_loop(1 << 14, 3, 400_000);
+    let micro_image = ExecImage::new(&micro);
+    let compiled: Vec<(String, Arc<CompiledArtifact>)> = Runtime::global().map(suite(input), |w| {
+        let art =
+            ArtifactStore::global().compiled(&w.program, &CompileOptions::portable(OptLevel::O0));
+        (w.name, art)
+    });
+    let prep_seconds = wall_start.elapsed().as_secs_f64();
+
+    let mut names: Vec<&str> = vec!["strided_loop"];
+    let mut programs: Vec<&Program> = vec![&micro];
+    let mut images: Vec<&ExecImage> = vec![&micro_image];
+    for (name, art) in &compiled {
+        names.push(name);
+        programs.push(&art.program);
+        images.push(&art.image);
     }
-    let images: Vec<ExecImage> = programs.iter().map(|(_, p)| ExecImage::new(p)).collect();
 
     let mut results: Vec<Measurement> = Vec::new();
     let mut push = |config: &'static str, measured: Vec<(u64, f64)>| {
@@ -167,7 +193,7 @@ fn main() {
         "null/legacy",
         programs
             .iter()
-            .map(|(_, p)| {
+            .map(|p| {
                 best_of(passes, || {
                     execute_legacy(p, &mut NullObserver, &limit).dynamic_instructions
                 })
@@ -194,7 +220,7 @@ fn main() {
         "pipeline/legacy",
         programs
             .iter()
-            .map(|(_, p)| {
+            .map(|p| {
                 best_of(passes, || {
                     let mut sim = ReferencePipelineSim::new(pipe, p);
                     execute_legacy(p, &mut sim, &limit);
@@ -210,9 +236,11 @@ fn main() {
         "profile/predecoded",
         programs
             .iter()
-            .map(|(name, p)| {
+            .zip(&images)
+            .zip(&names)
+            .map(|((p, image), name)| {
                 best_of(passes, || {
-                    profile_program(p, name, &prof_cfg).dynamic_instructions
+                    profile_image(p, image, name, &prof_cfg).dynamic_instructions
                 })
             })
             .collect(),
@@ -221,7 +249,8 @@ fn main() {
         "profile/legacy",
         programs
             .iter()
-            .map(|(name, p)| {
+            .zip(&names)
+            .map(|(p, name)| {
                 best_of(passes, || {
                     profile_program_reference(p, name, &prof_cfg).dynamic_instructions
                 })
@@ -247,27 +276,36 @@ fn main() {
         }
     };
     let (null_x, pipe_x, prof_x) = (speedup("null"), speedup("pipeline"), speedup("profile"));
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
 
     println!(
-        "interpreter throughput over {} programs ({} total dynamic instructions)",
+        "interpreter throughput over {} programs ({} total dynamic instructions, {} inputs)",
         programs.len(),
-        results[0].instructions
+        results[0].instructions,
+        input
     );
     println!("{:<22} {:>16} {:>10}", "config", "inst/sec", "seconds");
     for m in &results {
         println!("{:<22} {:>16.0} {:>10.3}", m.config, m.ips(), m.seconds);
     }
     println!("speedup predecoded vs legacy: null {null_x:.2}x, pipeline {pipe_x:.2}x, profile {prof_x:.2}x");
+    println!(
+        "wall-clock: {wall_seconds:.3}s total ({prep_seconds:.3}s compile+predecode via {})",
+        ArtifactStore::global().stats()
+    );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"interp_bench\",");
+    let _ = writeln!(json, "  \"input_size\": \"{input}\",");
     let _ = writeln!(json, "  \"programs\": {},", programs.len());
     let _ = writeln!(json, "  \"passes_per_measurement\": {passes},");
+    let _ = writeln!(json, "  \"wall_seconds\": {wall_seconds:.3},");
+    let _ = writeln!(json, "  \"prepare_seconds\": {prep_seconds:.3},");
     let _ = writeln!(json, "  \"workloads\": [{}],", {
-        programs
+        names
             .iter()
-            .map(|(n, _)| format!("\"{n}\""))
+            .map(|n| format!("\"{n}\""))
             .collect::<Vec<_>>()
             .join(", ")
     });

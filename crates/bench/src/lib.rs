@@ -9,86 +9,51 @@
 //! is the *shape* of each result (who wins, by roughly how much, and how the
 //! trend moves with cache size, optimization level, ISA and machine).
 //! `EXPERIMENTS.md` records paper-reported versus measured values.
+//!
+//! # The runtime substrate
+//!
+//! Every figure runs through [`bsg_runtime`]'s two components:
+//!
+//! * the [`ArtifactStore`] memoizes compiled programs, predecoded
+//!   [`ExecImage`](bsg_uarch::image::ExecImage)s, emitted C text, profiles
+//!   and synthesis results behind `Arc`s, content-addressed by source
+//!   structure + build options, so each (workload, level, ISA) artifact is
+//!   built exactly once per process no matter how many figures request it;
+//! * the work-stealing [`Runtime`] executes each figure's sweep as
+//!   fine-grained tasks (per workload × config point, not one coarse unit
+//!   per workload), with deterministic submission-ordered results — figure
+//!   text is byte-identical at any worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bsg_compiler::{compile, CompileOptions, OptLevel, TargetIsa};
-use bsg_ir::cemit;
+use bsg_compiler::{CompileOptions, OptLevel, TargetIsa};
 use bsg_ir::hll::HllProgram;
-use bsg_ir::Program;
-use bsg_profile::{
-    profile_program, MixObserver, NodeKey, ProfileConfig, Sfgl, SfglLoop, StatisticalProfile,
-};
+use bsg_profile::{MixObserver, NodeKey, ProfileConfig, Sfgl, SfglLoop, StatisticalProfile};
+use bsg_runtime::{ArtifactStore, CompiledArtifact, Runtime, SourceId};
 use bsg_similarity::SimilarityReport;
-use bsg_synth::{scale_down, synthesize_with_target, SynthesisConfig, TargetedSynthesis};
+use bsg_synth::{scale_down, SynthesisConfig, TargetedSynthesis};
 use bsg_uarch::branch::{Hybrid, PredictorObserver};
 use bsg_uarch::cache::{CacheConfig, CacheObserver};
-use bsg_uarch::exec::{execute, ExecConfig};
+use bsg_uarch::exec::{execute_image, ExecConfig};
 use bsg_uarch::machine::{MachineConfig, MachineIsa};
 use bsg_uarch::pipeline::PipelineConfig;
 use bsg_workloads::{fibonacci_workload, suite, InputSize, Workload};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 
-/// Maps `items` through `f` on scoped worker threads, preserving input order
-/// in the result.
-///
-/// Every per-workload unit of the experiment harness (profile + synthesis,
-/// per-benchmark figure rows) is independent, so the harness fans them out
-/// across `available_parallelism` threads.  Work is claimed from an atomic
-/// counter, so long-running items (e.g. `susan`) don't leave threads idle
-/// behind a static partition.  Falls back to sequential execution for a
-/// single item or a single-core machine.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// Maps `items` through `f` on the process-wide work-stealing scheduler,
+/// preserving input order in the result (every sweep point of the harness is
+/// independent, so figures fan their units out through here).  Honors
+/// [`bsg_runtime::scheduler::with_workers`] overrides, which is how the
+/// determinism suite pins figure generation to 1, 2 and 8 workers.
+fn sweep<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let len = items.len();
-    let workers = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(len);
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let f = &f;
-    let slots = &slots;
-    let next = &next;
-    let mut results: Vec<Option<R>> = (0..len).map(|_| None).collect();
-    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= len {
-                            break;
-                        }
-                        let item = slots[i].lock().unwrap().take().expect("item claimed once");
-                        out.push((i, f(item)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    for (i, r) in collected.into_iter().flatten() {
-        results[i] = Some(r);
-    }
-    results
-        .into_iter()
-        .map(|r| r.expect("every index produced"))
-        .collect()
+    Runtime::current().map(items, f)
 }
 
 /// Dynamic-instruction target for synthetic clones.  The paper targets ~10 M
@@ -98,47 +63,70 @@ where
 pub const SYNTH_TARGET_INSTRUCTIONS: u64 = 40_000;
 
 /// Everything the experiments need for one workload: its profile and its
-/// synthetic clone.
+/// synthetic clone, shared out of the process-wide [`ArtifactStore`].
 pub struct WorkloadArtifacts {
     /// The original workload.
     pub workload: Workload,
     /// Statistical profile of the `-O0` original.
-    pub profile: StatisticalProfile,
+    pub profile: Arc<StatisticalProfile>,
     /// Result of target-driven synthesis.
-    pub synthesis: TargetedSynthesis,
+    pub synthesis: Arc<TargetedSynthesis>,
+    /// Content address of the original's HLL source (hashed once, so sweeps
+    /// that request dozens of compiled variants skip rehashing).
+    original_id: SourceId,
+    /// Content address of the synthetic clone's HLL source.
+    synthetic_id: SourceId,
 }
 
 impl WorkloadArtifacts {
-    /// Profiles `workload` and synthesizes its clone.
+    /// Profiles `workload` and synthesizes its clone, through the artifact
+    /// store (both steps are memoized: repeated `prepare` calls for the same
+    /// workload and target share one build).
     pub fn prepare(workload: Workload, target_instructions: u64) -> Self {
-        let compiled = compile(&workload.program, &CompileOptions::portable(OptLevel::O0))
-            .expect("workload compiles at -O0");
-        let profile = profile_program(&compiled.program, &workload.name, &ProfileConfig::default());
-        let synthesis =
-            synthesize_with_target(&profile, &SynthesisConfig::default(), target_instructions);
+        let store = ArtifactStore::global();
+        let profile = store.profile(
+            &workload.program,
+            &CompileOptions::portable(OptLevel::O0),
+            &workload.name,
+            &ProfileConfig::default(),
+        );
+        let synthesis = store.synthesis(&profile, &SynthesisConfig::default(), target_instructions);
+        let original_id = SourceId::of(&workload.program);
+        let synthetic_id = SourceId::of(&synthesis.benchmark.hll);
         WorkloadArtifacts {
             workload,
             profile,
             synthesis,
+            original_id,
+            synthetic_id,
         }
     }
 
+    /// The original (`synthetic == false`) or clone (`synthetic == true`)
+    /// compiled with `options`: one store lookup, compiling and predecoding
+    /// at most once per (source, options) per process.
+    pub fn compiled(&self, options: &CompileOptions, synthetic: bool) -> Arc<CompiledArtifact> {
+        let (id, hll) = if synthetic {
+            (self.synthetic_id, &self.synthesis.benchmark.hll)
+        } else {
+            (self.original_id, &self.workload.program)
+        };
+        ArtifactStore::global().compiled_keyed(id, hll, options)
+    }
+
     /// Compiles the original and the clone with the same options.
-    pub fn compile_pair(&self, options: &CompileOptions) -> (Program, Program) {
-        let original = compile(&self.workload.program, options)
-            .expect("original compiles")
-            .program;
-        let synthetic = compile(&self.synthesis.benchmark.hll, options)
-            .expect("synthetic compiles")
-            .program;
-        (original, synthetic)
+    pub fn compile_pair(
+        &self,
+        options: &CompileOptions,
+    ) -> (Arc<CompiledArtifact>, Arc<CompiledArtifact>) {
+        (self.compiled(options, false), self.compiled(options, true))
     }
 }
 
 /// Prepares artifacts for the whole suite at one input size, one workload
-/// per worker thread (profiling and synthesis are independent per workload).
+/// per scheduler task (profiling and synthesis are independent per workload).
 pub fn prepare_suite(input: InputSize, target_instructions: u64) -> Vec<WorkloadArtifacts> {
-    parallel_map(suite(input), |w| {
+    sweep(suite(input), |w| {
         WorkloadArtifacts::prepare(w, target_instructions)
     })
 }
@@ -152,13 +140,18 @@ pub fn target_isa_for(machine: MachineIsa) -> TargetIsa {
     }
 }
 
-fn dynamic_instructions(p: &Program) -> u64 {
-    bsg_uarch::exec::run(p).dynamic_instructions
+fn dynamic_instructions(a: &CompiledArtifact) -> u64 {
+    execute_image(
+        &a.image,
+        &mut bsg_uarch::exec::NullObserver,
+        &ExecConfig::default(),
+    )
+    .dynamic_instructions
 }
 
-fn mix_of(p: &Program) -> bsg_profile::InstructionMix {
+fn mix_of(a: &CompiledArtifact) -> bsg_profile::InstructionMix {
     let mut obs = MixObserver::default();
-    execute(p, &mut obs, &ExecConfig::default());
+    execute_image(&a.image, &mut obs, &ExecConfig::default());
     obs.mix()
 }
 
@@ -224,7 +217,7 @@ pub fn table2(input: InputSize) -> String {
     let _ = writeln!(out, "\n{:<24} {:>10}", "benchmark", "coverage");
     let mut total = 0.0;
     let mut n = 0;
-    let rows = parallel_map(suite(input), |w| {
+    let rows = sweep(suite(input), |w| {
         let art = WorkloadArtifacts::prepare(w, SYNTH_TARGET_INSTRUCTIONS);
         (
             art.workload.name.clone(),
@@ -333,7 +326,7 @@ pub fn fig02() -> String {
 pub fn fig03() -> String {
     let original = fibonacci_workload(20);
     let art = WorkloadArtifacts::prepare(original, 2_000);
-    let original_c = cemit::emit_c(&art.workload.program);
+    let original_c = ArtifactStore::global().c_text(&art.workload.program);
     let mut out = String::new();
     let _ = writeln!(out, "Figure 3(a) — original fibonacci kernel\n");
     out.push_str(&original_c);
@@ -398,7 +391,7 @@ pub fn fig05(artifacts: &[WorkloadArtifacts]) -> String {
         .into_iter()
         .flat_map(|level| artifacts.iter().map(move |a| (level, a)))
         .collect();
-    let counts = parallel_map(units, |(level, a)| {
+    let counts = sweep(units, |(level, a)| {
         let (o, s) = a.compile_pair(&CompileOptions::new(level, TargetIsa::X86));
         (
             dynamic_instructions(&o) as f64,
@@ -437,28 +430,24 @@ pub fn fig06(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
     );
     let mut avg_org = [0.0f64; 4];
     let mut avg_syn = [0.0f64; 4];
-    let rows = parallel_map(artifacts.iter().collect::<Vec<_>>(), |a| {
-        let (o, s) = a.compile_pair(&CompileOptions::new(level, TargetIsa::X86));
-        let om = mix_of(&o).category_fractions();
-        let sm = mix_of(&s).category_fractions();
-        let get = |m: &std::collections::BTreeMap<MixCategory, f64>, c: MixCategory| {
-            m.get(&c).copied().unwrap_or(0.0)
-        };
-        let row_o = [
-            get(&om, MixCategory::Load),
-            get(&om, MixCategory::Store),
-            get(&om, MixCategory::Branch),
-            get(&om, MixCategory::Other),
-        ];
-        let row_s = [
-            get(&sm, MixCategory::Load),
-            get(&sm, MixCategory::Store),
-            get(&sm, MixCategory::Branch),
-            get(&sm, MixCategory::Other),
-        ];
-        (a.workload.name.clone(), row_o, row_s)
+    // One task per (workload, original/synthetic) point.
+    let units: Vec<(&WorkloadArtifacts, bool)> = artifacts
+        .iter()
+        .flat_map(|a| [(a, false), (a, true)])
+        .collect();
+    let mixes = sweep(units, |(a, synthetic)| {
+        let m = mix_of(&a.compiled(&CompileOptions::new(level, TargetIsa::X86), synthetic))
+            .category_fractions();
+        let get = |c: MixCategory| m.get(&c).copied().unwrap_or(0.0);
+        [
+            get(MixCategory::Load),
+            get(MixCategory::Store),
+            get(MixCategory::Branch),
+            get(MixCategory::Other),
+        ]
     });
-    for (name, row_o, row_s) in rows {
+    for (a, rows) in artifacts.iter().zip(mixes.chunks_exact(2)) {
+        let (row_o, row_s) = (rows[0], rows[1]);
         for i in 0..4 {
             avg_org[i] += row_o[i] / artifacts.len() as f64;
             avg_syn[i] += row_s[i] / artifacts.len() as f64;
@@ -466,7 +455,7 @@ pub fn fig06(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
         let _ = writeln!(
             out,
             "{:<24} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%   {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
-            name,
+            a.workload.name,
             row_o[0] * 100.0,
             row_o[1] * 100.0,
             row_o[2] * 100.0,
@@ -510,27 +499,36 @@ pub fn fig07_08(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
         header.join("  "),
         header.join("  ")
     );
-    let rows = parallel_map(artifacts.iter().collect::<Vec<_>>(), |a| {
-        let (o, s) = a.compile_pair(&CompileOptions::new(level, TargetIsa::X86));
-        let rates = |p: &Program| -> Vec<f64> {
-            let mut obs = CacheObserver::new(sizes.map(CacheConfig::kb));
-            execute(p, &mut obs, &ExecConfig::default());
-            obs.sweep
-                .results()
-                .iter()
-                .map(|(_, st)| st.hit_rate())
-                .collect()
-        };
-        (a.workload.name.clone(), rates(&o), rates(&s))
+    // One task per (workload, original/synthetic) point; the whole 1–32 KB
+    // sweep shares a single execution through the multi-cache observer.
+    let units: Vec<(&WorkloadArtifacts, bool)> = artifacts
+        .iter()
+        .flat_map(|a| [(a, false), (a, true)])
+        .collect();
+    let rates = sweep(units, |(a, synthetic)| {
+        let art = a.compiled(&CompileOptions::new(level, TargetIsa::X86), synthetic);
+        let mut obs = CacheObserver::new(sizes.map(CacheConfig::kb));
+        execute_image(&art.image, &mut obs, &ExecConfig::default());
+        obs.sweep
+            .results()
+            .iter()
+            .map(|(_, st)| st.hit_rate())
+            .collect::<Vec<f64>>()
     });
-    for (name, ro, rs) in rows {
+    for (a, pair) in artifacts.iter().zip(rates.chunks_exact(2)) {
         let fmt = |v: &[f64]| {
             v.iter()
                 .map(|r| format!("{:>4.1}", r * 100.0))
                 .collect::<Vec<_>>()
                 .join("  ")
         };
-        let _ = writeln!(out, "{:<24} {}  |  {}", name, fmt(&ro), fmt(&rs));
+        let _ = writeln!(
+            out,
+            "{:<24} {}  |  {}",
+            a.workload.name,
+            fmt(&pair[0]),
+            fmt(&pair[1])
+        );
     }
     out
 }
@@ -545,24 +543,30 @@ pub fn fig09(artifacts: &[WorkloadArtifacts]) -> String {
         "{:<24} {:>9} {:>9} {:>9} {:>9}",
         "benchmark", "org-O0", "org-O2", "syn-O0", "syn-O2"
     );
-    let rows = parallel_map(artifacts.iter().collect::<Vec<_>>(), |a| {
-        let acc = |p: &Program| {
-            let mut obs = PredictorObserver::new(Hybrid::default_config());
-            execute(p, &mut obs, &ExecConfig::default());
-            obs.stats.accuracy() * 100.0
-        };
-        let (o0, s0) = a.compile_pair(&CompileOptions::new(OptLevel::O0, TargetIsa::X86));
-        let (o2, s2) = a.compile_pair(&CompileOptions::new(OptLevel::O2, TargetIsa::X86));
-        (
-            a.workload.name.clone(),
-            [acc(&o0), acc(&o2), acc(&s0), acc(&s2)],
-        )
+    // One task per (workload, level, original/synthetic) point, in the
+    // column order of the figure.
+    let units: Vec<(&WorkloadArtifacts, OptLevel, bool)> = artifacts
+        .iter()
+        .flat_map(|a| {
+            [
+                (a, OptLevel::O0, false),
+                (a, OptLevel::O2, false),
+                (a, OptLevel::O0, true),
+                (a, OptLevel::O2, true),
+            ]
+        })
+        .collect();
+    let accs = sweep(units, |(a, level, synthetic)| {
+        let art = a.compiled(&CompileOptions::new(level, TargetIsa::X86), synthetic);
+        let mut obs = PredictorObserver::new(Hybrid::default_config());
+        execute_image(&art.image, &mut obs, &ExecConfig::default());
+        obs.stats.accuracy() * 100.0
     });
-    for (name, accs) in rows {
+    for (a, accs) in artifacts.iter().zip(accs.chunks_exact(4)) {
         let _ = writeln!(
             out,
             "{:<24} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
-            name, accs[0], accs[1], accs[2], accs[3]
+            a.workload.name, accs[0], accs[1], accs[2], accs[3]
         );
     }
     out
@@ -582,26 +586,28 @@ pub fn fig10(artifacts: &[WorkloadArtifacts]) -> String {
         "{:<24} {:>6} {:>6} {:>6}  |  {:>6} {:>6} {:>6}",
         "benchmark", "8KB", "16KB", "32KB", "8KB", "16KB", "32KB"
     );
-    let rows = parallel_map(artifacts.iter().collect::<Vec<_>>(), |a| {
-        let (o, s) = a.compile_pair(&CompileOptions::new(OptLevel::O0, TargetIsa::X86));
-        // One predecoded image per program serves the whole cache-size sweep.
-        let cpis = |p: &Program| -> Vec<f64> {
-            let image = bsg_uarch::image::ExecImage::new(p);
-            sizes
-                .iter()
-                .map(|kb| {
-                    bsg_uarch::pipeline::simulate_image(&image, PipelineConfig::ptlsim_2wide(*kb))
-                        .cpi()
-                })
-                .collect()
-        };
-        (a.workload.name.clone(), cpis(&o), cpis(&s))
+    // One task per (workload, original/synthetic, cache size) point; the
+    // store's predecoded image serves every size of the sweep.
+    let units: Vec<(&WorkloadArtifacts, bool, u64)> = artifacts
+        .iter()
+        .flat_map(|a| {
+            [false, true]
+                .into_iter()
+                .flat_map(move |synthetic| sizes.map(|kb| (a, synthetic, kb)))
+        })
+        .collect();
+    let cpis = sweep(units, |(a, synthetic, kb)| {
+        let art = a.compiled(
+            &CompileOptions::new(OptLevel::O0, TargetIsa::X86),
+            synthetic,
+        );
+        bsg_uarch::pipeline::simulate_image(&art.image, PipelineConfig::ptlsim_2wide(kb)).cpi()
     });
-    for (name, co, cs) in rows {
+    for (a, row) in artifacts.iter().zip(cpis.chunks_exact(6)) {
         let _ = writeln!(
             out,
             "{:<24} {:>6.2} {:>6.2} {:>6.2}  |  {:>6.2} {:>6.2} {:>6.2}",
-            name, co[0], co[1], co[2], cs[0], cs[1], cs[2]
+            a.workload.name, row[0], row[1], row[2], row[3], row[4], row[5]
         );
     }
     out
@@ -624,37 +630,50 @@ pub fn fig11(artifacts: &[WorkloadArtifacts]) -> String {
     );
 
     // Consolidate the whole suite into a single profile and clone.
-    let profiles: Vec<StatisticalProfile> = artifacts.iter().map(|a| a.profile.clone()).collect();
-    let merged = bsg_synth::consolidate(&profiles);
-    let consolidated = synthesize_with_target(
+    let merged = bsg_synth::consolidate(artifacts.iter().map(|a| a.profile.as_ref()));
+    let consolidated = ArtifactStore::global().synthesis(
         &merged,
         &SynthesisConfig::default(),
         SYNTH_TARGET_INSTRUCTIONS * 2,
     );
 
     let mut baseline: Option<(f64, f64)> = None;
-    let units: Vec<(&MachineConfig, OptLevel)> = machines
+    // One task per (machine, level, workload) point for the originals, plus
+    // one per (machine, level) for the consolidated clone — the fine-grained
+    // sharding of the paper's biggest sweep.
+    let group = artifacts.len() + 1;
+    let units: Vec<(&MachineConfig, OptLevel, Option<&WorkloadArtifacts>)> = machines
         .iter()
-        .flat_map(|m| OptLevel::ALL.into_iter().map(move |level| (m, level)))
+        .flat_map(|m| {
+            OptLevel::ALL.into_iter().flat_map(move |level| {
+                artifacts
+                    .iter()
+                    .map(move |a| (m, level, Some(a)))
+                    .chain(std::iter::once((m, level, None)))
+            })
+        })
         .collect();
     let consolidated = &consolidated;
-    let times = parallel_map(units, |(m, level)| {
+    let consolidated_id = SourceId::of(&consolidated.benchmark.hll);
+    let times = sweep(units, |(m, level, unit)| {
         let options = CompileOptions::new(level, target_isa_for(m.isa));
-        let org_time: f64 = artifacts
-            .iter()
-            .map(|a| {
-                let o = compile(&a.workload.program, &options)
-                    .expect("original compiles")
-                    .program;
-                m.run(&o).time_ns
-            })
-            .sum();
-        let syn_prog = compile(&consolidated.benchmark.hll, &options)
-            .expect("clone compiles")
-            .program;
-        (org_time, m.run(&syn_prog).time_ns)
+        let art = match unit {
+            Some(a) => a.compiled(&options, false),
+            None => ArtifactStore::global().compiled_keyed(
+                consolidated_id,
+                &consolidated.benchmark.hll,
+                &options,
+            ),
+        };
+        m.run_image(&art.image).time_ns
     });
-    for ((m, level), (org_time, syn_time)) in units_labels(&machines).into_iter().zip(times) {
+    for ((m, level), point) in units_labels(&machines)
+        .into_iter()
+        .zip(times.chunks_exact(group))
+    {
+        // Original time sums the per-workload tasks in submission order.
+        let org_time: f64 = point[..artifacts.len()].iter().sum();
+        let syn_time = point[artifacts.len()];
         let (ob, sb) = *baseline.get_or_insert((org_time, syn_time));
         let _ = writeln!(
             out,
@@ -692,8 +711,8 @@ pub fn obfuscation(artifacts: &[WorkloadArtifacts]) -> String {
         "{:<24} {:>8} {:>8} {:>8}",
         "benchmark", "moss", "jplag", "hidden?"
     );
-    let rows = parallel_map(artifacts.iter().collect::<Vec<_>>(), |a| {
-        let original_c = cemit::emit_c(&a.workload.program);
+    let rows = sweep(artifacts.iter().collect::<Vec<_>>(), |a| {
+        let original_c = ArtifactStore::global().c_text(&a.workload.program);
         let report = SimilarityReport::compare(&original_c, &a.synthesis.benchmark.c_source);
         (a.workload.name.clone(), report)
     });
@@ -714,9 +733,10 @@ pub fn obfuscation(artifacts: &[WorkloadArtifacts]) -> String {
     out
 }
 
-/// Emits a complete HLL program's C text (helper for examples / binaries).
+/// Emits a complete HLL program's C text (helper for examples / binaries),
+/// memoized in the artifact store.
 pub fn c_source_of(program: &HllProgram) -> String {
-    cemit::emit_c(program)
+    ArtifactStore::global().c_text(program).as_ref().clone()
 }
 
 #[cfg(test)]
@@ -737,5 +757,16 @@ mod tests {
         assert!(art.synthesis.instruction_reduction() > 1.0);
         let text = fig04(&[art]);
         assert!(text.contains("crc32"));
+    }
+
+    #[test]
+    fn compile_pair_is_served_from_the_store() {
+        let w = suite(InputSize::Small).remove(3); // crc32/small
+        let art = WorkloadArtifacts::prepare(w, 20_000);
+        let options = CompileOptions::new(OptLevel::O1, TargetIsa::X86);
+        let (o1, s1) = art.compile_pair(&options);
+        let (o2, s2) = art.compile_pair(&options);
+        assert!(Arc::ptr_eq(&o1, &o2), "original artifact is shared");
+        assert!(Arc::ptr_eq(&s1, &s2), "synthetic artifact is shared");
     }
 }

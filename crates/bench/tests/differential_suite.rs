@@ -94,3 +94,38 @@ fn dyn_wrapper_profiles_match_generic_path() {
     let b = execute_dyn(&compiled.program, &mut NullObserver, &limit());
     assert_eq!(a, b);
 }
+
+/// Environment variable gating the tier-2 large-input differential sweep.
+const LARGE_ENV: &str = "BSG_LARGE_TESTS";
+
+/// Tier-2: the whole differential check over the **large**-input suite.
+/// Large inputs execute tens of millions of instructions per workload, so
+/// this only runs when `BSG_LARGE_TESTS` is set (CI wires it into a separate
+/// job step; locally: `BSG_LARGE_TESTS=1 cargo test -p bsg-bench --release
+/// --test differential_suite large`).
+#[test]
+fn large_suite_outcomes_match_when_enabled() {
+    if std::env::var(LARGE_ENV).is_err() {
+        eprintln!("skipping large-input differential sweep; set {LARGE_ENV}=1 to run it");
+        return;
+    }
+    for w in suite(InputSize::Large) {
+        let compiled = compile(&w.program, &CompileOptions::portable(OptLevel::O0)).unwrap();
+        let new = execute(&compiled.program, &mut NullObserver, &limit());
+        let old = execute_legacy(&compiled.program, &mut NullObserver, &limit());
+        assert_eq!(new, old, "{} diverges on large inputs", w.name);
+        assert!(
+            new.completed,
+            "{} did not terminate on large inputs",
+            w.name
+        );
+        let new_profile = profile_program(&compiled.program, &w.name, &ProfileConfig::default());
+        let old_profile =
+            profile_program_reference(&compiled.program, &w.name, &ProfileConfig::default());
+        assert_eq!(
+            new_profile, old_profile,
+            "{} profiles diverge on large inputs",
+            w.name
+        );
+    }
+}

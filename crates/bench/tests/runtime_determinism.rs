@@ -1,0 +1,93 @@
+//! Scheduler determinism and store correctness at the harness level.
+//!
+//! The work-stealing scheduler interleaves task *execution* differently at
+//! every worker count, but results are keyed by submission index, so
+//! everything the harness emits must be bit-identical at any parallelism.
+//! These tests pin that down on real figure text (the acceptance surface of
+//! the whole experiment suite), and prove the artifact store serves
+//! artifacts bit-identical to cold builds.
+//!
+//! CI runs this suite twice — with the default test parallelism and with
+//! `--test-threads=1` — to catch scheduler-order flakiness that only shows
+//! up under one threading regime.
+
+use bsg_bench::{fig05, fig06, fig09, fig10, prepare_suite, WorkloadArtifacts};
+use bsg_compiler::{compile, CompileOptions, OptLevel, TargetIsa};
+use bsg_runtime::{with_workers, ArtifactStore, Runtime};
+use bsg_workloads::{suite, InputSize};
+
+/// A small but non-trivial artifact set: three workloads with distinct cost
+/// profiles, enough for steals to actually happen at 2 and 8 workers.
+fn small_artifact_set() -> Vec<WorkloadArtifacts> {
+    let picks = ["adpcm/small", "bitcount/small", "crc32/small"];
+    suite(InputSize::Small)
+        .into_iter()
+        .filter(|w| picks.contains(&w.name.as_str()))
+        .map(|w| WorkloadArtifacts::prepare(w, 20_000))
+        .collect()
+}
+
+#[test]
+fn runtime_results_keep_submission_order_at_1_2_and_8_workers() {
+    let expected: Vec<u64> = (0..61).map(|i| i * 31 % 17).collect();
+    for workers in [1usize, 2, 8] {
+        let got = Runtime::new(workers).map((0..61).collect(), |i: u64| i * 31 % 17);
+        assert_eq!(got, expected, "workers = {workers}");
+    }
+}
+
+#[test]
+fn figure_text_is_bit_identical_at_1_2_and_8_workers() {
+    let artifacts = small_artifact_set();
+    let render = || {
+        let mut text = String::new();
+        text.push_str(&fig05(&artifacts));
+        text.push_str(&fig06(&artifacts, OptLevel::O0));
+        text.push_str(&fig09(&artifacts));
+        text.push_str(&fig10(&artifacts));
+        text
+    };
+    let reference = with_workers(1, render);
+    assert!(reference.contains("crc32"), "figures cover the subset");
+    for workers in [2usize, 8] {
+        let text = with_workers(workers, render);
+        assert_eq!(text, reference, "figure text diverges at {workers} workers");
+    }
+}
+
+#[test]
+fn prepare_suite_is_deterministic_across_worker_counts() {
+    // `prepare_suite` is the heaviest sweep; its per-workload synthesis
+    // results must not depend on scheduling.  Two workloads keep this fast.
+    let names_at = |workers: usize| {
+        with_workers(workers, || {
+            prepare_suite(InputSize::Small, 10_000)
+                .into_iter()
+                .map(|a| {
+                    (
+                        a.workload.name,
+                        a.synthesis.reduction_factor,
+                        a.synthesis.synthetic_instructions,
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    let reference = names_at(1);
+    assert_eq!(reference.len(), suite(InputSize::Small).len());
+    assert_eq!(names_at(8), reference);
+}
+
+#[test]
+fn store_artifacts_are_bit_identical_to_cold_builds_for_a_real_workload() {
+    let w = suite(InputSize::Small).remove(3); // crc32/small
+    let options = CompileOptions::new(OptLevel::O2, TargetIsa::X86_64);
+    let cached = ArtifactStore::global().compiled(&w.program, &options);
+    let cold = compile(&w.program, &options).unwrap().program;
+    assert_eq!(cached.program, cold, "store hit must equal a cold compile");
+    assert_eq!(
+        cached.image.num_sites(),
+        bsg_uarch::image::ExecImage::new(&cold).num_sites(),
+        "predecoded image built from the identical program"
+    );
+}

@@ -114,8 +114,15 @@ pub fn synthesize_with_target(
 }
 
 /// Merges several profiles into a single consolidated profile (§II-B.e).
-pub fn consolidate(profiles: &[StatisticalProfile]) -> StatisticalProfile {
-    let mut iter = profiles.iter();
+///
+/// Accepts any iterator of borrowed profiles, so callers holding
+/// `Arc<StatisticalProfile>`s from the artifact store can consolidate
+/// without cloning every profile up front.
+pub fn consolidate<'a, I>(profiles: I) -> StatisticalProfile
+where
+    I: IntoIterator<Item = &'a StatisticalProfile>,
+{
+    let mut iter = profiles.into_iter();
     let Some(first) = iter.next() else {
         return StatisticalProfile::default();
     };
@@ -186,7 +193,7 @@ mod tests {
     fn consolidation_produces_a_single_profile_covering_all_inputs() {
         let a = profile_of_loop(500, "a");
         let b = profile_of_loop(800, "b");
-        let merged = consolidate(&[a.clone(), b.clone()]);
+        let merged = consolidate([&a, &b]);
         assert_eq!(
             merged.dynamic_instructions,
             a.dynamic_instructions + b.dynamic_instructions
@@ -202,7 +209,7 @@ mod tests {
 
     #[test]
     fn consolidating_nothing_yields_an_empty_profile() {
-        let empty = consolidate(&[]);
+        let empty = consolidate(std::iter::empty::<&StatisticalProfile>());
         assert_eq!(empty.dynamic_instructions, 0);
     }
 }

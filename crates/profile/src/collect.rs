@@ -352,10 +352,20 @@ pub fn profile_program(
     name: &str,
     config: &ProfileConfig,
 ) -> StatisticalProfile {
-    let image = ExecImage::new(program);
-    let mut collector = Collector::new(program, &image, config);
+    profile_image(program, &ExecImage::new(program), name, config)
+}
+
+/// [`profile_program`] over a prebuilt [`ExecImage`] of `program`, so callers
+/// holding a cached image (the artifact store) skip the predecode pass.
+pub fn profile_image(
+    program: &Program,
+    image: &ExecImage,
+    name: &str,
+    config: &ProfileConfig,
+) -> StatisticalProfile {
+    let mut collector = Collector::new(program, image, config);
     let outcome = execute_image(
-        &image,
+        image,
         &mut collector,
         &ExecConfig {
             max_instructions: config.max_instructions,

@@ -49,8 +49,8 @@ pub mod collect;
 pub mod sfgl;
 
 pub use collect::{
-    class_stride_bytes, miss_rate_class, profile_program, profile_program_reference, BranchProfile,
-    InstDescriptor, InstructionMix, MemoryProfile, MixObserver, ProfileConfig, SiteKey,
-    StatisticalProfile,
+    class_stride_bytes, miss_rate_class, profile_image, profile_program, profile_program_reference,
+    BranchProfile, InstDescriptor, InstructionMix, MemoryProfile, MixObserver, ProfileConfig,
+    SiteKey, StatisticalProfile,
 };
 pub use sfgl::{NodeKey, Sfgl, SfglLoop};

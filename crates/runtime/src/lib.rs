@@ -1,0 +1,30 @@
+//! # bsg-runtime — the experiment-harness runtime
+//!
+//! The paper's evaluation (§V) is a large grid of sweeps: workloads ×
+//! optimization levels × ISAs × cache sizes × machine configurations.  Two
+//! properties of that grid shape this crate:
+//!
+//! 1. **The same artifacts are requested over and over.**  Nearly every
+//!    figure compiles the same (workload, level, ISA) points and predecodes
+//!    the same execution images.  The [`ArtifactStore`] is a content-
+//!    addressed, thread-safe cache that builds each artifact exactly once
+//!    per process and hands out `Arc`s.
+//! 2. **Sweep points have wildly uneven costs.**  `susan` runs an order of
+//!    magnitude longer than `crc32`; a static partition of coarse
+//!    per-workload units leaves workers idle.  The [`Runtime`] is a
+//!    work-stealing scheduler (per-worker deques, LIFO local pop, FIFO
+//!    steal) over scoped threads, with deterministic submission-ordered
+//!    results, so figures can shard their sweeps into fine-grained tasks
+//!    and still emit byte-identical text at any worker count.
+//!
+//! The experiment harness (`bsg-bench`) routes every figure and table
+//! through these two components; see that crate for the call sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scheduler;
+pub mod store;
+
+pub use scheduler::{with_workers, Runtime};
+pub use store::{ArtifactStore, CompiledArtifact, SourceId, StoreStats};

@@ -1,0 +1,291 @@
+//! The work-stealing sweep scheduler.
+//!
+//! [`Runtime::run`] executes a batch of independent tasks on scoped worker
+//! threads.  The batch is split into contiguous chunks, one per worker deque;
+//! each worker pops its *own* deque LIFO (newest first, the cache-warm end)
+//! and, when it runs dry, steals FIFO from the other deques (oldest first —
+//! the end the victim will touch last, minimizing contention).  Long-running
+//! tasks therefore never leave workers idle behind a static partition, which
+//! is what the experiment harness needs once per-figure sweeps are sharded
+//! into fine-grained (workload × config-point) tasks of wildly varying cost.
+//!
+//! Results are written back by submission index, so the returned `Vec` is in
+//! submission order regardless of worker count or steal interleaving:
+//! `Runtime::run` with 1, 2 or 8 workers returns bit-identical results for
+//! deterministic tasks (the bench crate's determinism suite enforces this on
+//! whole figure texts).
+//!
+//! `run` may be called from inside a task (nested sweeps).  A nested batch
+//! executes inline on the calling worker, in submission order: the top-level
+//! shard granularity is where parallelism comes from, and running nested
+//! batches inline keeps the pool free of lifetime erasure (`unsafe`) and of
+//! thread oversubscription while preserving determinism.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    /// Set while the current thread is a pool worker; nested [`Runtime::run`]
+    /// calls detect it and execute inline instead of spawning a second pool.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Scoped worker-count override installed by [`with_workers`].
+    static WORKER_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with [`Runtime::current`] pinned to `workers` workers on this
+/// thread (restored afterwards, panic-safe via the guard drop).  The
+/// determinism suite uses this to prove figure text is bit-identical at 1, 2
+/// and 8 workers within one process.
+pub fn with_workers<R>(workers: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_OVERRIDE.with(|w| w.set(self.0));
+        }
+    }
+    let _restore = Restore(WORKER_OVERRIDE.with(|w| w.replace(Some(workers.max(1)))));
+    f()
+}
+
+/// Environment variable overriding the default worker count (useful for
+/// pinning determinism tests and CI runs to a specific parallelism).
+pub const WORKERS_ENV: &str = "BSG_RUNTIME_WORKERS";
+
+/// A work-stealing task scheduler with a fixed worker budget.
+///
+/// The `Runtime` itself is cheap (a worker count); threads are scoped to each
+/// [`run`](Runtime::run) call so tasks may borrow from the caller's stack.
+#[derive(Debug, Clone, Copy)]
+pub struct Runtime {
+    workers: usize,
+}
+
+impl Runtime {
+    /// A runtime with exactly `workers` workers (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Runtime {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The default worker budget: [`WORKERS_ENV`] if set and parseable, else
+    /// `available_parallelism`.
+    pub fn default_workers() -> usize {
+        std::env::var(WORKERS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// The process-wide runtime used by the experiment harness.
+    pub fn global() -> &'static Runtime {
+        static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+        GLOBAL.get_or_init(|| Runtime::new(Runtime::default_workers()))
+    }
+
+    /// The runtime sweeps should use right now: the [`with_workers`] override
+    /// if one is active on this thread, else [`Runtime::global`].
+    pub fn current() -> Runtime {
+        WORKER_OVERRIDE
+            .with(Cell::get)
+            .map(Runtime::new)
+            .unwrap_or(*Runtime::global())
+    }
+
+    /// This runtime's worker budget.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes every task in `tasks` and returns their results in
+    /// submission order.
+    ///
+    /// Tasks run concurrently on up to `workers` scoped threads; a batch of
+    /// one task, a single-worker runtime, or a nested call from inside a task
+    /// all execute inline on the calling thread.
+    pub fn run<R, F>(&self, tasks: Vec<F>) -> Vec<R>
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        let n = tasks.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 || IN_WORKER.with(Cell::get) {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+
+        // Tasks live in index-addressed slots; the deques carry indices, so
+        // stealing moves a `usize`, not the closure.
+        let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        // Seed each worker's deque with a contiguous chunk of the batch.
+        let chunk = n.div_ceil(workers);
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w * chunk..((w + 1) * chunk).min(n)).collect()))
+            .collect();
+
+        let slots = &slots;
+        let deques = &deques;
+        let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        IN_WORKER.with(|f| f.set(true));
+                        let mut out = Vec::new();
+                        // The whole batch is seeded before the workers start
+                        // and nothing re-enqueues (nested runs execute
+                        // inline), so drained deques stay drained: a worker
+                        // that finds no task anywhere is done.  Exiting here
+                        // also lets a panicking task surface through `join`
+                        // below instead of wedging siblings in a wait loop.
+                        while let Some(i) = claim(w, deques) {
+                            let task = slots[i]
+                                .lock()
+                                .unwrap()
+                                .take()
+                                .expect("task index claimed exactly once");
+                            out.push((i, task()));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scheduler worker panicked"))
+                .collect()
+        });
+
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in per_worker.into_iter().flatten() {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every task index produced a result"))
+            .collect()
+    }
+
+    /// Maps `items` through `f` on the scheduler, preserving input order in
+    /// the result (the data-parallel convenience over [`run`](Runtime::run)).
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let f = &f;
+        self.run(
+            items
+                .into_iter()
+                .map(|item| move || f(item))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new(Runtime::default_workers())
+    }
+}
+
+/// Claims one task index for worker `w`: LIFO from its own deque, else FIFO
+/// from the first other deque that has work.
+fn claim(w: usize, deques: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(i) = deques[w].lock().unwrap().pop_back() {
+        return Some(i);
+    }
+    let n = deques.len();
+    (1..n).find_map(|step| deques[(w + step) % n].lock().unwrap().pop_front())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn results_are_in_submission_order_for_every_worker_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let rt = Runtime::new(workers);
+            let got = rt.map((0..97).collect(), |i: usize| i * i);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let rt = Runtime::new(4);
+        let tasks: Vec<_> = (0..200)
+            .map(|_| || counter.fetch_add(1, Ordering::Relaxed))
+            .collect();
+        let results = rt.run(tasks);
+        assert_eq!(results.len(), 200);
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        // Each task observed a distinct pre-increment value.
+        let mut seen: Vec<u64> = results;
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_runs_execute_inline_and_stay_ordered() {
+        let rt = Runtime::new(4);
+        let outer = rt.map((0..8).collect(), |i: u64| {
+            // A nested sweep from inside a task must not deadlock, spawn a
+            // second pool, or reorder its results.
+            let inner = Runtime::new(4).map((0..5).collect(), |j: u64| i * 10 + j);
+            assert_eq!(inner, (0..5).map(|j| i * 10 + j).collect::<Vec<_>>());
+            inner.iter().sum::<u64>()
+        });
+        assert_eq!(
+            outer,
+            (0..8)
+                .map(|i| (0..5).map(|j| i * 10 + j).sum())
+                .collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_work() {
+        let rt = Runtime::new(8);
+        let empty: Vec<i32> = rt.run(Vec::<fn() -> i32>::new());
+        assert!(empty.is_empty());
+        assert_eq!(rt.run(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn a_panicking_task_propagates_instead_of_hanging() {
+        // Regression test: the panicking worker must not leave siblings
+        // waiting for work that will never be marked done.
+        let result = std::panic::catch_unwind(|| {
+            Runtime::new(4).map((0..32).collect(), |i: u64| {
+                if i == 5 {
+                    panic!("task failure");
+                }
+                i
+            })
+        });
+        assert!(result.is_err(), "the task panic must reach the caller");
+    }
+
+    #[test]
+    fn uneven_task_costs_are_stolen() {
+        // One long task at the front of worker 0's chunk; with static
+        // partitioning the rest of its chunk would wait behind it.  The
+        // schedule must still complete and preserve order.
+        let rt = Runtime::new(2);
+        let got = rt.map((0..16).collect(), |i: u64| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            i * 3
+        });
+        assert_eq!(got, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

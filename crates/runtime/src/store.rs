@@ -1,0 +1,370 @@
+//! The content-addressed artifact store.
+//!
+//! Every figure of the evaluation sweeps the same small set of artifacts —
+//! the workload compiled at some (level, ISA), its predecoded [`ExecImage`],
+//! its emitted C text, its `-O0` [`StatisticalProfile`], its synthetic clone —
+//! and before this store existed each figure rebuilt them from scratch.  The
+//! store memoizes each artifact behind an `Arc`, keyed by a **structural
+//! hash of the source program's content** plus the build options, so each
+//! artifact is built **exactly once per process** no matter how many figures
+//! (or scheduler workers, concurrently) request it.
+//!
+//! Content addressing: the key starts from [`SourceId::of`], a 128-bit
+//! FNV-1a hash of the program's canonical `Debug` rendering.  Two workloads
+//! with identical structure share artifacts; any structural change produces a
+//! new key.  The hash is the *address*; exactly-once construction under
+//! concurrency is guaranteed by a per-key `OnceLock` (losers of the map race
+//! block on the winner's build instead of building twice).
+
+use bsg_compiler::{compile, CompileOptions};
+use bsg_ir::cemit;
+use bsg_ir::hll::HllProgram;
+use bsg_ir::Program;
+use bsg_profile::{profile_image, ProfileConfig, StatisticalProfile};
+use bsg_synth::{synthesize_with_target, SynthesisConfig, TargetedSynthesis};
+use bsg_uarch::image::ExecImage;
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+const FNV128_BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Streaming 128-bit FNV-1a over formatted output (no intermediate string).
+struct FnvWriter(u128);
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(FNV128_PRIME);
+        }
+        Ok(())
+    }
+}
+
+/// The content address of a source artifact: a 128-bit structural hash.
+///
+/// Derived from the value's `Debug` rendering, which for this workspace's
+/// `#[derive(Debug)]` IR types is a canonical, pointer-free description of
+/// the structure (and is deterministic across processes and platforms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(u128);
+
+impl SourceId {
+    /// Hashes any `Debug`-renderable structure.
+    pub fn of<T: fmt::Debug + ?Sized>(value: &T) -> SourceId {
+        let mut w = FnvWriter(FNV128_BASIS);
+        write!(w, "{value:?}").expect("FnvWriter never fails");
+        SourceId(w.0)
+    }
+
+    /// The raw 128-bit hash (for logging / diagnostics).
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// A compiled program plus its predecoded execution image, built once and
+/// shared by every sweep that needs this (source, options) point.
+#[derive(Debug)]
+pub struct CompiledArtifact {
+    /// Content address of the HLL source this was compiled from.
+    pub source: SourceId,
+    /// The options the program was compiled with.
+    pub options: CompileOptions,
+    /// The lowered VISA program.
+    pub program: Program,
+    /// The predecoded execution image of `program`.
+    pub image: ExecImage,
+}
+
+/// One memoization table: key -> lazily-built `Arc`'d artifact.
+///
+/// The outer mutex only guards the map shape (held for a lookup/insert, never
+/// during a build); the per-entry [`OnceLock`] serializes concurrent builders
+/// of the *same* key while letting different keys build in parallel.
+struct Table<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> Table<K, V> {
+    fn new() -> Self {
+        Table {
+            map: Mutex::new(HashMap::new()),
+            builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        let cell = self.map.lock().unwrap().entry(key).or_default().clone();
+        let mut built = false;
+        let value = cell
+            .get_or_init(|| {
+                built = true;
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(build())
+            })
+            .clone();
+        if !built {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+}
+
+/// Per-table hit/build counters (a build is a cold miss; every other request
+/// is a hit on the memoized artifact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Cold builds of compiled programs (+ images).
+    pub compiled_builds: u64,
+    /// Cache hits on compiled programs.
+    pub compiled_hits: u64,
+    /// Cold builds of statistical profiles.
+    pub profile_builds: u64,
+    /// Cache hits on statistical profiles.
+    pub profile_hits: u64,
+    /// Cold builds of emitted C text.
+    pub c_text_builds: u64,
+    /// Cache hits on emitted C text.
+    pub c_text_hits: u64,
+    /// Cold target-driven synthesis runs.
+    pub synthesis_builds: u64,
+    /// Cache hits on synthesis results.
+    pub synthesis_hits: u64,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compiled {}/{} profile {}/{} c-text {}/{} synthesis {}/{} (builds/requests)",
+            self.compiled_builds,
+            self.compiled_builds + self.compiled_hits,
+            self.profile_builds,
+            self.profile_builds + self.profile_hits,
+            self.c_text_builds,
+            self.c_text_builds + self.c_text_hits,
+            self.synthesis_builds,
+            self.synthesis_builds + self.synthesis_hits,
+        )
+    }
+}
+
+/// The thread-safe, content-addressed artifact cache (see the module docs).
+pub struct ArtifactStore {
+    compiled: Table<(SourceId, CompileOptions), CompiledArtifact>,
+    profiles: Table<(SourceId, CompileOptions, String, SourceId), StatisticalProfile>,
+    c_texts: Table<SourceId, String>,
+    syntheses: Table<(SourceId, SourceId, u64), TargetedSynthesis>,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ArtifactStore {
+            compiled: Table::new(),
+            profiles: Table::new(),
+            c_texts: Table::new(),
+            syntheses: Table::new(),
+        }
+    }
+
+    /// The process-wide store used by the experiment harness.
+    pub fn global() -> &'static ArtifactStore {
+        static GLOBAL: OnceLock<ArtifactStore> = OnceLock::new();
+        GLOBAL.get_or_init(ArtifactStore::new)
+    }
+
+    /// The compiled program + predecoded image of `hll` under `options`,
+    /// compiling at most once per (source content, options) per process.
+    ///
+    /// Panics if `hll` fails to compile, matching the harness convention for
+    /// suite workloads (which always compile).
+    pub fn compiled(&self, hll: &HllProgram, options: &CompileOptions) -> Arc<CompiledArtifact> {
+        self.compiled_keyed(SourceId::of(hll), hll, options)
+    }
+
+    /// [`compiled`](Self::compiled) with a caller-supplied content address,
+    /// for sweeps that request the same source many times and want to hash
+    /// it once.  `source` must be `SourceId::of(hll)`.
+    pub fn compiled_keyed(
+        &self,
+        source: SourceId,
+        hll: &HllProgram,
+        options: &CompileOptions,
+    ) -> Arc<CompiledArtifact> {
+        self.compiled.get_or_build((source, *options), || {
+            let program = compile(hll, options)
+                .expect("cached source compiles")
+                .program;
+            let image = ExecImage::new(&program);
+            CompiledArtifact {
+                source,
+                options: *options,
+                program,
+                image,
+            }
+        })
+    }
+
+    /// The statistical profile of `hll` compiled under `options`, reusing the
+    /// memoized compiled artifact (and its image) for the profiling run.
+    pub fn profile(
+        &self,
+        hll: &HllProgram,
+        options: &CompileOptions,
+        name: &str,
+        config: &ProfileConfig,
+    ) -> Arc<StatisticalProfile> {
+        let artifact = self.compiled(hll, options);
+        let key = (
+            artifact.source,
+            *options,
+            name.to_string(),
+            SourceId::of(config),
+        );
+        self.profiles.get_or_build(key, || {
+            profile_image(&artifact.program, &artifact.image, name, config)
+        })
+    }
+
+    /// The emitted C text of `hll`.
+    pub fn c_text(&self, hll: &HllProgram) -> Arc<String> {
+        self.c_texts
+            .get_or_build(SourceId::of(hll), || cemit::emit_c(hll))
+    }
+
+    /// The target-driven synthesis for `profile`, memoized on the profile's
+    /// content, the synthesis configuration and the instruction target.
+    pub fn synthesis(
+        &self,
+        profile: &StatisticalProfile,
+        base: &SynthesisConfig,
+        target_instructions: u64,
+    ) -> Arc<TargetedSynthesis> {
+        let key = (
+            SourceId::of(profile),
+            SourceId::of(base),
+            target_instructions,
+        );
+        self.syntheses.get_or_build(key, || {
+            synthesize_with_target(profile, base, target_instructions)
+        })
+    }
+
+    /// A snapshot of the hit/build counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            compiled_builds: self.compiled.builds.load(Ordering::Relaxed),
+            compiled_hits: self.compiled.hits.load(Ordering::Relaxed),
+            profile_builds: self.profiles.builds.load(Ordering::Relaxed),
+            profile_hits: self.profiles.hits.load(Ordering::Relaxed),
+            c_text_builds: self.c_texts.builds.load(Ordering::Relaxed),
+            c_text_hits: self.c_texts.hits.load(Ordering::Relaxed),
+            synthesis_builds: self.syntheses.builds.load(Ordering::Relaxed),
+            synthesis_hits: self.syntheses.hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for ArtifactStore {
+    fn default() -> Self {
+        ArtifactStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsg_compiler::{OptLevel, TargetIsa};
+    use bsg_ir::build::FunctionBuilder;
+    use bsg_ir::hll::Expr;
+
+    fn tiny_program(iters: i64) -> HllProgram {
+        let mut f = FunctionBuilder::new("main");
+        f.for_loop("i", Expr::int(0), Expr::int(iters), |b| {
+            b.assign_var("s", Expr::add(Expr::var("s"), Expr::var("i")));
+        });
+        f.ret(Some(Expr::var("s")));
+        HllProgram::with_main(f.finish())
+    }
+
+    #[test]
+    fn source_ids_are_stable_and_content_sensitive() {
+        let a = tiny_program(10);
+        assert_eq!(SourceId::of(&a), SourceId::of(&a.clone()));
+        assert_ne!(SourceId::of(&a), SourceId::of(&tiny_program(11)));
+    }
+
+    #[test]
+    fn repeated_requests_share_one_build() {
+        let store = ArtifactStore::new();
+        let hll = tiny_program(10);
+        let opts = CompileOptions::new(OptLevel::O1, TargetIsa::X86);
+        let first = store.compiled(&hll, &opts);
+        let second = store.compiled(&hll, &opts);
+        assert!(Arc::ptr_eq(&first, &second), "one shared artifact");
+        let stats = store.stats();
+        assert_eq!(stats.compiled_builds, 1);
+        assert_eq!(stats.compiled_hits, 1);
+    }
+
+    #[test]
+    fn distinct_options_build_distinct_artifacts() {
+        let store = ArtifactStore::new();
+        let hll = tiny_program(10);
+        let o0 = store.compiled(&hll, &CompileOptions::new(OptLevel::O0, TargetIsa::X86));
+        let o2 = store.compiled(&hll, &CompileOptions::new(OptLevel::O2, TargetIsa::X86));
+        assert!(!Arc::ptr_eq(&o0, &o2));
+        assert_eq!(store.stats().compiled_builds, 2);
+    }
+
+    #[test]
+    fn concurrent_requests_build_exactly_once() {
+        let store = ArtifactStore::new();
+        let hll = tiny_program(200);
+        let opts = CompileOptions::portable(OptLevel::O0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| store.compiled(&hll, &opts));
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.compiled_builds, 1);
+        assert_eq!(stats.compiled_hits, 7);
+    }
+
+    #[test]
+    fn store_hit_is_bit_identical_to_a_cold_build() {
+        let store = ArtifactStore::new();
+        let hll = tiny_program(25);
+        let opts = CompileOptions::new(OptLevel::O2, TargetIsa::X86_64);
+        let cached = store.compiled(&hll, &opts);
+        let cold = compile(&hll, &opts).unwrap().program;
+        assert_eq!(cached.program, cold);
+        let config = ProfileConfig::default();
+        let cached_profile =
+            store.profile(&hll, &CompileOptions::portable(OptLevel::O0), "t", &config);
+        let cold_profile = bsg_profile::profile_program(
+            &compile(&hll, &CompileOptions::portable(OptLevel::O0))
+                .unwrap()
+                .program,
+            "t",
+            &config,
+        );
+        assert_eq!(*cached_profile, cold_profile);
+    }
+}

@@ -585,10 +585,27 @@ impl<'a> Engine<'a> {
                             frame.regs[*dst as usize] =
                                 Value::Int(int_bin(*op, a.as_int(), b.as_int()));
                         }
+                        Step::FloatBinRR { op, dst, lhs, rhs } => {
+                            let a = frame.regs[*lhs as usize];
+                            let b = frame.regs[*rhs as usize];
+                            frame.regs[*dst as usize] = eval_bin(*op, Ty::Float, a, b);
+                        }
+                        Step::FloatBinRV { op, dst, lhs, rhs } => {
+                            let a = frame.regs[*lhs as usize];
+                            frame.regs[*dst as usize] = eval_bin(*op, Ty::Float, a, *rhs);
+                        }
+                        Step::FloatBinVR { op, dst, lhs, rhs } => {
+                            let b = frame.regs[*rhs as usize];
+                            frame.regs[*dst as usize] = eval_bin(*op, Ty::Float, *lhs, b);
+                        }
                         Step::FloatBin { op, dst, lhs, rhs } => {
                             let a = self.operand(lhs, frame, depth, &mut mem_read);
                             let b = self.operand(rhs, frame, depth, &mut mem_read);
                             frame.regs[*dst as usize] = eval_bin(*op, Ty::Float, a, b);
+                        }
+                        Step::UnReg { op, ty, dst, src } => {
+                            frame.regs[*dst as usize] =
+                                eval_un(*op, *ty, frame.regs[*src as usize]);
                         }
                         Step::Un { op, ty, dst, src } => {
                             let v = self.operand(src, frame, depth, &mut mem_read);

@@ -118,14 +118,42 @@ pub(crate) enum Step {
         lhs: Operand,
         rhs: Operand,
     },
-    /// `dst = lhs op rhs` on floats.
+    /// `dst = regs[lhs] op regs[rhs]` on floats (quickened register shape).
+    FloatBinRR {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    /// `dst = regs[lhs] op imm` on floats (immediate predecoded to a value).
+    FloatBinRV {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: Value,
+    },
+    /// `dst = imm op regs[rhs]` on floats.
+    FloatBinVR {
+        op: BinOp,
+        dst: u32,
+        lhs: Value,
+        rhs: u32,
+    },
+    /// `dst = lhs op rhs` on floats, general operand shapes (memory operands).
     FloatBin {
         op: BinOp,
         dst: u32,
         lhs: Operand,
         rhs: Operand,
     },
-    /// `dst = op src`.
+    /// `dst = op regs[src]` (quickened register source).
+    UnReg {
+        op: UnOp,
+        ty: Ty,
+        dst: u32,
+        src: u32,
+    },
+    /// `dst = op src`, general operand shapes.
     Un {
         op: UnOp,
         ty: Ty,
@@ -379,12 +407,57 @@ impl ExecImage {
                                 lhs: *lhs,
                                 rhs: *rhs,
                             },
+                            (Ty::Float, Operand::Reg(a), Operand::Reg(b)) => Step::FloatBinRR {
+                                op: *op,
+                                dst: dst.0,
+                                lhs: a.0,
+                                rhs: b.0,
+                            },
+                            (Ty::Float, Operand::Reg(a), Operand::ImmInt(v)) => Step::FloatBinRV {
+                                op: *op,
+                                dst: dst.0,
+                                lhs: a.0,
+                                rhs: Value::Int(*v),
+                            },
+                            (Ty::Float, Operand::Reg(a), Operand::ImmFloat(v)) => {
+                                Step::FloatBinRV {
+                                    op: *op,
+                                    dst: dst.0,
+                                    lhs: a.0,
+                                    rhs: Value::Float(*v),
+                                }
+                            }
+                            (Ty::Float, Operand::ImmInt(v), Operand::Reg(b)) => Step::FloatBinVR {
+                                op: *op,
+                                dst: dst.0,
+                                lhs: Value::Int(*v),
+                                rhs: b.0,
+                            },
+                            (Ty::Float, Operand::ImmFloat(v), Operand::Reg(b)) => {
+                                Step::FloatBinVR {
+                                    op: *op,
+                                    dst: dst.0,
+                                    lhs: Value::Float(*v),
+                                    rhs: b.0,
+                                }
+                            }
                             (Ty::Float, _, _) => Step::FloatBin {
                                 op: *op,
                                 dst: dst.0,
                                 lhs: *lhs,
                                 rhs: *rhs,
                             },
+                        },
+                        Inst::Un {
+                            op,
+                            ty,
+                            dst,
+                            src: Operand::Reg(r),
+                        } => Step::UnReg {
+                            op: *op,
+                            ty: *ty,
+                            dst: dst.0,
+                            src: r.0,
                         },
                         Inst::Un { op, ty, dst, src } => Step::Un {
                             op: *op,

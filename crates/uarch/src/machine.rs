@@ -8,7 +8,8 @@
 //! workload for that ISA and divides simulated cycles by the clock to obtain
 //! wall-clock execution time.
 
-use crate::pipeline::{simulate, PipelineConfig, PipelineResult};
+use crate::image::ExecImage;
+use crate::pipeline::{simulate, simulate_image, PipelineConfig, PipelineResult};
 use bsg_ir::Program;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -98,6 +99,16 @@ impl MachineConfig {
     /// Runs a (pre-compiled) program on this machine model.
     pub fn run(&self, program: &Program) -> MachineResult {
         let timing = simulate(program, self.pipeline);
+        self.result_of(timing)
+    }
+
+    /// [`run`](Self::run) over a prebuilt [`ExecImage`] (amortizes predecode
+    /// when the same compiled artifact is timed on several machines).
+    pub fn run_image(&self, image: &ExecImage) -> MachineResult {
+        self.result_of(simulate_image(image, self.pipeline))
+    }
+
+    fn result_of(&self, timing: PipelineResult) -> MachineResult {
         MachineResult {
             machine: self.name.clone(),
             time_ns: timing.cycles as f64 / self.freq_ghz,

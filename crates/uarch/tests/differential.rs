@@ -363,3 +363,192 @@ fn zero_call_depth_is_bit_identical() {
         },
     );
 }
+
+/// Float-heavy kernel covering every quickened float/unary step shape:
+/// reg∘reg, reg∘imm-float, reg∘imm-int, imm∘reg, memory-operand float ops,
+/// float comparisons feeding branches, and unary ops with register,
+/// immediate and memory sources.
+fn float_program() -> Program {
+    let mut p = Program::new();
+    let g = p.add_global(Global::zeroed("fdata", 64));
+    let mut f = Function::new("main");
+    let i = f.fresh_reg();
+    let c = f.fresh_reg();
+    let x = f.fresh_reg();
+    let y = f.fresh_reg();
+    let z = f.fresh_reg();
+    let header = f.add_block();
+    let hot = f.add_block();
+    let cold = f.add_block();
+    let latch = f.add_block();
+    let exit = f.add_block();
+    f.blocks[0].insts = vec![
+        Inst::Mov {
+            dst: i,
+            src: Operand::ImmInt(0),
+        },
+        Inst::Mov {
+            dst: x,
+            src: Operand::ImmFloat(1.5),
+        },
+        Inst::Store {
+            src: Operand::ImmFloat(2.25),
+            addr: Address::global(g, 3),
+            ty: Ty::Float,
+        },
+    ];
+    f.blocks[0].term = Terminator::Jump(header);
+    f.blocks[header.index()].insts = vec![Inst::Bin {
+        op: BinOp::Lt,
+        ty: Ty::Int,
+        dst: c,
+        lhs: i.into(),
+        rhs: Operand::ImmInt(200),
+    }];
+    f.blocks[header.index()].term = Terminator::Branch {
+        cond: c,
+        taken: hot,
+        not_taken: exit,
+    };
+    f.blocks[hot.index()].insts = vec![
+        // FloatBinRV with an immediate-float rhs.
+        Inst::Bin {
+            op: BinOp::Mul,
+            ty: Ty::Float,
+            dst: y,
+            lhs: x.into(),
+            rhs: Operand::ImmFloat(1.0001),
+        },
+        // FloatBinRV with an immediate-int rhs (int converts via as_float).
+        Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::Float,
+            dst: y,
+            lhs: y.into(),
+            rhs: Operand::ImmInt(1),
+        },
+        // FloatBinVR: immediate lhs, register rhs.
+        Inst::Bin {
+            op: BinOp::Sub,
+            ty: Ty::Float,
+            dst: z,
+            lhs: Operand::ImmFloat(100.0),
+            rhs: y.into(),
+        },
+        // FloatBinRR: both operands in registers.
+        Inst::Bin {
+            op: BinOp::Div,
+            ty: Ty::Float,
+            dst: z,
+            lhs: z.into(),
+            rhs: y.into(),
+        },
+        // General FloatBin: folded memory operand stays on the slow path.
+        Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::Float,
+            dst: z,
+            lhs: z.into(),
+            rhs: Operand::Mem(Address::global(g, 3)),
+        },
+        // UnReg: register source.
+        Inst::Un {
+            op: UnOp::Sqrt,
+            ty: Ty::Float,
+            dst: z,
+            src: z.into(),
+        },
+        Inst::Un {
+            op: UnOp::Neg,
+            ty: Ty::Float,
+            dst: z,
+            src: z.into(),
+        },
+        // General Un: immediate source.
+        Inst::Un {
+            op: UnOp::Cos,
+            ty: Ty::Float,
+            dst: x,
+            src: Operand::ImmFloat(0.5),
+        },
+        // Float comparison (FloatBinRR producing an int) feeding a branch.
+        Inst::Bin {
+            op: BinOp::Gt,
+            ty: Ty::Float,
+            dst: c,
+            lhs: y.into(),
+            rhs: z.into(),
+        },
+    ];
+    f.blocks[hot.index()].term = Terminator::Branch {
+        cond: c,
+        taken: latch,
+        not_taken: cold,
+    };
+    f.blocks[cold.index()].insts = vec![
+        // Division by a zero float (defined: eval_bin semantics) and an
+        // abs through the quickened register path.
+        Inst::Bin {
+            op: BinOp::Div,
+            ty: Ty::Float,
+            dst: x,
+            lhs: x.into(),
+            rhs: Operand::ImmFloat(0.0),
+        },
+        Inst::Un {
+            op: UnOp::Abs,
+            ty: Ty::Float,
+            dst: x,
+            src: x.into(),
+        },
+    ];
+    f.blocks[cold.index()].term = Terminator::Jump(latch);
+    f.blocks[latch.index()].insts = vec![
+        Inst::Store {
+            src: z.into(),
+            addr: Address::global_indexed(g, 0, i, 1),
+            ty: Ty::Float,
+        },
+        Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::Int,
+            dst: i,
+            lhs: i.into(),
+            rhs: Operand::ImmInt(1),
+        },
+    ];
+    f.blocks[latch.index()].term = Terminator::Jump(header);
+    f.blocks[exit.index()].insts = vec![Inst::Un {
+        op: UnOp::ToInt,
+        ty: Ty::Int,
+        dst: i,
+        src: z.into(),
+    }];
+    f.blocks[exit.index()].term = Terminator::Return(Some(i.into()));
+    p.add_function(f);
+    p
+}
+
+#[test]
+fn float_and_unary_quickening_is_bit_identical() {
+    let p = float_program();
+    let out = assert_identical(&p, &ExecConfig::default());
+    assert!(out.completed);
+    assert!(out.dynamic_instructions > 2_000);
+}
+
+#[test]
+fn float_kernel_aborts_are_bit_identical() {
+    // Halt the run on top of the quickened float steps too.
+    let p = float_program();
+    for budget in [4u64, 9, 10, 11, 12, 13, 14, 15, 16, 17, 500] {
+        let out = assert_identical(
+            &p,
+            &ExecConfig {
+                max_instructions: budget,
+                max_call_depth: 256,
+            },
+        );
+        assert!(!out.completed, "budget {budget} must halt the run");
+    }
+}
