@@ -1,0 +1,47 @@
+//! Per-workload interpreter-throughput probe: times every suite workload on
+//! the fused image, the unfused image and the legacy tree-walking engine
+//! under `NullObserver`, printing M-instructions/sec and the fused speedup.
+//! Finer-grained than `interp_bench` (which aggregates across workloads);
+//! used to find which kernels sit below the suite-wide speedup and why.
+//!
+//! Run with `cargo run -p bsg-bench --release --example micro_probe`.
+
+use bsg_compiler::{CompileOptions, OptLevel};
+use bsg_uarch::exec::{execute_image, execute_legacy, ExecConfig, NullObserver};
+use bsg_uarch::image::ExecImage;
+use bsg_workloads::{suite, InputSize};
+use std::time::Instant;
+
+fn main() {
+    let cfg = ExecConfig {
+        max_instructions: 30_000_000,
+        max_call_depth: 128,
+    };
+    for w in suite(InputSize::Small) {
+        let art = bsg_runtime::ArtifactStore::global()
+            .compiled(&w.program, &CompileOptions::portable(OptLevel::O0));
+        let img = &art.image;
+        let unfused = ExecImage::unfused(&art.program);
+        let mut tf = f64::INFINITY;
+        let mut tu = f64::INFINITY;
+        let mut tl = f64::INFINITY;
+        let mut n = 0;
+        for _ in 0..3 {
+            let t = Instant::now();
+            n = execute_image(img, &mut NullObserver, &cfg).dynamic_instructions;
+            tf = tf.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            execute_image(&unfused, &mut NullObserver, &cfg);
+            tu = tu.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            execute_legacy(&art.program, &mut NullObserver, &cfg);
+            tl = tl.min(t.elapsed().as_secs_f64());
+        }
+        println!(
+            "{:24} {:>9} inst  fused {:6.1} M/s  unfused {:6.1} M/s  legacy {:6.1} M/s  speedup {:4.2}x  (fused sites {})",
+            w.name, n,
+            n as f64 / tf / 1e6, n as f64 / tu / 1e6, n as f64 / tl / 1e6,
+            tl / tf, img.num_fused()
+        );
+    }
+}

@@ -1,10 +1,14 @@
-//! Interpreter-throughput benchmark: times the predecoded engine against the
-//! legacy `dyn`-dispatch tree-walking interpreter under three observer loads
-//! (none, pipeline timing model, full statistical profiler), over the
-//! strided-loop microbenchmark plus the whole workload suite.
+//! Interpreter-throughput benchmark: times the predecoded engine — in its
+//! fused (superinstructions + untagged register file) and unfused forms —
+//! against the legacy `dyn`-dispatch tree-walking interpreter under three
+//! observer loads (none, pipeline timing model, full statistical profiler),
+//! over the strided-loop microbenchmark plus the whole workload suite.
 //!
 //! Pass `--large` to run the large-input suite (feasible now that compiled
-//! programs and predecoded images come out of the artifact store).
+//! programs and predecoded images come out of the artifact store).  Pass
+//! `--assert-null-speedup <x>` to fail (exit 1) when the fused engine's
+//! `NullObserver` speedup over the legacy engine drops below `x` — CI uses
+//! this as a throughput-regression tripwire.
 //!
 //! Preparation (compiling the suite and predecoding images) fans out through
 //! `bsg-runtime`'s scheduler and artifact store; the *measurement* loops stay
@@ -17,6 +21,7 @@
 //!
 //! Run with `cargo run -p bsg-bench --release --bin interp_bench`.
 
+use bsg_bench::best_of;
 use bsg_compiler::{CompileOptions, OptLevel};
 use bsg_ir::program::{Function, Global, Program};
 use bsg_ir::types::Ty;
@@ -119,24 +124,21 @@ impl Measurement {
     }
 }
 
-/// Times `body` over `passes` passes and keeps the fastest (noise floor).
-fn best_of<F: FnMut() -> u64>(passes: u32, mut body: F) -> (u64, f64) {
-    let mut best = f64::INFINITY;
-    let mut instructions = 0;
-    for _ in 0..passes {
-        let start = Instant::now();
-        instructions = body();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    (instructions, best)
-}
-
 fn main() {
-    let input = if std::env::args().any(|a| a == "--large") {
+    let args: Vec<String> = std::env::args().collect();
+    let input = if args.iter().any(|a| a == "--large") {
         InputSize::Large
     } else {
         InputSize::Small
     };
+    let assert_null_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--assert-null-speedup")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--assert-null-speedup needs a numeric argument")
+        });
     let limit = ExecConfig {
         max_instructions: 30_000_000,
         max_call_depth: 128,
@@ -150,20 +152,27 @@ fn main() {
     // microbenchmark has no HLL source, so its image is built directly.
     let micro = strided_loop(1 << 14, 3, 400_000);
     let micro_image = ExecImage::new(&micro);
-    let compiled: Vec<(String, Arc<CompiledArtifact>)> = Runtime::global().map(suite(input), |w| {
-        let art =
-            ArtifactStore::global().compiled(&w.program, &CompileOptions::portable(OptLevel::O0));
-        (w.name, art)
-    });
+    let micro_unfused = ExecImage::unfused(&micro);
+    let compiled: Vec<(String, Arc<CompiledArtifact>, ExecImage)> =
+        Runtime::global().map(suite(input), |w| {
+            let art = ArtifactStore::global()
+                .compiled(&w.program, &CompileOptions::portable(OptLevel::O0));
+            let unfused = ExecImage::unfused(&art.program);
+            (w.name, art, unfused)
+        });
     let prep_seconds = wall_start.elapsed().as_secs_f64();
 
     let mut names: Vec<&str> = vec!["strided_loop"];
     let mut programs: Vec<&Program> = vec![&micro];
+    // The store's images are fully optimized (untagged banks + fusion); the
+    // unfused images isolate the fusion pass's contribution.
     let mut images: Vec<&ExecImage> = vec![&micro_image];
-    for (name, art) in &compiled {
+    let mut images_unfused: Vec<&ExecImage> = vec![&micro_unfused];
+    for (name, art, unfused) in &compiled {
         names.push(name);
         programs.push(&art.program);
         images.push(&art.image);
+        images_unfused.push(unfused);
     }
 
     let mut results: Vec<Measurement> = Vec::new();
@@ -179,8 +188,19 @@ fn main() {
 
     // --- No observer: raw interpreted instructions/sec. -------------------
     push(
-        "null/predecoded",
+        "null/fused",
         images
+            .iter()
+            .map(|image| {
+                best_of(passes, || {
+                    execute_image(image, &mut NullObserver, &limit).dynamic_instructions
+                })
+            })
+            .collect(),
+    );
+    push(
+        "null/predecoded",
+        images_unfused
             .iter()
             .map(|image| {
                 best_of(passes, || {
@@ -204,8 +224,21 @@ fn main() {
     // --- Pipeline timing model as the observer. ---------------------------
     let pipe = PipelineConfig::ptlsim_2wide(16);
     push(
-        "pipeline/predecoded",
+        "pipeline/fused",
         images
+            .iter()
+            .map(|image| {
+                best_of(passes, || {
+                    let mut sim = PipelineSim::from_image(pipe, image);
+                    execute_image(image, &mut sim, &limit);
+                    sim.result().instructions
+                })
+            })
+            .collect(),
+    );
+    push(
+        "pipeline/predecoded",
+        images_unfused
             .iter()
             .map(|image| {
                 best_of(passes, || {
@@ -233,10 +266,23 @@ fn main() {
     // --- Full statistical profiler as the observer. -----------------------
     let prof_cfg = ProfileConfig::default();
     push(
-        "profile/predecoded",
+        "profile/fused",
         programs
             .iter()
             .zip(&images)
+            .zip(&names)
+            .map(|((p, image), name)| {
+                best_of(passes, || {
+                    profile_image(p, image, name, &prof_cfg).dynamic_instructions
+                })
+            })
+            .collect(),
+    );
+    push(
+        "profile/predecoded",
+        programs
+            .iter()
+            .zip(&images_unfused)
             .zip(&names)
             .map(|((p, image), name)| {
                 best_of(passes, || {
@@ -266,8 +312,8 @@ fn main() {
             .map(Measurement::ips)
             .unwrap_or(0.0)
     };
-    let speedup = |kind: &str| {
-        let new = ips_of(&format!("{kind}/predecoded"));
+    let speedup = |kind: &str, engine: &str| {
+        let new = ips_of(&format!("{kind}/{engine}"));
         let old = ips_of(&format!("{kind}/legacy"));
         if old > 0.0 {
             new / old
@@ -275,7 +321,16 @@ fn main() {
             0.0
         }
     };
-    let (null_x, pipe_x, prof_x) = (speedup("null"), speedup("pipeline"), speedup("profile"));
+    let (null_x, pipe_x, prof_x) = (
+        speedup("null", "predecoded"),
+        speedup("pipeline", "predecoded"),
+        speedup("profile", "predecoded"),
+    );
+    let (null_fx, pipe_fx, prof_fx) = (
+        speedup("null", "fused"),
+        speedup("pipeline", "fused"),
+        speedup("profile", "fused"),
+    );
     let wall_seconds = wall_start.elapsed().as_secs_f64();
 
     println!(
@@ -288,6 +343,7 @@ fn main() {
     for m in &results {
         println!("{:<22} {:>16.0} {:>10.3}", m.config, m.ips(), m.seconds);
     }
+    println!("speedup fused vs legacy:      null {null_fx:.2}x, pipeline {pipe_fx:.2}x, profile {prof_fx:.2}x");
     println!("speedup predecoded vs legacy: null {null_x:.2}x, pipeline {pipe_x:.2}x, profile {prof_x:.2}x");
     println!(
         "wall-clock: {wall_seconds:.3}s total ({prep_seconds:.3}s compile+predecode via {})",
@@ -322,6 +378,11 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_fused_vs_legacy\": {{");
+    let _ = writeln!(json, "    \"null_observer\": {null_fx:.3},");
+    let _ = writeln!(json, "    \"pipeline_sim\": {pipe_fx:.3},");
+    let _ = writeln!(json, "    \"full_profiler\": {prof_fx:.3}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"speedup_predecoded_vs_legacy\": {{");
     let _ = writeln!(json, "    \"null_observer\": {null_x:.3},");
     let _ = writeln!(json, "    \"pipeline_sim\": {pipe_x:.3},");
@@ -330,4 +391,14 @@ fn main() {
     let _ = writeln!(json, "}}");
     std::fs::write("BENCH_interp.json", json).expect("write BENCH_interp.json");
     println!("wrote BENCH_interp.json");
+
+    if let Some(floor) = assert_null_speedup {
+        if null_fx < floor {
+            eprintln!(
+                "FAIL: null/fused speedup {null_fx:.2}x is below the required floor {floor:.2}x"
+            );
+            std::process::exit(1);
+        }
+        println!("null/fused speedup {null_fx:.2}x meets the {floor:.2}x floor");
+    }
 }

@@ -739,9 +739,64 @@ pub fn c_source_of(program: &HllProgram) -> String {
     ArtifactStore::global().c_text(program).as_ref().clone()
 }
 
+/// Times `body` over `passes` passes and returns the retired instruction
+/// count plus the fastest wall time (the noise floor).
+///
+/// Every pass must retire the **identical** instruction count: the measured
+/// bodies are deterministic interpreter runs, so a divergence means
+/// nondeterminism (or a stateful benchmark body) and every derived
+/// instructions-per-second figure would be garbage.  That is surfaced as a
+/// hard error rather than silently keeping the last pass's count, which is
+/// what an earlier revision of `interp_bench` did.
+///
+/// # Panics
+///
+/// Panics when `passes == 0` or when two passes retire different counts.
+pub fn best_of<F: FnMut() -> u64>(passes: u32, mut body: F) -> (u64, f64) {
+    assert!(passes > 0, "best_of needs at least one pass");
+    let mut best = f64::INFINITY;
+    let mut instructions: Option<u64> = None;
+    for pass in 0..passes {
+        let start = std::time::Instant::now();
+        let n = body();
+        best = best.min(start.elapsed().as_secs_f64());
+        match instructions {
+            None => instructions = Some(n),
+            Some(prev) => assert_eq!(
+                prev, n,
+                "nondeterministic measurement: pass {pass} retired {n} dynamic \
+                 instructions where earlier passes retired {prev}"
+            ),
+        }
+    }
+    (instructions.expect("passes > 0"), best)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn best_of_keeps_the_fastest_pass_and_the_common_count() {
+        let mut calls = 0u64;
+        let (n, secs) = best_of(3, || {
+            calls += 1;
+            42
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(n, 42);
+        assert!(secs >= 0.0 && secs.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "nondeterministic measurement")]
+    fn best_of_rejects_diverging_instruction_counts() {
+        let mut n = 0u64;
+        best_of(3, || {
+            n += 1;
+            n // a different count every pass
+        });
+    }
 
     #[test]
     fn table_generators_produce_output() {

@@ -69,6 +69,16 @@ impl SynthesisConfig {
     }
 }
 
+impl bsg_ir::canon::Canon for SynthesisConfig {
+    fn canon(&self, w: &mut dyn bsg_ir::canon::CanonWrite) {
+        self.reduction_factor.canon(w);
+        self.seed.canon(w);
+        self.function_count.canon(w);
+        self.stream_elems.canon(w);
+        self.max_segments.canon(w);
+    }
+}
+
 /// Statistics about a generated benchmark.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SynthesisStats {

@@ -1,0 +1,447 @@
+//! Canonical byte encoding for content addressing.
+//!
+//! The artifact store (`bsg-runtime`) keys compiled programs, profiles and
+//! synthesis results by a structural hash of their source.  Hashing a
+//! `Debug` rendering — the original scheme — is not injective: every `f64`
+//! NaN payload renders as the three characters `NaN`, so two sources that
+//! differ only in NaN bits share one rendering (and therefore one cache
+//! entry, silently serving the wrong artifact).  String-ish renderings are
+//! also only as unambiguous as the formatter's escaping happens to be.
+//!
+//! [`Canon`] instead emits an explicit, self-delimiting byte encoding:
+//!
+//! * every enum variant writes a **discriminant byte** before its fields;
+//! * every variable-length collection (strings, vectors, maps) writes its
+//!   **length as a little-endian `u64` prefix** before its elements;
+//! * scalars write their fixed-width little-endian bytes; floats write
+//!   `to_bits()`, so every NaN payload, signed zero and subnormal is
+//!   distinct.
+//!
+//! Two values of the same type produce the same byte stream iff they are
+//! structurally equal, so a 128-bit hash of the stream is a sound content
+//! address (up to hash collisions).  The encoding is independent of
+//! formatter internals and stable across processes and platforms.
+
+use crate::hll::{Expr, HllFunction, HllGlobal, HllProgram, LValue, Stmt};
+use crate::types::{Ty, Value};
+use crate::visa::{BinOp, InstClass, OperandKind, UnOp};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Byte sink for the canonical encoding (implemented by hashers).
+pub trait CanonWrite {
+    /// Consumes the next chunk of the canonical byte stream.
+    fn write(&mut self, bytes: &[u8]);
+}
+
+/// A `Vec<u8>` sink, convenient for tests and debugging.
+impl CanonWrite for Vec<u8> {
+    fn write(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+/// Types with a canonical, injective byte encoding (see the module docs).
+pub trait Canon {
+    /// Writes `self`'s canonical bytes to `w`.
+    fn canon(&self, w: &mut dyn CanonWrite);
+}
+
+/// Writes a length prefix (little-endian `u64`).
+pub fn put_len(w: &mut dyn CanonWrite, len: usize) {
+    w.write(&(len as u64).to_le_bytes());
+}
+
+macro_rules! impl_canon_le {
+    ($($t:ty),*) => {$(
+        impl Canon for $t {
+            fn canon(&self, w: &mut dyn CanonWrite) {
+                w.write(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+
+impl_canon_le!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Canon for usize {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        w.write(&(*self as u64).to_le_bytes());
+    }
+}
+
+impl Canon for bool {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        w.write(&[u8::from(*self)]);
+    }
+}
+
+impl Canon for f64 {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        // to_bits distinguishes every NaN payload and -0.0 from 0.0 — the
+        // injectivity holes of the Debug rendering.
+        w.write(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl Canon for str {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        put_len(w, self.len());
+        w.write(self.as_bytes());
+    }
+}
+
+impl Canon for String {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.as_str().canon(w);
+    }
+}
+
+impl<T: Canon> Canon for Option<T> {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        match self {
+            None => w.write(&[0]),
+            Some(v) => {
+                w.write(&[1]);
+                v.canon(w);
+            }
+        }
+    }
+}
+
+impl<T: Canon> Canon for [T] {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        put_len(w, self.len());
+        for v in self {
+            v.canon(w);
+        }
+    }
+}
+
+impl<T: Canon> Canon for Vec<T> {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.as_slice().canon(w);
+    }
+}
+
+impl<T: Canon + ?Sized> Canon for &T {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        (**self).canon(w);
+    }
+}
+
+impl<T: Canon> Canon for Box<T> {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        (**self).canon(w);
+    }
+}
+
+impl<A: Canon, B: Canon> Canon for (A, B) {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.0.canon(w);
+        self.1.canon(w);
+    }
+}
+
+impl<A: Canon, B: Canon, C: Canon> Canon for (A, B, C) {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.0.canon(w);
+        self.1.canon(w);
+        self.2.canon(w);
+    }
+}
+
+impl<K: Canon, V: Canon> Canon for BTreeMap<K, V> {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        put_len(w, self.len());
+        for (k, v) in self {
+            k.canon(w);
+            v.canon(w);
+        }
+    }
+}
+
+impl<T: Canon> Canon for BTreeSet<T> {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        put_len(w, self.len());
+        for v in self {
+            v.canon(w);
+        }
+    }
+}
+
+impl Canon for Ty {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        w.write(&[match self {
+            Ty::Int => 0,
+            Ty::Float => 1,
+        }]);
+    }
+}
+
+impl Canon for Value {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        match self {
+            Value::Int(v) => {
+                w.write(&[0]);
+                v.canon(w);
+            }
+            Value::Float(v) => {
+                w.write(&[1]);
+                v.canon(w);
+            }
+        }
+    }
+}
+
+impl Canon for BinOp {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        w.write(&[match self {
+            BinOp::Add => 0,
+            BinOp::Sub => 1,
+            BinOp::Mul => 2,
+            BinOp::Div => 3,
+            BinOp::Rem => 4,
+            BinOp::And => 5,
+            BinOp::Or => 6,
+            BinOp::Xor => 7,
+            BinOp::Shl => 8,
+            BinOp::Shr => 9,
+            BinOp::Lt => 10,
+            BinOp::Le => 11,
+            BinOp::Gt => 12,
+            BinOp::Ge => 13,
+            BinOp::Eq => 14,
+            BinOp::Ne => 15,
+        }]);
+    }
+}
+
+impl Canon for UnOp {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        w.write(&[match self {
+            UnOp::Neg => 0,
+            UnOp::Not => 1,
+            UnOp::LogicalNot => 2,
+            UnOp::ToFloat => 3,
+            UnOp::ToInt => 4,
+            UnOp::Sqrt => 5,
+            UnOp::Sin => 6,
+            UnOp::Cos => 7,
+            UnOp::Log => 8,
+            UnOp::Abs => 9,
+        }]);
+    }
+}
+
+impl Canon for InstClass {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        w.write(&[self.index() as u8]);
+    }
+}
+
+impl Canon for OperandKind {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        w.write(&[match self {
+            OperandKind::Register => 0,
+            OperandKind::Constant => 1,
+            OperandKind::Memory => 2,
+        }]);
+    }
+}
+
+impl Canon for Expr {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        match self {
+            Expr::Int(v) => {
+                w.write(&[0]);
+                v.canon(w);
+            }
+            Expr::Float(v) => {
+                w.write(&[1]);
+                v.canon(w);
+            }
+            Expr::Var(n) => {
+                w.write(&[2]);
+                n.canon(w);
+            }
+            Expr::Index(n, idx) => {
+                w.write(&[3]);
+                n.canon(w);
+                idx.canon(w);
+            }
+            Expr::Bin(op, a, b) => {
+                w.write(&[4]);
+                op.canon(w);
+                a.canon(w);
+                b.canon(w);
+            }
+            Expr::Un(op, a) => {
+                w.write(&[5]);
+                op.canon(w);
+                a.canon(w);
+            }
+            Expr::Call(n, args) => {
+                w.write(&[6]);
+                n.canon(w);
+                args.canon(w);
+            }
+        }
+    }
+}
+
+impl Canon for LValue {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        match self {
+            LValue::Var(n) => {
+                w.write(&[0]);
+                n.canon(w);
+            }
+            LValue::Index(n, idx) => {
+                w.write(&[1]);
+                n.canon(w);
+                idx.canon(w);
+            }
+        }
+    }
+}
+
+impl Canon for Stmt {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        match self {
+            Stmt::Assign { target, value } => {
+                w.write(&[0]);
+                target.canon(w);
+                value.canon(w);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                w.write(&[1]);
+                cond.canon(w);
+                then_branch.canon(w);
+                else_branch.canon(w);
+            }
+            Stmt::While { cond, body } => {
+                w.write(&[2]);
+                cond.canon(w);
+                body.canon(w);
+            }
+            Stmt::For {
+                var,
+                init,
+                limit,
+                step,
+                body,
+            } => {
+                w.write(&[3]);
+                var.canon(w);
+                init.canon(w);
+                limit.canon(w);
+                step.canon(w);
+                body.canon(w);
+            }
+            Stmt::Call { name, args, dst } => {
+                w.write(&[4]);
+                name.canon(w);
+                args.canon(w);
+                dst.canon(w);
+            }
+            Stmt::Return(v) => {
+                w.write(&[5]);
+                v.canon(w);
+            }
+            Stmt::Print(e) => {
+                w.write(&[6]);
+                e.canon(w);
+            }
+            Stmt::Break => w.write(&[7]),
+            Stmt::Continue => w.write(&[8]),
+        }
+    }
+}
+
+impl Canon for HllGlobal {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.name.canon(w);
+        self.elems.canon(w);
+        self.ty.canon(w);
+        self.init.canon(w);
+        self.iota.canon(w);
+    }
+}
+
+impl Canon for HllFunction {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.name.canon(w);
+        self.params.canon(w);
+        self.float_vars.canon(w);
+        self.body.canon(w);
+    }
+}
+
+impl Canon for HllProgram {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.globals.canon(w);
+        self.functions.canon(w);
+        self.entry.canon(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes<T: Canon + ?Sized>(v: &T) -> Vec<u8> {
+        let mut out = Vec::new();
+        v.canon(&mut out);
+        out
+    }
+
+    #[test]
+    fn scalars_are_fixed_width_and_strings_length_prefixed() {
+        assert_eq!(bytes(&1u64).len(), 8);
+        assert_eq!(bytes(&(-1i64)).len(), 8);
+        assert_eq!(bytes(&1.5f64).len(), 8);
+        assert_eq!(bytes("ab").len(), 8 + 2);
+        assert_ne!(bytes("ab"), bytes("ba"));
+    }
+
+    #[test]
+    fn nan_payloads_are_distinct() {
+        let a = f64::from_bits(0x7ff8_0000_0000_0000);
+        let b = f64::from_bits(0x7ff8_0000_0000_0001);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "Debug collides");
+        assert_ne!(bytes(&a), bytes(&b), "canonical encoding must not");
+    }
+
+    #[test]
+    fn adjacent_strings_do_not_merge() {
+        // Without length prefixes, ("ab", "c") and ("a", "bc") would emit
+        // identical byte streams.
+        let x = (String::from("ab"), String::from("c"));
+        let y = (String::from("a"), String::from("bc"));
+        assert_ne!(bytes(&x), bytes(&y));
+    }
+
+    #[test]
+    fn enum_variants_are_discriminated() {
+        assert_ne!(bytes(&Expr::Int(0)), bytes(&Expr::Float(0.0)));
+        assert_ne!(bytes(&Value::Int(0)), bytes(&Value::Float(0.0)));
+        assert_ne!(bytes(&Stmt::Break), bytes(&Stmt::Continue));
+    }
+
+    #[test]
+    fn programs_encode_structurally() {
+        let mut p = HllProgram::new();
+        p.add_global(HllGlobal::zeroed("g", 4));
+        let mut f = HllFunction::new("main");
+        f.body.push(Stmt::Return(Some(Expr::int(1))));
+        p.add_function(f);
+        assert_eq!(bytes(&p), bytes(&p.clone()));
+        let mut q = p.clone();
+        q.functions[0].body[0] = Stmt::Return(Some(Expr::int(2)));
+        assert_ne!(bytes(&p), bytes(&q));
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod canon;
 pub mod cemit;
 pub mod cfg;
 pub mod eval;

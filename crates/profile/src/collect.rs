@@ -5,6 +5,7 @@
 //! pattern recognizer (§III-B.4) consumes.
 
 use crate::sfgl::{NodeKey, Sfgl, SfglLoop};
+use bsg_ir::canon::{Canon, CanonWrite};
 use bsg_ir::cfg::LoopForest;
 use bsg_ir::types::{BlockId, FuncId};
 use bsg_ir::visa::{InstClass, MixCategory, OperandKind};
@@ -830,6 +831,62 @@ impl Observer for Collector<'_> {
 
     fn on_call(&mut self, _caller: FuncId, callee: FuncId) {
         self.call_counts[callee.0 as usize] += 1;
+    }
+}
+
+impl Canon for SiteKey {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.node.canon(w);
+        self.index.canon(w);
+    }
+}
+
+impl Canon for BranchProfile {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.executed.canon(w);
+        self.taken.canon(w);
+        self.transitions.canon(w);
+        self.is_loop_back.canon(w);
+    }
+}
+
+impl Canon for MemoryProfile {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.accesses.canon(w);
+        self.misses.canon(w);
+    }
+}
+
+impl Canon for InstructionMix {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.counts.canon(w);
+    }
+}
+
+impl Canon for InstDescriptor {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.class.canon(w);
+        self.operands.canon(w);
+        self.is_float.canon(w);
+    }
+}
+
+impl Canon for ProfileConfig {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.reference_cache.canon(w);
+        self.max_instructions.canon(w);
+    }
+}
+
+impl Canon for StatisticalProfile {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.name.canon(w);
+        self.sfgl.canon(w);
+        self.branches.canon(w);
+        self.memory.canon(w);
+        self.mix.canon(w);
+        self.block_code.canon(w);
+        self.dynamic_instructions.canon(w);
     }
 }
 

@@ -7,6 +7,7 @@
 //! execute.  Figure 2 of the paper shows an example SFGL and its scaled-down
 //! version; the scale-down operation itself lives in the synthesis crate.
 
+use bsg_ir::canon::{Canon, CanonWrite};
 use bsg_ir::types::{BlockId, FuncId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -187,6 +188,33 @@ impl Sfgl {
             }
         }
         problems
+    }
+}
+
+impl Canon for NodeKey {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.func.canon(w);
+        self.block.canon(w);
+    }
+}
+
+impl Canon for SfglLoop {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.header.canon(w);
+        self.blocks.canon(w);
+        self.entries.canon(w);
+        self.iterations.canon(w);
+        self.depth.canon(w);
+        self.parent.canon(w);
+    }
+}
+
+impl Canon for Sfgl {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.nodes.canon(w);
+        self.edges.canon(w);
+        self.loops.canon(w);
+        self.calls.canon(w);
     }
 }
 

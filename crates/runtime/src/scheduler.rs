@@ -70,14 +70,25 @@ impl Runtime {
         }
     }
 
-    /// The default worker budget: [`WORKERS_ENV`] if set and parseable, else
-    /// `available_parallelism`.
+    /// The default worker budget: a **valid** [`WORKERS_ENV`] override if
+    /// set, else `available_parallelism`.  Invalid overrides (`0`, empty,
+    /// non-numeric) are rejected with a warning on stderr rather than
+    /// silently wedging the pool at a nonsensical width.
     pub fn default_workers() -> usize {
-        std::env::var(WORKERS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+        let fallback = || std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        match std::env::var(WORKERS_ENV) {
+            Err(_) => fallback(),
+            Ok(raw) => match parse_workers(&raw) {
+                Ok(n) => n,
+                Err(reason) => {
+                    eprintln!(
+                        "warning: ignoring {WORKERS_ENV}={raw:?} ({reason}); \
+                         falling back to available_parallelism"
+                    );
+                    fallback()
+                }
+            },
+        }
     }
 
     /// The process-wide runtime used by the experiment harness.
@@ -192,6 +203,22 @@ impl Default for Runtime {
     }
 }
 
+/// Validates a [`WORKERS_ENV`] override: a positive integer (surrounding
+/// whitespace tolerated).  Returns a human-readable rejection reason for
+/// everything else, including `0` — a zero-worker pool would wedge every
+/// sweep.
+fn parse_workers(raw: &str) -> Result<usize, &'static str> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("empty value");
+    }
+    match trimmed.parse::<usize>() {
+        Err(_) => Err("not a number"),
+        Ok(0) => Err("zero workers would wedge the pool"),
+        Ok(n) => Ok(n),
+    }
+}
+
 /// Claims one task index for worker `w`: LIFO from its own deque, else FIFO
 /// from the first other deque that has work.
 fn claim(w: usize, deques: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
@@ -272,6 +299,23 @@ mod tests {
             })
         });
         assert!(result.is_err(), "the task panic must reach the caller");
+    }
+
+    #[test]
+    fn worker_env_override_rejects_invalid_values() {
+        // Valid values parse (with whitespace tolerated).
+        assert_eq!(parse_workers("4"), Ok(4));
+        assert_eq!(parse_workers(" 16 "), Ok(16));
+        // `0`, empty and garbage are rejected (the caller then falls back to
+        // available_parallelism with a stderr warning).
+        assert!(parse_workers("0").is_err());
+        assert!(parse_workers("").is_err());
+        assert!(parse_workers("   ").is_err());
+        assert!(parse_workers("eight").is_err());
+        assert!(parse_workers("-2").is_err());
+        assert!(parse_workers("4.5").is_err());
+        // And the fallback itself never yields zero workers.
+        assert!(Runtime::default_workers() >= 1);
     }
 
     #[test]

@@ -10,13 +10,19 @@
 //! (or scheduler workers, concurrently) request it.
 //!
 //! Content addressing: the key starts from [`SourceId::of`], a 128-bit
-//! FNV-1a hash of the program's canonical `Debug` rendering.  Two workloads
-//! with identical structure share artifacts; any structural change produces a
-//! new key.  The hash is the *address*; exactly-once construction under
-//! concurrency is guaranteed by a per-key `OnceLock` (losers of the map race
-//! block on the winner's build instead of building twice).
+//! FNV-1a hash of the value's **canonical byte encoding**
+//! ([`bsg_ir::canon::Canon`]: discriminant-tagged, length-prefixed,
+//! `f64::to_bits` floats).  Two workloads with identical structure share
+//! artifacts; any structural change — including ones invisible to a `Debug`
+//! rendering, like differing NaN payloads — produces a new key.  (An earlier
+//! revision hashed the `Debug` rendering, which is not injective; see the
+//! regression test `debug_colliding_sources_get_distinct_ids`.)  The hash is
+//! the *address*; exactly-once construction under concurrency is guaranteed
+//! by a per-key `OnceLock` (losers of the map race block on the winner's
+//! build instead of building twice).
 
 use bsg_compiler::{compile, CompileOptions};
+use bsg_ir::canon::{Canon, CanonWrite};
 use bsg_ir::cemit;
 use bsg_ir::hll::HllProgram;
 use bsg_ir::Program;
@@ -24,7 +30,7 @@ use bsg_profile::{profile_image, ProfileConfig, StatisticalProfile};
 use bsg_synth::{synthesize_with_target, SynthesisConfig, TargetedSynthesis};
 use bsg_uarch::image::ExecImage;
 use std::collections::HashMap;
-use std::fmt::{self, Write as _};
+use std::fmt;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -32,32 +38,33 @@ use std::sync::{Arc, Mutex, OnceLock};
 const FNV128_BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
 
-/// Streaming 128-bit FNV-1a over formatted output (no intermediate string).
+/// Streaming 128-bit FNV-1a over canonical bytes (no intermediate buffer).
 struct FnvWriter(u128);
 
-impl fmt::Write for FnvWriter {
-    fn write_str(&mut self, s: &str) -> fmt::Result {
-        for b in s.bytes() {
+impl CanonWrite for FnvWriter {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
             self.0 ^= u128::from(b);
             self.0 = self.0.wrapping_mul(FNV128_PRIME);
         }
-        Ok(())
     }
 }
 
 /// The content address of a source artifact: a 128-bit structural hash.
 ///
-/// Derived from the value's `Debug` rendering, which for this workspace's
-/// `#[derive(Debug)]` IR types is a canonical, pointer-free description of
-/// the structure (and is deterministic across processes and platforms).
+/// Derived from the value's canonical byte encoding
+/// ([`bsg_ir::canon::Canon`]): every enum variant is discriminant-tagged,
+/// every collection length-prefixed, and floats hashed by bit pattern, so
+/// the encoding (and hence the address) is injective up to hash collisions
+/// and deterministic across processes and platforms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SourceId(u128);
 
 impl SourceId {
-    /// Hashes any `Debug`-renderable structure.
-    pub fn of<T: fmt::Debug + ?Sized>(value: &T) -> SourceId {
+    /// Hashes any canonically-encodable structure.
+    pub fn of<T: Canon + ?Sized>(value: &T) -> SourceId {
         let mut w = FnvWriter(FNV128_BASIS);
-        write!(w, "{value:?}").expect("FnvWriter never fails");
+        value.canon(&mut w);
         SourceId(w.0)
     }
 
@@ -307,6 +314,47 @@ mod tests {
         let a = tiny_program(10);
         assert_eq!(SourceId::of(&a), SourceId::of(&a.clone()));
         assert_ne!(SourceId::of(&a), SourceId::of(&tiny_program(11)));
+    }
+
+    /// Regression test for the Debug-rendering hash: two sources whose
+    /// `Debug` strings coincide must still get distinct content addresses.
+    #[test]
+    fn debug_colliding_sources_get_distinct_ids() {
+        // Every f64 NaN payload renders as the three characters "NaN", so
+        // under the old `format!("{:?}")` hash these two programs shared one
+        // cache entry and the store served whichever compiled first.
+        let program_with_float = |bits: u64| {
+            let mut f = FunctionBuilder::new("main");
+            f.assign_var("x", Expr::float(f64::from_bits(bits)));
+            f.ret(Some(Expr::var("x")));
+            HllProgram::with_main(f.finish())
+        };
+        let a = program_with_float(0x7ff8_0000_0000_0000); // canonical quiet NaN
+        let b = program_with_float(0x7ff8_0000_0000_0001); // distinct payload
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "the adversarial pair must collide under the old Debug scheme"
+        );
+        assert_ne!(
+            SourceId::of(&a),
+            SourceId::of(&b),
+            "canonical byte encoding must separate them"
+        );
+
+        // Same shape, different field boundary: without length prefixes the
+        // concatenated name bytes of ("ab", "c") and ("a", "bc") coincide.
+        let two_vars = |x: &str, y: &str| {
+            let mut f = FunctionBuilder::new("main");
+            f.assign_var(x, Expr::int(1));
+            f.assign_var(y, Expr::int(2));
+            f.ret(None);
+            HllProgram::with_main(f.finish())
+        };
+        assert_ne!(
+            SourceId::of(&two_vars("ab", "c")),
+            SourceId::of(&two_vars("a", "bc"))
+        );
     }
 
     #[test]

@@ -238,6 +238,14 @@ impl crate::exec::Observer for CacheObserver {
     }
 }
 
+impl bsg_ir::canon::Canon for CacheConfig {
+    fn canon(&self, w: &mut dyn bsg_ir::canon::CanonWrite) {
+        self.size_bytes.canon(w);
+        self.line_bytes.canon(w);
+        self.associativity.canon(w);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

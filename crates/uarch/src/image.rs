@@ -19,15 +19,54 @@
 //! * control-flow targets are resolved to step indices (program counters) at
 //!   build time, so taken branches are a single integer assignment.
 //!
+//! # The untagged register file
+//!
+//! Decode runs the [`crate::typing`] inference first and assigns every
+//! register to one of three banks: a raw `i64` bank, a raw `f64` bank, or the
+//! tagged `Value` bank for registers whose type is not statically known.
+//! Steps whose operands and destination all live in untagged banks lower to
+//! dedicated variants ([`IntAlu`], [`Step::FloatAlu`], ...) that never touch
+//! a `Value` tag; everything else lowers to general variants that read and
+//! write registers through the per-function bank table, preserving exact
+//! tagged semantics.
+//!
+//! # Superinstruction fusion
+//!
+//! With `fuse` enabled (the default), a post-pass walks every basic block and
+//! fuses common adjacent step pairs into single dispatch points:
+//!
+//! * two adjacent untagged integer ALU steps ([`Step::IntPair`]);
+//! * an integer ALU feeding the block's conditional branch
+//!   ([`Step::IntCmpBr`]) — every counted-loop header;
+//! * an integer ALU followed by the block's unconditional jump
+//!   ([`Step::IntAluJump`]) — every loop latch;
+//! * an untagged global load adjacent to an integer ALU
+//!   ([`Step::LoadGIntAlu`] / [`Step::IntAluLoadG`]) — address-generation and
+//!   load-consume idioms.
+//!
+//! Fusion never changes observable semantics: the fused step replays each
+//! constituent's budget/halt protocol and observer events exactly as the
+//! unfused sequence would (the differential suite compares all three engines
+//! — legacy, unfused, fused — event by event).  The consumed constituent's
+//! slot keeps its original step, which is unreachable (branch targets only
+//! enter blocks at their first step), so the site tables are untouched.
+//!
 //! Building the image costs one pass over the program and is reused across
 //! runs: initial global values and the memory layout are captured so repeated
 //! executions (cache sweeps, pipeline sweeps, differential tests) skip all
 //! per-run setup except copying the initial memory.
+//!
+//! Decode also **validates** every dense index the executor will use (register
+//! ids against `num_regs`, call targets against the function table, memory
+//! references against non-empty globals), which is what makes the executor's
+//! unchecked indexing core sound — see the safety discussion in
+//! [`crate::exec`].
 
 use crate::exec::InstSite;
+use crate::typing::{infer, RegBank};
 use bsg_ir::program::MemoryLayout;
 use bsg_ir::types::{BlockId, FuncId, Reg, Ty, Value};
-use bsg_ir::visa::{BinOp, Inst, InstClass, MemBase, Operand, Terminator, UnOp};
+use bsg_ir::visa::{Address, BinOp, Inst, InstClass, MemBase, Operand, Terminator, UnOp};
 use bsg_ir::Program;
 
 /// A resolved control-flow target: where execution continues and which dense
@@ -52,7 +91,7 @@ pub(crate) struct EdgeTarget {
 pub(crate) struct GlobalMem {
     /// First element of this array within the image's flattened global store.
     pub start: u32,
-    /// Array length in elements.
+    /// Array length in elements (validated ≥ 1 at decode).
     pub len: u32,
     /// `len - 1` when the array length is a power of two, else `u64::MAX`.
     /// For power-of-two lengths, masking a two's-complement element index is
@@ -65,6 +104,8 @@ pub(crate) struct GlobalMem {
     pub offset: i64,
     /// Index register, `u32::MAX` when absent.
     pub index: u32,
+    /// Bank of the index register (meaningless when absent).
+    pub index_bank: RegBank,
     /// Scale applied to the index register.
     pub scale: i64,
 }
@@ -76,127 +117,286 @@ pub(crate) struct FrameMem {
     pub offset: i64,
     /// Index register, `u32::MAX` when absent.
     pub index: u32,
+    /// Bank of the index register (meaningless when absent).
+    pub index_bank: RegBank,
     /// Scale applied to the index register.
     pub scale: i64,
 }
 
+/// Source of an untagged integer ALU operand.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum IntSrc {
+    /// Register in the `i64` bank.
+    Reg(u32),
+    /// Immediate.
+    Imm(i64),
+}
+
+/// One untagged integer ALU micro-operation: `ints[dst] = lhs op rhs`.
+/// The common currency of the fusion pass — every fused integer
+/// superinstruction is built from these.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IntAlu {
+    /// Operation (semantics of `exec::int_bin`).
+    pub op: BinOp,
+    /// Destination register (int bank).
+    pub dst: u32,
+    /// Left operand.
+    pub lhs: IntSrc,
+    /// Right operand.
+    pub rhs: IntSrc,
+}
+
+/// Source of an untagged float ALU operand.  Integer-bank registers and
+/// integer immediates are converted with `as f64`, which is exactly
+/// `Value::as_float` for values the type analysis proved to be integers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FloatSrc {
+    /// Register in the `f64` bank.
+    F(u32),
+    /// Register in the `i64` bank (converted on read).
+    I(u32),
+    /// Immediate (integer immediates pre-converted at decode).
+    Imm(f64),
+}
+
+/// One untagged float operation: `lhs op rhs` over `f64` operands.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FloatAlu {
+    /// Operation (arithmetic for [`Step::FloatAlu`], comparison for
+    /// [`Step::FloatCmp`]).
+    pub op: BinOp,
+    /// Destination register (float bank for arithmetic, int bank for
+    /// comparisons).
+    pub dst: u32,
+    /// Left operand.
+    pub lhs: FloatSrc,
+    /// Right operand.
+    pub rhs: FloatSrc,
+}
+
 /// One predecoded instruction or terminator.
 ///
-/// Predecoding resolves every dispatch that is static: binary operations are
-/// split by operand type (so the integer ALU path is a small inlinable
-/// match), loads/stores are split by memory base with bounds and base
-/// addresses precomputed, and control-flow targets are step indices.
+/// Predecoding resolves every dispatch that is static: operand banks are
+/// resolved through the type analysis, loads/stores are split by memory base
+/// with bounds and base addresses precomputed, and control-flow targets are
+/// step indices.  Variants prefixed by their bank discipline (`Int*`, `F*`)
+/// never touch a `Value` tag; the general variants (`IntBin`, `FloatBin`,
+/// `Un`, `Mov`, ...) go through the per-function bank table and cover every
+/// remaining shape exactly.
 #[derive(Debug, Clone)]
 pub(crate) enum Step {
-    /// `dst = regs[lhs] + regs[rhs]` (fully quickened: the opcode dispatch
-    /// is folded into the step so executing it costs one indirect branch).
-    AddRR { dst: u32, lhs: u32, rhs: u32 },
-    /// `dst = regs[lhs] + imm`.
-    AddRI { dst: u32, lhs: u32, imm: i64 },
-    /// `dst = regs[lhs] * imm`.
-    MulRI { dst: u32, lhs: u32, imm: i64 },
-    /// `dst = (regs[lhs] < imm) as int`.
-    LtRI { dst: u32, lhs: u32, imm: i64 },
-    /// `dst = regs[lhs] op regs[rhs]` on integers (quickened common shape).
-    IntBinRR {
-        op: BinOp,
-        dst: u32,
-        lhs: u32,
-        rhs: u32,
+    /// One untagged integer ALU operation.
+    IntAlu(IntAlu),
+    /// Fused pair of adjacent untagged integer ALU operations.
+    IntPair(IntAlu, IntAlu),
+    /// Fused integer ALU + conditional branch on `ints[cond]`.
+    IntCmpBr {
+        /// The ALU constituent (at this step's site).
+        a: IntAlu,
+        /// Condition register (int bank; usually `a.dst`).
+        cond: u32,
+        /// Target when `ints[cond] != 0`.
+        taken: EdgeTarget,
+        /// Target when `ints[cond] == 0`.
+        not_taken: EdgeTarget,
     },
-    /// `dst = regs[lhs] op imm` on integers (quickened common shape).
-    IntBinRI {
-        op: BinOp,
-        dst: u32,
-        lhs: u32,
-        imm: i64,
+    /// Fused integer ALU + unconditional jump (loop latches).
+    IntAluJump {
+        /// The ALU constituent.
+        a: IntAlu,
+        /// Jump target.
+        target: EdgeTarget,
     },
-    /// `dst = lhs op rhs` on integers, general operand shapes.
-    IntBin {
-        op: BinOp,
-        dst: u32,
-        lhs: Operand,
-        rhs: Operand,
+    /// Fused triple: two integer ALUs + the block's unconditional jump
+    /// (accumulate + induction-step + latch, the classic loop-body tail).
+    IntPairJump {
+        /// First ALU constituent (at this step's site).
+        a: IntAlu,
+        /// Second ALU constituent (at site `pc + 1`).
+        b: IntAlu,
+        /// Jump target (terminator at site `pc + 2`).
+        target: EdgeTarget,
     },
-    /// `dst = regs[lhs] op regs[rhs]` on floats (quickened register shape).
-    FloatBinRR {
-        op: BinOp,
+    /// Fused untagged global load + integer ALU.
+    LoadGIntAlu {
+        /// Load destination (int bank).
         dst: u32,
-        lhs: u32,
-        rhs: u32,
+        /// Predecoded memory reference.
+        mem: GlobalMem,
+        /// The ALU constituent (at site `pc + 1`).
+        b: IntAlu,
     },
-    /// `dst = regs[lhs] op imm` on floats (immediate predecoded to a value).
-    FloatBinRV {
-        op: BinOp,
+    /// Fused integer ALU + untagged global load (address generation).
+    IntAluLoadG {
+        /// The ALU constituent (at this step's site).
+        a: IntAlu,
+        /// Load destination (int bank).
         dst: u32,
-        lhs: u32,
-        rhs: Value,
+        /// Predecoded memory reference.
+        mem: GlobalMem,
     },
-    /// `dst = imm op regs[rhs]` on floats.
-    FloatBinVR {
-        op: BinOp,
-        dst: u32,
-        lhs: Value,
-        rhs: u32,
-    },
-    /// `dst = lhs op rhs` on floats, general operand shapes (memory operands).
-    FloatBin {
-        op: BinOp,
-        dst: u32,
-        lhs: Operand,
-        rhs: Operand,
-    },
-    /// `dst = op regs[src]` (quickened register source).
-    UnReg {
+    /// Untagged float arithmetic (`Add`/`Sub`/`Mul`/`Div`/`Rem`), `f64` in,
+    /// `f64` out.
+    FloatAlu(FloatAlu),
+    /// Untagged float comparison, `f64` in, `i64` (0/1) out.
+    FloatCmp(FloatAlu),
+    /// Untagged unary: `i64` in, `i64` out.
+    UnII {
+        /// Operation (one of the int-to-int subset).
         op: UnOp,
-        ty: Ty,
+        /// Destination register (int bank).
         dst: u32,
+        /// Source register (int bank).
         src: u32,
     },
-    /// `dst = op src`, general operand shapes.
-    Un {
+    /// Untagged unary: `f64` in, `f64` out.
+    UnFF {
+        /// Operation (one of the float-to-float subset).
         op: UnOp,
-        ty: Ty,
+        /// Destination register (float bank).
         dst: u32,
+        /// Source register (float bank).
+        src: u32,
+    },
+    /// `ints[dst] = imm`.
+    IMovI {
+        /// Destination register (int bank).
+        dst: u32,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `floats[dst] = imm`.
+    FMovI {
+        /// Destination register (float bank).
+        dst: u32,
+        /// Immediate.
+        imm: f64,
+    },
+    /// `ints[dst] = ints[src]`.
+    IMovRR {
+        /// Destination register (int bank).
+        dst: u32,
+        /// Source register (int bank).
+        src: u32,
+    },
+    /// `floats[dst] = floats[src]`.
+    FMovRR {
+        /// Destination register (float bank).
+        dst: u32,
+        /// Source register (float bank).
+        src: u32,
+    },
+    /// `dst = lhs op rhs` on integers, general operand/bank shapes.
+    IntBin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register (any bank).
+        dst: u32,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = lhs op rhs` on floats, general operand/bank shapes.
+    FloatBin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register (any bank).
+        dst: u32,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = op src`, general operand/bank shapes.
+    Un {
+        /// Operation.
+        op: UnOp,
+        /// Operation type.
+        ty: Ty,
+        /// Destination register (any bank).
+        dst: u32,
+        /// Source operand.
         src: Operand,
     },
-    /// `dst = value` (quickened immediate move).
-    MovImm { dst: u32, value: Value },
-    /// `dst = regs[src]` (quickened register move).
-    MovReg { dst: u32, src: u32 },
-    /// `dst = src`, general operand shapes.
-    Mov { dst: u32, src: Operand },
+    /// `dst = src`, general operand/bank shapes.
+    Mov {
+        /// Destination register (any bank).
+        dst: u32,
+        /// Source operand.
+        src: Operand,
+    },
     /// `dst = global[elem]`.
-    LoadGlobal { dst: u32, mem: GlobalMem },
+    LoadGlobal {
+        /// Destination register.
+        dst: u32,
+        /// Bank of `dst` (resolves the write without a table lookup).
+        bank: RegBank,
+        /// Predecoded memory reference.
+        mem: GlobalMem,
+    },
     /// `dst = frame[elem]`.
-    LoadFrame { dst: u32, mem: FrameMem },
+    LoadFrame {
+        /// Destination register.
+        dst: u32,
+        /// Bank of `dst`.
+        bank: RegBank,
+        /// Predecoded memory reference.
+        mem: FrameMem,
+    },
     /// `global[elem] = src`.
-    StoreGlobal { src: Operand, mem: GlobalMem },
+    StoreGlobal {
+        /// Stored operand.
+        src: Operand,
+        /// Predecoded memory reference.
+        mem: GlobalMem,
+    },
     /// `frame[elem] = src`.
-    StoreFrame { src: Operand, mem: FrameMem },
+    StoreFrame {
+        /// Stored operand.
+        src: Operand,
+        /// Predecoded memory reference.
+        mem: FrameMem,
+    },
     /// Call `func`; arguments live in the image's argument pool at
     /// `args_start..args_start + args_len`; `dst == u32::MAX` means the
     /// return value is discarded.
     Call {
+        /// Callee function index (validated against the function table).
         func: u32,
+        /// First argument in the pool.
         args_start: u32,
+        /// Argument count.
         args_len: u32,
+        /// Destination register, `u32::MAX` when unused.
         dst: u32,
     },
     /// Emit `src` to the output stream.
-    Print { src: Operand },
+    Print {
+        /// Printed operand.
+        src: Operand,
+    },
     /// No operation.
     Nop,
     /// Unconditional transfer.
     Jump(EdgeTarget),
     /// Conditional transfer on `cond` being non-zero.
     Branch {
+        /// Condition register.
         cond: u32,
+        /// Bank of `cond`.
+        bank: RegBank,
+        /// Target when the condition is non-zero.
         taken: EdgeTarget,
+        /// Target when the condition is zero.
         not_taken: EdgeTarget,
     },
     /// Return, optionally with a value.
-    Return { value: Option<Operand> },
+    Return {
+        /// Returned operand.
+        value: Option<Operand>,
+    },
 }
 
 /// Predecoded per-site metadata: everything observers need that is static.
@@ -238,6 +438,11 @@ pub(crate) struct FuncImage {
     pub frame_words: u32,
     /// Registers receiving arguments.
     pub params: Vec<Reg>,
+    /// Bank of each register (indexed by register id; length `num_regs`).
+    pub banks: Vec<RegBank>,
+    /// Bank of the frame slots (`Int` when the whole frame provably holds
+    /// integers — the common case for `-O0` locals — else `Tagged`).
+    pub frame_bank: RegBank,
 }
 
 /// A program flattened for execution (see the module docs).
@@ -258,6 +463,8 @@ pub struct ExecImage {
     pub(crate) initial_globals: Vec<Value>,
     pub(crate) global_bounds: Vec<(u32, u32)>,
     max_regs: u32,
+    /// Number of fused superinstructions (diagnostics / tests).
+    fused_steps: u32,
 }
 
 fn site_meta(inst: &Inst, site: InstSite) -> SiteMeta {
@@ -273,10 +480,160 @@ fn site_meta(inst: &Inst, site: InstSite) -> SiteMeta {
     }
 }
 
+/// Panics with a decode-time diagnostic when `program` references an index
+/// the executor would have to bounds-check at run time.  Establishing these
+/// invariants once per image is what lets the engine's unchecked indexing
+/// core (see `exec`) elide per-access checks.
+fn validate(program: &Program) {
+    let nfuncs = program.functions.len();
+    let nglobals = program.globals.len();
+    assert!(
+        program.entry.index() < nfuncs,
+        "entry function {} out of range ({nfuncs} functions)",
+        program.entry
+    );
+    for (fi, f) in program.functions.iter().enumerate() {
+        let nregs = f.num_regs;
+        let check_reg = |r: Reg, what: &str| {
+            assert!(
+                r.0 < nregs,
+                "function {fi} ({}): {what} register {r} out of range (num_regs = {nregs})",
+                f.name
+            );
+        };
+        for p in &f.params {
+            check_reg(*p, "parameter");
+        }
+        assert!(
+            f.entry.index() < f.blocks.len(),
+            "function {fi} ({}): entry block {} out of range",
+            f.name,
+            f.entry
+        );
+        let check_addr = |a: &Address| {
+            if let MemBase::Global(g) = a.base {
+                assert!(
+                    g.index() < nglobals,
+                    "function {fi} ({}): global {g} out of range",
+                    f.name
+                );
+                assert!(
+                    program.globals[g.index()].elems > 0,
+                    "function {fi} ({}): memory access to zero-length global {g}",
+                    f.name
+                );
+            }
+        };
+        let check_operand = |op: &Operand| {
+            if let Operand::Mem(a) = op {
+                check_addr(a);
+            }
+        };
+        for b in &f.blocks {
+            for inst in &b.insts {
+                if let Some(d) = inst.def() {
+                    check_reg(d, "destination");
+                }
+                for u in inst.uses() {
+                    check_reg(u, "source");
+                }
+                match inst {
+                    Inst::Bin { lhs, rhs, .. } => {
+                        check_operand(lhs);
+                        check_operand(rhs);
+                    }
+                    Inst::Un { src, .. } | Inst::Mov { src, .. } | Inst::Print { src } => {
+                        check_operand(src)
+                    }
+                    Inst::Load { addr, .. } => check_addr(addr),
+                    Inst::Store { src, addr, .. } => {
+                        check_operand(src);
+                        check_addr(addr);
+                    }
+                    Inst::Call { func, args, .. } => {
+                        assert!(
+                            func.index() < nfuncs,
+                            "function {fi} ({}): call target {func} out of range",
+                            f.name
+                        );
+                        for a in args {
+                            check_operand(a);
+                        }
+                    }
+                    Inst::Nop => {}
+                }
+            }
+            for u in b.term.uses() {
+                check_reg(u, "terminator source");
+            }
+            if let Terminator::Return(Some(op)) = &b.term {
+                check_operand(op);
+            }
+            for succ in b.term.successors() {
+                assert!(
+                    succ.index() < f.blocks.len(),
+                    "function {fi} ({}): branch target {succ} out of range",
+                    f.name
+                );
+            }
+        }
+    }
+}
+
+/// Whether `eval_un(op, ty, Int(_))` is an `i64 -> i64` function (the
+/// [`Step::UnII`] subset; must stay in sync with `exec::un_ii`).
+fn un_is_ii(op: UnOp, ty: Ty) -> bool {
+    matches!(
+        (op, ty),
+        (UnOp::Neg, Ty::Int)
+            | (UnOp::Abs, Ty::Int)
+            | (UnOp::Not, _)
+            | (UnOp::LogicalNot, _)
+            | (UnOp::ToInt, _)
+    )
+}
+
+/// Whether `eval_un(op, ty, Float(_))` is an `f64 -> f64` function (the
+/// [`Step::UnFF`] subset; must stay in sync with `exec::un_ff`).
+fn un_is_ff(op: UnOp, ty: Ty) -> bool {
+    matches!(
+        (op, ty),
+        (UnOp::Neg, Ty::Float)
+            | (UnOp::Abs, Ty::Float)
+            | (UnOp::ToFloat, _)
+            | (UnOp::Sqrt, _)
+            | (UnOp::Sin, _)
+            | (UnOp::Cos, _)
+            | (UnOp::Log, _)
+    )
+}
+
+fn is_float_arith(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+    )
+}
+
 impl ExecImage {
-    /// Flattens `program` into an execution image.  Call targets, block
-    /// targets and global layout are resolved here, once.
+    /// Flattens `program` into an execution image with superinstruction
+    /// fusion enabled.  Call targets, block targets, register banks and
+    /// global layout are resolved here, once.
     pub fn new(program: &Program) -> Self {
+        Self::build(program, true)
+    }
+
+    /// Flattens `program` without the fusion pass (used by differential
+    /// tests and the benchmark harness to isolate fusion's contribution).
+    pub fn unfused(program: &Program) -> Self {
+        Self::build(program, false)
+    }
+
+    fn build(program: &Program, fuse: bool) -> Self {
+        validate(program);
+        let types = infer(program);
+        let banks = types.regs;
+
         // Pass 1: assign pcs and dense block indices.
         let mut funcs = Vec::with_capacity(program.functions.len());
         let mut next_pc: u32 = 0;
@@ -303,11 +660,14 @@ impl ExecImage {
                 num_regs: f.num_regs,
                 frame_words: f.frame_words,
                 params: f.params.clone(),
+                banks: banks[fi].clone(),
+                frame_bank: types.frames[fi],
             });
             next_block += f.blocks.len() as u32;
         }
 
-        // Pass 2: decode steps, resolving targets through the pc tables.
+        // Pass 2: decode steps, resolving targets through the pc tables and
+        // register banks through the type analysis.
         let layout = program.memory_layout();
         let mut initial_globals = Vec::new();
         let mut global_bounds = Vec::with_capacity(program.globals.len());
@@ -316,39 +676,66 @@ impl ExecImage {
             initial_globals.extend(g.initial_values());
             global_bounds.push((start, g.elems as u32));
         }
-        let global_bounds_ref = &global_bounds;
-        let decode_mem = move |addr: &bsg_ir::visa::Address| -> Result<GlobalMem, FrameMem> {
-            let index = addr.index.map_or(u32::MAX, |r| r.0);
-            match addr.base {
-                MemBase::Global(g) => {
-                    let (start, len) = global_bounds_ref[g.index()];
-                    Ok(GlobalMem {
-                        start,
-                        len,
-                        mask: if u64::from(len).is_power_of_two() {
-                            u64::from(len) - 1
-                        } else {
-                            u64::MAX
-                        },
-                        base_byte: layout.global_bases[g.index()],
-                        offset: addr.offset,
-                        index,
-                        scale: addr.scale,
-                    })
-                }
-                MemBase::Frame => Err(FrameMem {
-                    offset: addr.offset,
-                    index,
-                    scale: addr.scale,
-                }),
-            }
-        };
         let mut steps = Vec::with_capacity(next_pc as usize);
         let mut sites = Vec::with_capacity(next_pc as usize);
         let mut call_args = Vec::new();
         let mut edge_blocks = Vec::new();
         for (fi, f) in program.functions.iter().enumerate() {
             let fimg = &funcs[fi];
+            let fbanks = &fimg.banks;
+            let bank = |r: u32| fbanks[r as usize];
+            let decode_mem = |addr: &Address| -> Result<GlobalMem, FrameMem> {
+                let index = addr.index.map_or(u32::MAX, |r| r.0);
+                let index_bank = addr.index.map_or(RegBank::Int, |r| bank(r.0));
+                match addr.base {
+                    MemBase::Global(g) => {
+                        let (start, len) = global_bounds[g.index()];
+                        Ok(GlobalMem {
+                            start,
+                            len,
+                            mask: if u64::from(len).is_power_of_two() {
+                                u64::from(len) - 1
+                            } else {
+                                u64::MAX
+                            },
+                            base_byte: layout.global_bases[g.index()],
+                            offset: addr.offset,
+                            index,
+                            index_bank,
+                            scale: addr.scale,
+                        })
+                    }
+                    MemBase::Frame => Err(FrameMem {
+                        offset: addr.offset,
+                        index,
+                        index_bank,
+                        scale: addr.scale,
+                    }),
+                }
+            };
+            // Operand -> untagged int source, when provably int-banked.
+            let int_src = |op: &Operand| -> Option<IntSrc> {
+                match op {
+                    Operand::Reg(r) if bank(r.0) == RegBank::Int => Some(IntSrc::Reg(r.0)),
+                    Operand::ImmInt(v) => Some(IntSrc::Imm(*v)),
+                    _ => None,
+                }
+            };
+            // Operand -> untagged float source.  Integer immediates and
+            // int-banked registers convert with `as f64`, which is exactly
+            // `Value::as_float` on a proven-int value.
+            let float_src = |op: &Operand| -> Option<FloatSrc> {
+                match op {
+                    Operand::Reg(r) => match bank(r.0) {
+                        RegBank::Float => Some(FloatSrc::F(r.0)),
+                        RegBank::Int => Some(FloatSrc::I(r.0)),
+                        RegBank::Tagged => None,
+                    },
+                    Operand::ImmInt(v) => Some(FloatSrc::Imm(*v as f64)),
+                    Operand::ImmFloat(v) => Some(FloatSrc::Imm(*v)),
+                    Operand::Mem(_) => None,
+                }
+            };
             for (bi, b) in f.blocks.iter().enumerate() {
                 for (ii, inst) in b.insts.iter().enumerate() {
                     let site = InstSite {
@@ -364,128 +751,120 @@ impl ExecImage {
                             dst,
                             lhs,
                             rhs,
-                        } => match (ty, lhs, rhs) {
-                            (Ty::Int, Operand::Reg(a), Operand::Reg(b)) => match op {
-                                BinOp::Add => Step::AddRR {
-                                    dst: dst.0,
-                                    lhs: a.0,
-                                    rhs: b.0,
-                                },
-                                _ => Step::IntBinRR {
+                        } => match ty {
+                            Ty::Int => match (bank(dst.0), int_src(lhs), int_src(rhs)) {
+                                (RegBank::Int, Some(l), Some(r)) => Step::IntAlu(IntAlu {
                                     op: *op,
                                     dst: dst.0,
-                                    lhs: a.0,
-                                    rhs: b.0,
-                                },
-                            },
-                            (Ty::Int, Operand::Reg(a), Operand::ImmInt(v)) => match op {
-                                BinOp::Add => Step::AddRI {
-                                    dst: dst.0,
-                                    lhs: a.0,
-                                    imm: *v,
-                                },
-                                BinOp::Mul => Step::MulRI {
-                                    dst: dst.0,
-                                    lhs: a.0,
-                                    imm: *v,
-                                },
-                                BinOp::Lt => Step::LtRI {
-                                    dst: dst.0,
-                                    lhs: a.0,
-                                    imm: *v,
-                                },
-                                _ => Step::IntBinRI {
+                                    lhs: l,
+                                    rhs: r,
+                                }),
+                                _ => Step::IntBin {
                                     op: *op,
                                     dst: dst.0,
-                                    lhs: a.0,
-                                    imm: *v,
+                                    lhs: *lhs,
+                                    rhs: *rhs,
                                 },
                             },
-                            (Ty::Int, _, _) => Step::IntBin {
-                                op: *op,
-                                dst: dst.0,
-                                lhs: *lhs,
-                                rhs: *rhs,
-                            },
-                            (Ty::Float, Operand::Reg(a), Operand::Reg(b)) => Step::FloatBinRR {
-                                op: *op,
-                                dst: dst.0,
-                                lhs: a.0,
-                                rhs: b.0,
-                            },
-                            (Ty::Float, Operand::Reg(a), Operand::ImmInt(v)) => Step::FloatBinRV {
-                                op: *op,
-                                dst: dst.0,
-                                lhs: a.0,
-                                rhs: Value::Int(*v),
-                            },
-                            (Ty::Float, Operand::Reg(a), Operand::ImmFloat(v)) => {
-                                Step::FloatBinRV {
+                            Ty::Float => {
+                                let quick = match (float_src(lhs), float_src(rhs)) {
+                                    (Some(l), Some(r)) => {
+                                        if is_float_arith(*op) && bank(dst.0) == RegBank::Float {
+                                            Some(Step::FloatAlu(FloatAlu {
+                                                op: *op,
+                                                dst: dst.0,
+                                                lhs: l,
+                                                rhs: r,
+                                            }))
+                                        } else if op.is_comparison() && bank(dst.0) == RegBank::Int
+                                        {
+                                            Some(Step::FloatCmp(FloatAlu {
+                                                op: *op,
+                                                dst: dst.0,
+                                                lhs: l,
+                                                rhs: r,
+                                            }))
+                                        } else {
+                                            None
+                                        }
+                                    }
+                                    _ => None,
+                                };
+                                quick.unwrap_or(Step::FloatBin {
                                     op: *op,
                                     dst: dst.0,
-                                    lhs: a.0,
-                                    rhs: Value::Float(*v),
+                                    lhs: *lhs,
+                                    rhs: *rhs,
+                                })
+                            }
+                        },
+                        Inst::Un { op, ty, dst, src } => match src {
+                            Operand::Reg(r)
+                                if bank(r.0) == RegBank::Int
+                                    && bank(dst.0) == RegBank::Int
+                                    && un_is_ii(*op, *ty) =>
+                            {
+                                Step::UnII {
+                                    op: *op,
+                                    dst: dst.0,
+                                    src: r.0,
                                 }
                             }
-                            (Ty::Float, Operand::ImmInt(v), Operand::Reg(b)) => Step::FloatBinVR {
-                                op: *op,
-                                dst: dst.0,
-                                lhs: Value::Int(*v),
-                                rhs: b.0,
-                            },
-                            (Ty::Float, Operand::ImmFloat(v), Operand::Reg(b)) => {
-                                Step::FloatBinVR {
+                            Operand::Reg(r)
+                                if bank(r.0) == RegBank::Float
+                                    && bank(dst.0) == RegBank::Float
+                                    && un_is_ff(*op, *ty) =>
+                            {
+                                Step::UnFF {
                                     op: *op,
                                     dst: dst.0,
-                                    lhs: Value::Float(*v),
-                                    rhs: b.0,
+                                    src: r.0,
                                 }
                             }
-                            (Ty::Float, _, _) => Step::FloatBin {
+                            _ => Step::Un {
                                 op: *op,
+                                ty: *ty,
                                 dst: dst.0,
-                                lhs: *lhs,
-                                rhs: *rhs,
+                                src: *src,
                             },
                         },
-                        Inst::Un {
-                            op,
-                            ty,
-                            dst,
-                            src: Operand::Reg(r),
-                        } => Step::UnReg {
-                            op: *op,
-                            ty: *ty,
-                            dst: dst.0,
-                            src: r.0,
-                        },
-                        Inst::Un { op, ty, dst, src } => Step::Un {
-                            op: *op,
-                            ty: *ty,
-                            dst: dst.0,
-                            src: *src,
-                        },
-                        Inst::Mov { dst, src } => match src {
-                            Operand::Reg(r) => Step::MovReg {
+                        Inst::Mov { dst, src } => match (src, bank(dst.0)) {
+                            (Operand::ImmInt(v), RegBank::Int) => Step::IMovI {
                                 dst: dst.0,
-                                src: r.0,
+                                imm: *v,
                             },
-                            Operand::ImmInt(v) => Step::MovImm {
+                            (Operand::ImmFloat(v), RegBank::Float) => Step::FMovI {
                                 dst: dst.0,
-                                value: Value::Int(*v),
+                                imm: *v,
                             },
-                            Operand::ImmFloat(v) => Step::MovImm {
-                                dst: dst.0,
-                                value: Value::Float(*v),
-                            },
-                            Operand::Mem(_) => Step::Mov {
+                            (Operand::Reg(r), RegBank::Int) if bank(r.0) == RegBank::Int => {
+                                Step::IMovRR {
+                                    dst: dst.0,
+                                    src: r.0,
+                                }
+                            }
+                            (Operand::Reg(r), RegBank::Float) if bank(r.0) == RegBank::Float => {
+                                Step::FMovRR {
+                                    dst: dst.0,
+                                    src: r.0,
+                                }
+                            }
+                            _ => Step::Mov {
                                 dst: dst.0,
                                 src: *src,
                             },
                         },
                         Inst::Load { dst, addr, .. } => match decode_mem(addr) {
-                            Ok(mem) => Step::LoadGlobal { dst: dst.0, mem },
-                            Err(mem) => Step::LoadFrame { dst: dst.0, mem },
+                            Ok(mem) => Step::LoadGlobal {
+                                dst: dst.0,
+                                bank: bank(dst.0),
+                                mem,
+                            },
+                            Err(mem) => Step::LoadFrame {
+                                dst: dst.0,
+                                bank: bank(dst.0),
+                                mem,
+                            },
                         },
                         Inst::Store { src, addr, .. } => match decode_mem(addr) {
                             Ok(mem) => Step::StoreGlobal { src: *src, mem },
@@ -544,9 +923,19 @@ impl ExecImage {
                             site: term_site,
                         });
                         let t = target(*taken, &mut edge_blocks);
-                        let nt = target(*not_taken, &mut edge_blocks);
+                        // A degenerate branch whose legs coincide has ONE
+                        // static edge; giving each leg its own index would
+                        // make the reported edge depend on which leg ran,
+                        // while the legacy engine's `edge_index` lookup (by
+                        // `(from, to)` pair) always resolves to the first.
+                        let nt = if not_taken == taken {
+                            t
+                        } else {
+                            target(*not_taken, &mut edge_blocks)
+                        };
                         steps.push(Step::Branch {
                             cond: cond.0,
+                            bank: bank(cond.0),
                             taken: t,
                             not_taken: nt,
                         });
@@ -564,6 +953,12 @@ impl ExecImage {
             }
         }
 
+        let fused_steps = if fuse {
+            fuse_blocks(&mut steps, &funcs)
+        } else {
+            0
+        };
+
         ExecImage {
             steps,
             funcs,
@@ -572,10 +967,11 @@ impl ExecImage {
             block_keys,
             edge_blocks,
             entry: program.entry.0,
-            layout: program.memory_layout(),
+            layout,
             initial_globals,
             global_bounds,
             max_regs,
+            fused_steps,
         }
     }
 
@@ -597,6 +993,12 @@ impl ExecImage {
     /// Number of functions.
     pub fn num_funcs(&self) -> usize {
         self.funcs.len()
+    }
+
+    /// Number of fused superinstructions the fusion pass produced (0 for
+    /// [`ExecImage::unfused`] images).
+    pub fn num_fused(&self) -> usize {
+        self.fused_steps as usize
     }
 
     /// The largest register file any function uses (at least 1).
@@ -643,7 +1045,9 @@ impl ExecImage {
     /// Dense index of the static edge `from -> to` (which must exist).
     ///
     /// Only used off the hot path (result conversion); edges of a block are
-    /// found through its terminator step.
+    /// found through its terminator step.  The terminator slot always holds
+    /// the original `Jump`/`Branch` step even when the fusion pass absorbed
+    /// it into the preceding ALU step, so this lookup is fusion-agnostic.
     pub fn edge_index(&self, func: FuncId, from: BlockId, to: BlockId) -> Option<u32> {
         match &self.steps[self.funcs[func.index()].term_pc[from.index()] as usize] {
             Step::Jump(t) if t.block == to => Some(t.edge_idx),
@@ -661,6 +1065,104 @@ impl ExecImage {
             _ => None,
         }
     }
+}
+
+/// The superinstruction fusion pass: walks every block body left to right
+/// and greedily replaces adjacent fusible steps with a fused step in the
+/// first constituent's slot.  Returns the number of fusions performed.
+///
+/// Safety of the pc arithmetic downstream: a fused step advances `pc` past
+/// its constituents (`+2`), or transfers control like the terminator it
+/// absorbed.  Both constituents lie inside one block (the body, plus
+/// optionally that block's terminator), and control only ever enters a block
+/// at its first step, so the skipped slots are unreachable.
+fn fuse_blocks(steps: &mut [Step], funcs: &[FuncImage]) -> u32 {
+    let mut fused = 0u32;
+    for f in funcs {
+        for (&start, &term) in f.block_pc.iter().zip(&f.term_pc) {
+            let mut i = start as usize;
+            let term = term as usize;
+            while i < term {
+                // Body-last step + terminator.
+                if i + 1 == term {
+                    let alu = match &steps[i] {
+                        Step::IntAlu(a) => Some(*a),
+                        _ => None,
+                    };
+                    if let Some(a) = alu {
+                        let replacement = match &steps[term] {
+                            Step::Branch {
+                                cond,
+                                bank: RegBank::Int,
+                                taken,
+                                not_taken,
+                            } => Some(Step::IntCmpBr {
+                                a,
+                                cond: *cond,
+                                taken: *taken,
+                                not_taken: *not_taken,
+                            }),
+                            Step::Jump(target) => Some(Step::IntAluJump { a, target: *target }),
+                            _ => None,
+                        };
+                        if let Some(r) = replacement {
+                            steps[i] = r;
+                            fused += 1;
+                        }
+                    }
+                    break;
+                }
+                // Two ALUs feeding the block's jump: a three-way fusion.
+                if i + 2 == term {
+                    if let (Step::IntAlu(a), Step::IntAlu(b), Step::Jump(t)) =
+                        (&steps[i], &steps[i + 1], &steps[term])
+                    {
+                        let (a, b, target) = (*a, *b, *t);
+                        steps[i] = Step::IntPairJump { a, b, target };
+                        fused += 1;
+                        break;
+                    }
+                }
+                // Adjacent body pairs.
+                let replacement = match (&steps[i], &steps[i + 1]) {
+                    (Step::IntAlu(a), Step::IntAlu(b)) => Some(Step::IntPair(*a, *b)),
+                    (
+                        Step::IntAlu(a),
+                        Step::LoadGlobal {
+                            dst,
+                            bank: RegBank::Int,
+                            mem,
+                        },
+                    ) => Some(Step::IntAluLoadG {
+                        a: *a,
+                        dst: *dst,
+                        mem: *mem,
+                    }),
+                    (
+                        Step::LoadGlobal {
+                            dst,
+                            bank: RegBank::Int,
+                            mem,
+                        },
+                        Step::IntAlu(b),
+                    ) => Some(Step::LoadGIntAlu {
+                        dst: *dst,
+                        mem: *mem,
+                        b: *b,
+                    }),
+                    _ => None,
+                };
+                if let Some(r) = replacement {
+                    steps[i] = r;
+                    fused += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    fused
 }
 
 #[cfg(test)]
@@ -753,5 +1255,113 @@ mod tests {
         let not_taken = img.edge_index(FuncId(1), BlockId(0), BlockId(2)).unwrap();
         assert_ne!(taken, not_taken);
         assert!(img.edge_index(FuncId(1), BlockId(0), BlockId(0)).is_none());
+    }
+
+    /// A counted loop whose header and body exercise the fusion patterns.
+    fn loop_program() -> Program {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let s = f.fresh_reg();
+        let i = f.fresh_reg();
+        let c = f.fresh_reg();
+        let header = f.add_block();
+        let body = f.add_block();
+        let exit = f.add_block();
+        f.blocks[0].insts = vec![
+            Inst::Mov {
+                dst: s,
+                src: Operand::ImmInt(0),
+            },
+            Inst::Mov {
+                dst: i,
+                src: Operand::ImmInt(0),
+            },
+        ];
+        f.blocks[0].term = Terminator::Jump(header);
+        f.blocks[header.index()].insts = vec![Inst::Bin {
+            op: BinOp::Lt,
+            ty: Ty::Int,
+            dst: c,
+            lhs: i.into(),
+            rhs: Operand::ImmInt(10),
+        }];
+        f.blocks[header.index()].term = Terminator::Branch {
+            cond: c,
+            taken: body,
+            not_taken: exit,
+        };
+        f.blocks[body.index()].insts = vec![
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: s,
+                lhs: s.into(),
+                rhs: i.into(),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::Int,
+                dst: i,
+                lhs: i.into(),
+                rhs: Operand::ImmInt(1),
+            },
+        ];
+        f.blocks[body.index()].term = Terminator::Jump(header);
+        f.blocks[exit.index()].term = Terminator::Return(Some(s.into()));
+        p.add_function(f);
+        p
+    }
+
+    #[test]
+    fn fusion_covers_loop_headers_and_bodies() {
+        let p = loop_program();
+        let fused = ExecImage::new(&p);
+        let unfused = ExecImage::unfused(&p);
+        assert_eq!(unfused.num_fused(), 0);
+        // Header: cmp+branch.  Body: add+add pair (or add + latch jump).
+        assert!(
+            fused.num_fused() >= 2,
+            "expected the loop header and body to fuse, got {}",
+            fused.num_fused()
+        );
+        // Fusion must not disturb the site tables.
+        assert_eq!(fused.num_sites(), unfused.num_sites());
+        for id in 0..fused.num_sites() as u32 {
+            assert_eq!(fused.site_meta(id).site, unfused.site_meta(id).site);
+        }
+        // edge_index still resolves through the (intact) terminator slots.
+        assert!(fused
+            .edge_index(FuncId(0), BlockId(1), BlockId(2))
+            .is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_out_of_range_registers() {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        // Reg(7) was never allocated through fresh_reg: num_regs stays 0.
+        f.blocks[0].insts = vec![Inst::Mov {
+            dst: Reg(7),
+            src: Operand::ImmInt(1),
+        }];
+        f.blocks[0].term = Terminator::Return(None);
+        p.add_function(f);
+        let _ = ExecImage::new(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "call target")]
+    fn decode_rejects_out_of_range_call_targets() {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        f.blocks[0].insts = vec![Inst::Call {
+            func: FuncId(3),
+            args: vec![],
+            dst: None,
+        }];
+        f.blocks[0].term = Terminator::Return(None);
+        p.add_function(f);
+        let _ = ExecImage::new(&p);
     }
 }

@@ -1,15 +1,16 @@
-//! Differential tests: the predecoded engine must be observably identical to
-//! the legacy tree-walking interpreter — same [`ExecOutcome`], same event
-//! stream (instructions, blocks, edges, branches, calls, in the same order,
-//! with the same dense indices), and same [`PipelineResult`] when both drive
-//! the timing model.
+//! Differential tests: the predecoded engine — fused *and* unfused — must be
+//! observably identical to the legacy tree-walking interpreter: same
+//! [`ExecOutcome`], same event stream (instructions, blocks, edges, branches,
+//! calls, in the same order, with the same dense indices), and same
+//! [`PipelineResult`] when all three drive the timing model.
 
 use bsg_ir::program::{Function, Global, Program};
 use bsg_ir::types::{BlockId, FuncId, Ty, Value};
 use bsg_ir::visa::{Address, BinOp, Inst, Operand, Terminator, UnOp};
 use bsg_uarch::exec::{
-    execute, execute_legacy, ExecConfig, ExecOutcome, InstEvent, InstSite, Observer,
+    execute_image, execute_legacy, ExecConfig, ExecOutcome, InstEvent, InstSite, Observer,
 };
+use bsg_uarch::image::ExecImage;
 use bsg_uarch::pipeline::{PipelineConfig, PipelineSim, ReferencePipelineSim};
 
 /// Records every observer callback verbatim.
@@ -46,32 +47,46 @@ impl Observer for Recording {
 }
 
 fn assert_identical(program: &Program, config: &ExecConfig) -> ExecOutcome {
-    let mut new_rec = Recording::default();
+    let fused_image = ExecImage::new(program);
+    let unfused_image = ExecImage::unfused(program);
+    let mut fused_rec = Recording::default();
+    let mut unfused_rec = Recording::default();
     let mut old_rec = Recording::default();
-    let new = execute(program, &mut new_rec, config);
+    let fused = execute_image(&fused_image, &mut fused_rec, config);
+    let unfused = execute_image(&unfused_image, &mut unfused_rec, config);
     let old = execute_legacy(program, &mut old_rec, config);
-    assert_eq!(new, old, "outcomes diverge");
-    assert_eq!(
-        new_rec.events.len(),
-        old_rec.events.len(),
-        "event counts diverge: {} vs {}",
-        new_rec.events.len(),
-        old_rec.events.len()
-    );
-    for (i, (n, o)) in new_rec.events.iter().zip(&old_rec.events).enumerate() {
-        assert_eq!(n, o, "event {i} diverges");
+    assert_eq!(fused, old, "fused vs legacy outcomes diverge");
+    assert_eq!(unfused, old, "unfused vs legacy outcomes diverge");
+    for (what, rec) in [("fused", &fused_rec), ("unfused", &unfused_rec)] {
+        assert_eq!(
+            rec.events.len(),
+            old_rec.events.len(),
+            "{what} event counts diverge: {} vs {}",
+            rec.events.len(),
+            old_rec.events.len()
+        );
+        for (i, (n, o)) in rec.events.iter().zip(&old_rec.events).enumerate() {
+            assert_eq!(n, o, "{what} event {i} diverges");
+        }
     }
 
-    let mut new_sim = PipelineSim::new(PipelineConfig::ptlsim_2wide(8), program);
+    let mut fused_sim = PipelineSim::from_image(PipelineConfig::ptlsim_2wide(8), &fused_image);
+    let mut unfused_sim = PipelineSim::from_image(PipelineConfig::ptlsim_2wide(8), &unfused_image);
     let mut old_sim = ReferencePipelineSim::new(PipelineConfig::ptlsim_2wide(8), program);
-    execute(program, &mut new_sim, config);
+    execute_image(&fused_image, &mut fused_sim, config);
+    execute_image(&unfused_image, &mut unfused_sim, config);
     execute_legacy(program, &mut old_sim, config);
     assert_eq!(
-        new_sim.result(),
+        fused_sim.result(),
         old_sim.result(),
-        "pipeline results diverge"
+        "fused pipeline results diverge"
     );
-    new
+    assert_eq!(
+        unfused_sim.result(),
+        old_sim.result(),
+        "unfused pipeline results diverge"
+    );
+    fused
 }
 
 /// Kernel with loops, calls, conditional branches, frame traffic, folded
@@ -411,7 +426,7 @@ fn float_program() -> Program {
         not_taken: exit,
     };
     f.blocks[hot.index()].insts = vec![
-        // FloatBinRV with an immediate-float rhs.
+        // FloatAlu with an immediate-float rhs.
         Inst::Bin {
             op: BinOp::Mul,
             ty: Ty::Float,
@@ -419,7 +434,7 @@ fn float_program() -> Program {
             lhs: x.into(),
             rhs: Operand::ImmFloat(1.0001),
         },
-        // FloatBinRV with an immediate-int rhs (int converts via as_float).
+        // FloatAlu with an immediate-int rhs (int converts via as_float).
         Inst::Bin {
             op: BinOp::Add,
             ty: Ty::Float,
@@ -427,7 +442,7 @@ fn float_program() -> Program {
             lhs: y.into(),
             rhs: Operand::ImmInt(1),
         },
-        // FloatBinVR: immediate lhs, register rhs.
+        // FloatAlu: immediate lhs, register rhs.
         Inst::Bin {
             op: BinOp::Sub,
             ty: Ty::Float,
@@ -435,7 +450,7 @@ fn float_program() -> Program {
             lhs: Operand::ImmFloat(100.0),
             rhs: y.into(),
         },
-        // FloatBinRR: both operands in registers.
+        // FloatAlu: both operands in registers.
         Inst::Bin {
             op: BinOp::Div,
             ty: Ty::Float,
@@ -451,7 +466,7 @@ fn float_program() -> Program {
             lhs: z.into(),
             rhs: Operand::Mem(Address::global(g, 3)),
         },
-        // UnReg: register source.
+        // UnFF: float register source.
         Inst::Un {
             op: UnOp::Sqrt,
             ty: Ty::Float,
@@ -471,7 +486,7 @@ fn float_program() -> Program {
             dst: x,
             src: Operand::ImmFloat(0.5),
         },
-        // Float comparison (FloatBinRR producing an int) feeding a branch.
+        // Float comparison (FloatCmp producing an int) feeding a branch.
         Inst::Bin {
             op: BinOp::Gt,
             ty: Ty::Float,
