@@ -1,31 +1,17 @@
 //! Runs every table and figure in sequence (small-input suite), printing a
 //! combined report.  `cargo run -p bsg-bench --release --bin all_experiments`.
 //!
-//! The report text goes to stdout (byte-identical at any scheduler worker
-//! count); artifact-store and scheduler statistics go to stderr.
-use bsg_bench::*;
-use bsg_compiler::OptLevel;
-use bsg_runtime::{ArtifactStore, Runtime};
+//! The section sequence is the declarative [`bsg_bench::ALL_EXPERIMENTS`]
+//! table.  The report text goes to stdout (byte-identical at any scheduler
+//! worker count and any artifact-cache temperature); artifact-store and
+//! scheduler statistics go to stderr.
+use bsg_bench::{prepare_suite, report_runtime_stats, ALL_EXPERIMENTS, SYNTH_TARGET_INSTRUCTIONS};
 use bsg_workloads::InputSize;
 
 fn main() {
-    println!("{}", table1());
-    println!("{}", table3());
-    println!("{}", fig02());
     let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
-    println!("{}", fig04(&artifacts));
-    println!("{}", fig05(&artifacts));
-    println!("{}", fig06(&artifacts, OptLevel::O0));
-    println!("{}", fig06(&artifacts, OptLevel::O2));
-    println!("{}", fig07_08(&artifacts, OptLevel::O0));
-    println!("{}", fig07_08(&artifacts, OptLevel::O2));
-    println!("{}", fig09(&artifacts));
-    println!("{}", fig10(&artifacts));
-    println!("{}", fig11(&artifacts));
-    println!("{}", obfuscation(&artifacts));
-    eprintln!(
-        "[bsg-runtime] workers: {}; artifact store: {}",
-        Runtime::global().workers(),
-        ArtifactStore::global().stats()
-    );
+    for section in ALL_EXPERIMENTS {
+        println!("{}", section.render(&artifacts));
+    }
+    report_runtime_stats();
 }

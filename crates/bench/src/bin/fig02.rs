@@ -1,4 +1,5 @@
-//! Regenerates Figure 2 (SFGL scale-down example).
+//! Regenerates `fig02` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    print!("{}", bsg_bench::fig02());
+    bsg_bench::figure_main("fig02");
 }

@@ -1,4 +1,5 @@
-//! Regenerates Figure 3 (fibonacci kernel and its synthetic clone).
+//! Regenerates `fig03` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    print!("{}", bsg_bench::fig03());
+    bsg_bench::figure_main("fig03");
 }

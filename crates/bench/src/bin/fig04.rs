@@ -1,10 +1,5 @@
-//! Regenerates Figure 4 (reduction in dynamic instruction count) over the
-//! full suite (small and large inputs).
-use bsg_bench::{fig04, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
-use bsg_workloads::InputSize;
-
+//! Regenerates `fig04` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    let mut artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
-    artifacts.extend(prepare_suite(InputSize::Large, SYNTH_TARGET_INSTRUCTIONS));
-    print!("{}", fig04(&artifacts));
+    bsg_bench::figure_main("fig04");
 }

@@ -1,8 +1,5 @@
-//! Regenerates fig05 of the paper over the small-input suite.
-use bsg_bench::{fig05, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
-use bsg_workloads::InputSize;
-
+//! Regenerates `fig05` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
-    print!("{}", fig05(&artifacts));
+    bsg_bench::figure_main("fig05");
 }

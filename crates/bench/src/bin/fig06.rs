@@ -1,11 +1,5 @@
-//! Regenerates Figure 6 (instruction mix at -O0 and -O2).
-use bsg_bench::{fig06, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
-use bsg_compiler::OptLevel;
-use bsg_workloads::InputSize;
-
+//! Regenerates `fig06` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
-    print!("{}", fig06(&artifacts, OptLevel::O0));
-    println!();
-    print!("{}", fig06(&artifacts, OptLevel::O2));
+    bsg_bench::figure_main("fig06");
 }

@@ -1,9 +1,5 @@
-//! Regenerates Figure 7 (data-cache hit rates at -O0, 1-32 KB).
-use bsg_bench::{fig07_08, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
-use bsg_compiler::OptLevel;
-use bsg_workloads::InputSize;
-
+//! Regenerates `fig07` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
-    print!("{}", fig07_08(&artifacts, OptLevel::O0));
+    bsg_bench::figure_main("fig07");
 }

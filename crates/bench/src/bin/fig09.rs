@@ -1,8 +1,5 @@
-//! Regenerates fig09 of the paper over the small-input suite.
-use bsg_bench::{fig09, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
-use bsg_workloads::InputSize;
-
+//! Regenerates `fig09` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
-    print!("{}", fig09(&artifacts));
+    bsg_bench::figure_main("fig09");
 }

@@ -1,8 +1,5 @@
-//! Regenerates fig10 of the paper over the small-input suite.
-use bsg_bench::{fig10, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
-use bsg_workloads::InputSize;
-
+//! Regenerates `fig10` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
-    print!("{}", fig10(&artifacts));
+    bsg_bench::figure_main("fig10");
 }

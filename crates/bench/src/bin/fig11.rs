@@ -1,8 +1,5 @@
-//! Regenerates fig11 of the paper over the small-input suite.
-use bsg_bench::{fig11, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
-use bsg_workloads::InputSize;
-
+//! Regenerates `fig11` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
-    print!("{}", fig11(&artifacts));
+    bsg_bench::figure_main("fig11");
 }

@@ -354,6 +354,9 @@ fn main() {
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"interp_bench\",");
     let _ = writeln!(json, "  \"input_size\": \"{input}\",");
+    // Suite size is recorded so kernel-count jumps (13 → 18 in PR 4) are
+    // visible in the perf trajectory instead of silently moving the baseline.
+    let _ = writeln!(json, "  \"suite_size\": {},", compiled.len());
     let _ = writeln!(json, "  \"programs\": {},", programs.len());
     let _ = writeln!(json, "  \"passes_per_measurement\": {passes},");
     let _ = writeln!(json, "  \"wall_seconds\": {wall_seconds:.3},");

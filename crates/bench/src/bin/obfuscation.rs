@@ -1,8 +1,5 @@
-//! Regenerates obfuscation of the paper over the small-input suite.
-use bsg_bench::{obfuscation, prepare_suite, SYNTH_TARGET_INSTRUCTIONS};
-use bsg_workloads::InputSize;
-
+//! Regenerates `obfuscation` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
-    print!("{}", obfuscation(&artifacts));
+    bsg_bench::figure_main("obfuscation");
 }

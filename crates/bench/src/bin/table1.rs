@@ -1,4 +1,5 @@
-//! Regenerates Table I (miss-rate classes and strides).
+//! Regenerates `table1` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    print!("{}", bsg_bench::table1());
+    bsg_bench::figure_main("table1");
 }

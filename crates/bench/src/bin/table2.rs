@@ -1,4 +1,5 @@
-//! Regenerates Table II (statement templates) plus per-benchmark coverage.
+//! Regenerates `table2` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    print!("{}", bsg_bench::table2(bsg_workloads::InputSize::Small));
+    bsg_bench::figure_main("table2");
 }

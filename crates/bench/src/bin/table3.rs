@@ -1,4 +1,5 @@
-//! Regenerates Table III (machines under study).
+//! Regenerates `table3` from the declarative figure registry
+//! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {
-    print!("{}", bsg_bench::table3());
+    bsg_bench::figure_main("table3");
 }

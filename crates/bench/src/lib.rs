@@ -1,8 +1,9 @@
 //! # bsg-bench — experiment harness for the IISWC 2010 reproduction
 //!
 //! One function per table / figure of the paper's evaluation section; the
-//! `src/bin/*` binaries are thin wrappers that print the returned text.
-//! Run e.g. `cargo run -p bsg-bench --release --bin fig04`.
+//! `src/bin/*` binaries are one-line lookups into the declarative
+//! [`FIGURES`] registry.  Run e.g. `cargo run -p bsg-bench --release --bin
+//! fig04`, or `all_experiments` for the whole report.
 //!
 //! The harness runs on the workspace's simulated substrate, so absolute
 //! numbers differ from the paper's hardware measurements; what is reproduced
@@ -10,22 +11,30 @@
 //! trend moves with cache size, optimization level, ISA and machine).
 //! `EXPERIMENTS.md` records paper-reported versus measured values.
 //!
-//! # The runtime substrate
+//! # The declarative pipeline
 //!
-//! Every figure runs through [`bsg_runtime`]'s two components:
+//! Every figure is a ~20-line spec over three shared layers:
 //!
-//! * the [`ArtifactStore`] memoizes compiled programs, predecoded
-//!   [`ExecImage`](bsg_uarch::image::ExecImage)s, emitted C text, profiles
-//!   and synthesis results behind `Arc`s, content-addressed by source
-//!   structure + build options, so each (workload, level, ISA) artifact is
-//!   built exactly once per process no matter how many figures request it;
-//! * the work-stealing [`Runtime`] executes each figure's sweep as
-//!   fine-grained tasks (per workload × config point, not one coarse unit
-//!   per workload), with deterministic submission-ordered results — figure
-//!   text is byte-identical at any worker count.
+//! * the [`bsg_workloads::WorkloadRegistry`] supplies the suite (the
+//!   paper's 13 MiBench kernels plus the SPEC-like extensions), built once
+//!   per process and iterated in a stable order;
+//! * the [`experiment`] module turns an axis product ([`cross`]) into
+//!   scheduler-sharded measurements ([`Experiment::measure`]) with
+//!   deterministic, submission-ordered results;
+//! * the [`ArtifactStore`] memoizes compiled programs, predecoded images, C
+//!   text, profiles and synthesis results behind `Arc`s — content-addressed,
+//!   built once per process, and (since PR 4) persisted to a disk tier so
+//!   repeated harness invocations share builds across processes.
+//!
+//! Figure text is byte-identical at any worker count and any cache
+//! temperature; the determinism suite pins both against golden outputs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod experiment;
+
+pub use experiment::{cross, refs, Experiment, Measured, Section};
 
 use bsg_compiler::{CompileOptions, OptLevel, TargetIsa};
 use bsg_ir::hll::HllProgram;
@@ -41,20 +50,6 @@ use bsg_uarch::pipeline::PipelineConfig;
 use bsg_workloads::{fibonacci_workload, suite, InputSize, Workload};
 use std::fmt::Write as _;
 use std::sync::Arc;
-
-/// Maps `items` through `f` on the process-wide work-stealing scheduler,
-/// preserving input order in the result (every sweep point of the harness is
-/// independent, so figures fan their units out through here).  Honors
-/// [`bsg_runtime::scheduler::with_workers`] overrides, which is how the
-/// determinism suite pins figure generation to 1, 2 and 8 workers.
-fn sweep<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    Runtime::current().map(items, f)
-}
 
 /// Dynamic-instruction target for synthetic clones.  The paper targets ~10 M
 /// instructions on real hardware; the reproduction runs on an interpreter, so
@@ -80,8 +75,9 @@ pub struct WorkloadArtifacts {
 
 impl WorkloadArtifacts {
     /// Profiles `workload` and synthesizes its clone, through the artifact
-    /// store (both steps are memoized: repeated `prepare` calls for the same
-    /// workload and target share one build).
+    /// store (both steps are memoized in memory and on disk: repeated
+    /// `prepare` calls for the same workload and target share one build,
+    /// even across processes).
     pub fn prepare(workload: Workload, target_instructions: u64) -> Self {
         let store = ArtifactStore::global();
         let profile = store.profile(
@@ -91,7 +87,7 @@ impl WorkloadArtifacts {
             &ProfileConfig::default(),
         );
         let synthesis = store.synthesis(&profile, &SynthesisConfig::default(), target_instructions);
-        let original_id = SourceId::of(&workload.program);
+        let original_id = SourceId::of(workload.program.as_ref());
         let synthetic_id = SourceId::of(&synthesis.benchmark.hll);
         WorkloadArtifacts {
             workload,
@@ -109,7 +105,7 @@ impl WorkloadArtifacts {
         let (id, hll) = if synthetic {
             (self.synthetic_id, &self.synthesis.benchmark.hll)
         } else {
-            (self.original_id, &self.workload.program)
+            (self.original_id, self.workload.program.as_ref())
         };
         ArtifactStore::global().compiled_keyed(id, hll, options)
     }
@@ -126,9 +122,9 @@ impl WorkloadArtifacts {
 /// Prepares artifacts for the whole suite at one input size, one workload
 /// per scheduler task (profiling and synthesis are independent per workload).
 pub fn prepare_suite(input: InputSize, target_instructions: u64) -> Vec<WorkloadArtifacts> {
-    sweep(suite(input), |w| {
-        WorkloadArtifacts::prepare(w, target_instructions)
-    })
+    Experiment::over(suite(input))
+        .measure(|w| WorkloadArtifacts::prepare(w.clone(), target_instructions))
+        .values
 }
 
 /// Maps a machine's ISA to the compiler's target ISA.
@@ -156,23 +152,161 @@ fn mix_of(a: &CompiledArtifact) -> bsg_profile::InstructionMix {
 }
 
 // ---------------------------------------------------------------------------
+// The figure registry: every binary is a row in this table.
+// ---------------------------------------------------------------------------
+
+/// One fig/table binary, as data: which sections it prints and which suites
+/// it needs.  Adding a figure means adding a row, not a binary's worth of
+/// sweep code.
+pub struct FigureSpec {
+    /// Binary / lookup name (`fig04`, `table1`, ...).
+    pub name: &'static str,
+    /// Input sizes whose suite artifacts the sections consume, in
+    /// concatenation order (empty for standalone sections).
+    pub inputs: &'static [InputSize],
+    /// The sections printed, joined by a blank line.
+    pub sections: &'static [Section],
+}
+
+fn fig06_o0(a: &[WorkloadArtifacts]) -> String {
+    fig06(a, OptLevel::O0)
+}
+fn fig06_o2(a: &[WorkloadArtifacts]) -> String {
+    fig06(a, OptLevel::O2)
+}
+fn fig07(a: &[WorkloadArtifacts]) -> String {
+    fig07_08(a, OptLevel::O0)
+}
+fn fig08(a: &[WorkloadArtifacts]) -> String {
+    fig07_08(a, OptLevel::O2)
+}
+
+/// Every fig/table binary of the harness, declaratively.
+pub const FIGURES: &[FigureSpec] = &[
+    FigureSpec {
+        name: "table1",
+        inputs: &[],
+        sections: &[Section::Standalone(table1)],
+    },
+    FigureSpec {
+        name: "table2",
+        inputs: &[InputSize::Small],
+        sections: &[Section::Suite(table2)],
+    },
+    FigureSpec {
+        name: "table3",
+        inputs: &[],
+        sections: &[Section::Standalone(table3)],
+    },
+    FigureSpec {
+        name: "fig02",
+        inputs: &[],
+        sections: &[Section::Standalone(fig02)],
+    },
+    FigureSpec {
+        name: "fig03",
+        inputs: &[],
+        sections: &[Section::Standalone(fig03)],
+    },
+    FigureSpec {
+        name: "fig04",
+        inputs: &[InputSize::Small, InputSize::Large],
+        sections: &[Section::Suite(fig04)],
+    },
+    FigureSpec {
+        name: "fig05",
+        inputs: &[InputSize::Small],
+        sections: &[Section::Suite(fig05)],
+    },
+    FigureSpec {
+        name: "fig06",
+        inputs: &[InputSize::Small],
+        sections: &[Section::Suite(fig06_o0), Section::Suite(fig06_o2)],
+    },
+    FigureSpec {
+        name: "fig07",
+        inputs: &[InputSize::Small],
+        sections: &[Section::Suite(fig07)],
+    },
+    FigureSpec {
+        name: "fig08",
+        inputs: &[InputSize::Small],
+        sections: &[Section::Suite(fig08)],
+    },
+    FigureSpec {
+        name: "fig09",
+        inputs: &[InputSize::Small],
+        sections: &[Section::Suite(fig09)],
+    },
+    FigureSpec {
+        name: "fig10",
+        inputs: &[InputSize::Small],
+        sections: &[Section::Suite(fig10)],
+    },
+    FigureSpec {
+        name: "fig11",
+        inputs: &[InputSize::Small],
+        sections: &[Section::Suite(fig11)],
+    },
+    FigureSpec {
+        name: "obfuscation",
+        inputs: &[InputSize::Small],
+        sections: &[Section::Suite(obfuscation)],
+    },
+];
+
+/// The `all_experiments` report sequence over the small-input suite (the
+/// order the combined report prints its sections in).
+pub const ALL_EXPERIMENTS: &[Section] = &[
+    Section::Standalone(table1),
+    Section::Standalone(table3),
+    Section::Standalone(fig02),
+    Section::Suite(fig04),
+    Section::Suite(fig05),
+    Section::Suite(fig06_o0),
+    Section::Suite(fig06_o2),
+    Section::Suite(fig07),
+    Section::Suite(fig08),
+    Section::Suite(fig09),
+    Section::Suite(fig10),
+    Section::Suite(fig11),
+    Section::Suite(obfuscation),
+];
+
+/// Looks up a figure spec by name.
+pub fn figure_spec(name: &str) -> Option<&'static FigureSpec> {
+    FIGURES.iter().find(|f| f.name == name)
+}
+
+/// Renders a registered figure: prepares the suites its spec names and
+/// joins its sections with a blank line.  This is the whole body of every
+/// fig/table binary.
+pub fn render_figure(name: &str) -> String {
+    let spec = figure_spec(name).unwrap_or_else(|| panic!("unknown figure {name}"));
+    let mut artifacts = Vec::new();
+    for input in spec.inputs {
+        artifacts.extend(prepare_suite(*input, SYNTH_TARGET_INSTRUCTIONS));
+    }
+    spec.sections
+        .iter()
+        .map(|s| s.render(&artifacts))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// `fn main` of every fig/table binary: render the named figure to stdout.
+pub fn figure_main(name: &str) {
+    print!("{}", render_figure(name));
+}
+
+// ---------------------------------------------------------------------------
 // Tables
 // ---------------------------------------------------------------------------
 
 /// Table I: miss-rate classes, their strides, and the miss rate each stride
 /// actually produces on the profiling cache when regenerated.
 pub fn table1() -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Table I — memory access strides per miss-rate class (32-byte line)"
-    );
-    let _ = writeln!(
-        out,
-        "{:<6} {:<18} {:<14} {:<16}",
-        "class", "miss-rate range", "stride (bytes)", "measured miss"
-    );
-    for row in bsg_synth::table1() {
+    let measured = Experiment::over(bsg_synth::table1()).measure(|row| {
         // Measure: stream through memory with this stride and run the 8 KB
         // profiling cache over the addresses.
         let mut cache = bsg_uarch::cache::Cache::new(CacheConfig::kb(8));
@@ -185,7 +319,19 @@ pub fn table1() -> String {
             }
             addr = (addr + row.stride_bytes) % (1 << 20);
         }
-        let measured = misses as f64 / accesses as f64;
+        misses as f64 / accesses as f64
+    });
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table I — memory access strides per miss-rate class (32-byte line)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<18} {:<14} {:<16}",
+        "class", "miss-rate range", "stride (bytes)", "measured miss"
+    );
+    for (row, miss) in measured.rows() {
         let _ = writeln!(
             out,
             "{:<6} {:>5.2}% - {:>6.2}%   {:<14} {:>6.2}%",
@@ -193,7 +339,7 @@ pub fn table1() -> String {
             row.miss_rate_low * 100.0,
             row.miss_rate_high * 100.0,
             row.stride_bytes,
-            measured * 100.0
+            miss * 100.0
         );
     }
     out
@@ -201,7 +347,7 @@ pub fn table1() -> String {
 
 /// Table II: the instruction-pattern → C statement templates, plus the
 /// dynamic pattern coverage achieved for each benchmark.
-pub fn table2(input: InputSize) -> String {
+pub fn table2(artifacts: &[WorkloadArtifacts]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -216,20 +362,17 @@ pub fn table2(input: InputSize) -> String {
     }
     let _ = writeln!(out, "\n{:<24} {:>10}", "benchmark", "coverage");
     let mut total = 0.0;
-    let mut n = 0;
-    let rows = sweep(suite(input), |w| {
-        let art = WorkloadArtifacts::prepare(w, SYNTH_TARGET_INSTRUCTIONS);
-        (
-            art.workload.name.clone(),
-            art.synthesis.benchmark.stats.pattern_coverage,
-        )
-    });
-    for (name, c) in rows {
-        let _ = writeln!(out, "{:<24} {:>9.1}%", name, c * 100.0);
+    for a in artifacts {
+        let c = a.synthesis.benchmark.stats.pattern_coverage;
+        let _ = writeln!(out, "{:<24} {:>9.1}%", a.workload.name, c * 100.0);
         total += c;
-        n += 1;
     }
-    let _ = writeln!(out, "{:<24} {:>9.1}%", "average", total / n as f64 * 100.0);
+    let _ = writeln!(
+        out,
+        "{:<24} {:>9.1}%",
+        "average",
+        total / artifacts.len().max(1) as f64 * 100.0
+    );
     out
 }
 
@@ -380,6 +523,14 @@ pub fn fig04(artifacts: &[WorkloadArtifacts]) -> String {
 /// Figure 5: normalized dynamic instruction count across optimization levels
 /// (average over the suite), original versus synthetic.
 pub fn fig05(artifacts: &[WorkloadArtifacts]) -> String {
+    // Axes: level (slow) × workload (fast); measure: (org, syn) counts.
+    let m = Experiment::over(cross(&OptLevel::ALL, &refs(artifacts))).measure(|(level, a)| {
+        let (o, s) = a.compile_pair(&CompileOptions::new(*level, TargetIsa::X86));
+        (
+            dynamic_instructions(&o) as f64,
+            dynamic_instructions(&s) as f64,
+        )
+    });
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -387,19 +538,9 @@ pub fn fig05(artifacts: &[WorkloadArtifacts]) -> String {
     );
     let _ = writeln!(out, "{:<8} {:>12} {:>12}", "level", "original", "synthetic");
     let mut base: Option<(f64, f64)> = None;
-    let units: Vec<(OptLevel, &WorkloadArtifacts)> = OptLevel::ALL
-        .into_iter()
-        .flat_map(|level| artifacts.iter().map(move |a| (level, a)))
-        .collect();
-    let counts = sweep(units, |(level, a)| {
-        let (o, s) = a.compile_pair(&CompileOptions::new(level, TargetIsa::X86));
-        (
-            dynamic_instructions(&o) as f64,
-            dynamic_instructions(&s) as f64,
-        )
-    });
-    for (li, level) in OptLevel::ALL.into_iter().enumerate() {
-        let per_level = &counts[li * artifacts.len()..(li + 1) * artifacts.len()];
+    // `.max(1)`: an empty artifact slice must render a header-only figure
+    // (chunks_exact panics on 0), matching the pre-refactor behaviour.
+    for (level, per_level) in OptLevel::ALL.into_iter().zip(m.per(artifacts.len().max(1))) {
         let org: f64 = per_level.iter().map(|(o, _)| o).sum();
         let syn: f64 = per_level.iter().map(|(_, s)| s).sum();
         let (org_base, syn_base) = *base.get_or_insert((org, syn));
@@ -418,6 +559,18 @@ pub fn fig05(artifacts: &[WorkloadArtifacts]) -> String {
 /// optimization level, original versus synthetic, per benchmark and average.
 pub fn fig06(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
     use bsg_ir::visa::MixCategory;
+    // Axes: workload × original/synthetic; measure: the four mix fractions.
+    let m = Experiment::over(cross(&refs(artifacts), &[false, true])).measure(|(a, synthetic)| {
+        let mix = mix_of(&a.compiled(&CompileOptions::new(level, TargetIsa::X86), *synthetic))
+            .category_fractions();
+        let get = |c: MixCategory| mix.get(&c).copied().unwrap_or(0.0);
+        [
+            get(MixCategory::Load),
+            get(MixCategory::Store),
+            get(MixCategory::Branch),
+            get(MixCategory::Other),
+        ]
+    });
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -430,23 +583,7 @@ pub fn fig06(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
     );
     let mut avg_org = [0.0f64; 4];
     let mut avg_syn = [0.0f64; 4];
-    // One task per (workload, original/synthetic) point.
-    let units: Vec<(&WorkloadArtifacts, bool)> = artifacts
-        .iter()
-        .flat_map(|a| [(a, false), (a, true)])
-        .collect();
-    let mixes = sweep(units, |(a, synthetic)| {
-        let m = mix_of(&a.compiled(&CompileOptions::new(level, TargetIsa::X86), synthetic))
-            .category_fractions();
-        let get = |c: MixCategory| m.get(&c).copied().unwrap_or(0.0);
-        [
-            get(MixCategory::Load),
-            get(MixCategory::Store),
-            get(MixCategory::Branch),
-            get(MixCategory::Other),
-        ]
-    });
-    for (a, rows) in artifacts.iter().zip(mixes.chunks_exact(2)) {
+    for (a, rows) in artifacts.iter().zip(m.per(2)) {
         let (row_o, row_s) = (rows[0], rows[1]);
         for i in 0..4 {
             avg_org[i] += row_o[i] / artifacts.len() as f64;
@@ -486,6 +623,18 @@ pub fn fig06(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
 /// optimization level, original versus synthetic.
 pub fn fig07_08(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
     let sizes = [1u64, 2, 4, 8, 16, 32];
+    // Axes: workload × original/synthetic; the whole 1–32 KB sweep shares a
+    // single execution through the multi-cache observer.
+    let m = Experiment::over(cross(&refs(artifacts), &[false, true])).measure(|(a, synthetic)| {
+        let art = a.compiled(&CompileOptions::new(level, TargetIsa::X86), *synthetic);
+        let mut obs = CacheObserver::new(sizes.map(CacheConfig::kb));
+        execute_image(&art.image, &mut obs, &ExecConfig::default());
+        obs.sweep
+            .results()
+            .iter()
+            .map(|(_, st)| st.hit_rate())
+            .collect::<Vec<f64>>()
+    });
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -499,23 +648,7 @@ pub fn fig07_08(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
         header.join("  "),
         header.join("  ")
     );
-    // One task per (workload, original/synthetic) point; the whole 1–32 KB
-    // sweep shares a single execution through the multi-cache observer.
-    let units: Vec<(&WorkloadArtifacts, bool)> = artifacts
-        .iter()
-        .flat_map(|a| [(a, false), (a, true)])
-        .collect();
-    let rates = sweep(units, |(a, synthetic)| {
-        let art = a.compiled(&CompileOptions::new(level, TargetIsa::X86), synthetic);
-        let mut obs = CacheObserver::new(sizes.map(CacheConfig::kb));
-        execute_image(&art.image, &mut obs, &ExecConfig::default());
-        obs.sweep
-            .results()
-            .iter()
-            .map(|(_, st)| st.hit_rate())
-            .collect::<Vec<f64>>()
-    });
-    for (a, pair) in artifacts.iter().zip(rates.chunks_exact(2)) {
+    for (a, pair) in artifacts.iter().zip(m.per(2)) {
         let fmt = |v: &[f64]| {
             v.iter()
                 .map(|r| format!("{:>4.1}", r * 100.0))
@@ -536,6 +669,20 @@ pub fn fig07_08(artifacts: &[WorkloadArtifacts], level: OptLevel) -> String {
 /// Figure 9: branch prediction accuracy with the hybrid predictor, original
 /// and synthetic, at -O0 and -O2.
 pub fn fig09(artifacts: &[WorkloadArtifacts]) -> String {
+    // Axes: workload × (level, variant) in the column order of the figure.
+    let points = [
+        (OptLevel::O0, false),
+        (OptLevel::O2, false),
+        (OptLevel::O0, true),
+        (OptLevel::O2, true),
+    ];
+    let m =
+        Experiment::over(cross(&refs(artifacts), &points)).measure(|(a, (level, synthetic))| {
+            let art = a.compiled(&CompileOptions::new(*level, TargetIsa::X86), *synthetic);
+            let mut obs = PredictorObserver::new(Hybrid::default_config());
+            execute_image(&art.image, &mut obs, &ExecConfig::default());
+            obs.stats.accuracy() * 100.0
+        });
     let mut out = String::new();
     let _ = writeln!(out, "Figure 9 — hybrid branch predictor accuracy");
     let _ = writeln!(
@@ -543,26 +690,7 @@ pub fn fig09(artifacts: &[WorkloadArtifacts]) -> String {
         "{:<24} {:>9} {:>9} {:>9} {:>9}",
         "benchmark", "org-O0", "org-O2", "syn-O0", "syn-O2"
     );
-    // One task per (workload, level, original/synthetic) point, in the
-    // column order of the figure.
-    let units: Vec<(&WorkloadArtifacts, OptLevel, bool)> = artifacts
-        .iter()
-        .flat_map(|a| {
-            [
-                (a, OptLevel::O0, false),
-                (a, OptLevel::O2, false),
-                (a, OptLevel::O0, true),
-                (a, OptLevel::O2, true),
-            ]
-        })
-        .collect();
-    let accs = sweep(units, |(a, level, synthetic)| {
-        let art = a.compiled(&CompileOptions::new(level, TargetIsa::X86), synthetic);
-        let mut obs = PredictorObserver::new(Hybrid::default_config());
-        execute_image(&art.image, &mut obs, &ExecConfig::default());
-        obs.stats.accuracy() * 100.0
-    });
-    for (a, accs) in artifacts.iter().zip(accs.chunks_exact(4)) {
+    for (a, accs) in artifacts.iter().zip(m.per(points.len())) {
         let _ = writeln!(
             out,
             "{:<24} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
@@ -576,6 +704,16 @@ pub fn fig09(artifacts: &[WorkloadArtifacts]) -> String {
 /// caches, original versus synthetic.
 pub fn fig10(artifacts: &[WorkloadArtifacts]) -> String {
     let sizes = [8u64, 16, 32];
+    // Axes: workload × variant × cache size; the store's predecoded image
+    // serves every size of the sweep.
+    let points = cross(&[false, true], &sizes);
+    let m = Experiment::over(cross(&refs(artifacts), &points)).measure(|(a, (synthetic, kb))| {
+        let art = a.compiled(
+            &CompileOptions::new(OptLevel::O0, TargetIsa::X86),
+            *synthetic,
+        );
+        bsg_uarch::pipeline::simulate_image(&art.image, PipelineConfig::ptlsim_2wide(*kb)).cpi()
+    });
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -586,24 +724,7 @@ pub fn fig10(artifacts: &[WorkloadArtifacts]) -> String {
         "{:<24} {:>6} {:>6} {:>6}  |  {:>6} {:>6} {:>6}",
         "benchmark", "8KB", "16KB", "32KB", "8KB", "16KB", "32KB"
     );
-    // One task per (workload, original/synthetic, cache size) point; the
-    // store's predecoded image serves every size of the sweep.
-    let units: Vec<(&WorkloadArtifacts, bool, u64)> = artifacts
-        .iter()
-        .flat_map(|a| {
-            [false, true]
-                .into_iter()
-                .flat_map(move |synthetic| sizes.map(|kb| (a, synthetic, kb)))
-        })
-        .collect();
-    let cpis = sweep(units, |(a, synthetic, kb)| {
-        let art = a.compiled(
-            &CompileOptions::new(OptLevel::O0, TargetIsa::X86),
-            synthetic,
-        );
-        bsg_uarch::pipeline::simulate_image(&art.image, PipelineConfig::ptlsim_2wide(kb)).cpi()
-    });
-    for (a, row) in artifacts.iter().zip(cpis.chunks_exact(6)) {
+    for (a, row) in artifacts.iter().zip(m.per(points.len())) {
         let _ = writeln!(
             out,
             "{:<24} {:>6.2} {:>6.2} {:>6.2}  |  {:>6.2} {:>6.2} {:>6.2}",
@@ -618,6 +739,38 @@ pub fn fig10(artifacts: &[WorkloadArtifacts]) -> String {
 /// consolidation over the suite, as in the paper).
 pub fn fig11(artifacts: &[WorkloadArtifacts]) -> String {
     let machines = MachineConfig::table3();
+
+    // Consolidate the whole suite into a single profile and clone.
+    let merged = bsg_synth::consolidate(artifacts.iter().map(|a| a.profile.as_ref()));
+    let consolidated = ArtifactStore::global().synthesis(
+        &merged,
+        &SynthesisConfig::default(),
+        SYNTH_TARGET_INSTRUCTIONS * 2,
+    );
+    let consolidated = &consolidated;
+    let consolidated_id = SourceId::of(&consolidated.benchmark.hll);
+
+    // Axes: machine × level × (workload | consolidated clone) — one task per
+    // point, the fine-grained sharding of the paper's biggest sweep.
+    let group: Vec<Option<&WorkloadArtifacts>> = artifacts
+        .iter()
+        .map(Some)
+        .chain(std::iter::once(None))
+        .collect();
+    let m = Experiment::over(cross(&refs(&machines), &cross(&OptLevel::ALL, &group))).measure(
+        |(machine, (level, unit))| {
+            let options = CompileOptions::new(*level, target_isa_for(machine.isa));
+            let art = match unit {
+                Some(a) => a.compiled(&options, false),
+                None => ArtifactStore::global().compiled_keyed(
+                    consolidated_id,
+                    &consolidated.benchmark.hll,
+                    &options,
+                ),
+            };
+            machine.run_image(&art.image).time_ns
+        },
+    );
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -628,48 +781,9 @@ pub fn fig11(artifacts: &[WorkloadArtifacts]) -> String {
         "{:<20} {:<6} {:>12} {:>12}",
         "machine", "level", "original", "synthetic"
     );
-
-    // Consolidate the whole suite into a single profile and clone.
-    let merged = bsg_synth::consolidate(artifacts.iter().map(|a| a.profile.as_ref()));
-    let consolidated = ArtifactStore::global().synthesis(
-        &merged,
-        &SynthesisConfig::default(),
-        SYNTH_TARGET_INSTRUCTIONS * 2,
-    );
-
     let mut baseline: Option<(f64, f64)> = None;
-    // One task per (machine, level, workload) point for the originals, plus
-    // one per (machine, level) for the consolidated clone — the fine-grained
-    // sharding of the paper's biggest sweep.
-    let group = artifacts.len() + 1;
-    let units: Vec<(&MachineConfig, OptLevel, Option<&WorkloadArtifacts>)> = machines
-        .iter()
-        .flat_map(|m| {
-            OptLevel::ALL.into_iter().flat_map(move |level| {
-                artifacts
-                    .iter()
-                    .map(move |a| (m, level, Some(a)))
-                    .chain(std::iter::once((m, level, None)))
-            })
-        })
-        .collect();
-    let consolidated = &consolidated;
-    let consolidated_id = SourceId::of(&consolidated.benchmark.hll);
-    let times = sweep(units, |(m, level, unit)| {
-        let options = CompileOptions::new(level, target_isa_for(m.isa));
-        let art = match unit {
-            Some(a) => a.compiled(&options, false),
-            None => ArtifactStore::global().compiled_keyed(
-                consolidated_id,
-                &consolidated.benchmark.hll,
-                &options,
-            ),
-        };
-        m.run_image(&art.image).time_ns
-    });
-    for ((m, level), point) in units_labels(&machines)
-        .into_iter()
-        .zip(times.chunks_exact(group))
+    for ((machine, (level, _)), point) in
+        m.units.iter().step_by(group.len()).zip(m.per(group.len()))
     {
         // Original time sums the per-workload tasks in submission order.
         let org_time: f64 = point[..artifacts.len()].iter().sum();
@@ -678,7 +792,7 @@ pub fn fig11(artifacts: &[WorkloadArtifacts]) -> String {
         let _ = writeln!(
             out,
             "{:<20} {:<6} {:>12.3} {:>12.3}",
-            m,
+            machine.name,
             level.to_string(),
             org_time / ob,
             syn_time / sb
@@ -687,20 +801,12 @@ pub fn fig11(artifacts: &[WorkloadArtifacts]) -> String {
     out
 }
 
-/// `(machine name, level)` labels in the same order [`fig11`] computes rows.
-fn units_labels(machines: &[MachineConfig]) -> Vec<(String, OptLevel)> {
-    machines
-        .iter()
-        .flat_map(|m| {
-            OptLevel::ALL
-                .into_iter()
-                .map(move |level| (m.name.clone(), level))
-        })
-        .collect()
-}
-
 /// §V-E: Moss / JPlag similarity between each original and its clone.
 pub fn obfuscation(artifacts: &[WorkloadArtifacts]) -> String {
+    let m = Experiment::over(refs(artifacts)).measure(|a| {
+        let original_c = ArtifactStore::global().c_text(&a.workload.program);
+        SimilarityReport::compare(&original_c, &a.synthesis.benchmark.c_source)
+    });
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -711,16 +817,11 @@ pub fn obfuscation(artifacts: &[WorkloadArtifacts]) -> String {
         "{:<24} {:>8} {:>8} {:>8}",
         "benchmark", "moss", "jplag", "hidden?"
     );
-    let rows = sweep(artifacts.iter().collect::<Vec<_>>(), |a| {
-        let original_c = ArtifactStore::global().c_text(&a.workload.program);
-        let report = SimilarityReport::compare(&original_c, &a.synthesis.benchmark.c_source);
-        (a.workload.name.clone(), report)
-    });
-    for (name, report) in rows {
+    for (a, report) in m.rows() {
         let _ = writeln!(
             out,
             "{:<24} {:>7.1}% {:>7.1}% {:>8}",
-            name,
+            a.workload.name,
             report.moss * 100.0,
             report.jplag * 100.0,
             if report.hides_proprietary_information(0.5) {
@@ -772,6 +873,17 @@ pub fn best_of<F: FnMut() -> u64>(passes: u32, mut body: F) -> (u64, f64) {
     (instructions.expect("passes > 0"), best)
 }
 
+/// Prints the runtime-substrate statistics line (workers, artifact-store
+/// hit/build/disk counters) to stderr — the shared tail of the heavyweight
+/// binaries.
+pub fn report_runtime_stats() {
+    eprintln!(
+        "[bsg-runtime] workers: {}; artifact store: {}",
+        Runtime::global().workers(),
+        ArtifactStore::global().stats()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -803,6 +915,16 @@ mod tests {
         assert!(table1().contains("class"));
         assert!(table3().contains("Itanium 2"));
         assert!(fig02().contains("removed"));
+    }
+
+    #[test]
+    fn figure_registry_names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = FIGURES.iter().map(|f| f.name).collect();
+        assert!(figure_spec("fig04").is_some());
+        assert!(figure_spec("no-such-figure").is_none());
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FIGURES.len());
     }
 
     #[test]

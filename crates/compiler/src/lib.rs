@@ -179,6 +179,35 @@ impl Default for CompileOptions {
     }
 }
 
+impl bsg_ir::canon::Canon for OptLevel {
+    fn canon(&self, w: &mut dyn bsg_ir::canon::CanonWrite) {
+        w.write(&[match self {
+            OptLevel::O0 => 0,
+            OptLevel::O1 => 1,
+            OptLevel::O2 => 2,
+            OptLevel::O3 => 3,
+        }]);
+    }
+}
+
+impl bsg_ir::canon::Canon for TargetIsa {
+    fn canon(&self, w: &mut dyn bsg_ir::canon::CanonWrite) {
+        w.write(&[match self {
+            TargetIsa::X86 => 0,
+            TargetIsa::X86_64 => 1,
+            TargetIsa::Ia64 => 2,
+        }]);
+    }
+}
+
+impl bsg_ir::canon::Canon for CompileOptions {
+    fn canon(&self, w: &mut dyn bsg_ir::canon::CanonWrite) {
+        self.opt_level.canon(w);
+        self.isa.canon(w);
+        self.codegen.canon(w);
+    }
+}
+
 /// Errors reported while lowering an HLL program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {

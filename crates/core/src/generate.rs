@@ -79,6 +79,52 @@ impl bsg_ir::canon::Canon for SynthesisConfig {
     }
 }
 
+impl bsg_ir::canon::Canon for SynthesisStats {
+    fn canon(&self, w: &mut dyn bsg_ir::canon::CanonWrite) {
+        self.reduction_factor.canon(w);
+        self.original_dynamic_instructions.canon(w);
+        self.generated_functions.canon(w);
+        self.generated_loops.canon(w);
+        self.generated_ifs.canon(w);
+        self.statements.canon(w);
+        self.pattern_coverage.canon(w);
+    }
+}
+
+impl bsg_ir::codec::Decanon for SynthesisStats {
+    fn decanon(r: &mut bsg_ir::codec::CanonReader<'_>) -> Option<Self> {
+        Some(SynthesisStats {
+            reduction_factor: u64::decanon(r)?,
+            original_dynamic_instructions: u64::decanon(r)?,
+            generated_functions: usize::decanon(r)?,
+            generated_loops: usize::decanon(r)?,
+            generated_ifs: usize::decanon(r)?,
+            statements: usize::decanon(r)?,
+            pattern_coverage: f64::decanon(r)?,
+        })
+    }
+}
+
+impl bsg_ir::canon::Canon for SyntheticBenchmark {
+    fn canon(&self, w: &mut dyn bsg_ir::canon::CanonWrite) {
+        self.name.canon(w);
+        self.hll.canon(w);
+        self.c_source.canon(w);
+        self.stats.canon(w);
+    }
+}
+
+impl bsg_ir::codec::Decanon for SyntheticBenchmark {
+    fn decanon(r: &mut bsg_ir::codec::CanonReader<'_>) -> Option<Self> {
+        Some(SyntheticBenchmark {
+            name: String::decanon(r)?,
+            hll: HllProgram::decanon(r)?,
+            c_source: String::decanon(r)?,
+            stats: SynthesisStats::decanon(r)?,
+        })
+    }
+}
+
 /// Statistics about a generated benchmark.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SynthesisStats {

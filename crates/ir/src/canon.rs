@@ -23,8 +23,11 @@
 //! formatter internals and stable across processes and platforms.
 
 use crate::hll::{Expr, HllFunction, HllGlobal, HllProgram, LValue, Stmt};
-use crate::types::{Ty, Value};
-use crate::visa::{BinOp, InstClass, OperandKind, UnOp};
+use crate::program::{Block, Function, Global, GlobalInit, Program};
+use crate::types::{BlockId, FuncId, GlobalId, Reg, Ty, Value};
+use crate::visa::{
+    Address, BinOp, Inst, InstClass, MemBase, Operand, OperandKind, Terminator, UnOp,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Byte sink for the canonical encoding (implemented by hashers).
@@ -385,6 +388,200 @@ impl Canon for HllProgram {
     fn canon(&self, w: &mut dyn CanonWrite) {
         self.globals.canon(w);
         self.functions.canon(w);
+        self.entry.canon(w);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VISA programs (the compiled form, persisted by the disk artifact cache).
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_canon_id {
+    ($($t:ty),*) => {$(
+        impl Canon for $t {
+            fn canon(&self, w: &mut dyn CanonWrite) {
+                self.0.canon(w);
+            }
+        }
+    )*};
+}
+
+impl_canon_id!(Reg, BlockId, FuncId, GlobalId);
+
+impl Canon for MemBase {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        match self {
+            MemBase::Global(g) => {
+                w.write(&[0]);
+                g.canon(w);
+            }
+            MemBase::Frame => w.write(&[1]),
+        }
+    }
+}
+
+impl Canon for Address {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.base.canon(w);
+        self.offset.canon(w);
+        self.index.canon(w);
+        self.scale.canon(w);
+    }
+}
+
+impl Canon for Operand {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        match self {
+            Operand::Reg(r) => {
+                w.write(&[0]);
+                r.canon(w);
+            }
+            Operand::ImmInt(v) => {
+                w.write(&[1]);
+                v.canon(w);
+            }
+            Operand::ImmFloat(v) => {
+                w.write(&[2]);
+                v.canon(w);
+            }
+            Operand::Mem(a) => {
+                w.write(&[3]);
+                a.canon(w);
+            }
+        }
+    }
+}
+
+impl Canon for Inst {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        match self {
+            Inst::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
+                w.write(&[0]);
+                op.canon(w);
+                ty.canon(w);
+                dst.canon(w);
+                lhs.canon(w);
+                rhs.canon(w);
+            }
+            Inst::Un { op, ty, dst, src } => {
+                w.write(&[1]);
+                op.canon(w);
+                ty.canon(w);
+                dst.canon(w);
+                src.canon(w);
+            }
+            Inst::Mov { dst, src } => {
+                w.write(&[2]);
+                dst.canon(w);
+                src.canon(w);
+            }
+            Inst::Load { dst, addr, ty } => {
+                w.write(&[3]);
+                dst.canon(w);
+                addr.canon(w);
+                ty.canon(w);
+            }
+            Inst::Store { src, addr, ty } => {
+                w.write(&[4]);
+                src.canon(w);
+                addr.canon(w);
+                ty.canon(w);
+            }
+            Inst::Call { func, args, dst } => {
+                w.write(&[5]);
+                func.canon(w);
+                args.canon(w);
+                dst.canon(w);
+            }
+            Inst::Print { src } => {
+                w.write(&[6]);
+                src.canon(w);
+            }
+            Inst::Nop => w.write(&[7]),
+        }
+    }
+}
+
+impl Canon for Terminator {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        match self {
+            Terminator::Jump(b) => {
+                w.write(&[0]);
+                b.canon(w);
+            }
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                w.write(&[1]);
+                cond.canon(w);
+                taken.canon(w);
+                not_taken.canon(w);
+            }
+            Terminator::Return(v) => {
+                w.write(&[2]);
+                v.canon(w);
+            }
+        }
+    }
+}
+
+impl Canon for GlobalInit {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        match self {
+            GlobalInit::Zero => w.write(&[0]),
+            GlobalInit::Iota => w.write(&[1]),
+            GlobalInit::Values(v) => {
+                w.write(&[2]);
+                v.canon(w);
+            }
+            GlobalInit::Random { seed, modulus } => {
+                w.write(&[3]);
+                seed.canon(w);
+                modulus.canon(w);
+            }
+        }
+    }
+}
+
+impl Canon for Global {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.name.canon(w);
+        self.elems.canon(w);
+        self.ty.canon(w);
+        self.init.canon(w);
+    }
+}
+
+impl Canon for Block {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.insts.canon(w);
+        self.term.canon(w);
+    }
+}
+
+impl Canon for Function {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.name.canon(w);
+        self.blocks.canon(w);
+        self.entry.canon(w);
+        self.num_regs.canon(w);
+        self.params.canon(w);
+        self.frame_words.canon(w);
+    }
+}
+
+impl Canon for Program {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.functions.canon(w);
+        self.globals.canon(w);
         self.entry.canon(w);
     }
 }

@@ -1,0 +1,703 @@
+//! Decoding counterpart of [`crate::canon`] — the disk artifact cache's
+//! wire format.
+//!
+//! The canonical byte encoding was introduced for content addressing (hash
+//! the stream, get a [`SourceId`](crate::canon)-style key).  Because it is
+//! self-delimiting — every enum variant discriminant-tagged, every
+//! collection length-prefixed — it is also a complete serialization, so the
+//! disk tier of the artifact store persists artifacts as their canonical
+//! bytes and decodes them with the [`Decanon`] trait defined here.
+//!
+//! Decoders are **total**: any byte stream either decodes to a value or
+//! returns `None` — never a panic, never an out-of-bounds read, never an
+//! unbounded allocation.  A truncated or bit-flipped cache file must degrade
+//! to a rebuild, not take the harness down, so:
+//!
+//! * every read is bounds-checked against the remaining input;
+//! * length prefixes are *not* trusted for pre-allocation (a corrupt length
+//!   of `u64::MAX` reserves nothing; the element loop simply runs out of
+//!   bytes and fails);
+//! * unknown enum discriminants and invalid scalar encodings (`bool` bytes
+//!   other than 0/1, non-UTF-8 strings) decode to `None`.
+//!
+//! The round-trip law, checked by the tests at the bottom and by the store's
+//! own verification: for every `T: Canon + Decanon`,
+//! `decanon(canon(x)) == Some(x)` and the decode consumes exactly the bytes
+//! the encode produced.
+
+use crate::canon::Canon;
+use crate::hll::{Expr, HllFunction, HllGlobal, HllProgram, LValue, Stmt};
+use crate::program::{Block, Function, Global, GlobalInit, Program};
+use crate::types::{BlockId, FuncId, GlobalId, Reg, Ty, Value};
+use crate::visa::{
+    Address, BinOp, Inst, InstClass, MemBase, Operand, OperandKind, Terminator, UnOp,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bounded cursor over a canonical byte stream.
+pub struct CanonReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CanonReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        CanonReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// `true` once every input byte has been consumed (decoders for
+    /// top-level artifacts require this, so trailing garbage is corruption).
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// The next `n` bytes, or `None` past the end of input.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let chunk = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(chunk)
+    }
+
+    fn array<const N: usize>(&mut self) -> Option<[u8; N]> {
+        self.take(N).map(|b| b.try_into().expect("exact length"))
+    }
+
+    /// One discriminant / scalar byte.
+    pub fn byte(&mut self) -> Option<u8> {
+        self.array::<1>().map(|[b]| b)
+    }
+
+    /// A little-endian length prefix.  The value is returned untrusted; use
+    /// it only to bound a loop that itself reads (and therefore bounds-
+    /// checks) each element.
+    pub fn length_prefix(&mut self) -> Option<u64> {
+        self.array::<8>().map(u64::from_le_bytes)
+    }
+}
+
+/// Types decodable from their canonical byte encoding (see the module docs).
+pub trait Decanon: Sized {
+    /// Decodes one value, advancing the reader; `None` on any malformation.
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self>;
+}
+
+/// Encodes `value` to its canonical bytes.
+pub fn to_canon_bytes<T: Canon + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.canon(&mut out);
+    out
+}
+
+/// Decodes a value from a complete canonical byte stream, requiring every
+/// input byte to be consumed (trailing garbage is treated as corruption).
+pub fn from_canon_bytes<T: Decanon>(bytes: &[u8]) -> Option<T> {
+    let mut r = CanonReader::new(bytes);
+    let value = T::decanon(&mut r)?;
+    r.is_exhausted().then_some(value)
+}
+
+macro_rules! impl_decanon_le {
+    ($($t:ty),*) => {$(
+        impl Decanon for $t {
+            fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+                r.array().map(<$t>::from_le_bytes)
+            }
+        }
+    )*};
+}
+
+impl_decanon_le!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Decanon for usize {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        usize::try_from(u64::decanon(r)?).ok()
+    }
+}
+
+impl Decanon for bool {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        match r.byte()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Decanon for f64 {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        u64::decanon(r).map(f64::from_bits)
+    }
+}
+
+impl Decanon for String {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        let len = usize::try_from(r.length_prefix()?).ok()?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl<T: Decanon> Decanon for Option<T> {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        match r.byte()? {
+            0 => Some(None),
+            1 => T::decanon(r).map(Some),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Decanon> Decanon for Vec<T> {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        let len = r.length_prefix()?;
+        // Don't trust the prefix for allocation: a corrupt length fails in
+        // the element loop when the input runs dry, having reserved at most
+        // one read's worth of memory per element actually present.
+        let mut out = Vec::new();
+        for _ in 0..len {
+            out.push(T::decanon(r)?);
+        }
+        Some(out)
+    }
+}
+
+impl<T: Decanon> Decanon for Box<T> {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        T::decanon(r).map(Box::new)
+    }
+}
+
+impl<A: Decanon, B: Decanon> Decanon for (A, B) {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some((A::decanon(r)?, B::decanon(r)?))
+    }
+}
+
+impl<A: Decanon, B: Decanon, C: Decanon> Decanon for (A, B, C) {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some((A::decanon(r)?, B::decanon(r)?, C::decanon(r)?))
+    }
+}
+
+impl<K: Decanon + Ord, V: Decanon> Decanon for BTreeMap<K, V> {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        let len = r.length_prefix()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decanon(r)?;
+            let v = V::decanon(r)?;
+            // Canon writes keys in strictly ascending order; a duplicate
+            // would silently collapse, so reject it as corruption.
+            if out.insert(k, v).is_some() {
+                return None;
+            }
+        }
+        Some(out)
+    }
+}
+
+impl<T: Decanon + Ord> Decanon for BTreeSet<T> {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        let len = r.length_prefix()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            if !out.insert(T::decanon(r)?) {
+                return None;
+            }
+        }
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IR scalar enums.
+// ---------------------------------------------------------------------------
+
+impl Decanon for Ty {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        match r.byte()? {
+            0 => Some(Ty::Int),
+            1 => Some(Ty::Float),
+            _ => None,
+        }
+    }
+}
+
+impl Decanon for Value {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        match r.byte()? {
+            0 => i64::decanon(r).map(Value::Int),
+            1 => f64::decanon(r).map(Value::Float),
+            _ => None,
+        }
+    }
+}
+
+impl Decanon for BinOp {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(match r.byte()? {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            2 => BinOp::Mul,
+            3 => BinOp::Div,
+            4 => BinOp::Rem,
+            5 => BinOp::And,
+            6 => BinOp::Or,
+            7 => BinOp::Xor,
+            8 => BinOp::Shl,
+            9 => BinOp::Shr,
+            10 => BinOp::Lt,
+            11 => BinOp::Le,
+            12 => BinOp::Gt,
+            13 => BinOp::Ge,
+            14 => BinOp::Eq,
+            15 => BinOp::Ne,
+            _ => return None,
+        })
+    }
+}
+
+impl Decanon for UnOp {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(match r.byte()? {
+            0 => UnOp::Neg,
+            1 => UnOp::Not,
+            2 => UnOp::LogicalNot,
+            3 => UnOp::ToFloat,
+            4 => UnOp::ToInt,
+            5 => UnOp::Sqrt,
+            6 => UnOp::Sin,
+            7 => UnOp::Cos,
+            8 => UnOp::Log,
+            9 => UnOp::Abs,
+            _ => return None,
+        })
+    }
+}
+
+impl Decanon for InstClass {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        InstClass::ALL.get(r.byte()? as usize).copied()
+    }
+}
+
+impl Decanon for OperandKind {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        match r.byte()? {
+            0 => Some(OperandKind::Register),
+            1 => Some(OperandKind::Constant),
+            2 => Some(OperandKind::Memory),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HLL programs.
+// ---------------------------------------------------------------------------
+
+impl Decanon for Expr {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(match r.byte()? {
+            0 => Expr::Int(i64::decanon(r)?),
+            1 => Expr::Float(f64::decanon(r)?),
+            2 => Expr::Var(String::decanon(r)?),
+            3 => Expr::Index(String::decanon(r)?, Box::decanon(r)?),
+            4 => Expr::Bin(BinOp::decanon(r)?, Box::decanon(r)?, Box::decanon(r)?),
+            5 => Expr::Un(UnOp::decanon(r)?, Box::decanon(r)?),
+            6 => Expr::Call(String::decanon(r)?, Vec::decanon(r)?),
+            _ => return None,
+        })
+    }
+}
+
+impl Decanon for LValue {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(match r.byte()? {
+            0 => LValue::Var(String::decanon(r)?),
+            1 => LValue::Index(String::decanon(r)?, Box::decanon(r)?),
+            _ => return None,
+        })
+    }
+}
+
+impl Decanon for Stmt {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(match r.byte()? {
+            0 => Stmt::Assign {
+                target: LValue::decanon(r)?,
+                value: Expr::decanon(r)?,
+            },
+            1 => Stmt::If {
+                cond: Expr::decanon(r)?,
+                then_branch: Vec::decanon(r)?,
+                else_branch: Vec::decanon(r)?,
+            },
+            2 => Stmt::While {
+                cond: Expr::decanon(r)?,
+                body: Vec::decanon(r)?,
+            },
+            3 => Stmt::For {
+                var: String::decanon(r)?,
+                init: Expr::decanon(r)?,
+                limit: Expr::decanon(r)?,
+                step: Expr::decanon(r)?,
+                body: Vec::decanon(r)?,
+            },
+            4 => Stmt::Call {
+                name: String::decanon(r)?,
+                args: Vec::decanon(r)?,
+                dst: Option::decanon(r)?,
+            },
+            5 => Stmt::Return(Option::decanon(r)?),
+            6 => Stmt::Print(Expr::decanon(r)?),
+            7 => Stmt::Break,
+            8 => Stmt::Continue,
+            _ => return None,
+        })
+    }
+}
+
+impl Decanon for HllGlobal {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(HllGlobal {
+            name: String::decanon(r)?,
+            elems: usize::decanon(r)?,
+            ty: Ty::decanon(r)?,
+            init: Vec::decanon(r)?,
+            iota: bool::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for HllFunction {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(HllFunction {
+            name: String::decanon(r)?,
+            params: Vec::decanon(r)?,
+            float_vars: Vec::decanon(r)?,
+            body: Vec::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for HllProgram {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(HllProgram {
+            globals: Vec::decanon(r)?,
+            functions: Vec::decanon(r)?,
+            entry: String::decanon(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VISA programs.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_decanon_id {
+    ($($t:ident),*) => {$(
+        impl Decanon for $t {
+            fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+                u32::decanon(r).map($t)
+            }
+        }
+    )*};
+}
+
+impl_decanon_id!(Reg, BlockId, FuncId, GlobalId);
+
+impl Decanon for MemBase {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        match r.byte()? {
+            0 => GlobalId::decanon(r).map(MemBase::Global),
+            1 => Some(MemBase::Frame),
+            _ => None,
+        }
+    }
+}
+
+impl Decanon for Address {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(Address {
+            base: MemBase::decanon(r)?,
+            offset: i64::decanon(r)?,
+            index: Option::decanon(r)?,
+            scale: i64::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for Operand {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(match r.byte()? {
+            0 => Operand::Reg(Reg::decanon(r)?),
+            1 => Operand::ImmInt(i64::decanon(r)?),
+            2 => Operand::ImmFloat(f64::decanon(r)?),
+            3 => Operand::Mem(Address::decanon(r)?),
+            _ => return None,
+        })
+    }
+}
+
+impl Decanon for Inst {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(match r.byte()? {
+            0 => Inst::Bin {
+                op: BinOp::decanon(r)?,
+                ty: Ty::decanon(r)?,
+                dst: Reg::decanon(r)?,
+                lhs: Operand::decanon(r)?,
+                rhs: Operand::decanon(r)?,
+            },
+            1 => Inst::Un {
+                op: UnOp::decanon(r)?,
+                ty: Ty::decanon(r)?,
+                dst: Reg::decanon(r)?,
+                src: Operand::decanon(r)?,
+            },
+            2 => Inst::Mov {
+                dst: Reg::decanon(r)?,
+                src: Operand::decanon(r)?,
+            },
+            3 => Inst::Load {
+                dst: Reg::decanon(r)?,
+                addr: Address::decanon(r)?,
+                ty: Ty::decanon(r)?,
+            },
+            4 => Inst::Store {
+                src: Operand::decanon(r)?,
+                addr: Address::decanon(r)?,
+                ty: Ty::decanon(r)?,
+            },
+            5 => Inst::Call {
+                func: FuncId::decanon(r)?,
+                args: Vec::decanon(r)?,
+                dst: Option::decanon(r)?,
+            },
+            6 => Inst::Print {
+                src: Operand::decanon(r)?,
+            },
+            7 => Inst::Nop,
+            _ => return None,
+        })
+    }
+}
+
+impl Decanon for Terminator {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(match r.byte()? {
+            0 => Terminator::Jump(BlockId::decanon(r)?),
+            1 => Terminator::Branch {
+                cond: Reg::decanon(r)?,
+                taken: BlockId::decanon(r)?,
+                not_taken: BlockId::decanon(r)?,
+            },
+            2 => Terminator::Return(Option::decanon(r)?),
+            _ => return None,
+        })
+    }
+}
+
+impl Decanon for GlobalInit {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(match r.byte()? {
+            0 => GlobalInit::Zero,
+            1 => GlobalInit::Iota,
+            2 => GlobalInit::Values(Vec::decanon(r)?),
+            3 => GlobalInit::Random {
+                seed: u64::decanon(r)?,
+                modulus: i64::decanon(r)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl Decanon for Global {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(Global {
+            name: String::decanon(r)?,
+            elems: usize::decanon(r)?,
+            ty: Ty::decanon(r)?,
+            init: GlobalInit::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for Block {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(Block {
+            insts: Vec::decanon(r)?,
+            term: Terminator::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for Function {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(Function {
+            name: String::decanon(r)?,
+            blocks: Vec::decanon(r)?,
+            entry: BlockId::decanon(r)?,
+            num_regs: u32::decanon(r)?,
+            params: Vec::decanon(r)?,
+            frame_words: u32::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for Program {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(Program {
+            functions: Vec::decanon(r)?,
+            globals: Vec::decanon(r)?,
+            entry: FuncId::decanon(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FunctionBuilder;
+
+    fn roundtrip<T: Canon + Decanon + PartialEq + std::fmt::Debug>(value: &T) {
+        let bytes = to_canon_bytes(value);
+        let back: T = from_canon_bytes(&bytes).expect("decodes");
+        assert_eq!(&back, value);
+        assert_eq!(to_canon_bytes(&back), bytes, "re-encode is stable");
+    }
+
+    fn sample_hll() -> HllProgram {
+        let mut p = HllProgram::new();
+        p.add_global(HllGlobal::with_values("tbl", vec![1, 2, 3]));
+        p.add_global(HllGlobal::float_zeroed("fs", 8));
+        let mut f = FunctionBuilder::new("main");
+        f.float_var("x");
+        f.assign_var("x", Expr::float(-0.0));
+        f.for_loop("i", Expr::int(0), Expr::int(10), |b| {
+            b.assign_index(
+                "tbl",
+                Expr::var("i"),
+                Expr::add(Expr::var("i"), Expr::int(7)),
+            );
+            b.if_then(Expr::lt(Expr::var("i"), Expr::int(5)), |t| {
+                t.assign_var("s", Expr::add(Expr::var("s"), Expr::var("i")));
+            });
+        });
+        f.print(Expr::var("s"));
+        f.ret(Some(Expr::var("s")));
+        p.add_function(f.finish());
+        p
+    }
+
+    #[test]
+    fn hll_programs_roundtrip() {
+        roundtrip(&sample_hll());
+    }
+
+    #[test]
+    fn visa_programs_roundtrip() {
+        let compiled_shape = {
+            let mut p = Program::new();
+            let g = p.add_global(Global::zeroed("data", 64));
+            let mut f = Function::new("main");
+            let a = f.fresh_reg();
+            let b = f.fresh_reg();
+            let body = f.add_block();
+            f.blocks[0].insts = vec![
+                Inst::Mov {
+                    dst: a,
+                    src: Operand::ImmInt(0),
+                },
+                Inst::Un {
+                    op: UnOp::ToFloat,
+                    ty: Ty::Float,
+                    dst: b,
+                    src: a.into(),
+                },
+            ];
+            f.blocks[0].term = Terminator::Jump(body);
+            f.blocks[body.index()].insts = vec![
+                Inst::Load {
+                    dst: a,
+                    addr: Address::global_indexed(g, 4, b, 2),
+                    ty: Ty::Int,
+                },
+                Inst::Store {
+                    src: Operand::ImmFloat(f64::NAN),
+                    addr: Address::frame(3),
+                    ty: Ty::Float,
+                },
+                Inst::Call {
+                    func: FuncId(0),
+                    args: vec![a.into(), Operand::ImmInt(-7)],
+                    dst: Some(b),
+                },
+                Inst::Print { src: a.into() },
+                Inst::Nop,
+            ];
+            f.blocks[body.index()].term = Terminator::Branch {
+                cond: a,
+                taken: BlockId(0),
+                not_taken: body,
+            };
+            p.add_function(f);
+            p
+        };
+        // NaN != NaN under PartialEq, so compare canonical bytes instead.
+        let bytes = to_canon_bytes(&compiled_shape);
+        let back: Program = from_canon_bytes(&bytes).expect("decodes");
+        assert_eq!(to_canon_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_decode_to_none() {
+        let bytes = to_canon_bytes(&sample_hll());
+        for cut in [0, 1, 7, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                from_canon_bytes::<HllProgram>(&bytes[..cut]).is_none(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        let mut garbage = bytes.clone();
+        garbage.push(0);
+        assert!(
+            from_canon_bytes::<HllProgram>(&garbage).is_none(),
+            "trailing bytes are corruption"
+        );
+        assert!(from_canon_bytes::<Stmt>(&[9]).is_none(), "bad discriminant");
+        assert!(from_canon_bytes::<bool>(&[2]).is_none(), "bad bool");
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_do_not_allocate_unboundedly() {
+        // A Vec claiming u64::MAX elements must fail fast when the input
+        // runs dry, not reserve memory up front.
+        let mut bytes = u64::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        assert!(from_canon_bytes::<Vec<u64>>(&bytes).is_none());
+    }
+
+    #[test]
+    fn scalar_edge_cases_roundtrip() {
+        roundtrip(&i64::MIN);
+        roundtrip(&u64::MAX);
+        roundtrip(&Value::Float(-0.0));
+        roundtrip(&String::from("päper"));
+        roundtrip(&Some(vec![(1u32, String::from("x"))]));
+        let nan = f64::from_bits(0x7ff8_0000_0000_0001);
+        let bytes = to_canon_bytes(&nan);
+        let back: f64 = from_canon_bytes(&bytes).expect("decodes");
+        assert_eq!(back.to_bits(), nan.to_bits(), "NaN payload preserved");
+    }
+}

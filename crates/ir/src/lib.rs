@@ -43,6 +43,7 @@ pub mod build;
 pub mod canon;
 pub mod cemit;
 pub mod cfg;
+pub mod codec;
 pub mod eval;
 pub mod hll;
 pub mod pretty;

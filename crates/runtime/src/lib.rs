@@ -23,8 +23,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod disk;
 pub mod scheduler;
 pub mod store;
 
+pub use disk::{DiskCache, DiskStats};
 pub use scheduler::{with_workers, Runtime};
 pub use store::{ArtifactStore, CompiledArtifact, SourceId, StoreStats};

@@ -21,9 +21,11 @@
 //! by a per-key `OnceLock` (losers of the map race block on the winner's
 //! build instead of building twice).
 
+use crate::disk::{DiskCache, DiskStats};
 use bsg_compiler::{compile, CompileOptions};
 use bsg_ir::canon::{Canon, CanonWrite};
 use bsg_ir::cemit;
+use bsg_ir::codec::{from_canon_bytes, to_canon_bytes};
 use bsg_ir::hll::HllProgram;
 use bsg_ir::Program;
 use bsg_profile::{profile_image, ProfileConfig, StatisticalProfile};
@@ -80,6 +82,12 @@ impl fmt::Display for SourceId {
     }
 }
 
+impl Canon for SourceId {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        w.write(&self.0.to_le_bytes());
+    }
+}
+
 /// A compiled program plus its predecoded execution image, built once and
 /// shared by every sweep that needs this (source, options) point.
 #[derive(Debug)]
@@ -114,21 +122,60 @@ impl<K: Eq + Hash + Clone, V> Table<K, V> {
         }
     }
 
-    fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+    /// Memoized lookup.  The initializer also reports whether it *built* the
+    /// value (`true`) or obtained it from a lower tier (`false`, counted by
+    /// that tier instead).  A request that finds the value already memoized
+    /// counts as a (memory) hit.
+    fn get_or_init(&self, key: K, init: impl FnOnce() -> (V, bool)) -> Arc<V> {
         let cell = self.map.lock().unwrap().entry(key).or_default().clone();
-        let mut built = false;
+        let mut invoked = false;
         let value = cell
             .get_or_init(|| {
-                built = true;
-                self.builds.fetch_add(1, Ordering::Relaxed);
-                Arc::new(build())
+                invoked = true;
+                let (value, built) = init();
+                if built {
+                    self.builds.fetch_add(1, Ordering::Relaxed);
+                }
+                Arc::new(value)
             })
             .clone();
-        if !built {
+        if !invoked {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         value
     }
+}
+
+/// Two-tier lookup: memory table first, then the disk cache, then a cold
+/// build (which is written back to disk).  `file_key` must be a content hash
+/// of the table's full in-memory key, so the two tiers agree on identity.
+/// A disk payload that fails to decode is corruption, not an error: it is
+/// logged once, discounted, rebuilt and overwritten.
+#[allow(clippy::too_many_arguments)] // one argument per tier concern; a config struct would obscure the call sites
+fn two_tier<K: Eq + Hash + Clone, V>(
+    table: &Table<K, V>,
+    disk: Option<&DiskCache>,
+    kind: &'static str,
+    file_key: SourceId,
+    key: K,
+    decode: impl FnOnce(&[u8]) -> Option<V>,
+    encode: impl FnOnce(&V) -> Vec<u8>,
+    build: impl FnOnce() -> V,
+) -> Arc<V> {
+    table.get_or_init(key, || {
+        let Some(disk) = disk else {
+            return (build(), true);
+        };
+        if let Some(bytes) = disk.load(kind, file_key.as_u128()) {
+            match decode(&bytes) {
+                Some(value) => return (value, false),
+                None => disk.unhit_corrupt(kind, file_key.as_u128()),
+            }
+        }
+        let value = build();
+        disk.store(kind, file_key.as_u128(), &encode(&value));
+        (value, true)
+    })
 }
 
 /// Per-table hit/build counters (a build is a cold miss; every other request
@@ -151,13 +198,16 @@ pub struct StoreStats {
     pub synthesis_builds: u64,
     /// Cache hits on synthesis results.
     pub synthesis_hits: u64,
+    /// Disk-tier counters (zero when the disk tier is disabled).
+    pub disk: DiskStats,
 }
 
 impl fmt::Display for StoreStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "compiled {}/{} profile {}/{} c-text {}/{} synthesis {}/{} (builds/requests)",
+            "compiled {}/{} profile {}/{} c-text {}/{} synthesis {}/{} (builds/requests); \
+             disk hits {} writes {} corrupt {}",
             self.compiled_builds,
             self.compiled_builds + self.compiled_hits,
             self.profile_builds,
@@ -166,6 +216,9 @@ impl fmt::Display for StoreStats {
             self.c_text_builds + self.c_text_hits,
             self.synthesis_builds,
             self.synthesis_builds + self.synthesis_hits,
+            self.disk.hits,
+            self.disk.writes,
+            self.disk.corrupt,
         )
     }
 }
@@ -176,23 +229,44 @@ pub struct ArtifactStore {
     profiles: Table<(SourceId, CompileOptions, String, SourceId), StatisticalProfile>,
     c_texts: Table<SourceId, String>,
     syntheses: Table<(SourceId, SourceId, u64), TargetedSynthesis>,
+    disk: Option<DiskCache>,
 }
 
 impl ArtifactStore {
-    /// An empty store.
+    /// An empty, memory-only store (no disk tier; unit tests and embedders
+    /// that need hermetic behaviour use this).
     pub fn new() -> Self {
         ArtifactStore {
             compiled: Table::new(),
             profiles: Table::new(),
             c_texts: Table::new(),
             syntheses: Table::new(),
+            disk: None,
         }
     }
 
-    /// The process-wide store used by the experiment harness.
+    /// An empty store backed by the given disk cache directory.
+    pub fn with_disk(disk: DiskCache) -> Self {
+        ArtifactStore {
+            disk: Some(disk),
+            ..ArtifactStore::new()
+        }
+    }
+
+    /// The process-wide store used by the experiment harness.  Its disk tier
+    /// is configured by [`crate::disk::ENV_DIR`] (`BSG_ARTIFACT_DIR`):
+    /// enabled at a versioned temp-dir default unless explicitly disabled.
     pub fn global() -> &'static ArtifactStore {
         static GLOBAL: OnceLock<ArtifactStore> = OnceLock::new();
-        GLOBAL.get_or_init(ArtifactStore::new)
+        GLOBAL.get_or_init(|| ArtifactStore {
+            disk: DiskCache::from_env(),
+            ..ArtifactStore::new()
+        })
+    }
+
+    /// The disk tier, if this store has one (for diagnostics).
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
     }
 
     /// The compiled program + predecoded image of `hll` under `options`,
@@ -213,22 +287,44 @@ impl ArtifactStore {
         hll: &HllProgram,
         options: &CompileOptions,
     ) -> Arc<CompiledArtifact> {
-        self.compiled.get_or_build((source, *options), || {
-            let program = compile(hll, options)
-                .expect("cached source compiles")
-                .program;
-            let image = ExecImage::new(&program);
-            CompiledArtifact {
-                source,
-                options: *options,
-                program,
-                image,
-            }
-        })
+        two_tier(
+            &self.compiled,
+            self.disk.as_ref(),
+            "compiled",
+            SourceId::of(&(source, *options)),
+            (source, *options),
+            // The disk payload is the lowered program; the predecoded image
+            // is derived deterministically on load (decode + predecode is
+            // far cheaper than the optimizing compile it replaces).
+            |bytes| {
+                let program: Program = from_canon_bytes(bytes)?;
+                let image = ExecImage::new(&program);
+                Some(CompiledArtifact {
+                    source,
+                    options: *options,
+                    program,
+                    image,
+                })
+            },
+            |artifact| to_canon_bytes(&artifact.program),
+            || {
+                let program = compile(hll, options)
+                    .expect("cached source compiles")
+                    .program;
+                let image = ExecImage::new(&program);
+                CompiledArtifact {
+                    source,
+                    options: *options,
+                    program,
+                    image,
+                }
+            },
+        )
     }
 
     /// The statistical profile of `hll` compiled under `options`, reusing the
     /// memoized compiled artifact (and its image) for the profiling run.
+    /// A warm disk tier serves the profile without compiling at all.
     pub fn profile(
         &self,
         hll: &HllProgram,
@@ -236,22 +332,36 @@ impl ArtifactStore {
         name: &str,
         config: &ProfileConfig,
     ) -> Arc<StatisticalProfile> {
-        let artifact = self.compiled(hll, options);
-        let key = (
-            artifact.source,
-            *options,
-            name.to_string(),
-            SourceId::of(config),
-        );
-        self.profiles.get_or_build(key, || {
-            profile_image(&artifact.program, &artifact.image, name, config)
-        })
+        let source = SourceId::of(hll);
+        let key = (source, *options, name.to_string(), SourceId::of(config));
+        two_tier(
+            &self.profiles,
+            self.disk.as_ref(),
+            "profile",
+            SourceId::of(&((source, *options), (name, SourceId::of(config)))),
+            key,
+            from_canon_bytes::<StatisticalProfile>,
+            to_canon_bytes,
+            || {
+                let artifact = self.compiled_keyed(source, hll, options);
+                profile_image(&artifact.program, &artifact.image, name, config)
+            },
+        )
     }
 
     /// The emitted C text of `hll`.
     pub fn c_text(&self, hll: &HllProgram) -> Arc<String> {
-        self.c_texts
-            .get_or_build(SourceId::of(hll), || cemit::emit_c(hll))
+        let source = SourceId::of(hll);
+        two_tier(
+            &self.c_texts,
+            self.disk.as_ref(),
+            "c-text",
+            source,
+            source,
+            from_canon_bytes::<String>,
+            to_canon_bytes,
+            || cemit::emit_c(hll),
+        )
     }
 
     /// The target-driven synthesis for `profile`, memoized on the profile's
@@ -267,9 +377,16 @@ impl ArtifactStore {
             SourceId::of(base),
             target_instructions,
         );
-        self.syntheses.get_or_build(key, || {
-            synthesize_with_target(profile, base, target_instructions)
-        })
+        two_tier(
+            &self.syntheses,
+            self.disk.as_ref(),
+            "synthesis",
+            SourceId::of(&key),
+            key,
+            from_canon_bytes::<TargetedSynthesis>,
+            to_canon_bytes,
+            || synthesize_with_target(profile, base, target_instructions),
+        )
     }
 
     /// A snapshot of the hit/build counters.
@@ -283,6 +400,7 @@ impl ArtifactStore {
             c_text_hits: self.c_texts.hits.load(Ordering::Relaxed),
             synthesis_builds: self.syntheses.builds.load(Ordering::Relaxed),
             synthesis_hits: self.syntheses.hits.load(Ordering::Relaxed),
+            disk: self.disk.as_ref().map(DiskCache::stats).unwrap_or_default(),
         }
     }
 }
@@ -393,6 +511,136 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.compiled_builds, 1);
         assert_eq!(stats.compiled_hits, 7);
+    }
+
+    fn temp_disk(tag: &str) -> DiskCache {
+        let dir = std::env::temp_dir().join(format!(
+            "bsg-store-test-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskCache::at(dir)
+    }
+
+    /// The acceptance surface of the disk tier: a *fresh store over the same
+    /// cache directory* (modeling a second harness process) serves compiled
+    /// programs, profiles, synthesis results and C text from disk, all
+    /// bit-identical to the cold builds, with zero rebuild work.
+    #[test]
+    fn second_store_over_same_directory_serves_from_disk_bit_identically() {
+        let root = temp_disk("twoproc").root().to_path_buf();
+        let hll = tiny_program(60);
+        let opts = CompileOptions::new(OptLevel::O2, TargetIsa::X86_64);
+        let pcfg = ProfileConfig::default();
+        let scfg = SynthesisConfig::default();
+
+        let cold_store = ArtifactStore::with_disk(DiskCache::at(&root));
+        let cold_compiled = cold_store.compiled(&hll, &opts);
+        let cold_profile =
+            cold_store.profile(&hll, &CompileOptions::portable(OptLevel::O0), "t", &pcfg);
+        let cold_synth = cold_store.synthesis(&cold_profile, &scfg, 2_000);
+        let cold_c = cold_store.c_text(&hll);
+        assert_eq!(cold_store.stats().disk.hits, 0, "first process is cold");
+        assert!(cold_store.stats().disk.writes >= 4);
+
+        let warm_store = ArtifactStore::with_disk(DiskCache::at(&root));
+        let warm_compiled = warm_store.compiled(&hll, &opts);
+        let warm_profile =
+            warm_store.profile(&hll, &CompileOptions::portable(OptLevel::O0), "t", &pcfg);
+        let warm_synth = warm_store.synthesis(&warm_profile, &scfg, 2_000);
+        let warm_c = warm_store.c_text(&hll);
+
+        assert_eq!(warm_compiled.program, cold_compiled.program);
+        assert_eq!(
+            warm_compiled.image.num_sites(),
+            cold_compiled.image.num_sites()
+        );
+        assert_eq!(*warm_profile, *cold_profile);
+        assert_eq!(*warm_synth, *cold_synth);
+        assert_eq!(*warm_c, *cold_c);
+
+        let stats = warm_store.stats();
+        assert!(
+            stats.disk.hits >= 4,
+            "disk tier served the warm run: {stats}"
+        );
+        assert_eq!(
+            (
+                stats.compiled_builds,
+                stats.profile_builds,
+                stats.synthesis_builds,
+                stats.c_text_builds
+            ),
+            (0, 0, 0, 0),
+            "warm run rebuilt nothing: {stats}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Satellite requirement: a truncated disk entry must log + rebuild,
+    /// never panic — and the rebuilt artifact repairs the cache in place.
+    #[test]
+    fn truncated_disk_entries_rebuild_without_panicking() {
+        let root = temp_disk("trunc").root().to_path_buf();
+        let hll = tiny_program(40);
+        let opts = CompileOptions::new(OptLevel::O1, TargetIsa::X86);
+
+        let first = ArtifactStore::with_disk(DiskCache::at(&root));
+        let reference = first.compiled(&hll, &opts);
+
+        // Truncate every cached entry mid-payload (keeping valid headers
+        // would only exercise the checksum; cutting inside the header
+        // exercises the header parser too).
+        let mut damaged = 0;
+        for entry in std::fs::read_dir(root.join("compiled")).unwrap() {
+            let path = entry.unwrap().path();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+            damaged += 1;
+        }
+        assert!(damaged > 0, "the cold run must have populated the cache");
+
+        let second = ArtifactStore::with_disk(DiskCache::at(&root));
+        let rebuilt = second.compiled(&hll, &opts);
+        assert_eq!(rebuilt.program, reference.program, "rebuild is identical");
+        let stats = second.stats();
+        assert_eq!(stats.disk.corrupt, 1, "corruption detected: {stats}");
+        assert_eq!(stats.compiled_builds, 1, "fell back to a rebuild");
+
+        // The rebuild overwrote the damaged entry: a third store hits disk.
+        let third = ArtifactStore::with_disk(DiskCache::at(&root));
+        let repaired = third.compiled(&hll, &opts);
+        assert_eq!(repaired.program, reference.program);
+        assert_eq!(third.stats().disk.hits, 1, "cache repaired in place");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A payload whose checksum holds but whose canonical bytes don't decode
+    /// (e.g. written by a different build) is treated as corruption too.
+    #[test]
+    fn undecodable_payloads_fall_back_to_rebuild() {
+        let root = temp_disk("undecodable").root().to_path_buf();
+        let hll = tiny_program(15);
+        let opts = CompileOptions::new(OptLevel::O0, TargetIsa::X86);
+        let source = SourceId::of(&hll);
+        let file_key = SourceId::of(&(source, opts));
+
+        // Store well-formed garbage under the exact key the store will probe.
+        let cache = DiskCache::at(&root);
+        cache.store("compiled", file_key.as_u128(), b"not a canonical program");
+
+        let store = ArtifactStore::with_disk(DiskCache::at(&root));
+        let artifact = store.compiled(&hll, &opts);
+        assert_eq!(artifact.program, compile(&hll, &opts).unwrap().program);
+        let stats = store.stats();
+        assert_eq!(stats.disk.corrupt, 1);
+        assert_eq!(stats.disk.hits, 0, "a discarded decode is not a hit");
+        assert_eq!(stats.compiled_builds, 1);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

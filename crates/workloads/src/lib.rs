@@ -29,10 +29,15 @@ pub mod crypto;
 pub mod fibonacci;
 pub mod math;
 pub mod media;
+pub mod registry;
+pub mod spec;
+
+pub use registry::{SuiteOrigin, WorkloadRegistry, WorkloadSpec};
 
 use bsg_ir::hll::HllProgram;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Input size, mirroring MiBench's small/large data sets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -66,46 +71,47 @@ impl fmt::Display for InputSize {
 }
 
 /// A workload: a named HLL program ready to be compiled and profiled.
+///
+/// The program is shared behind an `Arc`: suite workloads are built once per
+/// process by the [`WorkloadRegistry`] and cloned out cheaply, so sweeps can
+/// pass `Workload`s by value without regenerating kernels.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Workload name, `"<kernel>/<input>"` as in the paper's figures.
     pub name: String,
     /// Kernel name without the input suffix.
     pub kernel: String,
+    /// Behavioural category from the registry (media, spec-fp, ...).
+    pub category: &'static str,
     /// Input size the program was generated for.
     pub input: InputSize,
-    /// The program.
-    pub program: HllProgram,
+    /// The program (shared; deref to `&HllProgram` at use sites).
+    pub program: Arc<HllProgram>,
 }
 
 impl Workload {
-    fn new(kernel: &str, input: InputSize, program: HllProgram) -> Self {
+    fn new(kernel: &str, category: &'static str, input: InputSize, program: HllProgram) -> Self {
         Workload {
             name: format!("{kernel}/{input}"),
             kernel: kernel.to_string(),
+            category,
             input,
-            program,
+            program: Arc::new(program),
         }
+    }
+
+    /// Builds the workload a registry spec describes for one input size.
+    pub fn from_spec(spec: &WorkloadSpec, input: InputSize) -> Self {
+        Workload::new(spec.kernel, spec.category, input, (spec.build)(input))
     }
 }
 
-/// Builds every workload of the suite for one input size, in a stable order.
+/// The suite for one input size, in registry order (MiBench kernels first,
+/// SPEC-like extensions after).  Served from the process-wide
+/// [`WorkloadRegistry`], which builds each program exactly once; the
+/// returned `Workload`s are cheap `Arc` clones.
 pub fn suite(input: InputSize) -> Vec<Workload> {
-    vec![
-        Workload::new("adpcm", input, media::adpcm(input)),
-        Workload::new("basicmath", input, math::basicmath(input)),
-        Workload::new("bitcount", input, algo::bitcount(input)),
-        Workload::new("crc32", input, crypto::crc32(input)),
-        Workload::new("dijkstra", input, algo::dijkstra(input)),
-        Workload::new("fft", input, math::fft(input)),
-        Workload::new("gsm", input, media::gsm(input)),
-        Workload::new("jpeg", input, media::jpeg(input)),
-        Workload::new("patricia", input, algo::patricia(input)),
-        Workload::new("qsort", input, algo::qsort(input)),
-        Workload::new("sha", input, crypto::sha(input)),
-        Workload::new("stringsearch", input, algo::stringsearch(input)),
-        Workload::new("susan", input, media::susan(input)),
-    ]
+    WorkloadRegistry::global().suite(input).to_vec()
 }
 
 /// Builds the full suite across both input sizes (small first).
@@ -118,7 +124,12 @@ pub fn full_suite() -> Vec<Workload> {
 /// The fibonacci kernel of Figure 3 in the paper (not part of the measured
 /// suite, used by the example and the Figure 3 experiment).
 pub fn fibonacci_workload(n: i64) -> Workload {
-    Workload::new("fibonacci", InputSize::Small, fibonacci::fibonacci(n))
+    Workload::new(
+        "fibonacci",
+        "example",
+        InputSize::Small,
+        fibonacci::fibonacci(n),
+    )
 }
 
 #[cfg(test)]
@@ -128,14 +139,15 @@ mod tests {
     use bsg_uarch::exec::{execute, ExecConfig, NullObserver};
 
     #[test]
-    fn suite_has_all_thirteen_kernels_for_both_inputs() {
+    fn suite_has_all_eighteen_kernels_for_both_inputs() {
         let small = suite(InputSize::Small);
         let large = suite(InputSize::Large);
-        assert_eq!(small.len(), 13);
-        assert_eq!(large.len(), 13);
-        assert_eq!(full_suite().len(), 26);
+        assert_eq!(small.len(), 18);
+        assert_eq!(large.len(), 18);
+        assert_eq!(full_suite().len(), 36);
         let names: Vec<&str> = small.iter().map(|w| w.kernel.as_str()).collect();
-        for expected in [
+        // The paper's 13 MiBench kernels stay the leading block, in order.
+        let mibench = [
             "adpcm",
             "basicmath",
             "bitcount",
@@ -149,7 +161,9 @@ mod tests {
             "sha",
             "stringsearch",
             "susan",
-        ] {
+        ];
+        assert_eq!(&names[..13], &mibench, "legacy prefix preserved");
+        for expected in ["huffman", "lu", "nbody", "regexscan", "sjoin"] {
             assert!(names.contains(&expected), "missing {expected}");
         }
     }

@@ -1,0 +1,286 @@
+//! The workload registry: the declarative table every suite sweep runs over.
+//!
+//! Before this module, the suite was a hardcoded 13-entry `vec!` in
+//! `suite()`, rebuilt from scratch — every `HllProgram` regenerated — on
+//! every call; adding a kernel meant editing that function plus each test
+//! that counted to 13.  The registry replaces it with a data table: each
+//! kernel registers a [`WorkloadSpec`] (name, category, origin, input-size
+//! generator), and everything else — iteration order, suite construction,
+//! memoization, lookup by name — derives from the table.  Adding a workload
+//! is now one line here plus its builder function.
+//!
+//! **Ordering is part of the contract.**  Specs are listed MiBench kernels
+//! first (the paper's original 13, in their historical order) and SPEC-like
+//! extensions after, so every pre-existing figure row keeps its position and
+//! the determinism suite can pin the legacy prefix byte-for-byte.
+//!
+//! **Programs are built once per process.**  [`WorkloadRegistry::suite`]
+//! memoizes the built [`Workload`]s per [`InputSize`] behind `Arc`s (an
+//! `HllProgram` build walks every statement of the kernel; sweeps request
+//! the suite dozens of times), and a build counter makes the build-once
+//! property assertable in tests.
+
+use crate::{InputSize, Workload};
+use bsg_ir::hll::HllProgram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Where a kernel comes from (and therefore where it sorts in the suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SuiteOrigin {
+    /// One of the paper's 13 MiBench re-implementations.
+    MiBench,
+    /// A SPEC-like extension kernel (post-paper, ROADMAP-driven).
+    SpecLike,
+}
+
+/// One registered kernel: everything the harness needs to build and label
+/// its workloads, as data.
+pub struct WorkloadSpec {
+    /// Kernel name (the `<kernel>` of the `"<kernel>/<input>"` workload name).
+    pub kernel: &'static str,
+    /// Behavioural category (media, math, crypto, spec-fp, ...), for
+    /// grouping and reporting.
+    pub category: &'static str,
+    /// Provenance; controls suite ordering (MiBench block first).
+    pub origin: SuiteOrigin,
+    /// Input-size generator: builds the kernel's program for a given size.
+    pub build: fn(InputSize) -> HllProgram,
+}
+
+/// The full registration table.  Append new kernels to their origin block;
+/// never reorder existing entries (figure rows and the determinism golden
+/// files depend on the order).
+static SPECS: &[WorkloadSpec] = &[
+    WorkloadSpec {
+        kernel: "adpcm",
+        category: "media",
+        origin: SuiteOrigin::MiBench,
+        build: crate::media::adpcm,
+    },
+    WorkloadSpec {
+        kernel: "basicmath",
+        category: "math",
+        origin: SuiteOrigin::MiBench,
+        build: crate::math::basicmath,
+    },
+    WorkloadSpec {
+        kernel: "bitcount",
+        category: "automotive",
+        origin: SuiteOrigin::MiBench,
+        build: crate::algo::bitcount,
+    },
+    WorkloadSpec {
+        kernel: "crc32",
+        category: "crypto",
+        origin: SuiteOrigin::MiBench,
+        build: crate::crypto::crc32,
+    },
+    WorkloadSpec {
+        kernel: "dijkstra",
+        category: "network",
+        origin: SuiteOrigin::MiBench,
+        build: crate::algo::dijkstra,
+    },
+    WorkloadSpec {
+        kernel: "fft",
+        category: "math",
+        origin: SuiteOrigin::MiBench,
+        build: crate::math::fft,
+    },
+    WorkloadSpec {
+        kernel: "gsm",
+        category: "media",
+        origin: SuiteOrigin::MiBench,
+        build: crate::media::gsm,
+    },
+    WorkloadSpec {
+        kernel: "jpeg",
+        category: "media",
+        origin: SuiteOrigin::MiBench,
+        build: crate::media::jpeg,
+    },
+    WorkloadSpec {
+        kernel: "patricia",
+        category: "network",
+        origin: SuiteOrigin::MiBench,
+        build: crate::algo::patricia,
+    },
+    WorkloadSpec {
+        kernel: "qsort",
+        category: "automotive",
+        origin: SuiteOrigin::MiBench,
+        build: crate::algo::qsort,
+    },
+    WorkloadSpec {
+        kernel: "sha",
+        category: "crypto",
+        origin: SuiteOrigin::MiBench,
+        build: crate::crypto::sha,
+    },
+    WorkloadSpec {
+        kernel: "stringsearch",
+        category: "office",
+        origin: SuiteOrigin::MiBench,
+        build: crate::algo::stringsearch,
+    },
+    WorkloadSpec {
+        kernel: "susan",
+        category: "media",
+        origin: SuiteOrigin::MiBench,
+        build: crate::media::susan,
+    },
+    WorkloadSpec {
+        kernel: "huffman",
+        category: "spec-compress",
+        origin: SuiteOrigin::SpecLike,
+        build: crate::spec::huffman,
+    },
+    WorkloadSpec {
+        kernel: "lu",
+        category: "spec-fp",
+        origin: SuiteOrigin::SpecLike,
+        build: crate::spec::lu,
+    },
+    WorkloadSpec {
+        kernel: "nbody",
+        category: "spec-fp",
+        origin: SuiteOrigin::SpecLike,
+        build: crate::spec::nbody,
+    },
+    WorkloadSpec {
+        kernel: "regexscan",
+        category: "spec-int",
+        origin: SuiteOrigin::SpecLike,
+        build: crate::spec::regexscan,
+    },
+    WorkloadSpec {
+        kernel: "sjoin",
+        category: "spec-int",
+        origin: SuiteOrigin::SpecLike,
+        build: crate::spec::sjoin,
+    },
+];
+
+/// The process-wide kernel registry (see the module docs).
+pub struct WorkloadRegistry {
+    small: OnceLock<Vec<Workload>>,
+    large: OnceLock<Vec<Workload>>,
+    builds: AtomicU64,
+}
+
+impl WorkloadRegistry {
+    /// The global registry instance.
+    pub fn global() -> &'static WorkloadRegistry {
+        static GLOBAL: WorkloadRegistry = WorkloadRegistry {
+            small: OnceLock::new(),
+            large: OnceLock::new(),
+            builds: AtomicU64::new(0),
+        };
+        &GLOBAL
+    }
+
+    /// Every registered spec, in suite order.
+    pub fn specs(&self) -> &'static [WorkloadSpec] {
+        SPECS
+    }
+
+    /// Looks up a spec by kernel name.
+    pub fn spec(&self, kernel: &str) -> Option<&'static WorkloadSpec> {
+        SPECS.iter().find(|s| s.kernel == kernel)
+    }
+
+    /// The built suite for one input size, in registry order.  Each kernel's
+    /// program is built exactly once per process; the returned `Workload`s
+    /// share it behind an `Arc`, so cloning out of this slice is cheap.
+    pub fn suite(&self, input: InputSize) -> &[Workload] {
+        let cell = match input {
+            InputSize::Small => &self.small,
+            InputSize::Large => &self.large,
+        };
+        cell.get_or_init(|| {
+            SPECS
+                .iter()
+                .map(|spec| {
+                    self.builds.fetch_add(1, Ordering::Relaxed);
+                    Workload::from_spec(spec, input)
+                })
+                .collect()
+        })
+    }
+
+    /// The suite restricted to the paper's original MiBench kernels — the
+    /// configuration the pre-registry golden outputs were captured with.
+    pub fn legacy_suite(&self, input: InputSize) -> Vec<Workload> {
+        self.suite(input)
+            .iter()
+            .filter(|w| {
+                self.spec(&w.kernel)
+                    .is_some_and(|s| s.origin == SuiteOrigin::MiBench)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// How many (kernel, input) programs have been built in this process —
+    /// at most `specs().len()` per input size, however often the suite is
+    /// requested (the build-once property; asserted by tests).
+    pub fn build_count(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_orders_mibench_before_spec_and_never_duplicates() {
+        let specs = WorkloadRegistry::global().specs();
+        assert_eq!(specs.len(), 18);
+        let first_spec_like = specs
+            .iter()
+            .position(|s| s.origin == SuiteOrigin::SpecLike)
+            .expect("spec-like kernels registered");
+        assert_eq!(first_spec_like, 13, "MiBench block comes first, intact");
+        assert!(
+            specs[first_spec_like..]
+                .iter()
+                .all(|s| s.origin == SuiteOrigin::SpecLike),
+            "origin blocks are contiguous"
+        );
+        let mut names: Vec<&str> = specs.iter().map(|s| s.kernel).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "kernel names are unique");
+    }
+
+    #[test]
+    fn suite_is_memoized_and_shares_programs() {
+        let reg = WorkloadRegistry::global();
+        // Fill both memoization cells before snapshotting the counter, so a
+        // concurrent test building the Large suite cannot race the
+        // no-rebuild assertion.
+        let a = reg.suite(InputSize::Small);
+        let _ = reg.suite(InputSize::Large);
+        let before = reg.build_count();
+        let b = reg.suite(InputSize::Small);
+        assert_eq!(reg.build_count(), before, "second request builds nothing");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(
+                std::sync::Arc::ptr_eq(&x.program, &y.program),
+                "{} is shared, not rebuilt",
+                x.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_finds_every_spec() {
+        let reg = WorkloadRegistry::global();
+        for spec in reg.specs() {
+            assert_eq!(reg.spec(spec.kernel).unwrap().kernel, spec.kernel);
+        }
+        assert!(reg.spec("no-such-kernel").is_none());
+    }
+}
