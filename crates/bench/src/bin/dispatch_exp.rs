@@ -1,0 +1,263 @@
+//! Measured direct-threading experiment (ROADMAP / PERF.md §PR-5).
+//!
+//! Computed goto is not expressible in stable Rust, so the only stable
+//! "direct threading" variant available to the engine is storing a **function
+//! pointer per step** and dispatching through an indirect call, instead of
+//! the current `match` (which compiles to a bounds-free jump table).  Porting
+//! the whole engine to find out which wins would be a large, risky change —
+//! so this binary measures the *dispatch mechanism itself* in isolation: the
+//! same micro-op stream, the same register/memory state, the same per-op
+//! semantics, executed (a) through a `match` over an op enum and (b) through
+//! an embedded `fn`-pointer per op.  The op mix mirrors the engine's hot
+//! loop after fusion (wide ALU ops, loads/stores, a compare+branch loop
+//! latch), and the stream is large enough to defeat trivial branch
+//! prediction of the dispatch itself.
+//!
+//! The result is recorded in PERF.md whichever way it lands; the engine only
+//! adopts `fn`-pointer dispatch if this experiment shows a clear win.
+//!
+//! Run with `cargo run -p bsg-bench --release --bin dispatch_exp`.
+
+use std::time::Instant;
+
+const MEM: usize = 1 << 14;
+const REGS: usize = 32;
+
+/// Interpreter state shared by both dispatch styles.
+struct St {
+    regs: [i64; REGS],
+    mem: Vec<i64>,
+    pc: usize,
+    executed: u64,
+    budget: u64,
+    running: bool,
+}
+
+impl St {
+    fn new(budget: u64) -> St {
+        St {
+            regs: [0; REGS],
+            mem: (0..MEM as i64).collect(),
+            pc: 0,
+            executed: 0,
+            budget,
+            running: true,
+        }
+    }
+
+    fn checksum(&self) -> i64 {
+        let r: i64 = self.regs.iter().fold(0, |a, b| a.wrapping_add(*b));
+        r.wrapping_add(
+            self.mem
+                .iter()
+                .step_by(997)
+                .fold(0, |a, b| a.wrapping_add(*b)),
+        )
+    }
+}
+
+/// Operand payload, identical for both styles.
+#[derive(Clone, Copy)]
+struct Payload {
+    a: usize,
+    b: usize,
+    c: usize,
+    imm: i64,
+}
+
+/// Enum form (jump-table dispatch via `match`).
+#[derive(Clone, Copy)]
+enum Op {
+    Add(Payload),
+    Sub(Payload),
+    Mul(Payload),
+    Xor(Payload),
+    Shl(Payload),
+    MovI(Payload),
+    Load(Payload),
+    Store(Payload),
+    Lt(Payload),
+    CondBr(Payload),
+}
+
+#[inline(always)]
+fn step_semantics(kind: u8, p: &Payload, st: &mut St) {
+    st.executed += 1;
+    if st.executed >= st.budget {
+        st.running = false;
+    }
+    let regs = &mut st.regs;
+    match kind {
+        0 => regs[p.c] = regs[p.a].wrapping_add(regs[p.b]),
+        1 => regs[p.c] = regs[p.a].wrapping_sub(regs[p.b]),
+        2 => regs[p.c] = regs[p.a].wrapping_mul(regs[p.b]),
+        3 => regs[p.c] = regs[p.a] ^ regs[p.b],
+        4 => regs[p.c] = regs[p.a].wrapping_shl((regs[p.b] & 63) as u32),
+        5 => regs[p.c] = p.imm,
+        6 => regs[p.c] = st.mem[(regs[p.a] as u64 as usize) & (MEM - 1)],
+        7 => {
+            let i = (regs[p.a] as u64 as usize) & (MEM - 1);
+            st.mem[i] = regs[p.c];
+        }
+        8 => regs[p.c] = (regs[p.a] < regs[p.b]) as i64,
+        _ => {
+            st.pc = if regs[p.a] != 0 { p.b } else { p.c };
+            return;
+        }
+    }
+    st.pc += 1;
+}
+
+fn run_match(ops: &[Op], st: &mut St) {
+    while st.running {
+        match &ops[st.pc] {
+            Op::Add(p) => step_semantics(0, p, st),
+            Op::Sub(p) => step_semantics(1, p, st),
+            Op::Mul(p) => step_semantics(2, p, st),
+            Op::Xor(p) => step_semantics(3, p, st),
+            Op::Shl(p) => step_semantics(4, p, st),
+            Op::MovI(p) => step_semantics(5, p, st),
+            Op::Load(p) => step_semantics(6, p, st),
+            Op::Store(p) => step_semantics(7, p, st),
+            Op::Lt(p) => step_semantics(8, p, st),
+            Op::CondBr(p) => step_semantics(9, p, st),
+        }
+    }
+}
+
+/// Threaded form: each op embeds its handler pointer (what "direct
+/// threading" amounts to in stable Rust).
+#[derive(Clone, Copy)]
+struct ThreadedOp {
+    f: fn(&Payload, &mut St),
+    p: Payload,
+}
+
+macro_rules! handler {
+    ($name:ident, $kind:expr) => {
+        fn $name(p: &Payload, st: &mut St) {
+            step_semantics($kind, p, st);
+        }
+    };
+}
+handler!(h_add, 0);
+handler!(h_sub, 1);
+handler!(h_mul, 2);
+handler!(h_xor, 3);
+handler!(h_shl, 4);
+handler!(h_movi, 5);
+handler!(h_load, 6);
+handler!(h_store, 7);
+handler!(h_lt, 8);
+handler!(h_condbr, 9);
+
+fn run_threaded(ops: &[ThreadedOp], st: &mut St) {
+    while st.running {
+        let op = &ops[st.pc];
+        (op.f)(&op.p, st);
+    }
+}
+
+fn thread(ops: &[Op]) -> Vec<ThreadedOp> {
+    ops.iter()
+        .map(|op| {
+            let (f, p): (fn(&Payload, &mut St), Payload) = match op {
+                Op::Add(p) => (h_add, *p),
+                Op::Sub(p) => (h_sub, *p),
+                Op::Mul(p) => (h_mul, *p),
+                Op::Xor(p) => (h_xor, *p),
+                Op::Shl(p) => (h_shl, *p),
+                Op::MovI(p) => (h_movi, *p),
+                Op::Load(p) => (h_load, *p),
+                Op::Store(p) => (h_store, *p),
+                Op::Lt(p) => (h_lt, *p),
+                Op::CondBr(p) => (h_condbr, *p),
+            };
+            ThreadedOp { f, p }
+        })
+        .collect()
+}
+
+/// A loop body with the post-fusion hot-loop op mix: ~60% ALU, ~20% memory,
+/// one compare + conditional branch per iteration, over enough distinct
+/// static sites that the dispatch branch is not trivially predictable.
+fn program() -> Vec<Op> {
+    let p = |a: usize, b: usize, c: usize, imm: i64| Payload { a, b, c, imm };
+    let mut ops = vec![Op::MovI(p(0, 0, 0, 0)), Op::MovI(p(0, 0, 1, 1))];
+    // Body: a deterministic but irregular mix over 24 sites.
+    for k in 0..24 {
+        let (a, b, c) = (k % 7 + 2, (k * 5) % 9 + 2, (k * 3) % 11 + 2);
+        ops.push(match k % 8 {
+            0 => Op::Add(p(a, b, c, 0)),
+            1 => Op::Load(p(a, 0, c, 0)),
+            2 => Op::Mul(p(a, b, c, 0)),
+            3 => Op::Xor(p(a, b, c, 0)),
+            4 => Op::Store(p(a, 0, c, 0)),
+            5 => Op::Sub(p(a, b, c, 0)),
+            6 => Op::Shl(p(a, 1, c, 0)),
+            _ => Op::Add(p(c, 1, a, 0)),
+        });
+    }
+    // i += 1; cond = i < huge; branch back to body start (pc 2).
+    ops.push(Op::Add(p(0, 1, 0, 0)));
+    ops.push(Op::MovI(p(0, 0, 20, i64::MAX)));
+    ops.push(Op::Lt(p(0, 20, 21, 0)));
+    ops.push(Op::CondBr(p(21, 2, 2, 0)));
+    ops
+}
+
+fn best_of<F: FnMut() -> (i64, u64)>(passes: u32, mut body: F) -> (i64, u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..passes {
+        let start = Instant::now();
+        let r = body();
+        best = best.min(start.elapsed().as_secs_f64());
+        if let Some(prev) = result {
+            assert_eq!(prev, r, "nondeterministic dispatch experiment");
+        }
+        result = Some(r);
+    }
+    let (sum, n) = result.unwrap();
+    (sum, n, best)
+}
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60_000_000);
+    let ops = program();
+    let threaded = thread(&ops);
+    let passes = 5;
+
+    let (sum_m, n_m, t_match) = best_of(passes, || {
+        let mut st = St::new(budget);
+        run_match(&ops, &mut st);
+        (st.checksum(), st.executed)
+    });
+    let (sum_t, n_t, t_thread) = best_of(passes, || {
+        let mut st = St::new(budget);
+        run_threaded(&threaded, &mut st);
+        (st.checksum(), st.executed)
+    });
+    assert_eq!(sum_m, sum_t, "both styles must compute identical results");
+    assert_eq!(n_m, n_t);
+
+    let ns_m = t_match / n_m as f64 * 1e9;
+    let ns_t = t_thread / n_t as f64 * 1e9;
+    println!("dispatch experiment over {n_m} dispatches (best of {passes}):");
+    println!("  match (jump table):     {ns_m:.3} ns/dispatch  ({t_match:.3}s)");
+    println!("  fn-pointer (threaded):  {ns_t:.3} ns/dispatch  ({t_thread:.3}s)");
+    let delta = (ns_t - ns_m) / ns_m * 100.0;
+    println!(
+        "  verdict: fn-pointer dispatch is {delta:+.1}% vs the match ({})",
+        if delta > 2.0 {
+            "match wins - keep the match"
+        } else if delta < -2.0 {
+            "threading wins - consider porting the engine"
+        } else {
+            "a wash - keep the simpler match"
+        }
+    );
+}

@@ -187,17 +187,26 @@ fn main() {
     };
 
     // --- No observer: raw interpreted instructions/sec. -------------------
-    push(
-        "null/fused",
-        images
-            .iter()
-            .map(|image| {
-                best_of(passes, || {
-                    execute_image(image, &mut NullObserver, &limit).dynamic_instructions
-                })
+    // The per-program measurements of the null configs are kept so the
+    // per-kernel speedup breakdown below can name the laggards (fft,
+    // basicmath, ...) instead of hiding them in the suite-wide mean.
+    let null_fused: Vec<(u64, f64)> = images
+        .iter()
+        .map(|image| {
+            best_of(passes, || {
+                execute_image(image, &mut NullObserver, &limit).dynamic_instructions
             })
-            .collect(),
-    );
+        })
+        .collect();
+    let null_legacy: Vec<(u64, f64)> = programs
+        .iter()
+        .map(|p| {
+            best_of(passes, || {
+                execute_legacy(p, &mut NullObserver, &limit).dynamic_instructions
+            })
+        })
+        .collect();
+    push("null/fused", null_fused.clone());
     push(
         "null/predecoded",
         images_unfused
@@ -209,17 +218,7 @@ fn main() {
             })
             .collect(),
     );
-    push(
-        "null/legacy",
-        programs
-            .iter()
-            .map(|p| {
-                best_of(passes, || {
-                    execute_legacy(p, &mut NullObserver, &limit).dynamic_instructions
-                })
-            })
-            .collect(),
-    );
+    push("null/legacy", null_legacy.clone());
 
     // --- Pipeline timing model as the observer. ---------------------------
     let pipe = PipelineConfig::ptlsim_2wide(16);
@@ -345,6 +344,32 @@ fn main() {
     }
     println!("speedup fused vs legacy:      null {null_fx:.2}x, pipeline {pipe_fx:.2}x, profile {prof_fx:.2}x");
     println!("speedup predecoded vs legacy: null {null_x:.2}x, pipeline {pipe_x:.2}x, profile {prof_x:.2}x");
+
+    // Per-kernel null/fused vs null/legacy breakdown, slowest speedup first,
+    // so laggards are visible in the trajectory instead of only in prose.
+    let per_kernel: Vec<(&str, f64, f64, f64)> = names
+        .iter()
+        .zip(null_fused.iter().zip(&null_legacy))
+        .map(|(name, (&(fi, fs), &(li, ls)))| {
+            // Zero-duration measurements (a clock that didn't tick) report
+            // 0.0, never INFINITY: the values land in BENCH_interp.json and
+            // `inf` is not valid JSON.
+            let fused_ips = if fs > 0.0 { fi as f64 / fs } else { 0.0 };
+            let legacy_ips = if ls > 0.0 { li as f64 / ls } else { 0.0 };
+            let speedup = if legacy_ips > 0.0 {
+                fused_ips / legacy_ips
+            } else {
+                0.0
+            };
+            (*name, fused_ips, legacy_ips, speedup)
+        })
+        .collect();
+    let mut by_speedup = per_kernel.clone();
+    by_speedup.sort_by(|a, b| a.3.total_cmp(&b.3));
+    println!("per-kernel null/fused speedup vs legacy (slowest first):");
+    for (name, _, _, speedup) in &by_speedup {
+        println!("  {name:<24} {speedup:>6.2}x");
+    }
     println!(
         "wall-clock: {wall_seconds:.3}s total ({prep_seconds:.3}s compile+predecode via {})",
         ArtifactStore::global().stats()
@@ -381,6 +406,15 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"per_kernel_null_speedup\": {{");
+    for (i, (name, fused_ips, legacy_ips, speedup)) in per_kernel.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{\"fused_ips\": {fused_ips:.0}, \"legacy_ips\": {legacy_ips:.0}, \"speedup\": {speedup:.3}}}{}",
+            if i + 1 < per_kernel.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"speedup_fused_vs_legacy\": {{");
     let _ = writeln!(json, "    \"null_observer\": {null_fx:.3},");
     let _ = writeln!(json, "    \"pipeline_sim\": {pipe_fx:.3},");

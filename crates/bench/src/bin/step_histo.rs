@@ -1,0 +1,52 @@
+//! Perf diagnostic: per-kernel dynamic dispatch histogram by step variant.
+//!
+//! For each named workload (default: the whole small suite), compiles at
+//! `-O0`, executes the fused image with a per-site counting observer, and
+//! prints which step variants the dynamic dispatches actually go through —
+//! the tool that tells us which shapes are still worth fusing or quickening.
+//!
+//! Run with `cargo run -p bsg-bench --release --bin step_histo [names...]`.
+
+use bsg_compiler::{CompileOptions, OptLevel};
+use bsg_uarch::exec::{execute_image, ExecConfig, InstEvent, Observer};
+use bsg_uarch::image::ExecImage;
+use bsg_workloads::{suite, InputSize};
+
+/// Counts dynamic executions per dense site id.
+struct SiteCounts(Vec<u64>);
+
+impl Observer for SiteCounts {
+    fn on_inst(&mut self, event: &InstEvent) {
+        self.0[event.site_id as usize] += 1;
+    }
+}
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    for w in suite(InputSize::Small) {
+        if !filter.is_empty() && !filter.iter().any(|f| w.name.contains(f.as_str())) {
+            continue;
+        }
+        let art = bsg_runtime::ArtifactStore::global()
+            .compiled(&w.program, &CompileOptions::portable(OptLevel::O0));
+        let image = ExecImage::new(&art.program);
+        let mut counts = SiteCounts(vec![0; image.num_sites()]);
+        let out = execute_image(&image, &mut counts, &ExecConfig::default());
+        println!(
+            "== {} ({} dynamic instructions, {} fused sites)",
+            w.name,
+            out.dynamic_instructions,
+            image.num_fused()
+        );
+        let histo = image.step_histogram(&counts.0);
+        let total: u64 = histo.iter().map(|(_, n)| n).sum();
+        for (name, n) in histo.iter().take(16) {
+            println!(
+                "  {:<20} {:>12}  {:>5.1}% of dispatches",
+                name,
+                n,
+                *n as f64 / total as f64 * 100.0
+            );
+        }
+    }
+}

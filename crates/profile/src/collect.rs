@@ -359,12 +359,19 @@ pub fn profile_program(
 
 /// [`profile_program`] over a prebuilt [`ExecImage`] of `program`, so callers
 /// holding a cached image (the artifact store) skip the predecode pass.
+///
+/// Observer-specialized dispatch: the collector is a heavyweight observer —
+/// inlined into the dispatch loop, the fused superinstruction arms cost more
+/// in i-cache pressure than they save in dispatch (PERF.md measures the
+/// profiler *faster* on unfused images) — so profiling runs the image's
+/// unfused twin when one is present.  Profiles are bit-identical either way.
 pub fn profile_image(
     program: &Program,
     image: &ExecImage,
     name: &str,
     config: &ProfileConfig,
 ) -> StatisticalProfile {
+    let image = image.unfused_twin();
     let mut collector = Collector::new(program, image, config);
     let outcome = execute_image(
         image,

@@ -66,6 +66,17 @@ const HEADER_LEN: usize = 4 + 4 + 8 + 8;
 /// disabled (the store runs memory-only, as before PR 4).
 pub const ENV_DIR: &str = "BSG_ARTIFACT_DIR";
 
+/// Environment variable capping the cache directory size in MiB (the
+/// eviction pass removes oldest-mtime entries until under the cap).  Unset →
+/// [`DEFAULT_MAX_MB`]; `off`, `0` or empty → eviction disabled (the
+/// pre-lifecycle behaviour: the directory grows without bound).
+pub const ENV_MAX_MB: &str = "BSG_ARTIFACT_MAX_MB";
+
+/// Default size cap: generous — a full-suite run writes ~10 MB, so the
+/// default tolerates dozens of toolchain fingerprints / config axes before
+/// eviction starts, while still bounding an unattended cache directory.
+pub const DEFAULT_MAX_MB: u64 = 512;
+
 fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -86,26 +97,43 @@ pub struct DiskStats {
     pub writes: u64,
     /// Entries rejected as corrupt/truncated/stale (subset of `misses`).
     pub corrupt: u64,
+    /// Entries removed by the size-capped eviction pass.
+    pub evicted: u64,
 }
 
 /// One on-disk artifact cache directory (see the module docs).
 pub struct DiskCache {
     root: PathBuf,
+    /// Size cap in bytes for the eviction pass (`None`: eviction off).
+    cap_bytes: Option<u64>,
+    /// Runs the post-store eviction pass once per process (see `store`).
+    evict_once: Once,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
     corrupt: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl DiskCache {
-    /// A cache rooted at `root` (created lazily on first write).
+    /// A cache rooted at `root` (created lazily on first write), with the
+    /// default size cap.
     pub fn at(root: impl Into<PathBuf>) -> Self {
+        Self::with_cap(root, Some(DEFAULT_MAX_MB * 1024 * 1024))
+    }
+
+    /// A cache with an explicit size cap in bytes (`None` disables the
+    /// eviction pass).
+    pub fn with_cap(root: impl Into<PathBuf>, cap_bytes: Option<u64>) -> Self {
         DiskCache {
             root: root.into(),
+            cap_bytes,
+            evict_once: Once::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         }
     }
 
@@ -121,9 +149,23 @@ impl DiskCache {
     /// explicit `BSG_ARTIFACT_DIR` skips both: the caller owns invalidation
     /// and isolation there.
     pub fn from_env() -> Option<Self> {
+        let cap_bytes = match std::env::var(ENV_MAX_MB) {
+            Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => None,
+            Ok(v) => match v.parse::<u64>() {
+                Ok(mb) => Some(mb.saturating_mul(1024 * 1024)),
+                Err(_) => {
+                    eprintln!(
+                        "[bsg-runtime] {ENV_MAX_MB}={v:?} is not a number; \
+                         using the default {DEFAULT_MAX_MB} MiB cap"
+                    );
+                    Some(DEFAULT_MAX_MB * 1024 * 1024)
+                }
+            },
+            Err(_) => Some(DEFAULT_MAX_MB * 1024 * 1024),
+        };
         match std::env::var(ENV_DIR) {
             Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => None,
-            Ok(v) => Some(DiskCache::at(v)),
+            Ok(v) => Some(DiskCache::with_cap(v, cap_bytes)),
             Err(_) => {
                 let user = std::env::var("USER")
                     .ok()
@@ -133,10 +175,13 @@ impl DiskCache {
                                 .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
                     })
                     .unwrap_or_else(|| "anon".to_string());
-                Some(DiskCache::at(std::env::temp_dir().join(format!(
-                    "bsg-artifact-cache-{user}-v{FORMAT_VERSION}-{}",
-                    env!("BSG_TOOLCHAIN_FINGERPRINT")
-                ))))
+                Some(DiskCache::with_cap(
+                    std::env::temp_dir().join(format!(
+                        "bsg-artifact-cache-{user}-v{FORMAT_VERSION}-{}",
+                        env!("BSG_TOOLCHAIN_FINGERPRINT")
+                    )),
+                    cap_bytes,
+                ))
             }
         }
     }
@@ -153,6 +198,59 @@ impl DiskCache {
             misses: self.misses.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The configured size cap in bytes, if eviction is enabled.
+    pub fn cap_bytes(&self) -> Option<u64> {
+        self.cap_bytes
+    }
+
+    /// Size-capped LRU eviction: while the directory's `.bsg` entries total
+    /// more than the cap, removes the oldest-mtime entries (writes refresh
+    /// mtime, so "oldest write" approximates least-recently-useful across
+    /// processes).  Best-effort — IO errors skip the entry; in-flight
+    /// `.tmp.` files are never touched (they are renamed into place or
+    /// cleaned up by their writer).  Runs automatically once per process
+    /// after the first store; callers (and tests) may invoke it directly.
+    pub fn evict_to_cap(&self) {
+        let Some(cap) = self.cap_bytes else {
+            return;
+        };
+        // Collect (mtime, size, path) of every entry across all kinds.
+        let mut entries: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+        let Ok(kinds) = fs::read_dir(&self.root) else {
+            return;
+        };
+        for kind in kinds.flatten() {
+            let Ok(files) = fs::read_dir(kind.path()) else {
+                continue;
+            };
+            for f in files.flatten() {
+                let path = f.path();
+                if path.extension().is_none_or(|e| e != "bsg") {
+                    continue;
+                }
+                if let Ok(meta) = f.metadata() {
+                    let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                    entries.push((mtime, meta.len(), path));
+                }
+            }
+        }
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total <= cap {
+            return;
+        }
+        entries.sort_by_key(|e| e.0);
+        for (_, len, path) in entries {
+            if total <= cap {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -230,6 +328,11 @@ impl DiskCache {
         let path = self.path_of(kind, key);
         if self.try_store(&path, payload).is_some() {
             self.writes.fetch_add(1, Ordering::Relaxed);
+            // Lifecycle: bound the directory once per process, after the
+            // first write (a growing cache only grows while writing).  The
+            // full scan is cheap relative to one artifact build, but not
+            // per-store cheap, hence the once-per-process cadence.
+            self.evict_once.call_once(|| self.evict_to_cap());
         }
     }
 
@@ -340,6 +443,75 @@ mod tests {
         bytes[4] = bytes[4].wrapping_add(1); // format version
         fs::write(&path, &bytes).unwrap();
         assert_eq!(cache.load("c-text", 9), None, "stale versions ignored");
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    /// Backdates an entry's mtime so eviction order is deterministic without
+    /// sleeping (mtime granularity can otherwise tie).
+    fn backdate(cache: &DiskCache, kind: &str, key: u128, secs_ago: u64) {
+        let path = cache.path_of(kind, key);
+        let f = fs::File::options().write(true).open(&path).unwrap();
+        f.set_modified(std::time::SystemTime::now() - std::time::Duration::from_secs(secs_ago))
+            .unwrap();
+    }
+
+    #[test]
+    fn eviction_removes_oldest_entries_first() {
+        // Cap of ~2.5 payloads: storing three forces the oldest out.
+        let payload = vec![7u8; 1000];
+        let cache = DiskCache::with_cap(
+            temp_cache("evict").root().to_path_buf(),
+            Some(2 * (HEADER_LEN as u64 + 1000) + 100),
+        );
+        cache.store("compiled", 1, &payload);
+        cache.store("compiled", 2, &payload);
+        cache.store("profile", 3, &payload);
+        backdate(&cache, "compiled", 1, 300); // oldest
+        backdate(&cache, "compiled", 2, 200);
+        backdate(&cache, "profile", 3, 100); // newest
+        cache.evict_to_cap();
+        assert_eq!(cache.stats().evicted, 1, "one entry over the cap");
+        assert_eq!(cache.load("compiled", 1), None, "oldest entry evicted");
+        assert!(cache.load("compiled", 2).is_some(), "newer entries survive");
+        assert!(cache.load("profile", 3).is_some());
+
+        // Shrink the cap below one payload: everything else goes too, oldest
+        // first across kind directories.
+        let tight = DiskCache::with_cap(cache.root().to_path_buf(), Some(10));
+        tight.evict_to_cap();
+        assert_eq!(tight.stats().evicted, 2);
+        assert_eq!(tight.load("compiled", 2), None);
+        assert_eq!(tight.load("profile", 3), None);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn eviction_off_switch_leaves_entries_alone() {
+        let cache = DiskCache::with_cap(temp_cache("evict-off").root().to_path_buf(), None);
+        let payload = vec![1u8; 4096];
+        for key in 0..8u128 {
+            cache.store("compiled", key, &payload);
+        }
+        cache.evict_to_cap();
+        assert_eq!(cache.stats().evicted, 0, "no cap, no eviction");
+        for key in 0..8u128 {
+            assert!(cache.load("compiled", key).is_some());
+        }
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn under_cap_caches_are_untouched() {
+        let cache = DiskCache::with_cap(
+            temp_cache("evict-under").root().to_path_buf(),
+            Some(1 << 20),
+        );
+        cache.store("compiled", 1, b"small");
+        cache.store("profile", 2, b"entries");
+        cache.evict_to_cap();
+        assert_eq!(cache.stats().evicted, 0);
+        assert!(cache.load("compiled", 1).is_some());
+        assert!(cache.load("profile", 2).is_some());
         let _ = fs::remove_dir_all(cache.root());
     }
 

@@ -207,7 +207,7 @@ impl fmt::Display for StoreStats {
         write!(
             f,
             "compiled {}/{} profile {}/{} c-text {}/{} synthesis {}/{} (builds/requests); \
-             disk hits {} writes {} corrupt {}",
+             disk hits {} writes {} corrupt {} evicted {}",
             self.compiled_builds,
             self.compiled_builds + self.compiled_hits,
             self.profile_builds,
@@ -219,6 +219,7 @@ impl fmt::Display for StoreStats {
             self.disk.hits,
             self.disk.writes,
             self.disk.corrupt,
+            self.disk.evicted,
         )
     }
 }

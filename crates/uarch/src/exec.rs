@@ -65,8 +65,46 @@
 //!   `start + len` never exceeds the flattened store, memory steps referring
 //!   to zero-length globals are rejected at decode, and every element index
 //!   is reduced below `len` by `wrap`/`global_index` before use.
-//! * **Frame-slot indices**: `slots` is sized to `frame_words.max(1)` and
-//!   every index is reduced with `wrap(elem, slots.len())`.
+//! * **Frame-slot indices**: the slot count is `frame_words.max(1)`
+//!   (`FrameBuf::nslots`).  Register-indexed accesses reduce their element
+//!   with `wrap(elem, nslots)` and route through the per-function slot-bank
+//!   table (`FuncImage::slot_banks`, built with exactly `nslots` entries),
+//!   so only banks that appear in the table are indexed — and
+//!   `FramePool::acquire` sizes exactly those banks to `nslots`
+//!   (`FrameLayout::has_int`/`has_float`/`has_tagged`).  Statically-addressed
+//!   accesses carry a `FrameSlot` whose index `image::frame_slot` validated
+//!   `< nslots` at decode.
+//! * **Per-shape frame-slot bank discipline** (rows for every frame step
+//!   shape; each is emitted by decode only under the stated proof):
+//!   - Int-slot shapes — `LoadFI`/`StoreFI` and the fused `LoadFIntAlu`/
+//!     `IntAluStoreF`/`LoadFAluStoreF`/`LoadFPairI`/`LoadFCmpBr`/
+//!     `StoreFIJump`/`StoreFLoadF`/`LoadFILoadG`/`LoadFIStoreG`: every
+//!     addressed slot is int-banked in `slot_banks` (so `slots_int` is
+//!     sized) and every frame-load destination/frame-store source register
+//!     is int-banked.
+//!   - Float-slot shapes — `LoadFF`/`StoreFF` and the fused
+//!     `LoadFFloatAlu`/`FloatAluStoreF`/`LoadFFAluStoreFF`/`LoadFPairF`/
+//!     `StoreFFJump`/`LoadFUnFF`/`UnFFStoreF`/`LoadFUnFFStoreFF`/
+//!     `FloatPairStoreF`: every addressed slot is float-banked (so
+//!     `slots_float` is sized) and every frame-load destination/frame-store
+//!     source register is float-banked; float slots additionally never
+//!     observe their missing zero-fill because the type analysis proved
+//!     every read is preceded by a store (`typing::frame_entry_live`).
+//!   - Register-only untagged shapes — `UnIF` (int source, float
+//!     destination), `FloatPair` (float banks throughout), `LoadGCmpBr`/
+//!     `LoadGFloatAlu`/`LoadFILoadG` global constituents (validated like
+//!     every `GlobalMem`): registers were bank-checked at decode exactly as
+//!     for their unfused forms.
+//!   - `LoadFrame`/`StoreFrame` (general): every slot index is wrapped below
+//!     `nslots` at run time and dispatched through `slot_banks`, whose entry
+//!     guarantees the chosen bank is sized.
+//! * **Zero-fill elision**: `FramePool::acquire` skips zero-filling a
+//!   register/slot bank when `FrameLayout::zero_*` says no member's implicit
+//!   `Int(0)` init is observable — justified by the same liveness pass that
+//!   seeds the init into the type lattice: every read of every member of
+//!   that bank is then provably preceded by a write, so retained pooled
+//!   values cannot be observed.  (This is a *correctness* invariant, not a
+//!   memory-safety one: banks are still always sized.)
 //! * **Function indices**: call targets and the entry function are validated
 //!   against the function table at decode.
 //!
@@ -75,7 +113,9 @@
 //! enforce this, for both the fused and unfused images) and serves as the
 //! measured baseline in `BENCH_interp.json`.
 
-use crate::image::{ExecImage, FloatAlu, FloatSrc, FrameMem, GlobalMem, IntAlu, IntSrc, Step};
+use crate::image::{
+    ExecImage, FloatAlu, FloatSrc, FrameLayout, FrameMem, GlobalMem, IntAlu, IntSrc, Step,
+};
 use crate::typing::RegBank;
 use bsg_ir::eval::{eval_bin, eval_un};
 use bsg_ir::program::MemoryLayout;
@@ -258,9 +298,7 @@ pub fn execute_image<O: Observer + ?Sized>(
     } else {
         let entry = image.entry;
         let f = &image.funcs[entry as usize];
-        let mut frame = engine
-            .frame_pool
-            .acquire(f.num_regs, f.frame_words, f.frame_bank);
+        let mut frame = engine.frame_pool.acquire(f.num_regs, &f.frame);
         let ret = engine.run_function(entry, &mut frame, 0, observer);
         engine.frame_pool.release(frame);
         ret
@@ -509,14 +547,20 @@ struct FrameBuf {
     floats: Vec<f64>,
     /// Tagged bank for registers whose type is not statically known.
     tagged: Vec<Value>,
-    /// Tagged frame slots (spill slots / `-O0` locals), used when the
-    /// function's frame bank is `Tagged`.
+    /// Tagged frame-slot bank, holding the slots whose per-slot bank is
+    /// `Tagged` (sized `nslots` iff the function has any such slot).
     slots: Vec<Value>,
-    /// Untagged frame slots, used when the type analysis proved the whole
-    /// frame holds integers (the common `-O0` case).  Both slot banks are
-    /// always sized to `frame_words`, so `slots.len()` is the slot count in
-    /// either discipline.
+    /// Untagged `i64` frame-slot bank (sized `nslots` iff some slot is
+    /// int-banked — the common case for `-O0` locals).
     slots_int: Vec<i64>,
+    /// Untagged `f64` frame-slot bank (sized `nslots` iff some slot is
+    /// float-banked).  Never zero-filled: a slot is only float-banked when
+    /// every read is provably preceded by a store, so stale values are
+    /// unobservable.
+    slots_float: Vec<f64>,
+    /// Slot count (`frame_words.max(1)`) — the wrapping modulus, kept here
+    /// because only the banks the function uses are sized.
+    nslots: usize,
 }
 
 /// Upper bound on pooled frames.  Deep recursion releases one frame per
@@ -543,34 +587,53 @@ impl FramePool {
         FramePool::default()
     }
 
-    /// A frame for a function with `num_regs` registers, `frame_words` slots
-    /// and the given slot-bank discipline, reusing a pooled buffer when
-    /// available.  Only the banks whose implicit `Int(0)` initialization is
-    /// observable are zero-filled: float-banked registers are provably
-    /// written before read (otherwise the init would have forced them
-    /// tagged), and the inactive slot bank is only consulted for its length,
-    /// so both just get resized and may retain stale (unobservable) values.
-    fn acquire(&mut self, num_regs: u32, frame_words: u32, frame_bank: RegBank) -> FrameBuf {
+    /// A frame for a function with `num_regs` registers and the given
+    /// slot-bank layout, reusing a pooled buffer when available.  Only the
+    /// banks whose implicit `Int(0)` initialization is observable are
+    /// zero-filled: float-banked registers and float-banked slots are
+    /// provably written before read (otherwise the init would have forced
+    /// them tagged), so the float banks just get resized and may retain
+    /// stale (unobservable) values.  Banks with no slots assigned to them
+    /// stay empty — the per-slot bank table is what routes every slot access,
+    /// so an unsized bank is never indexed.
+    fn acquire(&mut self, num_regs: u32, layout: &FrameLayout) -> FrameBuf {
         let mut frame = self.frames.pop().unwrap_or_default();
         let nregs = num_regs.max(1) as usize;
-        let nslots = frame_words.max(1) as usize;
-        frame.ints.clear();
+        let nslots = layout.nslots.max(1) as usize;
+        frame.nslots = nslots;
+        // Zero-fill only the banks where some member's `Int(0)` init is
+        // observable (`FrameLayout::zero_*`, from the liveness analysis);
+        // everywhere else the bank is merely resized and stale pooled values
+        // are unobservable.  Float banks never need filling.
+        if layout.zero_reg_ints {
+            frame.ints.clear();
+        }
         frame.ints.resize(nregs, 0);
-        frame.tagged.clear();
+        if layout.zero_reg_tagged {
+            frame.tagged.clear();
+        }
         frame.tagged.resize(nregs, Value::default());
         frame.floats.resize(nregs, 0.0);
-        match frame_bank {
-            RegBank::Int => {
+        if layout.has_int {
+            if layout.zero_slots_int {
                 frame.slots_int.clear();
-                frame.slots_int.resize(nslots, 0);
-                // The tagged slot bank only supplies `slots.len()` here.
-                frame.slots.resize(nslots, Value::default());
             }
-            _ => {
+            frame.slots_int.resize(nslots, 0);
+        } else {
+            frame.slots_int.clear();
+        }
+        if layout.has_tagged {
+            if layout.zero_slots_tagged {
                 frame.slots.clear();
-                frame.slots.resize(nslots, Value::default());
-                frame.slots_int.clear();
             }
+            frame.slots.resize(nslots, Value::default());
+        } else {
+            frame.slots.clear();
+        }
+        if layout.has_float {
+            frame.slots_float.resize(nslots, 0.0);
+        } else {
+            frame.slots_float.clear();
         }
         frame
     }
@@ -595,6 +658,9 @@ impl FramePool {
         }
         if frame.slots_int.capacity() > MAX_RETAINED_CAPACITY {
             frame.slots_int = Vec::new();
+        }
+        if frame.slots_float.capacity() > MAX_RETAINED_CAPACITY {
+            frame.slots_float = Vec::new();
         }
         self.frames.push(frame);
     }
@@ -630,6 +696,31 @@ fn write_reg(frame: &mut FrameBuf, banks: &[RegBank], r: u32, v: Value) {
     }
 }
 
+/// Reads a frame slot as a tagged [`Value`] through the function's per-slot
+/// bank table (the general path for register-indexed frame accesses and
+/// tagged slots).
+#[inline]
+fn read_slot(frame: &FrameBuf, slot_banks: &[RegBank], slot: usize) -> Value {
+    match *at(slot_banks, slot) {
+        RegBank::Int => Value::Int(*at(&frame.slots_int, slot)),
+        RegBank::Float => Value::Float(*at(&frame.slots_float, slot)),
+        RegBank::Tagged => *at(&frame.slots, slot),
+    }
+}
+
+/// Writes a tagged [`Value`] to a frame slot through the per-slot bank table.
+/// For untagged banks the `as_int`/`as_float` conversion is the identity: the
+/// type analysis proved every value dynamically reaching the slot has the
+/// bank's tag.
+#[inline]
+fn write_slot(frame: &mut FrameBuf, slot_banks: &[RegBank], slot: usize, v: Value) {
+    match *at(slot_banks, slot) {
+        RegBank::Int => *at_mut(&mut frame.slots_int, slot) = v.as_int(),
+        RegBank::Float => *at_mut(&mut frame.slots_float, slot) = v.as_float(),
+        RegBank::Tagged => *at_mut(&mut frame.slots, slot) = v,
+    }
+}
+
 /// Reads an untagged integer ALU operand.
 #[inline(always)]
 fn int_src(s: IntSrc, ints: &[i64]) -> i64 {
@@ -656,6 +747,14 @@ fn float_src(s: FloatSrc, frame: &FrameBuf) -> f64 {
         FloatSrc::I(r) => *at(&frame.ints, r as usize) as f64,
         FloatSrc::Imm(v) => v,
     }
+}
+
+/// Executes one untagged float ALU micro-op.
+#[inline(always)]
+fn exec_float_alu(a: &FloatAlu, frame: &mut FrameBuf) {
+    let x = float_src(a.lhs, frame);
+    let y = float_src(a.rhs, frame);
+    *at_mut(&mut frame.floats, a.dst as usize) = float_arith(a.op, x, y);
 }
 
 /// Element-index contribution of a predecoded memory reference's index
@@ -741,13 +840,8 @@ impl<'a> Engine<'a> {
             }
             MemBase::Frame => {
                 let byte = self.image.layout.frame_addr(depth, elem);
-                let n = frame.slots.len() as i64;
-                let i = elem.rem_euclid(n) as usize;
-                let value = match fimg.frame_bank {
-                    RegBank::Int => Value::Int(*at(&frame.slots_int, i)),
-                    _ => *at(&frame.slots, i),
-                };
-                (value, byte)
+                let i = Self::wrap(elem, frame.nslots);
+                (read_slot(frame, &fimg.slot_banks, i), byte)
             }
         }
     }
@@ -798,7 +892,7 @@ impl<'a> Engine<'a> {
     #[inline]
     fn frame_slot(mem: &FrameMem, frame: &FrameBuf) -> (usize, i64) {
         let elem = mem_elem(mem.offset, mem.index, mem.index_bank, mem.scale, frame);
-        (Self::wrap(elem, frame.slots.len()), elem)
+        (Self::wrap(elem, frame.nslots), elem)
     }
 
     /// Runs one function activation.  `frame` is already sized and (for
@@ -933,10 +1027,8 @@ impl<'a> Engine<'a> {
                         Step::IntAlu(a) => {
                             exec_int_alu(a, &mut frame.ints);
                         }
-                        Step::FloatAlu(FloatAlu { op, dst, lhs, rhs }) => {
-                            let a = float_src(*lhs, frame);
-                            let b = float_src(*rhs, frame);
-                            *at_mut(&mut frame.floats, *dst as usize) = float_arith(*op, a, b);
+                        Step::FloatAlu(a) => {
+                            exec_float_alu(a, frame);
                         }
                         Step::FloatCmp(FloatAlu { op, dst, lhs, rhs }) => {
                             let a = float_src(*lhs, frame);
@@ -951,6 +1043,12 @@ impl<'a> Engine<'a> {
                             let v = *at(&frame.floats, *src as usize);
                             *at_mut(&mut frame.floats, *dst as usize) = un_ff(*op, v);
                         }
+                        Step::UnIF { op, dst, src } => {
+                            // `as f64` is exactly `Value::as_float` on the
+                            // proven-int source.
+                            let v = *at(&frame.ints, *src as usize) as f64;
+                            *at_mut(&mut frame.floats, *dst as usize) = un_ff(*op, v);
+                        }
                         Step::IMovI { dst, imm } => {
                             *at_mut(&mut frame.ints, *dst as usize) = *imm;
                         }
@@ -960,6 +1058,26 @@ impl<'a> Engine<'a> {
                         Step::IMovRR { dst, src } => {
                             *at_mut(&mut frame.ints, *dst as usize) =
                                 *at(&frame.ints, *src as usize);
+                        }
+                        Step::LoadFI { dst, s } => {
+                            *at_mut(&mut frame.ints, *dst as usize) =
+                                *at(&frame.slots_int, s.slot as usize);
+                            mem_read = Some(self.image.layout.frame_addr(depth, s.elem));
+                        }
+                        Step::LoadFF { dst, s } => {
+                            *at_mut(&mut frame.floats, *dst as usize) =
+                                *at(&frame.slots_float, s.slot as usize);
+                            mem_read = Some(self.image.layout.frame_addr(depth, s.elem));
+                        }
+                        Step::StoreFI { src, s } => {
+                            *at_mut(&mut frame.slots_int, s.slot as usize) =
+                                int_src(*src, &frame.ints);
+                            mem_write = Some(self.image.layout.frame_addr(depth, s.elem));
+                        }
+                        Step::StoreFF { src, s } => {
+                            *at_mut(&mut frame.slots_float, s.slot as usize) =
+                                float_src(*src, frame);
+                            mem_write = Some(self.image.layout.frame_addr(depth, s.elem));
                         }
                         Step::FMovRR { dst, src } => {
                             *at_mut(&mut frame.floats, *dst as usize) =
@@ -1079,6 +1197,566 @@ impl<'a> Engine<'a> {
                             pc += 2;
                             continue;
                         }
+                        Step::LoadFIntAlu { dst, s, b } => {
+                            *at_mut(&mut frame.ints, *dst as usize) =
+                                *at(&frame.slots_int, s.slot as usize);
+                            emit_at!(
+                                pc,
+                                0,
+                                Some(self.image.layout.frame_addr(depth, s.elem)),
+                                None
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            exec_int_alu(b, &mut frame.ints);
+                            emit_at!(pc, 1, None, None);
+                            pc += 2;
+                            continue;
+                        }
+                        Step::IntAluStoreF { a, src, s } => {
+                            exec_int_alu(a, &mut frame.ints);
+                            emit_at!(pc, 0, None, None);
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            *at_mut(&mut frame.slots_int, s.slot as usize) =
+                                int_src(*src, &frame.ints);
+                            emit_at!(
+                                pc,
+                                1,
+                                None,
+                                Some(self.image.layout.frame_addr(depth, s.elem))
+                            );
+                            pc += 2;
+                            continue;
+                        }
+                        Step::LoadFAluStoreF {
+                            dst,
+                            ls,
+                            b,
+                            src,
+                            ss,
+                        } => {
+                            *at_mut(&mut frame.ints, *dst as usize) =
+                                *at(&frame.slots_int, ls.slot as usize);
+                            emit_at!(
+                                pc,
+                                0,
+                                Some(self.image.layout.frame_addr(depth, ls.elem)),
+                                None
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            exec_int_alu(b, &mut frame.ints);
+                            emit_at!(pc, 1, None, None);
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            *at_mut(&mut frame.slots_int, ss.slot as usize) =
+                                int_src(*src, &frame.ints);
+                            emit_at!(
+                                pc,
+                                2,
+                                None,
+                                Some(self.image.layout.frame_addr(depth, ss.elem))
+                            );
+                            pc += 3;
+                            continue;
+                        }
+                        Step::LoadFFloatAlu { dst, s, b } => {
+                            *at_mut(&mut frame.floats, *dst as usize) =
+                                *at(&frame.slots_float, s.slot as usize);
+                            emit_at!(
+                                pc,
+                                0,
+                                Some(self.image.layout.frame_addr(depth, s.elem)),
+                                None
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            exec_float_alu(b, frame);
+                            emit_at!(pc, 1, None, None);
+                            pc += 2;
+                            continue;
+                        }
+                        Step::FloatAluStoreF { a, src, s } => {
+                            exec_float_alu(a, frame);
+                            emit_at!(pc, 0, None, None);
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            *at_mut(&mut frame.slots_float, s.slot as usize) =
+                                float_src(*src, frame);
+                            emit_at!(
+                                pc,
+                                1,
+                                None,
+                                Some(self.image.layout.frame_addr(depth, s.elem))
+                            );
+                            pc += 2;
+                            continue;
+                        }
+                        Step::FloatPair(a, b) => {
+                            exec_float_alu(a, frame);
+                            emit_at!(pc, 0, None, None);
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            exec_float_alu(b, frame);
+                            emit_at!(pc, 1, None, None);
+                            pc += 2;
+                            continue;
+                        }
+                        Step::LoadFILoadG {
+                            dst1,
+                            s1,
+                            dst2,
+                            bank2,
+                            mem,
+                        } => {
+                            *at_mut(&mut frame.ints, *dst1 as usize) =
+                                *at(&frame.slots_int, s1.slot as usize);
+                            emit_at!(
+                                pc,
+                                0,
+                                Some(self.image.layout.frame_addr(depth, s1.elem)),
+                                None
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            let (value, byte_addr) = self.load_global(mem, frame);
+                            match bank2 {
+                                RegBank::Int => {
+                                    *at_mut(&mut frame.ints, *dst2 as usize) = value.as_int()
+                                }
+                                RegBank::Float => {
+                                    *at_mut(&mut frame.floats, *dst2 as usize) = value.as_float()
+                                }
+                                RegBank::Tagged => {
+                                    *at_mut(&mut frame.tagged, *dst2 as usize) = value
+                                }
+                            }
+                            emit_at!(pc, 1, Some(byte_addr), None);
+                            pc += 2;
+                            continue;
+                        }
+                        Step::StoreFLoadF { src, ss, dst, ls } => {
+                            *at_mut(&mut frame.slots_int, ss.slot as usize) =
+                                int_src(*src, &frame.ints);
+                            emit_at!(
+                                pc,
+                                0,
+                                None,
+                                Some(self.image.layout.frame_addr(depth, ss.elem))
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            *at_mut(&mut frame.ints, *dst as usize) =
+                                *at(&frame.slots_int, ls.slot as usize);
+                            emit_at!(
+                                pc,
+                                1,
+                                Some(self.image.layout.frame_addr(depth, ls.elem)),
+                                None
+                            );
+                            pc += 2;
+                            continue;
+                        }
+                        Step::LoadGFloatAlu { dst, mem, b } => {
+                            let (value, byte_addr) = self.load_global(mem, frame);
+                            // dst is float-banked: the analysis proved the
+                            // region all-float, so as_float is the identity.
+                            *at_mut(&mut frame.floats, *dst as usize) = value.as_float();
+                            emit_at!(pc, 0, Some(byte_addr), None);
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            exec_float_alu(b, frame);
+                            emit_at!(pc, 1, None, None);
+                            pc += 2;
+                            continue;
+                        }
+                        Step::LoadFIStoreG { dst, s, src, mem } => {
+                            *at_mut(&mut frame.ints, *dst as usize) =
+                                *at(&frame.slots_int, s.slot as usize);
+                            emit_at!(
+                                pc,
+                                0,
+                                Some(self.image.layout.frame_addr(depth, s.elem)),
+                                None
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            let mut store_read: Option<u64> = None;
+                            let v = self.operand(src, frame, f, depth, &mut store_read);
+                            let byte_addr = self.store_global(mem, frame, v);
+                            emit_at!(pc, 1, store_read, Some(byte_addr));
+                            pc += 2;
+                            continue;
+                        }
+                        Step::FloatPairStoreF { a, b, src, s } => {
+                            exec_float_alu(a, frame);
+                            emit_at!(pc, 0, None, None);
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            exec_float_alu(b, frame);
+                            emit_at!(pc, 1, None, None);
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            *at_mut(&mut frame.slots_float, s.slot as usize) =
+                                float_src(*src, frame);
+                            emit_at!(
+                                pc,
+                                2,
+                                None,
+                                Some(self.image.layout.frame_addr(depth, s.elem))
+                            );
+                            pc += 3;
+                            continue;
+                        }
+                        Step::LoadGCmpBr {
+                            dst,
+                            mem,
+                            a,
+                            cond,
+                            taken,
+                            not_taken,
+                        } => {
+                            let (value, byte_addr) = self.load_global(mem, frame);
+                            *at_mut(&mut frame.ints, *dst as usize) = value.as_int();
+                            emit_at!(pc, 0, Some(byte_addr), None);
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            exec_int_alu(a, &mut frame.ints);
+                            emit_at!(pc, 1, None, None);
+                            // Absorbed Branch terminator at pc + 2: no
+                            // preceding halted check, like Step::Branch.
+                            count_inst!();
+                            let bsite = at(metas, pc + 2).site;
+                            let t = *at(&frame.ints, *cond as usize) != 0;
+                            observer.on_inst(&InstEvent {
+                                site: bsite,
+                                site_id: (pc + 2) as u32,
+                                class: InstClass::Branch,
+                                mem_read: None,
+                                mem_write: None,
+                            });
+                            observer.on_branch(bsite, (pc + 2) as u32, t);
+                            let target = if t { taken } else { not_taken };
+                            observer.on_edge(func_id, bsite.block, target.block, target.edge_idx);
+                            observer.on_block(func_id, target.block, target.block_idx);
+                            pc = target.pc as usize;
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            continue;
+                        }
+                        Step::LoadFPairI { dst1, s1, dst2, s2 } => {
+                            *at_mut(&mut frame.ints, *dst1 as usize) =
+                                *at(&frame.slots_int, s1.slot as usize);
+                            emit_at!(
+                                pc,
+                                0,
+                                Some(self.image.layout.frame_addr(depth, s1.elem)),
+                                None
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            *at_mut(&mut frame.ints, *dst2 as usize) =
+                                *at(&frame.slots_int, s2.slot as usize);
+                            emit_at!(
+                                pc,
+                                1,
+                                Some(self.image.layout.frame_addr(depth, s2.elem)),
+                                None
+                            );
+                            pc += 2;
+                            continue;
+                        }
+                        Step::LoadFPairF { dst1, s1, dst2, s2 } => {
+                            *at_mut(&mut frame.floats, *dst1 as usize) =
+                                *at(&frame.slots_float, s1.slot as usize);
+                            emit_at!(
+                                pc,
+                                0,
+                                Some(self.image.layout.frame_addr(depth, s1.elem)),
+                                None
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            *at_mut(&mut frame.floats, *dst2 as usize) =
+                                *at(&frame.slots_float, s2.slot as usize);
+                            emit_at!(
+                                pc,
+                                1,
+                                Some(self.image.layout.frame_addr(depth, s2.elem)),
+                                None
+                            );
+                            pc += 2;
+                            continue;
+                        }
+                        Step::LoadFCmpBr {
+                            dst,
+                            s,
+                            a,
+                            cond,
+                            taken,
+                            not_taken,
+                        } => {
+                            *at_mut(&mut frame.ints, *dst as usize) =
+                                *at(&frame.slots_int, s.slot as usize);
+                            emit_at!(
+                                pc,
+                                0,
+                                Some(self.image.layout.frame_addr(depth, s.elem)),
+                                None
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            exec_int_alu(a, &mut frame.ints);
+                            emit_at!(pc, 1, None, None);
+                            // Absorbed Branch terminator at pc + 2: like the
+                            // Step::Branch arm, it runs without a preceding
+                            // halted check.
+                            count_inst!();
+                            let bsite = at(metas, pc + 2).site;
+                            let t = *at(&frame.ints, *cond as usize) != 0;
+                            observer.on_inst(&InstEvent {
+                                site: bsite,
+                                site_id: (pc + 2) as u32,
+                                class: InstClass::Branch,
+                                mem_read: None,
+                                mem_write: None,
+                            });
+                            observer.on_branch(bsite, (pc + 2) as u32, t);
+                            let target = if t { taken } else { not_taken };
+                            observer.on_edge(func_id, bsite.block, target.block, target.edge_idx);
+                            observer.on_block(func_id, target.block, target.block_idx);
+                            pc = target.pc as usize;
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            continue;
+                        }
+                        Step::StoreFIJump { src, s, target } => {
+                            *at_mut(&mut frame.slots_int, s.slot as usize) =
+                                int_src(*src, &frame.ints);
+                            emit_at!(
+                                pc,
+                                0,
+                                None,
+                                Some(self.image.layout.frame_addr(depth, s.elem))
+                            );
+                            // Absorbed Jump terminator at pc + 1: no event,
+                            // no budget charge, exactly like Step::Jump.
+                            let from = at(metas, pc + 1).site.block;
+                            observer.on_edge(func_id, from, target.block, target.edge_idx);
+                            observer.on_block(func_id, target.block, target.block_idx);
+                            pc = target.pc as usize;
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            continue;
+                        }
+                        Step::StoreFFJump { src, s, target } => {
+                            *at_mut(&mut frame.slots_float, s.slot as usize) =
+                                float_src(*src, frame);
+                            emit_at!(
+                                pc,
+                                0,
+                                None,
+                                Some(self.image.layout.frame_addr(depth, s.elem))
+                            );
+                            let from = at(metas, pc + 1).site.block;
+                            observer.on_edge(func_id, from, target.block, target.edge_idx);
+                            observer.on_block(func_id, target.block, target.block_idx);
+                            pc = target.pc as usize;
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            continue;
+                        }
+                        Step::LoadFUnFF {
+                            dst,
+                            s,
+                            op,
+                            udst,
+                            usrc,
+                        } => {
+                            *at_mut(&mut frame.floats, *dst as usize) =
+                                *at(&frame.slots_float, s.slot as usize);
+                            emit_at!(
+                                pc,
+                                0,
+                                Some(self.image.layout.frame_addr(depth, s.elem)),
+                                None
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            let v = *at(&frame.floats, *usrc as usize);
+                            *at_mut(&mut frame.floats, *udst as usize) = un_ff(*op, v);
+                            emit_at!(pc, 1, None, None);
+                            pc += 2;
+                            continue;
+                        }
+                        Step::UnFFStoreF {
+                            op,
+                            udst,
+                            usrc,
+                            src,
+                            s,
+                        } => {
+                            let v = *at(&frame.floats, *usrc as usize);
+                            *at_mut(&mut frame.floats, *udst as usize) = un_ff(*op, v);
+                            emit_at!(pc, 0, None, None);
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            *at_mut(&mut frame.slots_float, s.slot as usize) =
+                                float_src(*src, frame);
+                            emit_at!(
+                                pc,
+                                1,
+                                None,
+                                Some(self.image.layout.frame_addr(depth, s.elem))
+                            );
+                            pc += 2;
+                            continue;
+                        }
+                        Step::LoadFUnFFStoreFF {
+                            dst,
+                            ls,
+                            op,
+                            udst,
+                            usrc,
+                            ssrc,
+                            ss,
+                        } => {
+                            *at_mut(&mut frame.floats, *dst as usize) =
+                                *at(&frame.slots_float, ls.slot as usize);
+                            emit_at!(
+                                pc,
+                                0,
+                                Some(self.image.layout.frame_addr(depth, ls.elem)),
+                                None
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            let v = *at(&frame.floats, *usrc as usize);
+                            *at_mut(&mut frame.floats, *udst as usize) = un_ff(*op, v);
+                            emit_at!(pc, 1, None, None);
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            *at_mut(&mut frame.slots_float, ss.slot as usize) =
+                                float_src(*ssrc, frame);
+                            emit_at!(
+                                pc,
+                                2,
+                                None,
+                                Some(self.image.layout.frame_addr(depth, ss.elem))
+                            );
+                            pc += 3;
+                            continue;
+                        }
+                        Step::LoadFFAluStoreFF {
+                            dst,
+                            ls,
+                            b,
+                            src,
+                            ss,
+                        } => {
+                            *at_mut(&mut frame.floats, *dst as usize) =
+                                *at(&frame.slots_float, ls.slot as usize);
+                            emit_at!(
+                                pc,
+                                0,
+                                Some(self.image.layout.frame_addr(depth, ls.elem)),
+                                None
+                            );
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            exec_float_alu(b, frame);
+                            emit_at!(pc, 1, None, None);
+                            if halted {
+                                sync_out!();
+                                return None;
+                            }
+                            count_inst!();
+                            *at_mut(&mut frame.slots_float, ss.slot as usize) =
+                                float_src(*src, frame);
+                            emit_at!(
+                                pc,
+                                2,
+                                None,
+                                Some(self.image.layout.frame_addr(depth, ss.elem))
+                            );
+                            pc += 3;
+                            continue;
+                        }
                         // --- general (bank-table) steps ----------------------
                         Step::IntBin { op, dst, lhs, rhs } => {
                             let a = self.operand(lhs, frame, f, depth, &mut mem_read);
@@ -1117,36 +1795,16 @@ impl<'a> Engine<'a> {
                         Step::LoadFrame { dst, bank, mem } => {
                             let (slot, elem) = Self::frame_slot(mem, frame);
                             mem_read = Some(self.image.layout.frame_addr(depth, elem));
-                            match f.frame_bank {
-                                // Untagged int frame: the analysis proved
-                                // every slot value is an Int.
+                            let value = read_slot(frame, &f.slot_banks, slot);
+                            match bank {
                                 RegBank::Int => {
-                                    let v = *at(&frame.slots_int, slot);
-                                    match bank {
-                                        RegBank::Int => *at_mut(&mut frame.ints, *dst as usize) = v,
-                                        RegBank::Float => {
-                                            *at_mut(&mut frame.floats, *dst as usize) = v as f64
-                                        }
-                                        RegBank::Tagged => {
-                                            *at_mut(&mut frame.tagged, *dst as usize) =
-                                                Value::Int(v)
-                                        }
-                                    }
+                                    *at_mut(&mut frame.ints, *dst as usize) = value.as_int()
                                 }
-                                _ => {
-                                    let value = *at(&frame.slots, slot);
-                                    match bank {
-                                        RegBank::Int => {
-                                            *at_mut(&mut frame.ints, *dst as usize) = value.as_int()
-                                        }
-                                        RegBank::Float => {
-                                            *at_mut(&mut frame.floats, *dst as usize) =
-                                                value.as_float()
-                                        }
-                                        RegBank::Tagged => {
-                                            *at_mut(&mut frame.tagged, *dst as usize) = value
-                                        }
-                                    }
+                                RegBank::Float => {
+                                    *at_mut(&mut frame.floats, *dst as usize) = value.as_float()
+                                }
+                                RegBank::Tagged => {
+                                    *at_mut(&mut frame.tagged, *dst as usize) = value
                                 }
                             }
                         }
@@ -1157,13 +1815,7 @@ impl<'a> Engine<'a> {
                         Step::StoreFrame { src, mem } => {
                             let v = self.operand(src, frame, f, depth, &mut mem_read);
                             let (slot, elem) = Self::frame_slot(mem, frame);
-                            match f.frame_bank {
-                                // as_int is the identity here: the frame
-                                // region is Int only if every store source
-                                // is provably Int.
-                                RegBank::Int => *at_mut(&mut frame.slots_int, slot) = v.as_int(),
-                                _ => *at_mut(&mut frame.slots, slot) = v,
-                            }
+                            write_slot(frame, &f.slot_banks, slot, v);
                             mem_write = Some(self.image.layout.frame_addr(depth, elem));
                         }
                         Step::Call {
@@ -1174,11 +1826,8 @@ impl<'a> Engine<'a> {
                         } => {
                             let callee_idx = *func;
                             let callee = at(&image.funcs, callee_idx as usize);
-                            let mut callee_frame = self.frame_pool.acquire(
-                                callee.num_regs,
-                                callee.frame_words,
-                                callee.frame_bank,
-                            );
+                            let mut callee_frame =
+                                self.frame_pool.acquire(callee.num_regs, &callee.frame);
                             let args = &image.call_args
                                 [*args_start as usize..(*args_start + *args_len) as usize];
                             for (i, a) in args.iter().enumerate() {
@@ -2054,6 +2703,8 @@ mod tests {
                 tagged: Vec::with_capacity(MAX_RETAINED_CAPACITY * 8),
                 slots: Vec::with_capacity(MAX_RETAINED_CAPACITY * 8),
                 slots_int: Vec::with_capacity(MAX_RETAINED_CAPACITY * 8),
+                slots_float: Vec::with_capacity(MAX_RETAINED_CAPACITY * 8),
+                nslots: 1,
             };
             pool.release(frame);
         }
@@ -2064,6 +2715,7 @@ mod tests {
             assert!(f.tagged.capacity() <= MAX_RETAINED_CAPACITY);
             assert!(f.slots.capacity() <= MAX_RETAINED_CAPACITY);
             assert!(f.slots_int.capacity() <= MAX_RETAINED_CAPACITY);
+            assert!(f.slots_float.capacity() <= MAX_RETAINED_CAPACITY);
         }
     }
 
@@ -2080,11 +2732,27 @@ mod tests {
             tagged: Vec::new(),
             slots: Vec::new(),
             slots_int: Vec::new(),
+            slots_float: Vec::new(),
+            nslots: 1,
         };
         pool.release(big);
-        let reused = pool.acquire(4, 4, RegBank::Tagged);
+        let reused = pool.acquire(
+            4,
+            &FrameLayout {
+                nslots: 4,
+                has_int: false,
+                has_float: false,
+                has_tagged: true,
+                zero_reg_ints: true,
+                zero_reg_tagged: true,
+                zero_slots_int: false,
+                zero_slots_tagged: true,
+            },
+        );
         assert!(reused.ints.capacity() <= MAX_RETAINED_CAPACITY);
         assert_eq!(reused.ints.len(), 4);
         assert_eq!(reused.slots.len(), 4);
+        assert_eq!(reused.nslots, 4);
+        assert!(reused.slots_int.is_empty() && reused.slots_float.is_empty());
     }
 }

@@ -24,11 +24,16 @@
 //! Decode runs the [`crate::typing`] inference first and assigns every
 //! register to one of three banks: a raw `i64` bank, a raw `f64` bank, or the
 //! tagged `Value` bank for registers whose type is not statically known.
-//! Steps whose operands and destination all live in untagged banks lower to
-//! dedicated variants ([`IntAlu`], [`Step::FloatAlu`], ...) that never touch
-//! a `Value` tag; everything else lowers to general variants that read and
-//! write registers through the per-function bank table, preserving exact
-//! tagged semantics.
+//! Frame slots get the same treatment **per slot**: each function carries a
+//! slot-bank table, statically-addressed accesses resolve their slot and
+//! bank at decode (lowering to untagged [`Step::LoadFI`] / [`Step::LoadFF`] /
+//! [`Step::StoreFI`] / [`Step::StoreFF`] when the banks line up), and
+//! register-indexed accesses consult the table at run time.  Steps whose
+//! operands and destination all live in untagged banks lower to dedicated
+//! variants ([`IntAlu`], [`Step::FloatAlu`], ...) that never touch a `Value`
+//! tag; everything else lowers to general variants that read and write
+//! registers through the per-function bank table, preserving exact tagged
+//! semantics.
 //!
 //! # Superinstruction fusion
 //!
@@ -42,7 +47,13 @@
 //!   ([`Step::IntAluJump`]) — every loop latch;
 //! * an untagged global load adjacent to an integer ALU
 //!   ([`Step::LoadGIntAlu`] / [`Step::IntAluLoadG`]) — address-generation and
-//!   load-consume idioms.
+//!   load-consume idioms;
+//! * untagged **frame-slot** loads/stores adjacent to their ALU
+//!   ([`Step::LoadFIntAlu`], [`Step::IntAluStoreF`], [`Step::LoadFFloatAlu`],
+//!   [`Step::FloatAluStoreF`]) and the three-step read-modify-write shape
+//!   ([`Step::LoadFAluStoreF`] / [`Step::LoadFFAluStoreFF`]) — `-O0` reloads
+//!   every scalar before use and spills it after every def, so frame-slot
+//!   traffic dominates `-O0` loop bodies.
 //!
 //! Fusion never changes observable semantics: the fused step replays each
 //! constituent's budget/halt protocol and observer events exactly as the
@@ -58,12 +69,14 @@
 //!
 //! Decode also **validates** every dense index the executor will use (register
 //! ids against `num_regs`, call targets against the function table, memory
-//! references against non-empty globals), which is what makes the executor's
-//! unchecked indexing core sound — see the safety discussion in
-//! [`crate::exec`].
+//! references against non-empty globals, and — via [`frame_slot`] — every
+//! statically-resolved frame-slot index against the slot-bank table length
+//! `frame_words.max(1)`), which is what makes the executor's unchecked
+//! indexing core sound — see the safety discussion in [`crate::exec`].
 
 use crate::exec::InstSite;
 use crate::typing::{infer, RegBank};
+use bsg_ir::eval::{eval_bin, eval_un};
 use bsg_ir::program::MemoryLayout;
 use bsg_ir::types::{BlockId, FuncId, Reg, Ty, Value};
 use bsg_ir::visa::{Address, BinOp, Inst, InstClass, MemBase, Operand, Terminator, UnOp};
@@ -121,6 +134,29 @@ pub(crate) struct FrameMem {
     pub index_bank: RegBank,
     /// Scale applied to the index register.
     pub scale: i64,
+}
+
+/// A **statically-addressed** frame slot, fully resolved at decode: the
+/// wrapped slot index (validated `< frame_words.max(1)`, which is what the
+/// executor sizes every slot bank to) plus the unwrapped element index that
+/// the byte address observers see is derived from.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FrameSlot {
+    /// Wrapped slot index (`elem.rem_euclid(frame_words.max(1))`).
+    pub slot: u32,
+    /// Unwrapped element index (for `MemoryLayout::frame_addr`).
+    pub elem: i64,
+}
+
+/// Resolves a static frame offset to its slot, asserting the decode-time
+/// invariant the executor's unchecked slot indexing relies on.
+fn frame_slot(offset: i64, nslots: u32) -> FrameSlot {
+    let slot = offset.rem_euclid(i64::from(nslots.max(1))) as u32;
+    assert!(
+        slot < nslots.max(1),
+        "decoded frame slot {slot} out of range ({nslots} slots)"
+    );
+    FrameSlot { slot, elem: offset }
 }
 
 /// Source of an untagged integer ALU operand.
@@ -236,6 +272,252 @@ pub(crate) enum Step {
         /// Predecoded memory reference.
         mem: GlobalMem,
     },
+    /// Fused untagged frame-slot load + integer ALU.
+    LoadFIntAlu {
+        /// Load destination (int bank).
+        dst: u32,
+        /// Loaded slot (int bank).
+        s: FrameSlot,
+        /// The ALU constituent (at site `pc + 1`).
+        b: IntAlu,
+    },
+    /// Fused integer ALU + untagged frame-slot store.
+    IntAluStoreF {
+        /// The ALU constituent (at this step's site).
+        a: IntAlu,
+        /// Stored operand (int-provable).
+        src: IntSrc,
+        /// Stored slot (int bank).
+        s: FrameSlot,
+    },
+    /// Fused read-modify-write triple: untagged frame load + integer ALU +
+    /// untagged frame store — the dominant `-O0` loop-body shape (`-O0`
+    /// reloads every scalar before use and spills it after every def).
+    LoadFAluStoreF {
+        /// Load destination (int bank).
+        dst: u32,
+        /// Loaded slot (int bank).
+        ls: FrameSlot,
+        /// The ALU constituent (at site `pc + 1`).
+        b: IntAlu,
+        /// Stored operand (int-provable; store at site `pc + 2`).
+        src: IntSrc,
+        /// Stored slot (int bank).
+        ss: FrameSlot,
+    },
+    /// Fused untagged float frame-slot load + float ALU.
+    LoadFFloatAlu {
+        /// Load destination (float bank).
+        dst: u32,
+        /// Loaded slot (float bank).
+        s: FrameSlot,
+        /// The float ALU constituent (at site `pc + 1`).
+        b: FloatAlu,
+    },
+    /// Fused float ALU + untagged float frame-slot store.
+    FloatAluStoreF {
+        /// The float ALU constituent (at this step's site).
+        a: FloatAlu,
+        /// Stored operand (float-provable).
+        src: FloatSrc,
+        /// Stored slot (float bank).
+        s: FrameSlot,
+    },
+    /// Fused pair of adjacent untagged float ALUs (float expression chains:
+    /// the multiply-add sequences of DFT/trig bodies).
+    FloatPair(FloatAlu, FloatAlu),
+    /// Fused untagged int frame load + global load — load the index
+    /// variable, then the array element it addresses (`a[i]` at `-O0`).
+    LoadFILoadG {
+        /// Frame-load destination (int bank).
+        dst1: u32,
+        /// Loaded slot (int bank).
+        s1: FrameSlot,
+        /// Global-load destination (site `pc + 1`).
+        dst2: u32,
+        /// Bank of `dst2`.
+        bank2: RegBank,
+        /// Predecoded global reference (its index register may be `dst1`).
+        mem: GlobalMem,
+    },
+    /// Fused untagged int frame store + int frame load — the `-O0` statement
+    /// boundary (`x = e; ... y ...` spills `x`, then reloads the next
+    /// operand).
+    StoreFLoadF {
+        /// Stored operand (int-provable).
+        src: IntSrc,
+        /// Stored slot (int bank).
+        ss: FrameSlot,
+        /// Load destination (int bank; site `pc + 1`).
+        dst: u32,
+        /// Loaded slot (int bank).
+        ls: FrameSlot,
+    },
+    /// Fused untagged int frame load + global store — load the index (or
+    /// stored) variable, then store to the array (`a[i] = e` at `-O0`).
+    LoadFIStoreG {
+        /// Frame-load destination (int bank).
+        dst: u32,
+        /// Loaded slot (int bank).
+        s: FrameSlot,
+        /// Stored operand (site `pc + 1`).
+        src: Operand,
+        /// Predecoded global reference.
+        mem: GlobalMem,
+    },
+    /// Fused pair of float ALUs + float frame store (`v = a*b + c*d` tails:
+    /// the pair fusion consumes the ALU the store would otherwise fuse with).
+    FloatPairStoreF {
+        /// First ALU constituent.
+        a: FloatAlu,
+        /// Second ALU constituent (site `pc + 1`).
+        b: FloatAlu,
+        /// Stored operand (float-provable; store at site `pc + 2`).
+        src: FloatSrc,
+        /// Stored slot (float bank).
+        s: FrameSlot,
+    },
+    /// Fused untagged global load + compare + conditional branch — loop
+    /// conditions over array elements (`while (tree[n] != 0)`).
+    LoadGCmpBr {
+        /// Load destination (int bank).
+        dst: u32,
+        /// Predecoded global reference.
+        mem: GlobalMem,
+        /// The compare constituent (at site `pc + 1`).
+        a: IntAlu,
+        /// Condition register (int bank).
+        cond: u32,
+        /// Target when `ints[cond] != 0`.
+        taken: EdgeTarget,
+        /// Target when `ints[cond] == 0`.
+        not_taken: EdgeTarget,
+    },
+    /// Fused untagged float global load + float ALU (`sig[t] * cr`).
+    LoadGFloatAlu {
+        /// Load destination (float bank).
+        dst: u32,
+        /// Predecoded global reference.
+        mem: GlobalMem,
+        /// The float ALU constituent (at site `pc + 1`).
+        b: FloatAlu,
+    },
+    /// Fused pair of adjacent untagged int frame-slot loads (binary-operator
+    /// operand reloads: `-O0` loads both variables of `a op b` back to back).
+    LoadFPairI {
+        /// First load destination (int bank).
+        dst1: u32,
+        /// First loaded slot (int bank).
+        s1: FrameSlot,
+        /// Second load destination (int bank; site `pc + 1`).
+        dst2: u32,
+        /// Second loaded slot (int bank).
+        s2: FrameSlot,
+    },
+    /// Fused pair of adjacent untagged float frame-slot loads.
+    LoadFPairF {
+        /// First load destination (float bank).
+        dst1: u32,
+        /// First loaded slot (float bank).
+        s1: FrameSlot,
+        /// Second load destination (float bank; site `pc + 1`).
+        dst2: u32,
+        /// Second loaded slot (float bank).
+        s2: FrameSlot,
+    },
+    /// Fused untagged frame load + compare + conditional branch — the `-O0`
+    /// while-header shape (`while (i < n)` reloads `i` before the compare).
+    LoadFCmpBr {
+        /// Load destination (int bank).
+        dst: u32,
+        /// Loaded slot (int bank).
+        s: FrameSlot,
+        /// The compare constituent (at site `pc + 1`).
+        a: IntAlu,
+        /// Condition register (int bank).
+        cond: u32,
+        /// Target when `ints[cond] != 0`.
+        taken: EdgeTarget,
+        /// Target when `ints[cond] == 0`.
+        not_taken: EdgeTarget,
+    },
+    /// Fused untagged int frame store + the block's unconditional jump (the
+    /// `-O0` loop-latch shape: spill the induction variable, jump back).
+    StoreFIJump {
+        /// Stored operand (int-provable).
+        src: IntSrc,
+        /// Stored slot (int bank).
+        s: FrameSlot,
+        /// Jump target (terminator at site `pc + 1`).
+        target: EdgeTarget,
+    },
+    /// Float counterpart of [`Step::StoreFIJump`].
+    StoreFFJump {
+        /// Stored operand (float-provable).
+        src: FloatSrc,
+        /// Stored slot (float bank).
+        s: FrameSlot,
+        /// Jump target (terminator at site `pc + 1`).
+        target: EdgeTarget,
+    },
+    /// Fused float frame load + float unary.
+    LoadFUnFF {
+        /// Load destination (float bank).
+        dst: u32,
+        /// Loaded slot (float bank).
+        s: FrameSlot,
+        /// Unary operation (the `un_ff` subset; at site `pc + 1`).
+        op: UnOp,
+        /// Unary destination (float bank).
+        udst: u32,
+        /// Unary source (float bank).
+        usrc: u32,
+    },
+    /// Fused float unary + float frame store.
+    UnFFStoreF {
+        /// Unary operation (the `un_ff` subset).
+        op: UnOp,
+        /// Unary destination (float bank).
+        udst: u32,
+        /// Unary source (float bank).
+        usrc: u32,
+        /// Stored operand (float-provable; store at site `pc + 1`).
+        src: FloatSrc,
+        /// Stored slot (float bank).
+        s: FrameSlot,
+    },
+    /// Fused triple: float frame load + float unary + float frame store —
+    /// `y = f(x)` over float `-O0` locals (`cr = cos(ang)` and friends).
+    LoadFUnFFStoreFF {
+        /// Load destination (float bank).
+        dst: u32,
+        /// Loaded slot (float bank).
+        ls: FrameSlot,
+        /// Unary operation (the `un_ff` subset; at site `pc + 1`).
+        op: UnOp,
+        /// Unary destination (float bank).
+        udst: u32,
+        /// Unary source (float bank).
+        usrc: u32,
+        /// Stored operand (float-provable; store at site `pc + 2`).
+        ssrc: FloatSrc,
+        /// Stored slot (float bank).
+        ss: FrameSlot,
+    },
+    /// Fused float read-modify-write triple: float frame load + float ALU +
+    /// float frame store (`x = x op e` on a float `-O0` local).
+    LoadFFAluStoreFF {
+        /// Load destination (float bank).
+        dst: u32,
+        /// Loaded slot (float bank).
+        ls: FrameSlot,
+        /// The float ALU constituent (at site `pc + 1`).
+        b: FloatAlu,
+        /// Stored operand (float-provable; store at site `pc + 2`).
+        src: FloatSrc,
+        /// Stored slot (float bank).
+        ss: FrameSlot,
+    },
     /// Untagged float arithmetic (`Add`/`Sub`/`Mul`/`Div`/`Rem`), `f64` in,
     /// `f64` out.
     FloatAlu(FloatAlu),
@@ -257,6 +539,18 @@ pub(crate) enum Step {
         /// Destination register (float bank).
         dst: u32,
         /// Source register (float bank).
+        src: u32,
+    },
+    /// Untagged unary: `i64` in, `f64` out — the `un_ff` operation subset
+    /// applied to a proven-int source (`ToFloat(k)`, `sqrt` of an int, ...).
+    /// Reading the int bank with `as f64` is exactly `Value::as_float` on a
+    /// proven-int value, so this matches `eval_un` bit for bit.
+    UnIF {
+        /// Operation (one of the float-result subset accepted by `un_is_ff`).
+        op: UnOp,
+        /// Destination register (float bank).
+        dst: u32,
+        /// Source register (int bank).
         src: u32,
     },
     /// `ints[dst] = imm`.
@@ -336,7 +630,37 @@ pub(crate) enum Step {
         /// Predecoded memory reference.
         mem: GlobalMem,
     },
-    /// `dst = frame[elem]`.
+    /// `ints[dst] = int_slots[s]` — untagged static frame load.
+    LoadFI {
+        /// Destination register (int bank).
+        dst: u32,
+        /// Loaded slot (int bank).
+        s: FrameSlot,
+    },
+    /// `floats[dst] = float_slots[s]` — untagged static frame load.
+    LoadFF {
+        /// Destination register (float bank).
+        dst: u32,
+        /// Loaded slot (float bank).
+        s: FrameSlot,
+    },
+    /// `int_slots[s] = src` — untagged static frame store.
+    StoreFI {
+        /// Stored operand (int-provable).
+        src: IntSrc,
+        /// Stored slot (int bank).
+        s: FrameSlot,
+    },
+    /// `float_slots[s] = src` — untagged static frame store.
+    StoreFF {
+        /// Stored operand (float-provable).
+        src: FloatSrc,
+        /// Stored slot (float bank).
+        s: FrameSlot,
+    },
+    /// `dst = frame[elem]`, general shapes: register-indexed (the slot and
+    /// its bank resolve at run time through the per-slot bank table) or a
+    /// static slot whose bank combination has no untagged variant.
     LoadFrame {
         /// Destination register.
         dst: u32,
@@ -399,6 +723,105 @@ pub(crate) enum Step {
     },
 }
 
+impl Step {
+    /// Variant name for diagnostics ([`ExecImage::step_histogram`]).
+    fn variant_name(&self) -> &'static str {
+        match self {
+            Step::IntAlu(_) => "IntAlu",
+            Step::IntPair(..) => "IntPair",
+            Step::IntCmpBr { .. } => "IntCmpBr",
+            Step::IntAluJump { .. } => "IntAluJump",
+            Step::IntPairJump { .. } => "IntPairJump",
+            Step::LoadGIntAlu { .. } => "LoadGIntAlu",
+            Step::IntAluLoadG { .. } => "IntAluLoadG",
+            Step::LoadFIntAlu { .. } => "LoadFIntAlu",
+            Step::IntAluStoreF { .. } => "IntAluStoreF",
+            Step::LoadFFloatAlu { .. } => "LoadFFloatAlu",
+            Step::FloatAluStoreF { .. } => "FloatAluStoreF",
+            Step::FloatPair(..) => "FloatPair",
+            Step::LoadFIStoreG { .. } => "LoadFIStoreG",
+            Step::FloatPairStoreF { .. } => "FloatPairStoreF",
+            Step::LoadGCmpBr { .. } => "LoadGCmpBr",
+            Step::LoadFILoadG { .. } => "LoadFILoadG",
+            Step::StoreFLoadF { .. } => "StoreFLoadF",
+            Step::LoadGFloatAlu { .. } => "LoadGFloatAlu",
+            Step::LoadFAluStoreF { .. } => "LoadFAluStoreF",
+            Step::LoadFPairI { .. } => "LoadFPairI",
+            Step::LoadFPairF { .. } => "LoadFPairF",
+            Step::LoadFCmpBr { .. } => "LoadFCmpBr",
+            Step::StoreFIJump { .. } => "StoreFIJump",
+            Step::StoreFFJump { .. } => "StoreFFJump",
+            Step::LoadFUnFF { .. } => "LoadFUnFF",
+            Step::UnFFStoreF { .. } => "UnFFStoreF",
+            Step::LoadFUnFFStoreFF { .. } => "LoadFUnFFStoreFF",
+            Step::LoadFFAluStoreFF { .. } => "LoadFFAluStoreFF",
+            Step::FloatAlu(_) => "FloatAlu",
+            Step::FloatCmp(_) => "FloatCmp",
+            Step::UnII { .. } => "UnII",
+            Step::UnFF { .. } => "UnFF",
+            Step::UnIF { .. } => "UnIF",
+            Step::IMovI { .. } => "IMovI",
+            Step::FMovI { .. } => "FMovI",
+            Step::IMovRR { .. } => "IMovRR",
+            Step::FMovRR { .. } => "FMovRR",
+            Step::IntBin { .. } => "IntBin",
+            Step::FloatBin { .. } => "FloatBin",
+            Step::Un { .. } => "Un",
+            Step::Mov { .. } => "Mov",
+            Step::LoadFI { .. } => "LoadFI",
+            Step::LoadFF { .. } => "LoadFF",
+            Step::StoreFI { .. } => "StoreFI",
+            Step::StoreFF { .. } => "StoreFF",
+            Step::LoadGlobal { .. } => "LoadGlobal",
+            Step::LoadFrame { .. } => "LoadFrame",
+            Step::StoreGlobal { .. } => "StoreGlobal",
+            Step::StoreFrame { .. } => "StoreFrame",
+            Step::Call { .. } => "Call",
+            Step::Print { .. } => "Print",
+            Step::Nop => "Nop",
+            Step::Jump(_) => "Jump",
+            Step::Branch { .. } => "Branch",
+            Step::Return { .. } => "Return",
+        }
+    }
+
+    /// How many step slots this dispatch point covers (`None`: absorbs the
+    /// block's terminator, i.e. covers through end of block).  Must agree
+    /// with the executor's `pc` advance per arm.
+    fn footprint(&self) -> Option<usize> {
+        match self {
+            Step::IntPair(..)
+            | Step::LoadGIntAlu { .. }
+            | Step::IntAluLoadG { .. }
+            | Step::LoadFIntAlu { .. }
+            | Step::IntAluStoreF { .. }
+            | Step::LoadFPairI { .. }
+            | Step::LoadFPairF { .. }
+            | Step::LoadFUnFF { .. }
+            | Step::UnFFStoreF { .. }
+            | Step::LoadFFloatAlu { .. }
+            | Step::FloatAluStoreF { .. }
+            | Step::FloatPair(..)
+            | Step::LoadFIStoreG { .. }
+            | Step::LoadFILoadG { .. }
+            | Step::StoreFLoadF { .. }
+            | Step::LoadGFloatAlu { .. } => Some(2),
+            Step::LoadFAluStoreF { .. }
+            | Step::LoadFFAluStoreFF { .. }
+            | Step::FloatPairStoreF { .. }
+            | Step::LoadFUnFFStoreFF { .. } => Some(3),
+            Step::IntCmpBr { .. }
+            | Step::IntAluJump { .. }
+            | Step::IntPairJump { .. }
+            | Step::LoadFCmpBr { .. }
+            | Step::LoadGCmpBr { .. }
+            | Step::StoreFIJump { .. }
+            | Step::StoreFFJump { .. } => None,
+            _ => Some(1),
+        }
+    }
+}
+
 /// Predecoded per-site metadata: everything observers need that is static.
 #[derive(Debug, Clone, Copy)]
 pub struct SiteMeta {
@@ -434,15 +857,47 @@ pub(crate) struct FuncImage {
     pub term_pc: Vec<u32>,
     /// Number of virtual registers.
     pub num_regs: u32,
-    /// Stack-frame size in words.
-    pub frame_words: u32,
     /// Registers receiving arguments.
     pub params: Vec<Reg>,
     /// Bank of each register (indexed by register id; length `num_regs`).
     pub banks: Vec<RegBank>,
-    /// Bank of the frame slots (`Int` when the whole frame provably holds
-    /// integers — the common case for `-O0` locals — else `Tagged`).
-    pub frame_bank: RegBank,
+    /// Bank of each frame slot (length `frame_words.max(1)`; indexed by the
+    /// wrapped slot).  Statically-addressed accesses resolve their bank at
+    /// decode; register-indexed accesses consult this table at run time.
+    pub slot_banks: Vec<RegBank>,
+    /// Which slot banks this function's frame actually uses (drives sizing
+    /// and zero-filling on frame acquisition).
+    pub frame: FrameLayout,
+}
+
+/// Slot-bank usage summary of one function's frame.  Only banks that appear
+/// in `slot_banks` are ever indexed by a slot, so only those need sizing; the
+/// float bank additionally never needs zero-filling (a float slot is only
+/// float because every read is preceded by a store).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FrameLayout {
+    /// Slot count (`frame_words.max(1)`) — the length every sized slot bank
+    /// gets, and the modulus of the executor's wrapping.
+    pub nslots: u32,
+    /// Some slot lives in the untagged `i64` bank.
+    pub has_int: bool,
+    /// Some slot lives in the untagged `f64` bank.
+    pub has_float: bool,
+    /// Some slot lives in the tagged bank.
+    pub has_tagged: bool,
+    /// Some *int-banked register* may observe its `Int(0)` init, so the
+    /// `ints` register bank must be zero-filled on acquisition.  When false,
+    /// every read of every int register is provably preceded by a write
+    /// (`typing`'s liveness pass), so stale pooled values are unobservable
+    /// and the fill is skipped — calls are frequent enough at `-O0` for the
+    /// memset to show up.
+    pub zero_reg_ints: bool,
+    /// Same for the tagged register bank.
+    pub zero_reg_tagged: bool,
+    /// Same for the int slot bank.
+    pub zero_slots_int: bool,
+    /// Same for the tagged slot bank.
+    pub zero_slots_tagged: bool,
 }
 
 /// A program flattened for execution (see the module docs).
@@ -465,6 +920,13 @@ pub struct ExecImage {
     max_regs: u32,
     /// Number of fused superinstructions (diagnostics / tests).
     fused_steps: u32,
+    /// The unfused twin of a fused image (built alongside it by
+    /// [`ExecImage::new`]).  Heavyweight observers (pipeline model, full
+    /// profiler) measurably *lose* to fusion — the fused arms enlarge the
+    /// monomorphized loop and i-cache pressure beats the dispatch savings —
+    /// so observer-specialized entry points ([`ExecImage::unfused_twin`])
+    /// run the twin while `NullObserver` keeps the fused fast loop.
+    unfused: Option<Box<ExecImage>>,
 }
 
 fn site_meta(inst: &Inst, site: InstSite) -> SiteMeta {
@@ -615,21 +1077,65 @@ fn is_float_arith(op: BinOp) -> bool {
     )
 }
 
+/// The [`Value`] of a constant operand, if it is one.
+fn imm_val(op: &Operand) -> Option<Value> {
+    match op {
+        Operand::ImmInt(v) => Some(Value::Int(*v)),
+        Operand::ImmFloat(v) => Some(Value::Float(*v)),
+        _ => None,
+    }
+}
+
+/// Lowers a decode-time-computed constant (`eval_bin`/`eval_un` over
+/// immediate operands — both are pure) into an untagged move when the
+/// destination bank matches the constant's tag; `None` keeps the general
+/// step, preserving exact tagged semantics.  The site table is untouched, so
+/// observers still see the instruction's real class.
+fn fold_const(v: Value, dst: u32, bank: impl Fn(u32) -> RegBank) -> Option<Step> {
+    match (v, bank(dst)) {
+        (Value::Int(imm), RegBank::Int) => Some(Step::IMovI { dst, imm }),
+        (Value::Float(imm), RegBank::Float) => Some(Step::FMovI { dst, imm }),
+        _ => None,
+    }
+}
+
 impl ExecImage {
     /// Flattens `program` into an execution image with superinstruction
     /// fusion enabled.  Call targets, block targets, register banks and
-    /// global layout are resolved here, once.
+    /// global layout are resolved here, once.  An unfused twin is kept
+    /// alongside (a clone taken before the in-place fusion pass, so
+    /// validation, type inference and decode run once) so heavyweight
+    /// observers can be dispatched to the image that is actually faster for
+    /// them — see [`ExecImage::unfused_twin`].
     pub fn new(program: &Program) -> Self {
-        Self::build(program, true)
+        let mut image = Self::build(program);
+        let twin = image.clone();
+        image.fused_steps = fuse_blocks(&mut image.steps, &image.funcs);
+        image.unfused = Some(Box::new(twin));
+        image
     }
 
     /// Flattens `program` without the fusion pass (used by differential
     /// tests and the benchmark harness to isolate fusion's contribution).
     pub fn unfused(program: &Program) -> Self {
-        Self::build(program, false)
+        Self::build(program)
     }
 
-    fn build(program: &Program, fuse: bool) -> Self {
+    /// The image heavyweight observers should execute: the unfused twin when
+    /// present, else this image itself.  PERF.md §PR-3 documents the
+    /// inversion this encodes: with a pipeline model or the full profiler
+    /// inlined into the dispatch loop, fusion's larger loop body costs more
+    /// in i-cache pressure than it saves in dispatch, so `simulate_image` /
+    /// `profile_image` select the unfused form automatically while
+    /// `NullObserver` callers keep the fused fast loop.  Site tables, dense
+    /// indices and observable behaviour are identical between the twins (the
+    /// differential suites prove it), so the choice is invisible to results.
+    pub fn unfused_twin(&self) -> &ExecImage {
+        self.unfused.as_deref().unwrap_or(self)
+    }
+
+    /// Flattens without fusing; [`ExecImage::new`] fuses in place after.
+    fn build(program: &Program) -> Self {
         validate(program);
         let types = infer(program);
         let banks = types.regs;
@@ -650,6 +1156,26 @@ impl ExecImage {
                 block_keys.push((FuncId(fi as u32), BlockId(bi as u32)));
             }
             max_regs = max_regs.max(f.num_regs);
+            let slot_banks = types.frame_slots[fi].clone();
+            let bank_has_init = |want: RegBank, bs: &[RegBank], init: &[bool]| {
+                bs.iter().zip(init).any(|(b, i)| *b == want && *i)
+            };
+            let frame = FrameLayout {
+                nslots: slot_banks.len() as u32,
+                has_int: slot_banks.contains(&RegBank::Int),
+                has_float: slot_banks.contains(&RegBank::Float),
+                has_tagged: slot_banks.contains(&RegBank::Tagged),
+                // A float bank never needs zero-filling: an observable init
+                // would have forced the register/slot off the float bank.
+                zero_reg_ints: bank_has_init(RegBank::Int, &banks[fi], &types.reg_init[fi]),
+                zero_reg_tagged: bank_has_init(RegBank::Tagged, &banks[fi], &types.reg_init[fi]),
+                zero_slots_int: bank_has_init(RegBank::Int, &slot_banks, &types.slot_init[fi]),
+                zero_slots_tagged: bank_has_init(
+                    RegBank::Tagged,
+                    &slot_banks,
+                    &types.slot_init[fi],
+                ),
+            };
             funcs.push(FuncImage {
                 entry_pc: block_pc[f.entry.index()],
                 entry_block: f.entry,
@@ -658,10 +1184,10 @@ impl ExecImage {
                 block_pc,
                 term_pc,
                 num_regs: f.num_regs,
-                frame_words: f.frame_words,
                 params: f.params.clone(),
                 banks: banks[fi].clone(),
-                frame_bank: types.frames[fi],
+                slot_banks,
+                frame,
             });
             next_block += f.blocks.len() as u32;
         }
@@ -751,53 +1277,69 @@ impl ExecImage {
                             dst,
                             lhs,
                             rhs,
-                        } => match ty {
-                            Ty::Int => match (bank(dst.0), int_src(lhs), int_src(rhs)) {
-                                (RegBank::Int, Some(l), Some(r)) => Step::IntAlu(IntAlu {
-                                    op: *op,
-                                    dst: dst.0,
-                                    lhs: l,
-                                    rhs: r,
-                                }),
-                                _ => Step::IntBin {
-                                    op: *op,
-                                    dst: dst.0,
-                                    lhs: *lhs,
-                                    rhs: *rhs,
-                                },
-                            },
-                            Ty::Float => {
-                                let quick = match (float_src(lhs), float_src(rhs)) {
-                                    (Some(l), Some(r)) => {
-                                        if is_float_arith(*op) && bank(dst.0) == RegBank::Float {
-                                            Some(Step::FloatAlu(FloatAlu {
-                                                op: *op,
-                                                dst: dst.0,
-                                                lhs: l,
-                                                rhs: r,
-                                            }))
-                                        } else if op.is_comparison() && bank(dst.0) == RegBank::Int
-                                        {
-                                            Some(Step::FloatCmp(FloatAlu {
-                                                op: *op,
-                                                dst: dst.0,
-                                                lhs: l,
-                                                rhs: r,
-                                            }))
-                                        } else {
-                                            None
-                                        }
+                        } => {
+                            // Both operands constant: fold at decode.
+                            let folded = match (imm_val(lhs), imm_val(rhs)) {
+                                (Some(a), Some(b)) => {
+                                    fold_const(eval_bin(*op, *ty, a, b), dst.0, bank)
+                                }
+                                _ => None,
+                            };
+                            if let Some(step) = folded {
+                                step
+                            } else {
+                                match ty {
+                                    Ty::Int => match (bank(dst.0), int_src(lhs), int_src(rhs)) {
+                                        (RegBank::Int, Some(l), Some(r)) => Step::IntAlu(IntAlu {
+                                            op: *op,
+                                            dst: dst.0,
+                                            lhs: l,
+                                            rhs: r,
+                                        }),
+                                        _ => Step::IntBin {
+                                            op: *op,
+                                            dst: dst.0,
+                                            lhs: *lhs,
+                                            rhs: *rhs,
+                                        },
+                                    },
+                                    Ty::Float => {
+                                        let quick = match (float_src(lhs), float_src(rhs)) {
+                                            (Some(l), Some(r)) => {
+                                                if is_float_arith(*op)
+                                                    && bank(dst.0) == RegBank::Float
+                                                {
+                                                    Some(Step::FloatAlu(FloatAlu {
+                                                        op: *op,
+                                                        dst: dst.0,
+                                                        lhs: l,
+                                                        rhs: r,
+                                                    }))
+                                                } else if op.is_comparison()
+                                                    && bank(dst.0) == RegBank::Int
+                                                {
+                                                    Some(Step::FloatCmp(FloatAlu {
+                                                        op: *op,
+                                                        dst: dst.0,
+                                                        lhs: l,
+                                                        rhs: r,
+                                                    }))
+                                                } else {
+                                                    None
+                                                }
+                                            }
+                                            _ => None,
+                                        };
+                                        quick.unwrap_or(Step::FloatBin {
+                                            op: *op,
+                                            dst: dst.0,
+                                            lhs: *lhs,
+                                            rhs: *rhs,
+                                        })
                                     }
-                                    _ => None,
-                                };
-                                quick.unwrap_or(Step::FloatBin {
-                                    op: *op,
-                                    dst: dst.0,
-                                    lhs: *lhs,
-                                    rhs: *rhs,
-                                })
+                                }
                             }
-                        },
+                        }
                         Inst::Un { op, ty, dst, src } => match src {
                             Operand::Reg(r)
                                 if bank(r.0) == RegBank::Int
@@ -820,6 +1362,42 @@ impl ExecImage {
                                     dst: dst.0,
                                     src: r.0,
                                 }
+                            }
+                            // Float-result unary of a proven-int register
+                            // (`ToFloat(k)` dominates mixed int/float loop
+                            // bodies): still fully untagged.
+                            Operand::Reg(r)
+                                if bank(r.0) == RegBank::Int
+                                    && bank(dst.0) == RegBank::Float
+                                    && un_is_ff(*op, *ty) =>
+                            {
+                                Step::UnIF {
+                                    op: *op,
+                                    dst: dst.0,
+                                    src: r.0,
+                                }
+                            }
+                            // Constant-fold immediate sources at decode:
+                            // `eval_un` is pure, so the step becomes a move
+                            // of the precomputed result (the site keeps its
+                            // real instruction class for observers).
+                            Operand::ImmInt(v) => {
+                                fold_const(eval_un(*op, *ty, Value::Int(*v)), dst.0, bank)
+                                    .unwrap_or(Step::Un {
+                                        op: *op,
+                                        ty: *ty,
+                                        dst: dst.0,
+                                        src: *src,
+                                    })
+                            }
+                            Operand::ImmFloat(v) => {
+                                fold_const(eval_un(*op, *ty, Value::Float(*v)), dst.0, bank)
+                                    .unwrap_or(Step::Un {
+                                        op: *op,
+                                        ty: *ty,
+                                        dst: dst.0,
+                                        src: *src,
+                                    })
                             }
                             _ => Step::Un {
                                 op: *op,
@@ -860,15 +1438,63 @@ impl ExecImage {
                                 bank: bank(dst.0),
                                 mem,
                             },
-                            Err(mem) => Step::LoadFrame {
-                                dst: dst.0,
-                                bank: bank(dst.0),
-                                mem,
-                            },
+                            Err(mem) => {
+                                // Statically-addressed slots resolve their
+                                // bank here; matching untagged combinations
+                                // skip the bank tables entirely at run time.
+                                let quick = if mem.index == u32::MAX {
+                                    let s = frame_slot(mem.offset, fimg.frame.nslots);
+                                    match (fimg.slot_banks[s.slot as usize], bank(dst.0)) {
+                                        (RegBank::Int, RegBank::Int) => {
+                                            Some(Step::LoadFI { dst: dst.0, s })
+                                        }
+                                        (RegBank::Float, RegBank::Float) => {
+                                            Some(Step::LoadFF { dst: dst.0, s })
+                                        }
+                                        _ => None,
+                                    }
+                                } else {
+                                    None
+                                };
+                                quick.unwrap_or(Step::LoadFrame {
+                                    dst: dst.0,
+                                    bank: bank(dst.0),
+                                    mem,
+                                })
+                            }
                         },
                         Inst::Store { src, addr, .. } => match decode_mem(addr) {
                             Ok(mem) => Step::StoreGlobal { src: *src, mem },
-                            Err(mem) => Step::StoreFrame { src: *src, mem },
+                            Err(mem) => {
+                                let quick = if mem.index == u32::MAX {
+                                    let s = frame_slot(mem.offset, fimg.frame.nslots);
+                                    match fimg.slot_banks[s.slot as usize] {
+                                        RegBank::Int => {
+                                            int_src(src).map(|src| Step::StoreFI { src, s })
+                                        }
+                                        // Only float-tagged sources: an
+                                        // int-provable source would have
+                                        // forced the slot off the float bank.
+                                        RegBank::Float => match src {
+                                            Operand::Reg(r) if bank(r.0) == RegBank::Float => {
+                                                Some(Step::StoreFF {
+                                                    src: FloatSrc::F(r.0),
+                                                    s,
+                                                })
+                                            }
+                                            Operand::ImmFloat(v) => Some(Step::StoreFF {
+                                                src: FloatSrc::Imm(*v),
+                                                s,
+                                            }),
+                                            _ => None,
+                                        },
+                                        RegBank::Tagged => None,
+                                    }
+                                } else {
+                                    None
+                                };
+                                quick.unwrap_or(Step::StoreFrame { src: *src, mem })
+                            }
                         },
                         Inst::Call { func, args, dst } => {
                             let args_start = call_args.len() as u32;
@@ -953,12 +1579,6 @@ impl ExecImage {
             }
         }
 
-        let fused_steps = if fuse {
-            fuse_blocks(&mut steps, &funcs)
-        } else {
-            0
-        };
-
         ExecImage {
             steps,
             funcs,
@@ -971,7 +1591,8 @@ impl ExecImage {
             initial_globals,
             global_bounds,
             max_regs,
-            fused_steps,
+            fused_steps: 0,
+            unfused: None,
         }
     }
 
@@ -1009,6 +1630,39 @@ impl ExecImage {
     /// Predecoded metadata of one site.
     pub fn site_meta(&self, site_id: u32) -> &SiteMeta {
         &self.sites[site_id as usize]
+    }
+
+    /// Diagnostic: buckets per-site dynamic execution counts by the step
+    /// variant that actually **dispatches** them (descending).  Blocks are
+    /// walked with each variant's fusion footprint, so a site consumed by a
+    /// superinstruction is attributed to its fusion head rather than the
+    /// unreachable original in its slot.  Used by the perf tooling to find
+    /// hot unfused shapes; not on any hot path.
+    pub fn step_histogram(&self, counts: &[u64]) -> Vec<(&'static str, u64)> {
+        use std::collections::HashMap;
+        let mut by_variant: HashMap<&'static str, u64> = HashMap::new();
+        for f in &self.funcs {
+            for (&start, &term) in f.block_pc.iter().zip(&f.term_pc) {
+                let mut i = start as usize;
+                let term = term as usize;
+                while i <= term {
+                    let step = &self.steps[i];
+                    let n = counts.get(i).copied().unwrap_or(0);
+                    if n > 0 {
+                        *by_variant.entry(step.variant_name()).or_default() += n;
+                    }
+                    match step.footprint() {
+                        // Terminator-absorbing superinstructions cover the
+                        // rest of the block.
+                        None => break,
+                        Some(k) => i += k,
+                    }
+                }
+            }
+        }
+        let mut out: Vec<_> = by_variant.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        out
     }
 
     /// The whole site table (index = dense site id).
@@ -1085,47 +1739,274 @@ fn fuse_blocks(steps: &mut [Step], funcs: &[FuncImage]) -> u32 {
             while i < term {
                 // Body-last step + terminator.
                 if i + 1 == term {
-                    let alu = match &steps[i] {
-                        Step::IntAlu(a) => Some(*a),
-                        _ => None,
-                    };
-                    if let Some(a) = alu {
-                        let replacement = match &steps[term] {
+                    let replacement = match (&steps[i], &steps[term]) {
+                        (
+                            Step::IntAlu(a),
                             Step::Branch {
                                 cond,
                                 bank: RegBank::Int,
                                 taken,
                                 not_taken,
-                            } => Some(Step::IntCmpBr {
-                                a,
-                                cond: *cond,
-                                taken: *taken,
-                                not_taken: *not_taken,
-                            }),
-                            Step::Jump(target) => Some(Step::IntAluJump { a, target: *target }),
-                            _ => None,
-                        };
-                        if let Some(r) = replacement {
-                            steps[i] = r;
-                            fused += 1;
-                        }
+                            },
+                        ) => Some(Step::IntCmpBr {
+                            a: *a,
+                            cond: *cond,
+                            taken: *taken,
+                            not_taken: *not_taken,
+                        }),
+                        (Step::IntAlu(a), Step::Jump(target)) => Some(Step::IntAluJump {
+                            a: *a,
+                            target: *target,
+                        }),
+                        // Loop latches: spill the induction/accumulator
+                        // variable, jump back to the header.
+                        (Step::StoreFI { src, s }, Step::Jump(target)) => Some(Step::StoreFIJump {
+                            src: *src,
+                            s: *s,
+                            target: *target,
+                        }),
+                        (Step::StoreFF { src, s }, Step::Jump(target)) => Some(Step::StoreFFJump {
+                            src: *src,
+                            s: *s,
+                            target: *target,
+                        }),
+                        _ => None,
+                    };
+                    if let Some(r) = replacement {
+                        steps[i] = r;
+                        fused += 1;
                     }
                     break;
                 }
-                // Two ALUs feeding the block's jump: a three-way fusion.
+                // Last-two body steps + terminator: three-way fusions.
                 if i + 2 == term {
-                    if let (Step::IntAlu(a), Step::IntAlu(b), Step::Jump(t)) =
-                        (&steps[i], &steps[i + 1], &steps[term])
-                    {
-                        let (a, b, target) = (*a, *b, *t);
-                        steps[i] = Step::IntPairJump { a, b, target };
+                    let replacement = match (&steps[i], &steps[i + 1], &steps[term]) {
+                        (Step::IntAlu(a), Step::IntAlu(b), Step::Jump(t)) => {
+                            Some(Step::IntPairJump {
+                                a: *a,
+                                b: *b,
+                                target: *t,
+                            })
+                        }
+                        // The -O0 while-header: reload the induction
+                        // variable, compare, branch.
+                        (
+                            Step::LoadFI { dst, s },
+                            Step::IntAlu(a),
+                            Step::Branch {
+                                cond,
+                                bank: RegBank::Int,
+                                taken,
+                                not_taken,
+                            },
+                        ) => Some(Step::LoadFCmpBr {
+                            dst: *dst,
+                            s: *s,
+                            a: *a,
+                            cond: *cond,
+                            taken: *taken,
+                            not_taken: *not_taken,
+                        }),
+                        // Loop conditions over array elements.
+                        (
+                            Step::LoadGlobal {
+                                dst,
+                                bank: RegBank::Int,
+                                mem,
+                            },
+                            Step::IntAlu(a),
+                            Step::Branch {
+                                cond,
+                                bank: RegBank::Int,
+                                taken,
+                                not_taken,
+                            },
+                        ) => Some(Step::LoadGCmpBr {
+                            dst: *dst,
+                            mem: *mem,
+                            a: *a,
+                            cond: *cond,
+                            taken: *taken,
+                            not_taken: *not_taken,
+                        }),
+                        _ => None,
+                    };
+                    if let Some(r) = replacement {
+                        steps[i] = r;
                         fused += 1;
                         break;
+                    }
+                }
+                // Read-modify-write triples over one frame slot bank (the
+                // `-O0` `x = x op e` shape), strictly inside the body.
+                if i + 2 < term {
+                    let replacement = match (&steps[i], &steps[i + 1], &steps[i + 2]) {
+                        (
+                            Step::LoadFI { dst, s },
+                            Step::IntAlu(b),
+                            Step::StoreFI { src, s: ss },
+                        ) => Some(Step::LoadFAluStoreF {
+                            dst: *dst,
+                            ls: *s,
+                            b: *b,
+                            src: *src,
+                            ss: *ss,
+                        }),
+                        (
+                            Step::LoadFF { dst, s },
+                            Step::FloatAlu(b),
+                            Step::StoreFF { src, s: ss },
+                        ) => Some(Step::LoadFFAluStoreFF {
+                            dst: *dst,
+                            ls: *s,
+                            b: *b,
+                            src: *src,
+                            ss: *ss,
+                        }),
+                        (Step::FloatAlu(a), Step::FloatAlu(b), Step::StoreFF { src, s }) => {
+                            Some(Step::FloatPairStoreF {
+                                a: *a,
+                                b: *b,
+                                src: *src,
+                                s: *s,
+                            })
+                        }
+                        (
+                            Step::LoadFF { dst, s },
+                            Step::UnFF {
+                                op,
+                                dst: udst,
+                                src: usrc,
+                            },
+                            Step::StoreFF { src, s: ss },
+                        ) => Some(Step::LoadFUnFFStoreFF {
+                            dst: *dst,
+                            ls: *s,
+                            op: *op,
+                            udst: *udst,
+                            usrc: *usrc,
+                            ssrc: *src,
+                            ss: *ss,
+                        }),
+                        _ => None,
+                    };
+                    if let Some(r) = replacement {
+                        steps[i] = r;
+                        fused += 1;
+                        i += 3;
+                        continue;
                     }
                 }
                 // Adjacent body pairs.
                 let replacement = match (&steps[i], &steps[i + 1]) {
                     (Step::IntAlu(a), Step::IntAlu(b)) => Some(Step::IntPair(*a, *b)),
+                    (Step::LoadFI { dst, s }, Step::IntAlu(b)) => Some(Step::LoadFIntAlu {
+                        dst: *dst,
+                        s: *s,
+                        b: *b,
+                    }),
+                    (Step::IntAlu(a), Step::StoreFI { src, s }) => Some(Step::IntAluStoreF {
+                        a: *a,
+                        src: *src,
+                        s: *s,
+                    }),
+                    (Step::LoadFF { dst, s }, Step::FloatAlu(b)) => Some(Step::LoadFFloatAlu {
+                        dst: *dst,
+                        s: *s,
+                        b: *b,
+                    }),
+                    (Step::FloatAlu(a), Step::StoreFF { src, s }) => Some(Step::FloatAluStoreF {
+                        a: *a,
+                        src: *src,
+                        s: *s,
+                    }),
+                    (Step::FloatAlu(a), Step::FloatAlu(b)) => Some(Step::FloatPair(*a, *b)),
+                    (
+                        Step::LoadFI { dst, s },
+                        Step::LoadGlobal {
+                            dst: dst2,
+                            bank,
+                            mem,
+                        },
+                    ) => Some(Step::LoadFILoadG {
+                        dst1: *dst,
+                        s1: *s,
+                        dst2: *dst2,
+                        bank2: *bank,
+                        mem: *mem,
+                    }),
+                    (Step::StoreFI { src, s }, Step::LoadFI { dst, s: ls }) => {
+                        Some(Step::StoreFLoadF {
+                            src: *src,
+                            ss: *s,
+                            dst: *dst,
+                            ls: *ls,
+                        })
+                    }
+                    (Step::LoadFI { dst, s }, Step::StoreGlobal { src, mem }) => {
+                        Some(Step::LoadFIStoreG {
+                            dst: *dst,
+                            s: *s,
+                            src: *src,
+                            mem: *mem,
+                        })
+                    }
+                    (
+                        Step::LoadGlobal {
+                            dst,
+                            bank: RegBank::Float,
+                            mem,
+                        },
+                        Step::FloatAlu(b),
+                    ) => Some(Step::LoadGFloatAlu {
+                        dst: *dst,
+                        mem: *mem,
+                        b: *b,
+                    }),
+                    (Step::LoadFI { dst: dst1, s: s1 }, Step::LoadFI { dst: dst2, s: s2 }) => {
+                        Some(Step::LoadFPairI {
+                            dst1: *dst1,
+                            s1: *s1,
+                            dst2: *dst2,
+                            s2: *s2,
+                        })
+                    }
+                    (Step::LoadFF { dst: dst1, s: s1 }, Step::LoadFF { dst: dst2, s: s2 }) => {
+                        Some(Step::LoadFPairF {
+                            dst1: *dst1,
+                            s1: *s1,
+                            dst2: *dst2,
+                            s2: *s2,
+                        })
+                    }
+                    (
+                        Step::LoadFF { dst, s },
+                        Step::UnFF {
+                            op,
+                            dst: udst,
+                            src: usrc,
+                        },
+                    ) => Some(Step::LoadFUnFF {
+                        dst: *dst,
+                        s: *s,
+                        op: *op,
+                        udst: *udst,
+                        usrc: *usrc,
+                    }),
+                    (
+                        Step::UnFF {
+                            op,
+                            dst: udst,
+                            src: usrc,
+                        },
+                        Step::StoreFF { src, s },
+                    ) => Some(Step::UnFFStoreF {
+                        op: *op,
+                        udst: *udst,
+                        usrc: *usrc,
+                        src: *src,
+                        s: *s,
+                    }),
                     (
                         Step::IntAlu(a),
                         Step::LoadGlobal {

@@ -104,6 +104,11 @@ impl MachineConfig {
 
     /// [`run`](Self::run) over a prebuilt [`ExecImage`] (amortizes predecode
     /// when the same compiled artifact is timed on several machines).
+    ///
+    /// The pipeline model is a heavyweight observer, so `simulate_image`
+    /// automatically runs the image's unfused twin — callers keep handing
+    /// over the store's (fused) image and the right dispatch loop is chosen
+    /// here, not at every call site.
     pub fn run_image(&self, image: &ExecImage) -> MachineResult {
         self.result_of(simulate_image(image, self.pipeline))
     }

@@ -338,7 +338,16 @@ pub fn simulate(program: &Program, config: PipelineConfig) -> PipelineResult {
 }
 
 /// [`simulate`] over a prebuilt image (amortizes predecode across sweeps).
+///
+/// Observer-specialized dispatch: the timing model is a heavyweight observer,
+/// and with its callbacks inlined into the dispatch loop the fused arms cost
+/// more in i-cache pressure than they save in dispatch (PERF.md §PR-3/§PR-5
+/// measure the inversion), so the simulation runs the image's **unfused
+/// twin** when one is present.  Results are bit-identical either way — the
+/// twins share site tables and event streams (differential-suite proven) —
+/// so callers see only the speed difference.
 pub fn simulate_image(image: &ExecImage, config: PipelineConfig) -> PipelineResult {
+    let image = image.unfused_twin();
     let mut sim = PipelineSim::from_image(config, image);
     crate::exec::execute_image(image, &mut sim, &crate::exec::ExecConfig::default());
     sim.result()

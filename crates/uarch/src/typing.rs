@@ -17,9 +17,15 @@
 //!   frame initialization for registers that may be read before written
 //!   (decided by a per-function liveness pass);
 //! * **memory regions** — one lattice point per global array and one per
-//!   function frame, joined over initial contents and every store, so a
-//!   load's destination register inherits a known tag when the whole region
-//!   provably holds one type;
+//!   **frame slot** (statically-addressed frame accesses resolve to their
+//!   wrapped slot at analysis time; register-indexed accesses conservatively
+//!   touch every slot), joined over initial contents and every store, so a
+//!   load's destination register inherits a known tag when the addressed
+//!   region provably holds one type.  Per-slot granularity is what lets a
+//!   float local in a `-O0` frame untag: its `Int(0)` zero-init joins only
+//!   when a **slot-level liveness pass** shows the slot may be read before
+//!   written, so a slot that is always stored first can be all-float even
+//!   though the frame as a whole never is;
 //! * **returns** — one lattice point per function, joined over its `Return`
 //!   operands.
 //!
@@ -202,22 +208,120 @@ fn entry_live(f: &bsg_ir::program::Function) -> Vec<bool> {
     live_in.swap_remove(f.entry.index())
 }
 
+/// Number of analyzable frame slots of a function.  Frame accesses wrap
+/// modulo `frame_words.max(1)` at run time (see `exec`), so the analysis
+/// domain has at least one slot and a *static* offset resolves to exactly
+/// one slot.
+fn slot_count(f: &bsg_ir::program::Function) -> usize {
+    (f.frame_words.max(1)) as usize
+}
+
+/// The slot a statically-addressed frame access resolves to, or `None` when
+/// the access is register-indexed (dynamic: may touch any slot).
+fn static_slot(addr: &bsg_ir::visa::Address, nslots: usize) -> Option<usize> {
+    if addr.index.is_some() {
+        None
+    } else {
+        Some(addr.offset.rem_euclid(nslots as i64) as usize)
+    }
+}
+
+/// Per-function liveness of **frame slots** at function entry: the slots that
+/// may be read before any static store on some path, i.e. the slots whose
+/// implicit `Int(0)` initialization is observable.  Register-indexed loads
+/// read every slot; register-indexed stores kill nothing (the written slot is
+/// unknown).  Frames are per-activation, so calls neither read nor write the
+/// caller's slots.
+fn frame_entry_live(f: &bsg_ir::program::Function) -> Vec<bool> {
+    let nslots = slot_count(f);
+    let nblocks = f.blocks.len();
+    // gen of one operand read: mark the slots a frame-mem operand may read.
+    let gen_operand = |live: &mut [bool], op: &Operand| {
+        if let Operand::Mem(a) = op {
+            if a.base == MemBase::Frame {
+                match static_slot(a, nslots) {
+                    Some(s) => live[s] = true,
+                    None => live.iter_mut().for_each(|l| *l = true),
+                }
+            }
+        }
+    };
+    let mut live_in: Vec<Vec<bool>> = vec![vec![false; nslots]; nblocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nblocks).rev() {
+            let block = &f.blocks[bi];
+            let mut live: Vec<bool> = vec![false; nslots];
+            for succ in block.term.successors() {
+                for (slot, s) in live.iter_mut().zip(&live_in[succ.index()]) {
+                    *slot |= s;
+                }
+            }
+            if let Terminator::Return(Some(op)) = &block.term {
+                gen_operand(&mut live, op);
+            }
+            for inst in block.insts.iter().rev() {
+                // Kill first (applies to the post-instruction state), then
+                // gen: an instruction that reads and writes the same slot
+                // (e.g. `store frame[2] <- frame[2]`) reads it first.
+                if let Inst::Store { addr, .. } = inst {
+                    if addr.base == MemBase::Frame {
+                        if let Some(s) = static_slot(addr, nslots) {
+                            live[s] = false;
+                        }
+                    }
+                }
+                match inst {
+                    Inst::Bin { lhs, rhs, .. } => {
+                        gen_operand(&mut live, lhs);
+                        gen_operand(&mut live, rhs);
+                    }
+                    Inst::Un { src, .. } | Inst::Mov { src, .. } | Inst::Print { src } => {
+                        gen_operand(&mut live, src);
+                    }
+                    Inst::Load { addr, .. } => {
+                        gen_operand(&mut live, &Operand::Mem(*addr));
+                    }
+                    Inst::Store { src, .. } => gen_operand(&mut live, src),
+                    Inst::Call { args, .. } => {
+                        for a in args {
+                            gen_operand(&mut live, a);
+                        }
+                    }
+                    Inst::Nop => {}
+                }
+            }
+            if live != live_in[bi] {
+                live_in[bi] = live;
+                changed = true;
+            }
+        }
+    }
+    live_in.swap_remove(f.entry.index())
+}
+
 /// Result of the whole-program type inference.
 pub(crate) struct TypeInfo {
     /// Bank of each `(function, register)`.
     pub regs: Vec<Vec<RegBank>>,
-    /// Bank of each function's frame slots: `Int` when every value that can
-    /// reach any slot (including the zero initialization) is an integer,
-    /// `Tagged` otherwise.  Float frames stay tagged — the zero init is
-    /// `Value::Int(0)`, so a provably-all-float frame cannot exist unless it
-    /// is never read before written, which whole-frame granularity cannot
-    /// show.
-    pub frames: Vec<RegBank>,
+    /// Bank of each `(function, frame slot)` (`slot_count` entries per
+    /// function).  `Int`/`Float` when every value that can reach the slot —
+    /// including the `Int(0)` zero-init where the slot-liveness pass shows it
+    /// observable — has that one tag; `Tagged` otherwise.
+    pub frame_slots: Vec<Vec<RegBank>>,
+    /// Whether each `(function, register)`'s implicit `Int(0)` initialization
+    /// is observable (read-before-write on some path, per the liveness pass).
+    /// Registers where it is not may keep stale values on frame acquisition:
+    /// every read is provably preceded by a write.
+    pub reg_init: Vec<Vec<bool>>,
+    /// The same observability per `(function, frame slot)`.
+    pub slot_init: Vec<Vec<bool>>,
 }
 
-/// Infers one [`RegBank`] per `(function, register)` and per function frame
-/// for `program` (see the module docs for the lattice and its soundness
-/// argument).
+/// Infers one [`RegBank`] per `(function, register)` and per `(function,
+/// frame slot)` for `program` (see the module docs for the lattice and its
+/// soundness argument).
 pub(crate) fn infer(program: &Program) -> TypeInfo {
     let nfuncs = program.functions.len();
     let mut regs: Vec<Vec<Lat>> = program
@@ -226,8 +330,24 @@ pub(crate) fn infer(program: &Program) -> TypeInfo {
         .map(|f| vec![Lat::Bot; f.num_regs as usize])
         .collect();
     let mut globals: Vec<Lat> = program.globals.iter().map(global_init_lat).collect();
-    // Frame slots zero-initialize to `Value::Int(0)`.
-    let mut frames: Vec<Lat> = vec![Lat::Int; nfuncs];
+    // Per-slot frame lattices.  Slots start at `Bot`; the `Int(0)` zero-init
+    // joins below only where the slot-liveness pass shows a read may observe
+    // it, which is what lets always-stored-first float locals untag.
+    let mut frames: Vec<Vec<Lat>> = program
+        .functions
+        .iter()
+        .map(|f| vec![Lat::Bot; slot_count(f)])
+        .collect();
+    let mut slot_init: Vec<Vec<bool>> = Vec::with_capacity(nfuncs);
+    for (fi, f) in program.functions.iter().enumerate() {
+        let live = frame_entry_live(f);
+        for (s, live) in live.iter().enumerate() {
+            if *live {
+                frames[fi][s] = Lat::Int;
+            }
+        }
+        slot_init.push(live);
+    }
     let mut rets: Vec<Lat> = vec![Lat::Bot; nfuncs];
 
     // Which functions have call sites, and whether any call site omits
@@ -251,6 +371,11 @@ pub(crate) fn infer(program: &Program) -> TypeInfo {
     }
 
     // Seed the implicit `Int(0)` initialization where it may be observed.
+    let mut reg_init: Vec<Vec<bool>> = program
+        .functions
+        .iter()
+        .map(|f| vec![false; f.num_regs as usize])
+        .collect();
     for (fi, f) in program.functions.iter().enumerate() {
         let live = entry_live(f);
         for (ri, lat) in regs[fi].iter_mut().enumerate() {
@@ -261,7 +386,10 @@ pub(crate) fn infer(program: &Program) -> TypeInfo {
             }
             match is_param_pos {
                 // Non-parameter read-before-write: sees the frame init.
-                None => *lat = lat.join(Lat::Int),
+                None => {
+                    *lat = lat.join(Lat::Int);
+                    reg_init[fi][ri] = true;
+                }
                 Some(pos) => {
                     // Parameters are written by the caller — unless this is
                     // the entry function (called with no arguments), the
@@ -271,6 +399,7 @@ pub(crate) fn infer(program: &Program) -> TypeInfo {
                         has_caller[fi] && short_args[fi] > pos && program.entry.index() != fi;
                     if !covered {
                         *lat = lat.join(Lat::Int);
+                        reg_init[fi][ri] = true;
                     }
                 }
             }
@@ -290,9 +419,18 @@ pub(crate) fn infer(program: &Program) -> TypeInfo {
         };
         for fi in 0..nfuncs {
             for bi in 0..program.functions[fi].blocks.len() {
+                // Lattice value a frame read at `a` may observe: the one
+                // addressed slot when static, the join of every slot when
+                // register-indexed.
+                let frame_read_lat = |frames: &Vec<Vec<Lat>>, a: &bsg_ir::visa::Address| -> Lat {
+                    match static_slot(a, frames[fi].len()) {
+                        Some(s) => frames[fi][s],
+                        None => frames[fi].iter().fold(Lat::Bot, |acc, l| acc.join(*l)),
+                    }
+                };
                 let operand_lat = |regs: &Vec<Vec<Lat>>,
                                    globals: &Vec<Lat>,
-                                   frames: &Vec<Lat>,
+                                   frames: &Vec<Vec<Lat>>,
                                    op: &Operand|
                  -> Lat {
                     match op {
@@ -303,7 +441,7 @@ pub(crate) fn infer(program: &Program) -> TypeInfo {
                             MemBase::Global(g) => {
                                 globals.get(g.index()).copied().unwrap_or(Lat::Top)
                             }
-                            MemBase::Frame => frames[fi],
+                            MemBase::Frame => frame_read_lat(frames, a),
                         },
                     }
                 };
@@ -327,7 +465,7 @@ pub(crate) fn infer(program: &Program) -> TypeInfo {
                                 MemBase::Global(g) => {
                                     globals.get(g.index()).copied().unwrap_or(Lat::Top)
                                 }
-                                MemBase::Frame => frames[fi],
+                                MemBase::Frame => frame_read_lat(&frames, addr),
                             };
                             join_into(&mut regs[fi][dst.0 as usize], v, &mut changed);
                         }
@@ -340,7 +478,18 @@ pub(crate) fn infer(program: &Program) -> TypeInfo {
                                     }
                                 }
                                 MemBase::Frame => {
-                                    join_into(&mut frames[fi], v, &mut changed);
+                                    // A static store reaches exactly one
+                                    // slot; a dynamic store may reach any.
+                                    match static_slot(addr, frames[fi].len()) {
+                                        Some(s) => {
+                                            join_into(&mut frames[fi][s], v, &mut changed);
+                                        }
+                                        None => {
+                                            for s in 0..frames[fi].len() {
+                                                join_into(&mut frames[fi][s], v, &mut changed);
+                                            }
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -381,13 +530,23 @@ pub(crate) fn infer(program: &Program) -> TypeInfo {
             .into_iter()
             .map(|f| f.into_iter().map(Lat::bank).collect())
             .collect(),
-        frames: frames
+        frame_slots: frames
             .into_iter()
-            .map(|lat| match lat {
-                Lat::Int => RegBank::Int,
-                _ => RegBank::Tagged,
+            .map(|f| {
+                f.into_iter()
+                    .map(|lat| match lat {
+                        // `Bot` = never read (any read joins either the
+                        // seeded init or a store): the int bank's 0 matches
+                        // the `Int(0)` init, so the choice is unobservable.
+                        Lat::Bot | Lat::Int => RegBank::Int,
+                        Lat::Float => RegBank::Float,
+                        Lat::Top => RegBank::Tagged,
+                    })
+                    .collect()
             })
             .collect(),
+        reg_init,
+        slot_init,
     }
 }
 
@@ -395,6 +554,12 @@ pub(crate) fn infer(program: &Program) -> TypeInfo {
 #[cfg(test)]
 fn reg_banks(program: &Program) -> Vec<Vec<RegBank>> {
     infer(program).regs
+}
+
+/// Test shim: the per-slot frame banks of function 0.
+#[cfg(test)]
+fn frame_banks(program: &Program) -> Vec<RegBank> {
+    infer(program).frame_slots.swap_remove(0)
 }
 
 #[cfg(test)]
@@ -606,6 +771,172 @@ mod tests {
         helper.blocks[0].term = Terminator::Return(Some(Operand::ImmFloat(1.5)));
         p.add_function(helper);
         assert_eq!(reg_banks(&p)[0], vec![RegBank::Tagged]);
+    }
+
+    #[test]
+    fn stored_first_float_slot_untags_per_slot() {
+        // frame[0] = 2.5; x = frame[0] — the classic -O0 float local.  The
+        // slot is always written before read, so the Int(0) init is
+        // unobservable and the slot (and the load's destination) untag.
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        f.frame_words = 2;
+        let x = f.fresh_reg();
+        f.blocks[0].insts = vec![
+            Inst::Store {
+                src: Operand::ImmFloat(2.5),
+                addr: Address::frame(0),
+                ty: Ty::Float,
+            },
+            Inst::Load {
+                dst: x,
+                addr: Address::frame(0),
+                ty: Ty::Float,
+            },
+        ];
+        f.blocks[0].term = Terminator::Return(Some(x.into()));
+        p.add_function(f);
+        assert_eq!(frame_banks(&p)[0], RegBank::Float);
+        assert_eq!(reg_banks(&p)[0], vec![RegBank::Float]);
+    }
+
+    #[test]
+    fn read_before_write_float_slot_stays_tagged() {
+        // One path loads frame[0] before the float store reaches it: the
+        // Int(0) init joins the Float store and the slot must stay tagged.
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        f.frame_words = 1;
+        let c = f.fresh_reg();
+        let x = f.fresh_reg();
+        let wr = f.add_block();
+        let out = f.add_block();
+        f.blocks[0].insts = vec![Inst::Mov {
+            dst: c,
+            src: Operand::ImmInt(0),
+        }];
+        f.blocks[0].term = Terminator::Branch {
+            cond: c,
+            taken: wr,
+            not_taken: out,
+        };
+        f.blocks[wr.index()].insts = vec![Inst::Store {
+            src: Operand::ImmFloat(1.5),
+            addr: Address::frame(0),
+            ty: Ty::Float,
+        }];
+        f.blocks[wr.index()].term = Terminator::Jump(out);
+        f.blocks[out.index()].insts = vec![Inst::Load {
+            dst: x,
+            addr: Address::frame(0),
+            ty: Ty::Float,
+        }];
+        f.blocks[out.index()].term = Terminator::Return(Some(x.into()));
+        p.add_function(f);
+        assert_eq!(frame_banks(&p)[0], RegBank::Tagged);
+        assert_eq!(reg_banks(&p)[0][x.0 as usize], RegBank::Tagged);
+    }
+
+    #[test]
+    fn mixed_frames_type_slot_by_slot() {
+        // frame[0] holds ints, frame[1] holds floats; each untags separately
+        // (whole-frame granularity would tag both).
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        f.frame_words = 2;
+        let i = f.fresh_reg();
+        let x = f.fresh_reg();
+        f.blocks[0].insts = vec![
+            Inst::Store {
+                src: Operand::ImmInt(7),
+                addr: Address::frame(0),
+                ty: Ty::Int,
+            },
+            Inst::Store {
+                src: Operand::ImmFloat(0.5),
+                addr: Address::frame(1),
+                ty: Ty::Float,
+            },
+            Inst::Load {
+                dst: i,
+                addr: Address::frame(0),
+                ty: Ty::Int,
+            },
+            Inst::Load {
+                dst: x,
+                addr: Address::frame(1),
+                ty: Ty::Float,
+            },
+        ];
+        f.blocks[0].term = Terminator::Return(Some(i.into()));
+        p.add_function(f);
+        assert_eq!(frame_banks(&p), vec![RegBank::Int, RegBank::Float]);
+        let regs = reg_banks(&p);
+        assert_eq!(regs[0][i.0 as usize], RegBank::Int);
+        assert_eq!(regs[0][x.0 as usize], RegBank::Float);
+    }
+
+    #[test]
+    fn dynamic_stores_poison_every_slot() {
+        // frame[r] = 1.5 may hit any slot, so the int slot written before it
+        // joins Float and degrades to Tagged.
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        f.frame_words = 2;
+        let r = f.fresh_reg();
+        f.blocks[0].insts = vec![
+            Inst::Store {
+                src: Operand::ImmInt(3),
+                addr: Address::frame(0),
+                ty: Ty::Int,
+            },
+            Inst::Mov {
+                dst: r,
+                src: Operand::ImmInt(1),
+            },
+            Inst::Store {
+                src: Operand::ImmFloat(1.5),
+                addr: Address {
+                    base: MemBase::Frame,
+                    offset: 0,
+                    index: Some(r),
+                    scale: 1,
+                },
+                ty: Ty::Float,
+            },
+        ];
+        f.blocks[0].term = Terminator::Return(None);
+        p.add_function(f);
+        // Slot 0 joins Int (static store) with Float (dynamic store) -> Top.
+        // Slot 1 is never read, so only the dynamic Float store reaches it:
+        // it lands in the float bank, which no read can ever observe.
+        assert_eq!(frame_banks(&p), vec![RegBank::Tagged, RegBank::Float]);
+    }
+
+    #[test]
+    fn static_offsets_wrap_to_their_runtime_slot() {
+        // frame_words = 2, so offset 3 wraps to slot 1 (matching the
+        // executor's rem_euclid semantics): the float store lands there and
+        // slot 1 untags while slot 0 stays at its Bot -> Int default.
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        f.frame_words = 2;
+        let x = f.fresh_reg();
+        f.blocks[0].insts = vec![
+            Inst::Store {
+                src: Operand::ImmFloat(4.25),
+                addr: Address::frame(3),
+                ty: Ty::Float,
+            },
+            Inst::Load {
+                dst: x,
+                addr: Address::frame(1),
+                ty: Ty::Float,
+            },
+        ];
+        f.blocks[0].term = Terminator::Return(Some(x.into()));
+        p.add_function(f);
+        assert_eq!(frame_banks(&p), vec![RegBank::Int, RegBank::Float]);
     }
 
     #[test]

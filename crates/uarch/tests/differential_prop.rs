@@ -314,6 +314,244 @@ fn check_identical(program: &Program, config: &ExecConfig) -> Result<(), String>
     Ok(())
 }
 
+/// Generates an `-O0`-shaped program: a counted loop whose body is made of
+/// frame-slot read-modify-write fragments over a **mixed int/float** frame —
+/// the exact shapes the per-slot typing untags and the frame-fusion pass
+/// collapses (`LoadFCmpBr` headers, `LoadFAluStoreF`/`LoadFFAluStoreFF`/
+/// `LoadFUnFFStoreFF` bodies, `StoreFIJump` latches, slot-load pairs) — plus
+/// register-indexed (dynamic) frame and global traffic, and slots that are
+/// deliberately left to their implicit `Int(0)` initialization so the
+/// init-observability analysis is exercised in both directions.
+fn o0_frame_program(seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p = Program::new();
+    let g = p.add_global(Global {
+        name: "g".into(),
+        elems: 8,
+        ty: Ty::Int,
+        init: GlobalInit::Iota,
+    });
+    let mut f = Function::new("main");
+    let nslots = rng.gen_range(2u32..6);
+    f.frame_words = nslots;
+    // Slot 0 is the int induction variable; the rest choose a type, and a
+    // subset skips initialization (read-before-write of the Int(0) init —
+    // which forces an uninitialized "float" slot onto the tagged bank).
+    let slot_ty: Vec<Ty> = (0..nslots)
+        .map(|s| {
+            if s == 0 || rng.gen_range(0u32..2) == 0 {
+                Ty::Int
+            } else {
+                Ty::Float
+            }
+        })
+        .collect();
+    let header = f.add_block();
+    let body = f.add_block();
+    let exit = f.add_block();
+
+    let mut init = vec![Inst::Store {
+        src: Operand::ImmInt(0),
+        addr: Address::frame(0),
+        ty: Ty::Int,
+    }];
+    for s in 1..nslots {
+        if rng.gen_range(0u32..4) > 0 {
+            init.push(Inst::Store {
+                src: match slot_ty[s as usize] {
+                    Ty::Int => Operand::ImmInt(rng.gen_range(-9i64..9)),
+                    Ty::Float => Operand::ImmFloat(rng.gen_range(-16i64..16) as f64 * 0.25),
+                },
+                addr: Address::frame(i64::from(s)),
+                ty: slot_ty[s as usize],
+            });
+        }
+    }
+    f.blocks[0].insts = init;
+    f.blocks[0].term = Terminator::Jump(header);
+
+    // Header: reload the induction variable, compare, branch (fuses to
+    // LoadFCmpBr).  -O0 style: a fresh register per use.
+    let hr = f.fresh_reg();
+    let hc = f.fresh_reg();
+    f.blocks[header.index()].insts = vec![
+        Inst::Load {
+            dst: hr,
+            addr: Address::frame(0),
+            ty: Ty::Int,
+        },
+        Inst::Bin {
+            op: BinOp::Lt,
+            ty: Ty::Int,
+            dst: hc,
+            lhs: hr.into(),
+            rhs: Operand::ImmInt(rng.gen_range(2i64..7)),
+        },
+    ];
+    f.blocks[header.index()].term = Terminator::Branch {
+        cond: hc,
+        taken: body,
+        not_taken: exit,
+    };
+
+    // Body: random frame-slot fragments.
+    let mut insts: Vec<Inst> = Vec::new();
+    let int_slots: Vec<u32> = (0..nslots)
+        .filter(|s| slot_ty[*s as usize] == Ty::Int)
+        .collect();
+    let float_slots: Vec<u32> = (0..nslots)
+        .filter(|s| slot_ty[*s as usize] == Ty::Float)
+        .collect();
+    for _ in 0..rng.gen_range(1usize..5) {
+        match rng.gen_range(0u32..6) {
+            // Int RMW: load slot -> int ALU -> store slot.
+            0 | 1 => {
+                let s = int_slots[rng.gen_range(0usize..int_slots.len())];
+                let (r1, r2) = (f.fresh_reg(), f.fresh_reg());
+                insts.push(Inst::Load {
+                    dst: r1,
+                    addr: Address::frame(i64::from(s)),
+                    ty: Ty::Int,
+                });
+                insts.push(Inst::Bin {
+                    op: [BinOp::Add, BinOp::Sub, BinOp::Xor][rng.gen_range(0usize..3)],
+                    ty: Ty::Int,
+                    dst: r2,
+                    lhs: r1.into(),
+                    rhs: Operand::ImmInt(rng.gen_range(-5i64..6)),
+                });
+                insts.push(Inst::Store {
+                    src: r2.into(),
+                    addr: Address::frame(i64::from(s)),
+                    ty: Ty::Int,
+                });
+            }
+            // Float RMW (ALU or unary): load -> op -> store.
+            2 | 3 if !float_slots.is_empty() => {
+                let s = float_slots[rng.gen_range(0usize..float_slots.len())];
+                let d = float_slots[rng.gen_range(0usize..float_slots.len())];
+                let (r1, r2) = (f.fresh_reg(), f.fresh_reg());
+                insts.push(Inst::Load {
+                    dst: r1,
+                    addr: Address::frame(i64::from(s)),
+                    ty: Ty::Float,
+                });
+                if rng.gen_range(0u32..2) == 0 {
+                    insts.push(Inst::Bin {
+                        op: [BinOp::Add, BinOp::Mul][rng.gen_range(0usize..2)],
+                        ty: Ty::Float,
+                        dst: r2,
+                        lhs: r1.into(),
+                        rhs: Operand::ImmFloat(rng.gen_range(1i64..5) as f64 * 0.5),
+                    });
+                } else {
+                    insts.push(Inst::Un {
+                        op: [UnOp::Neg, UnOp::Sqrt, UnOp::Cos][rng.gen_range(0usize..3)],
+                        ty: Ty::Float,
+                        dst: r2,
+                        src: r1.into(),
+                    });
+                }
+                insts.push(Inst::Store {
+                    src: r2.into(),
+                    addr: Address::frame(i64::from(d)),
+                    ty: Ty::Float,
+                });
+            }
+            // Dynamic (register-indexed) frame access: hits the general
+            // per-slot bank table at run time.
+            4 => {
+                let idx = f.fresh_reg();
+                let v = f.fresh_reg();
+                insts.push(Inst::Load {
+                    dst: idx,
+                    addr: Address::frame(0),
+                    ty: Ty::Int,
+                });
+                let addr = Address {
+                    base: bsg_ir::visa::MemBase::Frame,
+                    offset: rng.gen_range(-1i64..3),
+                    index: Some(idx),
+                    scale: rng.gen_range(1i64..3),
+                };
+                if rng.gen_range(0u32..2) == 0 {
+                    insts.push(Inst::Load {
+                        dst: v,
+                        addr,
+                        ty: Ty::Int,
+                    });
+                    insts.push(Inst::Print { src: v.into() });
+                } else {
+                    insts.push(Inst::Store {
+                        src: Operand::ImmInt(rng.gen_range(0i64..9)),
+                        addr,
+                        ty: Ty::Int,
+                    });
+                }
+            }
+            // Indexed global traffic (LoadFILoadG / LoadFIStoreG shapes).
+            _ => {
+                let idx = f.fresh_reg();
+                let v = f.fresh_reg();
+                insts.push(Inst::Load {
+                    dst: idx,
+                    addr: Address::frame(0),
+                    ty: Ty::Int,
+                });
+                insts.push(Inst::Load {
+                    dst: v,
+                    addr: Address::global_indexed(g, 0, idx, 1),
+                    ty: Ty::Int,
+                });
+                insts.push(Inst::Store {
+                    src: v.into(),
+                    addr: Address::global_indexed(g, 1, idx, 1),
+                    ty: Ty::Int,
+                });
+            }
+        }
+    }
+    // Latch: induction RMW, then jump (fuses the store into StoreFIJump).
+    let (li, ln) = (f.fresh_reg(), f.fresh_reg());
+    insts.push(Inst::Load {
+        dst: li,
+        addr: Address::frame(0),
+        ty: Ty::Int,
+    });
+    insts.push(Inst::Bin {
+        op: BinOp::Add,
+        ty: Ty::Int,
+        dst: ln,
+        lhs: li.into(),
+        rhs: Operand::ImmInt(1),
+    });
+    insts.push(Inst::Store {
+        src: ln.into(),
+        addr: Address::frame(0),
+        ty: Ty::Int,
+    });
+    f.blocks[body.index()].insts = insts;
+    f.blocks[body.index()].term = Terminator::Jump(header);
+
+    // Exit: read every slot back (read-before-write for uninitialized ones).
+    let mut out = Vec::new();
+    for s in 0..nslots {
+        let r = f.fresh_reg();
+        out.push(Inst::Load {
+            dst: r,
+            addr: Address::frame(i64::from(s)),
+            ty: slot_ty[s as usize],
+        });
+        out.push(Inst::Print { src: r.into() });
+    }
+    f.blocks[exit.index()].insts = out;
+    f.blocks[exit.index()].term = Terminator::Return(Some(Operand::Mem(Address::frame(
+        i64::from(rng.gen_range(0u32..nslots)),
+    ))));
+    p.add_function(f);
+    p
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -331,6 +569,29 @@ proptest! {
         for budget in budgets.iter().chain(&tight) {
             let config = ExecConfig {
                 max_instructions: *budget,
+                max_call_depth: 13,
+            };
+            if let Err(e) = check_identical(&program, &config) {
+                return Err(format!("seed {seed} budget {budget}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn o0_frame_programs_execute_identically_on_all_engines(seed in 0u64..1_000_000) {
+        let program = o0_frame_program(seed);
+        // The fused image must actually contain frame superinstructions —
+        // this sweep exists to abort budgets *inside* them.
+        prop_assert!(ExecImage::new(&program).num_fused() > 0, "generator produced nothing to fuse");
+        // A comfortable budget plus a dense sweep of tight budgets: the
+        // body fragments are 2-3 budgeted instructions each, so stepping
+        // the abort point by one walks it through every constituent of the
+        // frame-fused superinstructions (pairs and triples alike).
+        let mut budgets: Vec<u64> = (1..40).collect();
+        budgets.extend([64, 97, 150, 331, 20_000]);
+        for budget in budgets {
+            let config = ExecConfig {
+                max_instructions: budget,
                 max_call_depth: 13,
             };
             if let Err(e) = check_identical(&program, &config) {
