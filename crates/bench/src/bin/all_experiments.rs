@@ -5,13 +5,43 @@
 //! table.  The report text goes to stdout (byte-identical at any scheduler
 //! worker count and any artifact-cache temperature); artifact-store and
 //! scheduler statistics go to stderr.
-use bsg_bench::{prepare_suite, report_runtime_stats, ALL_EXPERIMENTS, SYNTH_TARGET_INSTRUCTIONS};
+//!
+//! Faults are isolated, not fatal: a workload whose preparation panics or
+//! fails (including `BSG_FAULT`-injected chaos) is reported to stderr and
+//! its rows omitted, a section that panics is skipped, and the remaining
+//! report still prints — but the process exits nonzero so CI notices.
+use bsg_bench::{
+    report_runtime_stats, try_prepare_suite, ALL_EXPERIMENTS, SYNTH_TARGET_INSTRUCTIONS,
+};
 use bsg_workloads::InputSize;
+use std::process::ExitCode;
 
-fn main() {
-    let artifacts = prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS);
+fn main() -> ExitCode {
+    let mut artifacts = Vec::new();
+    let mut faults = 0u32;
+    for (name, result) in try_prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS) {
+        match result {
+            Ok(a) => artifacts.push(a),
+            Err(e) => {
+                faults += 1;
+                eprintln!("[bsg-bench] FAILED to prepare {name}: {e} (its rows are omitted)");
+            }
+        }
+    }
     for section in ALL_EXPERIMENTS {
-        println!("{}", section.render(&artifacts));
+        match section.try_render(&artifacts) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                faults += 1;
+                eprintln!("[bsg-bench] FAILED to render a section: {e} (section skipped)");
+            }
+        }
     }
     report_runtime_stats();
+    if faults == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[bsg-bench] report completed with {faults} fault(s), see above");
+        ExitCode::FAILURE
+    }
 }

@@ -23,7 +23,8 @@
 //! measure closure, zip the chunked results into rows.
 
 use crate::WorkloadArtifacts;
-use bsg_runtime::Runtime;
+use bsg_runtime::{panic_message, BsgError, BsgResult, Runtime};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::slice::ChunksExact;
 
 /// Builds every `(a, b)` pair, `a`-major (`b` is the fast axis), the order
@@ -64,6 +65,24 @@ impl<U: Send> Experiment<U> {
             (u, v)
         });
         let (units, values) = values.into_iter().unzip();
+        Measured { units, values }
+    }
+
+    /// [`measure`](Experiment::measure) with per-unit fault isolation: a
+    /// unit whose measurement panics (or overruns a scheduler deadline)
+    /// contributes `Err` in its own slot, and every other unit's value is
+    /// exactly what the clean run would produce — the chaos suite pins that
+    /// byte-for-byte.
+    pub fn try_measure<M, F>(self, measure: F) -> Measured<U, BsgResult<M>>
+    where
+        U: Sync,
+        M: Send,
+        F: Fn(&U) -> M + Sync,
+    {
+        let units = self.units;
+        let measure = &measure;
+        let values = Runtime::current()
+            .try_run(units.iter().map(|u| move || measure(u)).collect::<Vec<_>>());
         Measured { units, values }
     }
 }
@@ -111,6 +130,17 @@ impl Section {
             Section::Standalone(f) => f(),
             Section::Suite(f) => f(artifacts),
         }
+    }
+
+    /// [`render`](Section::render) behind a panic boundary: a section that
+    /// panics becomes an `Err` instead of tearing down the whole report, so
+    /// `all_experiments` can keep printing the sections after it.
+    pub fn try_render(&self, artifacts: &[WorkloadArtifacts]) -> BsgResult<String> {
+        catch_unwind(AssertUnwindSafe(|| self.render(artifacts))).map_err(|payload| {
+            BsgError::TaskPanic {
+                message: panic_message(payload.as_ref()),
+            }
+        })
     }
 }
 

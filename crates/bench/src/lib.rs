@@ -78,24 +78,54 @@ impl WorkloadArtifacts {
     /// store (both steps are memoized in memory and on disk: repeated
     /// `prepare` calls for the same workload and target share one build,
     /// even across processes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either build fails; sweeps that must survive a faulting
+    /// workload use [`WorkloadArtifacts::try_prepare`] under the scheduler's
+    /// panic isolation instead.
     pub fn prepare(workload: Workload, target_instructions: u64) -> Self {
+        let name = workload.name.clone();
+        Self::try_prepare(workload, target_instructions)
+            .unwrap_or_else(|e| panic!("preparing workload {name}: {e}"))
+    }
+
+    /// Fault-isolating [`prepare`](Self::prepare): profiling or synthesis
+    /// failures come back as structured errors instead of aborting.
+    ///
+    /// This is also the chaos hook: when the `BSG_FAULT` plan names this
+    /// workload (`task-panic=NAME`), the preparation panics here — under
+    /// [`try_prepare_suite`] the scheduler catches it and the workload's
+    /// slot reports [`bsg_runtime::BsgError::TaskPanic`] while every other
+    /// workload prepares normally.
+    pub fn try_prepare(
+        workload: Workload,
+        target_instructions: u64,
+    ) -> bsg_runtime::BsgResult<Self> {
+        if bsg_runtime::fault::task_panic_target() == Some(workload.name.as_str()) {
+            panic!(
+                "chaos: injected task panic preparing {} (BSG_FAULT)",
+                workload.name
+            );
+        }
         let store = ArtifactStore::global();
-        let profile = store.profile(
+        let profile = store.try_profile(
             &workload.program,
             &CompileOptions::portable(OptLevel::O0),
             &workload.name,
             &ProfileConfig::default(),
-        );
-        let synthesis = store.synthesis(&profile, &SynthesisConfig::default(), target_instructions);
+        )?;
+        let synthesis =
+            store.try_synthesis(&profile, &SynthesisConfig::default(), target_instructions)?;
         let original_id = SourceId::of(workload.program.as_ref());
         let synthetic_id = SourceId::of(&synthesis.benchmark.hll);
-        WorkloadArtifacts {
+        Ok(WorkloadArtifacts {
             workload,
             profile,
             synthesis,
             original_id,
             synthetic_id,
-        }
+        })
     }
 
     /// The original (`synthetic == false`) or clone (`synthetic == true`)
@@ -121,10 +151,37 @@ impl WorkloadArtifacts {
 
 /// Prepares artifacts for the whole suite at one input size, one workload
 /// per scheduler task (profiling and synthesis are independent per workload).
+///
+/// # Panics
+///
+/// Panics if any workload fails to prepare (after the whole batch drains);
+/// report binaries that must survive a faulting workload use
+/// [`try_prepare_suite`].
 pub fn prepare_suite(input: InputSize, target_instructions: u64) -> Vec<WorkloadArtifacts> {
     Experiment::over(suite(input))
         .measure(|w| WorkloadArtifacts::prepare(w.clone(), target_instructions))
         .values
+}
+
+/// Fault-isolating [`prepare_suite`]: each workload's outcome lands in its
+/// own slot as `(name, result)`, in suite order.  One panicking or failing
+/// preparation costs exactly its own slot — the scheduler catches the fault
+/// and every other workload's artifacts are identical to a clean run's.
+pub fn try_prepare_suite(
+    input: InputSize,
+    target_instructions: u64,
+) -> Vec<(String, bsg_runtime::BsgResult<WorkloadArtifacts>)> {
+    let workloads = suite(input);
+    let names: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+    let results = Runtime::current().try_map(workloads, |w| {
+        WorkloadArtifacts::try_prepare(w, target_instructions)
+    });
+    // Two fault layers flatten into one: a caught panic/deadline from the
+    // scheduler, or a structured build error from the store.
+    names
+        .into_iter()
+        .zip(results.into_iter().map(|r| r.and_then(|inner| inner)))
+        .collect()
 }
 
 /// Maps a machine's ISA to the compiler's target ISA.

@@ -17,11 +17,11 @@
 //! runs everywhere.
 
 use bsg_bench::{
-    fig05, fig06, fig09, fig10, prepare_suite, WorkloadArtifacts, ALL_EXPERIMENTS,
+    fig05, fig06, fig09, fig10, prepare_suite, Experiment, WorkloadArtifacts, ALL_EXPERIMENTS,
     SYNTH_TARGET_INSTRUCTIONS,
 };
 use bsg_compiler::{compile, CompileOptions, OptLevel, TargetIsa};
-use bsg_runtime::{with_workers, ArtifactStore, Runtime};
+use bsg_runtime::{with_workers, ArtifactStore, BsgError, Runtime};
 use bsg_workloads::{suite, InputSize, WorkloadRegistry};
 
 /// A small but non-trivial artifact set: three workloads with distinct cost
@@ -211,6 +211,50 @@ fn prepare_suite_is_deterministic_across_worker_counts() {
     let reference = names_at(1);
     assert_eq!(reference.len(), suite(InputSize::Small).len());
     assert_eq!(names_at(8), reference);
+}
+
+#[test]
+fn a_mid_sweep_panic_leaves_every_other_figure_result_byte_identical() {
+    // The fault-isolation acceptance bar: inject a panic into one task of a
+    // real figure sweep and require every *other* task's figure text to be
+    // byte-for-byte what the clean run produced — at every worker count.
+    let artifacts = small_artifact_set();
+    let victim = "bitcount/small";
+    let clean: Vec<String> = with_workers(1, || {
+        Experiment::over(bsg_bench::refs(&artifacts))
+            .measure(|a| render_subset(std::slice::from_ref(*a)))
+            .values
+    });
+    for workers in [1usize, 2, 8] {
+        let chaotic = with_workers(workers, || {
+            Experiment::over(bsg_bench::refs(&artifacts))
+                .try_measure(|a| {
+                    if a.workload.name == victim {
+                        panic!("chaos: injected mid-sweep panic");
+                    }
+                    render_subset(std::slice::from_ref(*a))
+                })
+                .values
+        });
+        assert_eq!(chaotic.len(), clean.len());
+        for ((a, got), want) in artifacts.iter().zip(&chaotic).zip(&clean) {
+            if a.workload.name == victim {
+                match got {
+                    Err(BsgError::TaskPanic { message }) => {
+                        assert!(message.contains("injected mid-sweep panic"), "{message}");
+                    }
+                    other => panic!("victim slot must be TaskPanic, got {other:?}"),
+                }
+            } else {
+                assert_eq!(
+                    got.as_ref().expect("non-faulted tasks succeed"),
+                    want,
+                    "{} diverged from the clean run at {workers} workers",
+                    a.workload.name
+                );
+            }
+        }
+    }
 }
 
 #[test]

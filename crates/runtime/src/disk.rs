@@ -48,11 +48,30 @@
 //! invalidation there (CI keys its cached directory on a hash of all
 //! sources, including `vendor/`).
 
+//! # Fault injection and degradation
+//!
+//! Every `store`/`load` consults the cache's [`FaultPlan`] (normally empty;
+//! populated by `BSG_FAULT` or programmatically in chaos tests), which can
+//! deterministically fail a write (ENOSPC), fail a read (EIO), tear a
+//! rename, or truncate a payload mid-write.  Real and injected IO failures
+//! feed one accounting path: after [`DEGRADE_AFTER_IO_FAILURES`]
+//! *consecutive* failures the tier **degrades to memory-only** for the rest
+//! of the process (logged once, visible in [`DiskStats::degraded`]) — a
+//! disk that keeps failing must cost each sweep one error check, not a
+//! retry storm.  Correctness never depends on the tier: every degradation
+//! path falls back to the in-memory build, which the chaos suite proves
+//! byte-identical.
+
+use crate::fault::{FaultPlan, StoreFault};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Once;
+
+/// Consecutive IO failures (real or injected) after which the disk tier
+/// turns itself off for the remainder of the process.
+pub const DEGRADE_AFTER_IO_FAILURES: u64 = 3;
 
 /// Bump when compiled/profiled/synthesized payload semantics change (see the
 /// module docs).
@@ -99,6 +118,11 @@ pub struct DiskStats {
     pub corrupt: u64,
     /// Entries removed by the size-capped eviction pass.
     pub evicted: u64,
+    /// IO failures observed (failed writes/reads, real or injected).
+    pub io_errors: u64,
+    /// Whether the tier has degraded to memory-only after repeated IO
+    /// failures (see [`DEGRADE_AFTER_IO_FAILURES`]).
+    pub degraded: bool,
 }
 
 /// One on-disk artifact cache directory (see the module docs).
@@ -106,8 +130,21 @@ pub struct DiskCache {
     root: PathBuf,
     /// Size cap in bytes for the eviction pass (`None`: eviction off).
     cap_bytes: Option<u64>,
-    /// Runs the post-store eviction pass once per process (see `store`).
-    evict_once: Once,
+    /// Deterministic fault-injection plan (normally empty).
+    faults: FaultPlan,
+    /// 0-based operation counters feeding the fault plan.
+    store_ops: AtomicU64,
+    load_ops: AtomicU64,
+    /// Approximate directory size, maintained after the first full scan so
+    /// the cap can be re-checked on **every** write (a scan per write would
+    /// be quadratic; an over-cap burst still triggers eviction immediately).
+    approx_bytes: AtomicU64,
+    /// Whether the initial size scan has run (first capped write).
+    scanned: AtomicBool,
+    /// IO-failure accounting driving memory-only degradation.
+    consecutive_io_failures: AtomicU64,
+    degraded: AtomicBool,
+    io_errors: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
@@ -125,10 +162,28 @@ impl DiskCache {
     /// A cache with an explicit size cap in bytes (`None` disables the
     /// eviction pass).
     pub fn with_cap(root: impl Into<PathBuf>, cap_bytes: Option<u64>) -> Self {
+        Self::with_faults(root, cap_bytes, FaultPlan::default())
+    }
+
+    /// A cache with an explicit fault-injection plan (chaos tests; the
+    /// env-configured constructor installs the [`crate::fault::ENV_FAULT`]
+    /// plan).
+    pub fn with_faults(
+        root: impl Into<PathBuf>,
+        cap_bytes: Option<u64>,
+        faults: FaultPlan,
+    ) -> Self {
         DiskCache {
             root: root.into(),
             cap_bytes,
-            evict_once: Once::new(),
+            faults,
+            store_ops: AtomicU64::new(0),
+            load_ops: AtomicU64::new(0),
+            approx_bytes: AtomicU64::new(0),
+            scanned: AtomicBool::new(false),
+            consecutive_io_failures: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            io_errors: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
@@ -150,22 +205,22 @@ impl DiskCache {
     /// and isolation there.
     pub fn from_env() -> Option<Self> {
         let cap_bytes = match std::env::var(ENV_MAX_MB) {
-            Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => None,
-            Ok(v) => match v.parse::<u64>() {
-                Ok(mb) => Some(mb.saturating_mul(1024 * 1024)),
-                Err(_) => {
+            Err(_) => Some(DEFAULT_MAX_MB * 1024 * 1024),
+            Ok(v) => match Self::parse_max_mb(&v) {
+                Ok(cap) => cap.map(|mb| mb.saturating_mul(1024 * 1024)),
+                Err(why) => {
                     eprintln!(
-                        "[bsg-runtime] {ENV_MAX_MB}={v:?} is not a number; \
+                        "[bsg-runtime] {ENV_MAX_MB}={v:?} {why}; \
                          using the default {DEFAULT_MAX_MB} MiB cap"
                     );
                     Some(DEFAULT_MAX_MB * 1024 * 1024)
                 }
             },
-            Err(_) => Some(DEFAULT_MAX_MB * 1024 * 1024),
         };
+        let faults = FaultPlan::global().clone();
         match std::env::var(ENV_DIR) {
             Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => None,
-            Ok(v) => Some(DiskCache::with_cap(v, cap_bytes)),
+            Ok(v) => Some(DiskCache::with_faults(v, cap_bytes, faults)),
             Err(_) => {
                 let user = std::env::var("USER")
                     .ok()
@@ -175,14 +230,34 @@ impl DiskCache {
                                 .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
                     })
                     .unwrap_or_else(|| "anon".to_string());
-                Some(DiskCache::with_cap(
+                Some(DiskCache::with_faults(
                     std::env::temp_dir().join(format!(
                         "bsg-artifact-cache-{user}-v{FORMAT_VERSION}-{}",
                         env!("BSG_TOOLCHAIN_FINGERPRINT")
                     )),
                     cap_bytes,
+                    faults,
                 ))
             }
+        }
+    }
+
+    /// Parses a [`ENV_MAX_MB`] value into a cap in MiB.  `Ok(None)` means
+    /// eviction is explicitly disabled (empty, `0` or `off`); `Err` carries
+    /// a short reason and the caller falls back to [`DEFAULT_MAX_MB`] with a
+    /// stderr warning — a typo'd cap must never silently disable the bound
+    /// or crash the run.
+    pub fn parse_max_mb(raw: &str) -> Result<Option<u64>, &'static str> {
+        let v = raw.trim();
+        if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") {
+            return Ok(None);
+        }
+        if v.starts_with('-') {
+            return Err("is negative");
+        }
+        match v.parse::<u64>() {
+            Ok(mb) => Ok(Some(mb)),
+            Err(_) => Err("is not a whole number of MiB"),
         }
     }
 
@@ -199,6 +274,29 @@ impl DiskCache {
             writes: self.writes.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the tier has turned itself off after repeated IO failures.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// One real or injected IO failure: count it, and degrade to memory-only
+    /// once [`DEGRADE_AFTER_IO_FAILURES`] failures land *consecutively* (a
+    /// success in between resets the streak — transient hiccups don't kill
+    /// the tier).
+    fn note_io_failure(&self, op: &str, why: &str) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+        let streak = self.consecutive_io_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= DEGRADE_AFTER_IO_FAILURES && !self.degraded.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "[bsg-runtime] disk cache: {streak} consecutive IO failures \
+                 (last: {op}: {why}); degrading to memory-only caching for \
+                 the rest of the process"
+            );
         }
     }
 
@@ -212,8 +310,10 @@ impl DiskCache {
     /// mtime, so "oldest write" approximates least-recently-useful across
     /// processes).  Best-effort — IO errors skip the entry; in-flight
     /// `.tmp.` files are never touched (they are renamed into place or
-    /// cleaned up by their writer).  Runs automatically once per process
-    /// after the first store; callers (and tests) may invoke it directly.
+    /// cleaned up by their writer).  Runs automatically after any store that
+    /// leaves the directory over the cap (the first capped store pays for a
+    /// full scan; later stores maintain a running size); callers (and tests)
+    /// may invoke it directly.
     pub fn evict_to_cap(&self) {
         let Some(cap) = self.cap_bytes else {
             return;
@@ -233,25 +333,44 @@ impl DiskCache {
                     continue;
                 }
                 if let Ok(meta) = f.metadata() {
-                    let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                    // A filesystem with no (readable) mtimes must not make
+                    // every entry "oldest" — UNIX_EPOCH would put it first in
+                    // line for eviction.  Treat it as newest instead (log
+                    // once): over-eagerly keeping an entry costs bytes;
+                    // over-eagerly evicting the working set costs rebuilds.
+                    let mtime = meta.modified().unwrap_or_else(|_| {
+                        static WARN_ONCE: Once = Once::new();
+                        WARN_ONCE.call_once(|| {
+                            eprintln!(
+                                "[bsg-runtime] disk cache: filesystem reports no \
+                                 mtime for {}; treating unstamped entries as \
+                                 newest for eviction ordering",
+                                path.display()
+                            );
+                        });
+                        std::time::SystemTime::now()
+                    });
                     entries.push((mtime, meta.len(), path));
                 }
             }
         }
         let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
-        if total <= cap {
-            return;
-        }
-        entries.sort_by_key(|e| e.0);
-        for (_, len, path) in entries {
-            if total <= cap {
-                break;
+        if total > cap {
+            entries.sort_by_key(|e| e.0);
+            for (_, len, path) in entries {
+                if total <= cap {
+                    break;
+                }
+                if fs::remove_file(&path).is_ok() {
+                    total = total.saturating_sub(len);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            if fs::remove_file(&path).is_ok() {
-                total = total.saturating_sub(len);
-                self.evicted.fetch_add(1, Ordering::Relaxed);
-            }
         }
+        // The pass measured the directory exactly; reset the running
+        // approximation that `store` maintains between passes.
+        self.approx_bytes.store(total, Ordering::Relaxed);
+        self.scanned.store(true, Ordering::Relaxed);
     }
 
     fn path_of(&self, kind: &str, key: u128) -> PathBuf {
@@ -262,14 +381,26 @@ impl DiskCache {
     /// Truncated, bit-flipped or version-skewed entries are reported once to
     /// stderr and otherwise behave as misses.
     pub fn load(&self, kind: &str, key: u128) -> Option<Vec<u8>> {
+        if self.degraded.load(Ordering::Relaxed) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let op = self.load_ops.fetch_add(1, Ordering::Relaxed);
+        if self.faults.load_fault(op) {
+            self.note_io_failure("load", "injected EIO");
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let path = self.path_of(kind, key);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(_) => {
+                // Absence is the common cold-cache case, not an IO fault.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         };
+        self.consecutive_io_failures.store(0, Ordering::Relaxed);
         match Self::parse(&bytes) {
             Some(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -324,19 +455,49 @@ impl DiskCache {
     /// Persists `payload` for `(kind, key)` via write-to-temp + atomic
     /// rename.  IO failures (read-only cache dir, disk full) are swallowed:
     /// the disk tier is an accelerator, never a correctness dependency.
+    /// Repeated failures degrade the tier to memory-only (module docs).
     pub fn store(&self, kind: &str, key: u128, payload: &[u8]) {
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let op = self.store_ops.fetch_add(1, Ordering::Relaxed);
+        let fault = self.faults.store_fault(op);
+        if fault == Some(StoreFault::Enospc) {
+            self.note_io_failure("store", "injected ENOSPC");
+            return;
+        }
         let path = self.path_of(kind, key);
-        if self.try_store(&path, payload).is_some() {
-            self.writes.fetch_add(1, Ordering::Relaxed);
-            // Lifecycle: bound the directory once per process, after the
-            // first write (a growing cache only grows while writing).  The
-            // full scan is cheap relative to one artifact build, but not
-            // per-store cheap, hence the once-per-process cadence.
-            self.evict_once.call_once(|| self.evict_to_cap());
+        match self.try_store(&path, payload, fault) {
+            Some(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                self.consecutive_io_failures.store(0, Ordering::Relaxed);
+                self.check_cap(HEADER_LEN as u64 + payload.len() as u64);
+            }
+            None => self.note_io_failure("store", "write or rename failed"),
         }
     }
 
-    fn try_store(&self, path: &Path, payload: &[u8]) -> Option<()> {
+    /// Post-store lifecycle: bound the directory on **every** write that can
+    /// leave it over the cap.  The first capped store pays for a full scan
+    /// (which seeds `approx_bytes`); each later store bumps the running size
+    /// and only re-scans when the approximation crosses the cap — so a
+    /// second over-cap burst evicts just like the first, instead of growing
+    /// unbounded until process exit.
+    fn check_cap(&self, entry_bytes: u64) {
+        let Some(cap) = self.cap_bytes else {
+            return;
+        };
+        if !self.scanned.load(Ordering::Relaxed) {
+            self.evict_to_cap();
+            return;
+        }
+        let total = self.approx_bytes.fetch_add(entry_bytes, Ordering::Relaxed) + entry_bytes;
+        if total > cap {
+            self.evict_to_cap();
+        }
+    }
+
+    fn try_store(&self, path: &Path, payload: &[u8], fault: Option<StoreFault>) -> Option<()> {
         let dir = path.parent()?;
         fs::create_dir_all(dir).ok()?;
         // Process-unique temp name: concurrent writers of the same key never
@@ -352,12 +513,32 @@ impl DiskCache {
         header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         header.extend_from_slice(&fnv64(payload).to_le_bytes());
+        // An injected short write truncates the payload mid-stream — the
+        // header still promises the full length, as a real lost write would.
+        let written = match fault {
+            Some(StoreFault::ShortWrite) => &payload[..payload.len() / 2],
+            _ => payload,
+        };
         let write = f
             .write_all(&header)
-            .and_then(|_| f.write_all(payload))
+            .and_then(|_| f.write_all(written))
             .and_then(|_| f.sync_all());
         drop(f);
-        if write.is_err() || fs::rename(&tmp, path).is_err() {
+        if write.is_err() {
+            let _ = fs::remove_file(&tmp);
+            return None;
+        }
+        if fault == Some(StoreFault::TornRename) {
+            // A crash between data write and rename completion on a
+            // non-atomic filesystem: the destination ends up holding a
+            // truncated prefix of the entry.  Model it directly so readers
+            // exercise their corruption path.
+            let bytes = fs::read(&tmp).ok()?;
+            let _ = fs::remove_file(&tmp);
+            fs::write(path, &bytes[..bytes.len() / 2]).ok()?;
+            return Some(());
+        }
+        if fs::rename(&tmp, path).is_err() {
             let _ = fs::remove_file(&tmp);
             return None;
         }
@@ -457,18 +638,22 @@ mod tests {
 
     #[test]
     fn eviction_removes_oldest_entries_first() {
-        // Cap of ~2.5 payloads: storing three forces the oldest out.
+        // Populate through an eviction-disabled cache so the per-write cap
+        // check can't fire before the mtimes are backdated, then run a
+        // capped pass.  Cap of ~2.5 payloads: three entries force the
+        // oldest out.
         let payload = vec![7u8; 1000];
+        let writer = DiskCache::with_cap(temp_cache("evict").root().to_path_buf(), None);
+        writer.store("compiled", 1, &payload);
+        writer.store("compiled", 2, &payload);
+        writer.store("profile", 3, &payload);
+        backdate(&writer, "compiled", 1, 300); // oldest
+        backdate(&writer, "compiled", 2, 200);
+        backdate(&writer, "profile", 3, 100); // newest
         let cache = DiskCache::with_cap(
-            temp_cache("evict").root().to_path_buf(),
+            writer.root().to_path_buf(),
             Some(2 * (HEADER_LEN as u64 + 1000) + 100),
         );
-        cache.store("compiled", 1, &payload);
-        cache.store("compiled", 2, &payload);
-        cache.store("profile", 3, &payload);
-        backdate(&cache, "compiled", 1, 300); // oldest
-        backdate(&cache, "compiled", 2, 200);
-        backdate(&cache, "profile", 3, 100); // newest
         cache.evict_to_cap();
         assert_eq!(cache.stats().evicted, 1, "one entry over the cap");
         assert_eq!(cache.load("compiled", 1), None, "oldest entry evicted");
@@ -482,6 +667,126 @@ mod tests {
         assert_eq!(tight.stats().evicted, 2);
         assert_eq!(tight.load("compiled", 2), None);
         assert_eq!(tight.load("profile", 3), None);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn a_second_over_cap_burst_also_evicts() {
+        // The pre-PR-6 lifecycle ran eviction once per process; a second
+        // burst of writes then grew the directory unbounded.  Now every
+        // over-cap write re-checks: two bursts, two evictions.
+        let entry = HEADER_LEN as u64 + 1000;
+        let payload = vec![3u8; 1000];
+        let cache = DiskCache::with_cap(
+            temp_cache("evict-burst").root().to_path_buf(),
+            Some(3 * entry + 100),
+        );
+        // First burst: five writes against a ~3-entry cap.
+        for key in 0..5u128 {
+            cache.store("compiled", key, &payload);
+        }
+        let after_first = cache.stats().evicted;
+        assert!(
+            after_first >= 2,
+            "first burst must evict down to the cap (evicted {after_first})"
+        );
+        // Second burst with fresh keys: the cap must still be enforced.
+        for key in 100..105u128 {
+            cache.store("compiled", key, &payload);
+        }
+        let after_second = cache.stats().evicted;
+        assert!(
+            after_second > after_first,
+            "second over-cap burst evicted nothing ({after_first} -> {after_second})"
+        );
+        // The directory really is bounded: at most cap-worth of entries
+        // (plus one in-flight write's slack).
+        let survivors: u64 = fs::read_dir(cache.root().join("compiled"))
+            .unwrap()
+            .flatten()
+            .map(|f| f.metadata().unwrap().len())
+            .sum();
+        assert!(
+            survivors <= 4 * entry,
+            "directory stayed near the cap (got {survivors} bytes)"
+        );
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn max_mb_parsing_accepts_numbers_and_off_switches_only() {
+        assert_eq!(DiskCache::parse_max_mb("512"), Ok(Some(512)));
+        assert_eq!(DiskCache::parse_max_mb(" 64 "), Ok(Some(64)));
+        assert_eq!(DiskCache::parse_max_mb(""), Ok(None));
+        assert_eq!(DiskCache::parse_max_mb("0"), Ok(None));
+        assert_eq!(DiskCache::parse_max_mb("off"), Ok(None));
+        assert_eq!(DiskCache::parse_max_mb("OFF"), Ok(None));
+        assert!(DiskCache::parse_max_mb("-5").is_err(), "negative rejected");
+        assert!(DiskCache::parse_max_mb("lots").is_err(), "garbage rejected");
+        assert!(DiskCache::parse_max_mb("1.5").is_err(), "floats rejected");
+        assert!(DiskCache::parse_max_mb("12MB").is_err(), "units rejected");
+    }
+
+    #[test]
+    fn injected_enospc_degrades_the_tier_to_memory_only() {
+        let plan = FaultPlan::parse("enospc").unwrap();
+        let cache = DiskCache::with_faults(temp_cache("enospc").root().to_path_buf(), None, plan);
+        for key in 0..5u128 {
+            cache.store("compiled", key, b"doomed");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.writes, 0, "nothing reaches a full disk");
+        assert!(stats.degraded, "repeated ENOSPC must trip degradation");
+        assert_eq!(
+            stats.io_errors, DEGRADE_AFTER_IO_FAILURES,
+            "after degrading, stores stop touching the disk entirely"
+        );
+        assert_eq!(cache.load("compiled", 0), None, "degraded loads miss");
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn a_success_resets_the_consecutive_failure_streak() {
+        // Fail op 0 (torn rename counts as a *successful* store of corrupt
+        // bytes, so use eio on loads instead): interleave failing loads with
+        // successful ones and check the tier never degrades.
+        let plan = FaultPlan::parse("eio@1").unwrap();
+        let cache = DiskCache::with_faults(temp_cache("streak").root().to_path_buf(), None, plan);
+        cache.store("compiled", 1, b"payload");
+        assert!(cache.load("compiled", 1).is_some(), "op 0 loads fine");
+        // Ops 1.. all EIO — but stores keep succeeding in between, resetting
+        // the streak, so the tier stays up past the raw failure threshold.
+        for key in 2..8u128 {
+            assert_eq!(cache.load("compiled", 1), None, "injected EIO");
+            cache.store("compiled", key, b"payload");
+        }
+        assert!(
+            !cache.stats().degraded,
+            "interleaved successes must keep the tier alive"
+        );
+        assert!(cache.stats().io_errors >= DEGRADE_AFTER_IO_FAILURES);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn torn_renames_and_short_writes_surface_as_corrupt_misses() {
+        let plan = FaultPlan::parse("torn-rename@0,short-write@1").unwrap();
+        let cache = DiskCache::with_faults(temp_cache("torn").root().to_path_buf(), None, plan);
+        cache.store("compiled", 1, b"a payload long enough to truncate visibly");
+        cache.store("compiled", 2, b"another payload long enough to truncate");
+        cache.store("compiled", 3, b"a clean write after the faults");
+        assert_eq!(cache.load("compiled", 1), None, "torn entry rejected");
+        assert_eq!(cache.load("compiled", 2), None, "short entry rejected");
+        assert!(
+            cache.load("compiled", 3).is_some(),
+            "later writes are clean"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.corrupt, 2, "both damaged entries counted corrupt");
+        assert!(!stats.degraded, "one-shot corruption is not an IO streak");
+        // The damaged keys rebuild and overwrite cleanly.
+        cache.store("compiled", 1, b"rebuilt");
+        assert!(cache.load("compiled", 1).is_some());
         let _ = fs::remove_dir_all(cache.root());
     }
 

@@ -1,0 +1,183 @@
+//! The structured error taxonomy of the runtime.
+//!
+//! Before this module existed, every fault in the runtime was a process
+//! abort: a panicking scheduler task re-panicked out of `join`, a failing
+//! artifact builder left its `OnceLock` unset and deadlocked every waiter,
+//! and a disk-tier IO error was either swallowed or fatal.  A long-running
+//! service (the ROADMAP's `bsg-server` item) cannot be built on any of
+//! those behaviours, so faults are now **values**: every isolation boundary
+//! (scheduler task, store build slot, disk operation) converts its failure
+//! into a [`BsgError`] and hands it to the caller in submission order,
+//! leaving every *other* task, slot and tier untouched.
+//!
+//! The taxonomy is deliberately small — four variants, one per isolation
+//! boundary — and `Clone`-able, because the store memoizes a failure per
+//! key and serves the same error value to every waiter (see
+//! `store::SlotState`).
+
+use std::any::Any;
+use std::fmt;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// `Result` specialized to the runtime's error taxonomy.
+pub type BsgResult<T> = Result<T, BsgError>;
+
+/// A fault isolated at one of the runtime's boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BsgError {
+    /// A scheduler task (or a section renderer) panicked; the panic was
+    /// caught at the task boundary and every other task completed normally.
+    TaskPanic {
+        /// The panic payload, rendered to text (`&str`/`String` payloads
+        /// verbatim; anything else is described generically).
+        message: String,
+    },
+    /// An artifact build failed (builder returned an error or panicked).
+    /// After bounded retries the error is memoized per key, so every
+    /// waiter — present and future — receives this same value instead of
+    /// blocking on a build that will never complete.
+    BuildFailed {
+        /// The artifact table the build belonged to (`compiled`,
+        /// `profile`, `synthesis`, `c-text`).
+        kind: &'static str,
+        /// The content address of the failed key (hex), for correlation
+        /// with disk-tier entries and logs.
+        key: String,
+        /// How many build attempts were made for this key so far.
+        attempts: u32,
+        /// The underlying failure, rendered to text.
+        message: String,
+    },
+    /// An IO operation failed in a context where it cannot be silently
+    /// absorbed (the disk *cache* absorbs IO errors by design; this variant
+    /// exists for callers that surface them, e.g. figure writers).
+    Io {
+        /// What was being attempted (`read`, `write`, `rename`, ...).
+        op: &'static str,
+        /// The path involved, if known.
+        path: String,
+        /// The OS error, rendered to text.
+        message: String,
+    },
+    /// A task exceeded the per-task deadline configured via
+    /// [`crate::scheduler::RunPolicy`].  The runtime cannot preempt a
+    /// running closure, so the deadline is enforced at completion: the
+    /// over-budget result is replaced by this error (and the overrun is
+    /// therefore recorded deterministically in the result vector).
+    DeadlineExceeded {
+        /// How long the task actually ran, in milliseconds.
+        elapsed_ms: u64,
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
+    },
+}
+
+impl fmt::Display for BsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BsgError::TaskPanic { message } => write!(f, "task panicked: {message}"),
+            BsgError::BuildFailed {
+                kind,
+                key,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "{kind} artifact build failed for key {key} (attempt {attempts}): {message}"
+            ),
+            BsgError::Io { op, path, message } => {
+                write!(f, "io error during {op} of {path}: {message}")
+            }
+            BsgError::DeadlineExceeded {
+                elapsed_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "task exceeded its deadline: ran {elapsed_ms} ms against a {deadline_ms} ms budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BsgError {}
+
+/// Renders a caught panic payload as text: `&str` and `String` payloads
+/// (the overwhelmingly common cases from `panic!`/`assert!`) verbatim,
+/// anything else described generically rather than dropped.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// Every critical section in this crate is panic-free by construction (no
+/// user code runs while a lock is held), but a panicking *task* on a worker
+/// thread must never cascade into "every other worker panics on
+/// `lock().unwrap()`" — which is exactly what `Mutex` poisoning does by
+/// default.  The data guarded by these locks (task deques, slot state
+/// machines, memo maps) is valid at every instruction boundary, so
+/// recovering the guard is sound.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_unpoisoned`].
+pub(crate) fn wait_unpoisoned<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_messages_render_common_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "plain str");
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "formatted 7");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = BsgError::BuildFailed {
+            kind: "compiled",
+            key: "deadbeef".into(),
+            attempts: 2,
+            message: "compile failed".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("compiled"));
+        assert!(text.contains("deadbeef"));
+        assert!(text.contains("attempt 2"));
+        let d = BsgError::DeadlineExceeded {
+            elapsed_ms: 120,
+            deadline_ms: 50,
+        };
+        assert!(d.to_string().contains("120 ms"));
+    }
+
+    #[test]
+    fn poisoned_locks_are_recoverable() {
+        let m = std::sync::Arc::new(Mutex::new(5i32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned(), "the panic above must poison the mutex");
+        assert_eq!(*lock_unpoisoned(&m), 5, "the value is still valid");
+    }
+}

@@ -1,0 +1,225 @@
+//! `BSG_FAULT`-driven fault injection for chaos testing.
+//!
+//! Long-running sweeps must survive the faults a real fleet sees: a full
+//! disk, a flaky device, a process killed mid-rename, a workload that
+//! panics.  This module turns those faults into **deterministic, injectable
+//! events** so the chaos suite (and the CI chaos job) can assert the
+//! runtime's degradation behaviour instead of hoping for it:
+//!
+//! * the disk tier consults the plan on every `store`/`load` (see
+//!   [`crate::DiskCache`]) and fails, tears or truncates the operation the
+//!   plan names;
+//! * the experiment harness consults [`task_panic_target`] and panics
+//!   inside the matching workload's preparation task, exercising the
+//!   scheduler's panic isolation end to end.
+//!
+//! The plan comes from the [`ENV_FAULT`] environment variable (a
+//! comma-separated spec, below) or is constructed programmatically for
+//! hermetic tests.  Injection is **counter-based, never random**: the same
+//! spec produces the same fault sequence every run, so chaos tests can
+//! assert exact outcomes.
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! BSG_FAULT=enospc             every disk store fails (disk full)
+//! BSG_FAULT=enospc@5           stores succeed 5 times, then all fail
+//! BSG_FAULT=eio[@N]            disk loads fail (after N successes)
+//! BSG_FAULT=torn-rename[@N]    the Nth store is torn mid-rename
+//!                              (destination left truncated; default N=0)
+//! BSG_FAULT=short-write[@N]    the Nth store writes a truncated payload
+//! BSG_FAULT=task-panic=NAME    the harness task preparing workload NAME
+//!                              panics ("chaos: injected task panic")
+//! ```
+//!
+//! Tokens combine with commas: `BSG_FAULT=enospc@3,task-panic=crc32/small`.
+//! A malformed spec warns to stderr and is ignored — fault injection must
+//! never be able to break a production run by typo.
+
+use std::sync::OnceLock;
+
+/// Environment variable holding the fault-injection spec (see module docs).
+pub const ENV_FAULT: &str = "BSG_FAULT";
+
+/// A deterministic fault-injection plan (all fields off by default).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Disk stores with 0-based operation index `>= n` fail as if the disk
+    /// were full.
+    pub store_enospc_after: Option<u64>,
+    /// Disk loads with operation index `>= n` fail as if the device errored.
+    pub load_eio_after: Option<u64>,
+    /// The store with this operation index suffers a torn rename: the
+    /// destination entry is left as a truncated prefix of the final bytes
+    /// (what a crash between write and rename completion can leave on a
+    /// non-atomic filesystem).
+    pub torn_rename_at: Option<u64>,
+    /// The store with this operation index writes only half its payload
+    /// before renaming into place (a short write that went unnoticed).
+    pub short_write_at: Option<u64>,
+    /// Harness hook: the preparation task for the workload with this exact
+    /// name panics.
+    pub task_panic: Option<String>,
+}
+
+/// A fault selected for one disk store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// The write fails outright (disk full); nothing reaches the directory.
+    Enospc,
+    /// The rename is torn: the destination holds a truncated entry.
+    TornRename,
+    /// Only part of the payload is written, then renamed into place.
+    ShortWrite,
+}
+
+impl FaultPlan {
+    /// `true` when no fault is configured (the fast path can skip all
+    /// bookkeeping).
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Parses a [`ENV_FAULT`] spec string.  Errors name the offending token.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(name) = token.strip_prefix("task-panic=") {
+                if name.is_empty() {
+                    return Err(format!("{token:?}: task-panic needs a workload name"));
+                }
+                plan.task_panic = Some(name.to_string());
+                continue;
+            }
+            let (kind, at) = match token.split_once('@') {
+                Some((kind, n)) => {
+                    let n: u64 = n
+                        .parse()
+                        .map_err(|_| format!("{token:?}: {n:?} is not a number"))?;
+                    (kind, n)
+                }
+                None => (token, 0),
+            };
+            match kind {
+                "enospc" => plan.store_enospc_after = Some(at),
+                "eio" => plan.load_eio_after = Some(at),
+                "torn-rename" => plan.torn_rename_at = Some(at),
+                "short-write" => plan.short_write_at = Some(at),
+                _ => return Err(format!("unknown fault kind {kind:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The process-wide plan parsed from [`ENV_FAULT`] (once).  A malformed
+    /// spec warns to stderr and yields the empty plan.
+    pub fn global() -> &'static FaultPlan {
+        static GLOBAL: OnceLock<FaultPlan> = OnceLock::new();
+        GLOBAL.get_or_init(|| match std::env::var(ENV_FAULT) {
+            Err(_) => FaultPlan::default(),
+            Ok(spec) => match FaultPlan::parse(&spec) {
+                Ok(plan) => {
+                    if !plan.is_empty() {
+                        eprintln!("[bsg-runtime] fault injection active: {ENV_FAULT}={spec}");
+                    }
+                    plan
+                }
+                Err(why) => {
+                    eprintln!(
+                        "[bsg-runtime] ignoring malformed {ENV_FAULT}={spec:?}: {why} \
+                         (fault injection disabled)"
+                    );
+                    FaultPlan::default()
+                }
+            },
+        })
+    }
+
+    /// The fault (if any) to inject into the disk store operation with
+    /// 0-based index `op`.  ENOSPC-after dominates the one-shot faults.
+    pub fn store_fault(&self, op: u64) -> Option<StoreFault> {
+        if self.store_enospc_after.is_some_and(|n| op >= n) {
+            return Some(StoreFault::Enospc);
+        }
+        if self.torn_rename_at == Some(op) {
+            return Some(StoreFault::TornRename);
+        }
+        if self.short_write_at == Some(op) {
+            return Some(StoreFault::ShortWrite);
+        }
+        None
+    }
+
+    /// Whether the disk load operation with index `op` should fail (EIO).
+    pub fn load_fault(&self, op: u64) -> bool {
+        self.load_eio_after.is_some_and(|n| op >= n)
+    }
+}
+
+/// The workload name whose preparation task should panic, per the global
+/// [`ENV_FAULT`] plan (`task-panic=NAME`).  The experiment harness checks
+/// this at the top of each per-workload preparation task.
+pub fn task_panic_target() -> Option<&'static str> {
+    FaultPlan::global().task_panic.as_deref()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_and_combined_specs() {
+        assert_eq!(
+            FaultPlan::parse("enospc"),
+            Ok(FaultPlan {
+                store_enospc_after: Some(0),
+                ..FaultPlan::default()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("enospc@5, torn-rename@2,short-write , eio@1"),
+            Ok(FaultPlan {
+                store_enospc_after: Some(5),
+                load_eio_after: Some(1),
+                torn_rename_at: Some(2),
+                short_write_at: Some(0),
+                task_panic: None,
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("task-panic=crc32/small"),
+            Ok(FaultPlan {
+                task_panic: Some("crc32/small".to_string()),
+                ..FaultPlan::default()
+            })
+        );
+        assert_eq!(FaultPlan::parse(""), Ok(FaultPlan::default()));
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_the_offending_token() {
+        assert!(FaultPlan::parse("surprise").is_err());
+        assert!(FaultPlan::parse("enospc@lots").is_err());
+        assert!(FaultPlan::parse("task-panic=").is_err());
+        assert!(FaultPlan::parse("enospc,bogus@3").is_err());
+    }
+
+    #[test]
+    fn store_faults_fire_deterministically_by_op_index() {
+        let plan = FaultPlan::parse("enospc@3,torn-rename@1,short-write@2").unwrap();
+        assert_eq!(plan.store_fault(0), None);
+        assert_eq!(plan.store_fault(1), Some(StoreFault::TornRename));
+        assert_eq!(plan.store_fault(2), Some(StoreFault::ShortWrite));
+        // From op 3 on, ENOSPC dominates everything.
+        assert_eq!(plan.store_fault(3), Some(StoreFault::Enospc));
+        assert_eq!(plan.store_fault(1000), Some(StoreFault::Enospc));
+
+        let eio = FaultPlan::parse("eio@2").unwrap();
+        assert!(!eio.load_fault(0));
+        assert!(!eio.load_fault(1));
+        assert!(eio.load_fault(2));
+        assert!(eio.load_fault(99));
+        assert_eq!(eio.store_fault(0), None, "eio only affects loads");
+    }
+}

@@ -19,14 +19,33 @@
 //!
 //! The experiment harness (`bsg-bench`) routes every figure and table
 //! through these two components; see that crate for the call sites.
+//!
+//! Since PR 6 the crate is also the workspace's **fault-isolation layer**:
+//! scheduler tasks run under `catch_unwind` and report per-task
+//! [`BsgResult`]s ([`Runtime::try_run`]), artifact builds recover from
+//! failure with bounded retries and a per-key failure memo instead of
+//! deadlocking waiters ([`store`]), and the disk tier degrades to
+//! memory-only caching under injected or real IO faults ([`fault`],
+//! `BSG_FAULT`).  The chaos suite (`bsg-bench/tests/fault_injection.rs` and
+//! the CI chaos job) holds those properties under injected panics, ENOSPC,
+//! torn renames and short writes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The fault-isolation contract of this crate is "errors are values": a
+// stray `unwrap`/`expect` in non-test code is a latent process abort, which
+// is exactly the failure mode PR 6 removed.  CI runs clippy with
+// `-D warnings`, so these fire as hard errors there.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod disk;
+pub mod error;
+pub mod fault;
 pub mod scheduler;
 pub mod store;
 
 pub use disk::{DiskCache, DiskStats};
-pub use scheduler::{with_workers, Runtime};
+pub use error::{panic_message, BsgError, BsgResult};
+pub use fault::FaultPlan;
+pub use scheduler::{with_workers, RunPolicy, Runtime};
 pub use store::{ArtifactStore, CompiledArtifact, SourceId, StoreStats};

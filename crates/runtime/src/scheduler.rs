@@ -20,11 +20,30 @@
 //! shard granularity is where parallelism comes from, and running nested
 //! batches inline keeps the pool free of lifetime erasure (`unsafe`) and of
 //! thread oversubscription while preserving determinism.
+//!
+//! # Fault isolation
+//!
+//! Every task runs under `catch_unwind`: a panicking task becomes an
+//! `Err(BsgError::TaskPanic)` in *its own* submission slot of
+//! [`Runtime::try_run`]'s result vector, and every other task — including
+//! ones queued behind it on the same deque — completes normally.  (Before
+//! PR 6 a panic unwound through the worker, `join` re-panicked in the
+//! caller, sibling results were dropped, and the `Mutex`-guarded deques
+//! poison-cascaded so any surviving worker panicked on its next `lock`.)
+//! The infallible [`Runtime::run`] keeps its historical contract — it
+//! panics if any task failed — but only after the whole batch has drained,
+//! so a sweep is never half-executed.  [`RunPolicy`] adds an optional
+//! per-task deadline, enforced at task completion (the runtime cannot
+//! preempt a closure; an over-budget task's result is deterministically
+//! replaced by `Err(BsgError::DeadlineExceeded)`).
 
+use crate::error::{lock_unpoisoned, panic_message, BsgError, BsgResult};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 thread_local! {
     /// Set while the current thread is a pool worker; nested [`Runtime::run`]
@@ -52,6 +71,45 @@ pub fn with_workers<R>(workers: usize, f: impl FnOnce() -> R) -> R {
 /// Environment variable overriding the default worker count (useful for
 /// pinning determinism tests and CI runs to a specific parallelism).
 pub const WORKERS_ENV: &str = "BSG_RUNTIME_WORKERS";
+
+/// Per-batch execution policy for [`Runtime::try_run_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunPolicy {
+    /// Optional per-task wall-clock budget.  A task that finishes after the
+    /// budget has its result replaced by [`BsgError::DeadlineExceeded`] —
+    /// a *detection* watchdog, not preemption: the closure runs to
+    /// completion, but the overrun is recorded in the result vector instead
+    /// of silently inflating the sweep (and a hung task is attributable to
+    /// its submission index when the batch finally drains).
+    pub deadline: Option<Duration>,
+}
+
+impl RunPolicy {
+    /// A policy with a per-task deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        RunPolicy {
+            deadline: Some(deadline),
+        }
+    }
+}
+
+/// Runs one task inside the isolation boundary: panics are caught and
+/// converted, and the optional deadline is checked at completion.
+fn run_isolated<R>(task: impl FnOnce() -> R, policy: &RunPolicy) -> BsgResult<R> {
+    let start = Instant::now();
+    match catch_unwind(AssertUnwindSafe(task)) {
+        Err(payload) => Err(BsgError::TaskPanic {
+            message: panic_message(payload.as_ref()),
+        }),
+        Ok(value) => match policy.deadline {
+            Some(deadline) if start.elapsed() > deadline => Err(BsgError::DeadlineExceeded {
+                elapsed_ms: start.elapsed().as_millis() as u64,
+                deadline_ms: deadline.as_millis() as u64,
+            }),
+            _ => Ok(value),
+        },
+    }
+}
 
 /// A work-stealing task scheduler with a fixed worker budget.
 ///
@@ -117,7 +175,40 @@ impl Runtime {
     /// Tasks run concurrently on up to `workers` scoped threads; a batch of
     /// one task, a single-worker runtime, or a nested call from inside a task
     /// all execute inline on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// If any task panicked, `run` panics **after the whole batch has
+    /// drained** (every other task still runs to completion; the panic
+    /// carries the first failing task's message).  Callers that need
+    /// per-task outcomes use [`try_run`](Runtime::try_run) instead.
     pub fn run<R, F>(&self, tasks: Vec<F>) -> Vec<R>
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        self.try_run(tasks)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|e| panic!("scheduler task {i} failed: {e}")))
+            .collect()
+    }
+
+    /// [`run`](Runtime::run) with per-task fault isolation: every task's
+    /// outcome — value, caught panic, or deadline overrun — is returned in
+    /// its own submission slot, and one faulting task never aborts, blocks
+    /// or reorders the others.
+    pub fn try_run<R, F>(&self, tasks: Vec<F>) -> Vec<BsgResult<R>>
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        self.try_run_with(tasks, RunPolicy::default())
+    }
+
+    /// [`try_run`](Runtime::try_run) under an explicit [`RunPolicy`]
+    /// (currently: an optional per-task deadline).
+    pub fn try_run_with<R, F>(&self, tasks: Vec<F>, policy: RunPolicy) -> Vec<BsgResult<R>>
     where
         R: Send,
         F: FnOnce() -> R + Send,
@@ -125,7 +216,10 @@ impl Runtime {
         let n = tasks.len();
         let workers = self.workers.min(n);
         if workers <= 1 || IN_WORKER.with(Cell::get) {
-            return tasks.into_iter().map(|task| task()).collect();
+            return tasks
+                .into_iter()
+                .map(|task| run_isolated(task, &policy))
+                .collect();
         }
 
         // Tasks live in index-addressed slots; the deques carry indices, so
@@ -139,7 +233,8 @@ impl Runtime {
 
         let slots = &slots;
         let deques = &deques;
-        let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let policy = &policy;
+        let per_worker: Vec<Vec<(usize, BsgResult<R>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
@@ -148,16 +243,19 @@ impl Runtime {
                         // The whole batch is seeded before the workers start
                         // and nothing re-enqueues (nested runs execute
                         // inline), so drained deques stay drained: a worker
-                        // that finds no task anywhere is done.  Exiting here
-                        // also lets a panicking task surface through `join`
-                        // below instead of wedging siblings in a wait loop.
+                        // that finds no task anywhere is done.  Panics are
+                        // caught inside `run_isolated`, so a faulting task
+                        // neither unwinds through this loop nor poisons the
+                        // slot/deque mutexes for its siblings.
                         while let Some(i) = claim(w, deques) {
-                            let task = slots[i]
-                                .lock()
-                                .unwrap()
-                                .take()
-                                .expect("task index claimed exactly once");
-                            out.push((i, task()));
+                            let Some(task) = lock_unpoisoned(&slots[i]).take() else {
+                                // Unreachable by construction (each index is
+                                // claimed exactly once); tolerated rather
+                                // than asserted so a logic bug degrades to a
+                                // missing-result error, not a worker abort.
+                                continue;
+                            };
+                            out.push((i, run_isolated(task, policy)));
                         }
                         out
                     })
@@ -165,17 +263,32 @@ impl Runtime {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("scheduler worker panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        // A worker can only panic outside the task boundary
+                        // (a bug in the scheduler itself).  Surface it as a
+                        // missing-results worker instead of unwinding.
+                        eprintln!(
+                            "[bsg-runtime] scheduler worker panicked outside a task: {}",
+                            panic_message(payload.as_ref())
+                        );
+                        Vec::new()
+                    })
+                })
                 .collect()
         });
 
-        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut results: Vec<Option<BsgResult<R>>> = (0..n).map(|_| None).collect();
         for (i, r) in per_worker.into_iter().flatten() {
             results[i] = Some(r);
         }
         results
             .into_iter()
-            .map(|r| r.expect("every task index produced a result"))
+            .map(|r| {
+                r.unwrap_or(Err(BsgError::TaskPanic {
+                    message: "task produced no result (scheduler worker lost)".to_string(),
+                }))
+            })
             .collect()
     }
 
@@ -189,6 +302,24 @@ impl Runtime {
     {
         let f = &f;
         self.run(
+            items
+                .into_iter()
+                .map(|item| move || f(item))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// [`map`](Runtime::map) with per-item fault isolation: each item's
+    /// outcome lands in its own submission slot as a [`BsgResult`], so one
+    /// panicking item costs exactly one `Err`.
+    pub fn try_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<BsgResult<R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let f = &f;
+        self.try_run(
             items
                 .into_iter()
                 .map(|item| move || f(item))
@@ -222,11 +353,11 @@ fn parse_workers(raw: &str) -> Result<usize, &'static str> {
 /// Claims one task index for worker `w`: LIFO from its own deque, else FIFO
 /// from the first other deque that has work.
 fn claim(w: usize, deques: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
-    if let Some(i) = deques[w].lock().unwrap().pop_back() {
+    if let Some(i) = lock_unpoisoned(&deques[w]).pop_back() {
         return Some(i);
     }
     let n = deques.len();
-    (1..n).find_map(|step| deques[(w + step) % n].lock().unwrap().pop_front())
+    (1..n).find_map(|step| lock_unpoisoned(&deques[(w + step) % n]).pop_front())
 }
 
 #[cfg(test)]
@@ -299,6 +430,115 @@ mod tests {
             })
         });
         assert!(result.is_err(), "the task panic must reach the caller");
+    }
+
+    #[test]
+    fn try_run_isolates_panics_to_their_submission_slot() {
+        for workers in [1usize, 2, 4, 8] {
+            let results = Runtime::new(workers).try_run(
+                (0..64u64)
+                    .map(|i| {
+                        move || {
+                            if i % 13 == 5 {
+                                panic!("injected fault in task {i}");
+                            }
+                            i * 2
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(results.len(), 64);
+            for (i, r) in results.iter().enumerate() {
+                if i % 13 == 5 {
+                    match r {
+                        Err(BsgError::TaskPanic { message }) => {
+                            assert!(message.contains(&format!("task {i}")), "{message}")
+                        }
+                        other => panic!("task {i} should have panicked, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*r, Ok(i as u64 * 2), "workers = {workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_poison_siblings_or_drop_their_results() {
+        // 4 workers, one early panic: every other task must still produce
+        // its value (pre-PR-6, the panic unwound through the worker and all
+        // of that worker's completed results were dropped).
+        let counter = AtomicU64::new(0);
+        let results = Runtime::new(4).try_run(
+            (0..100u64)
+                .map(|i| {
+                    let counter = &counter;
+                    move || {
+                        if i == 0 {
+                            panic!("first task dies immediately");
+                        }
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert!(results[0].is_err());
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            99,
+            "all surviving tasks ran"
+        );
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 99);
+    }
+
+    #[test]
+    fn deadline_overruns_become_errors_without_disturbing_fast_tasks() {
+        let policy = RunPolicy::with_deadline(Duration::from_millis(20));
+        let results = Runtime::new(2).try_run_with(
+            (0..8u64)
+                .map(|i| {
+                    move || {
+                        if i == 3 {
+                            std::thread::sleep(Duration::from_millis(60));
+                        }
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+            policy,
+        );
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                assert!(
+                    matches!(r, Err(BsgError::DeadlineExceeded { .. })),
+                    "slow task must be flagged: {r:?}"
+                );
+            } else {
+                assert_eq!(*r, Ok(i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn run_panics_only_after_the_batch_drains() {
+        let counter = std::sync::Arc::new(AtomicU64::new(0));
+        let c = counter.clone();
+        let result = std::panic::catch_unwind(move || {
+            Runtime::new(4).map((0..32).collect(), move |i: u64| {
+                if i == 2 {
+                    panic!("die");
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            31,
+            "run still executed every non-faulting task before re-panicking"
+        );
     }
 
     #[test]

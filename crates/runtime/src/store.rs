@@ -17,11 +17,29 @@
 //! rendering, like differing NaN payloads — produces a new key.  (An earlier
 //! revision hashed the `Debug` rendering, which is not injective; see the
 //! regression test `debug_colliding_sources_get_distinct_ids`.)  The hash is
-//! the *address*; exactly-once construction under concurrency is guaranteed
-//! by a per-key `OnceLock` (losers of the map race block on the winner's
-//! build instead of building twice).
+//! the *address*; at-most-once construction under concurrency is guaranteed
+//! by a per-key **slot state machine** (`idle → building → done | failed`):
+//! losers of the map race wait on the winner's build instead of building
+//! twice, and — since PR 6 — a build that fails or panics **releases** its
+//! waiters with an error instead of wedging them forever.
+//!
+//! # Fault recovery
+//!
+//! A build can fail (the builder returns an error) or die (the builder
+//! panics; caught at the slot boundary).  Either way the slot transitions
+//! out of `building`, every concurrent waiter is woken with a cloned
+//! [`BsgError::BuildFailed`], and the *next* request for the key may retry
+//! — with exponential backoff, up to [`MAX_BUILD_ATTEMPTS`] total attempts
+//! — because transient causes (disk pressure during a dependency load, an
+//! OOM-killed helper) deserve another shot.  Once the attempt budget is
+//! exhausted the error is memoized (`failed` is terminal) and served to
+//! every later request immediately: one poisoned key costs its own sweeps
+//! an `Err`, never a hang, and never affects other keys.  (The pre-PR-6
+//! implementation used a per-key `OnceLock`, which a panicking builder left
+//! unset forever — deadlocking every waiter.)
 
 use crate::disk::{DiskCache, DiskStats};
+use crate::error::{lock_unpoisoned, panic_message, wait_unpoisoned, BsgError, BsgResult};
 use bsg_compiler::{compile, CompileOptions};
 use bsg_ir::canon::{Canon, CanonWrite};
 use bsg_ir::cemit;
@@ -34,8 +52,19 @@ use bsg_uarch::image::ExecImage;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Total build attempts per key before the failure is memoized as terminal.
+pub const MAX_BUILD_ATTEMPTS: u32 = 3;
+
+/// Base of the exponential retry backoff (attempt 2 waits one unit, attempt
+/// 3 two units, ...).  Kept small: artifact builds are CPU-bound, so the
+/// backoff exists to let transient *environmental* causes clear, not to
+/// rate-limit a service.
+const RETRY_BACKOFF: Duration = Duration::from_millis(10);
 
 const FNV128_BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
@@ -102,15 +131,50 @@ pub struct CompiledArtifact {
     pub image: ExecImage,
 }
 
-/// One memoization table: key -> lazily-built `Arc`'d artifact.
+/// The lifecycle of one cache slot (see the module docs on fault recovery).
+enum SlotState<V> {
+    /// No builder is active.  `attempts` counts failed builds so far; a new
+    /// request may claim the slot and (re)try.
+    Idle {
+        /// Failed attempts so far.
+        attempts: u32,
+    },
+    /// A builder is running; requests wait on the slot's condvar.  (The
+    /// builder carries its own attempt count; waiters never need it.)
+    Building,
+    /// The artifact is available; terminal.
+    Done(Arc<V>),
+    /// The attempt budget is exhausted; terminal.  Every present and future
+    /// request receives a clone of this error immediately.
+    Failed(BsgError),
+}
+
+/// One cache slot: a state machine plus the condvar its waiters block on.
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    ready: Condvar,
+}
+
+impl<V> Default for Slot<V> {
+    fn default() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Idle { attempts: 0 }),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// One memoization table: key -> slot state machine.
 ///
-/// The outer mutex only guards the map shape (held for a lookup/insert, never
-/// during a build); the per-entry [`OnceLock`] serializes concurrent builders
-/// of the *same* key while letting different keys build in parallel.
+/// The outer mutex only guards the map shape (held for a lookup/insert,
+/// never during a build); the per-entry [`Slot`] serializes concurrent
+/// builders of the *same* key while letting different keys build in
+/// parallel, and releases waiters on failure instead of deadlocking them.
 struct Table<K, V> {
-    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    map: Mutex<HashMap<K, Arc<Slot<V>>>>,
     builds: AtomicU64,
     hits: AtomicU64,
+    failures: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, V> Table<K, V> {
@@ -119,30 +183,80 @@ impl<K: Eq + Hash + Clone, V> Table<K, V> {
             map: Mutex::new(HashMap::new()),
             builds: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
         }
     }
 
-    /// Memoized lookup.  The initializer also reports whether it *built* the
-    /// value (`true`) or obtained it from a lower tier (`false`, counted by
-    /// that tier instead).  A request that finds the value already memoized
-    /// counts as a (memory) hit.
-    fn get_or_init(&self, key: K, init: impl FnOnce() -> (V, bool)) -> Arc<V> {
-        let cell = self.map.lock().unwrap().entry(key).or_default().clone();
-        let mut invoked = false;
-        let value = cell
-            .get_or_init(|| {
-                invoked = true;
-                let (value, built) = init();
-                if built {
-                    self.builds.fetch_add(1, Ordering::Relaxed);
+    /// Memoized, fault-recovering lookup.  The initializer reports whether
+    /// it *built* the value (`true`) or obtained it from a lower tier
+    /// (`false`, counted by that tier instead), or fails with a message.
+    /// Panics inside the initializer are caught at this boundary.  A request
+    /// that finds the value already memoized counts as a (memory) hit.
+    fn get_or_try_init(
+        &self,
+        kind: &'static str,
+        file_key: SourceId,
+        key: K,
+        init: impl FnOnce() -> Result<(V, bool), String>,
+    ) -> BsgResult<Arc<V>> {
+        let slot = lock_unpoisoned(&self.map).entry(key).or_default().clone();
+        let mut guard = lock_unpoisoned(&slot.state);
+        loop {
+            match &*guard {
+                SlotState::Done(value) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(value.clone());
                 }
-                Arc::new(value)
-            })
-            .clone();
-        if !invoked {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+                SlotState::Failed(error) => return Err(error.clone()),
+                SlotState::Building => guard = wait_unpoisoned(&slot.ready, guard),
+                SlotState::Idle { attempts } => {
+                    let attempts = *attempts;
+                    *guard = SlotState::Building;
+                    drop(guard);
+                    if attempts > 0 {
+                        // Bounded exponential backoff before a retry, run
+                        // outside the lock (waiters see `Building`).
+                        std::thread::sleep(RETRY_BACKOFF * (1 << (attempts - 1)));
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(init));
+                    let mut guard = lock_unpoisoned(&slot.state);
+                    let message = match outcome {
+                        Ok(Ok((value, built))) => {
+                            if built {
+                                self.builds.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let value = Arc::new(value);
+                            *guard = SlotState::Done(value.clone());
+                            slot.ready.notify_all();
+                            return Ok(value);
+                        }
+                        Ok(Err(message)) => message,
+                        Err(payload) => {
+                            format!("builder panicked: {}", panic_message(payload.as_ref()))
+                        }
+                    };
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    let error = BsgError::BuildFailed {
+                        kind,
+                        key: file_key.to_string(),
+                        attempts: attempts + 1,
+                        message,
+                    };
+                    *guard = if attempts + 1 >= MAX_BUILD_ATTEMPTS {
+                        SlotState::Failed(error.clone())
+                    } else {
+                        SlotState::Idle {
+                            attempts: attempts + 1,
+                        }
+                    };
+                    // Wake every waiter: under `Failed` they return the
+                    // memoized error; under `Idle` the first one claims the
+                    // retry with its own initializer.
+                    slot.ready.notify_all();
+                    return Err(error);
+                }
+            }
         }
-        value
     }
 }
 
@@ -160,21 +274,21 @@ fn two_tier<K: Eq + Hash + Clone, V>(
     key: K,
     decode: impl FnOnce(&[u8]) -> Option<V>,
     encode: impl FnOnce(&V) -> Vec<u8>,
-    build: impl FnOnce() -> V,
-) -> Arc<V> {
-    table.get_or_init(key, || {
+    build: impl FnOnce() -> Result<V, String>,
+) -> BsgResult<Arc<V>> {
+    table.get_or_try_init(kind, file_key, key, || {
         let Some(disk) = disk else {
-            return (build(), true);
+            return Ok((build()?, true));
         };
         if let Some(bytes) = disk.load(kind, file_key.as_u128()) {
             match decode(&bytes) {
-                Some(value) => return (value, false),
+                Some(value) => return Ok((value, false)),
                 None => disk.unhit_corrupt(kind, file_key.as_u128()),
             }
         }
-        let value = build();
+        let value = build()?;
         disk.store(kind, file_key.as_u128(), &encode(&value));
-        (value, true)
+        Ok((value, true))
     })
 }
 
@@ -198,6 +312,8 @@ pub struct StoreStats {
     pub synthesis_builds: u64,
     /// Cache hits on synthesis results.
     pub synthesis_hits: u64,
+    /// Failed build attempts across all tables (each retry counts once).
+    pub build_failures: u64,
     /// Disk-tier counters (zero when the disk tier is disabled).
     pub disk: DiskStats,
 }
@@ -207,7 +323,7 @@ impl fmt::Display for StoreStats {
         write!(
             f,
             "compiled {}/{} profile {}/{} c-text {}/{} synthesis {}/{} (builds/requests); \
-             disk hits {} writes {} corrupt {} evicted {}",
+             failed {}; disk hits {} writes {} corrupt {} evicted {} io-errors {}{}",
             self.compiled_builds,
             self.compiled_builds + self.compiled_hits,
             self.profile_builds,
@@ -216,10 +332,17 @@ impl fmt::Display for StoreStats {
             self.c_text_builds + self.c_text_hits,
             self.synthesis_builds,
             self.synthesis_builds + self.synthesis_hits,
+            self.build_failures,
             self.disk.hits,
             self.disk.writes,
             self.disk.corrupt,
             self.disk.evicted,
+            self.disk.io_errors,
+            if self.disk.degraded {
+                " (disk tier degraded to memory-only)"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -273,8 +396,9 @@ impl ArtifactStore {
     /// The compiled program + predecoded image of `hll` under `options`,
     /// compiling at most once per (source content, options) per process.
     ///
-    /// Panics if `hll` fails to compile, matching the harness convention for
-    /// suite workloads (which always compile).
+    /// Panics if the build fails, matching the harness convention for suite
+    /// workloads (which always compile); use
+    /// [`try_compiled`](Self::try_compiled) for per-task fault isolation.
     pub fn compiled(&self, hll: &HllProgram, options: &CompileOptions) -> Arc<CompiledArtifact> {
         self.compiled_keyed(SourceId::of(hll), hll, options)
     }
@@ -288,6 +412,29 @@ impl ArtifactStore {
         hll: &HllProgram,
         options: &CompileOptions,
     ) -> Arc<CompiledArtifact> {
+        self.try_compiled_keyed(source, hll, options)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-isolating [`compiled`](Self::compiled): a failing or panicking
+    /// build yields `Err` (memoized per key after bounded retries) instead
+    /// of aborting the process or hanging concurrent waiters.
+    pub fn try_compiled(
+        &self,
+        hll: &HllProgram,
+        options: &CompileOptions,
+    ) -> BsgResult<Arc<CompiledArtifact>> {
+        self.try_compiled_keyed(SourceId::of(hll), hll, options)
+    }
+
+    /// [`try_compiled`](Self::try_compiled) with a caller-supplied content
+    /// address (`source` must be `SourceId::of(hll)`).
+    pub fn try_compiled_keyed(
+        &self,
+        source: SourceId,
+        hll: &HllProgram,
+        options: &CompileOptions,
+    ) -> BsgResult<Arc<CompiledArtifact>> {
         two_tier(
             &self.compiled,
             self.disk.as_ref(),
@@ -310,15 +457,15 @@ impl ArtifactStore {
             |artifact| to_canon_bytes(&artifact.program),
             || {
                 let program = compile(hll, options)
-                    .expect("cached source compiles")
+                    .map_err(|e| format!("compile failed: {e}"))?
                     .program;
                 let image = ExecImage::new(&program);
-                CompiledArtifact {
+                Ok(CompiledArtifact {
                     source,
                     options: *options,
                     program,
                     image,
-                }
+                })
             },
         )
     }
@@ -326,6 +473,8 @@ impl ArtifactStore {
     /// The statistical profile of `hll` compiled under `options`, reusing the
     /// memoized compiled artifact (and its image) for the profiling run.
     /// A warm disk tier serves the profile without compiling at all.
+    ///
+    /// Panics if the build fails; see [`try_profile`](Self::try_profile).
     pub fn profile(
         &self,
         hll: &HllProgram,
@@ -333,6 +482,18 @@ impl ArtifactStore {
         name: &str,
         config: &ProfileConfig,
     ) -> Arc<StatisticalProfile> {
+        self.try_profile(hll, options, name, config)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-isolating [`profile`](Self::profile).
+    pub fn try_profile(
+        &self,
+        hll: &HllProgram,
+        options: &CompileOptions,
+        name: &str,
+        config: &ProfileConfig,
+    ) -> BsgResult<Arc<StatisticalProfile>> {
         let source = SourceId::of(hll);
         let key = (source, *options, name.to_string(), SourceId::of(config));
         two_tier(
@@ -344,14 +505,27 @@ impl ArtifactStore {
             from_canon_bytes::<StatisticalProfile>,
             to_canon_bytes,
             || {
-                let artifact = self.compiled_keyed(source, hll, options);
-                profile_image(&artifact.program, &artifact.image, name, config)
+                let artifact = self
+                    .try_compiled_keyed(source, hll, options)
+                    .map_err(|e| e.to_string())?;
+                Ok(profile_image(
+                    &artifact.program,
+                    &artifact.image,
+                    name,
+                    config,
+                ))
             },
         )
     }
 
-    /// The emitted C text of `hll`.
+    /// The emitted C text of `hll`.  Panics if the build fails; see
+    /// [`try_c_text`](Self::try_c_text).
     pub fn c_text(&self, hll: &HllProgram) -> Arc<String> {
+        self.try_c_text(hll).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-isolating [`c_text`](Self::c_text).
+    pub fn try_c_text(&self, hll: &HllProgram) -> BsgResult<Arc<String>> {
         let source = SourceId::of(hll);
         two_tier(
             &self.c_texts,
@@ -361,18 +535,30 @@ impl ArtifactStore {
             source,
             from_canon_bytes::<String>,
             to_canon_bytes,
-            || cemit::emit_c(hll),
+            || Ok(cemit::emit_c(hll)),
         )
     }
 
     /// The target-driven synthesis for `profile`, memoized on the profile's
     /// content, the synthesis configuration and the instruction target.
+    /// Panics if the build fails; see [`try_synthesis`](Self::try_synthesis).
     pub fn synthesis(
         &self,
         profile: &StatisticalProfile,
         base: &SynthesisConfig,
         target_instructions: u64,
     ) -> Arc<TargetedSynthesis> {
+        self.try_synthesis(profile, base, target_instructions)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-isolating [`synthesis`](Self::synthesis).
+    pub fn try_synthesis(
+        &self,
+        profile: &StatisticalProfile,
+        base: &SynthesisConfig,
+        target_instructions: u64,
+    ) -> BsgResult<Arc<TargetedSynthesis>> {
         let key = (
             SourceId::of(profile),
             SourceId::of(base),
@@ -386,7 +572,7 @@ impl ArtifactStore {
             key,
             from_canon_bytes::<TargetedSynthesis>,
             to_canon_bytes,
-            || synthesize_with_target(profile, base, target_instructions),
+            || Ok(synthesize_with_target(profile, base, target_instructions)),
         )
     }
 
@@ -401,6 +587,10 @@ impl ArtifactStore {
             c_text_hits: self.c_texts.hits.load(Ordering::Relaxed),
             synthesis_builds: self.syntheses.builds.load(Ordering::Relaxed),
             synthesis_hits: self.syntheses.hits.load(Ordering::Relaxed),
+            build_failures: self.compiled.failures.load(Ordering::Relaxed)
+                + self.profiles.failures.load(Ordering::Relaxed)
+                + self.c_texts.failures.load(Ordering::Relaxed)
+                + self.syntheses.failures.load(Ordering::Relaxed),
             disk: self.disk.as_ref().map(DiskCache::stats).unwrap_or_default(),
         }
     }
@@ -642,6 +832,119 @@ mod tests {
         assert_eq!(stats.disk.hits, 0, "a discarded decode is not a hit");
         assert_eq!(stats.compiled_builds, 1);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A program whose compile fails (call to an undefined function): the
+    /// seed for every failure-path test below.
+    fn uncompilable_program() -> HllProgram {
+        let mut f = FunctionBuilder::new("main");
+        f.assign_var("x", Expr::call("no_such_function", vec![]));
+        f.ret(Some(Expr::var("x")));
+        HllProgram::with_main(f.finish())
+    }
+
+    #[test]
+    fn failed_builds_return_errors_and_memoize_after_the_attempt_budget() {
+        let store = ArtifactStore::new();
+        let hll = uncompilable_program();
+        let opts = CompileOptions::new(OptLevel::O0, TargetIsa::X86);
+        // Every request gets an Err; attempts advance until the budget is
+        // exhausted, after which the memoized error (with the final attempt
+        // count) is served without re-running the builder.
+        for expect_attempts in 1..=MAX_BUILD_ATTEMPTS + 2 {
+            let err = store.try_compiled(&hll, &opts).unwrap_err();
+            match err {
+                crate::BsgError::BuildFailed {
+                    kind,
+                    attempts,
+                    ref message,
+                    ..
+                } => {
+                    assert_eq!(kind, "compiled");
+                    assert_eq!(attempts, expect_attempts.min(MAX_BUILD_ATTEMPTS));
+                    assert!(message.contains("no_such_function"), "{message}");
+                }
+                other => panic!("expected BuildFailed, got {other}"),
+            }
+        }
+        let stats = store.stats();
+        assert_eq!(stats.compiled_builds, 0, "no successful build");
+        assert_eq!(
+            stats.build_failures,
+            u64::from(MAX_BUILD_ATTEMPTS),
+            "builder ran exactly MAX_BUILD_ATTEMPTS times, then the memo served"
+        );
+    }
+
+    #[test]
+    fn a_failed_build_does_not_poison_other_keys() {
+        let store = ArtifactStore::new();
+        let opts = CompileOptions::new(OptLevel::O0, TargetIsa::X86);
+        assert!(store.try_compiled(&uncompilable_program(), &opts).is_err());
+        let ok = store.try_compiled(&tiny_program(10), &opts);
+        assert!(ok.is_ok(), "healthy keys are unaffected: {:?}", ok.err());
+    }
+
+    /// The acceptance-criterion regression: pre-PR-6, a failing builder left
+    /// its per-key `OnceLock` unset forever and every concurrent waiter
+    /// deadlocked.  Now all waiters unblock with an error.
+    #[test]
+    fn concurrent_waiters_on_a_failing_build_unblock_with_errors() {
+        let store = ArtifactStore::new();
+        let hll = uncompilable_program();
+        let opts = CompileOptions::new(OptLevel::O1, TargetIsa::X86);
+        let errors: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| store.try_compiled(&hll, &opts).is_err()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(false))
+                .collect()
+        });
+        assert_eq!(errors.len(), 8);
+        assert!(
+            errors.iter().all(|e| *e),
+            "every waiter received an error instead of hanging"
+        );
+    }
+
+    #[test]
+    fn a_panicking_builder_releases_waiters_and_allows_retry() {
+        // Exercise the slot machine directly with a builder that panics
+        // twice and then succeeds: the first two requests see BuildFailed
+        // (with the panic message), the third builds, and later requests
+        // hit the memoized value.
+        let table: Table<u32, u32> = Table::new();
+        let key_id = SourceId::of(&7u64);
+        let calls = AtomicU64::new(0);
+        for attempt in 1..=2u32 {
+            let result = table.get_or_try_init("compiled", key_id, 7, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                panic!("flaky builder dies (attempt {attempt})");
+            });
+            match result {
+                Err(crate::BsgError::BuildFailed {
+                    attempts, message, ..
+                }) => {
+                    assert_eq!(attempts, attempt);
+                    assert!(message.contains("flaky builder dies"), "{message}");
+                }
+                other => panic!("expected BuildFailed, got {other:?}"),
+            }
+        }
+        let value = table.get_or_try_init("compiled", key_id, 7, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok((99, true))
+        });
+        assert_eq!(value.as_deref(), Ok(&99), "third attempt succeeds");
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        let again = table.get_or_try_init("compiled", key_id, 7, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok((0, true))
+        });
+        assert_eq!(again.as_deref(), Ok(&99), "memoized after success");
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "no rebuild after Done");
     }
 
     #[test]
