@@ -2,46 +2,37 @@
 //! combined report.  `cargo run -p bsg-bench --release --bin all_experiments`.
 //!
 //! The section sequence is the declarative [`bsg_bench::ALL_EXPERIMENTS`]
-//! table.  The report text goes to stdout (byte-identical at any scheduler
-//! worker count and any artifact-cache temperature); artifact-store and
-//! scheduler statistics go to stderr.
+//! table, rendered through [`bsg_bench::try_render_report`] — the same entry
+//! point `bsg-server` serves over the wire, so server-mode figure output is
+//! byte-identical to this binary's stdout by construction.  The report text
+//! goes to stdout (byte-identical at any scheduler worker count and any
+//! artifact-cache temperature); artifact-store and scheduler statistics go
+//! to stderr.  `--workers N` pins the scheduler width (same validation as
+//! `BSG_RUNTIME_WORKERS`).
 //!
 //! Faults are isolated, not fatal: a workload whose preparation panics or
 //! fails (including `BSG_FAULT`-injected chaos) is reported to stderr and
 //! its rows omitted, a section that panics is skipped, and the remaining
 //! report still prints — but the process exits nonzero so CI notices.
-use bsg_bench::{
-    report_runtime_stats, try_prepare_suite, ALL_EXPERIMENTS, SYNTH_TARGET_INSTRUCTIONS,
-};
-use bsg_workloads::InputSize;
+use bsg_bench::{apply_workers_arg, report_runtime_stats, try_render_report};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut artifacts = Vec::new();
-    let mut faults = 0u32;
-    for (name, result) in try_prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS) {
-        match result {
-            Ok(a) => artifacts.push(a),
-            Err(e) => {
-                faults += 1;
-                eprintln!("[bsg-bench] FAILED to prepare {name}: {e} (its rows are omitted)");
-            }
-        }
-    }
-    for section in ALL_EXPERIMENTS {
-        match section.try_render(&artifacts) {
-            Ok(text) => println!("{text}"),
-            Err(e) => {
-                faults += 1;
-                eprintln!("[bsg-bench] FAILED to render a section: {e} (section skipped)");
-            }
-        }
+    let args: Vec<String> = std::env::args().collect();
+    apply_workers_arg(&args);
+    let (report, faults) = try_render_report();
+    print!("{report}");
+    for fault in &faults {
+        eprintln!("[bsg-bench] {fault}");
     }
     report_runtime_stats();
-    if faults == 0 {
+    if faults.is_empty() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("[bsg-bench] report completed with {faults} fault(s), see above");
+        eprintln!(
+            "[bsg-bench] report completed with {} fault(s), see above",
+            faults.len()
+        );
         ExitCode::FAILURE
     }
 }

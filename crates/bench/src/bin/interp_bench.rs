@@ -8,7 +8,9 @@
 //! programs and predecoded images come out of the artifact store).  Pass
 //! `--assert-null-speedup <x>` to fail (exit 1) when the fused engine's
 //! `NullObserver` speedup over the legacy engine drops below `x` — CI uses
-//! this as a throughput-regression tripwire.
+//! this as a throughput-regression tripwire.  Pass `--workers N` to pin the
+//! scheduler width used during preparation (same validation as
+//! `BSG_RUNTIME_WORKERS`).
 //!
 //! Preparation (compiling the suite and predecoding images) fans out through
 //! `bsg-runtime`'s scheduler and artifact store; the *measurement* loops stay
@@ -126,6 +128,7 @@ impl Measurement {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    bsg_bench::apply_workers_arg(&args);
     let input = if args.iter().any(|a| a == "--large") {
         InputSize::Large
     } else {

@@ -184,6 +184,85 @@ pub fn try_prepare_suite(
         .collect()
 }
 
+/// One isolated fault from [`try_render_report`]: either a workload whose
+/// preparation failed (its rows are omitted) or a section whose renderer
+/// failed (the section is skipped).  `Display` matches the stderr lines the
+/// `all_experiments` binary has always printed, so CI greps keep working.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportFault {
+    /// A workload's preparation panicked or failed.
+    Prepare {
+        /// The workload's suite name (e.g. `crc32/small`).
+        name: String,
+        /// The isolated fault.
+        error: bsg_runtime::BsgError,
+    },
+    /// A section renderer panicked.
+    Section {
+        /// The isolated fault.
+        error: bsg_runtime::BsgError,
+    },
+}
+
+impl ReportFault {
+    /// The underlying error, whichever stage it came from.
+    pub fn error(&self) -> &bsg_runtime::BsgError {
+        match self {
+            ReportFault::Prepare { error, .. } | ReportFault::Section { error } => error,
+        }
+    }
+
+    /// Consumes the fault into its error (e.g. for a server error reply).
+    pub fn into_error(self) -> bsg_runtime::BsgError {
+        match self {
+            ReportFault::Prepare { error, .. } | ReportFault::Section { error } => error,
+        }
+    }
+}
+
+impl std::fmt::Display for ReportFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportFault::Prepare { name, error } => {
+                write!(
+                    f,
+                    "FAILED to prepare {name}: {error} (its rows are omitted)"
+                )
+            }
+            ReportFault::Section { error } => {
+                write!(f, "FAILED to render a section: {error} (section skipped)")
+            }
+        }
+    }
+}
+
+/// Renders the complete `all_experiments` report (small-input suite, every
+/// [`ALL_EXPERIMENTS`] section) with per-workload and per-section fault
+/// isolation.  Returns the report text — byte-identical to the batch
+/// binary's stdout, which is the server-mode correctness contract — plus
+/// every isolated fault, in occurrence order.
+pub fn try_render_report() -> (String, Vec<ReportFault>) {
+    let mut faults = Vec::new();
+    let mut artifacts = Vec::new();
+    for (name, result) in try_prepare_suite(InputSize::Small, SYNTH_TARGET_INSTRUCTIONS) {
+        match result {
+            Ok(a) => artifacts.push(a),
+            Err(error) => faults.push(ReportFault::Prepare { name, error }),
+        }
+    }
+    let mut report = String::new();
+    for section in ALL_EXPERIMENTS {
+        match section.try_render(&artifacts) {
+            Ok(text) => {
+                report.push_str(&text);
+                report.push('\n');
+            }
+            Err(error) => faults.push(ReportFault::Section { error }),
+        }
+    }
+    (report, faults)
+}
+
 /// Maps a machine's ISA to the compiler's target ISA.
 pub fn target_isa_for(machine: MachineIsa) -> TargetIsa {
     match machine {
@@ -928,6 +1007,19 @@ pub fn best_of<F: FnMut() -> u64>(passes: u32, mut body: F) -> (u64, f64) {
         }
     }
     (instructions.expect("passes > 0"), best)
+}
+
+/// Applies a `--workers N` CLI flag if present in `args` (the CLI twin of
+/// the `BSG_RUNTIME_WORKERS` env override, sharing its validation and
+/// warning path via [`bsg_runtime::apply_workers_flag`]).  Must run before
+/// the global runtime's first use — call it at the top of `main`.
+pub fn apply_workers_arg(args: &[String]) {
+    if let Some(i) = args.iter().position(|a| a == "--workers") {
+        match args.get(i + 1) {
+            Some(v) => bsg_runtime::apply_workers_flag(v),
+            None => eprintln!("warning: ignoring --workers (it requires a value)"),
+        }
+    }
 }
 
 /// Prints the runtime-substrate statistics line (workers, artifact-store

@@ -208,6 +208,39 @@ impl bsg_ir::canon::Canon for CompileOptions {
     }
 }
 
+impl bsg_ir::codec::Decanon for OptLevel {
+    fn decanon(r: &mut bsg_ir::codec::CanonReader<'_>) -> Option<Self> {
+        match r.byte()? {
+            0 => Some(OptLevel::O0),
+            1 => Some(OptLevel::O1),
+            2 => Some(OptLevel::O2),
+            3 => Some(OptLevel::O3),
+            _ => None,
+        }
+    }
+}
+
+impl bsg_ir::codec::Decanon for TargetIsa {
+    fn decanon(r: &mut bsg_ir::codec::CanonReader<'_>) -> Option<Self> {
+        match r.byte()? {
+            0 => Some(TargetIsa::X86),
+            1 => Some(TargetIsa::X86_64),
+            2 => Some(TargetIsa::Ia64),
+            _ => None,
+        }
+    }
+}
+
+impl bsg_ir::codec::Decanon for CompileOptions {
+    fn decanon(r: &mut bsg_ir::codec::CanonReader<'_>) -> Option<Self> {
+        Some(CompileOptions {
+            opt_level: bsg_ir::codec::Decanon::decanon(r)?,
+            isa: bsg_ir::codec::Decanon::decanon(r)?,
+            codegen: bsg_ir::codec::Decanon::decanon(r)?,
+        })
+    }
+}
+
 /// Errors reported while lowering an HLL program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {

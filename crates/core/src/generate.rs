@@ -79,6 +79,18 @@ impl bsg_ir::canon::Canon for SynthesisConfig {
     }
 }
 
+impl bsg_ir::codec::Decanon for SynthesisConfig {
+    fn decanon(r: &mut bsg_ir::codec::CanonReader<'_>) -> Option<Self> {
+        Some(SynthesisConfig {
+            reduction_factor: u64::decanon(r)?,
+            seed: u64::decanon(r)?,
+            function_count: usize::decanon(r)?,
+            stream_elems: usize::decanon(r)?,
+            max_segments: usize::decanon(r)?,
+        })
+    }
+}
+
 impl bsg_ir::canon::Canon for SynthesisStats {
     fn canon(&self, w: &mut dyn bsg_ir::canon::CanonWrite) {
         self.reduction_factor.canon(w);

@@ -153,6 +153,15 @@ impl<A: Canon, B: Canon, C: Canon> Canon for (A, B, C) {
     }
 }
 
+impl<A: Canon, B: Canon, C: Canon, D: Canon> Canon for (A, B, C, D) {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.0.canon(w);
+        self.1.canon(w);
+        self.2.canon(w);
+        self.3.canon(w);
+    }
+}
+
 impl<K: Canon, V: Canon> Canon for BTreeMap<K, V> {
     fn canon(&self, w: &mut dyn CanonWrite) {
         put_len(w, self.len());

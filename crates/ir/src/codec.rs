@@ -187,6 +187,17 @@ impl<A: Decanon, B: Decanon, C: Decanon> Decanon for (A, B, C) {
     }
 }
 
+impl<A: Decanon, B: Decanon, C: Decanon, D: Decanon> Decanon for (A, B, C, D) {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some((
+            A::decanon(r)?,
+            B::decanon(r)?,
+            C::decanon(r)?,
+            D::decanon(r)?,
+        ))
+    }
+}
+
 impl<K: Decanon + Ord, V: Decanon> Decanon for BTreeMap<K, V> {
     fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
         let len = r.length_prefix()?;

@@ -886,6 +886,15 @@ impl Canon for ProfileConfig {
     }
 }
 
+impl Decanon for ProfileConfig {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        Some(ProfileConfig {
+            reference_cache: CacheConfig::decanon(r)?,
+            max_instructions: u64::decanon(r)?,
+        })
+    }
+}
+
 impl Canon for StatisticalProfile {
     fn canon(&self, w: &mut dyn CanonWrite) {
         self.name.canon(w);

@@ -105,6 +105,32 @@ fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The artifact kinds the disk tier attributes per-kind counters to, in the
+/// order of [`DiskStats::per_kind`].  These are the store's table names —
+/// lookups under any other kind string still work but land in no per-kind
+/// bucket (only the aggregate counters).
+pub const KINDS: [&str; 4] = ["compiled", "profile", "synthesis", "c-text"];
+
+fn kind_index(kind: &str) -> Option<usize> {
+    KINDS.iter().position(|k| *k == kind)
+}
+
+/// Disk-tier counters attributed to one artifact kind (one element of
+/// [`DiskStats::per_kind`], ordered as [`KINDS`]).  Answers "which table is
+/// this cache actually serving?" — the aggregate counters can't, and a
+/// server sharing one hot store across many clients needs the split to spot
+/// e.g. a synthesis-heavy mix thrashing the compiled table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindStats {
+    /// Entries of this kind served from disk.
+    pub hits: u64,
+    /// Entries of this kind written.
+    pub writes: u64,
+    /// File bytes written for this kind (header + payload; what the size
+    /// cap accounts).
+    pub bytes_written: u64,
+}
+
 /// Counters for the disk tier (cumulative per [`DiskCache`] instance).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DiskStats {
@@ -123,6 +149,69 @@ pub struct DiskStats {
     /// Whether the tier has degraded to memory-only after repeated IO
     /// failures (see [`DEGRADE_AFTER_IO_FAILURES`]).
     pub degraded: bool,
+    /// Hits/writes/bytes broken down by artifact kind, ordered as [`KINDS`].
+    pub per_kind: [KindStats; 4],
+}
+
+impl bsg_ir::canon::Canon for KindStats {
+    fn canon(&self, w: &mut dyn bsg_ir::canon::CanonWrite) {
+        self.hits.canon(w);
+        self.writes.canon(w);
+        self.bytes_written.canon(w);
+    }
+}
+
+impl bsg_ir::codec::Decanon for KindStats {
+    fn decanon(r: &mut bsg_ir::codec::CanonReader<'_>) -> Option<Self> {
+        Some(KindStats {
+            hits: u64::decanon(r)?,
+            writes: u64::decanon(r)?,
+            bytes_written: u64::decanon(r)?,
+        })
+    }
+}
+
+impl bsg_ir::canon::Canon for DiskStats {
+    fn canon(&self, w: &mut dyn bsg_ir::canon::CanonWrite) {
+        self.hits.canon(w);
+        self.misses.canon(w);
+        self.writes.canon(w);
+        self.corrupt.canon(w);
+        self.evicted.canon(w);
+        self.io_errors.canon(w);
+        self.degraded.canon(w);
+        for k in &self.per_kind {
+            k.canon(w);
+        }
+    }
+}
+
+impl bsg_ir::codec::Decanon for DiskStats {
+    fn decanon(r: &mut bsg_ir::codec::CanonReader<'_>) -> Option<Self> {
+        Some(DiskStats {
+            hits: u64::decanon(r)?,
+            misses: u64::decanon(r)?,
+            writes: u64::decanon(r)?,
+            corrupt: u64::decanon(r)?,
+            evicted: u64::decanon(r)?,
+            io_errors: u64::decanon(r)?,
+            degraded: bool::decanon(r)?,
+            per_kind: [
+                KindStats::decanon(r)?,
+                KindStats::decanon(r)?,
+                KindStats::decanon(r)?,
+                KindStats::decanon(r)?,
+            ],
+        })
+    }
+}
+
+/// Per-kind atomic counters backing [`KindStats`].
+#[derive(Default)]
+struct KindCounters {
+    hits: AtomicU64,
+    writes: AtomicU64,
+    bytes_written: AtomicU64,
 }
 
 /// One on-disk artifact cache directory (see the module docs).
@@ -150,6 +239,8 @@ pub struct DiskCache {
     writes: AtomicU64,
     corrupt: AtomicU64,
     evicted: AtomicU64,
+    /// Hits/writes/bytes attributed per artifact kind (ordered as [`KINDS`]).
+    per_kind: [KindCounters; 4],
 }
 
 impl DiskCache {
@@ -189,6 +280,7 @@ impl DiskCache {
             writes: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            per_kind: Default::default(),
         }
     }
 
@@ -268,6 +360,14 @@ impl DiskCache {
 
     /// A snapshot of the counters.
     pub fn stats(&self) -> DiskStats {
+        let mut per_kind = [KindStats::default(); 4];
+        for (snap, counters) in per_kind.iter_mut().zip(&self.per_kind) {
+            *snap = KindStats {
+                hits: counters.hits.load(Ordering::Relaxed),
+                writes: counters.writes.load(Ordering::Relaxed),
+                bytes_written: counters.bytes_written.load(Ordering::Relaxed),
+            };
+        }
         DiskStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -276,6 +376,7 @@ impl DiskCache {
             evicted: self.evicted.load(Ordering::Relaxed),
             io_errors: self.io_errors.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
+            per_kind,
         }
     }
 
@@ -404,6 +505,9 @@ impl DiskCache {
         match Self::parse(&bytes) {
             Some(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(i) = kind_index(kind) {
+                    self.per_kind[i].hits.fetch_add(1, Ordering::Relaxed);
+                }
                 Some(payload.to_vec())
             }
             None => {
@@ -419,6 +523,9 @@ impl DiskCache {
     /// into a corrupt miss so `hits` only counts artifacts actually served.
     pub fn unhit_corrupt(&self, kind: &str, key: u128) {
         self.hits.fetch_sub(1, Ordering::Relaxed);
+        if let Some(i) = kind_index(kind) {
+            self.per_kind[i].hits.fetch_sub(1, Ordering::Relaxed);
+        }
         self.note_corrupt(&self.path_of(kind, key), "payload does not decode");
     }
 
@@ -470,8 +577,15 @@ impl DiskCache {
         match self.try_store(&path, payload, fault) {
             Some(()) => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
+                let entry_bytes = HEADER_LEN as u64 + payload.len() as u64;
+                if let Some(i) = kind_index(kind) {
+                    self.per_kind[i].writes.fetch_add(1, Ordering::Relaxed);
+                    self.per_kind[i]
+                        .bytes_written
+                        .fetch_add(entry_bytes, Ordering::Relaxed);
+                }
                 self.consecutive_io_failures.store(0, Ordering::Relaxed);
-                self.check_cap(HEADER_LEN as u64 + payload.len() as u64);
+                self.check_cap(entry_bytes);
             }
             None => self.note_io_failure("store", "write or rename failed"),
         }
@@ -817,6 +931,45 @@ mod tests {
         assert_eq!(cache.stats().evicted, 0);
         assert!(cache.load("compiled", 1).is_some());
         assert!(cache.load("profile", 2).is_some());
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn per_kind_counters_attribute_hits_writes_and_bytes() {
+        let cache = temp_cache("per-kind");
+        cache.store("compiled", 1, b"program bytes");
+        cache.store("compiled", 2, b"more program bytes");
+        cache.store("profile", 3, b"profile bytes");
+        assert!(cache.load("compiled", 1).is_some());
+        assert!(cache.load("profile", 3).is_some());
+        assert!(cache.load("profile", 3).is_some());
+        assert_eq!(cache.load("synthesis", 9), None, "untouched kind misses");
+
+        let stats = cache.stats();
+        let [compiled, profile, synthesis, c_text] = stats.per_kind;
+        assert_eq!((compiled.hits, compiled.writes), (1, 2));
+        assert_eq!(
+            compiled.bytes_written,
+            2 * HEADER_LEN as u64
+                + b"program bytes".len() as u64
+                + b"more program bytes".len() as u64
+        );
+        assert_eq!((profile.hits, profile.writes), (2, 1));
+        assert_eq!(synthesis, KindStats::default());
+        assert_eq!(c_text, KindStats::default());
+        // The aggregates still see everything.
+        assert_eq!((stats.hits, stats.writes, stats.misses), (3, 3, 1));
+
+        // A decode failure retracts the already-counted per-kind hit too.
+        cache.unhit_corrupt("compiled", 1);
+        let [compiled, ..] = cache.stats().per_kind;
+        assert_eq!(compiled.hits, 0);
+
+        // Stats roundtrip through the canonical codec (the server's `stats`
+        // reply ships them over the wire).
+        let bytes = bsg_ir::codec::to_canon_bytes(&cache.stats());
+        let back: DiskStats = bsg_ir::codec::from_canon_bytes(&bytes).unwrap();
+        assert_eq!(back, cache.stats());
         let _ = fs::remove_dir_all(cache.root());
     }
 

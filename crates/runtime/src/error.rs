@@ -10,11 +10,21 @@
 //! into a [`BsgError`] and hands it to the caller in submission order,
 //! leaving every *other* task, slot and tier untouched.
 //!
-//! The taxonomy is deliberately small — four variants, one per isolation
-//! boundary — and `Clone`-able, because the store memoizes a failure per
-//! key and serves the same error value to every waiter (see
+//! The taxonomy is deliberately small — five variants, one per isolation
+//! boundary (the fifth, [`BsgError::InvalidRequest`], guards the server's
+//! wire boundary) — and `Clone`-able, because the store memoizes a failure
+//! per key and serves the same error value to every waiter (see
 //! `store::SlotState`).
+//!
+//! Errors also cross process boundaries: `bsg-server` replies to a failed
+//! request with the canonical byte encoding of its `BsgError`, so the type
+//! implements [`Canon`]/[`Decanon`].  The encoding is lossless for every
+//! error the runtime itself produces; the two `&'static str` fields
+//! (`BuildFailed::kind`, `Io::op`) are interned back to the runtime's known
+//! strings on decode, with a generic fallback for values minted elsewhere.
 
+use bsg_ir::canon::{Canon, CanonWrite};
+use bsg_ir::codec::{CanonReader, Decanon};
 use std::any::Any;
 use std::fmt;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
@@ -70,6 +80,15 @@ pub enum BsgError {
         /// The configured deadline, in milliseconds.
         deadline_ms: u64,
     },
+    /// A request arriving over the server's wire protocol was structurally
+    /// well-formed but semantically unserviceable (unknown request kind,
+    /// undecodable payload, unknown figure name).  The offending request is
+    /// answered with this error; the connection and every other client
+    /// stay live.
+    InvalidRequest {
+        /// What was wrong with the request.
+        message: String,
+    },
 }
 
 impl fmt::Display for BsgError {
@@ -95,11 +114,107 @@ impl fmt::Display for BsgError {
                 f,
                 "task exceeded its deadline: ran {elapsed_ms} ms against a {deadline_ms} ms budget"
             ),
+            BsgError::InvalidRequest { message } => write!(f, "invalid request: {message}"),
         }
     }
 }
 
 impl std::error::Error for BsgError {}
+
+impl Canon for BsgError {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        match self {
+            BsgError::TaskPanic { message } => {
+                w.write(&[0]);
+                message.canon(w);
+            }
+            BsgError::BuildFailed {
+                kind,
+                key,
+                attempts,
+                message,
+            } => {
+                w.write(&[1]);
+                kind.canon(w);
+                key.canon(w);
+                attempts.canon(w);
+                message.canon(w);
+            }
+            BsgError::Io { op, path, message } => {
+                w.write(&[2]);
+                op.canon(w);
+                path.canon(w);
+                message.canon(w);
+            }
+            BsgError::DeadlineExceeded {
+                elapsed_ms,
+                deadline_ms,
+            } => {
+                w.write(&[3]);
+                elapsed_ms.canon(w);
+                deadline_ms.canon(w);
+            }
+            BsgError::InvalidRequest { message } => {
+                w.write(&[4]);
+                message.canon(w);
+            }
+        }
+    }
+}
+
+/// Interns a decoded `BuildFailed::kind` back to the store's `&'static`
+/// kind strings; unknown values fall back to `"artifact"`.
+fn intern_kind(s: &str) -> &'static str {
+    match s {
+        "compiled" => "compiled",
+        "profile" => "profile",
+        "synthesis" => "synthesis",
+        "c-text" => "c-text",
+        _ => "artifact",
+    }
+}
+
+/// Interns a decoded `Io::op` back to the runtime's known operation names;
+/// unknown values fall back to `"io"`.
+fn intern_op(s: &str) -> &'static str {
+    match s {
+        "read" => "read",
+        "write" => "write",
+        "rename" => "rename",
+        "open" => "open",
+        "remove" => "remove",
+        _ => "io",
+    }
+}
+
+impl Decanon for BsgError {
+    fn decanon(r: &mut CanonReader<'_>) -> Option<Self> {
+        match r.byte()? {
+            0 => Some(BsgError::TaskPanic {
+                message: String::decanon(r)?,
+            }),
+            1 => Some(BsgError::BuildFailed {
+                kind: intern_kind(&String::decanon(r)?),
+                key: String::decanon(r)?,
+                attempts: u32::decanon(r)?,
+                message: String::decanon(r)?,
+            }),
+            2 => Some(BsgError::Io {
+                op: intern_op(&String::decanon(r)?),
+                path: String::decanon(r)?,
+                message: String::decanon(r)?,
+            }),
+            3 => Some(BsgError::DeadlineExceeded {
+                elapsed_ms: u64::decanon(r)?,
+                deadline_ms: u64::decanon(r)?,
+            }),
+            4 => Some(BsgError::InvalidRequest {
+                message: String::decanon(r)?,
+            }),
+            _ => None,
+        }
+    }
+}
 
 /// Renders a caught panic payload as text: `&str` and `String` payloads
 /// (the overwhelmingly common cases from `panic!`/`assert!`) verbatim,
@@ -166,6 +281,46 @@ mod tests {
             deadline_ms: 50,
         };
         assert!(d.to_string().contains("120 ms"));
+    }
+
+    #[test]
+    fn errors_roundtrip_through_the_canonical_codec() {
+        let samples = [
+            BsgError::TaskPanic {
+                message: "boom".into(),
+            },
+            BsgError::BuildFailed {
+                kind: "profile",
+                key: "00ff".into(),
+                attempts: 3,
+                message: "builder failed".into(),
+            },
+            BsgError::Io {
+                op: "rename",
+                path: "/tmp/x".into(),
+                message: "ENOSPC".into(),
+            },
+            BsgError::DeadlineExceeded {
+                elapsed_ms: 10,
+                deadline_ms: 5,
+            },
+            BsgError::InvalidRequest {
+                message: "unknown figure".into(),
+            },
+        ];
+        for e in samples {
+            let bytes = bsg_ir::codec::to_canon_bytes(&e);
+            let back: BsgError =
+                bsg_ir::codec::from_canon_bytes(&bytes).expect("canonical error bytes must decode");
+            assert_eq!(back, e);
+        }
+        // Truncated bytes decode to None, never panic.
+        let bytes = bsg_ir::codec::to_canon_bytes(&BsgError::TaskPanic {
+            message: "boom".into(),
+        });
+        for cut in 0..bytes.len() {
+            assert!(bsg_ir::codec::from_canon_bytes::<BsgError>(&bytes[..cut]).is_none());
+        }
     }
 
     #[test]

@@ -44,8 +44,10 @@ pub mod fault;
 pub mod scheduler;
 pub mod store;
 
-pub use disk::{DiskCache, DiskStats};
+pub use disk::{DiskCache, DiskStats, KindStats};
 pub use error::{panic_message, BsgError, BsgResult};
 pub use fault::FaultPlan;
-pub use scheduler::{with_workers, RunPolicy, Runtime};
+pub use scheduler::{
+    apply_workers_flag, install_global_workers, parse_workers, with_workers, RunPolicy, Runtime,
+};
 pub use store::{ArtifactStore, CompiledArtifact, SourceId, StoreStats};

@@ -72,6 +72,42 @@ pub fn with_workers<R>(workers: usize, f: impl FnOnce() -> R) -> R {
 /// pinning determinism tests and CI runs to a specific parallelism).
 pub const WORKERS_ENV: &str = "BSG_RUNTIME_WORKERS";
 
+/// The process-wide runtime behind [`Runtime::global`], at module scope so
+/// [`install_global_workers`] can seed it before first use.
+static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+
+/// Installs `workers` as the process-wide [`Runtime::global`] width before
+/// its first use.  Returns `false` (and changes nothing) if the global
+/// runtime was already initialized — `--workers` flags call this at the top
+/// of `main`, where that can only happen if the flag is passed twice.
+pub fn install_global_workers(workers: usize) -> bool {
+    GLOBAL.set(Runtime::new(workers)).is_ok()
+}
+
+/// Applies a `--workers N` CLI value: the same validation (and the same
+/// stderr warning shape) as the [`WORKERS_ENV`] path, then
+/// [`install_global_workers`].  Invalid values warn and leave the default
+/// resolution ([`WORKERS_ENV`] / `available_parallelism`) in place — a
+/// typo'd flag must never wedge or abort a run.
+pub fn apply_workers_flag(raw: &str) {
+    match parse_workers(raw) {
+        Ok(n) => {
+            if !install_global_workers(n) {
+                eprintln!(
+                    "warning: ignoring --workers {raw:?} (the global runtime \
+                     is already initialized)"
+                );
+            }
+        }
+        Err(reason) => {
+            eprintln!(
+                "warning: ignoring --workers {raw:?} ({reason}); \
+                 falling back to {WORKERS_ENV} / available_parallelism"
+            );
+        }
+    }
+}
+
 /// Per-batch execution policy for [`Runtime::try_run_with`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunPolicy {
@@ -149,9 +185,10 @@ impl Runtime {
         }
     }
 
-    /// The process-wide runtime used by the experiment harness.
+    /// The process-wide runtime used by the experiment harness.  Its width
+    /// may be pinned before first use via [`install_global_workers`] (the
+    /// `--workers` CLI flag); otherwise it resolves [`Runtime::default_workers`].
     pub fn global() -> &'static Runtime {
-        static GLOBAL: OnceLock<Runtime> = OnceLock::new();
         GLOBAL.get_or_init(|| Runtime::new(Runtime::default_workers()))
     }
 
@@ -334,11 +371,11 @@ impl Default for Runtime {
     }
 }
 
-/// Validates a [`WORKERS_ENV`] override: a positive integer (surrounding
-/// whitespace tolerated).  Returns a human-readable rejection reason for
-/// everything else, including `0` — a zero-worker pool would wedge every
-/// sweep.
-fn parse_workers(raw: &str) -> Result<usize, &'static str> {
+/// Validates a [`WORKERS_ENV`] / `--workers` override: a positive integer
+/// (surrounding whitespace tolerated).  Returns a human-readable rejection
+/// reason for everything else, including `0` — a zero-worker pool would
+/// wedge every sweep.
+pub fn parse_workers(raw: &str) -> Result<usize, &'static str> {
     let trimmed = raw.trim();
     if trimmed.is_empty() {
         return Err("empty value");

@@ -38,7 +38,7 @@
 //! implementation used a per-key `OnceLock`, which a panicking builder left
 //! unset forever — deadlocking every waiter.)
 
-use crate::disk::{DiskCache, DiskStats};
+use crate::disk::{DiskCache, DiskStats, KindStats, KINDS};
 use crate::error::{lock_unpoisoned, panic_message, wait_unpoisoned, BsgError, BsgResult};
 use bsg_compiler::{compile, CompileOptions};
 use bsg_ir::canon::{Canon, CanonWrite};
@@ -323,7 +323,7 @@ impl fmt::Display for StoreStats {
         write!(
             f,
             "compiled {}/{} profile {}/{} c-text {}/{} synthesis {}/{} (builds/requests); \
-             failed {}; disk hits {} writes {} corrupt {} evicted {} io-errors {}{}",
+             failed {}; disk hits {} writes {} corrupt {} evicted {} io-errors {}",
             self.compiled_builds,
             self.compiled_builds + self.compiled_hits,
             self.profile_builds,
@@ -338,12 +338,56 @@ impl fmt::Display for StoreStats {
             self.disk.corrupt,
             self.disk.evicted,
             self.disk.io_errors,
-            if self.disk.degraded {
-                " (disk tier degraded to memory-only)"
-            } else {
-                ""
-            },
-        )
+        )?;
+        // Per-kind disk attribution, only once the tier has actually served
+        // or written something (keeps memory-only runs on one short line).
+        if self
+            .disk
+            .per_kind
+            .iter()
+            .any(|k| *k != KindStats::default())
+        {
+            write!(f, "; disk per-kind hits/writes/bytes")?;
+            for (name, k) in KINDS.iter().zip(&self.disk.per_kind) {
+                write!(f, " {name} {}/{}/{}", k.hits, k.writes, k.bytes_written)?;
+            }
+        }
+        if self.disk.degraded {
+            write!(f, " (disk tier degraded to memory-only)")?;
+        }
+        Ok(())
+    }
+}
+
+impl Canon for StoreStats {
+    fn canon(&self, w: &mut dyn CanonWrite) {
+        self.compiled_builds.canon(w);
+        self.compiled_hits.canon(w);
+        self.profile_builds.canon(w);
+        self.profile_hits.canon(w);
+        self.c_text_builds.canon(w);
+        self.c_text_hits.canon(w);
+        self.synthesis_builds.canon(w);
+        self.synthesis_hits.canon(w);
+        self.build_failures.canon(w);
+        self.disk.canon(w);
+    }
+}
+
+impl bsg_ir::codec::Decanon for StoreStats {
+    fn decanon(r: &mut bsg_ir::codec::CanonReader<'_>) -> Option<Self> {
+        Some(StoreStats {
+            compiled_builds: u64::decanon(r)?,
+            compiled_hits: u64::decanon(r)?,
+            profile_builds: u64::decanon(r)?,
+            profile_hits: u64::decanon(r)?,
+            c_text_builds: u64::decanon(r)?,
+            c_text_hits: u64::decanon(r)?,
+            synthesis_builds: u64::decanon(r)?,
+            synthesis_hits: u64::decanon(r)?,
+            build_failures: u64::decanon(r)?,
+            disk: DiskStats::decanon(r)?,
+        })
     }
 }
 
@@ -702,6 +746,91 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.compiled_builds, 1);
         assert_eq!(stats.compiled_hits, 7);
+    }
+
+    /// Satellite of the server PR: the server funnels many client threads
+    /// into one store, so the "exactly once" accounting has to hold at a
+    /// contention level the 8-thread test above doesn't reach.  A barrier
+    /// releases 32 threads onto one cold key at the same instant: exactly 1
+    /// build, exactly N-1 hits, zero failures.
+    #[test]
+    fn a_thundering_herd_on_one_key_counts_one_build_and_n_minus_1_hits() {
+        const HERD: usize = 32;
+        let store = ArtifactStore::new();
+        let hll = tiny_program(300);
+        let opts = CompileOptions::portable(OptLevel::O1);
+        let barrier = std::sync::Barrier::new(HERD);
+        std::thread::scope(|s| {
+            for _ in 0..HERD {
+                s.spawn(|| {
+                    barrier.wait();
+                    store.compiled(&hll, &opts)
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.compiled_builds, 1, "{stats}");
+        assert_eq!(stats.compiled_hits, (HERD - 1) as u64, "{stats}");
+        assert_eq!(stats.build_failures, 0, "{stats}");
+    }
+
+    /// The retry path under the same herd: a builder that fails its first
+    /// two attempts and then succeeds must count each failed attempt exactly
+    /// once (no double-count when a failure releases a crowd of waiters) and
+    /// still end at one successful build.  Which requests surface the two
+    /// errors is scheduling-dependent; the *totals* are not.
+    #[test]
+    fn concurrent_retries_never_double_count_build_failures() {
+        const HERD: usize = 16;
+        const FAILS: u64 = (MAX_BUILD_ATTEMPTS - 1) as u64;
+        let table: std::sync::Arc<Table<u32, u32>> = std::sync::Arc::new(Table::new());
+        let key_id = SourceId::of(&11u64);
+        let calls = std::sync::Arc::new(AtomicU64::new(0));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(HERD));
+        let outcomes: Vec<Result<u32, crate::BsgError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..HERD)
+                .map(|_| {
+                    let table = table.clone();
+                    let calls = calls.clone();
+                    let barrier = barrier.clone();
+                    s.spawn(move || {
+                        barrier.wait();
+                        table
+                            .get_or_try_init("compiled", key_id, 11, || {
+                                if calls.fetch_add(1, Ordering::Relaxed) < FAILS {
+                                    Err("transient failure".to_string())
+                                } else {
+                                    Ok((42, true))
+                                }
+                            })
+                            .map(|v| *v)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(table.failures.load(Ordering::Relaxed), FAILS);
+        assert_eq!(table.builds.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            FAILS + 1,
+            "builder ran per attempt"
+        );
+        let errs = outcomes.iter().filter(|r| r.is_err()).count();
+        let oks = outcomes.iter().filter(|r| r.is_ok()).count();
+        // A pre-terminal failure is surfaced only by the request that
+        // claimed the slot (waiters re-loop and retry), so the error count
+        // is exact — not merely bounded — no matter how the herd schedules.
+        assert_eq!(errs as u64, FAILS);
+        assert_eq!(errs + oks, HERD);
+        assert!(outcomes.iter().all(|r| !matches!(r, Ok(v) if *v != 42)));
+        // Everyone else either built the value (1) or hit the memo.
+        let hits = table.hits.load(Ordering::Relaxed);
+        assert_eq!(
+            hits + FAILS + 1,
+            HERD as u64,
+            "every request resolved exactly once: hit, winning build, or claimed failure"
+        );
     }
 
     fn temp_disk(tag: &str) -> DiskCache {

@@ -1,0 +1,258 @@
+//! The bsg-load harness binary: drives a running bsg-server with many
+//! concurrent clients and writes `BENCH_server.json`.
+//!
+//! ```text
+//! bsg-load --addr HOST:PORT [--clients N] [--requests N]
+//!          [--phases cold,warm|cold|warm|none] [--out FILE]
+//!          [--fetch-figure NAME --figure-out FILE]
+//!          [--assert-disk-hits] [--fault-probe NAME]
+//! ```
+//!
+//! Exit status: `0` on a clean run, `1` on any load failure (transport
+//! errors, failed requests, a failed assertion or figure fetch, an
+//! unconfirmed fault probe), `2` when `--fault-probe NAME` *confirms* the
+//! injected fault — the daemon (started under `BSG_FAULT=task-panic=NAME`)
+//! failed exactly the targeted request with a `TaskPanic` while healthy
+//! requests on the same connection succeeded byte-identically to a local
+//! hermetic render.  CI asserts the nonzero exit and the confirmation
+//! line.
+
+use bsg_runtime::BsgError;
+use bsg_server::proto::{Request, Response};
+use bsg_server::{run_phase, Client, Phase, PhaseReport};
+use std::process::ExitCode;
+use std::time::SystemTime;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(raw) => match raw.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("warning: ignoring {flag} {raw:?} (unparseable); using the default");
+                default
+            }
+        },
+    }
+}
+
+/// Fetches `name` from the server and checks it against the local,
+/// in-process render of the same figure — the byte-identity contract.
+fn fetch_figure(addr: &str, name: &str, out: Option<&str>) -> Result<(), String> {
+    let mut client = Client::connect_tcp(addr).map_err(|e| format!("figure fetch connect: {e}"))?;
+    let reply = client
+        .call(&Request::Figure {
+            name: name.to_string(),
+        })
+        .map_err(|e| format!("figure fetch transport: {e}"))?
+        .map_err(|e| format!("figure request failed: {e}"))?;
+    let text = match reply {
+        Response::Figure(text) => text,
+        other => return Err(format!("figure reply had the wrong body: {other:?}")),
+    };
+    if let Some(path) = out {
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The `--fault-probe` round; `Ok(())` means the injected fault was
+/// confirmed: the targeted request failed with `TaskPanic`, and the
+/// healthy requests interleaved on the same connection succeeded — the
+/// figure one byte-identical to a local hermetic render.
+fn fault_probe(addr: &str, target: &str) -> Result<(), String> {
+    let mut client = Client::connect_tcp(addr).map_err(|e| format!("probe connect: {e}"))?;
+
+    // Healthy request before the poisoned one.
+    let before = client
+        .call(&Request::Figure {
+            name: "fig02".to_string(),
+        })
+        .map_err(|e| format!("healthy figure transport: {e}"))?
+        .map_err(|e| format!("healthy figure request failed: {e}"))?;
+    let hermetic = bsg_bench::render_figure("fig02");
+    match &before {
+        Response::Figure(text) if *text == hermetic => {}
+        Response::Figure(_) => {
+            return Err("healthy figure reply differs from the hermetic render".to_string())
+        }
+        other => {
+            return Err(format!(
+                "healthy figure reply had the wrong body: {other:?}"
+            ))
+        }
+    }
+
+    // The poisoned request: its profile name matches the daemon's
+    // BSG_FAULT=task-panic=NAME target, so its scheduler task panics.
+    let poisoned = client
+        .call(&Request::Profile {
+            program: bsg_server::load_program(0xFA01),
+            options: bsg_compiler::CompileOptions::portable(bsg_compiler::OptLevel::O0),
+            name: target.to_string(),
+            config: bsg_profile::ProfileConfig::default(),
+        })
+        .map_err(|e| format!("poisoned request transport: {e}"))?;
+    match poisoned {
+        Err(BsgError::TaskPanic { message }) if message.contains("chaos") => {}
+        Err(other) => {
+            return Err(format!(
+                "poisoned request failed, but not as chaos: {other}"
+            ))
+        }
+        Ok(_) => return Err("poisoned request unexpectedly succeeded".to_string()),
+    }
+
+    // The connection must survive the poisoned request, and healthy work
+    // must still come back byte-identical.
+    let after = client
+        .call(&Request::Figure {
+            name: "fig02".to_string(),
+        })
+        .map_err(|e| format!("post-fault figure transport: {e}"))?
+        .map_err(|e| format!("post-fault figure request failed: {e}"))?;
+    match after {
+        Response::Figure(text) if text == hermetic => Ok(()),
+        Response::Figure(_) => {
+            Err("post-fault figure reply differs from the hermetic render".to_string())
+        }
+        other => Err(format!(
+            "post-fault figure reply had the wrong body: {other:?}"
+        )),
+    }
+}
+
+/// Fetches server stats, printing them and returning the disk hit count.
+fn report_stats(addr: &str) -> Result<u64, String> {
+    let mut client = Client::connect_tcp(addr).map_err(|e| format!("stats connect: {e}"))?;
+    let reply = client
+        .call(&Request::Stats)
+        .map_err(|e| format!("stats transport: {e}"))?
+        .map_err(|e| format!("stats request failed: {e}"))?;
+    match reply {
+        Response::Stats(stats) => {
+            eprintln!(
+                "[bsg-load] server: workers {}, served {}, batches {}, protocol errors {}",
+                stats.workers, stats.requests_served, stats.batches, stats.protocol_errors
+            );
+            eprintln!("[bsg-load] server store: {}", stats.store);
+            Ok(stats.store.disk.hits)
+        }
+        other => Err(format!("stats reply had the wrong body: {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(addr) = flag_value(&args, "--addr").map(str::to_string) else {
+        eprintln!("bsg-load: --addr HOST:PORT is required");
+        return ExitCode::FAILURE;
+    };
+    let clients: usize = parse_or(&args, "--clients", 100);
+    let requests: usize = parse_or(&args, "--requests", 4);
+    let phases_spec = flag_value(&args, "--phases").unwrap_or("cold,warm");
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_server.json");
+    let nonce = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed);
+
+    let mut failed = false;
+    let mut reports: Vec<PhaseReport> = Vec::new();
+    for label in phases_spec.split(',').filter(|s| !s.is_empty()) {
+        let phase = match label {
+            "cold" => Phase::Cold { nonce },
+            "warm" => Phase::Warm,
+            "none" => continue,
+            other => {
+                eprintln!("bsg-load: unknown phase {other:?} (want cold, warm, or none)");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = run_phase(&addr, clients, requests, phase);
+        eprintln!(
+            "[bsg-load] {}: {} clients x {} requests -> {:.1} req/s, p50 {:.2} ms, \
+             p95 {:.2} ms, p99 {:.2} ms ({} ok, {} failed, {} transport errors)",
+            report.phase,
+            report.clients,
+            requests,
+            report.requests_per_sec,
+            report.p50_ms,
+            report.p95_ms,
+            report.p99_ms,
+            report.ok,
+            report.failures,
+            report.transport_errors
+        );
+        if report.failures > 0 || report.transport_errors > 0 {
+            failed = true;
+        }
+        reports.push(report);
+    }
+    if !reports.is_empty() {
+        let json = bsg_server::bench_json(requests, &reports);
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("bsg-load: failed to write {out}: {e}");
+            failed = true;
+        } else {
+            eprintln!("[bsg-load] wrote {out}");
+        }
+    }
+
+    if let Some(name) = flag_value(&args, "--fetch-figure") {
+        let figure_out = flag_value(&args, "--figure-out");
+        match fetch_figure(&addr, name, figure_out) {
+            Ok(()) => {
+                if let Some(path) = figure_out {
+                    eprintln!("[bsg-load] wrote server-rendered {name} to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("bsg-load: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    match report_stats(&addr) {
+        Ok(disk_hits) => {
+            if args.iter().any(|a| a == "--assert-disk-hits") && disk_hits == 0 {
+                eprintln!("bsg-load: --assert-disk-hits failed: the server reported 0 disk hits");
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("bsg-load: {e}");
+            failed = true;
+        }
+    }
+
+    if let Some(target) = flag_value(&args, "--fault-probe") {
+        return match fault_probe(&addr, target) {
+            Ok(()) => {
+                eprintln!(
+                    "[bsg-load] fault probe confirmed: only the {target:?} request failed \
+                     (TaskPanic), healthy replies byte-identical"
+                );
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                eprintln!("bsg-load: fault probe NOT confirmed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,88 @@
+//! The bsg-server daemon binary.
+//!
+//! ```text
+//! bsg-server [--tcp ADDR] [--unix PATH] [--workers N] [--batch-max N]
+//! ```
+//!
+//! Defaults to `--tcp 127.0.0.1:0` (an OS-assigned port).  Prints one
+//! `listening on ...` line per bound transport to stdout and flushes, so
+//! wrappers (CI, bsg-load scripts) can scrape the actual address, then
+//! serves until killed.  `--workers N` pins the scheduler width with the
+//! same validation as `BSG_RUNTIME_WORKERS`; the artifact store's disk
+//! tier follows `BSG_ARTIFACT_DIR` as everywhere else, so a persistent
+//! directory gives warm restarts.
+
+use bsg_server::{Server, ServerConfig, ServerHandle};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(raw) = flag_value(&args, "--workers") {
+        bsg_runtime::apply_workers_flag(raw);
+    }
+    let mut config = ServerConfig::default();
+    if let Some(raw) = flag_value(&args, "--batch-max") {
+        match raw.parse::<usize>() {
+            Ok(n) if n > 0 => config.batch_max = n,
+            _ => eprintln!("warning: ignoring --batch-max {raw:?} (want a positive integer)"),
+        }
+    }
+
+    let mut handles: Vec<ServerHandle> = Vec::new();
+    let unix_path = flag_value(&args, "--unix").map(std::path::PathBuf::from);
+    let tcp_addr = flag_value(&args, "--tcp");
+    // TCP is the default transport; --unix alone serves only the socket.
+    let tcp_addr = match (tcp_addr, &unix_path) {
+        (Some(addr), _) => Some(addr),
+        (None, None) => Some("127.0.0.1:0"),
+        (None, Some(_)) => None,
+    };
+
+    if let Some(addr) = tcp_addr {
+        match Server::bind_tcp(addr, config.clone()) {
+            Ok(handle) => {
+                if let Some(local) = handle.local_addr() {
+                    println!("listening on tcp://{local}");
+                }
+                handles.push(handle);
+            }
+            Err(e) => {
+                eprintln!("bsg-server: failed to bind tcp {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    #[cfg(unix)]
+    if let Some(path) = &unix_path {
+        match Server::bind_unix(path, config.clone()) {
+            Ok(handle) => {
+                println!("listening on unix://{}", path.display());
+                handles.push(handle);
+            }
+            Err(e) => {
+                eprintln!("bsg-server: failed to bind unix {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    if unix_path.is_some() {
+        eprintln!("bsg-server: --unix is not supported on this platform");
+        return ExitCode::FAILURE;
+    }
+    let _ = std::io::stdout().flush();
+
+    // Serve until killed: the daemon has no in-band shutdown request (CI
+    // and the load harness kill the process), so park this thread.
+    loop {
+        std::thread::park();
+    }
+}

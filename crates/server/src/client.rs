@@ -1,0 +1,129 @@
+//! A blocking bsg-server client: one connection, one outstanding request
+//! at a time, structured errors at both the transport and request level.
+
+use crate::proto::{
+    read_frame, write_frame, Frame, FrameError, Request, Response, KIND_ERR, KIND_OK,
+};
+use bsg_ir::codec::from_canon_bytes;
+use bsg_runtime::BsgError;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::Path;
+
+/// Why a call failed at the transport layer (as opposed to the request
+/// failing server-side, which [`Client::call`] reports as `Ok(Err(_))`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The reply frame could not be read (or the request could not be
+    /// written).
+    Frame(FrameError),
+    /// The server closed the connection instead of replying.
+    ServerClosed,
+    /// The reply's echoed id does not match the request (a framing bug on
+    /// one side or a reply delivered to the wrong caller).
+    IdMismatch {
+        /// The id this client sent.
+        sent: u64,
+        /// The id the reply carried.
+        got: u64,
+    },
+    /// The reply kind byte was neither OK nor ERR.
+    BadKind(u8),
+    /// The reply payload did not decode as the expected body.
+    MalformedReply,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::ServerClosed => write!(f, "server closed the connection"),
+            ClientError::IdMismatch { sent, got } => {
+                write!(f, "reply id mismatch: sent {sent}, got {got}")
+            }
+            ClientError::BadKind(kind) => write!(f, "unknown reply kind {kind}"),
+            ClientError::MalformedReply => write!(f, "reply payload failed to decode"),
+        }
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e.to_string()))
+    }
+}
+
+/// A connected client over any bidirectional byte stream.
+pub struct Client<S: Read + Write> {
+    stream: S,
+    next_id: u64,
+}
+
+impl Client<TcpStream> {
+    /// Connects over TCP (`host:port`).
+    pub fn connect_tcp(addr: &str) -> io::Result<Self> {
+        Ok(Client::over(TcpStream::connect(addr)?))
+    }
+}
+
+#[cfg(unix)]
+impl Client<UnixStream> {
+    /// Connects over a Unix-domain socket.
+    pub fn connect_unix(path: &Path) -> io::Result<Self> {
+        Ok(Client::over(UnixStream::connect(path)?))
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-connected stream.
+    pub fn over(stream: S) -> Self {
+        Client { stream, next_id: 1 }
+    }
+
+    /// Sends `request` and blocks for the reply.
+    ///
+    /// The outer `Result` is the transport: did a well-formed reply for
+    /// this request come back at all.  The inner `Result` is the request:
+    /// `Ok(Response)` on success, `Err(BsgError)` when the server failed
+    /// it — the same error value, reconstructed from its canonical
+    /// encoding, that an in-process harness call would have returned.
+    pub fn call(&mut self, request: &Request) -> Result<Result<Response, BsgError>, ClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.stream,
+            &Frame {
+                request_id,
+                kind: request.kind(),
+                payload: request.payload(),
+            },
+        )?;
+        let reply = read_frame(&mut self.stream)?.ok_or(ClientError::ServerClosed)?;
+        if reply.request_id != request_id && reply.request_id != 0 {
+            // id 0 is the server's "structural error, no attributable
+            // request" reply; let it through so callers see the error.
+            return Err(ClientError::IdMismatch {
+                sent: request_id,
+                got: reply.request_id,
+            });
+        }
+        match reply.kind {
+            KIND_OK => from_canon_bytes::<Response>(&reply.payload)
+                .map(Ok)
+                .ok_or(ClientError::MalformedReply),
+            KIND_ERR => from_canon_bytes::<BsgError>(&reply.payload)
+                .map(Err)
+                .ok_or(ClientError::MalformedReply),
+            kind => Err(ClientError::BadKind(kind)),
+        }
+    }
+}

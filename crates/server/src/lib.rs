@@ -1,0 +1,30 @@
+//! # bsg-server — benchmark synthesis as a service
+//!
+//! The paper's pipeline (profile → synthesize → measure) was grown as a
+//! batch harness: one process prepares the suite, renders its figures, and
+//! exits.  This crate puts the same pipeline behind a daemon so many
+//! clients can share one hot artifact store — the `bsg-server` binary
+//! serves profile/synthesize/measure/figure/stats requests over a
+//! length-prefixed, checksummed wire protocol ([`proto`]), batching
+//! concurrent requests through the work-stealing scheduler with per-request
+//! fault isolation ([`server`]), and the `bsg-load` binary drives it with
+//! hundreds of concurrent clients and writes `BENCH_server.json`
+//! ([`load`]).
+//!
+//! The server reuses the workspace's canonical codec for every payload and
+//! routes figure requests through the exact entry point the batch binaries
+//! print, so server-mode output is byte-identical to batch stdout by
+//! construction — CI golden-diffs the two.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod load;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use load::{bench_json, load_program, request_for, run_phase, Phase, PhaseReport};
+pub use proto::{read_frame, write_frame, Frame, FrameError, Request, Response, ServerStats};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,313 @@
+//! The bsg-load harness: simulates many concurrent clients against a
+//! running daemon and reports throughput and tail latency per phase.
+//!
+//! Two phases exercise the two cache temperatures the server cares about:
+//!
+//! - **cold** — every request carries a nonce-unique program, so every
+//!   request is a build; this measures the daemon under synthesis load.
+//! - **warm** — all clients hammer a small fixed pool of
+//!   [`WARM_SLOTS`] keys, so after one build per slot everything is a
+//!   shared-store hit; this measures dispatch + wire overhead, and (when
+//!   the daemon restarted on a persistent `BSG_ARTIFACT_DIR`) the disk
+//!   tier's hit path.
+//!
+//! Results go to `BENCH_server.json` via [`write_bench_json`], in the same
+//! hand-rolled-JSON idiom as `BENCH_interp.json`.
+
+use crate::client::Client;
+use crate::proto::Request;
+use bsg_compiler::{CompileOptions, OptLevel};
+use bsg_ir::build::FunctionBuilder;
+use bsg_ir::hll::{Expr, HllGlobal, HllProgram};
+use bsg_profile::ProfileConfig;
+use std::fmt::Write as _;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+/// Size of the warm phase's shared key pool.
+pub const WARM_SLOTS: usize = 8;
+
+/// A small loop workload whose source content (and therefore every
+/// artifact-store key derived from it) is unique per `tag`: the tag picks
+/// the accumulator seed and the trip count.
+pub fn load_program(tag: u64) -> HllProgram {
+    let mut p = HllProgram::new();
+    p.add_global(HllGlobal::zeroed("buf", 64));
+    let mut f = FunctionBuilder::new("main");
+    f.assign_var("acc", Expr::int((tag % 251) as i64));
+    let trips = 150 + (tag % 13) as i64;
+    f.for_loop("i", Expr::int(0), Expr::int(trips), |b| {
+        b.assign_index(
+            "buf",
+            Expr::var("i"),
+            Expr::add(Expr::var("acc"), Expr::var("i")),
+        );
+        b.assign_var(
+            "acc",
+            Expr::add(Expr::var("acc"), Expr::index("buf", Expr::var("i"))),
+        );
+    });
+    f.ret(Some(Expr::var("acc")));
+    p.add_function(f.finish());
+    p
+}
+
+/// Which cache temperature a load phase runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Nonce-unique keys: every request builds.  The nonce keeps repeated
+    /// harness runs against one daemon (or a persistent disk tier) from
+    /// accidentally warming each other.
+    Cold {
+        /// Uniquifier mixed into every key (callers use the wall clock).
+        nonce: u64,
+    },
+    /// A fixed pool of [`WARM_SLOTS`] keys shared by every client.
+    Warm,
+}
+
+impl Phase {
+    /// The phase's label in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Cold { .. } => "cold",
+            Phase::Warm => "warm",
+        }
+    }
+}
+
+/// The request client `client` issues as its `r`-th request of `phase`.
+pub fn request_for(phase: Phase, client: usize, r: usize) -> Request {
+    match phase {
+        Phase::Cold { nonce } => {
+            let tag = nonce ^ ((client as u64) << 32) ^ (r as u64);
+            if (client + r).is_multiple_of(2) {
+                Request::Measure {
+                    program: load_program(tag),
+                    options: CompileOptions::portable(OptLevel::O1),
+                }
+            } else {
+                Request::Profile {
+                    program: load_program(tag),
+                    options: CompileOptions::portable(OptLevel::O0),
+                    name: format!("load/cold-{client}-{r}"),
+                    config: ProfileConfig::default(),
+                }
+            }
+        }
+        Phase::Warm => {
+            let slot = (client + r) % WARM_SLOTS;
+            let program = load_program(slot as u64);
+            if slot.is_multiple_of(2) {
+                Request::Measure {
+                    program,
+                    options: CompileOptions::portable(OptLevel::O1),
+                }
+            } else {
+                Request::Profile {
+                    program,
+                    options: CompileOptions::portable(OptLevel::O0),
+                    name: format!("load/warm-{slot}"),
+                    config: ProfileConfig::default(),
+                }
+            }
+        }
+    }
+}
+
+/// One phase's aggregate results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// `"cold"` or `"warm"`.
+    pub phase: &'static str,
+    /// Client threads simulated.
+    pub clients: usize,
+    /// Requests that completed with an `Ok` reply.
+    pub ok: u64,
+    /// Requests the server failed with a structured `BsgError` reply.
+    pub failures: u64,
+    /// Transport-level errors (connect failures, frame errors, closed
+    /// connections).  Zero on a healthy run — CI asserts this.
+    pub transport_errors: u64,
+    /// Wall-clock duration of the phase.
+    pub elapsed_secs: f64,
+    /// Completed requests (ok + failures) per wall-clock second.
+    pub requests_per_sec: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 for empty).
+pub fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (q / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Runs one phase: `clients` threads, each issuing `requests_per_client`
+/// requests over its own connection to the TCP daemon at `addr`, all
+/// released from a barrier at once.
+pub fn run_phase(
+    addr: &str,
+    clients: usize,
+    requests_per_client: usize,
+    phase: Phase,
+) -> PhaseReport {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let mut handles = Vec::with_capacity(clients);
+    for client in 0..clients {
+        let addr = addr.to_string();
+        let barrier = Arc::clone(&barrier);
+        handles.push(thread::spawn(move || {
+            let mut latencies_ms = Vec::with_capacity(requests_per_client);
+            let mut failures = 0u64;
+            let mut transport_errors = 0u64;
+            let connection = Client::connect_tcp(&addr);
+            barrier.wait();
+            let mut connection = match connection {
+                Ok(c) => c,
+                Err(_) => {
+                    // Every request this client would have issued is a
+                    // transport error; the phase still completes.
+                    return (latencies_ms, failures, requests_per_client as u64);
+                }
+            };
+            for r in 0..requests_per_client {
+                let request = request_for(phase, client, r);
+                let start = Instant::now();
+                match connection.call(&request) {
+                    Ok(Ok(_)) => latencies_ms.push(start.elapsed().as_secs_f64() * 1e3),
+                    Ok(Err(_)) => {
+                        latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                        failures += 1;
+                    }
+                    Err(_) => transport_errors += 1,
+                }
+            }
+            (latencies_ms, failures, transport_errors)
+        }));
+    }
+    barrier.wait();
+    let started = Instant::now();
+    let mut all_latencies = Vec::with_capacity(clients * requests_per_client);
+    let mut failures = 0u64;
+    let mut transport_errors = 0u64;
+    for handle in handles {
+        match handle.join() {
+            Ok((latencies, f, t)) => {
+                all_latencies.extend(latencies);
+                failures += f;
+                transport_errors += t;
+            }
+            Err(_) => transport_errors += requests_per_client as u64,
+        }
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    all_latencies.sort_by(|a, b| a.total_cmp(b));
+    let completed = all_latencies.len() as u64;
+    PhaseReport {
+        phase: phase.label(),
+        clients,
+        ok: completed - failures,
+        failures,
+        transport_errors,
+        elapsed_secs,
+        requests_per_sec: if elapsed_secs > 0.0 {
+            completed as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&all_latencies, 50.0),
+        p95_ms: percentile(&all_latencies, 95.0),
+        p99_ms: percentile(&all_latencies, 99.0),
+    }
+}
+
+/// Serializes phase reports to the `BENCH_server.json` schema.
+pub fn bench_json(requests_per_client: usize, phases: &[PhaseReport]) -> String {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"bsg-server load\",");
+    let _ = writeln!(json, "  \"requests_per_client\": {requests_per_client},");
+    let _ = writeln!(json, "  \"phases\": [");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"phase\": \"{}\",", p.phase);
+        let _ = writeln!(json, "      \"clients\": {},", p.clients);
+        let _ = writeln!(json, "      \"ok\": {},", p.ok);
+        let _ = writeln!(json, "      \"failures\": {},", p.failures);
+        let _ = writeln!(json, "      \"transport_errors\": {},", p.transport_errors);
+        let _ = writeln!(json, "      \"elapsed_secs\": {:.3},", p.elapsed_secs);
+        let _ = writeln!(
+            json,
+            "      \"requests_per_sec\": {:.1},",
+            p.requests_per_sec
+        );
+        let _ = writeln!(json, "      \"p50_ms\": {:.3},", p.p50_ms);
+        let _ = writeln!(json, "      \"p95_ms\": {:.3},", p.p95_ms);
+        let _ = writeln!(json, "      \"p99_ms\": {:.3}", p.p99_ms);
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_programs_differ_by_tag_and_repeat_by_tag() {
+        use bsg_runtime::SourceId;
+        assert_eq!(
+            SourceId::of(&load_program(3)),
+            SourceId::of(&load_program(3))
+        );
+        assert_ne!(
+            SourceId::of(&load_program(3)),
+            SourceId::of(&load_program(4))
+        );
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 51.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed_enough_to_grep() {
+        let json = bench_json(
+            4,
+            &[PhaseReport {
+                phase: "cold",
+                clients: 2,
+                ok: 8,
+                failures: 0,
+                transport_errors: 0,
+                elapsed_secs: 0.5,
+                requests_per_sec: 16.0,
+                p50_ms: 1.0,
+                p95_ms: 2.0,
+                p99_ms: 3.0,
+            }],
+        );
+        assert!(json.contains("\"phase\": \"cold\""));
+        assert!(json.contains("\"requests_per_sec\": 16.0"));
+        assert!(json.contains("\"p99_ms\": 3.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

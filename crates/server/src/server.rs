@@ -1,0 +1,431 @@
+//! The bsg-server daemon: accept loop, per-connection reader threads, and
+//! the batching dispatcher that routes request work through the shared
+//! scheduler and artifact store.
+//!
+//! # Dispatch and backpressure model
+//!
+//! Each connection gets a reader thread that parses frames and serves **one
+//! outstanding request at a time** — the protocol is strictly
+//! request/reply per connection, so a client's own pipeline depth is its
+//! concurrency limit and a slow request cannot starve the reader of its
+//! own connection.  Decoded requests are sent to a single dispatcher
+//! thread over a channel; the dispatcher drains up to
+//! [`ServerConfig::batch_max`] queued requests at a time and runs the
+//! batch through [`Runtime::try_run`], so concurrent clients share the
+//! work-stealing scheduler instead of each spawning threads.  `try_run`'s
+//! per-task fault isolation means one poisoned request (panicking build,
+//! injected `BSG_FAULT` chaos) costs exactly its own reply — the rest of
+//! the batch completes normally.
+//!
+//! [`Request::Stats`] is served inline on the reader thread, bypassing the
+//! batch entirely: it only snapshots atomic counters, and keeping it off
+//! the dispatcher means monitoring stays responsive while the scheduler is
+//! saturated with synthesis work.
+//!
+//! All artifact work goes through the process-global [`ArtifactStore`], so
+//! every client shares one hot memory + disk cache: N clients requesting
+//! the same profile cost one build and N−1 hits, and a warm disk tier
+//! serves across daemon restarts.
+
+use crate::proto::{
+    err_frame, ok_frame, read_frame, write_frame, Frame, Request, Response, ServerStats,
+};
+use bsg_bench::{figure_spec, render_figure, try_render_report};
+use bsg_runtime::{BsgError, BsgResult, Runtime};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum requests the dispatcher folds into one scheduler batch.
+    /// Larger batches amortize scheduler entry; the bound keeps one
+    /// burst from monopolizing the scheduler for unboundedly long.
+    pub batch_max: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { batch_max: 64 }
+    }
+}
+
+/// Counters shared between the accept loop, reader threads, and the
+/// dispatcher.
+#[derive(Default)]
+struct Shared {
+    requests_served: AtomicU64,
+    batches: AtomicU64,
+    protocol_errors: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            workers: Runtime::global().workers() as u64,
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            store: bsg_runtime::ArtifactStore::global().stats(),
+        }
+    }
+}
+
+/// One queued request: the decoded body plus the rendezvous channel its
+/// reader thread is blocked on.
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<BsgResult<Response>>,
+}
+
+/// A running daemon.  Dropping the handle stops it.
+pub struct ServerHandle {
+    local_addr: Option<SocketAddr>,
+    #[cfg(unix)]
+    unix_path: Option<PathBuf>,
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    dispatcher: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (`None` for Unix-socket servers).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// A live snapshot of the daemon's counters (the same numbers a
+    /// [`Request::Stats`] round-trip returns).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Stops the accept loop and dispatcher and waits for both to exit.
+    /// Reader threads for still-open connections exit when their clients
+    /// hang up or their next request fails to dispatch.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.dispatcher.take() {
+            let _ = t.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The listener half of the daemon, over either transport.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+type Conn = (Box<dyn Read + Send>, Box<dyn Write + Send>);
+
+impl Listener {
+    fn set_nonblocking(&self, v: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(v),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(v),
+        }
+    }
+
+    /// Accepts one connection, returning independently owned reader and
+    /// writer halves (reader threads read and write the same socket).
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                let reader = stream.try_clone()?;
+                Ok((Box::new(reader), Box::new(stream)))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                let reader = stream.try_clone()?;
+                Ok((Box::new(reader), Box::new(stream)))
+            }
+        }
+    }
+}
+
+/// Entry points for starting a daemon.
+pub struct Server;
+
+impl Server {
+    /// Binds a TCP listener (use port 0 for an OS-assigned port; read it
+    /// back from [`ServerHandle::local_addr`]) and starts serving.
+    pub fn bind_tcp(addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        start(Listener::Tcp(listener), Some(local_addr), None, config)
+    }
+
+    /// Binds a Unix-domain socket at `path` (removing any stale socket
+    /// file first) and starts serving.
+    #[cfg(unix)]
+    pub fn bind_unix(path: &Path, config: ServerConfig) -> io::Result<ServerHandle> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        start(
+            Listener::Unix(listener),
+            None,
+            Some(path.to_path_buf()),
+            config,
+        )
+    }
+}
+
+fn start(
+    listener: Listener,
+    local_addr: Option<SocketAddr>,
+    unix_path: Option<std::path::PathBuf>,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    #[cfg(not(unix))]
+    let _ = unix_path;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared::default());
+    let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        let batch_max = config.batch_max.max(1);
+        thread::spawn(move || dispatch_loop(&jobs_rx, &shared, batch_max))
+    };
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            while !shared.stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((reader, writer)) => {
+                        let shared = Arc::clone(&shared);
+                        let jobs = jobs_tx.clone();
+                        thread::spawn(move || {
+                            serve_connection(reader, writer, &shared, &jobs);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            // Dropping jobs_tx here lets the dispatcher drain and exit
+            // once every reader thread's clone is gone too.
+        })
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        #[cfg(unix)]
+        unix_path,
+        shared,
+        accept: Some(accept),
+        dispatcher: Some(dispatcher),
+    })
+}
+
+/// The dispatcher: drains queued jobs into bounded batches and runs each
+/// batch through the scheduler with per-task fault isolation.
+fn dispatch_loop(jobs: &mpsc::Receiver<Job>, shared: &Shared, batch_max: usize) {
+    loop {
+        let first = match jobs.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = vec![first];
+        while batch.len() < batch_max {
+            match jobs.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+
+        let (requests, replies): (Vec<Request>, Vec<mpsc::Sender<BsgResult<Response>>>) =
+            batch.into_iter().map(|j| (j.request, j.reply)).unzip();
+        let tasks: Vec<_> = requests
+            .into_iter()
+            .map(|request| move || handle_request(request))
+            .collect();
+        // try_run catches per-task panics, so one poisoned request (a
+        // panicking build, injected chaos) yields one Err reply while the
+        // rest of the batch completes; the outer/inner results flatten.
+        let results = Runtime::global().try_run(tasks);
+        for (result, reply) in results.into_iter().zip(replies) {
+            shared.requests_served.fetch_add(1, Ordering::Relaxed);
+            // A dropped receiver means the reader thread (and its client)
+            // went away mid-request; the work is already cached, so the
+            // loss is only the reply.
+            let _ = reply.send(result.and_then(|r| r));
+        }
+    }
+}
+
+/// Serves one request body.  Runs inside a scheduler task, so panics here
+/// (including `BSG_FAULT=task-panic=NAME` chaos injection against a
+/// profile request's workload name) surface as [`BsgError::TaskPanic`]
+/// replies for this request only.
+fn handle_request(request: Request) -> BsgResult<Response> {
+    let store = bsg_runtime::ArtifactStore::global();
+    match request {
+        Request::Profile {
+            program,
+            options,
+            name,
+            config,
+        } => {
+            if bsg_runtime::fault::task_panic_target() == Some(name.as_str()) {
+                panic!("chaos: injected task panic serving profile {name} (BSG_FAULT)");
+            }
+            let profile = store.try_profile(&program, &options, &name, &config)?;
+            Ok(Response::Profile((*profile).clone()))
+        }
+        Request::Synthesize {
+            profile,
+            config,
+            target_instructions,
+        } => {
+            let synthesis = store.try_synthesis(&profile, &config, target_instructions)?;
+            Ok(Response::Synthesis((*synthesis).clone()))
+        }
+        Request::Measure { program, options } => {
+            let artifact = store.try_compiled(&program, &options)?;
+            let outcome = bsg_uarch::exec::execute_image(
+                &artifact.image,
+                &mut bsg_uarch::exec::NullObserver,
+                &bsg_uarch::exec::ExecConfig::default(),
+            );
+            Ok(Response::Measure {
+                dynamic_instructions: outcome.dynamic_instructions,
+            })
+        }
+        Request::Figure { name } => {
+            if name == "all_experiments" {
+                // The exact entry point the batch binary prints, so the
+                // reply is byte-identical to its stdout.  Any fault fails
+                // this request rather than shipping a partial report.
+                let (report, faults) = try_render_report();
+                match faults.into_iter().next() {
+                    Some(fault) => Err(fault.into_error()),
+                    None => Ok(Response::Figure(report)),
+                }
+            } else if figure_spec(&name).is_some() {
+                Ok(Response::Figure(render_figure(&name)))
+            } else {
+                Err(BsgError::InvalidRequest {
+                    message: format!("unknown figure {name:?}"),
+                })
+            }
+        }
+        Request::Stats => Err(BsgError::InvalidRequest {
+            // Reader threads serve stats inline; reaching the dispatcher
+            // with one is a client-side framing bug worth surfacing.
+            message: "stats requests are served inline, not dispatched".to_string(),
+        }),
+    }
+}
+
+/// Reader-thread loop for one connection: parse a frame, decode, reply.
+/// Semantic problems (unknown kind, undecodable payload) get an
+/// [`BsgError::InvalidRequest`] reply and the connection stays open;
+/// structural problems (bad magic, truncation, checksum) get a
+/// best-effort error reply and the connection closes — the stream can no
+/// longer be trusted to be frame-aligned.
+fn serve_connection(
+    mut reader: Box<dyn Read + Send>,
+    mut writer: Box<dyn Write + Send>,
+    shared: &Shared,
+    jobs: &mpsc::Sender<Job>,
+) {
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean close at a frame boundary
+            Err(e) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let error = BsgError::InvalidRequest {
+                    message: format!("protocol error: {e}"),
+                };
+                let _ = write_frame(&mut writer, &err_frame(0, &error));
+                return;
+            }
+        };
+        let request_id = frame.request_id;
+        let reply: Frame = match Request::decode(frame.kind, &frame.payload) {
+            None => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.requests_served.fetch_add(1, Ordering::Relaxed);
+                err_frame(
+                    request_id,
+                    &BsgError::InvalidRequest {
+                        message: format!(
+                            "unservable request: kind {} with {}-byte payload",
+                            frame.kind,
+                            frame.payload.len()
+                        ),
+                    },
+                )
+            }
+            Some(Request::Stats) => {
+                // Inline fast path; see the module docs.
+                shared.requests_served.fetch_add(1, Ordering::Relaxed);
+                ok_frame(request_id, &Response::Stats(shared.stats()))
+            }
+            Some(request) => {
+                let (tx, rx) = mpsc::channel();
+                if jobs.send(Job { request, reply: tx }).is_err() {
+                    // Dispatcher is gone: the daemon is shutting down.
+                    let error = BsgError::InvalidRequest {
+                        message: "server is shutting down".to_string(),
+                    };
+                    let _ = write_frame(&mut writer, &err_frame(request_id, &error));
+                    return;
+                }
+                match rx.recv() {
+                    Ok(Ok(response)) => ok_frame(request_id, &response),
+                    Ok(Err(error)) => err_frame(request_id, &error),
+                    Err(_) => return, // dispatcher died mid-request
+                }
+            }
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return; // client hung up mid-reply
+        }
+    }
+}

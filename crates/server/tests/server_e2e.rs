@@ -1,0 +1,337 @@
+//! End-to-end daemon tests: concurrent clients against in-process servers
+//! (each with its own counters, sharing the process-global artifact store
+//! and scheduler), plus one test that spawns the real `bsg-server` binary
+//! under `BSG_FAULT` chaos injection.
+
+use bsg_compiler::{CompileOptions, OptLevel};
+use bsg_runtime::BsgError;
+use bsg_server::proto::{
+    read_frame, write_frame, Frame, Request, Response, KIND_ERR, MAGIC, PROTO_VERSION,
+};
+use bsg_server::{
+    load_program, run_phase, Client, ClientError, FrameError, Phase, Server, ServerConfig,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn start_tcp() -> (bsg_server::ServerHandle, String) {
+    let handle = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = handle.local_addr().expect("tcp addr").to_string();
+    (handle, addr)
+}
+
+#[test]
+fn concurrent_clients_get_consistent_replies_and_stats() {
+    let (handle, addr) = start_tcp();
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 3;
+    let results: Vec<u64> = std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for _ in 0..CLIENTS {
+            let addr = addr.clone();
+            joins.push(s.spawn(move || {
+                let mut client = Client::connect_tcp(&addr).expect("connect");
+                let mut measured = 0u64;
+                for _ in 0..REQUESTS {
+                    let reply = client
+                        .call(&Request::Measure {
+                            program: load_program(5),
+                            options: CompileOptions::portable(OptLevel::O1),
+                        })
+                        .expect("transport")
+                        .expect("request");
+                    match reply {
+                        Response::Measure {
+                            dynamic_instructions,
+                        } => measured = dynamic_instructions,
+                        other => panic!("wrong reply body: {other:?}"),
+                    }
+                }
+                measured
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("join")).collect()
+    });
+    // Identical requests must produce identical measurements for every
+    // client (they all share one store entry).
+    assert!(results[0] > 0);
+    assert!(results.iter().all(|&r| r == results[0]));
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let reply = client
+        .call(&Request::Stats)
+        .expect("transport")
+        .expect("request");
+    match reply {
+        Response::Stats(stats) => {
+            assert!(stats.workers > 0);
+            assert!(stats.requests_served > (CLIENTS * REQUESTS) as u64);
+            assert_eq!(stats.protocol_errors, 0);
+        }
+        other => panic!("wrong reply body: {other:?}"),
+    }
+    handle.stop();
+}
+
+#[test]
+fn served_figures_are_byte_identical_to_the_batch_renderer() {
+    let (handle, addr) = start_tcp();
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    for name in ["table1", "fig02"] {
+        let reply = client
+            .call(&Request::Figure {
+                name: name.to_string(),
+            })
+            .expect("transport")
+            .expect("request");
+        match reply {
+            Response::Figure(text) => assert_eq!(
+                text,
+                bsg_bench::render_figure(name),
+                "server-rendered {name} differs from the batch render"
+            ),
+            other => panic!("wrong reply body: {other:?}"),
+        }
+    }
+    let unknown = client
+        .call(&Request::Figure {
+            name: "fig99".to_string(),
+        })
+        .expect("transport");
+    assert!(
+        matches!(unknown, Err(BsgError::InvalidRequest { .. })),
+        "unknown figures must fail as InvalidRequest, got {unknown:?}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn garbage_and_half_frames_do_not_wedge_healthy_clients() {
+    let (handle, addr) = start_tcp();
+
+    // Client A: raw garbage.  The server replies with a structured error
+    // frame (request id 0: the stream was never frame-aligned) and closes.
+    let mut garbage = TcpStream::connect(&addr).expect("connect");
+    // More than a header's worth of bytes, so the server's header read
+    // completes and fails on the magic rather than blocking for more.
+    garbage
+        .write_all(b"GET / HTTP/1.1\r\nHost: example.invalid\r\n\r\n")
+        .expect("write");
+    garbage.flush().expect("flush");
+    let reply = read_frame(&mut garbage)
+        .expect("reply frame")
+        .expect("some");
+    assert_eq!(reply.kind, KIND_ERR);
+    assert_eq!(reply.request_id, 0);
+    // The connection is now closed; the next read sees EOF or a reset
+    // (the server closed with unread garbage still in its receive
+    // buffer, which surfaces as ECONNRESET on some stacks).
+    assert!(matches!(
+        read_frame(&mut garbage),
+        Ok(None) | Err(FrameError::Io(_)) | Err(FrameError::Truncated)
+    ));
+
+    // Client B: half a valid frame, then hang up mid-frame.
+    let mut bytes = Vec::new();
+    let frame = Frame {
+        request_id: 9,
+        kind: 0,
+        payload: vec![1, 2, 3, 4],
+    };
+    write_frame(&mut bytes, &frame).expect("encode");
+    let mut half = TcpStream::connect(&addr).expect("connect");
+    half.write_all(&bytes[..bytes.len() / 2]).expect("write");
+    drop(half);
+
+    // Client C: version skew is rejected with a structured reply.
+    let mut skewed = Vec::new();
+    skewed.extend_from_slice(&MAGIC);
+    skewed.extend_from_slice(&(PROTO_VERSION + 1).to_le_bytes());
+    skewed.extend_from_slice(&[0u8; 25]);
+    let mut skew = TcpStream::connect(&addr).expect("connect");
+    skew.write_all(&skewed).expect("write");
+    skew.flush().expect("flush");
+    let reply = read_frame(&mut skew).expect("reply frame").expect("some");
+    assert_eq!(reply.kind, KIND_ERR);
+
+    // A healthy client still gets served.
+    let mut healthy = Client::connect_tcp(&addr).expect("connect");
+    let reply = healthy
+        .call(&Request::Measure {
+            program: load_program(6),
+            options: CompileOptions::portable(OptLevel::O0),
+        })
+        .expect("transport")
+        .expect("request");
+    assert!(matches!(reply, Response::Measure { .. }));
+
+    // An unknown request kind gets an InvalidRequest reply and the
+    // connection stays open for the next request.
+    let mut mixed = TcpStream::connect(&addr).expect("connect");
+    write_frame(
+        &mut mixed,
+        &Frame {
+            request_id: 77,
+            kind: 42,
+            payload: Vec::new(),
+        },
+    )
+    .expect("write");
+    let reply = read_frame(&mut mixed).expect("reply frame").expect("some");
+    assert_eq!((reply.kind, reply.request_id), (KIND_ERR, 77));
+    let mut still_open = Client::over(mixed);
+    let reply = still_open
+        .call(&Request::Stats)
+        .expect("transport")
+        .expect("request");
+    let stats = match reply {
+        Response::Stats(stats) => stats,
+        other => panic!("wrong reply body: {other:?}"),
+    };
+    // Garbage, truncation, version skew, unknown kind: >= 4 protocol
+    // errors on this server instance (its counters are private to it, so
+    // the count is not perturbed by other tests).
+    assert!(
+        stats.protocol_errors >= 4,
+        "expected >= 4 protocol errors, got {}",
+        stats.protocol_errors
+    );
+    handle.stop();
+}
+
+#[test]
+fn oversized_frames_are_rejected_before_allocation() {
+    let (handle, addr) = start_tcp();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&1u64.to_le_bytes()); // request id
+    bytes.push(0); // kind
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd length
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // checksum
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.write_all(&bytes).expect("write");
+    stream.flush().expect("flush");
+    let reply = read_frame(&mut stream).expect("reply frame").expect("some");
+    assert_eq!(reply.kind, KIND_ERR);
+    assert_eq!(read_frame(&mut stream), Ok(None));
+    handle.stop();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_roundtrip() {
+    let path = std::env::temp_dir().join(format!("bsg-e2e-{}.sock", std::process::id()));
+    let handle = Server::bind_unix(&path, ServerConfig::default()).expect("bind");
+    let mut client = Client::connect_unix(&path).expect("connect");
+    let reply = client
+        .call(&Request::Measure {
+            program: load_program(7),
+            options: CompileOptions::portable(OptLevel::O0),
+        })
+        .expect("transport")
+        .expect("request");
+    assert!(matches!(reply, Response::Measure { .. }));
+    handle.stop();
+    assert!(!path.exists(), "stop() must remove the socket file");
+}
+
+#[test]
+fn load_harness_runs_clean_against_a_warm_server() {
+    let (handle, addr) = start_tcp();
+    let report = run_phase(&addr, 8, 2, Phase::Warm);
+    assert_eq!(report.transport_errors, 0);
+    assert_eq!(report.failures, 0);
+    assert_eq!(report.ok, 16);
+    assert!(report.requests_per_sec > 0.0);
+    assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.p99_ms);
+    handle.stop();
+}
+
+#[test]
+fn a_stopped_server_yields_structured_client_errors() {
+    let (handle, addr) = start_tcp();
+    handle.stop();
+    // Connecting may fail outright or be refused; either way the client
+    // sees a structured error, never a hang or panic.
+    match Client::connect_tcp(&addr) {
+        Err(_) => {}
+        Ok(mut client) => {
+            let result = client.call(&Request::Stats);
+            assert!(matches!(
+                result,
+                Err(ClientError::ServerClosed) | Err(ClientError::Frame(FrameError::Io(_)))
+            ));
+        }
+    }
+}
+
+/// Spawns the real daemon binary under `BSG_FAULT=task-panic=chaos-target`
+/// and proves the injected fault costs exactly the targeted request: the
+/// poisoned profile fails with `TaskPanic`, while healthy requests before
+/// and after it (on the same connection) succeed with identical replies.
+#[test]
+fn injected_task_panic_fails_exactly_the_targeted_request() {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_bsg-server"))
+        .arg("--tcp")
+        .arg("127.0.0.1:0")
+        .env("BSG_FAULT", "task-panic=chaos-target")
+        .env(
+            "BSG_ARTIFACT_DIR",
+            std::env::temp_dir().join(format!("bsg-e2e-fault-{}", std::process::id())),
+        )
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn bsg-server");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("banner");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on tcp://")
+        .expect("listening banner")
+        .to_string();
+
+    let run = || {
+        let mut client = Client::connect_tcp(&addr).expect("connect");
+        let healthy_before = client
+            .call(&Request::Measure {
+                program: load_program(11),
+                options: CompileOptions::portable(OptLevel::O1),
+            })
+            .expect("transport")
+            .expect("healthy request");
+        let poisoned = client
+            .call(&Request::Profile {
+                program: load_program(11),
+                options: CompileOptions::portable(OptLevel::O0),
+                name: "chaos-target".to_string(),
+                config: bsg_profile::ProfileConfig::default(),
+            })
+            .expect("transport");
+        match poisoned {
+            Err(BsgError::TaskPanic { message }) => {
+                assert!(message.contains("chaos"), "unexpected panic: {message}")
+            }
+            other => panic!("poisoned request must fail with TaskPanic, got {other:?}"),
+        }
+        let healthy_after = client
+            .call(&Request::Measure {
+                program: load_program(11),
+                options: CompileOptions::portable(OptLevel::O1),
+            })
+            .expect("transport")
+            .expect("healthy request");
+        assert_eq!(
+            healthy_before, healthy_after,
+            "healthy replies must be identical around the injected fault"
+        );
+    };
+    let result = std::panic::catch_unwind(run);
+    let _ = child.kill();
+    let _ = child.wait();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}

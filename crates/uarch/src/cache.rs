@@ -246,6 +246,16 @@ impl bsg_ir::canon::Canon for CacheConfig {
     }
 }
 
+impl bsg_ir::codec::Decanon for CacheConfig {
+    fn decanon(r: &mut bsg_ir::codec::CanonReader<'_>) -> Option<Self> {
+        Some(CacheConfig {
+            size_bytes: bsg_ir::codec::Decanon::decanon(r)?,
+            line_bytes: bsg_ir::codec::Decanon::decanon(r)?,
+            associativity: bsg_ir::codec::Decanon::decanon(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
