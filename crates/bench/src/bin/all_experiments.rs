@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Runs every table and figure in sequence (small-input suite), printing a
 //! combined report.  `cargo run -p bsg-bench --release --bin all_experiments`.
 //!

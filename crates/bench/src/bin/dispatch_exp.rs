@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Measured direct-threading experiment (ROADMAP / PERF.md §PR-5).
 //!
 //! Computed goto is not expressible in stable Rust, so the only stable

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Regenerates `fig02` from the declarative figure registry
 //! ([`bsg_bench::FIGURES`]); the spec there names its sections and inputs.
 fn main() {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Interpreter-throughput benchmark: times the predecoded engine — in its
 //! fused (superinstructions + untagged register file) and unfused forms —
 //! against the legacy `dyn`-dispatch tree-walking interpreter under three

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Perf diagnostic: per-kernel dynamic dispatch histogram by step variant.
 //!
 //! For each named workload (default: the whole small suite), compiles at

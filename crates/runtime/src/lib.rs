@@ -31,6 +31,7 @@
 //! torn renames and short writes.
 
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 // The fault-isolation contract of this crate is "errors are values": a
 // stray `unwrap`/`expect` in non-test code is a latent process abort, which

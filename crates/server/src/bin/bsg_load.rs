@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The bsg-load harness binary: drives a running bsg-server with many
 //! concurrent clients and writes `BENCH_server.json`.
 //!

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The bsg-server daemon binary.
 //!
 //! ```text

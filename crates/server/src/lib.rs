@@ -17,6 +17,7 @@
 //! construction — CI golden-diffs the two.
 
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod client;

@@ -376,9 +376,12 @@ fn at<T>(s: &[T], i: usize) -> &T {
     }
     #[cfg(not(bsg_safe_core))]
     {
-        // SAFETY: `i < s.len()` is established at image-build time for every
-        // caller (register ids < num_regs = bank length; pcs < steps length;
-        // wrapped memory element < region length), per the module docs.
+        // SAFETY(ledger: reg-bounds, frame-slot-bounds, global-bounds,
+        // edge-target, call-site, step-structure): `i < s.len()` is
+        // established at image-build time for every caller (register ids <
+        // num_regs = bank length; pcs < steps length; wrapped memory element
+        // < region length), per the module docs; `bsg-verify` re-proves each
+        // cited invariant statically per image.
         unsafe { s.get_unchecked(i) }
     }
 }
@@ -398,7 +401,10 @@ fn at_mut<T>(s: &mut [T], i: usize) -> &mut T {
     }
     #[cfg(not(bsg_safe_core))]
     {
-        // SAFETY: as in `at` — the index was validated at image build time.
+        // SAFETY(ledger: reg-bounds, reg-bank, frame-slot-bounds,
+        // frame-slot-bank, global-bounds, zero-fill-elision): as in `at` —
+        // the index was validated at image build time, and the bank/zero-fill
+        // invariants guarantee the written value's type matches the bank.
         unsafe { s.get_unchecked_mut(i) }
     }
 }

@@ -725,7 +725,7 @@ pub(crate) enum Step {
 
 impl Step {
     /// Variant name for diagnostics ([`ExecImage::step_histogram`]).
-    fn variant_name(&self) -> &'static str {
+    pub(crate) fn variant_name(&self) -> &'static str {
         match self {
             Step::IntAlu(_) => "IntAlu",
             Step::IntPair(..) => "IntPair",
@@ -788,7 +788,7 @@ impl Step {
     /// How many step slots this dispatch point covers (`None`: absorbs the
     /// block's terminator, i.e. covers through end of block).  Must agree
     /// with the executor's `pc` advance per arm.
-    fn footprint(&self) -> Option<usize> {
+    pub(crate) fn footprint(&self) -> Option<usize> {
         match self {
             Step::IntPair(..)
             | Step::LoadGIntAlu { .. }
@@ -926,7 +926,7 @@ pub struct ExecImage {
     /// monomorphized loop and i-cache pressure beats the dispatch savings —
     /// so observer-specialized entry points ([`ExecImage::unfused_twin`])
     /// run the twin while `NullObserver` keeps the fused fast loop.
-    unfused: Option<Box<ExecImage>>,
+    pub(crate) unfused: Option<Box<ExecImage>>,
 }
 
 fn site_meta(inst: &Inst, site: InstSite) -> SiteMeta {
@@ -939,106 +939,6 @@ fn site_meta(inst: &Inst, site: InstSite) -> SiteMeta {
         def: inst.def(),
         uses,
         site,
-    }
-}
-
-/// Panics with a decode-time diagnostic when `program` references an index
-/// the executor would have to bounds-check at run time.  Establishing these
-/// invariants once per image is what lets the engine's unchecked indexing
-/// core (see `exec`) elide per-access checks.
-fn validate(program: &Program) {
-    let nfuncs = program.functions.len();
-    let nglobals = program.globals.len();
-    assert!(
-        program.entry.index() < nfuncs,
-        "entry function {} out of range ({nfuncs} functions)",
-        program.entry
-    );
-    for (fi, f) in program.functions.iter().enumerate() {
-        let nregs = f.num_regs;
-        let check_reg = |r: Reg, what: &str| {
-            assert!(
-                r.0 < nregs,
-                "function {fi} ({}): {what} register {r} out of range (num_regs = {nregs})",
-                f.name
-            );
-        };
-        for p in &f.params {
-            check_reg(*p, "parameter");
-        }
-        assert!(
-            f.entry.index() < f.blocks.len(),
-            "function {fi} ({}): entry block {} out of range",
-            f.name,
-            f.entry
-        );
-        let check_addr = |a: &Address| {
-            if let MemBase::Global(g) = a.base {
-                assert!(
-                    g.index() < nglobals,
-                    "function {fi} ({}): global {g} out of range",
-                    f.name
-                );
-                assert!(
-                    program.globals[g.index()].elems > 0,
-                    "function {fi} ({}): memory access to zero-length global {g}",
-                    f.name
-                );
-            }
-        };
-        let check_operand = |op: &Operand| {
-            if let Operand::Mem(a) = op {
-                check_addr(a);
-            }
-        };
-        for b in &f.blocks {
-            for inst in &b.insts {
-                if let Some(d) = inst.def() {
-                    check_reg(d, "destination");
-                }
-                for u in inst.uses() {
-                    check_reg(u, "source");
-                }
-                match inst {
-                    Inst::Bin { lhs, rhs, .. } => {
-                        check_operand(lhs);
-                        check_operand(rhs);
-                    }
-                    Inst::Un { src, .. } | Inst::Mov { src, .. } | Inst::Print { src } => {
-                        check_operand(src)
-                    }
-                    Inst::Load { addr, .. } => check_addr(addr),
-                    Inst::Store { src, addr, .. } => {
-                        check_operand(src);
-                        check_addr(addr);
-                    }
-                    Inst::Call { func, args, .. } => {
-                        assert!(
-                            func.index() < nfuncs,
-                            "function {fi} ({}): call target {func} out of range",
-                            f.name
-                        );
-                        for a in args {
-                            check_operand(a);
-                        }
-                    }
-                    Inst::Nop => {}
-                }
-            }
-            for u in b.term.uses() {
-                check_reg(u, "terminator source");
-            }
-            if let Terminator::Return(Some(op)) = &b.term {
-                check_operand(op);
-            }
-            for succ in b.term.successors() {
-                assert!(
-                    succ.index() < f.blocks.len(),
-                    "function {fi} ({}): branch target {succ} out of range",
-                    f.name
-                );
-            }
-        }
     }
 }
 
@@ -1112,13 +1012,29 @@ impl ExecImage {
         let twin = image.clone();
         image.fused_steps = fuse_blocks(&mut image.steps, &image.funcs);
         image.unfused = Some(Box::new(twin));
+        image.verify_on_build();
         image
     }
 
     /// Flattens `program` without the fusion pass (used by differential
     /// tests and the benchmark harness to isolate fusion's contribution).
     pub fn unfused(program: &Program) -> Self {
-        Self::build(program)
+        let image = Self::build(program);
+        image.verify_on_build();
+        image
+    }
+
+    /// Under debug assertions or `--cfg bsg_safe_core`, runs the full static
+    /// verifier over a freshly decoded image, so every test and safe-core CI
+    /// run machine-checks the invariants the unchecked executor assumes.
+    /// Compiled out of release builds: verification is decode-time-only and
+    /// never touches the execute loop either way.
+    #[cfg_attr(not(any(debug_assertions, bsg_safe_core)), allow(dead_code))]
+    fn verify_on_build(&self) {
+        #[cfg(any(debug_assertions, bsg_safe_core))]
+        if let Err(e) = crate::verify::verify_image(self) {
+            panic!("bsg-verify rejected freshly decoded image: {e}");
+        }
     }
 
     /// The image heavyweight observers should execute: the unfused twin when
@@ -1136,7 +1052,7 @@ impl ExecImage {
 
     /// Flattens without fusing; [`ExecImage::new`] fuses in place after.
     fn build(program: &Program) -> Self {
-        validate(program);
+        crate::verify::validate_program(program);
         let types = infer(program);
         let banks = types.regs;
 

@@ -46,9 +46,11 @@
 
 // `unsafe` is denied everywhere except the executor's two audited indexing
 // helpers (`exec::at` / `exec::at_mut`), which carry explicit `allow`s, a
-// per-site safety argument, and a `--cfg bsg_safe_core` escape hatch that
-// restores fully bounds-checked indexing (a CI job exercises it).
+// `// SAFETY(ledger: ...)` tag naming the [`verify`]-checked invariants they
+// rely on, and a `--cfg bsg_safe_core` escape hatch that restores fully
+// bounds-checked indexing (a CI job exercises it).
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod branch;
@@ -58,6 +60,7 @@ pub mod image;
 pub mod machine;
 pub mod pipeline;
 mod typing;
+pub mod verify;
 
 pub use branch::{Bimodal, BranchStats, GShare, Hybrid, Predictor};
 pub use cache::{Cache, CacheConfig, CacheStats, CacheSweep};
@@ -70,3 +73,4 @@ pub use machine::{MachineConfig, MachineIsa, MachineResult};
 pub use pipeline::{
     simulate, simulate_image, PipelineConfig, PipelineResult, PipelineSim, ReferencePipelineSim,
 };
+pub use verify::{verify_image, VerifyError, VerifyReport};

@@ -53,9 +53,11 @@ pub(crate) enum RegBank {
     Tagged,
 }
 
-/// The inference lattice: `Bot < Int, Float < Top`.
+/// The inference lattice: `Bot < Int, Float < Top`.  Shared with
+/// [`crate::verify`], which re-runs the same inference over the decoded step
+/// array so the two computations cannot drift.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Lat {
+pub(crate) enum Lat {
     Bot,
     Int,
     Float,
@@ -63,7 +65,7 @@ enum Lat {
 }
 
 impl Lat {
-    fn join(self, other: Lat) -> Lat {
+    pub(crate) fn join(self, other: Lat) -> Lat {
         match (self, other) {
             (Lat::Bot, x) | (x, Lat::Bot) => x,
             (a, b) if a == b => a,
@@ -93,7 +95,7 @@ impl Lat {
 /// Static result type of `eval_bin(op, ty, ..)`: float arithmetic produces
 /// floats, but float comparisons and float bitwise/shift operations produce
 /// integers (see `bsg_ir::eval`).
-fn bin_result(op: BinOp, ty: Ty) -> Lat {
+pub(crate) fn bin_result(op: BinOp, ty: Ty) -> Lat {
     match ty {
         Ty::Int => Lat::Int,
         Ty::Float => match op {
@@ -104,7 +106,7 @@ fn bin_result(op: BinOp, ty: Ty) -> Lat {
 }
 
 /// Static result type of `eval_un(op, ty, ..)`.
-fn un_result(op: UnOp, ty: Ty) -> Lat {
+pub(crate) fn un_result(op: UnOp, ty: Ty) -> Lat {
     match op {
         UnOp::Neg | UnOp::Abs => Lat::of_ty(ty),
         UnOp::Not | UnOp::LogicalNot | UnOp::ToInt => Lat::Int,

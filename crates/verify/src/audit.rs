@@ -1,0 +1,400 @@
+//! Source-level unsafe audit: every `unsafe` occurrence in workspace code
+//! must sit under a `// SAFETY(ledger: <id>[, <id>...])` comment whose ids
+//! are real, verifier-checked [`crate::LEDGER`] entries, and every non-vendor
+//! crate root must carry a crate-wide `unsafe_code` lint (`forbid` where the
+//! crate has none, `deny` + audited `allow`s where it does).
+//!
+//! The scanner is a small lexer, not a regex: `unsafe` inside strings,
+//! comments, raw strings and char literals does not count, and the SAFETY
+//! tag is read from the contiguous `//` comment block immediately above the
+//! occurrence (rustc's own `unsafe_op_in_unsafe_fn` and `unsafe_code` lints
+//! do the semantic half; this pass does the ledger bookkeeping half).
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One `unsafe` occurrence found in code (not comments/strings).
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// File the occurrence is in.
+    pub file: PathBuf,
+    /// 1-indexed line of the `unsafe` token.
+    pub line: usize,
+    /// Ledger ids cited by the nearest preceding `SAFETY(ledger: ...)` tag
+    /// (empty when untagged).
+    pub ids: Vec<String>,
+}
+
+/// What the audit found; empty `errors` means the workspace passes.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Rust files scanned.
+    pub files_scanned: usize,
+    /// All in-code `unsafe` occurrences (vendor included, for visibility).
+    pub sites: Vec<UnsafeSite>,
+    /// Every violation, human-readable.
+    pub errors: Vec<String>,
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit: {} files, {} unsafe sites, {} errors",
+            self.files_scanned,
+            self.sites.len(),
+            self.errors.len()
+        )?;
+        for e in &self.errors {
+            writeln!(f, "  error: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Audits every `.rs` file under `root` (skipping `target/` and hidden
+/// directories).  `checked` is the set of invariant ids the verifier proves —
+/// pass [`crate::ledger_is_fully_checked`]-validated
+/// [`bsg_uarch::verify::checked_invariants`].
+pub fn audit_workspace(root: &Path, checked: &[&str]) -> AuditReport {
+    let mut report = AuditReport::default();
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    files.sort();
+    for file in files {
+        audit_file(&file, root, checked, &mut report);
+    }
+    report
+}
+
+/// Walks up from `start` to the workspace root (the first ancestor whose
+/// `Cargo.toml` contains a `[workspace]` table), falling back to `start`.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => return start.to_path_buf(),
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn is_vendor(path: &Path, root: &Path) -> bool {
+    path.strip_prefix(root)
+        .map(|rel| rel.starts_with("vendor"))
+        .unwrap_or(false)
+}
+
+fn audit_file(file: &Path, root: &Path, checked: &[&str], report: &mut AuditReport) {
+    let Ok(text) = fs::read_to_string(file) else {
+        report
+            .errors
+            .push(format!("{}: unreadable", file.display()));
+        return;
+    };
+    report.files_scanned += 1;
+    let lines: Vec<&str> = text.lines().collect();
+    let vendor = is_vendor(file, root);
+
+    for line_no in unsafe_code_lines(&text) {
+        let ids = safety_tag_ids(&lines, line_no);
+        let site = UnsafeSite {
+            file: file.to_path_buf(),
+            line: line_no,
+            ids: ids.clone().unwrap_or_default(),
+        };
+        let where_ = format!("{}:{}", file.display(), line_no);
+        match ids {
+            None => report.errors.push(format!(
+                "{where_}: unsafe without a `// SAFETY(ledger: <id>)` tag"
+            )),
+            Some(ids) if ids.is_empty() => report
+                .errors
+                .push(format!("{where_}: SAFETY(ledger:) tag cites no invariants")),
+            Some(ids) => {
+                for id in &ids {
+                    if !checked.iter().any(|c| c == id) {
+                        report.errors.push(format!(
+                            "{where_}: cites `{id}`, which the verifier does not check"
+                        ));
+                    }
+                }
+            }
+        }
+        report.sites.push(site);
+    }
+
+    // Crate roots outside vendor/ must pin the unsafe_code lint crate-wide.
+    // Binary targets (`main.rs`, `src/bin/*.rs`) are crate roots too.
+    let is_crate_root = file
+        .file_name()
+        .is_some_and(|n| n == "lib.rs" || n == "main.rs")
+        || file
+            .parent()
+            .and_then(|p| p.file_name())
+            .is_some_and(|n| n == "bin");
+    if !vendor && is_crate_root {
+        let has_lint =
+            text.contains("#![forbid(unsafe_code)]") || text.contains("#![deny(unsafe_code)]");
+        if !has_lint {
+            report.errors.push(format!(
+                "{}: crate root lacks #![forbid(unsafe_code)] / #![deny(unsafe_code)]",
+                file.display()
+            ));
+        }
+    }
+}
+
+/// 1-indexed lines holding an `unsafe` token in code position (strings,
+/// comments, char literals and raw strings excluded).
+fn unsafe_code_lines(text: &str) -> Vec<usize> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let bytes = text.as_bytes();
+    let mut st = St::Code;
+    let mut line = 1usize;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    st = St::LineComment;
+                    i += 2;
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    st = St::BlockComment(1);
+                    i += 2;
+                }
+                b'"' => {
+                    st = St::Str;
+                    i += 1;
+                }
+                b'r' | b'b' => {
+                    // Possible raw string r"..", r#".."#, br".." — count the
+                    // hashes between the prefix and the opening quote.
+                    let mut j = i + 1;
+                    if b == b'b' && bytes.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') && (b == b'r' || j > i + 1) {
+                        st = St::RawStr(hashes);
+                        i = j + 1;
+                    } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                        st = St::Str;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a closing quote within a few
+                    // bytes (allowing one escape) means a char literal.
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+                            j += 1;
+                        }
+                        i = j + 1;
+                    } else if bytes.get(i + 2) == Some(&b'\'') {
+                        i += 3; // 'x'
+                    } else {
+                        i += 1; // lifetime
+                    }
+                }
+                b'u' if text[i..].starts_with("unsafe")
+                    && !prev_is_ident(bytes, i)
+                    && !next_is_ident(bytes, i + 6) =>
+                {
+                    out.push(line);
+                    i += 6;
+                }
+                _ => i += 1,
+            },
+            St::LineComment => i += 1,
+            St::BlockComment(depth) => {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            St::Str => match b {
+                b'\\' => i += 2,
+                b'"' => {
+                    st = St::Code;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+            St::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut n = 0u32;
+                    while n < hashes && bytes.get(j) == Some(&b'#') {
+                        n += 1;
+                        j += 1;
+                    }
+                    if n == hashes {
+                        st = St::Code;
+                        i = j;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+fn next_is_ident(bytes: &[u8], i: usize) -> bool {
+    bytes
+        .get(i)
+        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+}
+
+/// Reads the `SAFETY(ledger: ...)` ids from the contiguous `//` comment
+/// block immediately above `line` (1-indexed), looking back at most 12
+/// lines.  `None`: no tag found; `Some(vec![])`: tag present but empty.
+fn safety_tag_ids(lines: &[&str], line: usize) -> Option<Vec<String>> {
+    let mut block = String::new();
+    // Walk upward through contiguous comment lines (the unsafe line itself
+    // may carry a trailing comment, but the tag convention is "above").
+    let mut idx = line.saturating_sub(2); // index of the line above, 0-based
+    let mut looked = 0;
+    while let Some(text) = lines.get(idx) {
+        let trimmed = text.trim_start();
+        let Some(rest) = trimmed.strip_prefix("//") else {
+            break;
+        };
+        block = format!("{} {}", rest.trim_start_matches('/').trim(), block);
+        if idx == 0 || looked >= 12 {
+            break;
+        }
+        idx -= 1;
+        looked += 1;
+    }
+    let start = block.find("SAFETY(ledger:")?;
+    let after = &block[start + "SAFETY(ledger:".len()..];
+    let end = after.find(')')?;
+    Some(
+        after[..end]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_ignores_unsafe_in_comments_and_strings() {
+        let src = r##"
+// unsafe in a comment
+/* unsafe in a block
+   comment */
+let s = "unsafe in a string";
+let r = r#"unsafe in a raw string"#;
+let c = 'u'; let lt: &'static str = "x";
+fn unsafely() {} // suffix-distinct identifier is fine
+"##;
+        assert!(unsafe_code_lines(src).is_empty());
+    }
+
+    #[test]
+    fn lexer_finds_real_unsafe() {
+        let src = "fn f(s: &[u8]) -> u8 {\n    // SAFETY(ledger: reg-bounds): test\n    unsafe { *s.get_unchecked(0) }\n}\n";
+        assert_eq!(unsafe_code_lines(src), vec![3]);
+        let lines: Vec<&str> = src.lines().collect();
+        assert_eq!(
+            safety_tag_ids(&lines, 3),
+            Some(vec!["reg-bounds".to_string()])
+        );
+    }
+
+    #[test]
+    fn multi_line_tag_with_multiple_ids() {
+        let src =
+            "// SAFETY(ledger: reg-bounds,\n// frame-slot-bounds): split across lines\nunsafe {}\n";
+        let lines: Vec<&str> = src.lines().collect();
+        assert_eq!(
+            safety_tag_ids(&lines, 3),
+            Some(vec![
+                "reg-bounds".to_string(),
+                "frame-slot-bounds".to_string()
+            ])
+        );
+    }
+
+    #[test]
+    fn untagged_unsafe_is_none() {
+        let src = "fn f() {\n    unsafe {}\n}\n";
+        let lines: Vec<&str> = src.lines().collect();
+        assert_eq!(safety_tag_ids(&lines, 2), None);
+    }
+}

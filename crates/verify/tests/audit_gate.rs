@@ -1,0 +1,69 @@
+//! The unsafe-ledger gate as a plain test: the workspace must audit clean,
+//! and the audit must actually catch violations (checked against synthetic
+//! bad files under the cargo-provided temp dir).
+
+use bsg_uarch::verify::checked_invariants;
+use bsg_verify::{audit, ledger_is_fully_checked};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    audit::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+}
+
+#[test]
+fn ledger_matches_verifier() {
+    ledger_is_fully_checked().expect("ledger/verifier drift");
+}
+
+#[test]
+fn workspace_audits_clean() {
+    let report = audit::audit_workspace(&workspace_root(), checked_invariants());
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    assert!(
+        report.errors.is_empty(),
+        "unsafe-ledger audit failed:\n{report}"
+    );
+    // The two audited get_unchecked blocks in exec.rs are the only unsafe
+    // in non-vendor code; growing this number requires a ledger tag (the
+    // audit enforces it) and a conscious bump here.
+    let non_vendor = report
+        .sites
+        .iter()
+        .filter(|s| !s.file.components().any(|c| c.as_os_str() == "vendor"))
+        .count();
+    assert_eq!(non_vendor, 2, "unexpected unsafe site count:\n{report:?}");
+}
+
+#[test]
+fn audit_catches_untagged_and_unchecked_citations() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("audit_gate_bad");
+    let src = dir.join("src");
+    fs::create_dir_all(&src).unwrap();
+    // An untagged unsafe block, plus one citing an invariant nobody checks.
+    fs::write(
+        src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\nfn a(s: &[u8]) -> u8 {\n    unsafe { *s.get_unchecked(0) }\n}\n\
+         fn b(s: &[u8]) -> u8 {\n    // SAFETY(ledger: not-a-real-invariant): bogus\n    \
+         unsafe { *s.get_unchecked(0) }\n}\n",
+    )
+    .unwrap();
+    // A crate root with no unsafe_code lint at all.
+    fs::write(src.join("main.rs"), "fn main() {}\n").unwrap();
+    let report = audit::audit_workspace(&dir, checked_invariants());
+    assert_eq!(report.sites.len(), 2, "{report}");
+    let text = format!("{report}");
+    assert!(
+        text.contains("without a `// SAFETY(ledger:"),
+        "untagged unsafe not flagged: {text}"
+    );
+    assert!(
+        text.contains("`not-a-real-invariant`"),
+        "unchecked citation not flagged: {text}"
+    );
+    assert!(
+        text.contains("main.rs") && text.contains("crate root lacks"),
+        "missing crate-root lint not flagged: {text}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
