@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+
+//! Regenerates `fig11x` (Figure 11 over the extended machine roster) from
+//! the declarative figure registry ([`bsg_bench::FIGURES`]); the spec there
+//! names its sections and inputs.
+fn main() {
+    bsg_bench::figure_main("fig11x");
+}

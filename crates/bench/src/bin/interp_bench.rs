@@ -10,9 +10,13 @@
 //! programs and predecoded images come out of the artifact store).  Pass
 //! `--assert-null-speedup <x>` to fail (exit 1) when the fused engine's
 //! `NullObserver` speedup over the legacy engine drops below `x` — CI uses
-//! this as a throughput-regression tripwire.  Pass `--workers N` to pin the
-//! scheduler width used during preparation (same validation as
-//! `BSG_RUNTIME_WORKERS`).
+//! this as a throughput-regression tripwire.  Pass `--machine-axis` to also
+//! time the Table III machine sweep both ways — one scalar `simulate_image`
+//! per machine versus one batched `simulate_image_batch` execution — after
+//! asserting per-lane bit-parity between the two; `--assert-batched-speedup
+//! <x>` (implies `--machine-axis`) fails the run when the batched sweep's
+//! speedup drops below `x`.  Pass `--workers N` to pin the scheduler width
+//! used during preparation (same validation as `BSG_RUNTIME_WORKERS`).
 //!
 //! Preparation (compiling the suite and predecoding images) fans out through
 //! `bsg-runtime`'s scheduler and artifact store; the *measurement* loops stay
@@ -32,9 +36,11 @@ use bsg_ir::types::Ty;
 use bsg_ir::visa::{Address, BinOp, Inst, Operand, Terminator};
 use bsg_profile::{profile_image, profile_program_reference, ProfileConfig};
 use bsg_runtime::{ArtifactStore, CompiledArtifact, Runtime};
+use bsg_uarch::batch::simulate_image_batch;
 use bsg_uarch::exec::{execute_image, execute_legacy, ExecConfig, NullObserver};
 use bsg_uarch::image::ExecImage;
-use bsg_uarch::pipeline::{PipelineConfig, PipelineSim, ReferencePipelineSim};
+use bsg_uarch::machine::MachineConfig;
+use bsg_uarch::pipeline::{simulate_image, PipelineConfig, PipelineSim, ReferencePipelineSim};
 use bsg_workloads::{suite, InputSize};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -144,6 +150,16 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .expect("--assert-null-speedup needs a numeric argument")
         });
+    let assert_batched_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--assert-batched-speedup")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--assert-batched-speedup needs a numeric argument")
+        });
+    let machine_axis =
+        args.iter().any(|a| a == "--machine-axis") || assert_batched_speedup.is_some();
     let limit = ExecConfig {
         max_instructions: 30_000_000,
         max_call_depth: 128,
@@ -308,6 +324,52 @@ fn main() {
             .collect(),
     );
 
+    // --- Machine-axis sweep: scalar per-machine vs one batched execution. --
+    // This is the unit of work a Figure 11 grid task performs per (workload,
+    // level) cell: the full Table III roster over one image.  Parity is
+    // asserted before anything is timed — a fast wrong answer is not a win.
+    let machine_axis_result: Option<(f64, f64, f64)> = machine_axis.then(|| {
+        let machines = MachineConfig::table3();
+        let configs: Vec<PipelineConfig> = machines.iter().map(|m| m.pipeline).collect();
+        let suite_images: Vec<&ExecImage> = compiled.iter().map(|(_, art, _)| &art.image).collect();
+        for image in &suite_images {
+            for (c, lane) in configs.iter().zip(simulate_image_batch(image, &configs)) {
+                assert_eq!(
+                    lane,
+                    simulate_image(image, *c),
+                    "batched lane diverged from scalar simulate_image"
+                );
+            }
+        }
+        let time_passes = |sweep: &mut dyn FnMut()| {
+            let mut best = f64::INFINITY;
+            for _ in 0..passes {
+                let start = Instant::now();
+                sweep();
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let scalar_seconds = time_passes(&mut || {
+            for image in &suite_images {
+                for c in &configs {
+                    std::hint::black_box(simulate_image(image, *c));
+                }
+            }
+        });
+        let batched_seconds = time_passes(&mut || {
+            for image in &suite_images {
+                std::hint::black_box(simulate_image_batch(image, &configs));
+            }
+        });
+        let speedup = if batched_seconds > 0.0 {
+            scalar_seconds / batched_seconds
+        } else {
+            0.0
+        };
+        (batched_seconds, scalar_seconds, speedup)
+    });
+
     // --- Report. ----------------------------------------------------------
     let ips_of = |config: &str| {
         results
@@ -375,6 +437,13 @@ fn main() {
     for (name, _, _, speedup) in &by_speedup {
         println!("  {name:<24} {speedup:>6.2}x");
     }
+    if let Some((batched_seconds, scalar_seconds, batched_speedup)) = machine_axis_result {
+        println!(
+            "machine-axis sweep (Table III roster, {} images): scalar {scalar_seconds:.3}s, \
+             batched {batched_seconds:.3}s, speedup {batched_speedup:.2}x",
+            compiled.len()
+        );
+    }
     println!(
         "wall-clock: {wall_seconds:.3}s total ({prep_seconds:.3}s compile+predecode via {})",
         ArtifactStore::global().stats()
@@ -391,6 +460,16 @@ fn main() {
     let _ = writeln!(json, "  \"passes_per_measurement\": {passes},");
     let _ = writeln!(json, "  \"wall_seconds\": {wall_seconds:.3},");
     let _ = writeln!(json, "  \"prepare_seconds\": {prep_seconds:.3},");
+    // Machine-axis fields appear only when measured (`--machine-axis`), so
+    // runs without the sweep do not record misleading zeros.
+    if let Some((batched_seconds, scalar_seconds, batched_speedup)) = machine_axis_result {
+        let _ = writeln!(json, "  \"fig11_wall_seconds\": {batched_seconds:.6},");
+        let _ = writeln!(
+            json,
+            "  \"machine_axis_scalar_seconds\": {scalar_seconds:.6},"
+        );
+        let _ = writeln!(json, "  \"batched_speedup\": {batched_speedup:.3},");
+    }
     let _ = writeln!(json, "  \"workloads\": [{}],", {
         names
             .iter()
@@ -442,5 +521,17 @@ fn main() {
             std::process::exit(1);
         }
         println!("null/fused speedup {null_fx:.2}x meets the {floor:.2}x floor");
+    }
+    if let Some(floor) = assert_batched_speedup {
+        let measured = machine_axis_result
+            .map(|(_, _, s)| s)
+            .expect("--assert-batched-speedup implies --machine-axis");
+        if measured < floor {
+            eprintln!(
+                "FAIL: batched machine-axis speedup {measured:.2}x is below the required floor {floor:.2}x"
+            );
+            std::process::exit(1);
+        }
+        println!("batched machine-axis speedup {measured:.2}x meets the {floor:.2}x floor");
     }
 }

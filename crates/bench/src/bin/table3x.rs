@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+
+//! Regenerates `table3x` (Table III extended with the ROADMAP scenario
+//! machines) from the declarative figure registry ([`bsg_bench::FIGURES`]);
+//! the spec there names its sections and inputs.
+fn main() {
+    bsg_bench::figure_main("table3x");
+}

@@ -299,7 +299,14 @@ pub fn execute_image<O: Observer + ?Sized>(
         let entry = image.entry;
         let f = &image.funcs[entry as usize];
         let mut frame = engine.frame_pool.acquire(f.num_regs, &f.frame);
-        let ret = engine.run_function(entry, &mut frame, 0, observer);
+        // Specialize the dispatch loop on whether an instruction budget is
+        // in force: the unbounded variant drops the budget compare and the
+        // mid-superinstruction halt polls (see `run_function`).
+        let ret = if config.max_instructions == u64::MAX {
+            engine.run_function::<O, false>(entry, &mut frame, 0, observer)
+        } else {
+            engine.run_function::<O, true>(entry, &mut frame, 0, observer)
+        };
         engine.frame_pool.release(frame);
         ret
     };
@@ -912,7 +919,16 @@ impl<'a> Engine<'a> {
     /// not (matching the per-step `halted` checks of the unfused sequence),
     /// and absorbed terminators run unconditionally exactly as the separate
     /// `Jump`/`Branch` arms do.
-    fn run_function<O: Observer + ?Sized>(
+    ///
+    /// `BOUNDED` specializes the loop on whether an instruction budget is in
+    /// force (`max_instructions < u64::MAX`).  In the unbounded common case
+    /// the budget can never trip, so `count_inst!` loses its compare (the
+    /// per-constituent `+= 1`s of a fused arm then collapse into a single
+    /// add) and the mid-superinstruction `halt_poll!`s — which only ever
+    /// observe a budget-set flag, never a call-depth one, because fused arms
+    /// contain no calls — compile out.  The bounded variant is byte-for-byte
+    /// the historical protocol; the differential suite drives both.
+    fn run_function<O: Observer + ?Sized, const BOUNDED: bool>(
         &mut self,
         func_idx: u32,
         frame: &mut FrameBuf,
@@ -935,8 +951,20 @@ impl<'a> Engine<'a> {
         macro_rules! count_inst {
             () => {
                 instructions += 1;
-                if instructions >= max_instructions {
+                if BOUNDED && instructions >= max_instructions {
                     halted = true;
+                }
+            };
+        }
+        /// Mid-superinstruction halt check.  Inside a fused arm `halted` can
+        /// only have been set by `count_inst!` (the arm entry already
+        /// returned if it was set, and fused arms perform no calls), so when
+        /// the budget is unbounded this is provably dead and compiles out.
+        macro_rules! halt_poll {
+            () => {
+                if BOUNDED && halted {
+                    sync_out!();
+                    return None;
                 }
             };
         }
@@ -1093,10 +1121,7 @@ impl<'a> Engine<'a> {
                         Step::IntPair(a, b) => {
                             exec_int_alu(a, &mut frame.ints);
                             emit_at!(pc, 0, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_int_alu(b, &mut frame.ints);
                             emit_at!(pc, 1, None, None);
@@ -1129,19 +1154,13 @@ impl<'a> Engine<'a> {
                             observer.on_edge(func_id, bsite.block, target.block, target.edge_idx);
                             observer.on_block(func_id, target.block, target.block_idx);
                             pc = target.pc as usize;
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             continue;
                         }
                         Step::IntPairJump { a, b, target } => {
                             exec_int_alu(a, &mut frame.ints);
                             emit_at!(pc, 0, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_int_alu(b, &mut frame.ints);
                             emit_at!(pc, 1, None, None);
@@ -1151,10 +1170,7 @@ impl<'a> Engine<'a> {
                             observer.on_edge(func_id, from, target.block, target.edge_idx);
                             observer.on_block(func_id, target.block, target.block_idx);
                             pc = target.pc as usize;
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             continue;
                         }
                         Step::IntAluJump { a, target } => {
@@ -1166,10 +1182,7 @@ impl<'a> Engine<'a> {
                             observer.on_edge(func_id, from, target.block, target.edge_idx);
                             observer.on_block(func_id, target.block, target.block_idx);
                             pc = target.pc as usize;
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             continue;
                         }
                         Step::LoadGIntAlu { dst, mem, b } => {
@@ -1179,10 +1192,7 @@ impl<'a> Engine<'a> {
                             // the identity.
                             *at_mut(&mut frame.ints, *dst as usize) = value.as_int();
                             emit_at!(pc, 0, Some(byte_addr), None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_int_alu(b, &mut frame.ints);
                             emit_at!(pc, 1, None, None);
@@ -1192,10 +1202,7 @@ impl<'a> Engine<'a> {
                         Step::IntAluLoadG { a, dst, mem } => {
                             exec_int_alu(a, &mut frame.ints);
                             emit_at!(pc, 0, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             let (value, byte_addr) = self.load_global(mem, frame);
                             *at_mut(&mut frame.ints, *dst as usize) = value.as_int();
@@ -1212,10 +1219,7 @@ impl<'a> Engine<'a> {
                                 Some(self.image.layout.frame_addr(depth, s.elem)),
                                 None
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_int_alu(b, &mut frame.ints);
                             emit_at!(pc, 1, None, None);
@@ -1225,10 +1229,7 @@ impl<'a> Engine<'a> {
                         Step::IntAluStoreF { a, src, s } => {
                             exec_int_alu(a, &mut frame.ints);
                             emit_at!(pc, 0, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             *at_mut(&mut frame.slots_int, s.slot as usize) =
                                 int_src(*src, &frame.ints);
@@ -1256,17 +1257,11 @@ impl<'a> Engine<'a> {
                                 Some(self.image.layout.frame_addr(depth, ls.elem)),
                                 None
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_int_alu(b, &mut frame.ints);
                             emit_at!(pc, 1, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             *at_mut(&mut frame.slots_int, ss.slot as usize) =
                                 int_src(*src, &frame.ints);
@@ -1288,10 +1283,7 @@ impl<'a> Engine<'a> {
                                 Some(self.image.layout.frame_addr(depth, s.elem)),
                                 None
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_float_alu(b, frame);
                             emit_at!(pc, 1, None, None);
@@ -1301,10 +1293,7 @@ impl<'a> Engine<'a> {
                         Step::FloatAluStoreF { a, src, s } => {
                             exec_float_alu(a, frame);
                             emit_at!(pc, 0, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             *at_mut(&mut frame.slots_float, s.slot as usize) =
                                 float_src(*src, frame);
@@ -1320,10 +1309,7 @@ impl<'a> Engine<'a> {
                         Step::FloatPair(a, b) => {
                             exec_float_alu(a, frame);
                             emit_at!(pc, 0, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_float_alu(b, frame);
                             emit_at!(pc, 1, None, None);
@@ -1345,10 +1331,7 @@ impl<'a> Engine<'a> {
                                 Some(self.image.layout.frame_addr(depth, s1.elem)),
                                 None
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             let (value, byte_addr) = self.load_global(mem, frame);
                             match bank2 {
@@ -1375,10 +1358,7 @@ impl<'a> Engine<'a> {
                                 None,
                                 Some(self.image.layout.frame_addr(depth, ss.elem))
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             *at_mut(&mut frame.ints, *dst as usize) =
                                 *at(&frame.slots_int, ls.slot as usize);
@@ -1397,10 +1377,7 @@ impl<'a> Engine<'a> {
                             // region all-float, so as_float is the identity.
                             *at_mut(&mut frame.floats, *dst as usize) = value.as_float();
                             emit_at!(pc, 0, Some(byte_addr), None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_float_alu(b, frame);
                             emit_at!(pc, 1, None, None);
@@ -1416,10 +1393,7 @@ impl<'a> Engine<'a> {
                                 Some(self.image.layout.frame_addr(depth, s.elem)),
                                 None
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             let mut store_read: Option<u64> = None;
                             let v = self.operand(src, frame, f, depth, &mut store_read);
@@ -1431,17 +1405,11 @@ impl<'a> Engine<'a> {
                         Step::FloatPairStoreF { a, b, src, s } => {
                             exec_float_alu(a, frame);
                             emit_at!(pc, 0, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_float_alu(b, frame);
                             emit_at!(pc, 1, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             *at_mut(&mut frame.slots_float, s.slot as usize) =
                                 float_src(*src, frame);
@@ -1465,10 +1433,7 @@ impl<'a> Engine<'a> {
                             let (value, byte_addr) = self.load_global(mem, frame);
                             *at_mut(&mut frame.ints, *dst as usize) = value.as_int();
                             emit_at!(pc, 0, Some(byte_addr), None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_int_alu(a, &mut frame.ints);
                             emit_at!(pc, 1, None, None);
@@ -1489,10 +1454,7 @@ impl<'a> Engine<'a> {
                             observer.on_edge(func_id, bsite.block, target.block, target.edge_idx);
                             observer.on_block(func_id, target.block, target.block_idx);
                             pc = target.pc as usize;
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             continue;
                         }
                         Step::LoadFPairI { dst1, s1, dst2, s2 } => {
@@ -1504,10 +1466,7 @@ impl<'a> Engine<'a> {
                                 Some(self.image.layout.frame_addr(depth, s1.elem)),
                                 None
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             *at_mut(&mut frame.ints, *dst2 as usize) =
                                 *at(&frame.slots_int, s2.slot as usize);
@@ -1529,10 +1488,7 @@ impl<'a> Engine<'a> {
                                 Some(self.image.layout.frame_addr(depth, s1.elem)),
                                 None
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             *at_mut(&mut frame.floats, *dst2 as usize) =
                                 *at(&frame.slots_float, s2.slot as usize);
@@ -1561,10 +1517,7 @@ impl<'a> Engine<'a> {
                                 Some(self.image.layout.frame_addr(depth, s.elem)),
                                 None
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_int_alu(a, &mut frame.ints);
                             emit_at!(pc, 1, None, None);
@@ -1586,10 +1539,7 @@ impl<'a> Engine<'a> {
                             observer.on_edge(func_id, bsite.block, target.block, target.edge_idx);
                             observer.on_block(func_id, target.block, target.block_idx);
                             pc = target.pc as usize;
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             continue;
                         }
                         Step::StoreFIJump { src, s, target } => {
@@ -1607,10 +1557,7 @@ impl<'a> Engine<'a> {
                             observer.on_edge(func_id, from, target.block, target.edge_idx);
                             observer.on_block(func_id, target.block, target.block_idx);
                             pc = target.pc as usize;
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             continue;
                         }
                         Step::StoreFFJump { src, s, target } => {
@@ -1626,10 +1573,7 @@ impl<'a> Engine<'a> {
                             observer.on_edge(func_id, from, target.block, target.edge_idx);
                             observer.on_block(func_id, target.block, target.block_idx);
                             pc = target.pc as usize;
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             continue;
                         }
                         Step::LoadFUnFF {
@@ -1647,10 +1591,7 @@ impl<'a> Engine<'a> {
                                 Some(self.image.layout.frame_addr(depth, s.elem)),
                                 None
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             let v = *at(&frame.floats, *usrc as usize);
                             *at_mut(&mut frame.floats, *udst as usize) = un_ff(*op, v);
@@ -1668,10 +1609,7 @@ impl<'a> Engine<'a> {
                             let v = *at(&frame.floats, *usrc as usize);
                             *at_mut(&mut frame.floats, *udst as usize) = un_ff(*op, v);
                             emit_at!(pc, 0, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             *at_mut(&mut frame.slots_float, s.slot as usize) =
                                 float_src(*src, frame);
@@ -1701,18 +1639,12 @@ impl<'a> Engine<'a> {
                                 Some(self.image.layout.frame_addr(depth, ls.elem)),
                                 None
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             let v = *at(&frame.floats, *usrc as usize);
                             *at_mut(&mut frame.floats, *udst as usize) = un_ff(*op, v);
                             emit_at!(pc, 1, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             *at_mut(&mut frame.slots_float, ss.slot as usize) =
                                 float_src(*ssrc, frame);
@@ -1740,17 +1672,11 @@ impl<'a> Engine<'a> {
                                 Some(self.image.layout.frame_addr(depth, ls.elem)),
                                 None
                             );
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             exec_float_alu(b, frame);
                             emit_at!(pc, 1, None, None);
-                            if halted {
-                                sync_out!();
-                                return None;
-                            }
+                            halt_poll!();
                             count_inst!();
                             *at_mut(&mut frame.slots_float, ss.slot as usize) =
                                 float_src(*src, frame);
@@ -1856,7 +1782,7 @@ impl<'a> Engine<'a> {
                                 None
                             } else {
                                 sync_out!();
-                                let ret = self.run_function(
+                                let ret = self.run_function::<O, BOUNDED>(
                                     callee_idx,
                                     &mut callee_frame,
                                     depth + 1,

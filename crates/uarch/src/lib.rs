@@ -16,6 +16,10 @@
 //!   timing models producing CPI (Figure 10).
 //! * [`machine`] — the five Table III machine models used to reproduce the
 //!   cross-architecture, cross-compiler execution-time trends of Figure 11.
+//! * [`batch`] — batched multi-config simulation: one functional execution
+//!   drives every machine config's timing state at once (the machine-axis
+//!   sweeps pay for one interpreter pass instead of N), bit-identical per
+//!   lane to the scalar [`pipeline`] model.
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod branch;
 pub mod cache;
 pub mod exec;
@@ -62,6 +67,7 @@ pub mod pipeline;
 mod typing;
 pub mod verify;
 
+pub use batch::{simulate_image_batch, BatchedObserver, BatchedPipelineSim};
 pub use branch::{Bimodal, BranchStats, GShare, Hybrid, Predictor};
 pub use cache::{Cache, CacheConfig, CacheStats, CacheSweep};
 pub use exec::{

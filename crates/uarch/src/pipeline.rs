@@ -134,11 +134,28 @@ impl PipelineResult {
 
 /// Per-static-instruction register information, predecoded by the
 /// [`ExecImage`] so the timing model does one array index per dynamic
-/// instruction (no hashing, no allocation).
+/// instruction (no hashing, no allocation).  Shared with the batched
+/// multi-config model in [`crate::batch`].
 #[derive(Debug, Clone, Copy, Default)]
-struct SiteInfo {
-    def: Option<Reg>,
-    uses: [Option<Reg>; 3],
+pub(crate) struct SiteInfo {
+    pub(crate) def: Option<Reg>,
+    pub(crate) uses: [Option<Reg>; 3],
+}
+
+/// Issue-to-complete latency of an instruction class, excluding the memory
+/// hierarchy (loads are charged through the cache model).  One function —
+/// not a method — so the scalar and batched models provably share it.
+pub(crate) fn base_latency(class: InstClass) -> u64 {
+    match class {
+        InstClass::IntAlu | InstClass::Branch | InstClass::Other | InstClass::Store => 1,
+        InstClass::IntMul => 3,
+        InstClass::IntDiv => 20,
+        InstClass::FpAdd => 3,
+        InstClass::FpMul => 5,
+        InstClass::FpDiv => 20,
+        InstClass::Call => 2,
+        InstClass::Load => 0, // charged through the memory hierarchy
+    }
 }
 
 /// The pipeline timing model; implement [`Observer`] and feed it to
@@ -197,19 +214,6 @@ impl PipelineSim {
             last_complete: 0,
             max_complete: 0,
             instructions: 0,
-        }
-    }
-
-    fn base_latency(&self, class: InstClass) -> u64 {
-        match class {
-            InstClass::IntAlu | InstClass::Branch | InstClass::Other | InstClass::Store => 1,
-            InstClass::IntMul => 3,
-            InstClass::IntDiv => 20,
-            InstClass::FpAdd => 3,
-            InstClass::FpMul => 5,
-            InstClass::FpDiv => 20,
-            InstClass::Call => 2,
-            InstClass::Load => 0, // charged through the memory hierarchy
         }
     }
 
@@ -281,7 +285,7 @@ impl PipelineSim {
             self.cycle.max(src_ready)
         };
 
-        let mut latency = self.base_latency(event.class);
+        let mut latency = base_latency(event.class);
         if let Some(a) = event.mem_read {
             latency += self.memory_latency(a);
         }

@@ -14,6 +14,7 @@
 
 use bsg_ir::program::Program;
 use bsg_ir::types::{BlockId, FuncId};
+use bsg_uarch::batch::BatchedPipelineSim;
 use bsg_uarch::exec::{execute_image, execute_legacy, ExecConfig, InstEvent, InstSite, Observer};
 use bsg_uarch::image::ExecImage;
 use bsg_uarch::pipeline::{PipelineConfig, PipelineSim, ReferencePipelineSim};
@@ -143,6 +144,44 @@ proptest! {
             };
             if let Err(e) = check_identical(&program, &config) {
                 return Err(format!("seed {seed} budget {budget}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lanes_match_scalar_sims_under_budget_aborts(seed in 0u64..1_000_000) {
+        // Per-lane bit-parity of the batched multi-config model against N
+        // independent scalar simulations, on random frame-fusing programs,
+        // with budgets that abort mid-superinstruction — both models see
+        // the identical truncated event stream, so every lane must still
+        // equal its scalar twin exactly.  The config set deliberately mixes
+        // a duplicate (lane dedup), shared L1/L2 shapes, in-order, and a
+        // zero-sized ROB.
+        let program = o0_frame_program(seed);
+        let configs = [
+            PipelineConfig::ptlsim_2wide(8),
+            PipelineConfig::out_of_order(4, 96, 32, 2048, 15),
+            PipelineConfig::epic(6, 16, 256),
+            PipelineConfig::ptlsim_2wide(8),
+            PipelineConfig::out_of_order(2, 0, 8, 256, 10),
+        ];
+        for image in [ExecImage::new(&program), ExecImage::unfused(&program)] {
+            for budget in [3u64, 7, 26, 97, 331, 20_000] {
+                let config = ExecConfig { max_instructions: budget, max_call_depth: 13 };
+                let mut batched = BatchedPipelineSim::from_image(&configs, &image);
+                execute_image(&image, &mut batched, &config);
+                for ((i, c), lane) in configs.iter().enumerate().zip(batched.results()) {
+                    let mut scalar = PipelineSim::from_image(*c, &image);
+                    execute_image(&image, &mut scalar, &config);
+                    prop_assert_eq!(
+                        lane,
+                        scalar.result(),
+                        "seed {} budget {} lane {} diverged",
+                        seed,
+                        budget,
+                        i
+                    );
+                }
             }
         }
     }
