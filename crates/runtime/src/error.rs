@@ -10,11 +10,11 @@
 //! into a [`BsgError`] and hands it to the caller in submission order,
 //! leaving every *other* task, slot and tier untouched.
 //!
-//! The taxonomy is deliberately small — five variants, one per isolation
-//! boundary (the fifth, [`BsgError::InvalidRequest`], guards the server's
-//! wire boundary) — and `Clone`-able, because the store memoizes a failure
-//! per key and serves the same error value to every waiter (see
-//! `store::SlotState`).
+//! The taxonomy is deliberately small — six variants, one per isolation
+//! boundary ([`BsgError::InvalidRequest`] and [`BsgError::Overloaded`]
+//! guard the server's wire boundary) — and `Clone`-able, because the store
+//! memoizes a failure per key and serves the same error value to every
+//! waiter (see `store::SlotState`).
 //!
 //! Errors also cross process boundaries: `bsg-server` replies to a failed
 //! request with the canonical byte encoding of its `BsgError`, so the type
@@ -70,10 +70,12 @@ pub enum BsgError {
         message: String,
     },
     /// A task exceeded the per-task deadline configured via
-    /// [`crate::scheduler::RunPolicy`].  The runtime cannot preempt a
-    /// running closure, so the deadline is enforced at completion: the
-    /// over-budget result is replaced by this error (and the overrun is
-    /// therefore recorded deterministically in the result vector).
+    /// [`crate::scheduler::RunPolicy`].  The deadline is **preemptive** for
+    /// executor work: the scheduler installs an ambient cancellation token
+    /// around each task and the dispatch loop polls it, halting a runaway
+    /// program mid-execution; host-code phases without a poll point are
+    /// still caught at completion.  Either way the over-budget result is
+    /// replaced by this error deterministically in the result vector.
     DeadlineExceeded {
         /// How long the task actually ran, in milliseconds.
         elapsed_ms: u64,
@@ -88,6 +90,16 @@ pub enum BsgError {
     InvalidRequest {
         /// What was wrong with the request.
         message: String,
+    },
+    /// The server's bounded admission queue was full when the request
+    /// arrived, so it was shed *before* entering a batch (load shedding is
+    /// cheap by construction: no artifact work happens for a shed request).
+    /// Explicitly retryable — clients back off and retry idempotent kinds.
+    Overloaded {
+        /// The queue depth observed at admission time.
+        queue_depth: u64,
+        /// The configured admission limit the depth collided with.
+        limit: u64,
     },
 }
 
@@ -115,6 +127,11 @@ impl fmt::Display for BsgError {
                 "task exceeded its deadline: ran {elapsed_ms} ms against a {deadline_ms} ms budget"
             ),
             BsgError::InvalidRequest { message } => write!(f, "invalid request: {message}"),
+            BsgError::Overloaded { queue_depth, limit } => write!(
+                f,
+                "server overloaded: admission queue at depth {queue_depth} (limit {limit}); \
+                 request shed — retry with backoff"
+            ),
         }
     }
 }
@@ -157,6 +174,11 @@ impl Canon for BsgError {
             BsgError::InvalidRequest { message } => {
                 w.write(&[4]);
                 message.canon(w);
+            }
+            BsgError::Overloaded { queue_depth, limit } => {
+                w.write(&[5]);
+                queue_depth.canon(w);
+                limit.canon(w);
             }
         }
     }
@@ -210,6 +232,10 @@ impl Decanon for BsgError {
             }),
             4 => Some(BsgError::InvalidRequest {
                 message: String::decanon(r)?,
+            }),
+            5 => Some(BsgError::Overloaded {
+                queue_depth: u64::decanon(r)?,
+                limit: u64::decanon(r)?,
             }),
             _ => None,
         }
@@ -306,6 +332,10 @@ mod tests {
             },
             BsgError::InvalidRequest {
                 message: "unknown figure".into(),
+            },
+            BsgError::Overloaded {
+                queue_depth: 257,
+                limit: 256,
             },
         ];
         for e in samples {

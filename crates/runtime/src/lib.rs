@@ -45,6 +45,7 @@ pub mod fault;
 pub mod scheduler;
 pub mod store;
 
+pub use bsg_uarch::cancel::{self, CancelToken};
 pub use disk::{DiskCache, DiskStats, KindStats};
 pub use error::{panic_message, BsgError, BsgResult};
 pub use fault::FaultPlan;

@@ -33,16 +33,22 @@
 //! The infallible [`Runtime::run`] keeps its historical contract — it
 //! panics if any task failed — but only after the whole batch has drained,
 //! so a sweep is never half-executed.  [`RunPolicy`] adds an optional
-//! per-task deadline, enforced at task completion (the runtime cannot
-//! preempt a closure; an over-budget task's result is deterministically
-//! replaced by `Err(BsgError::DeadlineExceeded)`).
+//! per-task deadline and an optional batch-wide [`CancelToken`]: the
+//! isolation boundary installs a per-task child token ambiently
+//! ([`bsg_uarch::cancel`]), the executor's bounded dispatch loop polls it,
+//! and a runaway task is therefore *preempted* mid-execution — the overrun
+//! still surfaces deterministically as `Err(BsgError::DeadlineExceeded)` in
+//! the task's submission slot, but now promptly instead of whenever the
+//! closure happened to finish.  Closures that never enter the executor
+//! (pure host code) fall back to the historical completion-time check.
 
 use crate::error::{lock_unpoisoned, panic_message, BsgError, BsgResult};
+use bsg_uarch::cancel::{self, CancelToken};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 thread_local! {
@@ -109,15 +115,23 @@ pub fn apply_workers_flag(raw: &str) {
 }
 
 /// Per-batch execution policy for [`Runtime::try_run_with`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RunPolicy {
-    /// Optional per-task wall-clock budget.  A task that finishes after the
-    /// budget has its result replaced by [`BsgError::DeadlineExceeded`] —
-    /// a *detection* watchdog, not preemption: the closure runs to
-    /// completion, but the overrun is recorded in the result vector instead
-    /// of silently inflating the sweep (and a hung task is attributable to
-    /// its submission index when the batch finally drains).
+    /// Optional per-task wall-clock budget.  The isolation boundary installs
+    /// an ambient [`CancelToken`] carrying this deadline around each task,
+    /// so the executor's dispatch loop **preempts** a task that blows the
+    /// budget mid-execution; the result is deterministically replaced by
+    /// [`BsgError::DeadlineExceeded`] in its submission slot.  Host-code
+    /// phases that never enter the executor are still caught by the
+    /// completion-time check (preemption requires a cooperative poll point).
     pub deadline: Option<Duration>,
+    /// Optional batch-wide cancellation token.  Each task's ambient token is
+    /// a child of this one, so tripping it (e.g. a draining server) halts
+    /// every in-flight and queued task at its next poll.  Tasks cancelled
+    /// this way (without a deadline) still return their — possibly
+    /// incomplete — values; callers that need an error signal pair the
+    /// token with a deadline.
+    pub cancel: Option<Arc<CancelToken>>,
 }
 
 impl RunPolicy {
@@ -125,14 +139,33 @@ impl RunPolicy {
     pub fn with_deadline(deadline: Duration) -> Self {
         RunPolicy {
             deadline: Some(deadline),
+            cancel: None,
         }
+    }
+
+    /// Attaches a batch-wide cancellation token (builder style).
+    pub fn cancelled_by(mut self, token: Arc<CancelToken>) -> Self {
+        self.cancel = Some(token);
+        self
     }
 }
 
-/// Runs one task inside the isolation boundary: panics are caught and
-/// converted, and the optional deadline is checked at completion.
+/// Runs one task inside the isolation boundary: a per-task [`CancelToken`]
+/// is installed ambiently (so the executor and the artifact store observe
+/// the deadline / batch cancellation), panics are caught and converted, and
+/// the deadline is re-checked at completion for host-code overruns the
+/// executor never had a chance to preempt.
 fn run_isolated<R>(task: impl FnOnce() -> R, policy: &RunPolicy) -> BsgResult<R> {
     let start = Instant::now();
+    let _ambient = match (&policy.cancel, policy.deadline) {
+        (None, None) => None,
+        (Some(parent), budget) => Some(cancel::install(Arc::new(
+            CancelToken::child_with_deadline(parent, budget),
+        ))),
+        (None, Some(budget)) => Some(cancel::install(Arc::new(CancelToken::with_deadline(
+            budget,
+        )))),
+    };
     match catch_unwind(AssertUnwindSafe(task)) {
         Err(payload) => Err(BsgError::TaskPanic {
             message: panic_message(payload.as_ref()),
@@ -527,6 +560,87 @@ mod tests {
             "all surviving tasks ran"
         );
         assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 99);
+    }
+
+    /// main: r0 = 0; loop { r0 += 1 } — runs forever unless preempted.
+    fn infinite_loop_image() -> bsg_uarch::ExecImage {
+        use bsg_ir::program::{Function, Program};
+        use bsg_ir::visa::{BinOp, Inst, Operand, Terminator};
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let r = f.fresh_reg();
+        f.blocks[0].insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: bsg_ir::types::Ty::Int,
+            dst: r,
+            lhs: r.into(),
+            rhs: Operand::ImmInt(1),
+        });
+        f.blocks[0].term = Terminator::Jump(f.entry);
+        p.add_function(f);
+        bsg_uarch::ExecImage::new(&p)
+    }
+
+    #[test]
+    fn an_infinite_loop_task_is_preempted_by_its_deadline() {
+        // The acceptance bar for preemption: a program that never
+        // terminates, under a 50 ms budget, must come back as
+        // `DeadlineExceeded` promptly — the old completion-time watchdog
+        // would hang here forever.
+        let image = infinite_loop_image();
+        let started = Instant::now();
+        let results = Runtime::new(2).try_run_with(
+            vec![move || {
+                bsg_uarch::exec::execute_image(
+                    &image,
+                    &mut bsg_uarch::exec::NullObserver,
+                    &bsg_uarch::ExecConfig::default(),
+                )
+            }],
+            RunPolicy::with_deadline(Duration::from_millis(50)),
+        );
+        let elapsed = started.elapsed();
+        match &results[0] {
+            Err(BsgError::DeadlineExceeded { deadline_ms, .. }) => {
+                assert_eq!(*deadline_ms, 50)
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "preemption, not detection: took {elapsed:?} against a 50 ms budget"
+        );
+    }
+
+    #[test]
+    fn a_batch_wide_cancel_token_halts_queued_executor_tasks() {
+        let token = Arc::new(CancelToken::new());
+        token.cancel(); // already tripped: every task halts at its first poll
+        let images: Vec<_> = (0..4).map(|_| infinite_loop_image()).collect();
+        let started = Instant::now();
+        let results = Runtime::new(2).try_run_with(
+            images
+                .into_iter()
+                .map(|image| {
+                    move || {
+                        bsg_uarch::exec::execute_image(
+                            &image,
+                            &mut bsg_uarch::exec::NullObserver,
+                            &bsg_uarch::ExecConfig::default(),
+                        )
+                        .completed
+                    }
+                })
+                .collect::<Vec<_>>(),
+            RunPolicy::default().cancelled_by(token),
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "cancelled tasks must halt promptly"
+        );
+        for r in results {
+            assert_eq!(r, Ok(false), "each loop halted without completing");
+        }
     }
 
     #[test]

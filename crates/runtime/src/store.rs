@@ -219,6 +219,21 @@ impl<K: Eq + Hash + Clone, V> Table<K, V> {
                         std::thread::sleep(RETRY_BACKOFF * (1 << (attempts - 1)));
                     }
                     let outcome = catch_unwind(AssertUnwindSafe(init));
+                    // A build preempted by the ambient cancellation token
+                    // (deadline blown or batch cancelled mid-build) may have
+                    // produced a *truncated* artifact — the executor halts
+                    // cooperatively without an error — so the result is not
+                    // trustworthy: it must be neither memoized nor counted
+                    // against the key's retry budget.  The slot returns to
+                    // `Idle` with `attempts` unchanged; woken waiters
+                    // re-claim and rebuild under their own (untripped)
+                    // tokens, and only the preempted caller pays.
+                    if let Some(error) = build_was_preempted() {
+                        let mut guard = lock_unpoisoned(&slot.state);
+                        *guard = SlotState::Idle { attempts };
+                        slot.ready.notify_all();
+                        return Err(error);
+                    }
                     let mut guard = lock_unpoisoned(&slot.state);
                     let message = match outcome {
                         Ok(Ok((value, built))) => {
@@ -287,9 +302,28 @@ fn two_tier<K: Eq + Hash + Clone, V>(
             }
         }
         let value = build()?;
-        disk.store(kind, file_key.as_u128(), &encode(&value));
+        // Never persist an artifact whose build was preempted mid-way — the
+        // memory tier discards it too (see `get_or_try_init`), and a
+        // truncated artifact on disk would poison every later process.
+        if build_was_preempted().is_none() {
+            disk.store(kind, file_key.as_u128(), &encode(&value));
+        }
         Ok((value, true))
     })
+}
+
+/// Whether the current thread's ambient [`bsg_uarch::cancel::CancelToken`]
+/// has tripped, rendered as the error the preempted caller should receive.
+fn build_was_preempted() -> Option<BsgError> {
+    let token = bsg_uarch::cancel::current()?;
+    if token.is_cancelled() {
+        Some(BsgError::DeadlineExceeded {
+            elapsed_ms: token.elapsed_ms(),
+            deadline_ms: token.deadline_ms().unwrap_or(0),
+        })
+    } else {
+        None
+    }
 }
 
 /// Per-table hit/build counters (a build is a cold miss; every other request
@@ -1074,6 +1108,54 @@ mod tests {
         });
         assert_eq!(again.as_deref(), Ok(&99), "memoized after success");
         assert_eq!(calls.load(Ordering::Relaxed), 3, "no rebuild after Done");
+    }
+
+    /// PR-10 regression: a build running under a tripped cancellation token
+    /// may have been halted mid-execution, so its (possibly truncated)
+    /// result must be discarded — not memoized, not written to disk, not
+    /// counted as a failed attempt — and the key must rebuild cleanly for
+    /// the next (uncancelled) request.
+    #[test]
+    fn a_preempted_build_is_not_memoized_and_does_not_burn_attempts() {
+        let table: Table<u32, u32> = Table::new();
+        let key_id = SourceId::of(&3u64);
+        let calls = AtomicU64::new(0);
+        let token = std::sync::Arc::new(bsg_uarch::cancel::CancelToken::with_deadline(
+            Duration::from_millis(1),
+        ));
+        std::thread::sleep(Duration::from_millis(5)); // token is now tripped
+        let result = {
+            let _guard = bsg_uarch::cancel::install(token);
+            table.get_or_try_init("compiled", key_id, 3, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok((13, true)) // stands in for a truncated artifact
+            })
+        };
+        assert!(
+            matches!(result, Err(crate::BsgError::DeadlineExceeded { .. })),
+            "the preempted caller gets DeadlineExceeded, got {result:?}"
+        );
+        assert_eq!(
+            table.failures.load(Ordering::Relaxed),
+            0,
+            "preemption is not a build failure"
+        );
+        assert_eq!(
+            table.builds.load(Ordering::Relaxed),
+            0,
+            "the discarded result is not a build"
+        );
+        // A later request (no token) rebuilds from scratch and memoizes.
+        let value = table.get_or_try_init("compiled", key_id, 3, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok((42, true))
+        });
+        assert_eq!(
+            value.as_deref(),
+            Ok(&42),
+            "the preempted value was never served"
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "one clean rebuild");
     }
 
     #[test]

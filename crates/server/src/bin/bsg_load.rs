@@ -8,6 +8,7 @@
 //!          [--phases cold,warm|cold|warm|none] [--out FILE]
 //!          [--fetch-figure NAME --figure-out FILE]
 //!          [--assert-disk-hits] [--fault-probe NAME]
+//!          [--chaos-soak SECS [--soak-fault NAME] [--soak-p99-ms MS]]
 //! ```
 //!
 //! Exit status: `0` on a clean run, `1` on any load failure (transport
@@ -18,6 +19,20 @@
 //! requests on the same connection succeeded byte-identically to a local
 //! hermetic render.  CI asserts the nonzero exit and the confirmation
 //! line.
+//!
+//! `--chaos-soak SECS` replaces the cold/warm phases with the chaos soak
+//! (`bsg_server::run_chaos_soak`): healthy retried traffic mixed with
+//! slow-loris writers, mid-frame disconnects, deadline storms and
+//! (with `--soak-fault NAME`, matching the daemon's
+//! `BSG_FAULT=task-panic=NAME`) poison requests, then an admission burst,
+//! an optional figure fetch, a stats scrape, and an in-band graceful
+//! drain.  The soak asserts the overload-safety contract — zero healthy
+//! failures/transport errors, healthy p99 under `--soak-p99-ms` (default
+//! 10000), sheds observed under burst, loris connections killed, storms
+//! preempted, clean drain — and expects a *hardened* daemon (small
+//! `--queue-max`, `--io-timeout-ms`, `--request-deadline-ms`); against a
+//! default daemon these assertions have nothing to observe and fail.
+//! Results go to `--out` in the soak JSON schema.
 
 use bsg_runtime::BsgError;
 use bsg_server::proto::{Request, Response};
@@ -131,23 +146,191 @@ fn fault_probe(addr: &str, target: &str) -> Result<(), String> {
     }
 }
 
-/// Fetches server stats, printing them and returning the disk hit count.
-fn report_stats(addr: &str) -> Result<u64, String> {
+/// Fetches the server's stats reply.
+fn server_stats(addr: &str) -> Result<bsg_server::proto::ServerStats, String> {
     let mut client = Client::connect_tcp(addr).map_err(|e| format!("stats connect: {e}"))?;
     let reply = client
         .call(&Request::Stats)
         .map_err(|e| format!("stats transport: {e}"))?
         .map_err(|e| format!("stats request failed: {e}"))?;
     match reply {
-        Response::Stats(stats) => {
-            eprintln!(
-                "[bsg-load] server: workers {}, served {}, batches {}, protocol errors {}",
-                stats.workers, stats.requests_served, stats.batches, stats.protocol_errors
-            );
-            eprintln!("[bsg-load] server store: {}", stats.store);
-            Ok(stats.store.disk.hits)
-        }
+        Response::Stats(stats) => Ok(stats),
         other => Err(format!("stats reply had the wrong body: {other:?}")),
+    }
+}
+
+/// Fetches server stats, printing them and returning the disk hit count.
+fn report_stats(addr: &str) -> Result<u64, String> {
+    let stats = server_stats(addr)?;
+    eprintln!(
+        "[bsg-load] server: workers {}, served {}, batches {}, protocol errors {}, \
+         shed {}, preempted {}, max queue depth {}",
+        stats.workers,
+        stats.requests_served,
+        stats.batches,
+        stats.protocol_errors,
+        stats.shed_count,
+        stats.preempted_count,
+        stats.max_queue_depth
+    );
+    eprintln!("[bsg-load] server store: {}", stats.store);
+    Ok(stats.store.disk.hits)
+}
+
+/// The `--chaos-soak` flow: soak, optional figure fetch, stats scrape,
+/// in-band drain, then the overload-safety assertions.  Returns the exit
+/// code.
+fn chaos_soak(args: &[String], addr: &str, seconds: u64, out: &str) -> ExitCode {
+    let fault_target = flag_value(args, "--soak-fault");
+    let p99_bound_ms: f64 = parse_or(args, "--soak-p99-ms", 10_000.0);
+
+    eprintln!(
+        "[bsg-load] chaos soak: {seconds}s against {addr}{}",
+        fault_target
+            .map(|t| format!(", poisoning {t:?}"))
+            .unwrap_or_default()
+    );
+    let outcome = bsg_server::run_chaos_soak(addr, seconds, fault_target);
+    let h = &outcome.healthy;
+    eprintln!(
+        "[bsg-load] healthy: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms \
+         ({} ok, {} failed, {} transport errors)",
+        h.requests_per_sec, h.p50_ms, h.p99_ms, h.ok, h.failures, h.transport_errors
+    );
+    eprintln!(
+        "[bsg-load] burst: {}/{} shed, {} served, {} other failures",
+        outcome.burst_sheds, outcome.burst_total, outcome.burst_ok, outcome.burst_other_failures
+    );
+    eprintln!(
+        "[bsg-load] storm: {} preempted, {} completed, {} transport errors; \
+         loris: {}/{} killed; {} mid-frame disconnects",
+        outcome.storm_preempted,
+        outcome.storm_completed,
+        outcome.storm_transport_errors,
+        outcome.loris_kills,
+        outcome.loris_cycles,
+        outcome.midframe_disconnects
+    );
+    if fault_target.is_some() {
+        eprintln!(
+            "[bsg-load] fault: {} confirmed TaskPanic, {} unexpected outcomes",
+            outcome.fault_confirmed, outcome.fault_unexpected
+        );
+    }
+
+    let mut failed = false;
+    // The figure fetch runs between the soak and the drain: replies must
+    // stay byte-exact even after all that abuse.
+    if let Some(name) = flag_value(args, "--fetch-figure") {
+        let figure_out = flag_value(args, "--figure-out");
+        match fetch_figure(addr, name, figure_out) {
+            Ok(()) => {
+                if let Some(path) = figure_out {
+                    eprintln!("[bsg-load] wrote server-rendered {name} to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("bsg-load: post-soak figure fetch failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    let stats = match server_stats(addr) {
+        Ok(stats) => Some(stats),
+        Err(e) => {
+            eprintln!("bsg-load: post-soak stats failed: {e}");
+            failed = true;
+            None
+        }
+    };
+    if let Some(stats) = &stats {
+        eprintln!(
+            "[bsg-load] server: served {}, protocol errors {}, shed {}, preempted {}, \
+             max queue depth {}",
+            stats.requests_served,
+            stats.protocol_errors,
+            stats.shed_count,
+            stats.preempted_count,
+            stats.max_queue_depth
+        );
+    }
+
+    match bsg_server::drain_server(addr) {
+        Ok(()) => eprintln!("[bsg-load] drain acknowledged; new work refused"),
+        Err(e) => {
+            eprintln!("bsg-load: drain failed: {e}");
+            failed = true;
+        }
+    }
+
+    // The overload-safety contract.
+    let mut check = |what: &str, ok: bool| {
+        if !ok {
+            eprintln!("bsg-load: soak assertion failed: {what}");
+            failed = true;
+        }
+    };
+    check(
+        "healthy clients saw failures (retries should have absorbed everything)",
+        h.failures == 0,
+    );
+    check(
+        "healthy clients saw transport errors",
+        h.transport_errors == 0,
+    );
+    check("healthy clients completed no requests", h.ok > 0);
+    check("healthy p99 over bound", h.p99_ms <= p99_bound_ms);
+    check(
+        "burst produced no Overloaded sheds",
+        outcome.burst_sheds > 0,
+    );
+    check(
+        "burst requests failed some way other than shed/served",
+        outcome.burst_other_failures == 0,
+    );
+    check(
+        "no slow-loris connection was killed (io timeout not enforced?)",
+        outcome.loris_kills > 0,
+    );
+    check(
+        "no deadline storm was preempted (request deadline not enforced?)",
+        outcome.storm_preempted > 0,
+    );
+    if fault_target.is_some() {
+        check(
+            "no poison request produced the injected TaskPanic",
+            outcome.fault_confirmed > 0,
+        );
+        check(
+            "poison requests had unexpected outcomes",
+            outcome.fault_unexpected == 0,
+        );
+    }
+    if let Some(stats) = &stats {
+        check(
+            "server counted no sheds despite client-observed ones",
+            stats.shed_count >= outcome.burst_sheds,
+        );
+        check(
+            "server counted no preemptions despite client-observed ones",
+            stats.preempted_count >= outcome.storm_preempted,
+        );
+    }
+
+    let json = bsg_server::soak_json(&outcome, stats.as_ref());
+    if let Err(e) = std::fs::write(out, json) {
+        eprintln!("bsg-load: failed to write {out}: {e}");
+        failed = true;
+    } else {
+        eprintln!("[bsg-load] wrote {out}");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("[bsg-load] chaos soak clean");
+        ExitCode::SUCCESS
     }
 }
 
@@ -161,6 +344,13 @@ fn main() -> ExitCode {
     let requests: usize = parse_or(&args, "--requests", 4);
     let phases_spec = flag_value(&args, "--phases").unwrap_or("cold,warm");
     let out = flag_value(&args, "--out").unwrap_or("BENCH_server.json");
+    if let Some(raw) = flag_value(&args, "--chaos-soak") {
+        let Ok(seconds) = raw.parse::<u64>() else {
+            eprintln!("bsg-load: --chaos-soak {raw:?} wants a number of seconds");
+            return ExitCode::FAILURE;
+        };
+        return chaos_soak(&args, &addr, seconds, out);
+    }
     let nonce = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)

@@ -4,25 +4,51 @@
 //!
 //! ```text
 //! bsg-server [--tcp ADDR] [--unix PATH] [--workers N] [--batch-max N]
+//!            [--queue-max N] [--request-deadline-ms N] [--io-timeout-ms N]
 //! ```
 //!
 //! Defaults to `--tcp 127.0.0.1:0` (an OS-assigned port).  Prints one
 //! `listening on ...` line per bound transport to stdout and flushes, so
 //! wrappers (CI, bsg-load scripts) can scrape the actual address, then
-//! serves until killed.  `--workers N` pins the scheduler width with the
+//! serves until drained.  `--workers N` pins the scheduler width with the
 //! same validation as `BSG_RUNTIME_WORKERS`; the artifact store's disk
 //! tier follows `BSG_ARTIFACT_DIR` as everywhere else, so a persistent
 //! directory gives warm restarts.
+//!
+//! # Shutdown
+//!
+//! The daemon drains gracefully on either trigger:
+//!
+//! * an in-band shutdown request (`Request::Shutdown`) on any connection;
+//! * `SIGTERM`/`SIGINT` (the handler only sets a flag; see
+//!   `bsg_server::signal`).
+//!
+//! Draining stops the accept loops, answers everything already admitted,
+//! removes Unix socket files, and exits 0.  Socket files are removed even
+//! if serving panics (the drop guard below), so a crashed daemon never
+//! leaves a stale socket that blocks the next bind.
 
 use bsg_server::{Server, ServerConfig, ServerHandle};
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+fn ms_flag(args: &[String], flag: &str) -> Option<Duration> {
+    let raw = flag_value(args, flag)?;
+    match raw.parse::<u64>() {
+        Ok(n) if n > 0 => Some(Duration::from_millis(n)),
+        _ => {
+            eprintln!("warning: ignoring {flag} {raw:?} (want a positive integer of ms)");
+            None
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -37,6 +63,22 @@ fn main() -> ExitCode {
             _ => eprintln!("warning: ignoring --batch-max {raw:?} (want a positive integer)"),
         }
     }
+    if let Some(raw) = flag_value(&args, "--queue-max") {
+        match raw.parse::<usize>() {
+            Ok(n) if n > 0 => config.queue_max = n,
+            _ => eprintln!("warning: ignoring --queue-max {raw:?} (want a positive integer)"),
+        }
+    }
+    if let Some(d) = ms_flag(&args, "--request-deadline-ms") {
+        config.request_deadline = Some(d);
+    }
+    if let Some(d) = ms_flag(&args, "--io-timeout-ms") {
+        config.io_timeout = Some(d);
+    }
+
+    // Flag-only SIGTERM/SIGINT handler, installed before serving so a
+    // supervisor's early TERM still drains instead of hard-killing.
+    bsg_server::install_term_flag();
 
     let mut handles: Vec<ServerHandle> = Vec::new();
     let unix_path = flag_value(&args, "--unix").map(std::path::PathBuf::from);
@@ -82,9 +124,23 @@ fn main() -> ExitCode {
     }
     let _ = std::io::stdout().flush();
 
-    // Serve until killed: the daemon has no in-band shutdown request (CI
-    // and the load harness kill the process), so park this thread.
+    // Serve until a drain is requested — by SIGTERM/SIGINT or by an
+    // in-band Request::Shutdown on any transport.  An in-band request on
+    // one transport drains all of them: a daemon asked to shut down
+    // should go away entirely, not half-listen.  `ServerHandle`'s Drop
+    // runs the same drain, so even a panic on this thread still removes
+    // the socket files on unwind.
     loop {
-        std::thread::park();
+        if bsg_server::term_requested() || handles.iter().any(|h| h.drain_requested()) {
+            for handle in &handles {
+                handle.request_drain();
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
     }
+    for handle in handles {
+        handle.stop(); // graceful: answers the queue, removes sockets
+    }
+    ExitCode::SUCCESS
 }

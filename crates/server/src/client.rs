@@ -1,5 +1,21 @@
 //! A blocking bsg-server client: one connection, one outstanding request
 //! at a time, structured errors at both the transport and request level.
+//!
+//! # Timeouts and retries (PR 10)
+//!
+//! The socket constructors arm connect/read/write timeouts (defaults
+//! overridable via `BSG_CLIENT_CONNECT_TIMEOUT_MS` and
+//! `BSG_CLIENT_READ_TIMEOUT_MS`), so a hung or drained server surfaces as
+//! [`ClientError::TimedOut`] instead of blocking the caller forever.
+//!
+//! [`Client::call_with_retry`] layers bounded exponential backoff with
+//! deterministic jitter on top of [`Client::call`] — but **only** for
+//! requests [`Request::is_idempotent`] vouches for.  An
+//! [`BsgError::Overloaded`] shed reply is explicitly retryable (the server
+//! did no work); transport-level failures are retried for idempotent
+//! kinds because a lost reply is indistinguishable from a lost request.
+//! Synthesis is never retried: its reply may have been applied even if it
+//! never arrived, and replaying it would repeat nonce-bearing work.
 
 use crate::proto::{
     read_frame, write_frame, Frame, FrameError, Request, Response, KIND_ERR, KIND_OK,
@@ -12,6 +28,33 @@ use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 #[cfg(unix)]
 use std::path::Path;
+use std::time::Duration;
+
+/// Default connect timeout; override with `BSG_CLIENT_CONNECT_TIMEOUT_MS`.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+/// Default read/write timeout; override with `BSG_CLIENT_READ_TIMEOUT_MS`.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn env_timeout(var: &str, default: Duration) -> Duration {
+    match std::env::var(var) {
+        Ok(v) => v
+            .trim()
+            .parse::<u64>()
+            .map(Duration::from_millis)
+            .unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// The connect timeout in effect (env override or default).
+pub fn connect_timeout() -> Duration {
+    env_timeout("BSG_CLIENT_CONNECT_TIMEOUT_MS", DEFAULT_CONNECT_TIMEOUT)
+}
+
+/// The read/write timeout in effect (env override or default).
+pub fn read_timeout() -> Duration {
+    env_timeout("BSG_CLIENT_READ_TIMEOUT_MS", DEFAULT_READ_TIMEOUT)
+}
 
 /// Why a call failed at the transport layer (as opposed to the request
 /// failing server-side, which [`Client::call`] reports as `Ok(Err(_))`).
@@ -22,6 +65,10 @@ pub enum ClientError {
     Frame(FrameError),
     /// The server closed the connection instead of replying.
     ServerClosed,
+    /// The socket deadline expired before a reply arrived.  Distinct from
+    /// [`ClientError::Frame`] so callers (and the retry loop) can treat a
+    /// slow server differently from a corrupt stream.
+    TimedOut,
     /// The reply's echoed id does not match the request (a framing bug on
     /// one side or a reply delivered to the wrong caller).
     IdMismatch {
@@ -41,6 +88,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Frame(e) => write!(f, "{e}"),
             ClientError::ServerClosed => write!(f, "server closed the connection"),
+            ClientError::TimedOut => write!(f, "timed out waiting for the server"),
             ClientError::IdMismatch { sent, got } => {
                 write!(f, "reply id mismatch: sent {sent}, got {got}")
             }
@@ -52,13 +100,69 @@ impl std::fmt::Display for ClientError {
 
 impl From<FrameError> for ClientError {
     fn from(e: FrameError) -> Self {
-        ClientError::Frame(e)
+        match e {
+            // From the client's seat both flavours mean the same thing:
+            // the socket deadline expired mid-call.
+            FrameError::TimedOut | FrameError::Stalled => ClientError::TimedOut,
+            other => ClientError::Frame(other),
+        }
     }
 }
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Frame(FrameError::Io(e.to_string()))
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::TimedOut,
+            _ => ClientError::Frame(FrameError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Retry tuning for [`Client::call_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts beyond the first (0 disables retries entirely).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry after that.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream, so tests and the load
+    /// harness can reproduce exact sleep sequences.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            jitter_seed: 0x5eed_cafe_f00d_d00d,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based): exponential
+    /// doubling from `base_delay`, capped at `max_delay`, with ±25%
+    /// deterministic xorshift jitter so synchronized clients desynchronize
+    /// instead of re-colliding every backoff round.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.max_delay);
+        let nanos = exp.as_nanos() as u64;
+        // xorshift64* on (seed ^ attempt): cheap, deterministic, and good
+        // enough to spread a burst of shed clients across the window.
+        let mut x = self.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let quarter = nanos / 4;
+        let jitter = if quarter == 0 { 0 } else { x % (2 * quarter) };
+        Duration::from_nanos(nanos - quarter + jitter)
     }
 }
 
@@ -69,17 +173,36 @@ pub struct Client<S: Read + Write> {
 }
 
 impl Client<TcpStream> {
-    /// Connects over TCP (`host:port`).
+    /// Connects over TCP (`host:port`) with the module's connect and
+    /// read/write timeouts armed.
     pub fn connect_tcp(addr: &str) -> io::Result<Self> {
-        Ok(Client::over(TcpStream::connect(addr)?))
+        let mut last = io::Error::new(io::ErrorKind::InvalidInput, "address did not resolve");
+        for resolved in std::net::ToSocketAddrs::to_socket_addrs(addr)? {
+            match TcpStream::connect_timeout(&resolved, connect_timeout()) {
+                Ok(stream) => {
+                    let io = read_timeout();
+                    stream.set_read_timeout(Some(io))?;
+                    stream.set_write_timeout(Some(io))?;
+                    return Ok(Client::over(stream));
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
     }
 }
 
 #[cfg(unix)]
 impl Client<UnixStream> {
-    /// Connects over a Unix-domain socket.
+    /// Connects over a Unix-domain socket with read/write timeouts armed.
+    /// (Unix sockets have no connect timeout; local connects either
+    /// succeed or fail immediately.)
     pub fn connect_unix(path: &Path) -> io::Result<Self> {
-        Ok(Client::over(UnixStream::connect(path)?))
+        let stream = UnixStream::connect(path)?;
+        let io = read_timeout();
+        stream.set_read_timeout(Some(io))?;
+        stream.set_write_timeout(Some(io))?;
+        Ok(Client::over(stream))
     }
 }
 
@@ -125,5 +248,91 @@ impl<S: Read + Write> Client<S> {
                 .ok_or(ClientError::MalformedReply),
             kind => Err(ClientError::BadKind(kind)),
         }
+    }
+
+    /// [`Client::call`] with bounded exponential-backoff retries for
+    /// idempotent requests.
+    ///
+    /// Retried outcomes: an [`BsgError::Overloaded`] shed (the server did
+    /// no work and asked for backoff) and transport failures
+    /// ([`ClientError::TimedOut`], [`ClientError::ServerClosed`],
+    /// [`ClientError::Frame`]) where a lost reply and a lost request are
+    /// indistinguishable.  Every other outcome — success, any other
+    /// server-side error, a structurally broken reply — returns
+    /// immediately.  Non-idempotent requests ([`Request::Synthesize`])
+    /// never retry, whatever the policy says.
+    pub fn call_with_retry(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<Result<Response, BsgError>, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.call(request);
+            let retryable = request.is_idempotent()
+                && attempt < policy.max_retries
+                && matches!(
+                    &outcome,
+                    Ok(Err(BsgError::Overloaded { .. }))
+                        | Err(ClientError::TimedOut)
+                        | Err(ClientError::ServerClosed)
+                        | Err(ClientError::Frame(_))
+                );
+            if !retryable {
+                return outcome;
+            }
+            attempt += 1;
+            std::thread::sleep(policy.backoff(attempt));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let policy = RetryPolicy::default();
+        let again = RetryPolicy::default();
+        for attempt in 1..=8 {
+            let d = policy.backoff(attempt);
+            // Same seed, same attempt: identical sleep.
+            assert_eq!(d, again.backoff(attempt));
+            // Jitter stays within ±25% of the capped exponential.
+            let exp = policy
+                .base_delay
+                .saturating_mul(1 << (attempt - 1))
+                .min(policy.max_delay);
+            assert!(d >= exp - exp / 4, "attempt {attempt}: {d:?} < -25%");
+            assert!(d <= exp + exp / 4, "attempt {attempt}: {d:?} > +25%");
+        }
+        // Different seeds desynchronize.
+        let other = RetryPolicy {
+            jitter_seed: 42,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(policy.backoff(3), other.backoff(3));
+    }
+
+    #[test]
+    fn timeouts_fold_into_the_timed_out_variant() {
+        assert_eq!(
+            ClientError::from(FrameError::TimedOut),
+            ClientError::TimedOut
+        );
+        assert_eq!(
+            ClientError::from(FrameError::Stalled),
+            ClientError::TimedOut
+        );
+        assert_eq!(
+            ClientError::from(io::Error::new(io::ErrorKind::TimedOut, "t")),
+            ClientError::TimedOut
+        );
+        // Non-timeout io errors stay structural.
+        assert!(matches!(
+            ClientError::from(io::Error::new(io::ErrorKind::BrokenPipe, "p")),
+            ClientError::Frame(FrameError::Io(_))
+        ));
     }
 }

@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic "BSGW"
-//!      4     4  protocol version, u32 LE (currently 1)
+//!      4     4  protocol version, u32 LE (currently 2)
 //!      8     8  request id, u64 LE (echoed verbatim in the reply)
 //!     16     1  kind byte (request kind, or OK/ERR for replies)
 //!     17     8  payload length, u64 LE (bounded by MAX_PAYLOAD)
@@ -46,7 +46,9 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 4] = *b"BSGW";
 /// Current protocol version.  Bumped on any incompatible frame or payload
 /// change; both sides reject mismatches with [`FrameError::VersionSkew`].
-pub const PROTO_VERSION: u32 = 1;
+/// (v2: overload-safety fields in [`ServerStats`] and the
+/// [`KIND_SHUTDOWN`] drain request.)
+pub const PROTO_VERSION: u32 = 2;
 /// Header length in bytes (magic + version + request id + kind + payload
 /// length + checksum).
 pub const HEADER_LEN: usize = 33;
@@ -65,6 +67,10 @@ pub const KIND_MEASURE: u8 = 2;
 pub const KIND_FIGURE: u8 = 3;
 /// See [`KIND_PROFILE`].
 pub const KIND_STATS: u8 = 4;
+/// In-band graceful-drain request: the server stops accepting, answers
+/// everything already queued, then exits.  Served inline like
+/// [`KIND_STATS`].
+pub const KIND_SHUTDOWN: u8 = 5;
 /// Reply kind: the payload is a canonical [`Response`].
 pub const KIND_OK: u8 = 100;
 /// Reply kind: the payload is a canonical [`BsgError`].
@@ -120,6 +126,15 @@ pub enum FrameError {
     MissingDelimiter,
     /// The stream ended mid-frame (mid-header or mid-payload).
     Truncated,
+    /// A read timed out while the peer was *idle at a frame boundary*
+    /// (zero bytes of the next frame read).  Benign for a server reader
+    /// thread — the client is just quiet between requests — and the signal
+    /// a draining server uses to re-check its stop flag.
+    TimedOut,
+    /// A read timed out *mid-frame*: the peer wrote part of a frame and
+    /// then stalled past the timeout (the slow-loris signature).  The
+    /// connection is unusable and should be closed.
+    Stalled,
 }
 
 impl std::fmt::Display for FrameError {
@@ -136,6 +151,8 @@ impl std::fmt::Display for FrameError {
             FrameError::BadChecksum => write!(f, "frame payload checksum mismatch"),
             FrameError::MissingDelimiter => write!(f, "missing frame delimiter"),
             FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::TimedOut => write!(f, "read timed out at a frame boundary"),
+            FrameError::Stalled => write!(f, "peer stalled mid-frame past the read timeout"),
         }
     }
 }
@@ -147,7 +164,10 @@ impl From<io::Error> for FrameError {
 }
 
 /// Fills `buf` from `r`; `Ok(false)` on immediate clean EOF (nothing
-/// read), [`FrameError::Truncated`] on EOF after a partial read.
+/// read), [`FrameError::Truncated`] on EOF after a partial read.  A read
+/// timeout (`WouldBlock`/`TimedOut` from a socket with a read deadline)
+/// distinguishes the idle peer ([`FrameError::TimedOut`], zero bytes read)
+/// from the mid-buffer staller ([`FrameError::Stalled`]).
 fn read_exact_or_eof(r: &mut dyn Read, buf: &mut [u8]) -> Result<bool, FrameError> {
     let mut filled = 0;
     while filled < buf.len() {
@@ -161,6 +181,15 @@ fn read_exact_or_eof(r: &mut dyn Read, buf: &mut [u8]) -> Result<bool, FrameErro
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(if filled == 0 {
+                    FrameError::TimedOut
+                } else {
+                    FrameError::Stalled
+                });
+            }
             Err(e) => return Err(e.into()),
         }
     }
@@ -190,13 +219,20 @@ pub fn read_frame(r: &mut dyn Read) -> Result<Option<Frame>, FrameError> {
         return Err(FrameError::Oversized { len });
     }
     let checksum = u64::from_le_bytes(header[25..33].try_into().unwrap_or_default());
+    // Past the header every timeout is mid-frame, even if the payload or
+    // delimiter read itself saw zero bytes: only quiet *between* frames is
+    // idle.
+    let midframe = |e| match e {
+        FrameError::TimedOut => FrameError::Stalled,
+        other => other,
+    };
     #[allow(clippy::cast_possible_truncation)]
     let mut payload = vec![0u8; len as usize];
-    if !read_exact_or_eof(r, &mut payload)? {
+    if !read_exact_or_eof(r, &mut payload).map_err(midframe)? {
         return Err(FrameError::Truncated);
     }
     let mut delim = [0u8; 1];
-    if !read_exact_or_eof(r, &mut delim)? {
+    if !read_exact_or_eof(r, &mut delim).map_err(midframe)? {
         return Err(FrameError::Truncated);
     }
     if delim[0] != b'\n' {
@@ -273,6 +309,10 @@ pub enum Request {
     /// Server + artifact-store counters (served inline, bypassing the
     /// dispatch batch).
     Stats,
+    /// In-band graceful drain: stop accepting, answer the queue, exit.
+    /// Served inline; the reply ([`Response::Shutdown`]) is sent *before*
+    /// the server finishes draining, acknowledging that the drain began.
+    Shutdown,
 }
 
 impl Request {
@@ -284,7 +324,18 @@ impl Request {
             Request::Measure { .. } => KIND_MEASURE,
             Request::Figure { .. } => KIND_FIGURE,
             Request::Stats => KIND_STATS,
+            Request::Shutdown => KIND_SHUTDOWN,
         }
+    }
+
+    /// Whether a client may safely retry this request after a transport
+    /// failure or an [`BsgError::Overloaded`] shed.  Profile, measure,
+    /// figure, stats and shutdown are pure functions of their payload (the
+    /// store memoizes by content, and drain is idempotent by definition);
+    /// synthesis is **not** retried, because load generators deliberately
+    /// salt it with nonces and a duplicate would do real duplicate work.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::Synthesize { .. })
     }
 
     /// Canonical payload bytes (the frame kind carries the discriminant).
@@ -304,6 +355,7 @@ impl Request {
             Request::Measure { program, options } => to_canon_bytes(&(program, options)),
             Request::Figure { name } => to_canon_bytes(name),
             Request::Stats => Vec::new(),
+            Request::Shutdown => Vec::new(),
         }
     }
 
@@ -344,6 +396,13 @@ impl Request {
                     None
                 }
             }
+            KIND_SHUTDOWN => {
+                if payload.is_empty() {
+                    Some(Request::Shutdown)
+                } else {
+                    None
+                }
+            }
             _ => None,
         }
     }
@@ -360,8 +419,19 @@ pub struct ServerStats {
     /// Dispatch batches run through the scheduler.
     pub batches: u64,
     /// Structural protocol errors observed (bad magic, version skew,
-    /// truncation, checksum, undecodable payloads).
+    /// truncation, checksum, undecodable payloads, mid-frame stalls).
     pub protocol_errors: u64,
+    /// Jobs currently admitted but not yet dispatched (a point-in-time
+    /// sample of the bounded admission queue).
+    pub queue_depth: u64,
+    /// High-watermark of `queue_depth` over the server's lifetime.
+    pub max_queue_depth: u64,
+    /// Requests shed with [`BsgError::Overloaded`] because the admission
+    /// queue was full.
+    pub shed_count: u64,
+    /// Batched requests whose task was preempted by the per-request
+    /// deadline (replied with `DeadlineExceeded`).
+    pub preempted_count: u64,
     /// The shared artifact store's counters, including per-kind disk
     /// attribution.
     pub store: StoreStats,
@@ -373,6 +443,10 @@ impl Canon for ServerStats {
         self.requests_served.canon(w);
         self.batches.canon(w);
         self.protocol_errors.canon(w);
+        self.queue_depth.canon(w);
+        self.max_queue_depth.canon(w);
+        self.shed_count.canon(w);
+        self.preempted_count.canon(w);
         self.store.canon(w);
     }
 }
@@ -384,6 +458,10 @@ impl Decanon for ServerStats {
             requests_served: u64::decanon(r)?,
             batches: u64::decanon(r)?,
             protocol_errors: u64::decanon(r)?,
+            queue_depth: u64::decanon(r)?,
+            max_queue_depth: u64::decanon(r)?,
+            shed_count: u64::decanon(r)?,
+            preempted_count: u64::decanon(r)?,
             store: StoreStats::decanon(r)?,
         })
     }
@@ -407,6 +485,8 @@ pub enum Response {
     Figure(String),
     /// Reply to [`Request::Stats`].
     Stats(ServerStats),
+    /// Reply to [`Request::Shutdown`]: the drain has begun.
+    Shutdown,
 }
 
 impl Canon for Response {
@@ -434,6 +514,9 @@ impl Canon for Response {
                 w.write(&[4]);
                 stats.canon(w);
             }
+            Response::Shutdown => {
+                w.write(&[5]);
+            }
         }
     }
 }
@@ -448,6 +531,7 @@ impl Decanon for Response {
             }),
             3 => Some(Response::Figure(String::decanon(r)?)),
             4 => Some(Response::Stats(ServerStats::decanon(r)?)),
+            5 => Some(Response::Shutdown),
             _ => None,
         }
     }
@@ -511,6 +595,7 @@ mod tests {
                 name: "fig02".to_string(),
             },
             Request::Stats,
+            Request::Shutdown,
         ]
     }
 
@@ -547,8 +632,13 @@ mod tests {
                 requests_served: 41,
                 batches: 5,
                 protocol_errors: 2,
+                queue_depth: 3,
+                max_queue_depth: 17,
+                shed_count: 6,
+                preempted_count: 4,
                 store: StoreStats::default(),
             }),
+            Response::Shutdown,
         ];
         for response in responses {
             let frame = ok_frame(9, &response);
@@ -614,10 +704,10 @@ mod tests {
         );
 
         let mut skew = bytes.clone();
-        skew[4..8].copy_from_slice(&2u32.to_le_bytes());
+        skew[4..8].copy_from_slice(&99u32.to_le_bytes());
         assert_eq!(
             read_frame(&mut skew.as_slice()),
-            Err(FrameError::VersionSkew { got: 2 })
+            Err(FrameError::VersionSkew { got: 99 })
         );
 
         let mut oversized = bytes.clone();
@@ -657,11 +747,104 @@ mod tests {
         );
     }
 
+    /// A reader that yields some prefix bytes, then times out forever —
+    /// the slow-loris shape as the kernel surfaces it to a socket with a
+    /// read deadline.
+    struct StallAfter {
+        bytes: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.bytes.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"));
+            }
+            let n = buf.len().min(self.bytes.len() - self.pos);
+            buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn a_timeout_at_a_frame_boundary_is_idle_not_fatal() {
+        let mut idle = StallAfter {
+            bytes: Vec::new(),
+            pos: 0,
+        };
+        assert_eq!(read_frame(&mut idle), Err(FrameError::TimedOut));
+    }
+
+    #[test]
+    fn a_timeout_mid_frame_is_a_stall_at_every_cut_point() {
+        let frame = ok_frame(4, &Response::Figure("stall-test".to_string()));
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).expect("write");
+        // One byte of header, a full header, header + partial payload,
+        // everything but the delimiter: all are mid-frame stalls.
+        for cut in 1..bytes.len() {
+            let mut loris = StallAfter {
+                bytes: bytes[..cut].to_vec(),
+                pos: 0,
+            };
+            assert_eq!(
+                read_frame(&mut loris),
+                Err(FrameError::Stalled),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn idempotency_classification_protects_synthesis() {
+        for request in sample_requests() {
+            assert!(request.is_idempotent(), "{request:?}");
+        }
+        let synth = Request::Synthesize {
+            profile: StatisticalProfile::default(),
+            config: SynthesisConfig::default(),
+            target_instructions: 1000,
+        };
+        assert!(!synth.is_idempotent(), "synthesize must never auto-retry");
+    }
+
+    /// Satellite requirement: the four overload counters survive the wire
+    /// byte-for-byte, and truncating anywhere inside them fails closed.
+    #[test]
+    fn overload_stats_fields_roundtrip_and_reject_truncation() {
+        let stats = ServerStats {
+            workers: 2,
+            requests_served: 100,
+            batches: 9,
+            protocol_errors: 1,
+            queue_depth: 7,
+            max_queue_depth: 256,
+            shed_count: 31,
+            preempted_count: 12,
+            store: StoreStats::default(),
+        };
+        let bytes = to_canon_bytes(&stats);
+        let back: ServerStats = from_canon_bytes(&bytes).expect("decode");
+        assert_eq!(back, stats);
+        assert_eq!(back.queue_depth, 7);
+        assert_eq!(back.max_queue_depth, 256);
+        assert_eq!(back.shed_count, 31);
+        assert_eq!(back.preempted_count, 12);
+        for cut in 0..bytes.len() {
+            assert!(
+                from_canon_bytes::<ServerStats>(&bytes[..cut]).is_none(),
+                "cut at {cut}"
+            );
+        }
+    }
+
     #[test]
     fn unknown_kinds_and_garbage_payloads_decode_to_none() {
         assert!(Request::decode(42, &[]).is_none());
         assert!(Request::decode(KIND_PROFILE, &[1, 2, 3]).is_none());
         assert!(Request::decode(KIND_STATS, &[0]).is_none());
+        assert!(Request::decode(KIND_SHUTDOWN, &[0]).is_none());
         // Trailing garbage after a valid payload is also rejected
         // (from_canon_bytes requires exhaustion).
         let mut payload = Request::Figure {

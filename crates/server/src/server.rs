@@ -20,7 +20,31 @@
 //! [`Request::Stats`] is served inline on the reader thread, bypassing the
 //! batch entirely: it only snapshots atomic counters, and keeping it off
 //! the dispatcher means monitoring stays responsive while the scheduler is
-//! saturated with synthesis work.
+//! saturated with synthesis work.  [`Request::Shutdown`] is inline too: it
+//! flips the drain flag and acknowledges immediately.
+//!
+//! # Overload safety (PR 10)
+//!
+//! The request path is hardened end to end:
+//!
+//! - **Admission control.**  The job queue is bounded by
+//!   [`ServerConfig::queue_max`].  A request arriving at a full queue is
+//!   shed *before* any artifact work with a cheap
+//!   [`BsgError::Overloaded`] reply (connection stays open; the error is
+//!   explicitly retryable).
+//! - **Per-request deadlines.**  [`ServerConfig::request_deadline`] runs
+//!   every batch under `RunPolicy::with_deadline`, so a runaway request is
+//!   *preempted* by the scheduler's cancellation token and replied with
+//!   `DeadlineExceeded` instead of pinning a worker.
+//! - **Slow-loris defense.**  Connections carry read/write timeouts
+//!   ([`ServerConfig::io_timeout`]).  A peer idle *between* frames just
+//!   re-arms the read (the reader re-checks the drain flag); a peer
+//!   stalled *mid-frame* — or one that won't drain its replies — is
+//!   closed and counted as a protocol error.
+//! - **Graceful drain.**  An in-band [`Request::Shutdown`] or
+//!   [`ServerHandle::request_drain`] (the daemon's SIGTERM path) stops the
+//!   accept loop, lets the dispatcher answer everything already admitted,
+//!   and removes the Unix socket before exit.
 //!
 //! All artifact work goes through the process-global [`ArtifactStore`], so
 //! every client shares one hot memory + disk cache: N clients requesting
@@ -28,10 +52,10 @@
 //! serves across daemon restarts.
 
 use crate::proto::{
-    err_frame, ok_frame, read_frame, write_frame, Frame, Request, Response, ServerStats,
+    err_frame, ok_frame, read_frame, write_frame, Frame, FrameError, Request, Response, ServerStats,
 };
 use bsg_bench::{figure_spec, render_figure, try_render_report};
-use bsg_runtime::{BsgError, BsgResult, Runtime};
+use bsg_runtime::{BsgError, BsgResult, RunPolicy, Runtime};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 #[cfg(unix)]
@@ -41,7 +65,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -50,11 +74,28 @@ pub struct ServerConfig {
     /// Larger batches amortize scheduler entry; the bound keeps one
     /// burst from monopolizing the scheduler for unboundedly long.
     pub batch_max: usize,
+    /// Admission limit: jobs admitted but not yet dispatched.  Requests
+    /// beyond it are shed with [`BsgError::Overloaded`] instead of growing
+    /// the queue (and client-observed latency) without bound.
+    pub queue_max: usize,
+    /// Per-request execution budget.  `None` (the default) preserves the
+    /// batch harness's run-to-completion behaviour; services under
+    /// adversarial load set it so one runaway request costs one
+    /// `DeadlineExceeded` reply, not a worker.
+    pub request_deadline: Option<Duration>,
+    /// Per-connection socket read/write timeout (slow-loris defense).
+    /// `None` disables socket deadlines (hermetic in-process tests).
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { batch_max: 64 }
+        ServerConfig {
+            batch_max: 64,
+            queue_max: 256,
+            request_deadline: None,
+            io_timeout: Some(Duration::from_secs(30)),
+        }
     }
 }
 
@@ -65,6 +106,17 @@ struct Shared {
     requests_served: AtomicU64,
     batches: AtomicU64,
     protocol_errors: AtomicU64,
+    /// Jobs admitted (reader incremented) but not yet dequeued by the
+    /// dispatcher.  The admission check and the shed decision both read it.
+    queue_depth: AtomicU64,
+    max_queue_depth: AtomicU64,
+    shed_count: AtomicU64,
+    preempted_count: AtomicU64,
+    /// Graceful-drain flag: stop accepting and admitting, finish what's
+    /// queued.  Set by an in-band [`Request::Shutdown`], by
+    /// [`ServerHandle::request_drain`], or by shutdown itself.
+    draining: AtomicBool,
+    /// Hard-stop flag: set by shutdown once the queue has drained.
     stop: AtomicBool,
 }
 
@@ -75,8 +127,16 @@ impl Shared {
             requests_served: self.requests_served.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            shed_count: self.shed_count.load(Ordering::Relaxed),
+            preempted_count: self.preempted_count.load(Ordering::Relaxed),
             store: bsg_runtime::ArtifactStore::global().stats(),
         }
+    }
+
+    fn halting(&self) -> bool {
+        self.draining.load(Ordering::Relaxed) || self.stop.load(Ordering::Relaxed)
     }
 }
 
@@ -109,18 +169,44 @@ impl ServerHandle {
         self.shared.stats()
     }
 
-    /// Stops the accept loop and dispatcher and waits for both to exit.
-    /// Reader threads for still-open connections exit when their clients
-    /// hang up or their next request fails to dispatch.
+    /// Gracefully drains and stops the daemon: no new connections or
+    /// admissions, every already-admitted request is answered, then the
+    /// dispatcher exits and (on Unix) the socket file is removed.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
+    /// `true` once a drain has been requested — by an in-band
+    /// [`Request::Shutdown`], by [`ServerHandle::request_drain`] (the
+    /// daemon's SIGTERM path), or by shutdown itself.  The daemon binary
+    /// polls this to know when to call [`ServerHandle::stop`].
+    pub fn drain_requested(&self) -> bool {
+        self.shared.draining.load(Ordering::Relaxed)
+    }
+
+    /// Requests a graceful drain without blocking: the accept loop winds
+    /// down and readers refuse new admissions.  Call
+    /// [`ServerHandle::stop`] afterwards to wait for the queue to empty
+    /// and release the listener.
+    pub fn request_drain(&self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+    }
+
     fn shutdown(&mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
+        // Phase 1: stop accepting connections and admitting jobs.
+        self.shared.draining.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
+        // Phase 2: wait for the dispatcher to pick up everything already
+        // admitted (replies go out when its in-flight batch completes),
+        // then stop it.  The bound keeps a wedged build from hanging Drop
+        // forever; the queue normally empties in well under a second.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while self.shared.queue_depth.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        self.shared.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.dispatcher.take() {
             let _ = t.join();
         }
@@ -157,11 +243,16 @@ impl Listener {
 
     /// Accepts one connection, returning independently owned reader and
     /// writer halves (reader threads read and write the same socket).
-    fn accept(&self) -> io::Result<Conn> {
+    /// `io_timeout` arms both socket deadlines: a read that times out at a
+    /// frame boundary is benign idling, anywhere else it is a slow-loris
+    /// stall (see [`crate::proto::FrameError`]).
+    fn accept(&self, io_timeout: Option<Duration>) -> io::Result<Conn> {
         match self {
             Listener::Tcp(l) => {
                 let (stream, _) = l.accept()?;
                 stream.set_nonblocking(false)?;
+                stream.set_read_timeout(io_timeout)?;
+                stream.set_write_timeout(io_timeout)?;
                 let reader = stream.try_clone()?;
                 Ok((Box::new(reader), Box::new(stream)))
             }
@@ -169,6 +260,8 @@ impl Listener {
             Listener::Unix(l) => {
                 let (stream, _) = l.accept()?;
                 stream.set_nonblocking(false)?;
+                stream.set_read_timeout(io_timeout)?;
+                stream.set_write_timeout(io_timeout)?;
                 let reader = stream.try_clone()?;
                 Ok((Box::new(reader), Box::new(stream)))
             }
@@ -218,19 +311,22 @@ fn start(
     let dispatcher = {
         let shared = Arc::clone(&shared);
         let batch_max = config.batch_max.max(1);
-        thread::spawn(move || dispatch_loop(&jobs_rx, &shared, batch_max))
+        let deadline = config.request_deadline;
+        thread::spawn(move || dispatch_loop(&jobs_rx, &shared, batch_max, deadline))
     };
 
     let accept = {
         let shared = Arc::clone(&shared);
+        let queue_max = config.queue_max.max(1) as u64;
+        let io_timeout = config.io_timeout;
         thread::spawn(move || {
-            while !shared.stop.load(Ordering::Relaxed) {
-                match listener.accept() {
+            while !shared.halting() {
+                match listener.accept(io_timeout) {
                     Ok((reader, writer)) => {
                         let shared = Arc::clone(&shared);
                         let jobs = jobs_tx.clone();
                         thread::spawn(move || {
-                            serve_connection(reader, writer, &shared, &jobs);
+                            serve_connection(reader, writer, &shared, &jobs, queue_max);
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -255,8 +351,14 @@ fn start(
 }
 
 /// The dispatcher: drains queued jobs into bounded batches and runs each
-/// batch through the scheduler with per-task fault isolation.
-fn dispatch_loop(jobs: &mpsc::Receiver<Job>, shared: &Shared, batch_max: usize) {
+/// batch through the scheduler with per-task fault isolation and, when
+/// configured, a per-task preemption deadline.
+fn dispatch_loop(
+    jobs: &mpsc::Receiver<Job>,
+    shared: &Shared,
+    batch_max: usize,
+    deadline: Option<Duration>,
+) {
     loop {
         let first = match jobs.recv_timeout(Duration::from_millis(50)) {
             Ok(job) => job,
@@ -275,6 +377,12 @@ fn dispatch_loop(jobs: &mpsc::Receiver<Job>, shared: &Shared, batch_max: usize) 
                 Err(_) => break,
             }
         }
+        // Free the admission slots as soon as the jobs leave the queue:
+        // in-flight work is bounded by batch_max, the queue by queue_max,
+        // and the two bounds are independent.
+        shared
+            .queue_depth
+            .fetch_sub(batch.len() as u64, Ordering::Relaxed);
         shared.batches.fetch_add(1, Ordering::Relaxed);
 
         let (requests, replies): (Vec<Request>, Vec<mpsc::Sender<BsgResult<Response>>>) =
@@ -286,13 +394,23 @@ fn dispatch_loop(jobs: &mpsc::Receiver<Job>, shared: &Shared, batch_max: usize) 
         // try_run catches per-task panics, so one poisoned request (a
         // panicking build, injected chaos) yields one Err reply while the
         // rest of the batch completes; the outer/inner results flatten.
-        let results = Runtime::global().try_run(tasks);
+        // The deadline policy installs a per-task cancellation token, so a
+        // runaway request is preempted mid-execution, not just failed at
+        // completion time.
+        let results = match deadline {
+            Some(budget) => Runtime::global().try_run_with(tasks, RunPolicy::with_deadline(budget)),
+            None => Runtime::global().try_run(tasks),
+        };
         for (result, reply) in results.into_iter().zip(replies) {
             shared.requests_served.fetch_add(1, Ordering::Relaxed);
+            let flat = result.and_then(|r| r);
+            if matches!(flat, Err(BsgError::DeadlineExceeded { .. })) {
+                shared.preempted_count.fetch_add(1, Ordering::Relaxed);
+            }
             // A dropped receiver means the reader thread (and its client)
             // went away mid-request; the work is already cached, so the
             // loss is only the reply.
-            let _ = reply.send(result.and_then(|r| r));
+            let _ = reply.send(flat);
         }
     }
 }
@@ -358,25 +476,41 @@ fn handle_request(request: Request) -> BsgResult<Response> {
             // with one is a client-side framing bug worth surfacing.
             message: "stats requests are served inline, not dispatched".to_string(),
         }),
+        Request::Shutdown => Err(BsgError::InvalidRequest {
+            // Same: shutdown flips the drain flag on the reader thread.
+            message: "shutdown requests are served inline, not dispatched".to_string(),
+        }),
     }
 }
 
-/// Reader-thread loop for one connection: parse a frame, decode, reply.
-/// Semantic problems (unknown kind, undecodable payload) get an
-/// [`BsgError::InvalidRequest`] reply and the connection stays open;
-/// structural problems (bad magic, truncation, checksum) get a
-/// best-effort error reply and the connection closes — the stream can no
-/// longer be trusted to be frame-aligned.
+/// Reader-thread loop for one connection: parse a frame, decode, admit,
+/// reply.  Semantic problems (unknown kind, undecodable payload) get an
+/// [`BsgError::InvalidRequest`] reply and the connection stays open; a
+/// full admission queue gets an [`BsgError::Overloaded`] reply and the
+/// connection stays open; structural problems (bad magic, truncation,
+/// checksum, a mid-frame stall) get a best-effort error reply and the
+/// connection closes — the stream can no longer be trusted to be
+/// frame-aligned.
 fn serve_connection(
     mut reader: Box<dyn Read + Send>,
     mut writer: Box<dyn Write + Send>,
     shared: &Shared,
     jobs: &mpsc::Sender<Job>,
+    queue_max: u64,
 ) {
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
             Ok(None) => return, // clean close at a frame boundary
+            Err(FrameError::TimedOut) => {
+                // Idle at a frame boundary is benign: re-arm the read.
+                // Closing instead once the daemon is halting means idle
+                // keep-alive connections can't outlive the drain.
+                if shared.halting() {
+                    return;
+                }
+                continue;
+            }
             Err(e) => {
                 shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 let error = BsgError::InvalidRequest {
@@ -403,29 +537,74 @@ fn serve_connection(
                 )
             }
             Some(Request::Stats) => {
-                // Inline fast path; see the module docs.
+                // Inline fast path; see the module docs.  Deliberately
+                // still served while draining — monitoring the drain is
+                // exactly when stats matter.
                 shared.requests_served.fetch_add(1, Ordering::Relaxed);
                 ok_frame(request_id, &Response::Stats(shared.stats()))
             }
-            Some(request) => {
-                let (tx, rx) = mpsc::channel();
-                if jobs.send(Job { request, reply: tx }).is_err() {
-                    // Dispatcher is gone: the daemon is shutting down.
-                    let error = BsgError::InvalidRequest {
+            Some(Request::Shutdown) => {
+                // Inline: flip the drain flag and acknowledge immediately.
+                // The daemon loop (or `ServerHandle::stop`) completes the
+                // drain; replying first lets the client confirm receipt
+                // without waiting out the queue.
+                shared.draining.store(true, Ordering::Relaxed);
+                shared.requests_served.fetch_add(1, Ordering::Relaxed);
+                ok_frame(request_id, &Response::Shutdown)
+            }
+            Some(_) if shared.halting() => {
+                // Draining: everything already admitted gets answered, but
+                // nothing new is admitted.
+                shared.requests_served.fetch_add(1, Ordering::Relaxed);
+                err_frame(
+                    request_id,
+                    &BsgError::InvalidRequest {
                         message: "server is shutting down".to_string(),
-                    };
-                    let _ = write_frame(&mut writer, &err_frame(request_id, &error));
-                    return;
-                }
-                match rx.recv() {
-                    Ok(Ok(response)) => ok_frame(request_id, &response),
-                    Ok(Err(error)) => err_frame(request_id, &error),
-                    Err(_) => return, // dispatcher died mid-request
+                    },
+                )
+            }
+            Some(request) => {
+                // Admission control: reserve a queue slot or shed.  The
+                // increment-then-rollback keeps the check race-free enough
+                // that depth can transiently overshoot by the number of
+                // racing readers but the queue never *admits* past the
+                // limit — and a shed costs two atomics plus an error
+                // frame, no artifact work.
+                let depth = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                if depth > queue_max {
+                    shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    shared.shed_count.fetch_add(1, Ordering::Relaxed);
+                    shared.requests_served.fetch_add(1, Ordering::Relaxed);
+                    err_frame(
+                        request_id,
+                        &BsgError::Overloaded {
+                            queue_depth: depth - 1,
+                            limit: queue_max,
+                        },
+                    )
+                } else {
+                    shared.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+                    let (tx, rx) = mpsc::channel();
+                    if jobs.send(Job { request, reply: tx }).is_err() {
+                        // Dispatcher is gone: the daemon is shutting down.
+                        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        let error = BsgError::InvalidRequest {
+                            message: "server is shutting down".to_string(),
+                        };
+                        let _ = write_frame(&mut writer, &err_frame(request_id, &error));
+                        return;
+                    }
+                    match rx.recv() {
+                        Ok(Ok(response)) => ok_frame(request_id, &response),
+                        Ok(Err(error)) => err_frame(request_id, &error),
+                        Err(_) => return, // dispatcher died mid-request
+                    }
                 }
             }
         };
         if write_frame(&mut writer, &reply).is_err() {
-            return; // client hung up mid-reply
+            return; // client hung up mid-reply (or stalled past the write
+                    // timeout — either way the reply can't be delivered)
         }
     }
 }

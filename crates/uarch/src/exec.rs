@@ -283,6 +283,7 @@ pub fn execute_image<O: Observer + ?Sized>(
     observer: &mut O,
     config: &ExecConfig,
 ) -> ExecOutcome {
+    let cancel = crate::cancel::current();
     let mut engine = Engine {
         image,
         globals: image.initial_globals.clone(),
@@ -291,6 +292,7 @@ pub fn execute_image<O: Observer + ?Sized>(
         halted: false,
         config: *config,
         frame_pool: FramePool::new(),
+        cancel,
     };
     let ret = if engine.config.max_call_depth == 0 {
         engine.halted = true;
@@ -301,8 +303,10 @@ pub fn execute_image<O: Observer + ?Sized>(
         let mut frame = engine.frame_pool.acquire(f.num_regs, &f.frame);
         // Specialize the dispatch loop on whether an instruction budget is
         // in force: the unbounded variant drops the budget compare and the
-        // mid-superinstruction halt polls (see `run_function`).
-        let ret = if config.max_instructions == u64::MAX {
+        // mid-superinstruction halt polls (see `run_function`).  An ambient
+        // cancellation token forces the bounded variant too — preemption
+        // rides the same `halted` machinery as budget exhaustion.
+        let ret = if config.max_instructions == u64::MAX && engine.cancel.is_none() {
             engine.run_function::<O, false>(entry, &mut frame, 0, observer)
         } else {
             engine.run_function::<O, true>(entry, &mut frame, 0, observer)
@@ -801,6 +805,10 @@ struct Engine<'a> {
     halted: bool,
     config: ExecConfig,
     frame_pool: FramePool,
+    /// Ambient cancellation token captured at `execute_image` entry; polled
+    /// by the bounded dispatch loop every [`crate::cancel::POLL_INTERVAL`]
+    /// instructions.  `None` on the unbounded fast path.
+    cancel: Option<std::sync::Arc<crate::cancel::CancelToken>>,
 }
 
 impl<'a> Engine<'a> {
@@ -940,6 +948,11 @@ impl<'a> Engine<'a> {
         let metas: &[crate::image::SiteMeta] = image.site_metas();
         assert_eq!(steps.len(), metas.len(), "image tables are parallel");
         let max_instructions = self.config.max_instructions;
+        // One Arc clone per activation keeps the token out of `self`'s
+        // borrow for the duration of the dispatch loop; `None` whenever no
+        // task boundary installed one (then the poll below is a dead branch
+        // behind an always-false `is_some`).
+        let cancel = self.cancel.clone();
         let mut instructions = self.instructions;
         let mut halted = self.halted;
         macro_rules! sync_out {
@@ -951,8 +964,14 @@ impl<'a> Engine<'a> {
         macro_rules! count_inst {
             () => {
                 instructions += 1;
-                if BOUNDED && instructions >= max_instructions {
-                    halted = true;
+                if BOUNDED {
+                    if instructions >= max_instructions {
+                        halted = true;
+                    } else if instructions & crate::cancel::POLL_MASK == 0
+                        && cancel.as_deref().is_some_and(|t| t.is_cancelled())
+                    {
+                        halted = true;
+                    }
                 }
             };
         }
@@ -2253,6 +2272,75 @@ mod tests {
         assert_eq!(counter.stores, 2);
         assert_eq!(counter.blocks, 1);
         assert_eq!(counter.branches, 0);
+    }
+
+    /// main: r0 = 0; loop { r0 += 1 } — never returns without preemption.
+    fn infinite_loop_program() -> Program {
+        let mut p = Program::new();
+        let mut f = Function::new("main");
+        let r = f.fresh_reg();
+        f.blocks[0].insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::Int,
+            dst: r,
+            lhs: r.into(),
+            rhs: Operand::ImmInt(1),
+        });
+        f.blocks[0].term = Terminator::Jump(f.entry);
+        p.add_function(f);
+        p
+    }
+
+    #[test]
+    fn ambient_deadline_token_preempts_an_infinite_loop() {
+        let p = infinite_loop_program();
+        let image = ExecImage::new(&p);
+        let token = std::sync::Arc::new(crate::cancel::CancelToken::with_deadline(
+            std::time::Duration::from_millis(30),
+        ));
+        let started = std::time::Instant::now();
+        let _guard = crate::cancel::install(token);
+        let out = execute_image(&image, &mut NullObserver, &ExecConfig::default());
+        let elapsed = started.elapsed();
+        assert!(!out.completed, "the loop must have been halted");
+        assert!(out.dynamic_instructions > 0, "the loop actually ran");
+        assert!(
+            elapsed < std::time::Duration::from_millis(500),
+            "preemption must be prompt, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn explicit_cancel_from_another_thread_halts_the_loop() {
+        let p = infinite_loop_program();
+        let image = ExecImage::new(&p);
+        let token = std::sync::Arc::new(crate::cancel::CancelToken::new());
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                token.cancel();
+            })
+        };
+        let _guard = crate::cancel::install(token);
+        let out = execute_image(&image, &mut NullObserver, &ExecConfig::default());
+        assert!(!out.completed);
+        canceller.join().expect("canceller thread");
+    }
+
+    #[test]
+    fn an_untripped_token_leaves_results_identical() {
+        let p = simple_program();
+        let baseline = run(&p);
+        let token = std::sync::Arc::new(crate::cancel::CancelToken::with_deadline(
+            std::time::Duration::from_secs(3600),
+        ));
+        let _guard = crate::cancel::install(token);
+        let out = run(&p);
+        assert_eq!(out.completed, baseline.completed);
+        assert_eq!(out.return_value, baseline.return_value);
+        assert_eq!(out.printed, baseline.printed);
+        assert_eq!(out.dynamic_instructions, baseline.dynamic_instructions);
     }
 
     /// main: s=0; for(i=0;i<10;i++) s+=i; return s  — built directly in VISA.

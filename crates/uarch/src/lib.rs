@@ -60,6 +60,7 @@
 pub mod batch;
 pub mod branch;
 pub mod cache;
+pub mod cancel;
 pub mod exec;
 pub mod image;
 pub mod machine;
@@ -70,6 +71,7 @@ pub mod verify;
 pub use batch::{simulate_image_batch, BatchedObserver, BatchedPipelineSim};
 pub use branch::{Bimodal, BranchStats, GShare, Hybrid, Predictor};
 pub use cache::{Cache, CacheConfig, CacheStats, CacheSweep};
+pub use cancel::CancelToken;
 pub use exec::{
     execute, execute_dyn, execute_image, execute_legacy, run, ExecConfig, ExecOutcome, InstEvent,
     InstSite, Observer,

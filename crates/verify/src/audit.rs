@@ -171,6 +171,225 @@ fn audit_file(file: &Path, root: &Path, checked: &[&str], report: &mut AuditRepo
     }
 }
 
+/// Process-ledger pass for `signal-flag-only` (see
+/// [`crate::PROCESS_LEDGER`]): every `extern "C" fn` *definition* in
+/// non-vendor code must have a body consisting solely of lock-free atomic
+/// flag traffic — each statement must be a `store`/`load` naming an
+/// `Ordering` — because such functions are what gets registered as signal
+/// handlers, and anything beyond an atomic flag write is not
+/// async-signal-safe.  Fn-pointer *types* (`extern "C" fn(i32)`) and
+/// bodiless declarations inside `extern` blocks are not definitions and
+/// are skipped.  Returns one human-readable error per violation.
+pub fn audit_signal_handlers(root: &Path) -> Vec<String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    files.sort();
+    let mut errors = Vec::new();
+    for file in files {
+        if is_vendor(&file, root) {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(&file) else {
+            continue;
+        };
+        check_extern_c_bodies(&file, &text, &mut errors);
+    }
+    errors
+}
+
+/// A copy of `text` with comments, string/char-literal contents and raw
+/// strings blanked to spaces (newlines preserved, so byte offsets map to
+/// the same lines).  Lets token searches ignore prose.
+fn code_only(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let bytes = text.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut st = St::Code;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            out[i] = b'\n';
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    st = St::LineComment;
+                    i += 2;
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    st = St::BlockComment(1);
+                    i += 2;
+                }
+                b'"' => {
+                    st = St::Str;
+                    i += 1;
+                }
+                b'r' | b'b' => {
+                    let mut j = i + 1;
+                    if b == b'b' && bytes.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') && (b == b'r' || j > i + 1) {
+                        out[i] = b;
+                        st = St::RawStr(hashes);
+                        i = j + 1;
+                    } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                        out[i] = b;
+                        st = St::Str;
+                        i += 2;
+                    } else {
+                        out[i] = b;
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        let mut j = i + 2;
+                        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+                            j += 1;
+                        }
+                        i = j + 1;
+                    } else if bytes.get(i + 2) == Some(&b'\'') {
+                        i += 3; // 'x'
+                    } else {
+                        out[i] = b'\''; // lifetime tick stays
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out[i] = b;
+                    i += 1;
+                }
+            },
+            St::LineComment => i += 1,
+            St::BlockComment(depth) => {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            St::Str => match b {
+                b'\\' => i += 2,
+                b'"' => {
+                    st = St::Code;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+            St::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut n = 0u32;
+                    while n < hashes && bytes.get(j) == Some(&b'#') {
+                        n += 1;
+                        j += 1;
+                    }
+                    if n == hashes {
+                        st = St::Code;
+                        i = j;
+                    } else {
+                        i += 1;
+                    }
+                }
+                // not code; leave blank
+                else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn check_extern_c_bodies(file: &Path, text: &str, errors: &mut Vec<String>) {
+    // `code` has comments and string contents blanked at identical byte
+    // offsets, so `extern` hits in it are real tokens — but the `"C"` ABI
+    // string is blanked too, so the full signature is matched against the
+    // original text at the same offset.
+    let code = code_only(text);
+    let needle = "extern \"C\" fn";
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find("extern") {
+        let at = from + pos;
+        from = at + "extern".len();
+        if prev_is_ident(code.as_bytes(), at) || !text[at..].starts_with(needle) {
+            continue;
+        }
+        let line_no = code[..at].bytes().filter(|b| *b == b'\n').count() + 1;
+        let rest = &code[at + needle.len()..];
+        if rest.trim_start().starts_with('(') {
+            continue; // fn-pointer type, not a definition
+        }
+        // A definition's body opens before any `;`; a bodiless declaration
+        // (inside an `extern` block) hits `;` first.
+        let open = match (rest.find('{'), rest.find(';')) {
+            (Some(o), Some(s)) if s < o => continue,
+            (Some(o), _) => o,
+            (None, _) => continue,
+        };
+        // Brace-match the body (comments/strings already blanked).
+        let body_start = at + needle.len() + open + 1;
+        let mut depth = 1u32;
+        let mut end = code.len();
+        for (off, b) in code[body_start..].bytes().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = body_start + off;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for stmt in code[body_start..end].lines() {
+            let stmt = stmt.trim();
+            if stmt.is_empty() || stmt == "{" || stmt == "}" {
+                continue;
+            }
+            let atomic_flag = (stmt.contains(".store(") || stmt.contains(".load("))
+                && stmt.contains("Ordering::");
+            if !atomic_flag {
+                errors.push(format!(
+                    "{}:{line_no}: extern \"C\" fn body statement `{stmt}` is not \
+                     atomic flag traffic — signal handlers may only store/load \
+                     static atomics (ledger: signal-flag-only)",
+                    file.display()
+                ));
+            }
+        }
+    }
+}
+
 /// 1-indexed lines holding an `unsafe` token in code position (strings,
 /// comments, char literals and raw strings excluded).
 fn unsafe_code_lines(text: &str) -> Vec<usize> {

@@ -105,6 +105,30 @@ pub const LEDGER: &[Invariant] = &[
     },
 ];
 
+/// Process-level invariants (PR 10): properties of the *process*, not of a
+/// decoded image, so they are machine-checked by dedicated audit passes
+/// rather than by `verify_image`.  Unsafe sites may cite these ids exactly
+/// like [`LEDGER`] ones; `bsg-verify --audit-unsafe` runs the matching
+/// checker over the workspace sources.
+pub const PROCESS_LEDGER: &[Invariant] = &[Invariant {
+    id: "signal-flag-only",
+    summary: "every extern \"C\" signal handler body is nothing but \
+              lock-free atomic flag traffic on statics (async-signal-safe: \
+              no allocation, no locks, no formatting, no I/O); the real \
+              work happens on normal threads polling the flag",
+}];
+
+/// Every invariant id an `unsafe` site may cite: the image-level
+/// [`LEDGER`] (checked by `verify_image`) plus the [`PROCESS_LEDGER`]
+/// (checked by the source-level audit passes).
+pub fn citable_invariants() -> Vec<&'static str> {
+    checked_invariants()
+        .iter()
+        .copied()
+        .chain(PROCESS_LEDGER.iter().map(|inv| inv.id))
+        .collect()
+}
+
 /// Cross-checks the ledger against the verifier: every [`LEDGER`] id must be
 /// checked by `verify_image` and every checked invariant must be citable,
 /// with no duplicate ids on either side.
@@ -137,12 +161,27 @@ pub fn ledger_is_fully_checked() -> Result<(), String> {
             return Err(format!("duplicate checked invariant `{id}`"));
         }
     }
+    for inv in PROCESS_LEDGER {
+        if PROCESS_LEDGER.iter().filter(|i| i.id == inv.id).count() != 1 {
+            return Err(format!("duplicate process-ledger id `{}`", inv.id));
+        }
+        if checked.contains(&inv.id) || LEDGER.iter().any(|i| i.id == inv.id) {
+            return Err(format!(
+                "process-ledger id `{}` collides with an image-ledger id — \
+                 a citation would be ambiguous about which checker vouches",
+                inv.id
+            ));
+        }
+    }
     Ok(())
 }
 
-/// Looks up a ledger entry by id.
+/// Looks up a ledger entry by id (image-level first, then process-level).
 pub fn ledger_entry(id: &str) -> Option<&'static Invariant> {
-    LEDGER.iter().find(|inv| inv.id == id)
+    LEDGER
+        .iter()
+        .find(|inv| inv.id == id)
+        .or_else(|| PROCESS_LEDGER.iter().find(|inv| inv.id == id))
 }
 
 #[cfg(test)]

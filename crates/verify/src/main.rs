@@ -234,9 +234,16 @@ fn audit_unsafe(root: Option<PathBuf>) -> usize {
                 .unwrap_or_else(|_| std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))),
         )
     });
-    let report = audit::audit_workspace(&root, bsg_uarch::verify::checked_invariants());
+    let citable = bsg_verify::citable_invariants();
+    let report = audit::audit_workspace(&root, &citable);
     print!("{report}");
     failures += report.errors.len();
+    // Process-ledger pass: signal handlers must be atomic-flag-only.
+    let handler_errors = audit::audit_signal_handlers(&root);
+    for e in &handler_errors {
+        eprintln!("  error: {e}");
+    }
+    failures += handler_errors.len();
     println!("audit-unsafe done in {:.1?}", start.elapsed());
     failures
 }

@@ -3,7 +3,7 @@
 //! bad files under the cargo-provided temp dir).
 
 use bsg_uarch::verify::checked_invariants;
-use bsg_verify::{audit, ledger_is_fully_checked};
+use bsg_verify::{audit, citable_invariants, ledger_is_fully_checked};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -18,21 +18,56 @@ fn ledger_matches_verifier() {
 
 #[test]
 fn workspace_audits_clean() {
-    let report = audit::audit_workspace(&workspace_root(), checked_invariants());
+    let citable = citable_invariants();
+    let report = audit::audit_workspace(&workspace_root(), &citable);
     assert!(report.files_scanned > 50, "suspiciously few files scanned");
     assert!(
         report.errors.is_empty(),
         "unsafe-ledger audit failed:\n{report}"
     );
-    // The two audited get_unchecked blocks in exec.rs are the only unsafe
-    // in non-vendor code; growing this number requires a ledger tag (the
+    // The two audited get_unchecked blocks in exec.rs plus the signal(2)
+    // registration in bsg-server's signal module are the only unsafe in
+    // non-vendor code; growing this number requires a ledger tag (the
     // audit enforces it) and a conscious bump here.
     let non_vendor = report
         .sites
         .iter()
         .filter(|s| !s.file.components().any(|c| c.as_os_str() == "vendor"))
         .count();
-    assert_eq!(non_vendor, 2, "unexpected unsafe site count:\n{report:?}");
+    assert_eq!(non_vendor, 3, "unexpected unsafe site count:\n{report:?}");
+}
+
+#[test]
+fn signal_handlers_are_atomic_flag_only() {
+    let errors = audit::audit_signal_handlers(&workspace_root());
+    assert!(
+        errors.is_empty(),
+        "process-ledger audit failed:\n{errors:#?}"
+    );
+}
+
+#[test]
+fn signal_handler_audit_catches_unsafe_handler_bodies() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("audit_gate_signal_bad");
+    let src = dir.join("src");
+    fs::create_dir_all(&src).unwrap();
+    // A handler that allocates (not async-signal-safe) next to a clean one
+    // and a fn-pointer type alias that must not be mistaken for a body.
+    fs::write(
+        src.join("sig.rs"),
+        "type H = extern \"C\" fn(i32);\n\
+         static F: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);\n\
+         extern \"C\" fn good(_s: i32) {\n    F.store(true, std::sync::atomic::Ordering::Relaxed);\n}\n\
+         extern \"C\" fn bad(_s: i32) {\n    println!(\"not signal safe\");\n}\n",
+    )
+    .unwrap();
+    let errors = audit::audit_signal_handlers(&dir);
+    assert_eq!(errors.len(), 1, "{errors:#?}");
+    assert!(
+        errors[0].contains("println") && errors[0].contains("signal-flag-only"),
+        "{errors:#?}"
+    );
+    fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
